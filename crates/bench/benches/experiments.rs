@@ -1,0 +1,244 @@
+//! Criterion versions of the paper's experiments at CI-friendly scales.
+//!
+//! One benchmark (group) per table/figure of §5 so `cargo bench` exercises
+//! the complete experiment suite; the `src/bin/*` binaries print the full
+//! paper-style tables at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slicefinder_baseline::{SliceFinder, SliceFinderConfig};
+use sliceline::lagraph::find_slices_reference;
+use sliceline::{MinSupport, PruningConfig, SliceLine, SliceLineConfig};
+use sliceline_datagen::{
+    adult_like, census_like, covtype_like, criteo_like, kdd98_like, salaries_encoded, Dataset,
+    GenConfig,
+};
+use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
+use std::time::Duration;
+
+const SCALE: f64 = 0.02;
+
+fn gen(seed: u64) -> GenConfig {
+    GenConfig { seed, scale: SCALE }
+}
+
+fn config(max_level: usize) -> SliceLineConfig {
+    let mut c = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .max_level(max_level)
+        .threads(2)
+        .build()
+        .unwrap();
+    c.min_support = MinSupport::Fraction(0.01);
+    c
+}
+
+fn run(d: &Dataset, c: SliceLineConfig) {
+    SliceLine::new(c)
+        .find_slices(&d.x0, &d.errors)
+        .expect("valid generated input");
+}
+
+/// Table 1 is pure generation; benchmark the generators themselves.
+fn bench_table1_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_generators");
+    group.bench_function("adult", |b| b.iter(|| adult_like(&gen(1))));
+    group.bench_function("covtype", |b| b.iter(|| covtype_like(&gen(1))));
+    group.bench_function("kdd98", |b| b.iter(|| kdd98_like(&gen(1))));
+    group.bench_function("census", |b| b.iter(|| census_like(&gen(1))));
+    group.bench_function("criteo", |b| b.iter(|| criteo_like(&gen(1))));
+    group.finish();
+}
+
+/// Figure 3: the pruning-ablation configurations on Salaries 2×2.
+fn bench_figure3_pruning_ablation(c: &mut Criterion) {
+    let enc = salaries_encoded();
+    let x0 = enc.x0.replicate_rows(2).replicate_cols(2);
+    let labels = enc.labels.unwrap();
+    let labels2: Vec<f64> = labels.iter().chain(labels.iter()).copied().collect();
+    let mean = labels2.iter().sum::<f64>() / labels2.len() as f64;
+    let errors: Vec<f64> = labels2.iter().map(|&y| (y - mean) * (y - mean) * 1e-8).collect();
+    let mut group = c.benchmark_group("figure3_pruning");
+    let configs = [
+        ("all", PruningConfig::all(), 6),
+        ("no_parent", PruningConfig::no_parent_handling(), 6),
+        ("no_score", PruningConfig::no_score_pruning(), 5),
+        ("no_size", PruningConfig::no_size_pruning(), 4),
+        ("none", PruningConfig::none(), 3),
+    ];
+    for (name, pruning, cap) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = config(cap);
+                cfg.pruning = pruning;
+                cfg.min_support = MinSupport::Absolute((x0.rows() / 100).max(1));
+                SliceLine::new(cfg).find_slices(&x0, &errors).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4: per-dataset enumeration with all pruning on.
+fn bench_figure4_datasets(c: &mut Criterion) {
+    // KDD98Sim needs enough rows for its threshold-setting spike slices
+    // to clear sigma = n/100, so it runs at full scale (its base is small).
+    let datasets = [
+        ("adult", adult_like(&gen(2)), usize::MAX),
+        ("kdd98", kdd98_like(&GenConfig { seed: 2, scale: 1.0 }), 2),
+        ("census", census_like(&gen(2)), 3),
+        ("covtype", covtype_like(&gen(2)), 3),
+    ];
+    let mut group = c.benchmark_group("figure4_enumeration");
+    group.sample_size(10);
+    for (name, d, cap) in datasets {
+        group.bench_function(name, |b| b.iter(|| run(&d, config(cap))));
+    }
+    group.finish();
+}
+
+/// Figure 5: α and σ sensitivity.
+fn bench_figure5_parameters(c: &mut Criterion) {
+    let d = adult_like(&gen(3));
+    let mut group = c.benchmark_group("figure5_parameters");
+    for &alpha in &[0.36, 0.92, 0.99] {
+        group.bench_with_input(BenchmarkId::new("alpha", alpha.to_string()), &alpha, |b, &a| {
+            b.iter(|| {
+                let mut cfg = config(3);
+                cfg.alpha = a;
+                run(&d, cfg)
+            })
+        });
+    }
+    for &frac in &[1e-3, 1e-2, 1e-1] {
+        group.bench_with_input(BenchmarkId::new("sigma", frac.to_string()), &frac, |b, &f| {
+            b.iter(|| {
+                let mut cfg = config(3);
+                cfg.min_support = MinSupport::Fraction(f);
+                run(&d, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6: end-to-end runtime (a) and block-size sweep (b).
+fn bench_figure6_runtime(c: &mut Criterion) {
+    let d = adult_like(&gen(4));
+    let mut group = c.benchmark_group("figure6_blocksize");
+    group.sample_size(10);
+    for &b in &[1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &bs| {
+            bench.iter(|| {
+                let mut cfg = config(3);
+                cfg.eval = sliceline::EvalKernel::Blocked { block_size: bs };
+                run(&d, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7a: replication scalability; 7b: strategies.
+fn bench_figure7_scalability(c: &mut Criterion) {
+    let d = census_like(&gen(5));
+    let mut group = c.benchmark_group("figure7");
+    group.sample_size(10);
+    for &factor in &[1usize, 2, 4] {
+        let x0 = d.x0.replicate_rows(factor);
+        let errors: Vec<f64> = (0..factor).flat_map(|_| d.errors.iter().copied()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("replication", factor),
+            &factor,
+            |b, _| {
+                b.iter(|| {
+                    SliceLine::new(config(2)).find_slices(&x0, &errors).unwrap()
+                })
+            },
+        );
+    }
+    let strategies: Vec<(&str, Strategy)> = vec![
+        (
+            "mt_ops",
+            Strategy::MtOps {
+                threads: 2,
+                block_size: 4,
+            },
+        ),
+        (
+            "mt_parfor",
+            Strategy::MtParfor {
+                threads: 2,
+                block_size: 4,
+            },
+        ),
+        (
+            "dist_parfor",
+            Strategy::DistParfor(ClusterConfig {
+                nodes: 3,
+                threads_per_node: 1,
+                broadcast_latency: Duration::from_micros(100),
+                broadcast_per_nnz: Duration::from_nanos(10),
+                aggregate_latency: Duration::from_micros(50),
+            }),
+        ),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_function(BenchmarkId::new("strategy", name), |b| {
+            b.iter(|| {
+                DistSliceLine::new(config(2), strategy)
+                    .find_slices(&d.x0, &d.errors)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 2: the ultra-sparse Criteo enumeration.
+fn bench_table2_criteo(c: &mut Criterion) {
+    let d = criteo_like(&gen(6));
+    let mut group = c.benchmark_group("table2_criteo");
+    group.sample_size(10);
+    group.bench_function("enumerate_l4", |b| b.iter(|| run(&d, config(4))));
+    group.finish();
+}
+
+/// §5.4 systems comparison: optimized vs reference vs SliceFinder.
+fn bench_systems_compare(c: &mut Criterion) {
+    let d = adult_like(&gen(7));
+    let mut group = c.benchmark_group("systems_compare");
+    group.sample_size(10);
+    group.bench_function("sliceline_optimized", |b| b.iter(|| run(&d, config(2))));
+    group.bench_function("sliceline_reference_la", |b| {
+        b.iter(|| find_slices_reference(&d.x0, &d.errors, &config(2)).unwrap())
+    });
+    group.bench_function("slicefinder_baseline", |b| {
+        b.iter(|| {
+            SliceFinder::new(SliceFinderConfig {
+                k: 4,
+                min_size: (d.n() / 100).max(1),
+                max_level: 2,
+                threads: 2,
+                ..Default::default()
+            })
+            .find_slices(&d.x0, &d.errors)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets =
+        bench_table1_generators,
+        bench_figure3_pruning_ablation,
+        bench_figure4_datasets,
+        bench_figure5_parameters,
+        bench_figure6_runtime,
+        bench_figure7_scalability,
+        bench_table2_criteo,
+        bench_systems_compare
+);
+criterion_main!(experiments);

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the hot kernels of the SliceLine
+//! pipeline: one-hot encoding, the evaluation product `X·Sᵀ` (blocked vs
+//! fused), the pair self-join, general spgemm, and score computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sliceline::config::EvalKernel;
+use sliceline::evaluate::evaluate_slices;
+use sliceline::ScoringContext;
+use sliceline_datagen::{adult_like, GenConfig};
+use sliceline_frame::onehot::one_hot_encode;
+use sliceline_linalg::spgemm::{self_overlap_pairs_eq, spgemm};
+use sliceline_linalg::{CsrMatrix, ParallelConfig};
+
+fn fixture() -> (CsrMatrix, Vec<f64>, Vec<Vec<u32>>) {
+    let d = adult_like(&GenConfig {
+        seed: 7,
+        scale: 0.1,
+    });
+    let x = one_hot_encode(&d.x0);
+    // Build a realistic level-2 slice set from frequent column pairs.
+    let sums = sliceline_linalg::agg::col_sums_csr(&x);
+    let frequent: Vec<u32> = (0..x.cols() as u32)
+        .filter(|&c| sums[c as usize] >= (x.rows() / 100) as f64)
+        .collect();
+    let mut slices = Vec::new();
+    for (i, &a) in frequent.iter().enumerate() {
+        for &b in frequent.iter().skip(i + 1) {
+            if slices.len() >= 256 {
+                break;
+            }
+            slices.push(vec![a.min(b), a.max(b)]);
+        }
+    }
+    (x, d.errors.clone(), slices)
+}
+
+fn bench_onehot(c: &mut Criterion) {
+    let d = adult_like(&GenConfig {
+        seed: 7,
+        scale: 0.1,
+    });
+    c.bench_function("onehot/adult_0.1", |b| {
+        b.iter(|| one_hot_encode(std::hint::black_box(&d.x0)))
+    });
+}
+
+fn bench_eval_kernels(c: &mut Criterion) {
+    let (x, e, slices) = fixture();
+    let ctx = ScoringContext::new(&e, 0.95);
+    let mut group = c.benchmark_group("eval");
+    for &b in &[1usize, 16, 256] {
+        group.bench_with_input(BenchmarkId::new("blocked", b), &b, |bench, &b| {
+            bench.iter(|| {
+                evaluate_slices(
+                    &x,
+                    &e,
+                    slices.clone(),
+                    2,
+                    &ctx,
+                    EvalKernel::Blocked { block_size: b },
+                    &ParallelConfig::new(2),
+                )
+            })
+        });
+    }
+    group.bench_function("fused", |bench| {
+        bench.iter(|| {
+            evaluate_slices(
+                &x,
+                &e,
+                slices.clone(),
+                2,
+                &ctx,
+                EvalKernel::Fused,
+                &ParallelConfig::new(2),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_pair_join(c: &mut Criterion) {
+    let (_, _, slices) = fixture();
+    let cols = slices
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .max()
+        .unwrap_or(0) as usize
+        + 1;
+    let s = CsrMatrix::from_binary_rows(cols, &slices).unwrap();
+    c.bench_function("pair_join/overlap_eq", |b| {
+        b.iter(|| self_overlap_pairs_eq(std::hint::black_box(&s), 1).unwrap())
+    });
+    c.bench_function("pair_join/spgemm_sst", |b| {
+        b.iter(|| spgemm(std::hint::black_box(&s), &s.transpose()).unwrap())
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ctx = ScoringContext {
+        n: 100_000.0,
+        total_error: 12_000.0,
+        avg_error: 0.12,
+        alpha: 0.95,
+    };
+    c.bench_function("score/upper_bound", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..1000u32 {
+                acc += ctx.score_upper_bound(
+                    std::hint::black_box(5_000.0 + i as f64),
+                    800.0,
+                    1.0,
+                    1_000,
+                );
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_onehot, bench_eval_kernels, bench_pair_join, bench_scoring
+);
+criterion_main!(kernels);

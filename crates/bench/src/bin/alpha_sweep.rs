@@ -1,0 +1,40 @@
+//! Diagnostic: times each α cell of the Fig. 5 sweep on one dataset
+//! (selected via `PROBE_DATASET` ∈ {adult, kdd98, census}; default adult).
+//! Used to validate that every cell of the figure5 harness terminates and
+//! to observe the score/size monotonicity directly.
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::var("PROBE_DATASET").unwrap_or_else(|_| "adult".to_string());
+    let cfg = sliceline_datagen::GenConfig { seed: 42, scale: 1.0 };
+    let d = match name.as_str() {
+        "census" => sliceline_datagen::census_like(&cfg),
+        "kdd98" => sliceline_datagen::kdd98_like(&cfg),
+        _ => sliceline_datagen::adult_like(&cfg),
+    };
+    for alpha in [0.36, 0.68, 0.84, 0.92, 0.96, 0.98, 0.99] {
+        let mut config = sliceline::SliceLineConfig::builder()
+            .k(4)
+            .alpha(alpha)
+            .max_level(3)
+            .eval(sliceline::EvalKernel::Auto {
+                block_size: 16,
+                fused_above: 4096,
+            })
+            .threads(4)
+            .build()
+            .unwrap();
+        config.min_support = sliceline::MinSupport::Fraction(0.01);
+        let t = Instant::now();
+        let r = sliceline::SliceLine::new(config)
+            .find_slices(&d.x0, &d.errors)
+            .unwrap();
+        println!(
+            "alpha={alpha}: {:?}, evaluated {}, top1 {:?}",
+            t.elapsed(),
+            r.stats.total_evaluated(),
+            r.top_k.first().map(|s| (s.score, s.size))
+        );
+    }
+    println!("SWEEP_DONE");
+}

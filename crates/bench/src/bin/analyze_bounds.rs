@@ -1,0 +1,99 @@
+//! Diagnostic: distribution of basic-slice score upper bounds vs the
+//! top-K threshold on a generated dataset. Helps tune generators so the
+//! enumeration characteristics match the paper's.
+
+use sliceline::ScoringContext;
+use sliceline_bench::BenchArgs;
+use sliceline_frame::onehot::one_hot_encode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let name = std::env::var("PROBE_DATASET").unwrap_or_else(|_| "kdd98".to_string());
+    let cfg = args.gen_config();
+    let d = match name.as_str() {
+        "adult" => sliceline_datagen::adult_like(&cfg),
+        "census" => sliceline_datagen::census_like(&cfg),
+        "covtype" => sliceline_datagen::covtype_like(&cfg),
+        "criteo" => sliceline_datagen::criteo_like(&cfg),
+        _ => sliceline_datagen::kdd98_like(&cfg),
+    };
+    let x = one_hot_encode(&d.x0);
+    let n = d.n();
+    let sigma = (n / 100).max(1);
+    let sums = sliceline_linalg::agg::col_sums_csr(&x);
+    let errs = x.vecmat(&d.errors).expect("aligned");
+    let mut sms = vec![0.0f64; x.cols()];
+    for r in 0..n {
+        let e = d.errors[r];
+        if e == 0.0 {
+            continue;
+        }
+        for &c in x.row_cols(r) {
+            if e > sms[c as usize] {
+                sms[c as usize] = e;
+            }
+        }
+    }
+    let ctx = ScoringContext::new(&d.errors, 0.95);
+    let mut scores: Vec<f64> = Vec::new();
+    let mut bounds: Vec<f64> = Vec::new();
+    for c in 0..x.cols() {
+        if sums[c] >= sigma as f64 && errs[c] > 0.0 {
+            scores.push(ctx.score(sums[c], errs[c]));
+            bounds.push(ctx.score_upper_bound(sums[c], errs[c], sms[c], sigma));
+        }
+    }
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    bounds.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    println!(
+        "{}: n={} l={} sigma={} valid_basic={} e_tot={:.1}",
+        d.name,
+        n,
+        x.cols(),
+        sigma,
+        scores.len(),
+        ctx.total_error
+    );
+    println!("top-8 scores: {:?}", &scores[..8.min(scores.len())]);
+    let threshold = scores.get(3).copied().unwrap_or(0.0).max(0.0);
+    println!("threshold (4th score): {threshold:.3}");
+    let surviving = bounds.iter().filter(|&&b| b > threshold).count();
+    println!(
+        "parents surviving pre-filter: {surviving} (=> ~{} pairs)",
+        surviving * surviving.saturating_sub(1) / 2
+    );
+    for pct in [50, 90, 99] {
+        let i = bounds.len() * pct / 100;
+        println!("bound p{pct}: {:.3}", bounds.get(i).copied().unwrap_or(f64::NAN));
+    }
+    println!("bound max: {:.3}", bounds.first().copied().unwrap_or(f64::NAN));
+    // Characterize survivors: which feature/domain class do they live in?
+    let begins = d.features.onehot_begin();
+    let mut survivors: Vec<(usize, u32, f64, f64, f64, f64)> = Vec::new();
+    for c in 0..x.cols() {
+        if sums[c] >= sigma as f64 && errs[c] > 0.0 {
+            let b = ctx.score_upper_bound(sums[c], errs[c], sms[c], sigma);
+            if b > threshold {
+                let j = match begins.binary_search(&c) {
+                    Ok(i) => i,
+                    Err(i) => i - 1,
+                };
+                survivors.push((j, d.x0.domains()[j], sums[c], errs[c], sms[c], b));
+            }
+        }
+    }
+    use std::collections::BTreeMap;
+    let mut by_domain: BTreeMap<u32, usize> = BTreeMap::new();
+    for &(_, dom, ..) in &survivors {
+        *by_domain.entry(dom).or_default() += 1;
+    }
+    println!("survivors by feature domain: {by_domain:?}");
+    survivors.sort_by(|a, b| b.5.partial_cmp(&a.5).unwrap());
+    for (j, dom, ss, se, sm, b) in survivors.iter().take(8) {
+        println!("  f{j} (dom {dom}): ss={ss:.0} se={se:.1} sm={sm:.1} bound={b:.2}");
+    }
+    if survivors.len() > 8 {
+        let (j, dom, ss, se, sm, b) = &survivors[survivors.len() / 2];
+        println!("  median survivor: f{j} (dom {dom}): ss={ss:.0} se={se:.1} sm={sm:.1} bound={b:.2}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 4 — slice enumeration characteristics per dataset.
+//!
+//! With all pruning enabled (α = 0.95, σ = ⌈n/100⌉), the paper reports
+//! the number of *candidate* slices handed to evaluation and the number
+//! of *valid* slices (still ≥ σ with positive error) per lattice level:
+//! Adult terminates early (level 12 of 14); KDD98/USCensus/Covtype have
+//! thousands of candidates per level and are capped at ⌈L⌉ = 3–4 due to
+//! correlations. Candidates closely tracking valid slices is the paper's
+//! evidence that pruning is nearly perfect.
+
+use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_datagen::{adult_like, census_like, covtype_like, kdd98_like};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 4: Dataset Slice Enumeration (# slices per level)", &args);
+    let cfg = args.gen_config();
+    // (dataset, max_level) — the paper caps correlated datasets at 3-4.
+    let runs = vec![
+        (adult_like(&cfg), usize::MAX),
+        (kdd98_like(&cfg), 3),
+        (census_like(&cfg), 3),
+        // The paper caps Covtype at L=4 on a 112-vcore node; the
+        // correlated indicator clique makes L4 combinatorially wide, so
+        // the laptop default stops at L=3 (raise via --paper hardware).
+        (covtype_like(&cfg), 3),
+    ];
+    for (dataset, max_level) in runs {
+        let config = SliceLineConfig::builder()
+            .k(4)
+            .alpha(0.95)
+            .max_level(max_level)
+            .threads(args.resolved_threads())
+            .build()
+            .expect("static config");
+        let mut config = config;
+        config.min_support = MinSupport::Fraction(0.01);
+        let result = SliceLine::new(config)
+            .find_slices(&dataset.x0, &dataset.errors)
+            .expect("generated input is valid");
+        println!(
+            "--- {} (n={}, m={}, l={}, sigma={}, L<= {}) total {} ---",
+            dataset.name,
+            dataset.n(),
+            dataset.m(),
+            dataset.l(),
+            result.stats.sigma,
+            if max_level == usize::MAX {
+                "inf".to_string()
+            } else {
+                max_level.to_string()
+            },
+            fmt_secs(result.stats.total_elapsed),
+        );
+        let mut table = TextTable::new(&["level", "candidates", "valid", "elapsed"]);
+        for l in &result.stats.levels {
+            table.row(&[
+                l.level.to_string(),
+                l.candidates.to_string(),
+                l.valid.to_string(),
+                fmt_secs(l.elapsed),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "expected shape (paper Fig. 4): candidates closely match valid slices \
+         at every level (pruning is effective); Adult terminates early, the \
+         correlated datasets stay wide within their level caps."
+    );
+}

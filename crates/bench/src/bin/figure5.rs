@@ -1,0 +1,118 @@
+//! Figure 5 — scoring-parameter sensitivity (and the §5.3 σ sweep).
+//!
+//! (a)/(b): fixing σ = n/100 and sweeping the weight
+//! α ∈ {0.36, 0.68, 0.84, 0.92, 0.96, 0.98, 0.99} with ⌈L⌉ = 3, the paper
+//! reports the top-1 slice's score (increasing in α) and size (decreasing
+//! in α). The text additionally sweeps σ ∈ [1e-4·n, 1e-1·n] at α = 0.95,
+//! K = 10: scores barely move but runtime grows by an order of magnitude
+//! as σ shrinks.
+
+use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_datagen::{adult_like, census_like, kdd98_like};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 5: Scores with Varying Scoring Parameters", &args);
+    let cfg = args.gen_config();
+    // CensusSim runs at 0.3x the requested scale: its per-level candidate
+    // counts match the paper's (tens of thousands) and the 11-run sweep
+    // would otherwise dominate wall time. Raise --scale to compensate.
+    let census_cfg = args.gen_config_scaled(args.scale * 0.3);
+    let datasets = vec![adult_like(&cfg), kdd98_like(&cfg), census_like(&census_cfg)];
+    let alphas = [0.36, 0.68, 0.84, 0.92, 0.96, 0.98, 0.99];
+
+    println!("(a)/(b) alpha sweep: top-1 score and size (sigma=n/100, L<=3)");
+    let mut score_table = TextTable::new(&[
+        "dataset", "a=0.36", "a=0.68", "a=0.84", "a=0.92", "a=0.96", "a=0.98", "a=0.99",
+    ]);
+    let mut size_table = score_table.clone();
+    let mut time_table = score_table.clone();
+    for d in &datasets {
+        let mut scores = vec![d.name.clone()];
+        let mut sizes = vec![d.name.clone()];
+        let mut times = vec![d.name.clone()];
+        for &alpha in &alphas {
+            let mut config = SliceLineConfig::builder()
+                .k(4)
+                .alpha(alpha)
+                .max_level(3)
+                // Low alpha floods the near-full-slice lattice; the Auto
+                // kernel switches to the fused single-scan plan for huge
+                // candidate sets (the SystemDS dynamic-recompilation
+                // analog) so the sweep stays tractable.
+                .eval(sliceline::EvalKernel::Auto {
+                    block_size: 16,
+                    fused_above: 4096,
+                })
+                .threads(args.resolved_threads())
+                .build()
+                .expect("static config");
+            config.min_support = MinSupport::Fraction(0.01);
+            let result = SliceLine::new(config)
+                .find_slices(&d.x0, &d.errors)
+                .expect("generated input is valid");
+            match result.top_k.first() {
+                Some(top) => {
+                    scores.push(format!("{:.3}", top.score));
+                    sizes.push(format!("{}", top.size as u64));
+                }
+                None => {
+                    scores.push("-".to_string());
+                    sizes.push("-".to_string());
+                }
+            }
+            times.push(fmt_secs(result.stats.total_elapsed));
+        }
+        score_table.row(&scores);
+        size_table.row(&sizes);
+        time_table.row(&times);
+    }
+    println!("top-1 score:\n{}", score_table.render());
+    println!("top-1 size:\n{}", size_table.render());
+    println!("runtime:\n{}", time_table.render());
+
+    println!("sigma sweep (alpha=0.95, K=10, L<=3): top-1 score and runtime");
+    let fractions = [1e-4, 1e-3, 1e-2, 1e-1];
+    let mut sigma_table =
+        TextTable::new(&["dataset", "s=1e-4*n", "s=1e-3*n", "s=1e-2*n", "s=1e-1*n"]);
+    let mut sigma_time = sigma_table.clone();
+    for d in &datasets {
+        let mut scores = vec![d.name.clone()];
+        let mut times = vec![d.name.clone()];
+        for &f in &fractions {
+            let mut config = SliceLineConfig::builder()
+                .k(10)
+                .alpha(0.95)
+                .max_level(3)
+                .eval(sliceline::EvalKernel::Auto {
+                    block_size: 16,
+                    fused_above: 4096,
+                })
+                .threads(args.resolved_threads())
+                .build()
+                .expect("static config");
+            config.min_support = MinSupport::Fraction(f);
+            let result = SliceLine::new(config)
+                .find_slices(&d.x0, &d.errors)
+                .expect("generated input is valid");
+            scores.push(
+                result
+                    .top_k
+                    .first()
+                    .map(|t| format!("{:.3}", t.score))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+            times.push(fmt_secs(result.stats.total_elapsed));
+        }
+        sigma_table.row(&scores);
+        sigma_time.row(&times);
+    }
+    println!("top-1 score:\n{}", sigma_table.render());
+    println!("runtime:\n{}", sigma_time.render());
+    println!(
+        "expected shape (paper Fig. 5 / §5.3): scores increase and sizes \
+         decrease with larger alpha; sigma barely moves the scores but \
+         shrinking it inflates the runtime."
+    );
+}

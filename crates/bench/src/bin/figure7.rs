@@ -1,0 +1,122 @@
+//! Figure 7 — scalability with data size and parallelization strategy.
+//!
+//! (a): CensusSim rows replicated 1×–10×; the relative σ = n/100 keeps
+//! enumeration identical, so ideal scaling is the 1× runtime multiplied
+//! by the factor. The paper observes moderate deterioration from larger
+//! intermediates and GC pressure.
+//! (b): MT-Ops vs MT-PFor vs Dist-PFor on the simulated cluster; the
+//! paper reports ~2× for MT-PFor over MT-Ops (no per-op barriers) and a
+//! further ~1.9× for distributed evaluation minus broadcast overhead.
+
+use sliceline::{MinSupport, SliceLineConfig};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_datagen::census_like;
+use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
+use std::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Figure 7: Scalability with Data Size and Parallelism", &args);
+    // CensusSim at 0.1x the requested scale: replication multiplies the
+    // rows up to 10x and the evaluation cost with them (the paper ran the
+    // real 2.4M-row census on 112 vcores). Raise --scale to compensate.
+    let cfg = args.gen_config_scaled(args.scale * 0.1);
+    let base = census_like(&cfg);
+    let threads = args.resolved_threads();
+    let make_config = || {
+        let mut c = SliceLineConfig::builder()
+            .k(4)
+            .alpha(0.95)
+            .max_level(3)
+            .block_size(4)
+            .threads(threads)
+            .build()
+            .expect("static config");
+        c.min_support = MinSupport::Fraction(0.01);
+        c
+    };
+
+    println!("(a) row-replication scalability on CensusSim (b=4, sigma=n/100)");
+    let mut table = TextTable::new(&["replication", "rows", "runtime", "ideal", "ratio"]);
+    let mut base_time = None;
+    for factor in [1usize, 2, 4, 6, 8, 10] {
+        let x0 = base.x0.replicate_rows(factor);
+        let errors: Vec<f64> = (0..factor).flat_map(|_| base.errors.iter().copied()).collect();
+        let runner = DistSliceLine::new(
+            make_config(),
+            Strategy::MtOps {
+                threads,
+                block_size: 4,
+            },
+        );
+        let result = runner.find_slices(&x0, &errors).expect("valid input");
+        let elapsed = result.stats.total_elapsed;
+        let ideal = base_time
+            .get_or_insert(elapsed)
+            .mul_f64(factor as f64);
+        table.row(&[
+            format!("{factor}x"),
+            x0.rows().to_string(),
+            fmt_secs(elapsed),
+            fmt_secs(ideal),
+            format!("{:.2}", elapsed.as_secs_f64() / ideal.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("(b) parallelization strategies (simulated 12-node cluster)");
+    let strategies: Vec<(&str, Strategy)> = vec![
+        (
+            "MT-Ops",
+            Strategy::MtOps {
+                threads,
+                block_size: 4,
+            },
+        ),
+        (
+            "MT-PFor",
+            Strategy::MtParfor {
+                threads,
+                block_size: 4,
+            },
+        ),
+        (
+            "Dist-PFor",
+            Strategy::DistParfor(ClusterConfig {
+                nodes: 12,
+                threads_per_node: (threads / 4).max(1),
+                broadcast_latency: Duration::from_millis(2),
+                broadcast_per_nnz: Duration::from_nanos(20),
+                aggregate_latency: Duration::from_millis(1),
+            }),
+        ),
+    ];
+    let x0 = base.x0.replicate_rows(2);
+    let errors: Vec<f64> = base
+        .errors
+        .iter()
+        .chain(base.errors.iter())
+        .copied()
+        .collect();
+    let mut table = TextTable::new(&["strategy", "runtime", "top-1 score"]);
+    for (name, strategy) in strategies {
+        let runner = DistSliceLine::new(make_config(), strategy);
+        let result = runner.find_slices(&x0, &errors).expect("valid input");
+        table.row(&[
+            name.to_string(),
+            fmt_secs(result.stats.total_elapsed),
+            result
+                .top_k
+                .first()
+                .map(|t| format!("{:.3}", t.score))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper Fig. 7): near-linear row scaling with mild \
+         deterioration; MT-PFor beats MT-Ops by avoiding per-op barriers; \
+         Dist-PFor adds node fan-out minus broadcast/aggregation overhead \
+         (all strategies return identical top-K slices)."
+    );
+}

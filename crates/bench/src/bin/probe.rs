@@ -1,0 +1,44 @@
+//! Diagnostic probe: prints per-level enumeration counters for one
+//! generator. Environment knobs: `PROBE_DATASET` (adult | kdd98 | census |
+//! covtype | criteo), `PROBE_MAXLEVEL` (default 3), `PROBE_FUSED` (use the
+//! fused kernel), `PROBE_ALPHA` (default 0.95). Not part of the paper
+//! harness; used when tuning the dataset generators' pruning behaviour.
+use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let name = std::env::var("PROBE_DATASET").unwrap_or_else(|_| "kdd98".to_string());
+    let cfg = args.gen_config();
+    let d = match name.as_str() {
+        "adult" => sliceline_datagen::adult_like(&cfg),
+        "census" => sliceline_datagen::census_like(&cfg),
+        "covtype" => sliceline_datagen::covtype_like(&cfg),
+        "criteo" => sliceline_datagen::criteo_like(&cfg),
+        _ => sliceline_datagen::kdd98_like(&cfg),
+    };
+    let max_level: usize = std::env::var("PROBE_MAXLEVEL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let fused = std::env::var("PROBE_FUSED").is_ok();
+    let alpha: f64 = std::env::var("PROBE_ALPHA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.95);
+    let mut config = SliceLineConfig::builder()
+        .k(4)
+        .alpha(alpha)
+        .max_level(max_level)
+        .threads(args.resolved_threads())
+        .build()
+        .unwrap();
+    config.min_support = MinSupport::Fraction(0.01);
+    if fused {
+        config.eval = sliceline::EvalKernel::Fused;
+    }
+    let r = SliceLine::new(config).find_slices(&d.x0, &d.errors).unwrap();
+    println!("{} n={} l={} sigma={}", d.name, d.n(), d.l(), r.stats.sigma);
+    println!("{}", r.stats.render_table());
+    println!("top1: {:?}", r.top_k.first().map(|t| (&t.predicates, t.score)));
+}

@@ -1,0 +1,61 @@
+//! Table 2 — CriteoSim slice enumeration statistics.
+//!
+//! The paper's CriteoD21 run (192M × 75.6M one-hot, density 4.9e-7) shows
+//! the ultra-sparse regime: only 209 of 75,573,541 basic slices satisfy
+//! σ = n/100; pruning keeps pair candidates close to the valid count; and
+//! correlations prevent early termination through level 6. The simulated
+//! Criteo generator reproduces the head/tail survival pattern at any
+//! scale; this binary prints the same per-level rows (candidates, valid
+//! slices, cumulative elapsed time).
+
+use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_datagen::criteo_like;
+use sliceline_frame::onehot::one_hot_encode;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table 2: Criteo Slice Enumeration Statistics", &args);
+    let d = criteo_like(&args.gen_config());
+    let x = one_hot_encode(&d.x0);
+    println!(
+        "CriteoSim: n={}, m={}, l={}, one-hot density {:.2e}\n",
+        d.n(),
+        d.m(),
+        d.l(),
+        x.density()
+    );
+    let mut config = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .max_level(6)
+        .threads(args.resolved_threads())
+        .build()
+        .expect("static config");
+    config.min_support = MinSupport::Fraction(0.01);
+    let result = SliceLine::new(config)
+        .find_slices(&d.x0, &d.errors)
+        .expect("generated input is valid");
+    let mut table = TextTable::new(&["Lattice Level", "Candidates", "Valid Slices", "Elapsed Time"]);
+    let mut cumulative = std::time::Duration::ZERO;
+    for l in &result.stats.levels {
+        cumulative += l.elapsed;
+        table.row(&[
+            if l.level == 1 {
+                "1 (Init)".to_string()
+            } else {
+                l.level.to_string()
+            },
+            l.candidates.to_string(),
+            l.valid.to_string(),
+            fmt_secs(cumulative),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper Table 2): a tiny fraction of the {} one-hot \
+         columns survives sigma at level 1; candidates stay close to valid \
+         slices afterwards; no early termination through level 6.",
+        d.l()
+    );
+}

@@ -1,0 +1,278 @@
+//! # sliceline-bench
+//!
+//! Benchmark harness regenerating every table and figure of the SliceLine
+//! paper's evaluation (§5). One runnable binary per experiment:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table1` | Table 1 — dataset characteristics |
+//! | `figure3` | Fig. 3 — pruning ablation on Salaries 2×2 |
+//! | `figure4` | Fig. 4 — slices per level on the real datasets |
+//! | `figure5` | Fig. 5 — α sweep (+ the §5.3 σ sweep) |
+//! | `figure6` | Fig. 6 — local end-to-end runtime and block-size sweep |
+//! | `figure7` | Fig. 7 — row scalability and parallelization strategies |
+//! | `table2` | Table 2 — CriteoSim enumeration statistics |
+//! | `systems_compare` | §5.4 — optimized vs reference backend vs SliceFinder |
+//!
+//! All binaries accept `--scale <f64>` (row-count multiplier, default 1),
+//! `--seed <u64>`, `--threads <usize>`, and `--paper` (a preset raising
+//! scales toward the paper's sizes). Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use sliceline_datagen::{
+    adult_like, census_like, covtype_like, criteo_like, kdd98_like, Dataset, GenConfig,
+};
+use std::time::Duration;
+
+/// Parsed command-line arguments shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchArgs {
+    /// Row-count scale multiplier applied to every generator.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Paper-sized preset (an order of magnitude above the defaults).
+    pub paper: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 1.0,
+            seed: 42,
+            threads: 0,
+            paper: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`; unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a float"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--threads" => {
+                    out.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--threads needs an integer"));
+                }
+                "--paper" => out.paper = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        if out.paper {
+            out.scale *= 10.0;
+        }
+        out
+    }
+
+    /// The generator config for this run.
+    pub fn gen_config(&self) -> GenConfig {
+        GenConfig {
+            seed: self.seed,
+            scale: self.scale,
+        }
+    }
+
+    /// The generator config at an explicitly overridden scale.
+    pub fn gen_config_scaled(&self, scale: f64) -> GenConfig {
+        GenConfig {
+            seed: self.seed,
+            scale,
+        }
+    }
+
+    /// Resolved thread count.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--scale F] [--seed N] [--threads N] [--paper]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// The four medium datasets used by Figures 4–6 (Criteo and Salaries have
+/// dedicated binaries).
+pub fn standard_datasets(config: &GenConfig) -> Vec<Dataset> {
+    vec![
+        adult_like(config),
+        kdd98_like(config),
+        census_like(config),
+        covtype_like(config),
+    ]
+}
+
+/// All six Table-1 datasets.
+pub fn all_datasets(config: &GenConfig) -> Vec<Dataset> {
+    let mut d = standard_datasets(config);
+    d.push(criteo_like(config));
+    d
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// A minimal fixed-width text table writer for experiment output.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table with per-column width alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, &w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, args: &BenchArgs) {
+    println!("== {title} ==");
+    println!(
+        "scale={} seed={} threads={}{}\n",
+        args.scale,
+        args.seed,
+        args.resolved_threads(),
+        if args.paper { " (paper preset)" } else { "" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let a = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(a, BenchArgs::default());
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = BenchArgs::parse_from(
+            ["--scale", "0.5", "--seed", "7", "--threads", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.resolved_threads(), 3);
+    }
+
+    #[test]
+    fn paper_preset_multiplies_scale() {
+        let a = BenchArgs::parse_from(
+            ["--scale", "0.2", "--paper"].iter().map(|s| s.to_string()),
+        );
+        assert!((a.scale - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".to_string(), "1".to_string()]);
+        t.row(&["long-name".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+    }
+
+    #[test]
+    fn datasets_constructed_at_tiny_scale() {
+        let cfg = GenConfig {
+            seed: 1,
+            scale: 0.005,
+        };
+        let d = standard_datasets(&cfg);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|x| x.n() >= 16));
+    }
+
+    #[test]
+    fn fmt_secs_format() {
+        assert_eq!(fmt_secs(Duration::from_millis(1500)), "1.500s");
+    }
+}

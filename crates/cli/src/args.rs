@@ -1,0 +1,359 @@
+//! Hand-rolled argument parsing (the dependency policy keeps clap out).
+
+use crate::CliError;
+
+/// Output rendering for `find`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable report (default).
+    #[default]
+    Text,
+    /// JSON object with top-K and run statistics.
+    Json,
+    /// CSV rows of the top-K.
+    Csv,
+}
+
+/// How the error vector is produced when `--errors` is not given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Train linear regression on `--label`, squared-loss errors.
+    Regression,
+    /// Train multinomial logistic regression on `--label`, 0/1 errors.
+    Classification,
+}
+
+/// Arguments of `sliceline find`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FindArgs {
+    /// Input CSV path.
+    pub input: String,
+    /// Label column to train a model on (mutually exclusive with
+    /// `errors`).
+    pub label: Option<String>,
+    /// Column already containing non-negative per-row errors.
+    pub errors: Option<String>,
+    /// Task kind when training (defaults to regression).
+    pub task: TaskKind,
+    /// Top-K.
+    pub k: usize,
+    /// Minimum support: absolute when ≥ 1, fraction of n when < 1.
+    pub sigma: f64,
+    /// Error/size weight α.
+    pub alpha: f64,
+    /// Maximum lattice level.
+    pub max_level: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Columns to drop (IDs etc.).
+    pub drop: Vec<String>,
+    /// Equi-width bins for continuous features.
+    pub bins: u32,
+    /// Output format.
+    pub format: OutputFormat,
+}
+
+impl Default for FindArgs {
+    fn default() -> Self {
+        FindArgs {
+            input: String::new(),
+            label: None,
+            errors: None,
+            task: TaskKind::Regression,
+            k: 4,
+            sigma: 0.01,
+            alpha: 0.95,
+            max_level: usize::MAX,
+            threads: 0,
+            drop: Vec::new(),
+            bins: 10,
+            format: OutputFormat::Text,
+        }
+    }
+}
+
+/// Arguments of `sliceline generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Generator name: adult | covtype | kdd98 | census | criteo | salaries.
+    pub dataset: String,
+    /// Row-count scale.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Output CSV path (`-` = stdout).
+    pub output: String,
+}
+
+impl Default for GenerateArgs {
+    fn default() -> Self {
+        GenerateArgs {
+            dataset: "adult".to_string(),
+            scale: 0.05,
+            seed: 42,
+            output: "-".to_string(),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Which subcommand to run.
+    pub command: Command,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Find slices in a CSV.
+    Find(FindArgs),
+    /// Emit a synthetic dataset as CSV.
+    Generate(GenerateArgs),
+    /// Print usage and exit 0.
+    Help,
+}
+
+/// Usage text shown by `--help` and on usage errors.
+pub const USAGE: &str = "\
+sliceline — find the data slices where your model fails (SIGMOD'21)
+
+USAGE:
+  sliceline find --input FILE (--label COL | --errors COL) [options]
+  sliceline generate [--dataset NAME] [--scale F] [--seed N] [--output FILE]
+  sliceline help
+
+FIND OPTIONS:
+  --input FILE        input CSV with a header row
+  --label COL         train a model on COL and slice on its errors
+  --errors COL        use COL directly as the per-row error vector
+  --task KIND         regression | classification   (default: regression)
+  --k N               top-K slices                   (default: 4)
+  --sigma X           min support: rows if X >= 1, fraction of n if X < 1
+                                                     (default: 0.01)
+  --alpha X           error-vs-size weight in (0,1]  (default: 0.95)
+  --max-level N       max predicates per slice       (default: unbounded)
+  --threads N         worker threads, 0 = all cores  (default: 0)
+  --drop COL          drop a column (repeatable)
+  --bins N            equi-width bins for continuous features (default: 10)
+  --format FMT        text | json | csv              (default: text)
+
+GENERATE OPTIONS:
+  --dataset NAME      adult | covtype | kdd98 | census | criteo | salaries
+  --scale F           row-count scale                (default: 0.05)
+  --seed N            generator seed                 (default: 42)
+  --output FILE       output path, '-' = stdout      (default: -)
+";
+
+/// Parses the full argument list (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
+    let mut it = args.into_iter();
+    let command = match it.next().as_deref() {
+        Some("find") => Command::Find(parse_find(it)?),
+        Some("generate") => Command::Generate(parse_generate(it)?),
+        Some("help") | Some("--help") | Some("-h") | None => Command::Help,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown command '{other}'\n\n{USAGE}"
+            )))
+        }
+    };
+    Ok(Cli { command })
+}
+
+fn next_value(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::usage(format!("{flag}: cannot parse '{value}'")))
+}
+
+fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError> {
+    let mut out = FindArgs::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--input" => out.input = next_value(&mut it, "--input")?,
+            "--label" => out.label = Some(next_value(&mut it, "--label")?),
+            "--errors" => out.errors = Some(next_value(&mut it, "--errors")?),
+            "--task" => {
+                let v = next_value(&mut it, "--task")?;
+                out.task = match v.as_str() {
+                    "regression" | "reg" => TaskKind::Regression,
+                    "classification" | "class" => TaskKind::Classification,
+                    other => {
+                        return Err(CliError::usage(format!("--task: unknown kind '{other}'")))
+                    }
+                };
+            }
+            "--k" => out.k = parse_num(&next_value(&mut it, "--k")?, "--k")?,
+            "--sigma" => out.sigma = parse_num(&next_value(&mut it, "--sigma")?, "--sigma")?,
+            "--alpha" => out.alpha = parse_num(&next_value(&mut it, "--alpha")?, "--alpha")?,
+            "--max-level" => {
+                out.max_level = parse_num(&next_value(&mut it, "--max-level")?, "--max-level")?
+            }
+            "--threads" => {
+                out.threads = parse_num(&next_value(&mut it, "--threads")?, "--threads")?
+            }
+            "--drop" => out.drop.push(next_value(&mut it, "--drop")?),
+            "--bins" => out.bins = parse_num(&next_value(&mut it, "--bins")?, "--bins")?,
+            "--format" => {
+                let v = next_value(&mut it, "--format")?;
+                out.format = match v.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    "csv" => OutputFormat::Csv,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--format: unknown format '{other}'"
+                        )))
+                    }
+                };
+            }
+            other => return Err(CliError::usage(format!("find: unknown flag '{other}'"))),
+        }
+    }
+    if out.input.is_empty() {
+        return Err(CliError::usage("find: --input is required"));
+    }
+    match (&out.label, &out.errors) {
+        (None, None) => {
+            return Err(CliError::usage(
+                "find: one of --label or --errors is required",
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage(
+                "find: --label and --errors are mutually exclusive",
+            ))
+        }
+        _ => {}
+    }
+    Ok(out)
+}
+
+fn parse_generate(mut it: impl Iterator<Item = String>) -> Result<GenerateArgs, CliError> {
+    let mut out = GenerateArgs::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dataset" => out.dataset = next_value(&mut it, "--dataset")?,
+            "--scale" => out.scale = parse_num(&next_value(&mut it, "--scale")?, "--scale")?,
+            "--seed" => out.seed = parse_num(&next_value(&mut it, "--seed")?, "--seed")?,
+            "--output" => out.output = next_value(&mut it, "--output")?,
+            other => {
+                return Err(CliError::usage(format!("generate: unknown flag '{other}'")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_find_with_label() {
+        let cli = parse(sv(&[
+            "find", "--input", "a.csv", "--label", "y", "--k", "7", "--alpha", "0.9",
+            "--sigma", "32", "--drop", "id", "--drop", "name", "--format", "json",
+        ]))
+        .unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!("expected find")
+        };
+        assert_eq!(f.input, "a.csv");
+        assert_eq!(f.label.as_deref(), Some("y"));
+        assert_eq!(f.k, 7);
+        assert_eq!(f.alpha, 0.9);
+        assert_eq!(f.sigma, 32.0);
+        assert_eq!(f.drop, vec!["id", "name"]);
+        assert_eq!(f.format, OutputFormat::Json);
+    }
+
+    #[test]
+    fn parses_find_with_errors_column() {
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.errors.as_deref(), Some("e"));
+        assert!(f.label.is_none());
+    }
+
+    #[test]
+    fn find_requires_input_and_signal() {
+        assert!(parse(sv(&["find", "--label", "y"])).is_err());
+        assert!(parse(sv(&["find", "--input", "a.csv"])).is_err());
+        assert!(parse(sv(&[
+            "find", "--input", "a.csv", "--label", "y", "--errors", "e"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn task_kinds() {
+        for (v, expect) in [
+            ("regression", TaskKind::Regression),
+            ("class", TaskKind::Classification),
+        ] {
+            let cli = parse(sv(&[
+                "find", "--input", "a.csv", "--label", "y", "--task", v,
+            ]))
+            .unwrap();
+            let Command::Find(f) = cli.command else {
+                panic!()
+            };
+            assert_eq!(f.task, expect);
+        }
+        assert!(parse(sv(&[
+            "find", "--input", "a", "--label", "y", "--task", "nope"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cli = parse(sv(&[
+            "generate", "--dataset", "census", "--scale", "0.2", "--seed", "7", "--output",
+            "x.csv",
+        ]))
+        .unwrap();
+        let Command::Generate(g) = cli.command else {
+            panic!()
+        };
+        assert_eq!(g.dataset, "census");
+        assert_eq!(g.scale, 0.2);
+        assert_eq!(g.seed, 7);
+        assert_eq!(g.output, "x.csv");
+    }
+
+    #[test]
+    fn help_and_unknowns() {
+        assert_eq!(parse(sv(&["help"])).unwrap().command, Command::Help);
+        assert_eq!(parse(sv(&["--help"])).unwrap().command, Command::Help);
+        assert_eq!(parse(Vec::new()).unwrap().command, Command::Help);
+        let err = parse(sv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_values_and_bad_numbers() {
+        assert!(parse(sv(&["find", "--input"])).is_err());
+        assert!(parse(sv(&[
+            "find", "--input", "a", "--label", "y", "--k", "NaNsense"
+        ]))
+        .is_err());
+    }
+}

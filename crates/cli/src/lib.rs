@@ -1,0 +1,62 @@
+//! # sliceline-cli
+//!
+//! The `sliceline` command-line tool: point it at a CSV, tell it which
+//! column is the label (or which column already holds per-row errors),
+//! and get back the top-K problematic slices with human-readable
+//! predicates — the full paper pipeline (§5.1 preprocessing → model →
+//! error vector → Algorithm 1) as one command.
+//!
+//! ```text
+//! sliceline find --input data.csv --label salary --task regression --k 4
+//! sliceline find --input scored.csv --errors err_col --format json
+//! sliceline generate --dataset adult --scale 0.1 --output adult.csv
+//! ```
+//!
+//! The library half hosts the argument parser, pipeline, and report
+//! rendering so everything is unit-testable without spawning processes;
+//! `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod pipeline;
+pub mod report;
+
+pub use args::{Cli, Command, FindArgs, GenerateArgs, OutputFormat, TaskKind};
+pub use pipeline::{run_find, run_generate};
+
+/// CLI error: message plus the exit code `main` should use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message printed to stderr.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime failure).
+    pub code: i32,
+}
+
+impl CliError {
+    /// Usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// Runtime error (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}

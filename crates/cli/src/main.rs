@@ -1,0 +1,39 @@
+//! The `sliceline` binary: a thin shim over [`sliceline_cli`].
+
+use sliceline_cli::{args, run_find, run_generate, Command};
+
+fn main() {
+    let cli = match args::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    };
+    let outcome = match &cli.command {
+        Command::Help => {
+            println!("{}", args::USAGE);
+            return;
+        }
+        Command::Find(find_args) => run_find(find_args).map(|out| (out, None)),
+        Command::Generate(gen_args) => {
+            run_generate(gen_args).map(|out| (out, Some(gen_args.output.clone())))
+        }
+    };
+    match outcome {
+        Ok((out, target)) => match target.as_deref() {
+            None | Some("-") => print!("{out}"),
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, out) {
+                    eprintln!("writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+        },
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The CLI pipelines: `find` (CSV → encode → model/errors → SliceLine →
+//! report) and `generate` (synthetic dataset → CSV).
+
+use crate::args::{FindArgs, GenerateArgs, OutputFormat, TaskKind};
+use crate::report;
+use crate::CliError;
+use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline_datagen::GenConfig;
+use sliceline_frame::csv::read_csv_file;
+use sliceline_frame::{Column, DatasetEncoder, EncodedDataset};
+use sliceline_linalg::DenseMatrix;
+use sliceline_ml::logreg::LogisticConfig;
+use sliceline_ml::{inaccuracy, squared_loss, LinearRegression, MultinomialLogistic};
+
+/// Runs `sliceline find`, returning the rendered output.
+pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
+    let df = read_csv_file(std::path::Path::new(&args.input), ',', true)
+        .map_err(|e| CliError::runtime(format!("reading {}: {e}", args.input)))?;
+    if df.nrows() == 0 {
+        return Err(CliError::runtime("input has no rows".to_string()));
+    }
+    // Split off the error column (if given) before encoding.
+    let mut drop = args.drop.clone();
+    let mut raw_errors: Option<Vec<f64>> = None;
+    if let Some(errcol) = &args.errors {
+        let col = df
+            .column(errcol)
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        let values = match col {
+            Column::Numeric(v) => v.clone(),
+            Column::Categorical { .. } => {
+                return Err(CliError::runtime(format!(
+                    "--errors column '{errcol}' must be numeric"
+                )))
+            }
+        };
+        raw_errors = Some(values);
+        drop.push(errcol.clone());
+    }
+    let encoder = DatasetEncoder {
+        binning: sliceline_frame::BinningStrategy::EquiWidth(args.bins),
+        recode_threshold: args.bins as usize,
+        drop_columns: drop,
+        label_column: args.label.clone(),
+    };
+    let encoded = encoder
+        .encode(&df)
+        .map_err(|e| CliError::runtime(format!("encoding failed: {e}")))?;
+    let errors = match raw_errors {
+        Some(e) => {
+            if e.iter().any(|&v| !v.is_finite() || v < 0.0) {
+                return Err(CliError::runtime(
+                    "--errors column must be finite and non-negative".to_string(),
+                ));
+            }
+            e
+        }
+        None => train_and_score(&encoded, args)?,
+    };
+    let mut config = SliceLineConfig::builder()
+        .k(args.k)
+        .alpha(args.alpha)
+        .max_level(args.max_level)
+        .threads(if args.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            args.threads
+        })
+        .build()
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    config.min_support = if args.sigma >= 1.0 {
+        MinSupport::Absolute(args.sigma as usize)
+    } else {
+        MinSupport::Fraction(args.sigma)
+    };
+    let result = SliceLine::new(config)
+        .find_slices(&encoded.x0, &errors)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(match args.format {
+        OutputFormat::Text => report::render_text(&result, &encoded.features, &errors),
+        OutputFormat::Json => sliceline::export::result_to_json(&result),
+        OutputFormat::Csv => sliceline::export::top_k_to_csv(&result),
+    })
+}
+
+/// Trains the requested model on the encoded dataset and returns the
+/// per-row error vector.
+fn train_and_score(encoded: &EncodedDataset, args: &FindArgs) -> Result<Vec<f64>, CliError> {
+    let y = encoded
+        .labels
+        .clone()
+        .ok_or_else(|| CliError::usage("--label column missing from input".to_string()))?;
+    // Train on the integer codes as a dense design matrix (the model only
+    // needs to produce a plausible error vector; see the paper's §2.1).
+    let x = DenseMatrix::from_rows(
+        &(0..encoded.x0.rows())
+            .map(|r| encoded.x0.row(r).iter().map(|&c| c as f64).collect())
+            .collect::<Vec<_>>(),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    match args.task {
+        TaskKind::Regression => {
+            let model = LinearRegression::fit(&x, &y, 1e-6)
+                .map_err(|e| CliError::runtime(format!("lm failed: {e}")))?;
+            let yhat = model
+                .predict(&x)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            squared_loss(&y, &yhat).map_err(|e| CliError::runtime(e.to_string()))
+        }
+        TaskKind::Classification => {
+            for &v in &y {
+                if v < 0.0 || v.fract() != 0.0 {
+                    return Err(CliError::runtime(
+                        "classification labels must be non-negative integers \
+                         (categorical label columns are recoded automatically)"
+                            .to_string(),
+                    ));
+                }
+            }
+            let model = MultinomialLogistic::fit(&x, &y, &LogisticConfig::default())
+                .map_err(|e| CliError::runtime(format!("mlogit failed: {e}")))?;
+            let yhat = model
+                .predict(&x)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            inaccuracy(&y, &yhat).map_err(|e| CliError::runtime(e.to_string()))
+        }
+    }
+}
+
+/// Runs `sliceline generate`, returning the CSV text (the caller writes it
+/// to the output target).
+pub fn run_generate(args: &GenerateArgs) -> Result<String, CliError> {
+    let config = GenConfig {
+        seed: args.seed,
+        scale: args.scale,
+    };
+    if args.dataset == "salaries" {
+        return Ok(dataframe_to_csv(&sliceline_datagen::salaries()));
+    }
+    let d = match args.dataset.as_str() {
+        "adult" => sliceline_datagen::adult_like(&config),
+        "covtype" => sliceline_datagen::covtype_like(&config),
+        "kdd98" => sliceline_datagen::kdd98_like(&config),
+        "census" => sliceline_datagen::census_like(&config),
+        "criteo" => sliceline_datagen::criteo_like(&config),
+        other => {
+            return Err(CliError::usage(format!(
+                "generate: unknown dataset '{other}'"
+            )))
+        }
+    };
+    // Integer codes plus the simulated error column.
+    let mut out = String::new();
+    for j in 0..d.m() {
+        out.push_str(&format!("f{j},"));
+    }
+    out.push_str("error\n");
+    for r in 0..d.n() {
+        for &code in d.x0.row(r) {
+            out.push_str(&format!("{code},"));
+        }
+        out.push_str(&format!("{}\n", d.errors[r]));
+    }
+    Ok(out)
+}
+
+fn dataframe_to_csv(df: &sliceline_frame::DataFrame) -> String {
+    let mut out = df.names().join(",");
+    out.push('\n');
+    for r in 0..df.nrows() {
+        let row: Vec<String> = (0..df.ncols())
+            .map(|c| df.column_at(c).display_value(r))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::FindArgs;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    /// A CSV with a planted bad slice (city=B & plan=free) and an
+    /// explicit error column.
+    fn biased_csv() -> String {
+        let mut s = String::from("city,plan,age,err\n");
+        for i in 0..240 {
+            let city = if i % 2 == 0 { "A" } else { "B" };
+            let plan = if (i / 2) % 2 == 0 { "paid" } else { "free" };
+            let age = 20 + (i % 40);
+            let err = if city == "B" && plan == "free" { 0.9 } else { 0.05 };
+            s.push_str(&format!("{city},{plan},{age},{err}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn find_with_errors_column_text() {
+        let path = write_temp("biased.csv", &biased_csv());
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let out = run_find(&args).unwrap();
+        assert!(out.contains("city = B"), "report:\n{out}");
+        assert!(out.contains("plan = free"));
+        assert!(out.contains("score"));
+    }
+
+    #[test]
+    fn find_json_and_csv_formats() {
+        let path = write_temp("biased2.csv", &biased_csv());
+        let mut args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 2,
+            sigma: 10.0,
+            threads: 1,
+            ..Default::default()
+        };
+        args.format = OutputFormat::Json;
+        let json = run_find(&args).unwrap();
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"top_k\""));
+        args.format = OutputFormat::Csv;
+        let csv = run_find(&args).unwrap();
+        assert!(csv.starts_with("rank,predicates"));
+    }
+
+    #[test]
+    fn find_trains_regression_model() {
+        // salary = base + penalty for (city B, plan free): lm misses the
+        // interaction, SliceLine finds it.
+        // Unbalanced cell sizes (40/30/20/10%): a balanced 2x2 would let
+        // OLS spread the interaction evenly over all cells and no slice
+        // would stand out.
+        let mut s = String::from("city,plan,salary\n");
+        for i in 0..300 {
+            let (city, plan) = match i % 10 {
+                0..=3 => ("A", "paid"),
+                4..=6 => ("B", "paid"),
+                7 | 8 => ("A", "free"),
+                _ => ("B", "free"),
+            };
+            let noise = ((i * 37) % 11) as f64 * 10.0;
+            let salary = 1000.0
+                + if city == "B" { 100.0 } else { 0.0 }
+                + if plan == "free" { -50.0 } else { 0.0 }
+                + if city == "B" && plan == "free" { -600.0 } else { 0.0 }
+                + noise;
+            s.push_str(&format!("{city},{plan},{salary}\n"));
+        }
+        let path = write_temp("salary.csv", &s);
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            label: Some("salary".to_string()),
+            task: TaskKind::Regression,
+            k: 2,
+            sigma: 10.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let out = run_find(&args).unwrap();
+        assert!(
+            out.contains("city = B") && out.contains("plan = free"),
+            "report:\n{out}"
+        );
+    }
+
+    #[test]
+    fn find_rejects_bad_inputs() {
+        let args = FindArgs {
+            input: "/nonexistent/nope.csv".to_string(),
+            errors: Some("e".to_string()),
+            ..Default::default()
+        };
+        assert!(run_find(&args).is_err());
+        // Categorical error column rejected.
+        let path = write_temp("cat_err.csv", "a,e\n1,x\n2,y\n");
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("e".to_string()),
+            ..Default::default()
+        };
+        let err = run_find(&args).unwrap_err();
+        assert!(err.message.contains("numeric"));
+        // Negative errors rejected.
+        let path = write_temp("neg_err.csv", "a,e\n1,-0.5\n2,0.5\n");
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("e".to_string()),
+            sigma: 1.0,
+            ..Default::default()
+        };
+        assert!(run_find(&args).is_err());
+    }
+
+    #[test]
+    fn generate_emits_csv() {
+        let out = run_generate(&GenerateArgs {
+            dataset: "adult".to_string(),
+            scale: 0.002,
+            seed: 1,
+            output: "-".to_string(),
+        })
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("f0,"));
+        assert!(lines[0].ends_with("error"));
+        assert!(lines.len() > 16);
+        // Generated errors are parseable numbers.
+        let last = lines[1].rsplit(',').next().unwrap();
+        last.parse::<f64>().unwrap();
+    }
+
+    #[test]
+    fn generate_salaries_is_raw_frame() {
+        let out = run_generate(&GenerateArgs {
+            dataset: "salaries".to_string(),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(out.starts_with("rank,discipline"));
+        assert_eq!(out.lines().count(), 398);
+    }
+
+    #[test]
+    fn generate_unknown_dataset() {
+        let err = run_generate(&GenerateArgs {
+            dataset: "nope".to_string(),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable debugging report rendering.
+
+use sliceline::{SliceLineResult, SliceInfo};
+use sliceline_frame::FeatureSet;
+
+/// Renders the full text report: headline, per-slice sections, and the
+/// enumeration statistics table.
+pub fn render_text(result: &SliceLineResult, features: &FeatureSet, errors: &[f64]) -> String {
+    let n = result.stats.n as f64;
+    let avg_error = if n > 0.0 {
+        errors.iter().sum::<f64>() / n
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SliceLine report — {} rows, {} features ({} one-hot columns), sigma={}, avg error {:.4}\n\n",
+        result.stats.n, result.stats.m, result.stats.l, result.stats.sigma, avg_error
+    ));
+    if result.top_k.is_empty() {
+        out.push_str(
+            "No slice satisfies |S| >= sigma with score > 0: the model's errors \
+             are not concentrated in any feature conjunction at this support \
+             level. Try lowering --sigma or checking the error column.\n",
+        );
+        return out;
+    }
+    for (rank, s) in result.top_k.iter().enumerate() {
+        out.push_str(&render_slice(rank + 1, s, features, avg_error));
+        out.push('\n');
+    }
+    out.push_str("Enumeration statistics:\n");
+    out.push_str(&result.stats.render_table());
+    out.push_str(&format!(
+        "\ntotal: {:.3}s over {} evaluated slices (exact top-{}).\n",
+        result.stats.total_elapsed.as_secs_f64(),
+        result.stats.total_evaluated(),
+        result.top_k.len(),
+    ));
+    out
+}
+
+/// Renders one slice section.
+fn render_slice(rank: usize, s: &SliceInfo, features: &FeatureSet, avg_error: f64) -> String {
+    let lift = if avg_error > 0.0 {
+        s.avg_error / avg_error
+    } else {
+        0.0
+    };
+    format!(
+        "#{rank} {}\n    score {:.4} | {} rows | avg error {:.4} ({:.1}x overall) | max error {:.4}\n",
+        s.describe(features),
+        s.score,
+        s.size as u64,
+        s.avg_error,
+        lift,
+        s.max_error,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline::stats::RunStats;
+
+    fn features() -> FeatureSet {
+        FeatureSet::opaque_from_domains(&[2, 3])
+    }
+
+    fn result(top_k: Vec<SliceInfo>) -> SliceLineResult {
+        SliceLineResult {
+            top_k,
+            stats: RunStats {
+                n: 100,
+                m: 2,
+                l: 5,
+                sigma: 5,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn renders_slices_with_lift() {
+        let r = result(vec![SliceInfo {
+            predicates: vec![(0, 2), (1, 1)],
+            score: 1.25,
+            size: 20.0,
+            error: 10.0,
+            max_error: 1.0,
+            avg_error: 0.5,
+        }]);
+        let errors = vec![0.1; 100];
+        let text = render_text(&r, &features(), &errors);
+        assert!(text.contains("f0 = 2 AND f1 = 1"));
+        assert!(text.contains("score 1.2500"));
+        assert!(text.contains("5.0x overall"));
+        assert!(text.contains("Enumeration statistics"));
+    }
+
+    #[test]
+    fn renders_empty_result_guidance() {
+        let r = result(vec![]);
+        let text = render_text(&r, &features(), &[0.1; 100]);
+        assert!(text.contains("No slice satisfies"));
+        assert!(text.contains("--sigma"));
+    }
+
+    #[test]
+    fn zero_rows_no_panic() {
+        let mut r = result(vec![]);
+        r.stats.n = 0;
+        let text = render_text(&r, &features(), &[]);
+        assert!(text.contains("0 rows"));
+    }
+}

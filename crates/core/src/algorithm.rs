@@ -1,0 +1,353 @@
+//! The overall enumeration driver (Algorithm 1) and result decoding.
+
+use crate::config::SliceLineConfig;
+use crate::enumerate::get_pair_candidates;
+use crate::error::Result;
+use crate::evaluate::evaluate_slices;
+use crate::init::{create_and_score_basic_slices, LevelState, ProjectedData};
+use crate::prepare::{prepare, PreparedData};
+use crate::stats::{LevelStats, RunStats};
+use crate::topk::TopK;
+use sliceline_frame::{FeatureSet, IntMatrix};
+use std::time::Instant;
+
+/// One decoded top-K slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceInfo {
+    /// The slice definition as `(feature index, 1-based value code)` pairs,
+    /// sorted by feature index. Features not listed are free.
+    pub predicates: Vec<(usize, u32)>,
+    /// Score `sc` (Definition 1).
+    pub score: f64,
+    /// Slice size `|S|`.
+    pub size: f64,
+    /// Total slice error `se`.
+    pub error: f64,
+    /// Maximum tuple error `sm`.
+    pub max_error: f64,
+    /// Average slice error `se / |S|`.
+    pub avg_error: f64,
+}
+
+impl SliceInfo {
+    /// Renders the slice as the paper's `K × m` integer row: `codes[j]` is
+    /// the selected value of feature `j`, with 0 meaning "free".
+    pub fn encode_row(&self, m: usize) -> Vec<u32> {
+        let mut row = vec![0u32; m];
+        for &(j, code) in &self.predicates {
+            row[j] = code;
+        }
+        row
+    }
+
+    /// Human-readable conjunction using feature metadata, e.g.
+    /// `degree = PhD AND hours in [40.0000, 48.0000)`.
+    pub fn describe(&self, features: &FeatureSet) -> String {
+        if self.predicates.is_empty() {
+            return "<entire dataset>".to_string();
+        }
+        self.predicates
+            .iter()
+            .map(|&(j, code)| features.feature(j).describe(code))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+}
+
+/// Result of a SliceLine run: the decoded top-K and run statistics.
+#[derive(Debug, Clone)]
+pub struct SliceLineResult {
+    /// Top-K slices in descending score order.
+    pub top_k: Vec<SliceInfo>,
+    /// Per-level enumeration statistics and timings.
+    pub stats: RunStats,
+}
+
+/// The SliceLine slice finder (paper Algorithm 1).
+///
+/// Construct with a validated [`SliceLineConfig`], then call
+/// [`SliceLine::find_slices`] with the integer-encoded feature matrix and
+/// the model's error vector.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SliceLine {
+    config: SliceLineConfig,
+}
+
+
+impl SliceLine {
+    /// Creates a slice finder with the given configuration.
+    pub fn new(config: SliceLineConfig) -> Self {
+        SliceLine { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &SliceLineConfig {
+        &self.config
+    }
+
+    /// Runs the full enumeration (Algorithm 1) and returns the decoded
+    /// top-K slices with run statistics.
+    pub fn find_slices(&self, x0: &IntMatrix, errors: &[f64]) -> Result<SliceLineResult> {
+        let start = Instant::now();
+        // a) data preparation.
+        let prepared = prepare(x0, errors, &self.config)?;
+        let mut stats = RunStats {
+            sigma: prepared.sigma,
+            n: prepared.n(),
+            m: prepared.m,
+            l: prepared.l(),
+            ..Default::default()
+        };
+        // b) initialization: basic slices and initial top-K.
+        let level_start = Instant::now();
+        let (proj, mut level) = create_and_score_basic_slices(&prepared);
+        stats.basic_slices = level.len();
+        let mut topk = TopK::new(self.config.k, prepared.sigma);
+        topk.update(&level);
+        stats.levels.push(LevelStats {
+            level: 1,
+            candidates: prepared.l(),
+            valid: count_valid(&level, prepared.sigma),
+            enumeration: None,
+            elapsed: level_start.elapsed(),
+            threshold_after: topk.prune_threshold(),
+        });
+        // c) level-wise lattice enumeration.
+        let max_level = self.config.max_level.min(prepared.m);
+        let mut l = 1usize;
+        while !level.is_empty() && l < max_level {
+            l += 1;
+            let level_start = Instant::now();
+            let (candidates, enum_stats) = get_pair_candidates(
+                &level,
+                l,
+                &proj.col_feature,
+                proj.x.cols(),
+                &prepared.ctx,
+                prepared.sigma,
+                &self.config.pruning,
+                &topk,
+            );
+            let evaluated = candidates.len();
+            level = evaluate_slices(
+                &proj.x,
+                &prepared.errors,
+                candidates,
+                l,
+                &prepared.ctx,
+                self.config.eval,
+                &self.config.parallel,
+            );
+            topk.update(&level);
+            stats.levels.push(LevelStats {
+                level: l,
+                candidates: evaluated,
+                valid: count_valid(&level, prepared.sigma),
+                enumeration: Some(enum_stats),
+                elapsed: level_start.elapsed(),
+                threshold_after: topk.prune_threshold(),
+            });
+        }
+        stats.total_elapsed = start.elapsed();
+        // Decode the top-K back to (feature, value) predicates.
+        let top_k = decode_topk(&topk, &proj, &prepared);
+        Ok(SliceLineResult { top_k, stats })
+    }
+}
+
+fn count_valid(level: &LevelState, sigma: usize) -> usize {
+    (0..level.len())
+        .filter(|&i| level.sizes[i] >= sigma as f64 && level.errors[i] > 0.0)
+        .count()
+}
+
+fn decode_topk(topk: &TopK, proj: &ProjectedData, prepared: &PreparedData) -> Vec<SliceInfo> {
+    topk.entries()
+        .iter()
+        .map(|e| {
+            let mut predicates: Vec<(usize, u32)> = e
+                .cols
+                .iter()
+                .map(|&c| {
+                    let c = c as usize;
+                    (proj.col_feature[c] as usize, proj.col_code[c])
+                })
+                .collect();
+            predicates.sort_unstable();
+            let _ = prepared; // n/m already captured in stats
+            SliceInfo {
+                predicates,
+                score: e.score,
+                size: e.size,
+                error: e.error,
+                max_error: e.max_error,
+                avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EvalKernel, PruningConfig, SliceLineConfig};
+
+    /// 16 rows, 3 features. Rows with (f0=1, f1=1) carry all the error.
+    fn planted() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..16u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 2);
+            // f2 varies within the planted slice so no single predicate
+            // coincides with it.
+            let f2 = 1 + ((i / 4) % 4);
+            rows.push(vec![f0, f1, f2]);
+            errors.push(if f0 == 1 && f1 == 1 { 1.0 } else { 0.05 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn config() -> SliceLineConfig {
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.95)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_planted_slice() {
+        let (x0, e) = planted();
+        let result = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        assert!(!result.top_k.is_empty());
+        let top = &result.top_k[0];
+        assert_eq!(top.predicates, vec![(0, 1), (1, 1)]);
+        assert_eq!(top.size, 4.0);
+        assert!((top.error - 4.0).abs() < 1e-12);
+        assert!(top.score > 0.0);
+        // Scores sorted descending.
+        for w in result.top_k.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_levels() {
+        let (x0, e) = planted();
+        let result = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        assert_eq!(result.stats.n, 16);
+        assert_eq!(result.stats.m, 3);
+        assert_eq!(result.stats.l, 8);
+        assert!(result.stats.max_level() >= 2);
+        assert_eq!(result.stats.levels[0].level, 1);
+        assert!(result.stats.basic_slices <= 8);
+    }
+
+    #[test]
+    fn max_level_caps_enumeration() {
+        let (x0, e) = planted();
+        let mut c = config();
+        c.max_level = 1;
+        let result = SliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert_eq!(result.stats.max_level(), 1);
+        // Only 1-predicate slices in the result.
+        assert!(result.top_k.iter().all(|s| s.predicates.len() == 1));
+    }
+
+    #[test]
+    fn kernels_and_threads_agree() {
+        let (x0, e) = planted();
+        let base = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        for threads in [1, 4] {
+            for eval in [
+                EvalKernel::Blocked { block_size: 1 },
+                EvalKernel::Blocked { block_size: 64 },
+                EvalKernel::Fused,
+            ] {
+                let mut c = config();
+                c.eval = eval;
+                c.parallel = sliceline_linalg::ParallelConfig::new(threads);
+                let r = SliceLine::new(c).find_slices(&x0, &e).unwrap();
+                assert_eq!(r.top_k, base.top_k, "eval={eval:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_never_changes_results() {
+        let (x0, e) = planted();
+        let base = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        for pruning in [
+            PruningConfig::no_parent_handling(),
+            PruningConfig::no_score_pruning(),
+            PruningConfig::no_size_pruning(),
+            PruningConfig::none(),
+        ] {
+            let mut c = config();
+            c.pruning = pruning;
+            let r = SliceLine::new(c).find_slices(&x0, &e).unwrap();
+            assert_eq!(r.top_k, base.top_k, "pruning={pruning:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let (x0, e) = planted();
+        let all = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        let mut c = config();
+        c.pruning = PruningConfig::none();
+        let none = SliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert!(all.stats.total_evaluated() <= none.stats.total_evaluated());
+    }
+
+    #[test]
+    fn encode_row_and_describe() {
+        let (x0, e) = planted();
+        let result = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        let top = &result.top_k[0];
+        assert_eq!(top.encode_row(3), vec![1, 1, 0]);
+        let fs = sliceline_frame::FeatureSet::opaque_from_domains(&[2, 2, 4]);
+        assert_eq!(top.describe(&fs), "f0 = 1 AND f1 = 1");
+        let empty = SliceInfo {
+            predicates: vec![],
+            score: 0.0,
+            size: 0.0,
+            error: 0.0,
+            max_error: 0.0,
+            avg_error: 0.0,
+        };
+        assert_eq!(empty.describe(&fs), "<entire dataset>");
+    }
+
+    #[test]
+    fn zero_error_dataset_returns_empty() {
+        let (x0, _) = planted();
+        let e = vec![0.0; 16];
+        let result = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        assert!(result.top_k.is_empty());
+    }
+
+    #[test]
+    fn uniform_error_dataset_returns_empty() {
+        // All rows identical error: no slice scores above 0.
+        let (x0, _) = planted();
+        let e = vec![0.5; 16];
+        let result = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        assert!(result.top_k.is_empty());
+    }
+
+    #[test]
+    fn sigma_excludes_small_slices_from_topk() {
+        let (x0, e) = planted();
+        let mut c = config();
+        c.min_support = crate::config::MinSupport::Absolute(5);
+        let result = SliceLine::new(c).find_slices(&x0, &e).unwrap();
+        for s in &result.top_k {
+            assert!(s.size >= 5.0);
+        }
+    }
+}

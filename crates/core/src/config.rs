@@ -1,0 +1,361 @@
+//! Configuration: the paper's parameters `K`, `σ`, `α`, `⌈L⌉`, plus the
+//! evaluation kernel (block size `b`, §4.4/§5.4) and pruning ablation
+//! switches (Fig. 3).
+
+use crate::error::{Result, SliceLineError};
+use sliceline_linalg::ParallelConfig;
+
+/// Minimum support threshold `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSupport {
+    /// A fixed absolute row count.
+    Absolute(usize),
+    /// A fraction of `n` (the paper's experiments use `σ = n/100`).
+    Fraction(f64),
+    /// The paper's default `σ = max(32, n/100)`.
+    PaperDefault,
+}
+
+impl MinSupport {
+    /// Resolves the threshold for a dataset with `n` rows.
+    pub fn resolve(&self, n: usize) -> usize {
+        match *self {
+            MinSupport::Absolute(s) => s,
+            MinSupport::Fraction(f) => ((n as f64) * f).ceil() as usize,
+            MinSupport::PaperDefault => 32.max(n / 100),
+        }
+    }
+}
+
+/// Which slice-evaluation kernel to use (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalKernel {
+    /// The paper's hybrid formulation: blocks of `b` slices are evaluated
+    /// together, materializing the `n × b` intermediate `(X Sᵀ)` as the
+    /// data-parallel plan would. `b = 1` degenerates to the task-parallel
+    /// plan, very large `b` to the fully data-parallel plan.
+    Blocked {
+        /// Block size `b` (the paper's default is 16).
+        block_size: usize,
+    },
+    /// A fused kernel that never materializes the intermediate: one scan
+    /// over `X` updates per-slice accumulators directly. Not in the paper
+    /// (its LA systems must materialize operator outputs); provided as an
+    /// ablation of the materialization cost.
+    Fused,
+    /// Per-level plan selection, mirroring SystemDS' dynamic
+    /// recompilation across iterations (§5.4, Table 2 discussion): blocked
+    /// evaluation for moderate candidate counts, fused for very large
+    /// ones where repeated scans of `X` would dominate.
+    Auto {
+        /// Block size used when the blocked plan is chosen.
+        block_size: usize,
+        /// Candidate-count threshold above which the fused plan is chosen.
+        fused_above: usize,
+    },
+}
+
+impl Default for EvalKernel {
+    fn default() -> Self {
+        EvalKernel::Blocked { block_size: 16 }
+    }
+}
+
+/// Pruning and deduplication switches for the Fig. 3 ablation study.
+///
+/// All switches default to **on**; disabling any of them never changes the
+/// returned top-K (pruning is score-admissible), only the amount of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruningConfig {
+    /// Size pruning: discard candidates with `⌈|S|⌉ < σ` (§3.2).
+    pub size_pruning: bool,
+    /// Score pruning: discard candidates with `⌈sc⌉ ≤ max(sc_k, 0)` (§3.2).
+    pub score_pruning: bool,
+    /// Missing-parent handling: discard candidates with fewer than `L`
+    /// enumerated parents (§3.2, "Handling of Pruned Slices").
+    pub parent_handling: bool,
+    /// Deduplication of identical merged slices (§4.3). Disabling this
+    /// reproduces the paper's out-of-memory configuration (5) on larger
+    /// inputs — use only on tiny data.
+    pub deduplication: bool,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig {
+            size_pruning: true,
+            score_pruning: true,
+            parent_handling: true,
+            deduplication: true,
+        }
+    }
+}
+
+impl PruningConfig {
+    /// All pruning on (the default).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Ablation (2) of Fig. 3: no missing-parent handling.
+    pub fn no_parent_handling() -> Self {
+        PruningConfig {
+            parent_handling: false,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation (3) of Fig. 3: no parent handling, no score pruning.
+    pub fn no_score_pruning() -> Self {
+        PruningConfig {
+            parent_handling: false,
+            score_pruning: false,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation (4) of Fig. 3: no parent handling, no score or size pruning.
+    pub fn no_size_pruning() -> Self {
+        PruningConfig {
+            parent_handling: false,
+            score_pruning: false,
+            size_pruning: false,
+            ..Self::default()
+        }
+    }
+
+    /// Ablation (5) of Fig. 3: nothing at all — exponential blow-up.
+    pub fn none() -> Self {
+        PruningConfig {
+            parent_handling: false,
+            score_pruning: false,
+            size_pruning: false,
+            deduplication: false,
+        }
+    }
+}
+
+/// Full SliceLine configuration. Use [`SliceLineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SliceLineConfig {
+    /// Number of top slices to return (paper default 4).
+    pub k: usize,
+    /// Minimum support threshold σ.
+    pub min_support: MinSupport,
+    /// Weight `α ∈ (0, 1]` of the error term in the scoring function.
+    pub alpha: f64,
+    /// Maximum lattice level `⌈L⌉` (clamped to `m` at run time).
+    pub max_level: usize,
+    /// Evaluation kernel and block size.
+    pub eval: EvalKernel,
+    /// Pruning/deduplication ablation switches.
+    pub pruning: PruningConfig,
+    /// Thread configuration for parallel kernels.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for SliceLineConfig {
+    /// The paper's defaults: `K = 4`, `σ = max(32, n/100)`, `α = 0.95`
+    /// (the value used throughout §5), `⌈L⌉ = ∞`, blocked evaluation with
+    /// `b = 16`, all pruning on.
+    fn default() -> Self {
+        SliceLineConfig {
+            k: 4,
+            min_support: MinSupport::PaperDefault,
+            alpha: 0.95,
+            max_level: usize::MAX,
+            eval: EvalKernel::default(),
+            pruning: PruningConfig::default(),
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+impl SliceLineConfig {
+    /// Starts a builder with the paper defaults.
+    pub fn builder() -> SliceLineConfigBuilder {
+        SliceLineConfigBuilder {
+            config: SliceLineConfig::default(),
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(SliceLineError::InvalidConfig {
+                reason: "k must be at least 1".to_string(),
+            });
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(SliceLineError::InvalidConfig {
+                reason: format!("alpha must be in (0, 1], got {}", self.alpha),
+            });
+        }
+        if self.max_level == 0 {
+            return Err(SliceLineError::InvalidConfig {
+                reason: "max_level must be at least 1".to_string(),
+            });
+        }
+        if let MinSupport::Fraction(f) = self.min_support {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(SliceLineError::InvalidConfig {
+                    reason: format!("min_support fraction must be in [0, 1], got {f}"),
+                });
+            }
+        }
+        match self.eval {
+            EvalKernel::Blocked { block_size } | EvalKernel::Auto { block_size, .. } => {
+                if block_size == 0 {
+                    return Err(SliceLineError::InvalidConfig {
+                        reason: "block_size must be at least 1".to_string(),
+                    });
+                }
+            }
+            EvalKernel::Fused => {}
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SliceLineConfig`].
+#[derive(Debug, Clone)]
+pub struct SliceLineConfigBuilder {
+    config: SliceLineConfig,
+}
+
+impl SliceLineConfigBuilder {
+    /// Sets the top-K size.
+    pub fn k(mut self, k: usize) -> Self {
+        self.config.k = k;
+        self
+    }
+
+    /// Sets an absolute minimum support.
+    pub fn min_support(mut self, sigma: usize) -> Self {
+        self.config.min_support = MinSupport::Absolute(sigma);
+        self
+    }
+
+    /// Sets a relative minimum support `σ = ceil(fraction · n)`.
+    pub fn min_support_fraction(mut self, fraction: f64) -> Self {
+        self.config.min_support = MinSupport::Fraction(fraction);
+        self
+    }
+
+    /// Sets the error/size weight `α`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the maximum lattice level `⌈L⌉`.
+    pub fn max_level(mut self, level: usize) -> Self {
+        self.config.max_level = level;
+        self
+    }
+
+    /// Sets the evaluation kernel.
+    pub fn eval(mut self, eval: EvalKernel) -> Self {
+        self.config.eval = eval;
+        self
+    }
+
+    /// Sets the evaluation block size (shorthand for a blocked kernel).
+    pub fn block_size(mut self, b: usize) -> Self {
+        self.config.eval = EvalKernel::Blocked { block_size: b };
+        self
+    }
+
+    /// Sets the pruning switches.
+    pub fn pruning(mut self, pruning: PruningConfig) -> Self {
+        self.config.pruning = pruning;
+        self
+    }
+
+    /// Sets the thread configuration.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// Sets the number of threads (shorthand for [`Self::parallel`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.parallel = ParallelConfig::new(threads);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SliceLineConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_support_resolution() {
+        assert_eq!(MinSupport::Absolute(10).resolve(1000), 10);
+        assert_eq!(MinSupport::Fraction(0.01).resolve(1000), 10);
+        assert_eq!(MinSupport::Fraction(0.01).resolve(150), 2); // ceil
+        assert_eq!(MinSupport::PaperDefault.resolve(1000), 32);
+        assert_eq!(MinSupport::PaperDefault.resolve(10_000), 100);
+    }
+
+    #[test]
+    fn builder_defaults_are_paper_defaults() {
+        let c = SliceLineConfig::builder().build().unwrap();
+        assert_eq!(c.k, 4);
+        assert_eq!(c.alpha, 0.95);
+        assert_eq!(c.eval, EvalKernel::Blocked { block_size: 16 });
+        assert!(c.pruning.size_pruning && c.pruning.deduplication);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SliceLineConfig::builder().k(0).build().is_err());
+        assert!(SliceLineConfig::builder().alpha(0.0).build().is_err());
+        assert!(SliceLineConfig::builder().alpha(1.5).build().is_err());
+        assert!(SliceLineConfig::builder().alpha(1.0).build().is_ok());
+        assert!(SliceLineConfig::builder().max_level(0).build().is_err());
+        assert!(SliceLineConfig::builder()
+            .min_support_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(SliceLineConfig::builder().block_size(0).build().is_err());
+    }
+
+    #[test]
+    fn ablation_presets() {
+        assert!(PruningConfig::all().parent_handling);
+        assert!(!PruningConfig::no_parent_handling().parent_handling);
+        assert!(PruningConfig::no_parent_handling().score_pruning);
+        let ns = PruningConfig::no_score_pruning();
+        assert!(!ns.score_pruning && ns.size_pruning);
+        let nz = PruningConfig::no_size_pruning();
+        assert!(!nz.size_pruning && nz.deduplication);
+        let none = PruningConfig::none();
+        assert!(!none.deduplication && !none.size_pruning);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = SliceLineConfig::builder()
+            .k(7)
+            .min_support(5)
+            .alpha(0.5)
+            .max_level(3)
+            .block_size(4)
+            .threads(2)
+            .pruning(PruningConfig::none())
+            .build()
+            .unwrap();
+        assert_eq!(c.k, 7);
+        assert_eq!(c.min_support.resolve(100), 5);
+        assert_eq!(c.max_level, 3);
+        assert_eq!(c.parallel.threads(), 2);
+        assert!(!c.pruning.deduplication);
+    }
+}

@@ -1,0 +1,585 @@
+//! Pair enumeration (§4.3): generating level-`L` candidates from the
+//! evaluated level-`L−1` slices, with deduplication and all pruning
+//! techniques of §3.2.
+//!
+//! Following Apriori's candidate join, two level-`L−1` slices combine into
+//! a level-`L` candidate iff they share exactly `L−2` predicates (Eq. 6).
+//! Merged candidates are checked for feature validity (at most one value
+//! per original feature), deduplicated (a level-`L` slice arises from up
+//! to `C(L,2)` parent pairs), and pruned using the upper bounds
+//! `⌈|S|⌉`, `⌈se⌉`, `⌈sm⌉` minimized over **all** enumerated parents
+//! (Eqs. 7–9).
+//!
+//! The deduplication here uses exact hashing of the sorted predicate-column
+//! lists instead of the paper's ND-array-index slice ids + frame recoding.
+//! Both map duplicate slices to one representative; hashing avoids the
+//! floating-point precision ceiling of ID arithmetic on very wide domains
+//! (the paper's IDs overflow doubles and need recoding; a hash table is the
+//! idiomatic Rust equivalent of that recode step).
+
+use crate::config::PruningConfig;
+use crate::init::LevelState;
+use crate::scoring::ScoringContext;
+use crate::topk::TopK;
+use sliceline_linalg::spgemm::self_overlap_pairs_eq;
+use sliceline_linalg::CsrMatrix;
+use std::collections::HashMap;
+
+/// Counters describing one level's enumeration (feeds the Fig. 3/4 and
+/// Table 2 experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumStats {
+    /// Surviving parents after the input filter `ss ≥ σ ∧ se > 0`.
+    pub parents: usize,
+    /// Raw join pairs with `L−2` overlap.
+    pub pairs: usize,
+    /// Merged candidates that are feature-valid (before dedup).
+    pub merged_valid: usize,
+    /// Distinct candidates after deduplication.
+    pub deduped: usize,
+    /// Candidates removed by size pruning (`⌈|S|⌉ < σ`).
+    pub pruned_size: usize,
+    /// Candidates removed by score pruning (`⌈sc⌉ ≤ max(sc_k, 0)`).
+    pub pruned_score: usize,
+    /// Candidates removed by missing-parent handling (`np < L`).
+    pub pruned_parents: usize,
+    /// Candidates surviving all pruning (to be evaluated).
+    pub survivors: usize,
+}
+
+/// A merged candidate with parent-derived upper bounds.
+#[derive(Debug, Clone)]
+struct Candidate {
+    cols: Vec<u32>,
+    /// Distinct parent indices (into the filtered parent list).
+    parents: Vec<u32>,
+    ss_ub: f64,
+    se_ub: f64,
+    sm_ub: f64,
+}
+
+impl Candidate {
+    fn absorb_parent(&mut self, idx: u32, ss: f64, se: f64, sm: f64) {
+        if !self.parents.contains(&idx) {
+            self.parents.push(idx);
+        }
+        if ss < self.ss_ub {
+            self.ss_ub = ss;
+        }
+        if se < self.se_ub {
+            self.se_ub = se;
+        }
+        if sm < self.sm_ub {
+            self.sm_ub = sm;
+        }
+    }
+}
+
+/// Generates the level-`L` candidate slices from the evaluated level
+/// `L−1`.
+///
+/// `col_feature` maps each projected column to its original feature and
+/// must be non-decreasing (guaranteed by the one-hot layout), so duplicate
+/// features in a sorted merged column list are always adjacent.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's GETPAIRCANDIDATES signature
+pub fn get_pair_candidates(
+    prev: &LevelState,
+    level: usize,
+    col_feature: &[u32],
+    num_cols: usize,
+    ctx: &ScoringContext,
+    sigma: usize,
+    pruning: &PruningConfig,
+    topk: &TopK,
+) -> (Vec<Vec<u32>>, EnumStats) {
+    debug_assert!(level >= 2);
+    let mut stats = EnumStats::default();
+    let threshold = topk.prune_threshold();
+    // Step 1 — filter invalid parents by min support and non-zero error.
+    // The σ part belongs to size pruning (children of a slice below σ can
+    // never reach σ again), so the ablation switch disables it too; the
+    // zero-error part is structural (children of a zero-error slice have
+    // zero error and can never score positively).
+    //
+    // Additionally, when score pruning is on, a parent whose *own* upper
+    // bound does not beat the threshold is dropped here: the bound of
+    // Eq. 3 is monotone in (⌈|S|⌉, ⌈se⌉, ⌈sm⌉), so every candidate the
+    // parent could ever contribute to is bounded by the parent's bound —
+    // this turns the quadratic join over thousands of parents into a join
+    // over the few that still matter.
+    let parent_idx: Vec<usize> = (0..prev.len())
+        .filter(|&i| {
+            if (pruning.size_pruning && prev.sizes[i] < sigma as f64) || prev.errors[i] <= 0.0 {
+                return false;
+            }
+            if pruning.score_pruning {
+                let ub = ctx.score_upper_bound(
+                    prev.sizes[i],
+                    prev.errors[i],
+                    prev.max_errors[i],
+                    sigma,
+                );
+                if ub <= threshold {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    stats.parents = parent_idx.len();
+    if parent_idx.len() < 2 {
+        return (Vec::new(), stats);
+    }
+    let parent_slices: Vec<Vec<u32>> = parent_idx.iter().map(|&i| prev.slices[i].clone()).collect();
+    // Step 2 — join compatible slices: exactly L−2 shared predicates.
+    // Level 2 joins single-predicate slices with zero overlap — that is
+    // every index pair, so enumerate them directly instead of
+    // materializing the O(k²) zero-overlap pair list.
+    let pairs: Vec<(usize, usize)> = if level == 2 {
+        let k = parent_slices.len();
+        let mut all = Vec::with_capacity(k * (k - 1) / 2);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                all.push((i, j));
+            }
+        }
+        all
+    } else {
+        let s = CsrMatrix::from_binary_rows(num_cols, &parent_slices)
+            .expect("parent slices are sorted, unique, in-range column lists");
+        self_overlap_pairs_eq(&s, level - 2).expect("binary slice matrix by construction")
+    };
+    stats.pairs = pairs.len();
+    // Steps 3–4 — merge, validate features, deduplicate, accumulate
+    // parent bounds.
+    let mut dedup: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut merged = Vec::with_capacity(level);
+    for &(a, b) in &pairs {
+        // Early pair-level pruning: bounds over the two generating parents
+        // only. The full-parent bounds computed after deduplication are at
+        // least as tight, so nothing prunable survives that wouldn't be
+        // pruned below — this just avoids inserting hopeless candidates
+        // into the dedup table (important for wide datasets like KDD 98
+        // where the L=2 join produces millions of pairs).
+        let (pa, pb) = (parent_idx[a], parent_idx[b]);
+        let pair_ss = prev.sizes[pa].min(prev.sizes[pb]);
+        if pruning.size_pruning && pair_ss < sigma as f64 {
+            continue;
+        }
+        if pruning.score_pruning {
+            let pair_se = prev.errors[pa].min(prev.errors[pb]);
+            let pair_sm = prev.max_errors[pa].min(prev.max_errors[pb]);
+            if ctx.score_upper_bound(pair_ss, pair_se, pair_sm, sigma) <= threshold {
+                continue;
+            }
+        }
+        merge_sorted(&parent_slices[a], &parent_slices[b], &mut merged);
+        if merged.len() != level || !feature_valid(&merged, col_feature) {
+            continue;
+        }
+        stats.merged_valid += 1;
+        let make = |cols: Vec<u32>| Candidate {
+            cols,
+            parents: Vec::with_capacity(level),
+            ss_ub: f64::INFINITY,
+            se_ub: f64::INFINITY,
+            sm_ub: f64::INFINITY,
+        };
+        let cand = if pruning.deduplication {
+            match dedup.get(merged.as_slice()) {
+                Some(&ix) => &mut candidates[ix],
+                None => {
+                    let ix = candidates.len();
+                    candidates.push(make(merged.clone()));
+                    dedup.insert(merged.clone(), ix);
+                    &mut candidates[ix]
+                }
+            }
+        } else {
+            candidates.push(make(merged.clone()));
+            let ix = candidates.len() - 1;
+            &mut candidates[ix]
+        };
+        cand.absorb_parent(a as u32, prev.sizes[pa], prev.errors[pa], prev.max_errors[pa]);
+        cand.absorb_parent(b as u32, prev.sizes[pb], prev.errors[pb], prev.max_errors[pb]);
+    }
+    stats.deduped = if pruning.deduplication {
+        candidates.len()
+    } else {
+        stats.merged_valid
+    };
+    // Step 5 — pruning (Eq. 9): size, score, and missing-parent handling.
+    let mut out = Vec::with_capacity(candidates.len());
+    for cand in candidates {
+        if pruning.size_pruning && cand.ss_ub < sigma as f64 {
+            stats.pruned_size += 1;
+            continue;
+        }
+        // Missing-parent handling only makes sense on deduplicated
+        // candidates (a single pair can contribute at most 2 parents).
+        if pruning.parent_handling
+            && pruning.deduplication
+            && cand.parents.len() != level
+        {
+            stats.pruned_parents += 1;
+            continue;
+        }
+        if pruning.score_pruning {
+            let ub = ctx.score_upper_bound(cand.ss_ub, cand.se_ub, cand.sm_ub, sigma);
+            if ub <= threshold {
+                stats.pruned_score += 1;
+                continue;
+            }
+        }
+        out.push(cand.cols);
+    }
+    stats.survivors = out.len();
+    (out, stats)
+}
+
+/// Merges two sorted, duplicate-free column lists into `out` (cleared
+/// first), keeping the union sorted and duplicate-free.
+fn merge_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// `true` if no two columns of the sorted list belong to the same original
+/// feature. Relies on `col_feature` being non-decreasing over column ids.
+fn feature_valid(cols: &[u32], col_feature: &[u32]) -> bool {
+    cols.windows(2)
+        .all(|w| col_feature[w[0] as usize] != col_feature[w[1] as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PruningConfig;
+
+    /// Three features, each with 2 valid columns:
+    /// cols 0,1 -> f0; cols 2,3 -> f1; cols 4,5 -> f2.
+    const COL_FEATURE: [u32; 6] = [0, 0, 1, 1, 2, 2];
+
+    fn level1(sizes: &[f64], errors: &[f64]) -> LevelState {
+        let n = sizes.len();
+        LevelState {
+            slices: (0..n as u32).map(|c| vec![c]).collect(),
+            sizes: sizes.to_vec(),
+            errors: errors.to_vec(),
+            max_errors: errors.iter().map(|&e| e / 2.0).collect(),
+            scores: vec![1.0; n],
+        }
+    }
+
+    fn ctx() -> ScoringContext {
+        ScoringContext {
+            n: 100.0,
+            total_error: 50.0,
+            avg_error: 0.5,
+            alpha: 0.95,
+        }
+    }
+
+    #[test]
+    fn merge_sorted_unions() {
+        let mut out = Vec::new();
+        merge_sorted(&[0, 2], &[0, 4], &mut out);
+        assert_eq!(out, vec![0, 2, 4]);
+        merge_sorted(&[1], &[3], &mut out);
+        assert_eq!(out, vec![1, 3]);
+        merge_sorted(&[], &[5], &mut out);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn feature_validity() {
+        assert!(feature_valid(&[0, 2, 4], &COL_FEATURE));
+        assert!(!feature_valid(&[0, 1], &COL_FEATURE));
+        assert!(!feature_valid(&[0, 2, 3], &COL_FEATURE));
+        assert!(feature_valid(&[5], &COL_FEATURE));
+    }
+
+    #[test]
+    fn level2_pairs_all_cross_feature() {
+        let prev = level1(&[50.0; 6], &[25.0; 6]);
+        let tk = TopK::new(4, 1);
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+        );
+        // C(6,2)=15 pairs, minus 3 same-feature pairs = 12 valid.
+        assert_eq!(stats.pairs, 15);
+        assert_eq!(stats.merged_valid, 12);
+        assert_eq!(stats.deduped, 12);
+        assert_eq!(cands.len(), 12);
+        assert!(cands.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn parent_filter_removes_small_or_zero_error() {
+        let prev = level1(&[50.0, 2.0, 50.0, 50.0, 50.0, 50.0], &[25.0, 25.0, 0.0, 25.0, 25.0, 25.0]);
+        let tk = TopK::new(4, 1);
+        let (_, stats) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            10,
+            &PruningConfig::all(),
+            &tk,
+        );
+        // Parent 1 fails sigma, parent 2 fails zero error.
+        assert_eq!(stats.parents, 4);
+    }
+
+    #[test]
+    fn size_pruning_uses_min_parent_size() {
+        // Parent sizes 5 and 100: candidate bound is 5 < sigma 10.
+        let prev = LevelState {
+            slices: vec![vec![0], vec![2]],
+            sizes: vec![100.0, 100.0],
+            errors: vec![50.0, 50.0],
+            max_errors: vec![1.0, 1.0],
+            scores: vec![1.0, 1.0],
+        };
+        let tk = TopK::new(4, 1);
+        // Make one parent small via sizes.
+        let mut small = prev.clone();
+        small.sizes[1] = 5.0;
+        let (cands, stats) = get_pair_candidates(
+            &small,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            10,
+            &PruningConfig::all(),
+            &tk,
+        );
+        // Parent 1 itself fails the sigma filter, so no pairs at all.
+        assert_eq!(stats.parents, 1);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn level3_dedup_counts_parents() {
+        // Level-2 slices over features f0,f1,f2: {0,2},{0,4},{2,4} all
+        // share pairwise 1 column -> 3 pairs, all merging to {0,2,4}.
+        let prev = LevelState {
+            slices: vec![vec![0, 2], vec![0, 4], vec![2, 4]],
+            sizes: vec![50.0, 40.0, 30.0],
+            errors: vec![25.0, 20.0, 15.0],
+            max_errors: vec![1.0, 0.8, 0.6],
+            scores: vec![1.0, 1.0, 1.0],
+        };
+        let tk = TopK::new(4, 1);
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            3,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+        );
+        assert_eq!(stats.pairs, 3);
+        assert_eq!(stats.merged_valid, 3);
+        assert_eq!(stats.deduped, 1);
+        assert_eq!(cands, vec![vec![0, 2, 4]]);
+    }
+
+    #[test]
+    fn missing_parent_prunes_candidate() {
+        // Only 2 of the 3 parents of {0,2,4} exist: np = 2 < L = 3.
+        let prev = LevelState {
+            slices: vec![vec![0, 2], vec![0, 4]],
+            sizes: vec![50.0, 40.0],
+            errors: vec![25.0, 20.0],
+            max_errors: vec![1.0, 0.8],
+            scores: vec![1.0, 1.0],
+        };
+        let tk = TopK::new(4, 1);
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            3,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+        );
+        assert!(cands.is_empty());
+        assert_eq!(stats.pruned_parents, 1);
+        // Without parent handling the candidate survives.
+        let (cands2, _) = get_pair_candidates(
+            &prev,
+            3,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::no_parent_handling(),
+            &tk,
+        );
+        assert_eq!(cands2, vec![vec![0, 2, 4]]);
+    }
+
+    #[test]
+    fn score_pruning_against_topk_threshold() {
+        let prev = level1(&[20.0; 6], &[1.0; 6]);
+        // Fill the top-K with very high scores so every candidate's upper
+        // bound falls below the threshold.
+        let mut tk = TopK::new(1, 1);
+        tk.update(&LevelState {
+            slices: vec![vec![9]],
+            sizes: vec![50.0],
+            errors: vec![50.0],
+            max_errors: vec![1.0],
+            scores: vec![1000.0],
+        });
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            10,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+        );
+        assert!(cands.is_empty());
+        assert_eq!(stats.pruned_score, stats.deduped);
+        // With score pruning off they survive.
+        let (cands2, _) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            10,
+            &ctx(),
+            1,
+            &PruningConfig::no_score_pruning(),
+            &tk,
+        );
+        assert_eq!(cands2.len(), 12);
+    }
+
+    #[test]
+    fn parent_prefilter_drops_hopeless_parents() {
+        // Parent 1 has tiny errors: its own bound cannot beat a full
+        // top-K, so it is dropped before the join.
+        let prev = LevelState {
+            slices: vec![vec![0], vec![2], vec![4]],
+            sizes: vec![50.0, 50.0, 50.0],
+            errors: vec![25.0, 0.001, 25.0],
+            max_errors: vec![1.0, 0.0001, 1.0],
+            scores: vec![1.0, -0.9, 1.0],
+        };
+        let mut tk = TopK::new(1, 1);
+        tk.update(&LevelState {
+            slices: vec![vec![9]],
+            sizes: vec![50.0],
+            errors: vec![40.0],
+            max_errors: vec![1.0],
+            scores: vec![0.6],
+        });
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            10,
+            &ctx(),
+            10,
+            &PruningConfig::all(),
+            &tk,
+        );
+        // Parents 0 and 2 have bound ≈ 0.8 > threshold 0.6 and join;
+        // parent 1's bound is negative and it is dropped up front.
+        assert_eq!(stats.parents, 2);
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(cands, vec![vec![0, 4]]);
+        // With score pruning disabled the weak parent participates again.
+        let (_, stats2) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            10,
+            &ctx(),
+            10,
+            &PruningConfig::no_score_pruning(),
+            &tk,
+        );
+        assert_eq!(stats2.parents, 3);
+        assert_eq!(stats2.pairs, 3);
+    }
+
+    #[test]
+    fn no_dedup_keeps_duplicates() {
+        let prev = LevelState {
+            slices: vec![vec![0, 2], vec![0, 4], vec![2, 4]],
+            sizes: vec![50.0, 40.0, 30.0],
+            errors: vec![25.0, 20.0, 15.0],
+            max_errors: vec![1.0, 0.8, 0.6],
+            scores: vec![1.0, 1.0, 1.0],
+        };
+        let tk = TopK::new(4, 1);
+        let (cands, _) = get_pair_candidates(
+            &prev,
+            3,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::none(),
+            &tk,
+        );
+        assert_eq!(cands.len(), 3);
+        assert!(cands.iter().all(|c| c == &vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn fewer_than_two_parents_short_circuits() {
+        let prev = level1(&[50.0], &[25.0]);
+        let tk = TopK::new(4, 1);
+        let (cands, stats) = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+        );
+        assert!(cands.is_empty());
+        assert_eq!(stats.pairs, 0);
+    }
+}

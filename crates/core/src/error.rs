@@ -1,0 +1,75 @@
+//! Error types for the SliceLine core.
+
+use std::fmt;
+
+/// Convenience alias for SliceLine results.
+pub type Result<T> = std::result::Result<T, SliceLineError>;
+
+/// Errors produced while configuring or running SliceLine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceLineError {
+    /// Invalid configuration (e.g. `alpha` outside `(0, 1]`).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Input matrix and error vector disagree on the number of rows, or an
+    /// error value is negative/non-finite.
+    InvalidInput {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A lower-level linear algebra operation failed; indicates a bug in
+    /// the enumeration logic rather than bad user input.
+    Internal {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SliceLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SliceLineError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            SliceLineError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            SliceLineError::Internal { reason } => write!(f, "internal error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SliceLineError {}
+
+impl From<sliceline_linalg::LinalgError> for SliceLineError {
+    fn from(e: sliceline_linalg::LinalgError) -> Self {
+        SliceLineError::Internal {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SliceLineError::InvalidConfig {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("invalid config"));
+        assert!(SliceLineError::InvalidInput { reason: "y".into() }
+            .to_string()
+            .contains("invalid input"));
+        assert!(SliceLineError::Internal { reason: "z".into() }
+            .to_string()
+            .contains("internal"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let le = sliceline_linalg::LinalgError::EmptyInput { op: "max" };
+        let se: SliceLineError = le.into();
+        assert!(matches!(se, SliceLineError::Internal { .. }));
+    }
+}

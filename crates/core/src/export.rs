@@ -1,0 +1,194 @@
+//! Result serialization: JSON and CSV renderings of [`SliceLineResult`].
+//!
+//! Hand-rolled writers (the reproduction's dependency policy keeps serde
+//! out); escaping covers everything the result types can contain — ASCII
+//! identifiers, numbers, and the strings produced by
+//! [`crate::algorithm::SliceInfo::describe`].
+
+use crate::algorithm::{SliceInfo, SliceLineResult};
+
+/// Renders the top-K slices as a JSON array of objects.
+pub fn top_k_to_json(result: &SliceLineResult) -> String {
+    let mut out = String::from("[");
+    for (i, s) in result.top_k.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&slice_to_json(s));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders one slice as a JSON object.
+pub fn slice_to_json(s: &SliceInfo) -> String {
+    let predicates = s
+        .predicates
+        .iter()
+        .map(|&(j, code)| format!("{{\"feature\":{j},\"code\":{code}}}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"predicates\":[{predicates}],\"score\":{},\"size\":{},\"error\":{},\"max_error\":{},\"avg_error\":{}}}",
+        json_num(s.score),
+        json_num(s.size),
+        json_num(s.error),
+        json_num(s.max_error),
+        json_num(s.avg_error),
+    )
+}
+
+/// Renders the full run (top-K + per-level statistics) as a JSON object.
+pub fn result_to_json(result: &SliceLineResult) -> String {
+    let levels = result
+        .stats
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"level\":{},\"candidates\":{},\"valid\":{},\"elapsed_ms\":{}}}",
+                l.level,
+                l.candidates,
+                l.valid,
+                json_num(l.elapsed.as_secs_f64() * 1000.0)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_ms\":{},\"top_k\":{},\"levels\":[{levels}]}}",
+        result.stats.n,
+        result.stats.m,
+        result.stats.l,
+        result.stats.sigma,
+        json_num(result.stats.total_elapsed.as_secs_f64() * 1000.0),
+        top_k_to_json(result),
+    )
+}
+
+/// Renders the top-K as CSV with a header row. Predicates are encoded as
+/// `feature=code` pairs joined by `&` (no quoting needed — the alphabet is
+/// `[0-9=&]`).
+pub fn top_k_to_csv(result: &SliceLineResult) -> String {
+    let mut out = String::from("rank,predicates,score,size,error,max_error,avg_error\n");
+    for (rank, s) in result.top_k.iter().enumerate() {
+        let predicates = s
+            .predicates
+            .iter()
+            .map(|&(j, code)| format!("{j}={code}"))
+            .collect::<Vec<_>>()
+            .join("&");
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            rank + 1,
+            predicates,
+            s.score,
+            s.size,
+            s.error,
+            s.max_error,
+            s.avg_error
+        ));
+    }
+    out
+}
+
+/// JSON-safe number rendering: NaN and infinities become null (JSON has no
+/// representation for them).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{LevelStats, RunStats};
+
+    fn sample() -> SliceLineResult {
+        SliceLineResult {
+            top_k: vec![
+                SliceInfo {
+                    predicates: vec![(0, 1), (2, 3)],
+                    score: 1.5,
+                    size: 42.0,
+                    error: 21.0,
+                    max_error: 1.0,
+                    avg_error: 0.5,
+                },
+                SliceInfo {
+                    predicates: vec![(1, 2)],
+                    score: 0.75,
+                    size: 100.0,
+                    error: 30.0,
+                    max_error: 1.0,
+                    avg_error: 0.3,
+                },
+            ],
+            stats: RunStats {
+                n: 1000,
+                m: 5,
+                l: 20,
+                sigma: 10,
+                levels: vec![LevelStats {
+                    level: 1,
+                    candidates: 20,
+                    valid: 15,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn json_topk_structure() {
+        let json = top_k_to_json(&sample());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"feature\":0"));
+        assert!(json.contains("\"code\":3"));
+        assert!(json.contains("\"score\":1.5"));
+        assert_eq!(json.matches("{\"predicates\"").count(), 2);
+    }
+
+    #[test]
+    fn json_result_includes_stats() {
+        let json = result_to_json(&sample());
+        assert!(json.contains("\"n\":1000"));
+        assert!(json.contains("\"sigma\":10"));
+        assert!(json.contains("\"levels\":[{\"level\":1"));
+        assert!(json.contains("\"candidates\":20"));
+    }
+
+    #[test]
+    fn json_handles_nonfinite() {
+        let mut r = sample();
+        r.top_k[0].score = f64::INFINITY;
+        let json = top_k_to_json(&r);
+        assert!(json.contains("\"score\":null"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn csv_rows_and_header() {
+        let csv = top_k_to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("rank,predicates"));
+        assert!(lines[1].starts_with("1,0=1&2=3,1.5,42"));
+        assert!(lines[2].starts_with("2,1=2,0.75,100"));
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = SliceLineResult {
+            top_k: vec![],
+            stats: RunStats::default(),
+        };
+        assert_eq!(top_k_to_json(&r), "[]");
+        assert_eq!(top_k_to_csv(&r).lines().count(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Initialization (§4.2): scoring the basic 1-predicate slices and
+//! projecting `X` onto the columns that survive.
+//!
+//! Basic slice statistics come straight out of the one-hot encoding
+//! (Eq. 4): `ss₀ = colSums(X)ᵀ` and `se₀ = (eᵀ X)ᵀ`. Columns failing
+//! `ss₀ ≥ σ ∧ se₀ > 0` can never participate in any interesting slice
+//! (their descendants only shrink), so `X` is projected onto the
+//! survivors (Algorithm 1, line 12) and all later levels enumerate in the
+//! projected column space.
+
+use crate::prepare::PreparedData;
+use sliceline_linalg::agg;
+use sliceline_linalg::CsrMatrix;
+
+/// The projected dataset used by levels ≥ 1.
+#[derive(Debug, Clone)]
+pub struct ProjectedData {
+    /// `X` restricted to valid basic-slice columns (`n × k`).
+    pub x: CsrMatrix,
+    /// For each projected column: the owning original feature.
+    pub col_feature: Vec<u32>,
+    /// For each projected column: the 1-based value code within the
+    /// feature.
+    pub col_code: Vec<u32>,
+    /// For each projected column: the original one-hot column index.
+    pub orig_col: Vec<usize>,
+}
+
+/// Per-level slice set with aligned statistics (the paper's `S` and `R`).
+#[derive(Debug, Clone, Default)]
+pub struct LevelState {
+    /// Slice definitions: sorted projected-column ids, one `Vec` per slice.
+    pub slices: Vec<Vec<u32>>,
+    /// Slice sizes `ss`.
+    pub sizes: Vec<f64>,
+    /// Total slice errors `se`.
+    pub errors: Vec<f64>,
+    /// Maximum tuple errors `sm`.
+    pub max_errors: Vec<f64>,
+    /// Scores `sc`.
+    pub scores: Vec<f64>,
+}
+
+impl LevelState {
+    /// Number of slices at this level.
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// `true` when the level holds no slices (termination condition).
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+}
+
+/// Computes basic-slice statistics, selects the valid columns, and builds
+/// the level-1 state in projected column space.
+///
+/// Returns `(projected data, level-1 state, total basic slice count)`.
+/// The basic slice count (`l`) is reported so run statistics can show the
+/// level-1 "candidates" line of the paper's Table 2.
+pub fn create_and_score_basic_slices(p: &PreparedData) -> (ProjectedData, LevelState) {
+    // Eq. 4 — vectorized basic statistics on the one-hot matrix.
+    let ss0 = agg::col_sums_csr(&p.x);
+    let se0 = p
+        .x
+        .vecmat(&p.errors)
+        .expect("errors validated to be row-aligned in prepare()");
+    // Max tuple error per column: one scan over the rows.
+    let mut sm0 = vec![0.0f64; p.x.cols()];
+    for r in 0..p.x.rows() {
+        let e = p.errors[r];
+        if e == 0.0 {
+            continue;
+        }
+        for &c in p.x.row_cols(r) {
+            if e > sm0[c as usize] {
+                sm0[c as usize] = e;
+            }
+        }
+    }
+    // cI = ss0 >= sigma AND se0 > 0.
+    let kept: Vec<usize> = (0..p.x.cols())
+        .filter(|&c| ss0[c] >= p.sigma as f64 && se0[c] > 0.0)
+        .collect();
+    let x_proj = p
+        .x
+        .select_cols(&kept)
+        .expect("kept indices are strictly increasing and in range");
+    let col_feature: Vec<u32> = kept.iter().map(|&c| p.col_feature[c]).collect();
+    let col_code: Vec<u32> = kept.iter().map(|&c| p.col_code[c]).collect();
+    let mut level = LevelState::default();
+    for (new_c, &c) in kept.iter().enumerate() {
+        level.slices.push(vec![new_c as u32]);
+        level.sizes.push(ss0[c]);
+        level.errors.push(se0[c]);
+        level.max_errors.push(sm0[c]);
+        level.scores.push(p.ctx.score(ss0[c], se0[c]));
+    }
+    (
+        ProjectedData {
+            x: x_proj,
+            col_feature,
+            col_code,
+            orig_col: kept,
+        },
+        level,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SliceLineConfig;
+    use crate::prepare::prepare;
+    use sliceline_frame::IntMatrix;
+
+    fn prepared(sigma: usize) -> PreparedData {
+        // Feature 0: domain 2, feature 1: domain 3.
+        let x0 = IntMatrix::from_rows(&[
+            vec![1, 1],
+            vec![1, 2],
+            vec![2, 1],
+            vec![2, 3],
+            vec![1, 1],
+        ])
+        .unwrap();
+        let errors = vec![1.0, 0.0, 0.5, 0.0, 1.0];
+        let cfg = SliceLineConfig::builder()
+            .min_support(sigma)
+            .build()
+            .unwrap();
+        prepare(&x0, &errors, &cfg).unwrap()
+    }
+
+    #[test]
+    fn basic_statistics_match_hand_computation() {
+        let p = prepared(1);
+        let (proj, level) = create_and_score_basic_slices(&p);
+        // Column layout: f0=1, f0=2, f1=1, f1=2, f1=3.
+        // Sizes: 3, 2, 3, 1, 1. Errors: 2.0, 0.5, 2.5, 0, 0.
+        // Valid (ss>=1, se>0): f0=1, f0=2, f1=1.
+        assert_eq!(proj.orig_col, vec![0, 1, 2]);
+        assert_eq!(level.sizes, vec![3.0, 2.0, 3.0]);
+        assert_eq!(level.errors, vec![2.0, 0.5, 2.5]);
+        assert_eq!(level.max_errors, vec![1.0, 0.5, 1.0]);
+        assert_eq!(proj.col_feature, vec![0, 0, 1]);
+        assert_eq!(proj.col_code, vec![1, 2, 1]);
+        assert_eq!(level.len(), 3);
+        assert!(!level.is_empty());
+        // Projected X has 3 columns.
+        assert_eq!(proj.x.cols(), 3);
+        assert_eq!(proj.x.rows(), 5);
+    }
+
+    #[test]
+    fn sigma_filters_small_slices() {
+        let p = prepared(3);
+        let (proj, level) = create_and_score_basic_slices(&p);
+        // Only sizes >= 3 with positive error: f0=1 (3 rows), f1=1 (3 rows).
+        assert_eq!(proj.orig_col, vec![0, 2]);
+        assert_eq!(level.len(), 2);
+    }
+
+    #[test]
+    fn zero_error_columns_dropped() {
+        let p = prepared(1);
+        let (proj, _) = create_and_score_basic_slices(&p);
+        // f1=2 and f1=3 have zero error and must be gone.
+        assert!(!proj.orig_col.contains(&3));
+        assert!(!proj.orig_col.contains(&4));
+    }
+
+    #[test]
+    fn scores_consistent_with_context() {
+        let p = prepared(1);
+        let (_, level) = create_and_score_basic_slices(&p);
+        for i in 0..level.len() {
+            let expect = p.ctx.score(level.sizes[i], level.errors[i]);
+            assert_eq!(level.scores[i], expect);
+        }
+    }
+
+    #[test]
+    fn all_filtered_returns_empty_level() {
+        let x0 = IntMatrix::from_rows(&[vec![1], vec![2]]).unwrap();
+        let cfg = SliceLineConfig::builder().min_support(5).build().unwrap();
+        let p = prepare(&x0, &[1.0, 1.0], &cfg).unwrap();
+        let (proj, level) = create_and_score_basic_slices(&p);
+        assert!(level.is_empty());
+        assert_eq!(proj.x.cols(), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Pure linear-algebra reference backend.
+//!
+//! This module implements Algorithm 1 the way the paper's DML/R scripts
+//! do: every step is a composition of generic matrix operations —
+//! `table`, `removeEmpty`, sparse-sparse products, selection matrices,
+//! element-wise comparisons — with **no** fused kernels, inverted
+//! indexes, or blocked scans. It is the analog of running SliceLine on a
+//! general-purpose ML system and serves two purposes:
+//!
+//! 1. a readable executable specification that the optimized backend
+//!    ([`crate::algorithm::SliceLine`]) is property-tested against, and
+//! 2. the "unoptimized system" side of the §5.4 ML-systems comparison
+//!    (R at 200.4s vs SystemDS at 5.6s on Adult): the bench harness runs
+//!    both backends on the same data to reproduce that shape.
+
+use crate::config::SliceLineConfig;
+use crate::error::Result;
+use crate::init::LevelState;
+use crate::prepare::prepare;
+use crate::topk::TopK;
+use crate::algorithm::{SliceInfo, SliceLineResult};
+use crate::stats::{LevelStats, RunStats};
+use sliceline_linalg::agg::{col_sums_csr, row_nnz_counts};
+use sliceline_linalg::spgemm::spgemm;
+use sliceline_linalg::table::{selection_matrix, upper_tri_eq};
+use sliceline_linalg::CsrMatrix;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Runs SliceLine using only generic linear algebra operations.
+///
+/// Produces the same top-K as [`crate::algorithm::SliceLine::find_slices`]
+/// (verified by tests); run statistics carry coarser enumeration counters.
+pub fn find_slices_reference(
+    x0: &sliceline_frame::IntMatrix,
+    errors: &[f64],
+    config: &SliceLineConfig,
+) -> Result<SliceLineResult> {
+    let start = Instant::now();
+    let prepared = prepare(x0, errors, config)?;
+    let sigma = prepared.sigma as f64;
+    let mut stats = RunStats {
+        sigma: prepared.sigma,
+        n: prepared.n(),
+        m: prepared.m,
+        l: prepared.l(),
+        ..Default::default()
+    };
+    // --- Initialization (Eq. 4), expressed as aggregations on X. ---
+    let lvl_start = Instant::now();
+    let ss0 = col_sums_csr(&prepared.x);
+    let se0 = prepared.x.vecmat(&prepared.errors)?;
+    // cI and projection X <- X[, cI].
+    let kept: Vec<usize> = (0..prepared.x.cols())
+        .filter(|&c| ss0[c] >= sigma && se0[c] > 0.0)
+        .collect();
+    let x = prepared.x.select_cols(&kept)?;
+    let col_feature: Vec<u32> = kept.iter().map(|&c| prepared.col_feature[c]).collect();
+    let col_code: Vec<u32> = kept.iter().map(|&c| prepared.col_code[c]).collect();
+    stats.basic_slices = kept.len();
+    // Level-1 state: identity slices over projected columns, re-evaluated
+    // via the generic evaluation product to stay within LA ops.
+    let mut s_mat = identity_slices(x.cols());
+    let mut level = evaluate_la(&x, &prepared.errors, &s_mat, 1, &prepared.ctx);
+    let mut topk = TopK::new(config.k, prepared.sigma);
+    topk.update(&level);
+    stats.levels.push(LevelStats {
+        level: 1,
+        candidates: prepared.l(),
+        valid: level.len(),
+        enumeration: None,
+        elapsed: lvl_start.elapsed(),
+        threshold_after: topk.prune_threshold(),
+    });
+    // --- Level-wise enumeration. ---
+    let max_level = config.max_level.min(prepared.m);
+    let mut l = 1usize;
+    while !level.is_empty() && l < max_level {
+        l += 1;
+        let lvl_start = Instant::now();
+        // Step 1: S <- removeEmpty(S * (ss >= sigma && se > 0)).
+        let keep_rows: Vec<usize> = (0..level.len())
+            .filter(|&i| level.sizes[i] >= sigma && level.errors[i] > 0.0)
+            .collect();
+        if keep_rows.len() < 2 {
+            break;
+        }
+        let kept_sizes: Vec<f64> = keep_rows.iter().map(|&i| level.sizes[i]).collect();
+        let kept_errs: Vec<f64> = keep_rows.iter().map(|&i| level.errors[i]).collect();
+        let kept_sms: Vec<f64> = keep_rows.iter().map(|&i| level.max_errors[i]).collect();
+        let s_prev = s_mat.select_rows(&keep_rows)?;
+        // Step 2 (Eq. 6): I = upper.tri((S Sᵀ) == (L-2)).
+        let overlap = spgemm(&s_prev, &s_prev.transpose())?;
+        let pairs = upper_tri_eq(&overlap, (l - 2) as f64)?;
+        // Step 3: extraction matrices P1, P2 and merged slices
+        // P = ((P1 S) + (P2 S)) != 0.
+        if pairs.is_empty() {
+            stats.levels.push(LevelStats {
+                level: l,
+                candidates: 0,
+                valid: 0,
+                enumeration: None,
+                elapsed: lvl_start.elapsed(),
+                threshold_after: topk.prune_threshold(),
+            });
+            break;
+        }
+        let rix: Vec<usize> = pairs.iter().map(|&(a, _)| a).collect();
+        let cix: Vec<usize> = pairs.iter().map(|&(_, b)| b).collect();
+        let p1 = selection_matrix(&rix, s_prev.rows())?;
+        let p2 = selection_matrix(&cix, s_prev.rows())?;
+        let merged = binarize(&spgemm(&p1, &s_prev)?.to_dense().add(&spgemm(&p2, &s_prev)?.to_dense())?);
+        // Step 4: discard slices with multiple assignments per feature:
+        // rowSums(P[, beg:end]) <= 1 for every feature.
+        let valid_rows: Vec<usize> = (0..merged.rows())
+            .filter(|&r| feature_valid_row(&merged, r, &col_feature))
+            .collect();
+        let merged = merged.select_rows(&valid_rows)?;
+        let pair_of_row: Vec<(usize, usize)> = valid_rows.iter().map(|&r| pairs[r]).collect();
+        // Dedup via grouping identical rows (the paper's ID + recode step).
+        let mut groups: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for r in 0..merged.rows() {
+            groups.entry(merged.row_cols(r).to_vec()).or_default().push(r);
+        }
+        // Candidate pruning (Eqs. 7–9) using min over all parents.
+        let threshold = topk.prune_threshold();
+        let mut survivors: Vec<Vec<u32>> = Vec::new();
+        let mut num_dedup = 0usize;
+        for (cols, rows) in groups {
+            num_dedup += 1;
+            let mut parents: Vec<usize> = Vec::new();
+            for &r in &rows {
+                let (a, b) = pair_of_row[r];
+                if !parents.contains(&a) {
+                    parents.push(a);
+                }
+                if !parents.contains(&b) {
+                    parents.push(b);
+                }
+            }
+            let ss_ub = parents.iter().map(|&p| kept_sizes[p]).fold(f64::INFINITY, f64::min);
+            let se_ub = parents.iter().map(|&p| kept_errs[p]).fold(f64::INFINITY, f64::min);
+            let sm_ub = parents.iter().map(|&p| kept_sms[p]).fold(f64::INFINITY, f64::min);
+            if config.pruning.size_pruning && ss_ub < sigma {
+                continue;
+            }
+            if config.pruning.parent_handling && config.pruning.deduplication && parents.len() != l
+            {
+                continue;
+            }
+            if config.pruning.score_pruning {
+                let ub = prepared
+                    .ctx
+                    .score_upper_bound(ss_ub, se_ub, sm_ub, prepared.sigma);
+                if ub <= threshold {
+                    continue;
+                }
+            }
+            survivors.push(cols);
+        }
+        survivors.sort_unstable();
+        // Step 5: evaluate all surviving candidates (Eq. 10) via the
+        // generic matrix product I = ((X Sᵀ) == L).
+        s_mat = CsrMatrix::from_binary_rows(x.cols(), &survivors)
+            .expect("survivor column lists are sorted and in range");
+        let candidates = survivors.len();
+        level = evaluate_la(&x, &prepared.errors, &s_mat, l, &prepared.ctx);
+        topk.update(&level);
+        stats.levels.push(LevelStats {
+            level: l,
+            candidates,
+            valid: (0..level.len())
+                .filter(|&i| level.sizes[i] >= sigma && level.errors[i] > 0.0)
+                .count(),
+            enumeration: None,
+            elapsed: lvl_start.elapsed(),
+            threshold_after: topk.prune_threshold(),
+        });
+        let _ = num_dedup;
+    }
+    stats.total_elapsed = start.elapsed();
+    let top_k = topk
+        .entries()
+        .iter()
+        .map(|e| {
+            let mut predicates: Vec<(usize, u32)> = e
+                .cols
+                .iter()
+                .map(|&c| (col_feature[c as usize] as usize, col_code[c as usize]))
+                .collect();
+            predicates.sort_unstable();
+            SliceInfo {
+                predicates,
+                score: e.score,
+                size: e.size,
+                error: e.error,
+                max_error: e.max_error,
+                avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
+            }
+        })
+        .collect();
+    Ok(SliceLineResult { top_k, stats })
+}
+
+/// Identity slice matrix: one single-predicate slice per projected column.
+fn identity_slices(cols: usize) -> CsrMatrix {
+    let rows: Vec<Vec<u32>> = (0..cols as u32).map(|c| vec![c]).collect();
+    CsrMatrix::from_binary_rows(cols, &rows).expect("identity layout is valid")
+}
+
+/// Generic-LA slice evaluation: `I = ((X Sᵀ) == L)` then column
+/// aggregations (Eq. 10), computed with `spgemm` and dense scans — no
+/// fused kernels.
+fn evaluate_la(
+    x: &CsrMatrix,
+    errors: &[f64],
+    s: &CsrMatrix,
+    level: usize,
+    ctx: &crate::scoring::ScoringContext,
+) -> LevelState {
+    let k = s.rows();
+    if k == 0 {
+        return LevelState::default();
+    }
+    let product = spgemm(x, &s.transpose()).expect("shapes align by construction");
+    // I = (product == L) as a sparse indicator (L >= 1 is never zero).
+    let indicator = sliceline_linalg::table::eq_scalar_sparse(&product, level as f64)
+        .expect("level is positive");
+    let sizes = col_sums_csr(&indicator);
+    let errs = indicator
+        .vecmat(errors)
+        .expect("indicator rows equal error length");
+    // sm = colMaxs(I * e).
+    let mut max_errs = vec![0.0; k];
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..indicator.rows() {
+        let e = errors[r];
+        for &c in indicator.row_cols(r) {
+            if e > max_errs[c as usize] {
+                max_errs[c as usize] = e;
+            }
+        }
+    }
+    let slices: Vec<Vec<u32>> = (0..k).map(|r| s.row_cols(r).to_vec()).collect();
+    let scores = ctx.score_all(&sizes, &errs);
+    LevelState {
+        slices,
+        sizes,
+        errors: errs,
+        max_errors: max_errs,
+        scores,
+    }
+}
+
+fn binarize(m: &sliceline_linalg::DenseMatrix) -> CsrMatrix {
+    CsrMatrix::from_dense(&m.map(|v| if v != 0.0 { 1.0 } else { 0.0 }))
+}
+
+fn feature_valid_row(
+    m: &CsrMatrix,
+    row: usize,
+    col_feature: &[u32],
+) -> bool {
+    let cols = m.row_cols(row);
+    cols.windows(2)
+        .all(|w| col_feature[w[0] as usize] != col_feature[w[1] as usize])
+}
+
+/// `rowSums(M != 0)` helper re-exported for tests.
+#[allow(dead_code)]
+fn row_counts(m: &CsrMatrix) -> Vec<usize> {
+    row_nnz_counts(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SliceLine;
+    use crate::config::SliceLineConfig;
+    use sliceline_frame::IntMatrix;
+
+    fn planted() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..24u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 3);
+            let f2 = 1 + ((i / 6) % 2);
+            rows.push(vec![f0, f1, f2]);
+            errors.push(if f0 == 2 && f1 == 3 { 2.0 } else { 0.1 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn config() -> SliceLineConfig {
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.9)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reference_matches_optimized_backend() {
+        let (x0, e) = planted();
+        let reference = find_slices_reference(&x0, &e, &config()).unwrap();
+        let optimized = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        assert_eq!(reference.top_k, optimized.top_k);
+    }
+
+    #[test]
+    fn reference_finds_planted_slice() {
+        let (x0, e) = planted();
+        let r = find_slices_reference(&x0, &e, &config()).unwrap();
+        assert_eq!(r.top_k[0].predicates, vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn reference_respects_max_level() {
+        let (x0, e) = planted();
+        let mut c = config();
+        c.max_level = 1;
+        let r = find_slices_reference(&x0, &e, &c).unwrap();
+        assert!(r.top_k.iter().all(|s| s.predicates.len() == 1));
+        assert_eq!(r.stats.max_level(), 1);
+    }
+
+    #[test]
+    fn reference_handles_zero_errors() {
+        let (x0, _) = planted();
+        let r = find_slices_reference(&x0, &[0.0; 24], &config()).unwrap();
+        assert!(r.top_k.is_empty());
+    }
+
+    #[test]
+    fn identity_slices_shape() {
+        let s = identity_slices(4);
+        assert_eq!(s.shape(), (4, 4));
+        assert_eq!(s.nnz(), 4);
+        for r in 0..4 {
+            assert_eq!(s.row_cols(r), &[r as u32]);
+        }
+    }
+}

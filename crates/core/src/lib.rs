@@ -1,0 +1,82 @@
+//! # sliceline
+//!
+//! A from-scratch Rust implementation of **SliceLine** (Sagadeeva & Boehm,
+//! SIGMOD 2021): fast, linear-algebra-based slice finding for ML model
+//! debugging.
+//!
+//! Given an integer-encoded feature matrix `X₀` and a non-negative,
+//! row-aligned error vector `e` produced by some trained model, SliceLine
+//! finds the top-K *slices* — conjunctions of feature predicates such as
+//! `gender = female AND degree = PhD` — maximizing the score
+//!
+//! ```text
+//! sc = α · (avg_slice_error / avg_error − 1) − (1 − α) · (n / |S| − 1)
+//! ```
+//!
+//! subject to a minimum support `|S| ≥ σ` and `sc > 0` (paper Definitions
+//! 1–2). Enumeration is *exact*: monotonicity-based upper bounds for slice
+//! sizes, errors, and scores (§3) prune the exponential lattice without
+//! ever discarding a slice that could enter the top-K.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sliceline::{SliceLine, SliceLineConfig};
+//! use sliceline_frame::IntMatrix;
+//!
+//! // Two features with domains {1,2} and {1,2,3}; 8 rows.
+//! let x0 = IntMatrix::from_rows(&[
+//!     vec![1, 1], vec![1, 2], vec![1, 3], vec![2, 1],
+//!     vec![2, 2], vec![2, 3], vec![1, 1], vec![2, 1],
+//! ]).unwrap();
+//! // Rows with feature0 = 1 AND feature1 = 1 have high error.
+//! let errors = vec![1.0, 0.1, 0.1, 0.0, 0.1, 0.0, 1.0, 0.0];
+//!
+//! let config = SliceLineConfig::builder()
+//!     .k(2)
+//!     .min_support(2)
+//!     .alpha(0.95)
+//!     .build()
+//!     .unwrap();
+//! let result = SliceLine::new(config).find_slices(&x0, &errors).unwrap();
+//! let top = &result.top_k[0];
+//! assert_eq!(top.predicates, vec![(0, 1), (1, 1)]);
+//! ```
+//!
+//! ## Module map (paper section → module)
+//!
+//! | Paper | Module |
+//! |-------|--------|
+//! | Def. 1, Eq. 1/5 scoring | [`scoring`] |
+//! | §3.1 bounds, Eq. 3 | [`scoring::ScoringContext::score_upper_bound`] |
+//! | §3.2 pruning switches | [`config::PruningConfig`] |
+//! | Alg. 1 lines 1–5 data prep | [`prepare`] |
+//! | §4.2 basic slices | [`init`] |
+//! | §4.3 pair enumeration | [`enumerate`] |
+//! | §4.4 vectorized evaluation | [`evaluate`] |
+//! | §4.5 top-K maintenance | [`topk`] |
+//! | Alg. 1 driver | [`algorithm`] |
+//! | pure-LA reference backend | [`lagraph`] |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithm;
+pub mod config;
+pub mod enumerate;
+pub mod error;
+pub mod evaluate;
+pub mod export;
+pub mod init;
+pub mod lagraph;
+pub mod prepare;
+pub mod priority;
+pub mod scoring;
+pub mod stats;
+pub mod topk;
+
+pub use algorithm::{SliceInfo, SliceLine, SliceLineResult};
+pub use config::{EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder};
+pub use error::{Result, SliceLineError};
+pub use scoring::ScoringContext;
+pub use stats::{LevelStats, RunStats};

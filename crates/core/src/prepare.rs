@@ -1,0 +1,155 @@
+//! Data preparation (Algorithm 1, lines 1–5): input validation, one-hot
+//! encoding, and the feature-offset bookkeeping that maps one-hot columns
+//! back to `(feature, value)` predicates.
+
+use crate::config::SliceLineConfig;
+use crate::error::{Result, SliceLineError};
+use crate::scoring::ScoringContext;
+use sliceline_frame::onehot::one_hot_encode;
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::CsrMatrix;
+
+/// Validated, one-hot encoded input ready for enumeration.
+#[derive(Debug, Clone)]
+pub struct PreparedData {
+    /// One-hot encoded feature matrix `X` (`n × l`).
+    pub x: CsrMatrix,
+    /// Row-aligned non-negative errors `e`.
+    pub errors: Vec<f64>,
+    /// Dataset-level scoring quantities.
+    pub ctx: ScoringContext,
+    /// Resolved minimum support `σ`.
+    pub sigma: usize,
+    /// Number of original features `m`.
+    pub m: usize,
+    /// For each one-hot column: the owning original feature (0-based).
+    pub col_feature: Vec<u32>,
+    /// For each one-hot column: the 1-based value code within its feature.
+    pub col_code: Vec<u32>,
+}
+
+impl PreparedData {
+    /// Number of rows `n`.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of one-hot columns `l`.
+    pub fn l(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+/// Validates inputs and performs the one-hot data preparation.
+pub fn prepare(
+    x0: &IntMatrix,
+    errors: &[f64],
+    config: &SliceLineConfig,
+) -> Result<PreparedData> {
+    config.validate()?;
+    let n = x0.rows();
+    if n == 0 || x0.cols() == 0 {
+        return Err(SliceLineError::InvalidInput {
+            reason: format!("empty input: {}x{}", n, x0.cols()),
+        });
+    }
+    if errors.len() != n {
+        return Err(SliceLineError::InvalidInput {
+            reason: format!("X0 has {n} rows but e has {}", errors.len()),
+        });
+    }
+    for (i, &e) in errors.iter().enumerate() {
+        if !e.is_finite() || e < 0.0 {
+            return Err(SliceLineError::InvalidInput {
+                reason: format!("error at row {i} is {e}; errors must be finite and >= 0"),
+            });
+        }
+    }
+    let x = one_hot_encode(x0);
+    let mut col_feature = Vec::with_capacity(x.cols());
+    let mut col_code = Vec::with_capacity(x.cols());
+    for (j, &d) in x0.domains().iter().enumerate() {
+        for code in 1..=d {
+            col_feature.push(j as u32);
+            col_code.push(code);
+        }
+    }
+    let ctx = ScoringContext::new(errors, config.alpha);
+    let sigma = config.min_support.resolve(n).max(1);
+    Ok(PreparedData {
+        x,
+        errors: errors.to_vec(),
+        ctx,
+        sigma,
+        m: x0.cols(),
+        col_feature,
+        col_code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SliceLineConfig;
+
+    fn x0() -> IntMatrix {
+        IntMatrix::from_rows(&[vec![1, 2], vec![2, 1], vec![1, 3]]).unwrap()
+    }
+
+    fn cfg() -> SliceLineConfig {
+        SliceLineConfig::builder().min_support(1).build().unwrap()
+    }
+
+    #[test]
+    fn prepares_valid_input() {
+        let p = prepare(&x0(), &[0.5, 0.0, 1.0], &cfg()).unwrap();
+        assert_eq!(p.n(), 3);
+        assert_eq!(p.l(), 5);
+        assert_eq!(p.m, 2);
+        assert_eq!(p.col_feature, vec![0, 0, 1, 1, 1]);
+        assert_eq!(p.col_code, vec![1, 2, 1, 2, 3]);
+        assert!((p.ctx.avg_error - 0.5).abs() < 1e-12);
+        assert_eq!(p.sigma, 1);
+    }
+
+    #[test]
+    fn rejects_misaligned_errors() {
+        assert!(matches!(
+            prepare(&x0(), &[0.5, 0.0], &cfg()),
+            Err(SliceLineError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_or_nonfinite_errors() {
+        assert!(prepare(&x0(), &[0.5, -0.1, 0.0], &cfg()).is_err());
+        assert!(prepare(&x0(), &[0.5, f64::NAN, 0.0], &cfg()).is_err());
+        assert!(prepare(&x0(), &[0.5, f64::INFINITY, 0.0], &cfg()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let empty = IntMatrix::from_data(0, 0, vec![]).unwrap();
+        assert!(prepare(&empty, &[], &cfg()).is_err());
+    }
+
+    #[test]
+    fn sigma_resolved_from_n() {
+        let c = SliceLineConfig::builder()
+            .min_support_fraction(0.5)
+            .build()
+            .unwrap();
+        let p = prepare(&x0(), &[1.0, 1.0, 1.0], &c).unwrap();
+        assert_eq!(p.sigma, 2); // ceil(3 * 0.5)
+    }
+
+    #[test]
+    fn invalid_config_propagates() {
+        let mut c = cfg();
+        c.alpha = 2.0;
+        assert!(matches!(
+            prepare(&x0(), &[1.0, 1.0, 1.0], &c),
+            Err(SliceLineError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,409 @@
+//! Priority-based (best-first) slice enumeration — the paper's §7
+//! future-work direction ("priority-based enumeration, e.g., based on
+//! errors or classes").
+//!
+//! Instead of expanding the lattice level by level, candidates are kept
+//! in a max-heap ordered by their score upper bound (Eq. 3). The best
+//! candidate is evaluated first, so the top-K converges quickly and the
+//! search can stop as soon as the best remaining bound cannot beat the
+//! current K-th score — or earlier under an explicit evaluation *budget*
+//! (anytime behavior).
+//!
+//! Exactness argument: each slice is generated exactly once by *prefix
+//! extension* (appending a predicate column greater than its largest),
+//! and a node's Eq. 3 bound — computed from its own evaluated statistics —
+//! dominates the score of **every** superset, prefix descendants
+//! included. A node is only discarded when that bound cannot beat the
+//! current threshold, so with an unlimited budget the returned top-K
+//! equals the level-wise algorithm's (property-tested). The trade-off
+//! versus Algorithm 1 is bound tightness: best-first sees one parent per
+//! node where the level-wise join minimizes over all `L` parents.
+
+use crate::algorithm::{SliceInfo, SliceLineResult};
+use crate::config::SliceLineConfig;
+use crate::error::Result;
+use crate::init::{create_and_score_basic_slices, LevelState};
+use crate::prepare::prepare;
+use crate::stats::{LevelStats, RunStats};
+use crate::topk::TopK;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// A heap entry: a not-yet-expanded slice with its bound and row set.
+struct Node {
+    /// Upper bound on any descendant's score.
+    bound: f64,
+    /// Sorted projected column ids.
+    cols: Vec<u32>,
+    /// Matching row ids (the slice's extension in the data).
+    rows: Vec<u32>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.cols == other.cols
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by bound; ties broken by fewer predicates then cols so
+        // ordering is total and deterministic.
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cols.len().cmp(&self.cols.len()))
+            .then_with(|| other.cols.cmp(&self.cols))
+    }
+}
+
+/// Outcome of a best-first run.
+#[derive(Debug, Clone)]
+pub struct PriorityResult {
+    /// The (possibly anytime) top-K slices and run statistics.
+    pub result: SliceLineResult,
+    /// Slices evaluated (heap pops that passed the bound re-check).
+    pub evaluated: usize,
+    /// `true` when the search ran to completion — the top-K is then exact.
+    /// `false` when the evaluation budget was exhausted first.
+    pub exact: bool,
+}
+
+/// Best-first SliceLine with an optional evaluation budget.
+///
+/// ```
+/// use sliceline::priority::PrioritySliceLine;
+/// use sliceline::SliceLineConfig;
+/// use sliceline_frame::IntMatrix;
+///
+/// let x0 = IntMatrix::from_rows(&[
+///     vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2],
+///     vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2],
+/// ]).unwrap();
+/// let errors = vec![1.0, 0.1, 0.1, 0.1, 1.0, 0.1, 0.1, 0.1];
+/// let config = SliceLineConfig::builder().k(1).min_support(2).build().unwrap();
+/// let out = PrioritySliceLine::new(config).find_slices(&x0, &errors).unwrap();
+/// assert!(out.exact);
+/// assert_eq!(out.result.top_k[0].predicates, vec![(0, 1), (1, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrioritySliceLine {
+    config: SliceLineConfig,
+    /// Maximum number of slice evaluations (`None` = run to completion).
+    budget: Option<usize>,
+}
+
+impl PrioritySliceLine {
+    /// Creates an exhaustive (exact) best-first searcher.
+    pub fn new(config: SliceLineConfig) -> Self {
+        PrioritySliceLine {
+            config,
+            budget: None,
+        }
+    }
+
+    /// Creates an anytime searcher stopping after `budget` evaluations.
+    pub fn with_budget(config: SliceLineConfig, budget: usize) -> Self {
+        PrioritySliceLine {
+            config,
+            budget: Some(budget),
+        }
+    }
+
+    /// Runs the best-first search.
+    pub fn find_slices(
+        &self,
+        x0: &sliceline_frame::IntMatrix,
+        errors: &[f64],
+    ) -> Result<PriorityResult> {
+        let start = Instant::now();
+        let prepared = prepare(x0, errors, &self.config)?;
+        let mut stats = RunStats {
+            sigma: prepared.sigma,
+            n: prepared.n(),
+            m: prepared.m,
+            l: prepared.l(),
+            ..Default::default()
+        };
+        let (proj, basic) = create_and_score_basic_slices(&prepared);
+        stats.basic_slices = basic.len();
+        let sigma = prepared.sigma;
+        let max_level = self.config.max_level.min(prepared.m);
+        let mut topk = TopK::new(self.config.k, sigma);
+        topk.update(&basic);
+        // Row lists per projected column (the CSC view used to extend
+        // nodes by intersection).
+        let xt = proj.x.transpose();
+        let num_cols = proj.x.cols();
+        // Seed the heap with the basic slices.
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        for i in 0..basic.len() {
+            let c = basic.slices[i][0];
+            let bound = prepared.ctx.score_upper_bound(
+                basic.sizes[i],
+                basic.errors[i],
+                basic.max_errors[i],
+                sigma,
+            );
+            if bound > topk.prune_threshold() {
+                heap.push(Node {
+                    bound,
+                    cols: vec![c],
+                    rows: xt.row_cols(c as usize).to_vec(),
+                });
+            }
+        }
+        let mut evaluated = basic.len();
+        let mut expansions = 0usize;
+        let mut exact = true;
+        while let Some(node) = heap.pop() {
+            // Monotone threshold: re-check the bound at pop time.
+            if node.bound <= topk.prune_threshold() {
+                // Everything left in the heap is bounded by this bound.
+                break;
+            }
+            if node.cols.len() >= max_level {
+                continue;
+            }
+            if let Some(budget) = self.budget {
+                if evaluated >= budget {
+                    exact = false;
+                    break;
+                }
+            }
+            expansions += 1;
+            // Prefix extension: children append a strictly larger column
+            // of a feature not already used.
+            let last_col = *node.cols.last().expect("nodes are non-empty") as usize;
+            let used_feature = proj.col_feature[last_col];
+            for next in (last_col + 1)..num_cols {
+                if proj.col_feature[next] == used_feature
+                    || node
+                        .cols
+                        .iter()
+                        .any(|&c| proj.col_feature[c as usize] == proj.col_feature[next])
+                {
+                    continue;
+                }
+                // Intersect row sets (both sorted).
+                let rows = intersect_sorted(&node.rows, xt.row_cols(next));
+                if (rows.len() < sigma && self.config.pruning.size_pruning) || rows.is_empty() {
+                    continue;
+                }
+                evaluated += 1;
+                let mut error = 0.0;
+                let mut max_error: f64 = 0.0;
+                for &r in &rows {
+                    let e = prepared.errors[r as usize];
+                    error += e;
+                    max_error = max_error.max(e);
+                }
+                if error <= 0.0 {
+                    continue;
+                }
+                let size = rows.len() as f64;
+                let mut cols = node.cols.clone();
+                cols.push(next as u32);
+                let score = prepared.ctx.score(size, error);
+                topk.update(&singleton_level(&cols, size, error, max_error, score));
+                let bound = prepared.ctx.score_upper_bound(size, error, max_error, sigma);
+                if bound > topk.prune_threshold() && cols.len() < max_level {
+                    heap.push(Node { bound, cols, rows });
+                }
+            }
+        }
+        stats.levels.push(LevelStats {
+            level: max_level.min(prepared.m),
+            candidates: evaluated,
+            valid: expansions,
+            enumeration: None,
+            elapsed: start.elapsed(),
+            threshold_after: topk.prune_threshold(),
+        });
+        stats.total_elapsed = start.elapsed();
+        let top_k = topk
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut predicates: Vec<(usize, u32)> = e
+                    .cols
+                    .iter()
+                    .map(|&c| {
+                        (
+                            proj.col_feature[c as usize] as usize,
+                            proj.col_code[c as usize],
+                        )
+                    })
+                    .collect();
+                predicates.sort_unstable();
+                SliceInfo {
+                    predicates,
+                    score: e.score,
+                    size: e.size,
+                    error: e.error,
+                    max_error: e.max_error,
+                    avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
+                }
+            })
+            .collect();
+        Ok(PriorityResult {
+            result: SliceLineResult {
+                top_k,
+                stats,
+            },
+            evaluated,
+            exact,
+        })
+    }
+}
+
+/// Wraps a single evaluated slice as a one-row [`LevelState`] for top-K
+/// maintenance.
+fn singleton_level(
+    cols: &[u32],
+    size: f64,
+    error: f64,
+    max_error: f64,
+    score: f64,
+) -> LevelState {
+    LevelState {
+        slices: vec![cols.to_vec()],
+        sizes: vec![size],
+        errors: vec![error],
+        max_errors: vec![max_error],
+        scores: vec![score],
+    }
+}
+
+/// Intersection of two sorted u32 slices.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SliceLine;
+    use crate::config::SliceLineConfig;
+    use sliceline_frame::IntMatrix;
+
+    fn planted() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..48u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 3);
+            let f2 = 1 + ((i / 6) % 2);
+            rows.push(vec![f0, f1, f2]);
+            errors.push(if f0 == 2 && f1 == 1 { 1.5 } else { 0.1 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn config() -> SliceLineConfig {
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.9)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_levelwise_topk() {
+        let (x0, e) = planted();
+        let levelwise = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        let best_first = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        assert!(best_first.exact);
+        assert_eq!(best_first.result.top_k.len(), levelwise.top_k.len());
+        for (a, b) in best_first
+            .result
+            .top_k
+            .iter()
+            .zip(levelwise.top_k.iter())
+        {
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn finds_planted_slice_first() {
+        let (x0, e) = planted();
+        let r = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        assert_eq!(r.result.top_k[0].predicates, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn budget_yields_anytime_result() {
+        let (x0, e) = planted();
+        let full = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        // A tiny budget still returns the basic slices.
+        let tiny = PrioritySliceLine::with_budget(config(), full.evaluated / 4)
+            .find_slices(&x0, &e)
+            .unwrap();
+        assert!(!tiny.exact || tiny.evaluated <= full.evaluated);
+        assert!(!tiny.result.top_k.is_empty());
+        // Anytime scores never exceed the exact ones.
+        if let (Some(t), Some(f)) = (tiny.result.top_k.first(), full.result.top_k.first()) {
+            assert!(t.score <= f.score + 1e-9);
+        }
+        // Budget exhausted strictly fewer evaluations.
+        assert!(tiny.evaluated <= full.evaluated);
+    }
+
+    #[test]
+    fn respects_max_level() {
+        let (x0, e) = planted();
+        let mut c = config();
+        c.max_level = 1;
+        let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert!(r
+            .result
+            .top_k
+            .iter()
+            .all(|s| s.predicates.len() == 1));
+    }
+
+    #[test]
+    fn zero_errors_empty() {
+        let (x0, _) = planted();
+        let r = PrioritySliceLine::new(config())
+            .find_slices(&x0, &vec![0.0; 48])
+            .unwrap();
+        assert!(r.result.top_k.is_empty());
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn intersect_sorted_basic() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3]), Vec::<u32>::new());
+    }
+}

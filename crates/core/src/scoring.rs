@@ -1,0 +1,266 @@
+//! The scoring function (Definition 1, Eq. 1/5) and its upper bound
+//! (Eq. 3).
+//!
+//! For a slice `S` of size `|S|` with total error `se` on a dataset of `n`
+//! rows with average error `ē`:
+//!
+//! ```text
+//! sc = α · ( (se / |S|) / ē − 1 ) − (1 − α) · ( n / |S| − 1 )
+//! ```
+//!
+//! Properties the tests pin down:
+//! * `sc(X) = 0` for the full dataset regardless of `α`,
+//! * at `α = 0.5` a slice with twice the relative error but half the size
+//!   of another scores identically,
+//! * the upper bound of Eq. 3 dominates the score of every reachable child
+//!   slice (admissibility — the exactness of SliceLine rests on this).
+
+/// Precomputed dataset-level quantities used by every score evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringContext {
+    /// Number of rows `n`.
+    pub n: f64,
+    /// Total error `Σ e_i`.
+    pub total_error: f64,
+    /// Average error `ē = Σ e_i / n`.
+    pub avg_error: f64,
+    /// Error/size weight `α ∈ (0, 1]`.
+    pub alpha: f64,
+}
+
+impl ScoringContext {
+    /// Builds a context from the error vector and `α`.
+    pub fn new(errors: &[f64], alpha: f64) -> Self {
+        let n = errors.len() as f64;
+        let total_error: f64 = errors.iter().sum();
+        ScoringContext {
+            n,
+            total_error,
+            avg_error: if n > 0.0 { total_error / n } else { 0.0 },
+            alpha,
+        }
+    }
+
+    /// Scores a slice with `size` rows and total error `err` (Eq. 1/5).
+    ///
+    /// Empty slices score `-∞` (the paper assumes a negative score for
+    /// them; `-∞` is equivalent for pruning and top-K purposes and avoids
+    /// the arbitrary `max(|S|, 1)` substitution).
+    pub fn score(&self, size: f64, err: f64) -> f64 {
+        if size <= 0.0 || self.total_error <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let rel_err = (err / size) / self.avg_error;
+        self.alpha * (rel_err - 1.0) - (1.0 - self.alpha) * (self.n / size - 1.0)
+    }
+
+    /// Scores each `(size, err)` pair, writing into a fresh vector.
+    pub fn score_all(&self, sizes: &[f64], errs: &[f64]) -> Vec<f64> {
+        sizes
+            .iter()
+            .zip(errs.iter())
+            .map(|(&s, &e)| self.score(s, e))
+            .collect()
+    }
+
+    /// Upper-bounds the score of any slice reachable below a lattice node
+    /// with size bound `⌈|S|⌉ = ss_ub`, total-error bound `⌈se⌉ = se_ub`
+    /// and max-tuple-error bound `⌈sm⌉ = sm_ub`, under minimum support
+    /// `σ` (Eq. 3).
+    ///
+    /// The bound maximizes the relaxed score over `|S| ∈ [σ, ss_ub]` with
+    /// feasible error `min(se_ub, |S| · sm_ub)`. The relaxation is
+    /// piecewise monotone in `|S|`, so the maximum is attained at one of
+    /// the "interesting points" `σ`, `max(se_ub/sm_ub, σ)`, or `ss_ub`
+    /// (§3.1).
+    pub fn score_upper_bound(&self, ss_ub: f64, se_ub: f64, sm_ub: f64, sigma: usize) -> f64 {
+        let sigma = sigma.max(1) as f64;
+        if ss_ub < sigma || self.total_error <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut best = f64::NEG_INFINITY;
+        let mut eval = |s: f64| {
+            let feasible_err = se_ub.min(s * sm_ub);
+            let sc = self.score(s, feasible_err);
+            if sc > best {
+                best = sc;
+            }
+        };
+        eval(sigma);
+        eval(ss_ub);
+        if sm_ub > 0.0 {
+            let breakpoint = (se_ub / sm_ub).clamp(sigma, ss_ub);
+            eval(breakpoint);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(alpha: f64) -> ScoringContext {
+        // 100 rows, total error 50, average 0.5.
+        ScoringContext {
+            n: 100.0,
+            total_error: 50.0,
+            avg_error: 0.5,
+            alpha,
+        }
+    }
+
+    #[test]
+    fn full_dataset_scores_zero_for_any_alpha() {
+        for alpha in [0.1, 0.5, 0.95, 1.0] {
+            let c = ctx(alpha);
+            let sc = c.score(100.0, 50.0);
+            assert!(sc.abs() < 1e-12, "alpha={alpha}: sc={sc}");
+        }
+    }
+
+    #[test]
+    fn balance_at_alpha_half() {
+        // At α = 0.5 the error and size terms are weighted equally: a unit
+        // increase of the relative-error ratio se̅/ē buys exactly a unit
+        // increase of the size ratio n/|S|. Pin the formula down at a few
+        // hand-computed points.
+        let c = ctx(0.5);
+        // rel = 2, n/|S| = 2 -> 0.5·1 − 0.5·1 = 0.
+        assert!(c.score(50.0, 50.0).abs() < 1e-12);
+        // rel = 2, n/|S| = 2.5 -> 0.5·1 − 0.5·1.5 = −0.25.
+        assert!((c.score(40.0, 40.0) - (-0.25)).abs() < 1e-12);
+        // rel = 4, n/|S| = 5 -> 0.5·3 − 0.5·4 = −0.5.
+        assert!((c.score(20.0, 40.0) - (-0.5)).abs() < 1e-12);
+        // Trading +1 rel for +1 size ratio keeps the score: rel 3, n/|S| 3.
+        let base = c.score(50.0, 50.0);
+        let traded = c.score(100.0 / 3.0, (100.0 / 3.0) * 0.5 * 3.0);
+        assert!((base - traded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_positive_scores_at_alpha_below_half() {
+        // Analytic property: se̅/ē = (se/e_tot)·(n/|S|) ≤ n/|S| because a
+        // slice cannot hold more than the total error, so
+        // sc ≤ (2α−1)(n/|S|−1) ≤ 0 whenever α ≤ 0.5. The paper's α ∈ (0,1]
+        // sweep therefore cannot return qualifying slices below α = 0.5 —
+        // the exact top-K is empty there (observed in the Fig. 5 harness).
+        for alpha in [0.1, 0.36, 0.5] {
+            let c = ctx(alpha);
+            for size in [1.0, 10.0, 50.0, 99.0] {
+                for err_share in [0.1, 0.5, 1.0] {
+                    let sc = c.score(size, c.total_error * err_share);
+                    assert!(
+                        sc <= 1e-12,
+                        "alpha={alpha} size={size} share={err_share}: sc={sc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_limit_makes_scores_nonpositive() {
+        // For α→0 (all weight on size), no slice smaller than X reaches 0.
+        let c = ctx(1e-9);
+        assert!(c.score(99.0, 99.0) < 0.0);
+        assert!(c.score(50.0, 50.0) < 0.0);
+        assert!(c.score(100.0, 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_slice_is_negative_infinity() {
+        let c = ctx(0.95);
+        assert_eq!(c.score(0.0, 0.0), f64::NEG_INFINITY);
+        assert_eq!(c.score(-1.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn zero_total_error_scores_neg_inf() {
+        let c = ScoringContext::new(&[0.0, 0.0], 0.95);
+        assert_eq!(c.score(1.0, 0.0), f64::NEG_INFINITY);
+        assert_eq!(c.score_upper_bound(2.0, 1.0, 1.0, 1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn context_from_errors() {
+        let c = ScoringContext::new(&[1.0, 3.0], 0.5);
+        assert_eq!(c.n, 2.0);
+        assert_eq!(c.total_error, 4.0);
+        assert_eq!(c.avg_error, 2.0);
+        let empty = ScoringContext::new(&[], 0.5);
+        assert_eq!(empty.avg_error, 0.0);
+    }
+
+    #[test]
+    fn score_all_matches_scalar() {
+        let c = ctx(0.95);
+        let sizes = [10.0, 20.0, 0.0];
+        let errs = [9.0, 5.0, 0.0];
+        let v = c.score_all(&sizes, &errs);
+        for i in 0..3 {
+            assert_eq!(v[i], c.score(sizes[i], errs[i]));
+        }
+    }
+
+    #[test]
+    fn upper_bound_below_support_is_neg_inf() {
+        let c = ctx(0.95);
+        assert_eq!(c.score_upper_bound(5.0, 10.0, 1.0, 10), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn upper_bound_dominates_feasible_scores_brute_force() {
+        // Admissibility: for every feasible (size, err) with
+        // σ ≤ size ≤ ss_ub and err ≤ min(se_ub, size·sm_ub), the bound must
+        // dominate the score.
+        let c = ctx(0.95);
+        let cases = [
+            (40.0, 30.0, 1.0, 5usize),
+            (40.0, 30.0, 0.5, 5),
+            (100.0, 50.0, 2.0, 1),
+            (12.0, 1.0, 0.05, 3),
+            (60.0, 10.0, 10.0, 10),
+        ];
+        for &(ss_ub, se_ub, sm_ub, sigma) in &cases {
+            let ub = c.score_upper_bound(ss_ub, se_ub, sm_ub, sigma);
+            let mut s = sigma as f64;
+            while s <= ss_ub {
+                // The densest feasible error for this size.
+                let e_max = se_ub.min(s * sm_ub);
+                // Sample a few feasible errors.
+                for frac in [0.0, 0.25, 0.5, 1.0] {
+                    let sc = c.score(s, e_max * frac);
+                    assert!(
+                        sc <= ub + 1e-9,
+                        "violation: sc({s}, {}) = {sc} > ub = {ub} \
+                         (ss_ub={ss_ub}, se_ub={se_ub}, sm_ub={sm_ub}, sigma={sigma})",
+                        e_max * frac
+                    );
+                }
+                s += 1.0;
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_handles_zero_max_error() {
+        let c = ctx(0.95);
+        // sm_ub = 0 means every feasible error is 0: still a valid bound.
+        let ub = c.score_upper_bound(50.0, 10.0, 0.0, 5);
+        assert!(ub <= c.score(50.0, 0.0) + 1e-12);
+        assert!(ub.is_finite());
+    }
+
+    #[test]
+    fn tighter_parent_bounds_never_increase_ub() {
+        let c = ctx(0.95);
+        let loose = c.score_upper_bound(80.0, 40.0, 1.0, 5);
+        let tighter_size = c.score_upper_bound(40.0, 40.0, 1.0, 5);
+        let tighter_err = c.score_upper_bound(80.0, 20.0, 1.0, 5);
+        let tighter_sm = c.score_upper_bound(80.0, 40.0, 0.5, 5);
+        assert!(tighter_size <= loose + 1e-12);
+        assert!(tighter_err <= loose + 1e-12);
+        assert!(tighter_sm <= loose + 1e-12);
+    }
+}

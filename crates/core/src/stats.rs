@@ -1,0 +1,143 @@
+//! Run statistics: the per-level enumeration counters and timings behind
+//! the paper's Fig. 3, Fig. 4 and Table 2.
+
+use crate::enumerate::EnumStats;
+use std::time::Duration;
+
+/// Statistics for a single lattice level.
+#[derive(Debug, Clone, Default)]
+pub struct LevelStats {
+    /// Lattice level `L` (1 = basic slices).
+    pub level: usize,
+    /// Candidate slices handed to evaluation at this level. For level 1
+    /// this is the total number of one-hot columns `l` (matching the
+    /// "Candidates" row of the paper's Table 2).
+    pub candidates: usize,
+    /// Evaluated slices satisfying `|S| ≥ σ ∧ se > 0` (the paper's "valid
+    /// slices").
+    pub valid: usize,
+    /// Enumeration counters (join pairs, dedup, per-technique pruning).
+    /// `None` for level 1, which has no pair enumeration.
+    pub enumeration: Option<EnumStats>,
+    /// Wall-clock time spent on this level (enumeration + evaluation +
+    /// top-K maintenance).
+    pub elapsed: Duration,
+    /// Score-pruning threshold `max(sc_k, 0)` in effect *after* this
+    /// level's top-K update.
+    pub threshold_after: f64,
+}
+
+/// Statistics for a complete SliceLine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-level statistics, index 0 = level 1.
+    pub levels: Vec<LevelStats>,
+    /// Total wall-clock time including data preparation.
+    pub total_elapsed: Duration,
+    /// Resolved minimum support `σ`.
+    pub sigma: usize,
+    /// Number of rows `n`.
+    pub n: usize,
+    /// Number of original features `m`.
+    pub m: usize,
+    /// One-hot width `l` before projection.
+    pub l: usize,
+    /// Valid basic slices (columns surviving `ss₀ ≥ σ ∧ se₀ > 0`).
+    pub basic_slices: usize,
+}
+
+impl RunStats {
+    /// Total slices evaluated across all levels.
+    pub fn total_evaluated(&self) -> usize {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// The deepest level reached.
+    pub fn max_level(&self) -> usize {
+        self.levels.last().map(|l| l.level).unwrap_or(0)
+    }
+
+    /// Renders a compact per-level table (used by examples and benches).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "level  candidates  valid      parents  pairs    deduped  pruned(sz/sc/par)  elapsed\n",
+        );
+        for l in &self.levels {
+            let (parents, pairs, deduped, psz, psc, ppar) = match &l.enumeration {
+                Some(e) => (
+                    e.parents,
+                    e.pairs,
+                    e.deduped,
+                    e.pruned_size,
+                    e.pruned_score,
+                    e.pruned_parents,
+                ),
+                None => (0, 0, 0, 0, 0, 0),
+            };
+            out.push_str(&format!(
+                "{:<6} {:<11} {:<10} {:<8} {:<8} {:<8} {:<18} {:.1?}\n",
+                l.level,
+                l.candidates,
+                l.valid,
+                parents,
+                pairs,
+                deduped,
+                format!("{psz}/{psc}/{ppar}"),
+                l.elapsed
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let stats = RunStats {
+            levels: vec![
+                LevelStats {
+                    level: 1,
+                    candidates: 10,
+                    valid: 5,
+                    ..Default::default()
+                },
+                LevelStats {
+                    level: 2,
+                    candidates: 7,
+                    valid: 3,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.total_evaluated(), 17);
+        assert_eq!(stats.max_level(), 2);
+    }
+
+    #[test]
+    fn empty_run() {
+        let stats = RunStats::default();
+        assert_eq!(stats.total_evaluated(), 0);
+        assert_eq!(stats.max_level(), 0);
+    }
+
+    #[test]
+    fn table_renders_every_level() {
+        let stats = RunStats {
+            levels: vec![LevelStats {
+                level: 1,
+                candidates: 4,
+                valid: 2,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let t = stats.render_table();
+        assert!(t.contains("level"));
+        assert!(t.lines().count() >= 2);
+    }
+}

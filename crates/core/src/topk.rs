@@ -1,0 +1,200 @@
+//! Top-K maintenance (§4.5).
+//!
+//! After each level's evaluation, qualifying slices
+//! (`sc > 0 ∧ |S| ≥ σ`) are merged with the current top-K, sorted by
+//! descending score, and truncated to `K`. The K-th score `sc_k` is a
+//! monotonically increasing lower bound used for score pruning (§3.2).
+
+use crate::init::LevelState;
+
+/// One slice in the top-K result set (projected column space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopSlice {
+    /// Sorted projected-column ids defining the slice.
+    pub cols: Vec<u32>,
+    /// Score `sc`.
+    pub score: f64,
+    /// Slice size `|S|`.
+    pub size: f64,
+    /// Total slice error `se`.
+    pub error: f64,
+    /// Maximum tuple error `sm`.
+    pub max_error: f64,
+}
+
+/// The running top-K set.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    sigma: usize,
+    entries: Vec<TopSlice>,
+}
+
+impl TopK {
+    /// Creates an empty top-K with capacity `k` and support threshold
+    /// `sigma`.
+    pub fn new(k: usize, sigma: usize) -> Self {
+        TopK {
+            k,
+            sigma,
+            entries: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Merges a level's evaluated slices into the top-K.
+    pub fn update(&mut self, level: &LevelState) {
+        for i in 0..level.len() {
+            let sc = level.scores[i];
+            let ss = level.sizes[i];
+            // `sc > 0` written positively would admit NaN; keep the
+            // negated form and tell clippy it is deliberate.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let fails_score = !(sc > 0.0);
+            if fails_score || ss < self.sigma as f64 {
+                continue;
+            }
+            // Skip exact duplicates (possible when deduplication is
+            // disabled for the ablation study).
+            if self.entries.iter().any(|e| e.cols == level.slices[i]) {
+                continue;
+            }
+            if self.entries.len() == self.k {
+                // Fast reject against the current minimum.
+                let min = self
+                    .entries
+                    .last()
+                    .map(|e| e.score)
+                    .unwrap_or(f64::NEG_INFINITY);
+                if sc <= min {
+                    continue;
+                }
+            }
+            let entry = TopSlice {
+                cols: level.slices[i].clone(),
+                score: sc,
+                size: ss,
+                error: level.errors[i],
+                max_error: level.max_errors[i],
+            };
+            // Insert keeping descending score order (stable for ties).
+            let pos = self
+                .entries
+                .iter()
+                .position(|e| e.score < sc)
+                .unwrap_or(self.entries.len());
+            self.entries.insert(pos, entry);
+            if self.entries.len() > self.k {
+                self.entries.pop();
+            }
+        }
+    }
+
+    /// The current entries, sorted by descending score.
+    pub fn entries(&self) -> &[TopSlice] {
+        &self.entries
+    }
+
+    /// `true` when `K` slices have been found.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.k
+    }
+
+    /// The score-pruning threshold: the K-th best score once the set is
+    /// full, otherwise 0 (the `sc > 0` constraint itself). Candidates whose
+    /// upper bound does not exceed this can never enter the final top-K.
+    pub fn prune_threshold(&self) -> f64 {
+        if self.is_full() {
+            self.entries.last().map(|e| e.score).unwrap_or(0.0).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(slices: Vec<Vec<u32>>, scores: Vec<f64>, sizes: Vec<f64>) -> LevelState {
+        let n = slices.len();
+        LevelState {
+            slices,
+            sizes,
+            errors: vec![1.0; n],
+            max_errors: vec![1.0; n],
+            scores,
+        }
+    }
+
+    #[test]
+    fn keeps_best_k_sorted() {
+        let mut tk = TopK::new(2, 1);
+        tk.update(&level(
+            vec![vec![0], vec![1], vec![2]],
+            vec![0.5, 2.0, 1.0],
+            vec![5.0, 5.0, 5.0],
+        ));
+        assert!(tk.is_full());
+        assert_eq!(tk.entries()[0].cols, vec![1]);
+        assert_eq!(tk.entries()[1].cols, vec![2]);
+        assert_eq!(tk.prune_threshold(), 1.0);
+    }
+
+    #[test]
+    fn filters_nonpositive_scores_and_small_slices() {
+        let mut tk = TopK::new(3, 10);
+        tk.update(&level(
+            vec![vec![0], vec![1], vec![2]],
+            vec![-0.5, 0.0, 3.0],
+            vec![20.0, 20.0, 5.0],
+        ));
+        // Negative and zero scores excluded; size 5 < sigma 10 excluded.
+        assert!(tk.entries().is_empty());
+        assert_eq!(tk.prune_threshold(), 0.0);
+    }
+
+    #[test]
+    fn threshold_grows_monotonically() {
+        let mut tk = TopK::new(1, 1);
+        tk.update(&level(vec![vec![0]], vec![1.0], vec![5.0]));
+        let t1 = tk.prune_threshold();
+        tk.update(&level(vec![vec![1]], vec![3.0], vec![5.0]));
+        let t2 = tk.prune_threshold();
+        assert!(t2 >= t1);
+        assert_eq!(tk.entries()[0].cols, vec![1]);
+        // A worse slice never lowers the threshold.
+        tk.update(&level(vec![vec![2]], vec![0.5], vec![5.0]));
+        assert_eq!(tk.prune_threshold(), t2);
+    }
+
+    #[test]
+    fn duplicate_columns_skipped() {
+        let mut tk = TopK::new(3, 1);
+        tk.update(&level(vec![vec![0, 1]], vec![2.0], vec![5.0]));
+        tk.update(&level(vec![vec![0, 1]], vec![2.0], vec![5.0]));
+        assert_eq!(tk.entries().len(), 1);
+    }
+
+    #[test]
+    fn worse_than_kth_rejected_when_full() {
+        let mut tk = TopK::new(2, 1);
+        tk.update(&level(
+            vec![vec![0], vec![1]],
+            vec![5.0, 4.0],
+            vec![5.0, 5.0],
+        ));
+        tk.update(&level(vec![vec![2]], vec![3.0], vec![5.0]));
+        assert_eq!(tk.entries().len(), 2);
+        assert!(tk.entries().iter().all(|e| e.cols != vec![2]));
+        // Better one replaces the tail.
+        tk.update(&level(vec![vec![3]], vec![4.5], vec![5.0]));
+        assert_eq!(tk.entries()[1].cols, vec![3]);
+    }
+
+    #[test]
+    fn nan_scores_never_enter() {
+        let mut tk = TopK::new(2, 1);
+        tk.update(&level(vec![vec![0]], vec![f64::NAN], vec![5.0]));
+        assert!(tk.entries().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the §3 bounds: admissibility of the score upper
+//! bound over real lattice relationships computed from random data.
+
+use proptest::prelude::*;
+use sliceline::ScoringContext;
+
+/// Random tiny dataset as (codes per row over `m` binary-ish features,
+/// errors).
+fn data_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<f64>)> {
+    (2usize..=4, 8usize..=32).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(1.0), Just(3.0)], n..=n),
+        )
+    })
+}
+
+/// Computes (size, total error, max error) for a conjunction.
+fn stats(rows: &[Vec<u32>], errors: &[f64], predicates: &[(usize, u32)]) -> (f64, f64, f64) {
+    let mut size = 0.0;
+    let mut err = 0.0;
+    let mut max: f64 = 0.0;
+    for (row, &e) in rows.iter().zip(errors.iter()) {
+        if predicates.iter().all(|&(j, c)| row[j] == c) {
+            size += 1.0;
+            err += e;
+            max = max.max(e);
+        }
+    }
+    (size, err, max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The upper bound computed from a child's parents dominates the
+    /// child's true score — the core admissibility property that makes
+    /// pruning exact (§3.1).
+    #[test]
+    fn parent_bound_dominates_child_score(
+        (rows, errors) in data_strategy(),
+        sigma in 1usize..4,
+        alpha in prop_oneof![Just(0.5), Just(0.95), Just(1.0)],
+    ) {
+        let ctx = ScoringContext::new(&errors, alpha);
+        let m = rows[0].len();
+        // Enumerate all 2-predicate children with their 1-predicate parents.
+        for j1 in 0..m {
+            for c1 in 1..=3u32 {
+                for j2 in (j1 + 1)..m {
+                    for c2 in 1..=3u32 {
+                        let p1 = stats(&rows, &errors, &[(j1, c1)]);
+                        let p2 = stats(&rows, &errors, &[(j2, c2)]);
+                        let child = stats(&rows, &errors, &[(j1, c1), (j2, c2)]);
+                        if child.0 < sigma as f64 {
+                            continue; // outside the bounded interval
+                        }
+                        let ub = ctx.score_upper_bound(
+                            p1.0.min(p2.0),
+                            p1.1.min(p2.1),
+                            p1.2.min(p2.2),
+                            sigma,
+                        );
+                        let sc = ctx.score(child.0, child.1);
+                        prop_assert!(
+                            sc <= ub + 1e-9,
+                            "child score {sc} exceeds parent bound {ub} \
+                             (parents {p1:?} {p2:?}, child {child:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monotonicity of sizes and errors along lattice edges (§3.1): the
+    /// child is the intersection of its parents.
+    #[test]
+    fn child_stats_bounded_by_parents((rows, errors) in data_strategy()) {
+        let m = rows[0].len();
+        for j1 in 0..m {
+            for j2 in (j1 + 1)..m {
+                let p1 = stats(&rows, &errors, &[(j1, 1)]);
+                let p2 = stats(&rows, &errors, &[(j2, 2)]);
+                let child = stats(&rows, &errors, &[(j1, 1), (j2, 2)]);
+                prop_assert!(child.0 <= p1.0.min(p2.0));
+                prop_assert!(child.1 <= p1.1.min(p2.1) + 1e-12);
+                prop_assert!(child.2 <= p1.2.min(p2.2) + 1e-12);
+                // The ⌈se⌉ refinement: child error also bounded by
+                // ⌈|S|⌉ · min parent sm.
+                prop_assert!(child.1 <= p1.0.min(p2.0) * p1.2.min(p2.2) + 1e-12);
+            }
+        }
+    }
+
+    /// The vectorized score (Eq. 5) is scale-invariant in the error
+    /// vector: scaling e by a constant leaves all scores unchanged.
+    #[test]
+    fn scores_scale_invariant_in_errors(
+        (rows, errors) in data_strategy(),
+        scale in prop_oneof![Just(0.1f64), Just(10.0), Just(1e6)],
+    ) {
+        prop_assume!(errors.iter().sum::<f64>() > 0.0);
+        let ctx1 = ScoringContext::new(&errors, 0.95);
+        let scaled: Vec<f64> = errors.iter().map(|e| e * scale).collect();
+        let ctx2 = ScoringContext::new(&scaled, 0.95);
+        let m = rows[0].len();
+        for j in 0..m {
+            let (size, err, _) = stats(&rows, &errors, &[(j, 1)]);
+            if size == 0.0 {
+                continue;
+            }
+            let s1 = ctx1.score(size, err);
+            let s2 = ctx2.score(size, err * scale);
+            prop_assert!((s1 - s2).abs() < 1e-9, "{s1} vs {s2}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the run statistics: the enumeration counters must be
+//! internally consistent for any input, since the Fig. 3/4 and Table 2
+//! experiments are read off them.
+
+use proptest::prelude::*;
+use sliceline::{PruningConfig, SliceLine, SliceLineConfig};
+use sliceline_frame::IntMatrix;
+
+fn dataset() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
+    (2usize..=4, 10usize..=40).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(1u32..=3, m..=m),
+                n..=n,
+            ),
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)], n..=n),
+        )
+            .prop_map(|(rows, errors)| (IntMatrix::from_rows(&rows).unwrap(), errors))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumeration_counters_are_consistent(
+        (x0, errors) in dataset(),
+        sigma in 1usize..5,
+        dedup in proptest::bool::ANY,
+    ) {
+        let mut config = SliceLineConfig::builder()
+            .k(3)
+            .min_support(sigma)
+            .alpha(0.95)
+            .threads(1)
+            .build()
+            .unwrap();
+        if !dedup {
+            config.pruning = PruningConfig {
+                deduplication: false,
+                ..PruningConfig::all()
+            };
+        }
+        let r = SliceLine::new(config).find_slices(&x0, &errors).unwrap();
+        prop_assert!(!r.stats.levels.is_empty());
+        prop_assert_eq!(r.stats.levels[0].level, 1);
+        prop_assert_eq!(r.stats.levels[0].candidates, r.stats.l);
+        prop_assert!(r.stats.basic_slices <= r.stats.l);
+        let mut prev_threshold = 0.0f64;
+        for (i, lvl) in r.stats.levels.iter().enumerate() {
+            // Levels are contiguous starting at 1.
+            prop_assert_eq!(lvl.level, i + 1);
+            // Valid slices never exceed evaluated candidates.
+            prop_assert!(lvl.valid <= lvl.candidates);
+            // The score-pruning threshold is monotonically non-decreasing.
+            prop_assert!(lvl.threshold_after >= prev_threshold - 1e-12);
+            prev_threshold = lvl.threshold_after;
+            if let Some(e) = &lvl.enumeration {
+                // Join funnel: pairs >= feature-valid merges >= dedup
+                // output >= survivors; pruning counters account for the
+                // difference exactly.
+                prop_assert!(e.merged_valid <= e.pairs);
+                prop_assert!(e.deduped <= e.merged_valid);
+                prop_assert_eq!(
+                    e.survivors + e.pruned_size + e.pruned_score + e.pruned_parents,
+                    e.deduped
+                );
+                // Evaluated candidates equal the survivors.
+                prop_assert_eq!(lvl.candidates, e.survivors);
+                if !dedup {
+                    // Without deduplication the dedup count mirrors the
+                    // merged count.
+                    prop_assert_eq!(e.deduped, e.merged_valid);
+                }
+            }
+        }
+        // Total evaluated is the sum of per-level candidates.
+        let sum: usize = r.stats.levels.iter().map(|l| l.candidates).sum();
+        prop_assert_eq!(r.stats.total_evaluated(), sum);
+    }
+
+    #[test]
+    fn topk_entries_respect_constraints(
+        (x0, errors) in dataset(),
+        sigma in 1usize..5,
+        k in 1usize..5,
+    ) {
+        let config = SliceLineConfig::builder()
+            .k(k)
+            .min_support(sigma)
+            .alpha(0.9)
+            .threads(1)
+            .build()
+            .unwrap();
+        let r = SliceLine::new(config).find_slices(&x0, &errors).unwrap();
+        prop_assert!(r.top_k.len() <= k);
+        for w in r.top_k.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for s in &r.top_k {
+            prop_assert!(s.score > 0.0);
+            prop_assert!(s.size >= sigma as f64);
+            prop_assert!(s.error >= 0.0);
+            prop_assert!(s.max_error <= 1.0 + 1e-12); // errors drawn from {0, .5, 1}
+            prop_assert!(s.avg_error * s.size - s.error < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Criteo-day-21-shaped generator: `m = 39` features with power-law
+//! category counts, 2-class, ultra-sparse after one-hot encoding.
+//!
+//! CriteoD21 in the paper has 192M rows and 75.6M one-hot columns
+//! (density 4.9e-7): hashed categorical features where only 209 of 75.6M
+//! basic slices satisfy the minimum support (Table 2). The phenomenon to
+//! preserve is exactly that survival pattern — *huge domains where almost
+//! every category is rare* — which a Zipf distribution over category ids
+//! reproduces at any scale: a handful of head categories pass `σ = n/100`
+//! while the long tail fails.
+
+use crate::synth::{Dataset, GenConfig, PlantedSlice, Task};
+use rand::Rng;
+use sliceline_frame::{FeatureSet, IntMatrix};
+
+/// Base row count before scaling (1e-3 of the real 192M).
+const BASE_ROWS: usize = 192_215;
+
+/// Per-feature domain size at scale 1 (13 "integer" features binned to
+/// small domains like the paper's preprocessing, 26 hashed categoricals
+/// with large power-law domains).
+fn domains(n: usize) -> Vec<u32> {
+    let mut d = vec![10u32; 13];
+    // Hashed categorical domains grow with n, capped to keep one-hot
+    // width proportional to the dataset (ultra-sparse at any scale).
+    let wide = ((n / 8).max(64)) as u32;
+    for j in 0..26 {
+        // Alternate a few width classes like real Criteo columns.
+        let w = match j % 3 {
+            0 => wide,
+            1 => wide / 4,
+            _ => 100,
+        };
+        d.push(w.max(8));
+    }
+    d
+}
+
+/// Generates a Criteo-shaped ultra-sparse click dataset.
+pub fn criteo_like(config: &GenConfig) -> Dataset {
+    let n = config.rows(BASE_ROWS);
+    let doms = domains(n);
+    let m = doms.len();
+    let mut rng = crate::synth::rng_for(config, 0xC417u64);
+    let planted = vec![
+        PlantedSlice {
+            predicates: vec![(0, 3), (13, 1)], // head category of a wide col
+            elevated: 0.5,
+            fraction: 0.02,
+        },
+        PlantedSlice {
+            predicates: vec![(1, 7), (2, 7)],
+            elevated: 0.4,
+            fraction: 0.02,
+        },
+    ];
+    // Zipf sampling per feature: precompute cumulative weights for the
+    // head (first H codes); the tail is sampled uniformly so wide domains
+    // need no O(domain) table.
+    let mut data = Vec::with_capacity(n * m);
+    let head = 32usize;
+    let head_tables: Vec<Vec<f64>> = doms
+        .iter()
+        .map(|&d| {
+            let h = head.min(d as usize);
+            let mut acc = 0.0;
+            (1..=h)
+                .map(|r| {
+                    acc += 1.0 / (r as f64).powf(1.2);
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+    for _ in 0..n {
+        for (j, &d) in doms.iter().enumerate() {
+            let table = &head_tables[j];
+            let total_head = *table.last().unwrap();
+            // ~85% of mass in the head, the rest spread uniformly over the
+            // tail — only head categories can reach σ = n/100.
+            let code = if d as usize <= head || rng.gen::<f64>() < 0.85 {
+                let t = rng.gen::<f64>() * total_head;
+                match table.binary_search_by(|p| p.partial_cmp(&t).unwrap()) {
+                    Ok(i) => i as u32 + 1,
+                    Err(i) => (i.min(table.len() - 1)) as u32 + 1,
+                }
+            } else {
+                rng.gen_range(head as u32..d) + 1
+            };
+            data.push(code.min(d));
+        }
+    }
+    // Plant slices on leading rows.
+    let mut next = 0usize;
+    for slice in &planted {
+        let per_slice = ((n as f64) * slice.fraction).ceil() as usize;
+        for _ in 0..per_slice {
+            if next >= n {
+                break;
+            }
+            for &(j, code) in &slice.predicates {
+                data[next * m + j] = code;
+            }
+            next += 1;
+        }
+    }
+    let x0 = IntMatrix::new(n, m, data, doms.clone()).expect("codes within domains");
+    let errors = crate::synth::classification_errors(&x0, &planted, 0.08, &mut rng);
+    Dataset {
+        name: "CriteoSim".to_string(),
+        features: FeatureSet::opaque_from_domains(&doms),
+        x0,
+        errors,
+        task: Task::Classification { classes: 2 },
+        planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline_frame::onehot::one_hot_encode;
+
+    fn small() -> Dataset {
+        criteo_like(&GenConfig {
+            seed: 6,
+            scale: 0.02,
+        })
+    }
+
+    #[test]
+    fn shape_is_criteo_like() {
+        let d = small();
+        assert_eq!(d.m(), 39);
+        assert!(d.l() > 1_000, "one-hot width {} too small", d.l());
+        assert_eq!(d.task, Task::Classification { classes: 2 });
+    }
+
+    #[test]
+    fn one_hot_is_ultra_sparse() {
+        let d = small();
+        let x = one_hot_encode(&d.x0);
+        assert!(
+            x.density() < 0.05,
+            "density {} not ultra-sparse",
+            x.density()
+        );
+    }
+
+    #[test]
+    fn few_basic_slices_survive_min_support() {
+        let d = small();
+        let x = one_hot_encode(&d.x0);
+        let sums = sliceline_linalg::agg::col_sums_csr(&x);
+        let sigma = (d.n() / 100).max(1) as f64;
+        let surviving = sums.iter().filter(|&&s| s >= sigma).count();
+        // The Table-2 phenomenon: a tiny fraction of columns survive σ.
+        assert!(surviving > 0);
+        assert!(
+            (surviving as f64) < 0.25 * d.l() as f64,
+            "{surviving} of {} columns survive — not Criteo-like",
+            d.l()
+        );
+    }
+
+    #[test]
+    fn wide_domains_scale_with_n() {
+        let small_d = criteo_like(&GenConfig {
+            seed: 6,
+            scale: 0.01,
+        });
+        let large_d = criteo_like(&GenConfig {
+            seed: 6,
+            scale: 0.05,
+        });
+        assert!(large_d.l() > small_d.l());
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = GenConfig {
+            seed: 6,
+            scale: 0.01,
+        };
+        assert_eq!(criteo_like(&c).errors, criteo_like(&c).errors);
+    }
+}

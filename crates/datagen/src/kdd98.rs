@@ -1,0 +1,199 @@
+//! KDD 98-shaped generator: `n ≈ 95,412` (base scaled down), `m = 469`,
+//! `l = 8,378`, regression.
+//!
+//! KDD 98's signature (§5.2, Fig. 4b) is *many features*: 469 columns
+//! yield thousands of qualifying basic slices, so even level 2 joins a
+//! large candidate set. Domains are heavy-tailed (many small categorical
+//! codes, a few wide ones) summing to 8,378 one-hot columns, and errors
+//! are squared-loss-like.
+
+use crate::synth::{
+    regression_errors, sample_matrix, CorrelatedSampler, Dataset, GenConfig, PlantedSlice, Task,
+};
+use sliceline_frame::FeatureSet;
+
+/// Base row count before scaling (0.1× the real 95,412).
+const BASE_ROWS: usize = 9_541;
+
+/// Deterministic heavy-tailed domain sizes for 469 features summing to
+/// 8,378 one-hot columns: a repeating pattern of small domains with
+/// periodic wide ones, adjusted to hit the exact total.
+pub fn domains() -> Vec<u32> {
+    let m = 469usize;
+    let target = 8_378u32;
+    // Minimum domain ~10: KDD98's recoded/binned features; the absence of
+    // tiny domains keeps any single feature value's share of a planted
+    // error mass below the score-pruning cut (see the planted-slice
+    // commentary in `kdd98_like`).
+    let mut d: Vec<u32> = (0..m)
+        .map(|j| match j % 12 {
+            0 => 44,        // wide recoded categoricals
+            1 | 2 => 26,    // medium
+            3..=6 => 15,    // binned continuous
+            _ => 13,        // small categoricals
+        })
+        .collect();
+    adjust_to_target(&mut d, target);
+    d
+}
+
+/// Cycles +1/−1 adjustments over the domain vector until it sums exactly
+/// to `target` (never dropping a domain below 2).
+pub(crate) fn adjust_to_target(d: &mut [u32], target: u32) {
+    loop {
+        let sum: u32 = d.iter().sum();
+        match sum.cmp(&target) {
+            std::cmp::Ordering::Equal => return,
+            std::cmp::Ordering::Less => {
+                let mut deficit = target - sum;
+                for v in d.iter_mut() {
+                    if deficit == 0 {
+                        break;
+                    }
+                    *v += 1;
+                    deficit -= 1;
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                let mut surplus = sum - target;
+                for v in d.iter_mut() {
+                    if surplus == 0 {
+                        break;
+                    }
+                    if *v > 2 {
+                        *v -= 1;
+                        surplus -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Generates a KDD 98-shaped regression dataset.
+pub fn kdd98_like(config: &GenConfig) -> Dataset {
+    let doms = domains();
+    let n = config.rows(BASE_ROWS);
+    let mut rng = crate::synth::rng_for(config, 0x98u64);
+    // The error structure mirrors real lm errors on KDD98: a handful of
+    // "large donor" segments carry almost all of the squared loss.
+    //
+    // * Four narrow single-predicate *spikes* produce extreme basic-slice
+    //   scores, so the top-K threshold is already high after level 1.
+    // * Planted rows spread their other feature values nearly uniformly
+    //   within a latent group (`group_skew` 0.15), so no unrelated column
+    //   accumulates enough error mass to beat that threshold — this is
+    //   what lets score pruning collapse the ~20M-pair level-2 join to
+    //   the paper's "thousands of candidates" scale (Fig. 4b).
+    // * Two deeper conjunctions with large mass remain discoverable.
+    let planted = vec![
+        // Four 2-predicate "spike" segments on tail codes of wide
+        // features: tail codes have ~zero background probability, so the
+        // slices contain (almost) only the forced rows — their basic
+        // columns score extremely high, lifting the top-K threshold right
+        // after level 1 without leaking error mass into popular codes.
+        PlantedSlice {
+            predicates: vec![(0, 40), (12, 39)],
+            elevated: 100.0,
+            fraction: 0.010,
+        },
+        PlantedSlice {
+            predicates: vec![(24, 41), (36, 38)],
+            elevated: 100.0,
+            fraction: 0.010,
+        },
+        PlantedSlice {
+            predicates: vec![(48, 40), (60, 39)],
+            elevated: 98.0,
+            fraction: 0.010,
+        },
+        PlantedSlice {
+            predicates: vec![(72, 41), (84, 38)],
+            elevated: 96.0,
+            fraction: 0.010,
+        },
+        // Deeper conjunctions with large mass, also on tail codes.
+        PlantedSlice {
+            predicates: vec![(19, 12), (100, 12)],
+            elevated: 50.0,
+            fraction: 0.04,
+        },
+        PlantedSlice {
+            predicates: vec![(200, 11), (300, 10), (400, 12)],
+            elevated: 54.0,
+            fraction: 0.035,
+        },
+    ];
+    // Strong global skew: only head categories pass sigma (thousands, not
+    // all 8378); near-uniform group spread dilutes planted mass.
+    let sampler = CorrelatedSampler::with_group_skew(&doms, 6, 0.10, 1.5, 0.0, &mut rng);
+    let x0 = sample_matrix(n, &doms, &sampler, &planted, &mut rng);
+    let errors = regression_errors(&x0, &planted, 0.05, &mut rng);
+    Dataset {
+        name: "KDD98Sim".to_string(),
+        features: FeatureSet::opaque_from_domains(&doms),
+        x0,
+        errors,
+        task: Task::Regression,
+        planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_sum_exactly() {
+        let d = domains();
+        assert_eq!(d.len(), 469);
+        assert_eq!(d.iter().sum::<u32>(), 8_378);
+        assert!(d.iter().all(|&v| v >= 2));
+    }
+
+    #[test]
+    fn shape_matches_table1() {
+        let d = kdd98_like(&GenConfig {
+            seed: 3,
+            scale: 0.02,
+        });
+        assert_eq!(d.m(), 469);
+        assert_eq!(d.l(), 8_378);
+        assert_eq!(d.task, Task::Regression);
+    }
+
+    #[test]
+    fn errors_nonnegative_continuous() {
+        let d = kdd98_like(&GenConfig {
+            seed: 3,
+            scale: 0.02,
+        });
+        assert!(d.errors.iter().all(|&e| e >= 0.0));
+        // Regression errors are not all 0/1.
+        assert!(d.errors.iter().any(|&e| e > 0.0 && e != 1.0));
+    }
+
+    #[test]
+    fn planted_regression_slices_elevated() {
+        let d = kdd98_like(&GenConfig {
+            seed: 11,
+            scale: 0.3,
+        });
+        let overall: f64 = d.errors.iter().sum::<f64>() / d.n() as f64;
+        let slice = &d.planted[0];
+        let (matches, err): (usize, f64) = (0..d.n())
+            .filter(|&r| slice.matches(&d.x0, r))
+            .fold((0, 0.0), |(c, e), r| (c + 1, e + d.errors[r]));
+        assert!(matches >= 10, "only {matches} planted rows");
+        assert!(err / matches as f64 > overall * 2.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = GenConfig {
+            seed: 3,
+            scale: 0.01,
+        };
+        assert_eq!(kdd98_like(&c).errors, kdd98_like(&c).errors);
+    }
+}

@@ -1,0 +1,36 @@
+//! # sliceline-datagen
+//!
+//! Seeded synthetic dataset generators matching the *shapes* of the
+//! datasets in the SliceLine paper's Table 1.
+//!
+//! The paper evaluates on UCI Adult, Covtype, KDD 98, US Census, Criteo
+//! day 21, and the tiny Salaries dataset. Those raw files are not shipped
+//! here; instead each generator reproduces the characteristics that drive
+//! SliceLine's behaviour — row count `n`, feature count `m`, per-feature
+//! domain sizes (and hence one-hot width `l`), correlation structure, and
+//! an error distribution with *planted* problematic slices so recovery can
+//! be asserted. See DESIGN.md §4 for the per-dataset substitution
+//! rationale.
+//!
+//! All generators are deterministic given a seed, and accept a `scale`
+//! factor on the row count so benchmarks can run laptop-sized by default
+//! and approach paper-sized with `--paper`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adult;
+pub mod census;
+pub mod covtype;
+pub mod criteo;
+pub mod kdd98;
+pub mod salaries;
+pub mod synth;
+
+pub use adult::adult_like;
+pub use census::census_like;
+pub use covtype::covtype_like;
+pub use criteo::criteo_like;
+pub use kdd98::kdd98_like;
+pub use salaries::{salaries, salaries_encoded};
+pub use synth::{Dataset, GenConfig, PlantedSlice, Task};

@@ -1,0 +1,182 @@
+//! A deterministic clone of the Salaries dataset (397 professors: rank,
+//! discipline, years since PhD, years of service, sex → nine-month
+//! salary).
+//!
+//! The paper uses this tiny dataset — 2×2 replicated — for the Fig. 3
+//! pruning/deduplication ablation. We regenerate a statistically similar
+//! table from a fixed seed: same schema, same size, same qualitative
+//! structure (salary grows with rank and experience; small planted
+//! subgroup effects give SliceLine something to find). Being deterministic,
+//! every test and bench sees the identical data.
+
+use crate::synth::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliceline_frame::{Column, DataFrame, DatasetEncoder, EncodedDataset};
+
+/// Number of rows in the (cloned) Salaries dataset.
+pub const ROWS: usize = 397;
+
+/// Builds the Salaries data frame: columns `rank`, `discipline`,
+/// `yrs.since.phd`, `yrs.service`, `sex`, and the label `salary`.
+pub fn salaries() -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(0x5A1A_1E55);
+    let ranks = ["AsstProf", "AssocProf", "Prof"];
+    let disciplines = ["A", "B"];
+    let sexes = ["Female", "Male"];
+    let mut rank_col = Vec::with_capacity(ROWS);
+    let mut disc_col = Vec::with_capacity(ROWS);
+    let mut phd_col = Vec::with_capacity(ROWS);
+    let mut service_col = Vec::with_capacity(ROWS);
+    let mut sex_col = Vec::with_capacity(ROWS);
+    let mut salary_col = Vec::with_capacity(ROWS);
+    for _ in 0..ROWS {
+        // Rank distribution similar to the original (Prof-heavy).
+        let rank = match rng.gen_range(0..100u32) {
+            0..=16 => 0,
+            17..=32 => 1,
+            _ => 2,
+        };
+        let discipline = usize::from(rng.gen::<f64>() < 0.54);
+        // ~90% male in the original data.
+        let sex = usize::from(rng.gen::<f64>() < 0.90);
+        let yrs_phd: f64 = match rank {
+            0 => rng.gen_range(1.0..11.0),
+            1 => rng.gen_range(6.0..25.0),
+            _ => rng.gen_range(10.0..56.0),
+        };
+        let yrs_service = (yrs_phd - rng.gen_range(0.0..6.0)).max(0.0);
+        // Salary model: base by rank + discipline premium + experience,
+        // with a penalty subgroup (female associate professors in
+        // discipline A) that a debugging model will systematically miss.
+        let base = match rank {
+            0 => 80_000.0,
+            1 => 93_000.0,
+            _ => 126_000.0,
+        };
+        let mut salary = base
+            + if discipline == 1 { 8_000.0 } else { 0.0 }
+            + yrs_phd * 450.0
+            - yrs_service * 120.0
+            + gaussian(&mut rng) * 9_000.0;
+        if sex == 0 && rank == 1 && discipline == 0 {
+            salary -= 18_000.0;
+        }
+        rank_col.push(ranks[rank]);
+        disc_col.push(disciplines[discipline]);
+        phd_col.push(yrs_phd.round());
+        service_col.push(yrs_service.round());
+        sex_col.push(sexes[sex]);
+        salary_col.push(salary.round().max(45_000.0));
+    }
+    let mut df = DataFrame::new();
+    df.add_column("rank", Column::categorical_from_strings(&rank_col))
+        .expect("fresh frame");
+    df.add_column("discipline", Column::categorical_from_strings(&disc_col))
+        .expect("aligned");
+    df.add_column("yrs.since.phd", Column::Numeric(phd_col))
+        .expect("aligned");
+    df.add_column("yrs.service", Column::Numeric(service_col))
+        .expect("aligned");
+    df.add_column("sex", Column::categorical_from_strings(&sex_col))
+        .expect("aligned");
+    df.add_column("salary", Column::Numeric(salary_col))
+        .expect("aligned");
+    df
+}
+
+/// Salaries encoded with the paper's preprocessing (10 equi-width bins for
+/// continuous features, salary split off as the regression label).
+pub fn salaries_encoded() -> EncodedDataset {
+    let df = salaries();
+    let encoder = DatasetEncoder {
+        recode_threshold: 0, // bin the year columns even though small
+        ..DatasetEncoder::with_label("salary")
+    };
+    encoder.encode(&df).expect("schema is static")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline_frame::Column;
+
+    #[test]
+    fn has_397_rows_and_schema() {
+        let df = salaries();
+        assert_eq!(df.nrows(), ROWS);
+        assert_eq!(df.ncols(), 6);
+        assert_eq!(
+            df.names(),
+            &[
+                "rank".to_string(),
+                "discipline".to_string(),
+                "yrs.since.phd".to_string(),
+                "yrs.service".to_string(),
+                "sex".to_string(),
+                "salary".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = salaries();
+        let b = salaries();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoded_matches_paper_shape() {
+        let enc = salaries_encoded();
+        // 5 features; one-hot width 27 in the paper: rank 3 + discipline 2
+        // + 10 + 10 + sex 2 = 27.
+        assert_eq!(enc.x0.cols(), 5);
+        assert_eq!(enc.x0.onehot_cols(), 27);
+        assert_eq!(enc.x0.rows(), ROWS);
+        assert!(enc.labels.is_some());
+    }
+
+    #[test]
+    fn salary_grows_with_rank() {
+        let df = salaries();
+        let (rank_codes, rank_labels) = match df.column("rank").unwrap() {
+            Column::Categorical { codes, labels } => (codes.clone(), labels.clone()),
+            _ => panic!("rank must be categorical"),
+        };
+        let salary = match df.column("salary").unwrap() {
+            Column::Numeric(v) => v.clone(),
+            _ => panic!("salary must be numeric"),
+        };
+        let mean_for = |label: &str| {
+            let code = rank_labels.iter().position(|l| l == label).unwrap() as u32;
+            let vals: Vec<f64> = rank_codes
+                .iter()
+                .zip(salary.iter())
+                .filter(|(&c, _)| c == code)
+                .map(|(_, &s)| s)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_for("Prof") > mean_for("AssocProf"));
+        assert!(mean_for("AssocProf") > mean_for("AsstProf") - 5_000.0);
+    }
+
+    #[test]
+    fn penalized_subgroup_exists() {
+        // The planted "female associate professor in discipline A" group
+        // must be present (so the Fig. 3 ablation has structure to find).
+        let df = salaries();
+        let rank = df.column("rank").unwrap();
+        let disc = df.column("discipline").unwrap();
+        let sex = df.column("sex").unwrap();
+        let count = (0..df.nrows())
+            .filter(|&i| {
+                rank.display_value(i) == "AssocProf"
+                    && disc.display_value(i) == "A"
+                    && sex.display_value(i) == "Female"
+            })
+            .count();
+        assert!(count >= 2, "subgroup only has {count} members");
+    }
+}

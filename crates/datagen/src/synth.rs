@@ -1,0 +1,507 @@
+//! Shared synthetic-data machinery: the [`Dataset`] container, planted
+//! slices, correlated categorical sampling, and error-vector generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliceline_frame::{FeatureSet, IntMatrix};
+
+/// The prediction task a dataset simulates (Table 1, rightmost column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Regression (errors are squared-loss-like, continuous).
+    Regression,
+    /// Classification with the given class count (errors are 0/1
+    /// inaccuracy).
+    Classification {
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl Task {
+    /// Table-1 style label, e.g. `"2-Class"` or `"Reg."`.
+    pub fn label(&self) -> String {
+        match self {
+            Task::Regression => "Reg.".to_string(),
+            Task::Classification { classes } => format!("{classes}-Class"),
+        }
+    }
+}
+
+/// A slice deliberately planted with elevated model error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedSlice {
+    /// `(feature, 1-based code)` predicates, **sorted by feature index**
+    /// so they compare directly against `SliceInfo::predicates`.
+    pub predicates: Vec<(usize, u32)>,
+    /// Error probability (classification) or noise scale multiplier
+    /// (regression) inside the slice.
+    pub elevated: f64,
+    /// Fraction of the rows forced to match this slice.
+    pub fraction: f64,
+}
+
+impl PlantedSlice {
+    /// `true` if the row matches all predicates.
+    pub fn matches(&self, x0: &IntMatrix, row: usize) -> bool {
+        self.predicates
+            .iter()
+            .all(|&(j, code)| x0.get(row, j) == code)
+    }
+}
+
+/// A generated dataset: integer-encoded features, error vector, metadata
+/// and ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"AdultSim"`).
+    pub name: String,
+    /// Integer-encoded feature matrix `X₀`.
+    pub x0: IntMatrix,
+    /// Feature metadata (opaque names for synthetic features).
+    pub features: FeatureSet,
+    /// Simulated model errors, row-aligned and non-negative.
+    pub errors: Vec<f64>,
+    /// The simulated task.
+    pub task: Task,
+    /// Ground-truth planted slices (sorted by descending `elevated`).
+    pub planted: Vec<PlantedSlice>,
+}
+
+impl Dataset {
+    /// Number of rows `n`.
+    pub fn n(&self) -> usize {
+        self.x0.rows()
+    }
+
+    /// Number of features `m`.
+    pub fn m(&self) -> usize {
+        self.x0.cols()
+    }
+
+    /// One-hot width `l = Σ d_j`.
+    pub fn l(&self) -> usize {
+        self.x0.onehot_cols()
+    }
+
+    /// Renders the dataset's Table-1 row: name, n, m, l, task.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<14} {:>12} {:>6} {:>12} {:>10}",
+            self.name,
+            self.n(),
+            self.m(),
+            self.l(),
+            self.task.label()
+        )
+    }
+}
+
+/// Generator configuration shared by all datasets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// RNG seed; every generator is deterministic given the seed.
+    pub seed: u64,
+    /// Row-count scale factor (1.0 = the generator's laptop-sized base).
+    pub scale: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x511C_E11E,
+            scale: 1.0,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Config with a specific seed at scale 1.
+    pub fn seeded(seed: u64) -> Self {
+        GenConfig { seed, scale: 1.0 }
+    }
+
+    /// Scales a base row count, keeping at least 16 rows.
+    pub fn rows(&self, base: usize) -> usize {
+        (((base as f64) * self.scale).round() as usize).max(16)
+    }
+}
+
+/// Correlated categorical feature sampler.
+///
+/// Each row first draws a latent group `z ∈ 0..groups`; each feature then
+/// draws from a group-conditioned multinomial with probability
+/// `correlation`, or from a shared global multinomial otherwise. Higher
+/// `correlation` produces the correlated column groups that make Covtype
+/// and USCensus hard for enumeration (§5.2).
+pub struct CorrelatedSampler {
+    /// Per-feature, per-group cumulative weight tables.
+    group_tables: Vec<Vec<Vec<f64>>>,
+    /// Per-feature global cumulative weight tables.
+    global_tables: Vec<Vec<f64>>,
+    /// Probability of sampling from the group-conditioned table.
+    correlation: f64,
+    groups: usize,
+}
+
+impl CorrelatedSampler {
+    /// Builds cumulative tables for the given per-feature domains.
+    ///
+    /// `skew` shapes the marginals: 0 = uniform, larger values concentrate
+    /// mass on few codes (Zipf-like with exponent `skew`). The
+    /// group-conditioned tables use the same skew; see
+    /// [`CorrelatedSampler::with_group_skew`] to separate them.
+    pub fn new(
+        domains: &[u32],
+        groups: usize,
+        correlation: f64,
+        skew: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self::with_group_skew(domains, groups, correlation, skew, skew, rng)
+    }
+
+    /// Like [`CorrelatedSampler::new`] but with a separate Zipf exponent
+    /// for the group-conditioned tables. A low `group_skew` spreads each
+    /// group's rows over many codes — used to control how much error mass
+    /// any single feature value accumulates from planted high-error rows.
+    pub fn with_group_skew(
+        domains: &[u32],
+        groups: usize,
+        correlation: f64,
+        skew: f64,
+        group_skew: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let groups = groups.max(1);
+        let mut group_tables = Vec::with_capacity(domains.len());
+        let mut global_tables = Vec::with_capacity(domains.len());
+        for &d in domains {
+            let d = d as usize;
+            global_tables.push(cumulative(&zipf_weights(d, skew, rng)));
+            let mut per_group = Vec::with_capacity(groups);
+            for _ in 0..groups {
+                per_group.push(cumulative(&zipf_weights(d, group_skew, rng)));
+            }
+            group_tables.push(per_group);
+        }
+        CorrelatedSampler {
+            group_tables,
+            global_tables,
+            correlation,
+            groups,
+        }
+    }
+
+    /// Number of latent groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Samples a latent group for a row.
+    pub fn sample_group(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(0..self.groups)
+    }
+
+    /// Samples the 1-based code of feature `j` for a row in group `z`.
+    pub fn sample_code(&self, j: usize, z: usize, rng: &mut StdRng) -> u32 {
+        let table = if rng.gen::<f64>() < self.correlation {
+            &self.group_tables[j][z]
+        } else {
+            &self.global_tables[j]
+        };
+        sample_cumulative(table, rng) as u32 + 1
+    }
+
+    /// Samples feature `j` strictly from group `z`'s conditional
+    /// distribution (correlation 1). Used for planted-slice rows so their
+    /// *other* feature values concentrate on the group's head codes —
+    /// real model errors cluster on feature patterns, and this clustering
+    /// is what makes the paper's score upper bound prune effectively.
+    pub fn sample_code_grouped(&self, j: usize, z: usize, rng: &mut StdRng) -> u32 {
+        sample_cumulative(&self.group_tables[j][z], rng) as u32 + 1
+    }
+}
+
+/// Zipf-like weights over `d` codes with exponent `skew`, randomly
+/// permuted so the heavy code differs per table.
+fn zipf_weights(d: usize, skew: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=d).map(|r| 1.0 / (r as f64).powf(skew)).collect();
+    // Fisher-Yates permutation of the weights.
+    for i in (1..w.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        w.swap(i, j);
+    }
+    w
+}
+
+/// Cumulative (unnormalized) weight table.
+fn cumulative(weights: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|&w| {
+            acc += w;
+            acc
+        })
+        .collect()
+}
+
+/// Samples an index proportionally to the cumulative table.
+fn sample_cumulative(table: &[f64], rng: &mut StdRng) -> usize {
+    let total = *table.last().expect("non-empty table");
+    let target = rng.gen::<f64>() * total;
+    match table.binary_search_by(|p| p.partial_cmp(&target).unwrap()) {
+        Ok(i) => i,
+        Err(i) => i.min(table.len() - 1),
+    }
+}
+
+/// Generates a classification-style 0/1 error vector: rows matching a
+/// planted slice err with that slice's `elevated` probability, everything
+/// else with `baseline`.
+pub fn classification_errors(
+    x0: &IntMatrix,
+    planted: &[PlantedSlice],
+    baseline: f64,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    (0..x0.rows())
+        .map(|r| {
+            let p = planted
+                .iter()
+                .filter(|s| s.matches(x0, r))
+                .map(|s| s.elevated)
+                .fold(baseline, f64::max);
+            if rng.gen::<f64>() < p {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Generates a regression-style squared-loss error vector: residuals are
+/// `N(0, base_sigma)` scaled by a planted slice's `elevated` multiplier
+/// when the row matches.
+pub fn regression_errors(
+    x0: &IntMatrix,
+    planted: &[PlantedSlice],
+    base_sigma: f64,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    (0..x0.rows())
+        .map(|r| {
+            let scale = planted
+                .iter()
+                .filter(|s| s.matches(x0, r))
+                .map(|s| s.elevated)
+                .fold(1.0, f64::max);
+            let z = gaussian(rng) * base_sigma * scale;
+            z * z
+        })
+        .collect()
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Builds an [`IntMatrix`] by sampling every feature of every row from a
+/// [`CorrelatedSampler`], then overwrites planted-slice rows so each
+/// planted slice reaches at least `min_slice_fraction` of the rows.
+pub fn sample_matrix(
+    n: usize,
+    domains: &[u32],
+    sampler: &CorrelatedSampler,
+    planted: &[PlantedSlice],
+    rng: &mut StdRng,
+) -> IntMatrix {
+    let m = domains.len();
+    let mut data = Vec::with_capacity(n * m);
+    for _ in 0..n {
+        let z = sampler.sample_group(rng);
+        for j in 0..m {
+            data.push(sampler.sample_code(j, z, rng));
+        }
+    }
+    // Force planted slices to reach their minimum support: assign
+    // dedicated row ranges (disjoint per slice) the slice's predicates,
+    // and resample the rows' *other* features from one fixed latent group
+    // (high-error rows cluster on feature patterns; without this, every
+    // feature value would contain some planted rows and the paper's
+    // max-tuple-error bound ⌈sm⌉ could never prune).
+    let mut next_row = 0usize;
+    for (slice_idx, slice) in planted.iter().enumerate() {
+        let group = slice_idx % sampler.groups();
+        let per_slice = ((n as f64) * slice.fraction).ceil() as usize;
+        for _ in 0..per_slice {
+            if next_row >= n {
+                break;
+            }
+            for j in 0..m {
+                data[next_row * m + j] = sampler.sample_code_grouped(j, group, rng);
+            }
+            for &(j, code) in &slice.predicates {
+                data[next_row * m + j] = code;
+            }
+            next_row += 1;
+        }
+    }
+    IntMatrix::new(n, m, data, domains.to_vec()).expect("sampled codes are within domains")
+}
+
+/// Seeded RNG helper.
+pub fn rng_for(config: &GenConfig, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn task_labels() {
+        assert_eq!(Task::Regression.label(), "Reg.");
+        assert_eq!(Task::Classification { classes: 7 }.label(), "7-Class");
+    }
+
+    #[test]
+    fn gen_config_rows_scale() {
+        let c = GenConfig { seed: 1, scale: 0.5 };
+        assert_eq!(c.rows(1000), 500);
+        let tiny = GenConfig { seed: 1, scale: 1e-9 };
+        assert_eq!(tiny.rows(1000), 16);
+    }
+
+    #[test]
+    fn planted_slice_matching() {
+        let x0 = IntMatrix::from_rows(&[vec![1, 2], vec![2, 2]]).unwrap();
+        let s = PlantedSlice {
+            predicates: vec![(0, 1), (1, 2)],
+            elevated: 0.5,
+            fraction: 0.05,
+        };
+        assert!(s.matches(&x0, 0));
+        assert!(!s.matches(&x0, 1));
+    }
+
+    #[test]
+    fn sampler_codes_in_domain() {
+        let mut r = rng();
+        let domains = [3u32, 5, 2];
+        let s = CorrelatedSampler::new(&domains, 4, 0.7, 1.0, &mut r);
+        assert_eq!(s.groups(), 4);
+        for _ in 0..500 {
+            let z = s.sample_group(&mut r);
+            for (j, &d) in domains.iter().enumerate() {
+                let code = s.sample_code(j, z, &mut r);
+                assert!(code >= 1 && code <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_produces_group_structure() {
+        let mut r = rng();
+        let domains = [8u32];
+        let s = CorrelatedSampler::new(&domains, 2, 1.0, 2.0, &mut r);
+        // With correlation 1.0, within-group samples concentrate on the
+        // group's heavy codes; measure that the two groups' modal codes
+        // differ in distribution by comparing histograms.
+        let mut h0 = vec![0usize; 8];
+        let mut h1 = vec![0usize; 8];
+        for _ in 0..2000 {
+            h0[(s.sample_code(0, 0, &mut r) - 1) as usize] += 1;
+            h1[(s.sample_code(0, 1, &mut r) - 1) as usize] += 1;
+        }
+        let l1: usize = h0
+            .iter()
+            .zip(h1.iter())
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum();
+        assert!(l1 > 200, "group histograms too similar: {h0:?} vs {h1:?}");
+    }
+
+    #[test]
+    fn classification_errors_respect_rates() {
+        let mut r = rng();
+        let n = 4000;
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![1 + (i % 2) as u32]).collect();
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        let planted = vec![PlantedSlice {
+            predicates: vec![(0, 1)],
+            elevated: 0.8,
+            fraction: 0.0,
+        }];
+        let e = classification_errors(&x0, &planted, 0.1, &mut r);
+        let slice_rate: f64 =
+            (0..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
+        let rest_rate: f64 = (1..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
+        assert!(slice_rate > 0.7, "slice rate {slice_rate}");
+        assert!(rest_rate < 0.2, "rest rate {rest_rate}");
+        assert!(e.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn regression_errors_elevated_in_slice() {
+        let mut r = rng();
+        let n = 4000;
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![1 + (i % 2) as u32]).collect();
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        let planted = vec![PlantedSlice {
+            predicates: vec![(0, 1)],
+            elevated: 4.0,
+            fraction: 0.0,
+        }];
+        let e = regression_errors(&x0, &planted, 1.0, &mut r);
+        assert!(e.iter().all(|&v| v >= 0.0));
+        let slice_mean: f64 = (0..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
+        let rest_mean: f64 = (1..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
+        assert!(slice_mean > 4.0 * rest_mean, "{slice_mean} vs {rest_mean}");
+    }
+
+    #[test]
+    fn sample_matrix_plants_support() {
+        let mut r = rng();
+        let domains = [4u32, 4, 4];
+        let sampler = CorrelatedSampler::new(&domains, 2, 0.5, 1.0, &mut r);
+        let planted = vec![PlantedSlice {
+            predicates: vec![(0, 2), (2, 3)],
+            elevated: 0.5,
+            fraction: 0.05,
+        }];
+        let x0 = sample_matrix(1000, &domains, &sampler, &planted, &mut r);
+        let matches = (0..1000).filter(|&i| planted[0].matches(&x0, i)).count();
+        assert!(matches >= 50, "planted slice support {matches} < 50");
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let c = GenConfig::seeded(99);
+        let mut a = rng_for(&c, 1);
+        let mut b = rng_for(&c, 1);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut other = rng_for(&c, 2);
+        assert_ne!(a.gen::<u64>(), other.gen::<u64>());
+    }
+}

@@ -1,0 +1,139 @@
+//! Row-wise partitioning of the one-hot matrix across simulated nodes.
+
+use sliceline_linalg::CsrMatrix;
+
+/// A CSR matrix split row-wise into `p` contiguous partitions, with the
+/// error vector split identically — the layout of HDFS blocks a Spark job
+/// would scan data-locally.
+#[derive(Debug, Clone)]
+pub struct PartitionedMatrix {
+    parts: Vec<CsrMatrix>,
+    error_parts: Vec<Vec<f64>>,
+    row_offsets: Vec<usize>,
+    cols: usize,
+}
+
+impl PartitionedMatrix {
+    /// Splits `x` and the row-aligned `errors` into `p` near-equal row
+    /// partitions (`p` clamped to at least 1 and at most `nrows`).
+    pub fn split(x: &CsrMatrix, errors: &[f64], p: usize) -> Self {
+        assert_eq!(x.rows(), errors.len(), "errors must align with X rows");
+        let n = x.rows();
+        let p = p.clamp(1, n.max(1));
+        let per = n.div_ceil(p);
+        let mut parts = Vec::with_capacity(p);
+        let mut error_parts = Vec::with_capacity(p);
+        let mut row_offsets = Vec::with_capacity(p);
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + per).min(n);
+            let indices: Vec<usize> = (lo..hi).collect();
+            parts.push(
+                x.select_rows(&indices)
+                    .expect("partition ranges are in bounds"),
+            );
+            error_parts.push(errors[lo..hi].to_vec());
+            row_offsets.push(lo);
+            lo = hi;
+        }
+        if parts.is_empty() {
+            parts.push(CsrMatrix::zeros(0, x.cols()));
+            error_parts.push(Vec::new());
+            row_offsets.push(0);
+        }
+        PartitionedMatrix {
+            parts,
+            error_parts,
+            row_offsets,
+            cols: x.cols(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Borrow partition `i` and its errors.
+    pub fn partition(&self, i: usize) -> (&CsrMatrix, &[f64]) {
+        (&self.parts[i], &self.error_parts[i])
+    }
+
+    /// Global row index of partition `i`'s first row.
+    pub fn row_offset(&self, i: usize) -> usize {
+        self.row_offsets[i]
+    }
+
+    /// Total rows across partitions.
+    pub fn total_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.rows()).sum()
+    }
+
+    /// Column count (identical across partitions).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize) -> (CsrMatrix, Vec<f64>) {
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![(i % 4) as u32]).collect();
+        let x = CsrMatrix::from_binary_rows(4, &rows).unwrap();
+        let e: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        (x, e)
+    }
+
+    #[test]
+    fn splits_evenly() {
+        let (x, e) = matrix(10);
+        let p = PartitionedMatrix::split(&x, &e, 3);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.total_rows(), 10);
+        assert_eq!(p.cols(), 4);
+        assert_eq!(p.row_offset(0), 0);
+        assert_eq!(p.row_offset(1), 4);
+        // Errors travel with their rows.
+        let (_, e1) = p.partition(1);
+        assert_eq!(e1, &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn partition_rows_match_source() {
+        let (x, e) = matrix(7);
+        let p = PartitionedMatrix::split(&x, &e, 2);
+        let (part0, _) = p.partition(0);
+        for r in 0..part0.rows() {
+            assert_eq!(part0.row_cols(r), x.row_cols(r));
+        }
+        let (part1, _) = p.partition(1);
+        let off = p.row_offset(1);
+        for r in 0..part1.rows() {
+            assert_eq!(part1.row_cols(r), x.row_cols(off + r));
+        }
+    }
+
+    #[test]
+    fn more_partitions_than_rows_clamped() {
+        let (x, e) = matrix(2);
+        let p = PartitionedMatrix::split(&x, &e, 10);
+        assert_eq!(p.num_partitions(), 2);
+    }
+
+    #[test]
+    fn single_partition_is_whole_matrix() {
+        let (x, e) = matrix(5);
+        let p = PartitionedMatrix::split(&x, &e, 1);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition(0).0.rows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_errors_panic() {
+        let (x, _) = matrix(5);
+        PartitionedMatrix::split(&x, &[1.0], 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Parallelization strategies (Fig. 7b) and a distributed SliceLine
+//! driver.
+//!
+//! [`evaluate_with_strategy`] evaluates one level's slices under MT-Ops,
+//! MT-PFor, or Dist-PFor; [`DistSliceLine`] plugs the chosen strategy into
+//! the core level-wise loop (enumeration, pruning and top-K stay on the
+//! driver, exactly like the paper's hybrid runtime plans keep everything
+//! but slice evaluation local).
+
+use crate::cluster::{ClusterConfig, SimulatedCluster};
+use sliceline::config::{EvalKernel, SliceLineConfig};
+use sliceline::enumerate::get_pair_candidates;
+use sliceline::evaluate::evaluate_slices;
+use sliceline::init::{create_and_score_basic_slices, LevelState};
+use sliceline::prepare::prepare;
+use sliceline::stats::{LevelStats, RunStats};
+use sliceline::topk::TopK;
+use sliceline::{Result, SliceLineResult};
+use sliceline_linalg::{CsrMatrix, ParallelConfig};
+use std::time::Instant;
+
+/// How slice evaluation is parallelized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Multi-threaded operations: data-parallel kernels with a barrier per
+    /// block operation.
+    MtOps {
+        /// Worker threads.
+        threads: usize,
+        /// Evaluation block size `b`.
+        block_size: usize,
+    },
+    /// Multi-threaded parallel-for over slices: workers own slice ranges
+    /// end-to-end, no per-op barriers.
+    MtParfor {
+        /// Worker threads.
+        threads: usize,
+        /// Per-worker evaluation block size `b`.
+        block_size: usize,
+    },
+    /// Distributed slice evaluation on the simulated cluster.
+    DistParfor(ClusterConfig),
+}
+
+/// Evaluates one level of slices under the given strategy, returning the
+/// scored [`LevelState`].
+pub fn evaluate_with_strategy(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: Vec<Vec<u32>>,
+    level: usize,
+    ctx: &sliceline::ScoringContext,
+    strategy: &Strategy,
+) -> LevelState {
+    match *strategy {
+        Strategy::MtOps {
+            threads,
+            block_size,
+        } => evaluate_slices(
+            x,
+            errors,
+            slices,
+            level,
+            ctx,
+            EvalKernel::Blocked { block_size },
+            &ParallelConfig::new(threads),
+        ),
+        Strategy::MtParfor {
+            threads,
+            block_size,
+        } => {
+            // Workers take contiguous slice ranges and run the blocked
+            // kernel serially inside — one join at the end of the level.
+            let k = slices.len();
+            if k == 0 {
+                return LevelState::default();
+            }
+            let workers = threads.clamp(1, k);
+            let per = k.div_ceil(workers);
+            let ranges: Vec<(usize, usize)> = (0..workers)
+                .map(|w| (w * per, ((w + 1) * per).min(k)))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect();
+            let slice_refs = &slices;
+            let parts: Vec<LevelState> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|(lo, hi)| {
+                        scope.spawn(move || {
+                            evaluate_slices(
+                                x,
+                                errors,
+                                slice_refs[lo..hi].to_vec(),
+                                level,
+                                ctx,
+                                EvalKernel::Blocked { block_size },
+                                &ParallelConfig::serial(),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            let mut out = LevelState::default();
+            for p in parts {
+                out.slices.extend(p.slices);
+                out.sizes.extend(p.sizes);
+                out.errors.extend(p.errors);
+                out.max_errors.extend(p.max_errors);
+                out.scores.extend(p.scores);
+            }
+            out
+        }
+        Strategy::DistParfor(config) => {
+            let cluster = SimulatedCluster::new(config, x, errors);
+            let (sizes, errs, max_errs) = cluster.evaluate_slices(&slices, level);
+            let scores = ctx.score_all(&sizes, &errs);
+            LevelState {
+                slices,
+                sizes,
+                errors: errs,
+                max_errors: max_errs,
+                scores,
+            }
+        }
+    }
+}
+
+/// SliceLine with pluggable evaluation strategy: the driver runs
+/// enumeration/pruning/top-K locally and ships only slice evaluation to
+/// the strategy (mirroring the paper's hybrid local/distributed plans).
+#[derive(Debug, Clone)]
+pub struct DistSliceLine {
+    config: SliceLineConfig,
+    strategy: Strategy,
+}
+
+impl DistSliceLine {
+    /// Creates a driver with the given core config and strategy.
+    pub fn new(config: SliceLineConfig, strategy: Strategy) -> Self {
+        DistSliceLine { config, strategy }
+    }
+
+    /// Runs the level-wise algorithm with strategy-based evaluation.
+    pub fn find_slices(
+        &self,
+        x0: &sliceline_frame::IntMatrix,
+        errors: &[f64],
+    ) -> Result<SliceLineResult> {
+        let start = Instant::now();
+        let prepared = prepare(x0, errors, &self.config)?;
+        let mut stats = RunStats {
+            sigma: prepared.sigma,
+            n: prepared.n(),
+            m: prepared.m,
+            l: prepared.l(),
+            ..Default::default()
+        };
+        let lvl_start = Instant::now();
+        let (proj, mut level) = create_and_score_basic_slices(&prepared);
+        stats.basic_slices = level.len();
+        let mut topk = TopK::new(self.config.k, prepared.sigma);
+        topk.update(&level);
+        stats.levels.push(LevelStats {
+            level: 1,
+            candidates: prepared.l(),
+            valid: level.len(),
+            enumeration: None,
+            elapsed: lvl_start.elapsed(),
+            threshold_after: topk.prune_threshold(),
+        });
+        let max_level = self.config.max_level.min(prepared.m);
+        let mut l = 1usize;
+        while !level.is_empty() && l < max_level {
+            l += 1;
+            let lvl_start = Instant::now();
+            let (candidates, enum_stats) = get_pair_candidates(
+                &level,
+                l,
+                &proj.col_feature,
+                proj.x.cols(),
+                &prepared.ctx,
+                prepared.sigma,
+                &self.config.pruning,
+                &topk,
+            );
+            let evaluated = candidates.len();
+            level = evaluate_with_strategy(
+                &proj.x,
+                &prepared.errors,
+                candidates,
+                l,
+                &prepared.ctx,
+                &self.strategy,
+            );
+            topk.update(&level);
+            stats.levels.push(LevelStats {
+                level: l,
+                candidates: evaluated,
+                valid: (0..level.len())
+                    .filter(|&i| {
+                        level.sizes[i] >= prepared.sigma as f64 && level.errors[i] > 0.0
+                    })
+                    .count(),
+                enumeration: Some(enum_stats),
+                elapsed: lvl_start.elapsed(),
+                threshold_after: topk.prune_threshold(),
+            });
+        }
+        stats.total_elapsed = start.elapsed();
+        // Decode via the same predicate mapping as the core driver.
+        let top_k = topk
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut predicates: Vec<(usize, u32)> = e
+                    .cols
+                    .iter()
+                    .map(|&c| {
+                        (
+                            proj.col_feature[c as usize] as usize,
+                            proj.col_code[c as usize],
+                        )
+                    })
+                    .collect();
+                predicates.sort_unstable();
+                sliceline::SliceInfo {
+                    predicates,
+                    score: e.score,
+                    size: e.size,
+                    error: e.error,
+                    max_error: e.max_error,
+                    avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
+                }
+            })
+            .collect();
+        Ok(SliceLineResult { top_k, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline::SliceLine;
+    use sliceline_frame::IntMatrix;
+    use std::time::Duration;
+
+    fn planted() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..64u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 2);
+            let f2 = 1 + ((i / 4) % 4);
+            rows.push(vec![f0, f1, f2]);
+            errors.push(if f0 == 1 && f1 == 2 { 1.0 } else { 0.05 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn core_config() -> SliceLineConfig {
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    fn fast_cluster(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            threads_per_node: 2,
+            broadcast_latency: Duration::ZERO,
+            broadcast_per_nnz: Duration::ZERO,
+            aggregate_latency: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn all_strategies_match_local_results() {
+        let (x0, e) = planted();
+        let local = SliceLine::new(core_config()).find_slices(&x0, &e).unwrap();
+        let strategies = [
+            Strategy::MtOps {
+                threads: 2,
+                block_size: 4,
+            },
+            Strategy::MtParfor {
+                threads: 3,
+                block_size: 4,
+            },
+            Strategy::DistParfor(fast_cluster(3)),
+        ];
+        for s in strategies {
+            let r = DistSliceLine::new(core_config(), s)
+                .find_slices(&x0, &e)
+                .unwrap();
+            assert_eq!(r.top_k, local.top_k, "strategy {s:?} diverged");
+        }
+    }
+
+    #[test]
+    fn mtparfor_partitions_slices_not_rows() {
+        let (x0, e) = planted();
+        let r = DistSliceLine::new(
+            core_config(),
+            Strategy::MtParfor {
+                threads: 8,
+                block_size: 1,
+            },
+        )
+        .find_slices(&x0, &e)
+        .unwrap();
+        assert!(!r.top_k.is_empty());
+        assert_eq!(r.top_k[0].predicates, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn dist_finds_planted_slice() {
+        let (x0, e) = planted();
+        let r = DistSliceLine::new(core_config(), Strategy::DistParfor(fast_cluster(4)))
+            .find_slices(&x0, &e)
+            .unwrap();
+        assert_eq!(r.top_k[0].predicates, vec![(0, 1), (1, 2)]);
+        assert!(r.stats.max_level() >= 2);
+    }
+
+    #[test]
+    fn strategy_evaluate_empty() {
+        let x = CsrMatrix::zeros(4, 2);
+        let ctx = sliceline::ScoringContext::new(&[1.0; 4], 0.95);
+        for s in [
+            Strategy::MtOps {
+                threads: 2,
+                block_size: 2,
+            },
+            Strategy::MtParfor {
+                threads: 2,
+                block_size: 2,
+            },
+        ] {
+            let out = evaluate_with_strategy(&x, &[1.0; 4], Vec::new(), 2, &ctx, &s);
+            assert!(out.is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: distributed slice evaluation equals the single-node
+//! computation for any partitioning, and every strategy returns the same
+//! statistics.
+
+use proptest::prelude::*;
+use sliceline_dist::{ClusterConfig, PartitionedMatrix, SimulatedCluster};
+use sliceline_linalg::CsrMatrix;
+use std::time::Duration;
+
+/// A random one-hot-ish matrix (2 features) plus aligned errors and a
+/// level-2 slice set.
+fn workload() -> impl Strategy<Value = (CsrMatrix, Vec<f64>, Vec<Vec<u32>>)> {
+    (4usize..=40, 2u32..=4, 2u32..=4).prop_flat_map(|(n, d0, d1)| {
+        let rows = proptest::collection::vec((0..d0, 0..d1), n..=n);
+        let errors =
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(2.0)], n..=n);
+        (rows, errors, Just((d0, d1)))
+            .prop_map(move |(codes, errors, (d0, d1))| {
+                let cols = (d0 + d1) as usize;
+                let row_lists: Vec<Vec<u32>> = codes
+                    .iter()
+                    .map(|&(a, b)| vec![a, d0 + b])
+                    .collect();
+                let x = CsrMatrix::from_binary_rows(cols, &row_lists).unwrap();
+                // All cross-feature pairs as level-2 slices.
+                let mut slices = Vec::new();
+                for a in 0..d0 {
+                    for b in 0..d1 {
+                        slices.push(vec![a, d0 + b]);
+                    }
+                }
+                (x, errors, slices)
+            })
+    })
+}
+
+fn fast_cluster(nodes: usize, threads: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        threads_per_node: threads,
+        broadcast_latency: Duration::ZERO,
+        broadcast_per_nnz: Duration::ZERO,
+        aggregate_latency: Duration::ZERO,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_partitioning_matches_single_node(
+        (x, errors, slices) in workload(),
+        nodes in 1usize..6,
+        threads in 1usize..3,
+    ) {
+        let single = SimulatedCluster::new(fast_cluster(1, 1), &x, &errors)
+            .evaluate_slices(&slices, 2);
+        let multi = SimulatedCluster::new(fast_cluster(nodes, threads), &x, &errors)
+            .evaluate_slices(&slices, 2);
+        prop_assert_eq!(&multi.0, &single.0);
+        for (a, b) in multi.1.iter().zip(single.1.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        prop_assert_eq!(&multi.2, &single.2);
+        // Statistics equal a direct per-slice computation.
+        for (i, cols) in slices.iter().enumerate() {
+            let mut size = 0.0;
+            let mut err = 0.0;
+            let mut max: f64 = 0.0;
+            for r in 0..x.rows() {
+                let row = x.row_cols(r);
+                if cols.iter().all(|c| row.contains(c)) {
+                    size += 1.0;
+                    err += errors[r];
+                    max = max.max(errors[r]);
+                }
+            }
+            prop_assert_eq!(single.0[i], size);
+            prop_assert!((single.1[i] - err).abs() < 1e-9);
+            prop_assert_eq!(single.2[i], max);
+        }
+    }
+
+    #[test]
+    fn partition_reassembles(
+        (x, errors, _) in workload(),
+        parts in 1usize..8,
+    ) {
+        let p = PartitionedMatrix::split(&x, &errors, parts);
+        prop_assert_eq!(p.total_rows(), x.rows());
+        prop_assert!(p.num_partitions() <= parts.max(1));
+        // Row content preserved partition by partition.
+        for i in 0..p.num_partitions() {
+            let (part, errs) = p.partition(i);
+            let off = p.row_offset(i);
+            prop_assert_eq!(errs.len(), part.rows());
+            for r in 0..part.rows() {
+                prop_assert_eq!(part.row_cols(r), x.row_cols(off + r));
+                prop_assert_eq!(errs[r], errors[off + r]);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Typed columns and the [`DataFrame`] container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by frame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Columns of differing lengths were combined into one frame.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        len: usize,
+        /// The expected frame length.
+        expected: usize,
+    },
+    /// A column name was not found.
+    UnknownColumn(String),
+    /// A column already exists under this name.
+    DuplicateColumn(String),
+    /// CSV or value parsing failed.
+    Parse {
+        /// 1-based line number (0 when unknown).
+        line: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::LengthMismatch {
+                column,
+                len,
+                expected,
+            } => write!(
+                f,
+                "column '{column}' has {len} rows, expected {expected}"
+            ),
+            FrameError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
+            FrameError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenience alias for frame results.
+pub type Result<T> = std::result::Result<T, FrameError>;
+
+/// A single typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Continuous numeric values (NaN marks missing values).
+    Numeric(Vec<f64>),
+    /// Categorical values stored as 0-based codes into `labels`.
+    Categorical {
+        /// Per-row code, an index into `labels`.
+        codes: Vec<u32>,
+        /// Distinct category labels in first-appearance order.
+        labels: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// `true` if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds a categorical column from string values, assigning codes in
+    /// first-appearance order.
+    pub fn categorical_from_strings<S: AsRef<str>>(values: &[S]) -> Column {
+        let mut labels: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let s = v.as_ref();
+            let code = match index.get(s) {
+                Some(&c) => c,
+                None => {
+                    let c = labels.len() as u32;
+                    labels.push(s.to_string());
+                    index.insert(s.to_string(), c);
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { codes, labels }
+    }
+
+    /// Number of distinct values (categories for categorical columns,
+    /// distinct finite values for numeric ones).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Categorical { labels, .. } => labels.len(),
+            Column::Numeric(v) => {
+                let mut sorted: Vec<f64> = v.iter().cloned().filter(|x| x.is_finite()).collect();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                sorted.dedup();
+                sorted.len()
+            }
+        }
+    }
+
+    /// Renders row `i` as a display string.
+    pub fn display_value(&self, i: usize) -> String {
+        match self {
+            Column::Numeric(v) => format!("{}", v[i]),
+            Column::Categorical { codes, labels } => labels[codes[i] as usize].clone(),
+        }
+    }
+}
+
+/// A named collection of equal-length columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl DataFrame {
+    /// Creates an empty frame.
+    pub fn new() -> Self {
+        DataFrame::default()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Adds a column; the first column fixes the row count.
+    pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> Result<()> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(FrameError::DuplicateColumn(name));
+        }
+        if self.columns.is_empty() {
+            self.nrows = column.len();
+        } else if column.len() != self.nrows {
+            return Err(FrameError::LengthMismatch {
+                column: name,
+                len: column.len(),
+                expected: self.nrows,
+            });
+        }
+        self.names.push(name);
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Borrow a column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Position of a named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| FrameError::UnknownColumn(name.to_string()))
+    }
+
+    /// Removes a column by name and returns it (used to split off labels or
+    /// drop ID columns, as the paper does).
+    pub fn remove_column(&mut self, name: &str) -> Result<Column> {
+        let i = self.index_of(name)?;
+        self.names.remove(i);
+        let col = self.columns.remove(i);
+        if self.columns.is_empty() {
+            self.nrows = 0;
+        }
+        Ok(col)
+    }
+
+    /// Iterate over `(name, column)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Column)> {
+        self.names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.columns.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_from_strings_first_appearance_order() {
+        let c = Column::categorical_from_strings(&["b", "a", "b", "c"]);
+        match &c {
+            Column::Categorical { codes, labels } => {
+                assert_eq!(labels, &["b", "a", "c"]);
+                assert_eq!(codes, &[0, 1, 0, 2]);
+            }
+            _ => panic!("expected categorical"),
+        }
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.display_value(3), "c");
+    }
+
+    #[test]
+    fn numeric_cardinality_ignores_nan() {
+        let c = Column::Numeric(vec![1.0, 2.0, 2.0, f64::NAN]);
+        assert_eq!(c.cardinality(), 2);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn frame_add_and_lookup() {
+        let mut df = DataFrame::new();
+        df.add_column("x", Column::Numeric(vec![1.0, 2.0])).unwrap();
+        df.add_column("y", Column::categorical_from_strings(&["a", "b"]))
+            .unwrap();
+        assert_eq!(df.nrows(), 2);
+        assert_eq!(df.ncols(), 2);
+        assert_eq!(df.names(), &["x".to_string(), "y".to_string()]);
+        assert!(df.column("x").is_ok());
+        assert!(df.column("z").is_err());
+        assert_eq!(df.index_of("y").unwrap(), 1);
+    }
+
+    #[test]
+    fn frame_rejects_mismatched_lengths_and_duplicates() {
+        let mut df = DataFrame::new();
+        df.add_column("x", Column::Numeric(vec![1.0, 2.0])).unwrap();
+        assert!(matches!(
+            df.add_column("y", Column::Numeric(vec![1.0])),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            df.add_column("x", Column::Numeric(vec![1.0, 2.0])),
+            Err(FrameError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn remove_column_splits_labels() {
+        let mut df = DataFrame::new();
+        df.add_column("feature", Column::Numeric(vec![1.0])).unwrap();
+        df.add_column("label", Column::Numeric(vec![9.0])).unwrap();
+        let label = df.remove_column("label").unwrap();
+        assert_eq!(label, Column::Numeric(vec![9.0]));
+        assert_eq!(df.ncols(), 1);
+        assert!(df.remove_column("label").is_err());
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let mut df = DataFrame::new();
+        df.add_column("a", Column::Numeric(vec![1.0])).unwrap();
+        df.add_column("b", Column::Numeric(vec![2.0])).unwrap();
+        let names: Vec<&str> = df.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            FrameError::UnknownColumn("q".into()).to_string(),
+            "unknown column 'q'"
+        );
+        assert_eq!(
+            FrameError::Parse {
+                line: 3,
+                reason: "bad".into()
+            }
+            .to_string(),
+            "parse error at line 3: bad"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Dataset encoding: the paper's §5.1 preprocessing pipeline.
+//!
+//! "We pre-process these datasets by recoding categorical features,
+//! binning continuous features (except labels) into 10 equi-width bins,
+//! and dropping ID columns." [`DatasetEncoder`] reproduces exactly that,
+//! producing the 1-based integer matrix `X₀` plus [`FeatureSet`] metadata
+//! for decoding slices back to predicates.
+
+use crate::column::{Column, DataFrame, FrameError, Result};
+use crate::intmatrix::IntMatrix;
+use crate::meta::{FeatureKind, FeatureMeta, FeatureSet};
+
+/// How numeric columns are turned into integer codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningStrategy {
+    /// Equi-width binning into the given number of bins (the paper uses 10).
+    EquiWidth(u32),
+    /// Recode each distinct value to its own code (only sensible for
+    /// low-cardinality integer-like columns).
+    RecodeDistinct,
+}
+
+/// Configuration for [`DatasetEncoder::encode`].
+#[derive(Debug, Clone)]
+pub struct DatasetEncoder {
+    /// Strategy for numeric feature columns.
+    pub binning: BinningStrategy,
+    /// Numeric columns whose distinct-value count is at most this threshold
+    /// are recoded per distinct value instead of binned (0 disables).
+    pub recode_threshold: usize,
+    /// Columns dropped entirely (IDs etc.).
+    pub drop_columns: Vec<String>,
+    /// Column split off as the label vector `y` (not encoded as a feature).
+    pub label_column: Option<String>,
+}
+
+impl Default for DatasetEncoder {
+    /// The paper's defaults: 10 equi-width bins, recode numeric columns
+    /// with ≤ 10 distinct values, no drops, no label.
+    fn default() -> Self {
+        DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(10),
+            recode_threshold: 10,
+            drop_columns: Vec::new(),
+            label_column: None,
+        }
+    }
+}
+
+/// Result of encoding: `X₀`, feature metadata, and the optional label
+/// vector.
+#[derive(Debug, Clone)]
+pub struct EncodedDataset {
+    /// The 1-based integer-encoded feature matrix.
+    pub x0: IntMatrix,
+    /// Per-feature provenance for decoding.
+    pub features: FeatureSet,
+    /// Labels split off via [`DatasetEncoder::label_column`], if any.
+    /// Categorical labels are recoded to `0, 1, 2, …` class ids.
+    pub labels: Option<Vec<f64>>,
+}
+
+impl DatasetEncoder {
+    /// Encoder with the paper's defaults plus a label column.
+    pub fn with_label(label: impl Into<String>) -> Self {
+        DatasetEncoder {
+            label_column: Some(label.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Runs the encoding pipeline on a frame.
+    pub fn encode(&self, df: &DataFrame) -> Result<EncodedDataset> {
+        let mut labels = None;
+        let mut codes_per_feature: Vec<Vec<u32>> = Vec::new();
+        let mut metas: Vec<FeatureMeta> = Vec::new();
+        for (name, col) in df.iter() {
+            if self.drop_columns.iter().any(|d| d == name) {
+                continue;
+            }
+            if self.label_column.as_deref() == Some(name) {
+                labels = Some(label_vector(col));
+                continue;
+            }
+            let (codes, meta) = self.encode_column(name, col)?;
+            codes_per_feature.push(codes);
+            metas.push(meta);
+        }
+        if self.label_column.is_some() && labels.is_none() {
+            return Err(FrameError::UnknownColumn(
+                self.label_column.clone().unwrap(),
+            ));
+        }
+        let m = codes_per_feature.len();
+        let n = df.nrows();
+        let mut data = Vec::with_capacity(n * m);
+        for r in 0..n {
+            for codes in &codes_per_feature {
+                data.push(codes[r]);
+            }
+        }
+        let domains: Vec<u32> = metas.iter().map(|f| f.domain).collect();
+        let x0 = IntMatrix::new(n, m, data, domains)?;
+        Ok(EncodedDataset {
+            x0,
+            features: FeatureSet::new(metas),
+            labels,
+        })
+    }
+
+    fn encode_column(&self, name: &str, col: &Column) -> Result<(Vec<u32>, FeatureMeta)> {
+        match col {
+            Column::Categorical { codes, labels } => {
+                // Recode: the stored codes are already dense 0-based;
+                // shift to 1-based.
+                let out: Vec<u32> = codes.iter().map(|&c| c + 1).collect();
+                Ok((
+                    out,
+                    FeatureMeta {
+                        name: name.to_string(),
+                        kind: FeatureKind::Categorical {
+                            labels: labels.clone(),
+                        },
+                        domain: labels.len().max(1) as u32,
+                    },
+                ))
+            }
+            Column::Numeric(values) => {
+                let distinct = distinct_finite(values);
+                let use_recode = matches!(self.binning, BinningStrategy::RecodeDistinct)
+                    || (self.recode_threshold > 0 && distinct.len() <= self.recode_threshold);
+                if use_recode {
+                    self.encode_recode_distinct(name, values, distinct)
+                } else {
+                    let bins = match self.binning {
+                        BinningStrategy::EquiWidth(b) => b.max(1),
+                        BinningStrategy::RecodeDistinct => unreachable!(),
+                    };
+                    self.encode_equi_width(name, values, bins)
+                }
+            }
+        }
+    }
+
+    fn encode_recode_distinct(
+        &self,
+        name: &str,
+        values: &[f64],
+        distinct: Vec<f64>,
+    ) -> Result<(Vec<u32>, FeatureMeta)> {
+        if distinct.is_empty() {
+            return Err(FrameError::Parse {
+                line: 0,
+                reason: format!("column '{name}' has no finite values to recode"),
+            });
+        }
+        let has_missing = values.iter().any(|v| !v.is_finite());
+        let missing_code = distinct.len() as u32 + 1;
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    let i = distinct
+                        .binary_search_by(|p| p.partial_cmp(&v).unwrap())
+                        .expect("value must be in distinct set");
+                    i as u32 + 1
+                } else {
+                    missing_code
+                }
+            })
+            .collect();
+        let domain = distinct.len() as u32 + u32::from(has_missing);
+        Ok((
+            codes,
+            FeatureMeta {
+                name: name.to_string(),
+                kind: FeatureKind::IntegerRecode { values: distinct },
+                domain,
+            },
+        ))
+    }
+
+    fn encode_equi_width(
+        &self,
+        name: &str,
+        values: &[f64],
+        bins: u32,
+    ) -> Result<(Vec<u32>, FeatureMeta)> {
+        let finite: Vec<f64> = values.iter().cloned().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(FrameError::Parse {
+                line: 0,
+                reason: format!("column '{name}' has no finite values to bin"),
+            });
+        }
+        let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        // Degenerate constant columns get a single bin of unit width.
+        let width = if span > 0.0 { span / bins as f64 } else { 1.0 };
+        let has_missing = values.iter().any(|v| !v.is_finite());
+        let missing_code = bins + 1;
+        let codes: Vec<u32> = values
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    let raw = ((v - min) / width).floor() as i64 + 1;
+                    raw.clamp(1, bins as i64) as u32
+                } else {
+                    missing_code
+                }
+            })
+            .collect();
+        let domain = bins + u32::from(has_missing);
+        Ok((
+            codes,
+            FeatureMeta {
+                name: name.to_string(),
+                kind: FeatureKind::Binned {
+                    min,
+                    width,
+                    bins,
+                    has_missing,
+                },
+                domain,
+            },
+        ))
+    }
+}
+
+/// Extracts a numeric label vector: numeric columns pass through;
+/// categorical columns become 0-based class ids.
+fn label_vector(col: &Column) -> Vec<f64> {
+    match col {
+        Column::Numeric(v) => v.clone(),
+        Column::Categorical { codes, .. } => codes.iter().map(|&c| c as f64).collect(),
+    }
+}
+
+fn distinct_finite(values: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = values.iter().cloned().filter(|v| v.is_finite()).collect();
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        let mut df = DataFrame::new();
+        df.add_column(
+            "color",
+            Column::categorical_from_strings(&["red", "blue", "red", "green"]),
+        )
+        .unwrap();
+        df.add_column("height", Column::Numeric(vec![150.0, 160.0, 170.0, 180.0]))
+            .unwrap();
+        df.add_column("kids", Column::Numeric(vec![0.0, 1.0, 0.0, 2.0]))
+            .unwrap();
+        df.add_column("id", Column::Numeric(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        df.add_column("y", Column::Numeric(vec![1.5, 2.5, 3.5, 4.5]))
+            .unwrap();
+        df
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(2),
+            recode_threshold: 3,
+            drop_columns: vec!["id".into()],
+            label_column: Some("y".into()),
+        };
+        let out = enc.encode(&frame()).unwrap();
+        assert_eq!(out.x0.cols(), 3); // color, height, kids
+        assert_eq!(out.x0.rows(), 4);
+        assert_eq!(out.labels, Some(vec![1.5, 2.5, 3.5, 4.5]));
+        // color: 3 categories.
+        assert_eq!(out.features.feature(0).domain, 3);
+        // height: 4 distinct > threshold 3 -> 2 bins.
+        assert_eq!(out.features.feature(1).domain, 2);
+        // kids: 3 distinct <= 3 -> recode to 3 codes.
+        assert_eq!(out.features.feature(2).domain, 3);
+        // Codes are 1-based.
+        assert_eq!(out.x0.get(0, 0), 1); // red
+        assert_eq!(out.x0.get(1, 0), 2); // blue
+        assert_eq!(out.x0.get(3, 0), 3); // green
+        assert_eq!(out.x0.get(0, 2), 1); // kids=0
+        assert_eq!(out.x0.get(3, 2), 3); // kids=2
+    }
+
+    #[test]
+    fn equi_width_bins_cover_range() {
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(10),
+            recode_threshold: 0,
+            drop_columns: vec![],
+            label_column: None,
+        };
+        let mut df = DataFrame::new();
+        df.add_column("v", Column::Numeric((0..100).map(|i| i as f64).collect()))
+            .unwrap();
+        let out = enc.encode(&df).unwrap();
+        assert_eq!(out.features.feature(0).domain, 10);
+        // Max value clamps into the last bin.
+        assert_eq!(out.x0.get(99, 0), 10);
+        assert_eq!(out.x0.get(0, 0), 1);
+    }
+
+    #[test]
+    fn missing_numeric_gets_own_code() {
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(4),
+            recode_threshold: 0,
+            drop_columns: vec![],
+            label_column: None,
+        };
+        let mut df = DataFrame::new();
+        df.add_column("v", Column::Numeric(vec![1.0, 2.0, f64::NAN, 4.0]))
+            .unwrap();
+        let out = enc.encode(&df).unwrap();
+        assert_eq!(out.features.feature(0).domain, 5);
+        assert_eq!(out.x0.get(2, 0), 5);
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(10),
+            recode_threshold: 0,
+            drop_columns: vec![],
+            label_column: None,
+        };
+        let mut df = DataFrame::new();
+        df.add_column("v", Column::Numeric(vec![5.0; 8])).unwrap();
+        let out = enc.encode(&df).unwrap();
+        // All rows land in bin 1; domain stays the configured bin count.
+        for r in 0..8 {
+            assert_eq!(out.x0.get(r, 0), 1);
+        }
+    }
+
+    #[test]
+    fn categorical_label_becomes_class_ids() {
+        let mut df = DataFrame::new();
+        df.add_column("x", Column::Numeric(vec![1.0, 2.0, 3.0]))
+            .unwrap();
+        df.add_column(
+            "cls",
+            Column::categorical_from_strings(&["yes", "no", "yes"]),
+        )
+        .unwrap();
+        let enc = DatasetEncoder::with_label("cls");
+        let out = enc.encode(&df).unwrap();
+        assert_eq!(out.labels, Some(vec![0.0, 1.0, 0.0]));
+    }
+
+    #[test]
+    fn missing_label_column_errors() {
+        let mut df = DataFrame::new();
+        df.add_column("x", Column::Numeric(vec![1.0])).unwrap();
+        let enc = DatasetEncoder::with_label("nope");
+        assert!(matches!(
+            enc.encode(&df),
+            Err(FrameError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn recode_distinct_strategy() {
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::RecodeDistinct,
+            recode_threshold: 0,
+            drop_columns: vec![],
+            label_column: None,
+        };
+        let mut df = DataFrame::new();
+        df.add_column("v", Column::Numeric(vec![30.0, 10.0, 20.0, 10.0]))
+            .unwrap();
+        let out = enc.encode(&df).unwrap();
+        // Sorted distinct [10,20,30] -> codes by ascending value.
+        assert_eq!(out.x0.get(0, 0), 3);
+        assert_eq!(out.x0.get(1, 0), 1);
+        assert_eq!(out.x0.get(2, 0), 2);
+    }
+}

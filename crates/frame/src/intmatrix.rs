@@ -1,0 +1,271 @@
+//! The integer-encoded feature matrix `X₀`.
+//!
+//! Algorithm 1 of the paper expects its input "in an integer-encoded form
+//! (1-based, continuous integer range), representing categories and bins".
+//! [`IntMatrix`] stores exactly that: an `n × m` row-major matrix of `u32`
+//! codes with `1 ≤ code ≤ domain(j)` for every feature `j`.
+
+use crate::column::{FrameError, Result};
+
+/// Row-major `n × m` matrix of 1-based integer feature codes.
+///
+/// Invariant: every stored code `v` in column `j` satisfies
+/// `1 ≤ v ≤ domains[j]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u32>,
+    domains: Vec<u32>,
+}
+
+impl IntMatrix {
+    /// Builds from row-major data and per-feature domain sizes, validating
+    /// the 1-based range invariant.
+    pub fn new(rows: usize, cols: usize, data: Vec<u32>, domains: Vec<u32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(FrameError::Parse {
+                line: 0,
+                reason: format!(
+                    "expected {} codes for {}x{}, got {}",
+                    rows * cols,
+                    rows,
+                    cols,
+                    data.len()
+                ),
+            });
+        }
+        if domains.len() != cols {
+            return Err(FrameError::Parse {
+                line: 0,
+                reason: format!("expected {cols} domains, got {}", domains.len()),
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            let j = i % cols;
+            if v == 0 || v > domains[j] {
+                return Err(FrameError::Parse {
+                    line: i / cols + 1,
+                    reason: format!(
+                        "code {v} out of range [1, {}] for feature {j}",
+                        domains[j]
+                    ),
+                });
+            }
+        }
+        Ok(IntMatrix {
+            rows,
+            cols,
+            data,
+            domains,
+        })
+    }
+
+    /// Builds from row-major data, deriving domains as the per-column
+    /// maximum (the paper's `fdom = colMaxs(X₀)`).
+    pub fn from_data(rows: usize, cols: usize, data: Vec<u32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(FrameError::Parse {
+                line: 0,
+                reason: format!(
+                    "expected {} codes for {}x{}, got {}",
+                    rows * cols,
+                    rows,
+                    cols,
+                    data.len()
+                ),
+            });
+        }
+        let mut domains = vec![0u32; cols];
+        for (i, &v) in data.iter().enumerate() {
+            if v == 0 {
+                return Err(FrameError::Parse {
+                    line: i / cols + 1,
+                    reason: "codes must be 1-based (found 0)".to_string(),
+                });
+            }
+            let j = i % cols;
+            if v > domains[j] {
+                domains[j] = v;
+            }
+        }
+        Ok(IntMatrix {
+            rows,
+            cols,
+            data,
+            domains,
+        })
+    }
+
+    /// Builds from per-row code vectors.
+    pub fn from_rows(rows: &[Vec<u32>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(FrameError::Parse {
+                    line: i + 1,
+                    reason: format!("row has {} codes, expected {ncols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        IntMatrix::from_data(nrows, ncols, data)
+    }
+
+    /// Number of rows `n`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of features `m`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-feature domain sizes `d_j`.
+    #[inline]
+    pub fn domains(&self) -> &[u32] {
+        &self.domains
+    }
+
+    /// Total number of one-hot columns `l = Σ d_j`.
+    pub fn onehot_cols(&self) -> usize {
+        self.domains.iter().map(|&d| d as usize).sum()
+    }
+
+    /// The code at `(r, j)`.
+    #[inline]
+    pub fn get(&self, r: usize, j: usize) -> u32 {
+        self.data[r * self.cols + j]
+    }
+
+    /// Borrow row `r` as a slice of codes.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Replicates the rows `factor` times (the paper's row-wise replication
+    /// used for the scalability experiment, Fig. 7a).
+    pub fn replicate_rows(&self, factor: usize) -> IntMatrix {
+        let mut data = Vec::with_capacity(self.data.len() * factor);
+        for _ in 0..factor {
+            data.extend_from_slice(&self.data);
+        }
+        IntMatrix {
+            rows: self.rows * factor,
+            cols: self.cols,
+            data,
+            domains: self.domains.clone(),
+        }
+    }
+
+    /// Replicates the columns `factor` times (duplicated features create
+    /// perfectly correlated column groups — the paper's Salaries 2×2 setup
+    /// for the pruning ablation, Fig. 3).
+    pub fn replicate_cols(&self, factor: usize) -> IntMatrix {
+        let new_cols = self.cols * factor;
+        let mut data = Vec::with_capacity(self.rows * new_cols);
+        for r in 0..self.rows {
+            for _ in 0..factor {
+                data.extend_from_slice(self.row(r));
+            }
+        }
+        let mut domains = Vec::with_capacity(new_cols);
+        for _ in 0..factor {
+            domains.extend_from_slice(&self.domains);
+        }
+        IntMatrix {
+            rows: self.rows,
+            cols: new_cols,
+            data,
+            domains,
+        }
+    }
+
+    /// Selects a subset of rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<IntMatrix> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            if r >= self.rows {
+                return Err(FrameError::Parse {
+                    line: 0,
+                    reason: format!("row index {r} out of bounds ({} rows)", self.rows),
+                });
+            }
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(IntMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+            domains: self.domains.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntMatrix {
+        IntMatrix::from_rows(&[vec![1, 2], vec![2, 1], vec![1, 3]]).unwrap()
+    }
+
+    #[test]
+    fn from_data_derives_domains() {
+        let m = sample();
+        assert_eq!(m.domains(), &[2, 3]);
+        assert_eq!(m.onehot_cols(), 5);
+        assert_eq!(m.get(2, 1), 3);
+        assert_eq!(m.row(1), &[2, 1]);
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(IntMatrix::new(1, 2, vec![1, 4], vec![2, 3]).is_err());
+        assert!(IntMatrix::new(1, 2, vec![0, 1], vec![2, 3]).is_err());
+        assert!(IntMatrix::new(1, 2, vec![1, 1], vec![2]).is_err());
+        assert!(IntMatrix::new(1, 2, vec![1], vec![2, 3]).is_err());
+        assert!(IntMatrix::new(1, 2, vec![2, 3], vec![2, 3]).is_ok());
+    }
+
+    #[test]
+    fn zero_code_rejected() {
+        assert!(IntMatrix::from_data(1, 1, vec![0]).is_err());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(IntMatrix::from_rows(&[vec![1], vec![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn replicate_rows_preserves_domains() {
+        let m = sample().replicate_rows(3);
+        assert_eq!(m.rows(), 9);
+        assert_eq!(m.domains(), &[2, 3]);
+        assert_eq!(m.row(3), m.row(0));
+        assert_eq!(m.row(8), m.row(2));
+    }
+
+    #[test]
+    fn replicate_cols_duplicates_features() {
+        let m = sample().replicate_cols(2);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.domains(), &[2, 3, 2, 3]);
+        assert_eq!(m.row(0), &[1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let m = sample().select_rows(&[2, 0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[1, 3]);
+        assert!(sample().select_rows(&[9]).is_err());
+    }
+}

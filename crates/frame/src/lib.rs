@@ -1,0 +1,30 @@
+//! # sliceline-frame
+//!
+//! Data-frame substrate for the SliceLine reproduction: CSV input, column
+//! typing, categorical recoding, equi-width binning, and the
+//! integer-encoded feature matrix `X₀` plus one-hot expansion that
+//! Algorithm 1 of the paper consumes.
+//!
+//! The paper's preprocessing (§5.1) recodes categorical features to
+//! 1-based contiguous integer codes, bins continuous features into 10
+//! equi-width bins, drops ID columns, and materializes the integer
+//! feature matrix `X₀`. [`encode::DatasetEncoder`] reproduces that
+//! pipeline, and [`onehot::one_hot_encode`] implements the
+//! `X = table(rix, cix)` expansion of Algorithm 1 lines 1–5.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod column;
+pub mod csv;
+pub mod encode;
+pub mod intmatrix;
+pub mod meta;
+pub mod onehot;
+pub mod split;
+
+pub use column::{Column, DataFrame};
+pub use encode::{BinningStrategy, DatasetEncoder, EncodedDataset};
+pub use intmatrix::IntMatrix;
+pub use meta::{FeatureKind, FeatureMeta, FeatureSet};
+pub use split::{k_fold_split, train_test_split, TrainTestSplit};

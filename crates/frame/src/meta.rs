@@ -1,0 +1,277 @@
+//! Feature metadata: how integer codes map back to human-readable
+//! predicates.
+//!
+//! SliceLine reports slices as conjunctions like
+//! `education = Masters AND hours-per-week ∈ [40, 48)`. The encoder records
+//! per-feature provenance here so decoded top-K slices stay interpretable.
+
+/// How a feature was encoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureKind {
+    /// Recode of a categorical column; `labels[code-1]` is the category.
+    Categorical {
+        /// Category labels indexed by `code - 1`.
+        labels: Vec<String>,
+    },
+    /// Equi-width binning of a continuous column.
+    Binned {
+        /// Lower edge of the first bin.
+        min: f64,
+        /// Bin width (> 0).
+        width: f64,
+        /// Number of regular bins (codes `1..=bins`).
+        bins: u32,
+        /// Whether an extra code `bins + 1` holds missing (NaN) values.
+        has_missing: bool,
+    },
+    /// Recode of distinct numeric values; `values[code-1]` is the value.
+    IntegerRecode {
+        /// Distinct values in ascending order, indexed by `code - 1`.
+        values: Vec<f64>,
+    },
+    /// Codes used as-is (already 1-based integers with no provenance).
+    Opaque,
+}
+
+/// Metadata for a single encoded feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMeta {
+    /// Feature (column) name.
+    pub name: String,
+    /// Encoding provenance.
+    pub kind: FeatureKind,
+    /// Domain size `d_j` (number of valid codes).
+    pub domain: u32,
+}
+
+impl FeatureMeta {
+    /// An opaque feature with the given name and domain.
+    pub fn opaque(name: impl Into<String>, domain: u32) -> Self {
+        FeatureMeta {
+            name: name.into(),
+            kind: FeatureKind::Opaque,
+            domain,
+        }
+    }
+
+    /// Renders the predicate `feature = code` as a human-readable string.
+    pub fn describe(&self, code: u32) -> String {
+        debug_assert!(code >= 1 && code <= self.domain);
+        match &self.kind {
+            FeatureKind::Categorical { labels } => {
+                let label = labels
+                    .get(code as usize - 1)
+                    .map(|s| s.as_str())
+                    .unwrap_or("<unknown>");
+                format!("{} = {}", self.name, label)
+            }
+            FeatureKind::Binned {
+                min,
+                width,
+                bins,
+                has_missing,
+            } => {
+                if *has_missing && code == bins + 1 {
+                    format!("{} is missing", self.name)
+                } else {
+                    let lo = min + width * (code as f64 - 1.0);
+                    let hi = lo + width;
+                    format!("{} in [{:.4}, {:.4})", self.name, lo, hi)
+                }
+            }
+            FeatureKind::IntegerRecode { values } => {
+                let v = values.get(code as usize - 1).copied().unwrap_or(f64::NAN);
+                format!("{} = {}", self.name, v)
+            }
+            FeatureKind::Opaque => format!("{} = {}", self.name, code),
+        }
+    }
+}
+
+/// Ordered collection of feature metadata for an encoded dataset, with the
+/// one-hot offset bookkeeping of Algorithm 1 (`fb`, `fe`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureSet {
+    features: Vec<FeatureMeta>,
+}
+
+impl FeatureSet {
+    /// Builds from a list of features.
+    pub fn new(features: Vec<FeatureMeta>) -> Self {
+        FeatureSet { features }
+    }
+
+    /// Builds an opaque feature set from domain sizes only (used by
+    /// synthetic generators).
+    pub fn opaque_from_domains(domains: &[u32]) -> Self {
+        FeatureSet {
+            features: domains
+                .iter()
+                .enumerate()
+                .map(|(j, &d)| FeatureMeta::opaque(format!("f{j}"), d))
+                .collect(),
+        }
+    }
+
+    /// Number of features `m`.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if there are no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Borrow feature `j`.
+    pub fn feature(&self, j: usize) -> &FeatureMeta {
+        &self.features[j]
+    }
+
+    /// Iterate over the features.
+    pub fn iter(&self) -> impl Iterator<Item = &FeatureMeta> {
+        self.features.iter()
+    }
+
+    /// Per-feature domain sizes.
+    pub fn domains(&self) -> Vec<u32> {
+        self.features.iter().map(|f| f.domain).collect()
+    }
+
+    /// Start offsets `fb` of each feature in the one-hot layout
+    /// (`fb = cumsum(fdom) - fdom`, Algorithm 1 line 3), 0-based.
+    pub fn onehot_begin(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.features.len());
+        let mut acc = 0usize;
+        for f in &self.features {
+            out.push(acc);
+            acc += f.domain as usize;
+        }
+        out
+    }
+
+    /// Exclusive end offsets `fe` of each feature in the one-hot layout
+    /// (`fe = cumsum(fdom)`, Algorithm 1 line 4), 0-based exclusive.
+    pub fn onehot_end(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.features.len());
+        let mut acc = 0usize;
+        for f in &self.features {
+            acc += f.domain as usize;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Total one-hot width `l`.
+    pub fn onehot_cols(&self) -> usize {
+        self.features.iter().map(|f| f.domain as usize).sum()
+    }
+
+    /// Maps a 0-based one-hot column back to `(feature index, code)`.
+    pub fn column_to_predicate(&self, col: usize) -> Option<(usize, u32)> {
+        let begins = self.onehot_begin();
+        let ends = self.onehot_end();
+        for j in 0..self.features.len() {
+            if col >= begins[j] && col < ends[j] {
+                return Some((j, (col - begins[j]) as u32 + 1));
+            }
+        }
+        None
+    }
+
+    /// Renders the predicate for a 0-based one-hot column.
+    pub fn describe_column(&self, col: usize) -> String {
+        match self.column_to_predicate(col) {
+            Some((j, code)) => self.features[j].describe(code),
+            None => format!("<col {col} out of range>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureSet {
+        FeatureSet::new(vec![
+            FeatureMeta {
+                name: "color".into(),
+                kind: FeatureKind::Categorical {
+                    labels: vec!["red".into(), "blue".into()],
+                },
+                domain: 2,
+            },
+            FeatureMeta {
+                name: "age".into(),
+                kind: FeatureKind::Binned {
+                    min: 0.0,
+                    width: 10.0,
+                    bins: 3,
+                    has_missing: true,
+                },
+                domain: 4,
+            },
+            FeatureMeta {
+                name: "children".into(),
+                kind: FeatureKind::IntegerRecode {
+                    values: vec![0.0, 1.0, 2.0],
+                },
+                domain: 3,
+            },
+        ])
+    }
+
+    #[test]
+    fn describe_categorical() {
+        let fs = sample();
+        assert_eq!(fs.feature(0).describe(1), "color = red");
+        assert_eq!(fs.feature(0).describe(2), "color = blue");
+    }
+
+    #[test]
+    fn describe_binned_and_missing() {
+        let fs = sample();
+        assert_eq!(fs.feature(1).describe(1), "age in [0.0000, 10.0000)");
+        assert_eq!(fs.feature(1).describe(3), "age in [20.0000, 30.0000)");
+        assert_eq!(fs.feature(1).describe(4), "age is missing");
+    }
+
+    #[test]
+    fn describe_integer_recode_and_opaque() {
+        let fs = sample();
+        assert_eq!(fs.feature(2).describe(2), "children = 1");
+        let op = FeatureMeta::opaque("f", 5);
+        assert_eq!(op.describe(3), "f = 3");
+    }
+
+    #[test]
+    fn onehot_offsets() {
+        let fs = sample();
+        assert_eq!(fs.onehot_begin(), vec![0, 2, 6]);
+        assert_eq!(fs.onehot_end(), vec![2, 6, 9]);
+        assert_eq!(fs.onehot_cols(), 9);
+        assert_eq!(fs.domains(), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn column_to_predicate_roundtrip() {
+        let fs = sample();
+        assert_eq!(fs.column_to_predicate(0), Some((0, 1)));
+        assert_eq!(fs.column_to_predicate(1), Some((0, 2)));
+        assert_eq!(fs.column_to_predicate(2), Some((1, 1)));
+        assert_eq!(fs.column_to_predicate(8), Some((2, 3)));
+        assert_eq!(fs.column_to_predicate(9), None);
+        assert_eq!(fs.describe_column(0), "color = red");
+        assert!(fs.describe_column(99).contains("out of range"));
+    }
+
+    #[test]
+    fn opaque_from_domains() {
+        let fs = FeatureSet::opaque_from_domains(&[2, 3]);
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.feature(1).name, "f1");
+        assert_eq!(fs.onehot_cols(), 5);
+        assert_eq!(fs.iter().count(), 2);
+    }
+}

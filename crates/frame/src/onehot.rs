@@ -1,0 +1,121 @@
+//! One-hot encoding of the integer matrix `X₀` into the sparse 0/1 matrix
+//! `X` (Algorithm 1, lines 1–5).
+//!
+//! Two implementations are provided:
+//!
+//! * [`one_hot_encode`] — the direct fast path building CSR rows in place
+//!   (each row of `X₀` yields exactly `m` sorted one-hot columns),
+//! * [`one_hot_via_table`] — the paper's literal formulation using
+//!   `table(rix, cix)` on flattened index vectors, kept as an executable
+//!   reference that the fast path is tested against.
+
+use crate::column::{FrameError, Result};
+use crate::intmatrix::IntMatrix;
+use sliceline_linalg::table::table_from_pairs;
+use sliceline_linalg::CsrMatrix;
+
+/// One-hot encodes `X₀` into an `n × l` binary CSR matrix with
+/// `l = Σ_j d_j`; row `i` has ones at columns `fb_j + X₀[i,j] - 1`.
+pub fn one_hot_encode(x0: &IntMatrix) -> CsrMatrix {
+    let n = x0.rows();
+    let m = x0.cols();
+    let l = x0.onehot_cols();
+    // fb offsets: cumulative domain starts.
+    let mut fb = Vec::with_capacity(m);
+    let mut acc = 0u32;
+    for &d in x0.domains() {
+        fb.push(acc);
+        acc += d;
+    }
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(n * m);
+    for r in 0..n {
+        let row = x0.row(r);
+        for (j, &code) in row.iter().enumerate() {
+            col_idx.push(fb[j] + code - 1);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let values = vec![1.0; col_idx.len()];
+    CsrMatrix::from_raw_parts(n, l, row_ptr, col_idx, values)
+        .expect("one-hot construction preserves CSR invariants")
+}
+
+/// The paper's `table(rix, cix)` formulation of one-hot encoding:
+/// flattens `X₀ + fb` into a column-index vector aligned with repeated row
+/// indexes and counts pairs. Semantically identical to
+/// [`one_hot_encode`]; kept as a reference implementation.
+pub fn one_hot_via_table(x0: &IntMatrix) -> Result<CsrMatrix> {
+    let n = x0.rows();
+    let m = x0.cols();
+    let l = x0.onehot_cols();
+    let mut fb = Vec::with_capacity(m);
+    let mut acc = 0usize;
+    for &d in x0.domains() {
+        fb.push(acc);
+        acc += d as usize;
+    }
+    let mut rix = Vec::with_capacity(n * m);
+    let mut cix = Vec::with_capacity(n * m);
+    for r in 0..n {
+        for (j, &code) in x0.row(r).iter().enumerate() {
+            rix.push(r);
+            cix.push(fb[j] + code as usize - 1);
+        }
+    }
+    table_from_pairs(&rix, &cix, n, l).map_err(|e| FrameError::Parse {
+        line: 0,
+        reason: format!("table construction failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntMatrix {
+        // domains [2, 3]: row0 = (1, 2), row1 = (2, 3), row2 = (1, 1)
+        IntMatrix::from_rows(&[vec![1, 2], vec![2, 3], vec![1, 1]]).unwrap()
+    }
+
+    #[test]
+    fn onehot_layout() {
+        let x = one_hot_encode(&sample());
+        assert_eq!(x.shape(), (3, 5));
+        assert_eq!(x.nnz(), 6);
+        assert!(x.is_binary());
+        // Row 0: feature0 code1 -> col 0, feature1 code2 -> col 2+1=3.
+        assert_eq!(x.row_cols(0), &[0, 3]);
+        assert_eq!(x.row_cols(1), &[1, 4]);
+        assert_eq!(x.row_cols(2), &[0, 2]);
+    }
+
+    #[test]
+    fn table_formulation_matches_fast_path() {
+        let x0 = sample();
+        let fast = one_hot_encode(&x0);
+        let table = one_hot_via_table(&x0).unwrap();
+        assert_eq!(fast, table);
+    }
+
+    #[test]
+    fn every_row_has_m_ones() {
+        let x0 = IntMatrix::from_rows(&[vec![1, 1, 1], vec![2, 3, 1], vec![1, 2, 2]]).unwrap();
+        let x = one_hot_encode(&x0);
+        for r in 0..x.rows() {
+            assert_eq!(x.row_nnz(r), 3);
+        }
+        // Column sums count code frequencies.
+        let sums = sliceline_linalg::agg::col_sums_csr(&x);
+        let total: f64 = sums.iter().sum();
+        assert_eq!(total, 9.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let x0 = IntMatrix::from_data(0, 0, vec![]).unwrap();
+        let x = one_hot_encode(&x0);
+        assert_eq!(x.shape(), (0, 0));
+    }
+}

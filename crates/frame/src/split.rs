@@ -1,0 +1,128 @@
+//! Train/validation/test splitting.
+//!
+//! §2.1 of the paper: "The same definitions apply to train, validation,
+//! and test splits of X and y (M always created on the train dataset),
+//! which provides users with sufficient flexibility of model debugging."
+//! These helpers produce deterministic, seeded row-index splits that the
+//! examples use to debug models on held-out data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-way split of row indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Training row indexes (sorted).
+    pub train: Vec<usize>,
+    /// Test row indexes (sorted).
+    pub test: Vec<usize>,
+}
+
+/// Splits `0..n` into train/test with the given test fraction, seeded and
+/// deterministic. `test_fraction` is clamped to `[0, 1]`; each side is
+/// sorted for cache-friendly row selection.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    let test_fraction = test_fraction.clamp(0.0, 1.0);
+    let mut indexes: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates shuffle.
+    for i in (1..indexes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indexes.swap(i, j);
+    }
+    let test_len = ((n as f64) * test_fraction).round() as usize;
+    let mut test: Vec<usize> = indexes[..test_len].to_vec();
+    let mut train: Vec<usize> = indexes[test_len..].to_vec();
+    test.sort_unstable();
+    train.sort_unstable();
+    TrainTestSplit { train, test }
+}
+
+/// K-fold split of `0..n`: returns `k` sorted, disjoint folds covering all
+/// rows, sizes differing by at most one. `k` is clamped to `[1, n]` (for
+/// `n > 0`).
+pub fn k_fold_split(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![Vec::new(); k.max(1)];
+    }
+    let k = k.clamp(1, n);
+    let mut indexes: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..indexes.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indexes.swap(i, j);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, ix) in indexes.into_iter().enumerate() {
+        folds[i % k].push(ix);
+    }
+    for f in &mut folds {
+        f.sort_unstable();
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_all_rows_disjointly() {
+        let s = train_test_split(100, 0.2, 7);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        let mut all: Vec<usize> = s.train.iter().chain(s.test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.3, 1), train_test_split(50, 0.3, 1));
+        assert_ne!(
+            train_test_split(50, 0.3, 1).test,
+            train_test_split(50, 0.3, 2).test
+        );
+    }
+
+    #[test]
+    fn split_fraction_clamped() {
+        let s = train_test_split(10, 1.5, 0);
+        assert_eq!(s.test.len(), 10);
+        assert!(s.train.is_empty());
+        let s = train_test_split(10, -0.5, 0);
+        assert!(s.test.is_empty());
+    }
+
+    #[test]
+    fn split_indexes_sorted() {
+        let s = train_test_split(40, 0.25, 3);
+        assert!(s.train.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.test.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn k_fold_partitions() {
+        let folds = k_fold_split(23, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn k_fold_clamps_k() {
+        let folds = k_fold_split(3, 10, 0);
+        assert_eq!(folds.len(), 3);
+        let folds = k_fold_split(3, 0, 0);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].len(), 3);
+        let empty = k_fold_split(0, 4, 0);
+        assert!(empty.iter().all(|f| f.is_empty()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the encoding pipeline: CSV round-trips, one-hot
+//! equivalence between the fast path and the paper's `table()`
+//! formulation, and binning invariants.
+
+use proptest::prelude::*;
+use sliceline_frame::csv::read_csv;
+use sliceline_frame::onehot::{one_hot_encode, one_hot_via_table};
+use sliceline_frame::{
+    BinningStrategy, Column, DataFrame, DatasetEncoder, FeatureKind, IntMatrix,
+};
+
+fn int_matrix_strategy() -> impl Strategy<Value = IntMatrix> {
+    (1usize..=5, 1usize..=30).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(2u32..=6, m).prop_flat_map(move |domains| {
+            let rows = proptest::collection::vec(
+                domains
+                    .iter()
+                    .map(|&d| 1u32..=d)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .fold(Just(Vec::new()).boxed(), |acc, r| {
+                        (acc, r)
+                            .prop_map(|(mut v, x)| {
+                                v.push(x);
+                                v
+                            })
+                            .boxed()
+                    }),
+                n,
+            );
+            rows.prop_map(|rows| IntMatrix::from_rows(&rows).unwrap())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The fast one-hot path equals the paper's table() formulation.
+    #[test]
+    fn onehot_paths_agree(x0 in int_matrix_strategy()) {
+        let fast = one_hot_encode(&x0);
+        let table = one_hot_via_table(&x0).unwrap();
+        prop_assert_eq!(fast.clone(), table);
+        // Structure: n rows, one 1 per feature per row.
+        prop_assert_eq!(fast.rows(), x0.rows());
+        prop_assert_eq!(fast.cols(), x0.onehot_cols());
+        for r in 0..fast.rows() {
+            prop_assert_eq!(fast.row_nnz(r), x0.cols());
+        }
+        prop_assert!(fast.is_binary());
+    }
+
+    /// One-hot column sums count code frequencies exactly.
+    #[test]
+    fn onehot_column_sums_are_code_counts(x0 in int_matrix_strategy()) {
+        let x = one_hot_encode(&x0);
+        let sums = sliceline_linalg::agg::col_sums_csr(&x);
+        let mut offset = 0usize;
+        for j in 0..x0.cols() {
+            for code in 1..=x0.domains()[j] {
+                let direct = (0..x0.rows()).filter(|&r| x0.get(r, j) == code).count();
+                prop_assert_eq!(sums[offset + code as usize - 1], direct as f64);
+            }
+            offset += x0.domains()[j] as usize;
+        }
+    }
+
+    /// Equi-width binning: every code is in range, bin edges honor the
+    /// recorded min/width, and values land in the bin that contains them.
+    #[test]
+    fn equi_width_binning_is_consistent(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 2..60),
+        bins in 2u32..12,
+    ) {
+        let mut df = DataFrame::new();
+        df.add_column("v", Column::Numeric(values.clone())).unwrap();
+        let enc = DatasetEncoder {
+            binning: BinningStrategy::EquiWidth(bins),
+            recode_threshold: 0,
+            drop_columns: vec![],
+            label_column: None,
+        };
+        let out = enc.encode(&df).unwrap();
+        let meta = out.features.feature(0);
+        let FeatureKind::Binned { min, width, bins: b, has_missing } = &meta.kind else {
+            panic!("expected binned feature");
+        };
+        prop_assert_eq!(*b, bins);
+        prop_assert!(!has_missing);
+        prop_assert!(*width > 0.0);
+        for (r, &v) in values.iter().enumerate() {
+            let code = out.x0.get(r, 0);
+            prop_assert!(code >= 1 && code <= bins);
+            // The value lies within (or clamps to) its bin.
+            let lo = min + width * (code as f64 - 1.0);
+            let hi = lo + width;
+            let in_bin = v >= lo - 1e-9 && v <= hi + 1e-9;
+            let clamped = code == bins && v >= hi - 1e-9 || code == 1 && v <= lo + 1e-9;
+            prop_assert!(in_bin || clamped, "v={v} code={code} bin=[{lo},{hi})");
+        }
+    }
+
+    /// Categorical recode + describe round-trip: the description of a
+    /// row's code contains the original string.
+    #[test]
+    fn categorical_describe_roundtrip(
+        labels in proptest::collection::vec("[a-z]{1,6}", 2..20),
+    ) {
+        let mut df = DataFrame::new();
+        df.add_column("cat", Column::categorical_from_strings(&labels)).unwrap();
+        let out = DatasetEncoder::default().encode(&df).unwrap();
+        for (r, original) in labels.iter().enumerate() {
+            let code = out.x0.get(r, 0);
+            let desc = out.features.feature(0).describe(code);
+            prop_assert!(desc.ends_with(original), "{desc} vs {original}");
+        }
+    }
+
+    /// CSV write-read round-trip for integer matrices (via the generate
+    /// format: f0..fm headers).
+    #[test]
+    fn csv_roundtrip_for_integer_codes(x0 in int_matrix_strategy()) {
+        let mut csv = (0..x0.cols())
+            .map(|j| format!("f{j}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        csv.push('\n');
+        for r in 0..x0.rows() {
+            let row: Vec<String> = x0.row(r).iter().map(|c| c.to_string()).collect();
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let df = read_csv(&csv, ',', true).unwrap();
+        prop_assert_eq!(df.nrows(), x0.rows());
+        prop_assert_eq!(df.ncols(), x0.cols());
+        for j in 0..x0.cols() {
+            match df.column_at(j) {
+                Column::Numeric(v) => {
+                    for (r, &val) in v.iter().enumerate() {
+                        prop_assert_eq!(val as u32, x0.get(r, j));
+                    }
+                }
+                _ => prop_assert!(false, "integer column must parse numeric"),
+            }
+        }
+    }
+
+    /// Splits cover all rows disjointly at any fraction.
+    #[test]
+    fn train_test_split_partition(n in 1usize..200, frac in 0.0f64..1.0, seed in 0u64..100) {
+        let s = sliceline_frame::train_test_split(n, frac, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(s.test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,252 @@
+//! Aggregation kernels: `colSums`, `colMaxs`, `rowSums`, `rowMaxs`,
+//! `rowIndexMax` for both dense and CSR matrices.
+//!
+//! These are the aggregations that Algorithm 1 of the SliceLine paper uses
+//! to turn indicator matrices into slice statistics, e.g.
+//! `ss = colSums(I)ᵀ` and `sm = colMaxs(I · e)ᵀ` (Eq. 10).
+//!
+//! Maximum semantics: for sparse matrices the implicit zeros participate in
+//! the maximum exactly as in SystemDS — a column whose stored values are
+//! all negative but that has at least one implicit zero reports max 0.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::parallel::ParallelConfig;
+
+/// Column sums of a dense matrix, returned as a vector of length `cols`.
+pub fn col_sums_dense(m: &DenseMatrix) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for r in 0..m.rows() {
+        for (o, &v) in out.iter_mut().zip(m.row(r).iter()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Column maxima of a dense matrix. Columns of an empty (0-row) matrix
+/// report `f64::NEG_INFINITY`.
+pub fn col_maxs_dense(m: &DenseMatrix) -> Vec<f64> {
+    let mut out = vec![f64::NEG_INFINITY; m.cols()];
+    for r in 0..m.rows() {
+        for (o, &v) in out.iter_mut().zip(m.row(r).iter()) {
+            if v > *o {
+                *o = v;
+            }
+        }
+    }
+    out
+}
+
+/// Row sums of a dense matrix.
+pub fn row_sums_dense(m: &DenseMatrix) -> Vec<f64> {
+    (0..m.rows()).map(|r| m.row(r).iter().sum()).collect()
+}
+
+/// Row maxima of a dense matrix. Rows of a 0-column matrix report
+/// `f64::NEG_INFINITY`.
+pub fn row_maxs_dense(m: &DenseMatrix) -> Vec<f64> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .collect()
+}
+
+/// For each row of a dense matrix, the index of its maximum element
+/// (first occurrence wins, matching `rowIndexMax` semantics). Rows of a
+/// 0-column matrix report index 0.
+pub fn row_index_max_dense(m: &DenseMatrix) -> Vec<usize> {
+    (0..m.rows())
+        .map(|r| {
+            let row = m.row(r);
+            let mut best = 0usize;
+            let mut best_v = f64::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Column sums of a CSR matrix.
+pub fn col_sums_csr(m: &CsrMatrix) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for (&c, &v) in m.col_indices().iter().zip(m.values().iter()) {
+        out[c as usize] += v;
+    }
+    out
+}
+
+/// Parallel column sums of a CSR matrix: workers accumulate over disjoint
+/// row ranges into private buffers that are then combined.
+pub fn col_sums_csr_parallel(m: &CsrMatrix, par: &ParallelConfig) -> Vec<f64> {
+    par.par_reduce(
+        m.rows(),
+        vec![0.0; m.cols()],
+        |mut acc, r| {
+            let (cols, vals) = m.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc[c as usize] += v;
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+            a
+        },
+    )
+}
+
+/// Column maxima of a CSR matrix, with implicit zeros participating: a
+/// column with fewer stored entries than rows has an implicit 0 candidate.
+pub fn col_maxs_csr(m: &CsrMatrix) -> Vec<f64> {
+    let mut out = vec![f64::NEG_INFINITY; m.cols()];
+    let mut counts = vec![0usize; m.cols()];
+    for (&c, &v) in m.col_indices().iter().zip(m.values().iter()) {
+        let c = c as usize;
+        if v > out[c] {
+            out[c] = v;
+        }
+        counts[c] += 1;
+    }
+    for (c, o) in out.iter_mut().enumerate() {
+        if counts[c] < m.rows() && *o < 0.0 {
+            *o = 0.0;
+        }
+        if counts[c] == 0 && m.rows() == 0 {
+            *o = f64::NEG_INFINITY;
+        }
+    }
+    if m.rows() == 0 {
+        return vec![f64::NEG_INFINITY; m.cols()];
+    }
+    out
+}
+
+/// Row sums of a CSR matrix.
+pub fn row_sums_csr(m: &CsrMatrix) -> Vec<f64> {
+    (0..m.rows())
+        .map(|r| m.row(r).1.iter().sum())
+        .collect()
+}
+
+/// Row maxima of a CSR matrix with implicit-zero participation.
+pub fn row_maxs_csr(m: &CsrMatrix) -> Vec<f64> {
+    (0..m.rows())
+        .map(|r| {
+            let (cols, vals) = m.row(r);
+            let stored_max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if cols.len() < m.cols() {
+                stored_max.max(0.0)
+            } else {
+                stored_max
+            }
+        })
+        .collect()
+}
+
+/// Row counts of non-zero entries of a CSR matrix (`rowSums(M != 0)`).
+pub fn row_nnz_counts(m: &CsrMatrix) -> Vec<usize> {
+    (0..m.rows()).map(|r| m.row_nnz(r)).collect()
+}
+
+/// Sum of all elements of a vector.
+pub fn sum(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+/// Maximum of a vector; `f64::NEG_INFINITY` for empty input.
+pub fn max(v: &[f64]) -> f64 {
+    v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Arithmetic mean of a vector; 0 for empty input.
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        sum(v) / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::dense::DenseMatrix;
+
+    fn dense() -> DenseMatrix {
+        DenseMatrix::from_vec(3, 2, vec![1.0, -2.0, 0.0, 5.0, 3.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn dense_aggregations() {
+        let m = dense();
+        assert_eq!(col_sums_dense(&m), vec![4.0, 3.0]);
+        assert_eq!(col_maxs_dense(&m), vec![3.0, 5.0]);
+        assert_eq!(row_sums_dense(&m), vec![-1.0, 5.0, 3.0]);
+        assert_eq!(row_maxs_dense(&m), vec![1.0, 5.0, 3.0]);
+        assert_eq!(row_index_max_dense(&m), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn row_index_max_first_wins() {
+        let m = DenseMatrix::from_vec(1, 3, vec![7.0, 7.0, 1.0]).unwrap();
+        assert_eq!(row_index_max_dense(&m), vec![0]);
+    }
+
+    #[test]
+    fn csr_matches_dense() {
+        let d = dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(col_sums_csr(&s), col_sums_dense(&d));
+        assert_eq!(row_sums_csr(&s), row_sums_dense(&d));
+        assert_eq!(col_maxs_csr(&s), col_maxs_dense(&d));
+        assert_eq!(row_maxs_csr(&s), row_maxs_dense(&d));
+    }
+
+    #[test]
+    fn csr_col_maxs_implicit_zero() {
+        // Column 0 has only a negative stored value; implicit zeros win.
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, -3.0), (0, 1, 4.0)]).unwrap();
+        assert_eq!(col_maxs_csr(&m), vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn csr_row_maxs_implicit_zero() {
+        let m = CsrMatrix::from_triplets(1, 3, &[(0, 0, -3.0)]).unwrap();
+        assert_eq!(row_maxs_csr(&m), vec![0.0]);
+    }
+
+    #[test]
+    fn parallel_col_sums_match() {
+        let d = dense();
+        let s = CsrMatrix::from_dense(&d);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                col_sums_csr_parallel(&s, &ParallelConfig::new(threads)),
+                col_sums_csr(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn nnz_counts() {
+        let s = CsrMatrix::from_dense(&dense());
+        assert_eq!(row_nnz_counts(&s), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(max(&[1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,668 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The one-hot encoded feature matrix `X` (n × l, exactly m ones per row)
+//! and the slice matrix `S` (#slices × l, exactly L ones per row) of the
+//! SliceLine paper are both extremely sparse 0/1 matrices; CSR with sorted
+//! column indexes per row is the natural representation and enables the
+//! merge-based kernels in [`crate::spgemm`].
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+
+/// A compressed sparse row matrix of `f64` values.
+///
+/// Invariants:
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`,
+/// * `row_ptr` is non-decreasing,
+/// * column indexes within each row are strictly increasing and `< cols`,
+/// * stored values may be zero only transiently; constructors drop exact
+///   zeros.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate (row, col) pairs are summed; exact zeros (including sums
+    /// cancelling to zero) are dropped. Triplets may be in any order.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "from_triplets",
+                    index: r,
+                    bound: rows,
+                });
+            }
+            if c >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "from_triplets",
+                    index: c,
+                    bound: cols,
+                });
+            }
+        }
+        // Count entries per row, then bucket-sort triplets by row.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = vec![0usize; triplets.len()];
+        {
+            let mut next = counts.clone();
+            for (i, &(r, _, _)) in triplets.iter().enumerate() {
+                order[next[r]] = i;
+                next[r] += 1;
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(triplets.len());
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            for &i in &order[counts[r]..counts[r + 1]] {
+                let (_, c, v) = triplets[i];
+                scratch.push((c as u32, v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            // Sum duplicates and drop zeros.
+            let mut j = 0;
+            while j < scratch.len() {
+                let c = scratch[j].0;
+                let mut v = 0.0;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a *binary* CSR matrix (all stored values are 1.0) from one
+    /// sorted column list per row. This is the fast path for one-hot
+    /// matrices where each row's nonzero pattern is already known.
+    ///
+    /// Returns an error if any row list is unsorted, has duplicates, or
+    /// references a column `>= cols`.
+    pub fn from_binary_rows(cols: usize, rows: &[Vec<u32>]) -> Result<Self> {
+        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(nnz);
+        for (i, r) in rows.iter().enumerate() {
+            for w in r.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(LinalgError::InvalidData {
+                        reason: format!("row {i} columns not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&last) = r.last() {
+                if last as usize >= cols {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        op: "from_binary_rows",
+                        index: last as usize,
+                        bound: cols,
+                    });
+                }
+            }
+            col_idx.extend_from_slice(r);
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![1.0; col_idx.len()];
+        Ok(CsrMatrix {
+            rows: rows.len(),
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds from raw CSR parts, validating all invariants.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(LinalgError::InvalidData {
+                reason: format!("row_ptr length {} != rows+1 = {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(LinalgError::InvalidData {
+                reason: "row_ptr must start at 0 and end at nnz".to_string(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(LinalgError::InvalidData {
+                reason: "col_idx and values length mismatch".to_string(),
+            });
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(LinalgError::InvalidData {
+                    reason: "row_ptr not non-decreasing".to_string(),
+                });
+            }
+        }
+        for r in 0..rows {
+            let seg = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in seg.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(LinalgError::InvalidData {
+                        reason: format!("row {r} columns not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&last) = seg.last() {
+                if last as usize >= cols {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        op: "from_raw_parts",
+                        index: last as usize,
+                        bound: cols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix into CSR, dropping exact zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let row = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                row[c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of non-zero entries, `nnz / (rows*cols)`; 0 for degenerate
+    /// shapes.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows as f64 * self.cols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Borrow the column indexes and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Borrow only the sorted column indexes of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Number of non-zeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// The raw `row_ptr` array.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column index array.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw values array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Element access by binary search within the row. O(log nnz(row)).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `true` if every stored value equals 1.0 (one-hot / indicator
+    /// matrices).
+    pub fn is_binary(&self) -> bool {
+        self.values.iter().all(|&v| v == 1.0)
+    }
+
+    /// Returns the transpose as a new CSR matrix (a CSC view materialized
+    /// row-wise), using a counting pass — O(nnz + rows + cols).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let pos = next[c as usize];
+                col_idx[pos] = r as u32;
+                values[pos] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Selects the given rows (in order, duplicates allowed).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<CsrMatrix> {
+        let mut row_ptr = Vec::with_capacity(indices.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in indices {
+            if r >= self.rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_rows",
+                    index: r,
+                    bound: self.rows,
+                });
+            }
+            let (cols, vals) = self.row(r);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Keeps only the given columns (which must be strictly increasing) and
+    /// renumbers them to `0..indices.len()`. This implements the paper's
+    /// `X ← X[, cI]` projection onto surviving basic-slice columns.
+    pub fn select_cols(&self, indices: &[usize]) -> Result<CsrMatrix> {
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(LinalgError::InvalidData {
+                    reason: "select_cols indices must be strictly increasing".to_string(),
+                });
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_cols",
+                    index: last,
+                    bound: self.cols,
+                });
+            }
+        }
+        // Old column -> new column mapping; u32::MAX marks dropped columns.
+        let mut remap = vec![u32::MAX; self.cols];
+        for (new, &old) in indices.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let nc = remap[c as usize];
+                if nc != u32::MAX {
+                    col_idx.push(nc);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows: self.rows,
+            cols: indices.len(),
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Removes rows with no stored entries (`removeEmpty(margin="rows")`),
+    /// returning the compacted matrix and the kept original row indexes.
+    pub fn remove_empty_rows(&self) -> (CsrMatrix, Vec<usize>) {
+        let kept: Vec<usize> = (0..self.rows).filter(|&r| self.row_nnz(r) > 0).collect();
+        let m = self
+            .select_rows(&kept)
+            .expect("indices from own row range are valid");
+        (m, kept)
+    }
+
+    /// Vertically stacks two CSR matrices (`rbind`).
+    pub fn rbind(&self, bottom: &CsrMatrix) -> Result<CsrMatrix> {
+        if self.cols != bottom.cols && self.rows != 0 && bottom.rows != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rbind",
+                lhs: self.shape(),
+                rhs: bottom.shape(),
+            });
+        }
+        let cols = if self.rows == 0 { bottom.cols } else { self.cols };
+        let mut row_ptr = self.row_ptr.clone();
+        let offset = self.nnz();
+        row_ptr.extend(bottom.row_ptr.iter().skip(1).map(|&p| p + offset));
+        let mut col_idx = self.col_idx.clone();
+        col_idx.extend_from_slice(&bottom.col_idx);
+        let mut values = self.values.clone();
+        values.extend_from_slice(&bottom.values);
+        Ok(CsrMatrix {
+            rows: self.rows + bottom.rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Sparse-matrix × dense-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &x) in cols.iter().zip(vals.iter()) {
+                acc += x * v[c as usize];
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Row-vector × sparse-matrix product `vᵀ * self`, the paper's
+    /// `(eᵀ ⊙ X)ᵀ` kernel (Eq. 4): joins each row with its error and sums
+    /// per column. Returns a vector of length `cols`.
+    pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &scale) in v.iter().enumerate() {
+            if scale == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &x) in cols.iter().zip(vals.iter()) {
+                out[c as usize] += scale * x;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn triplets_roundtrip_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(CsrMatrix::from_dense(&d), m);
+    }
+
+    #[test]
+    fn triplets_sum_duplicates_and_drop_zero() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, 2.0), (0, 1, 1.0), (0, 1, -1.0)])
+            .unwrap();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn triplets_bounds_checked() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn binary_rows_constructor() {
+        let m = CsrMatrix::from_binary_rows(5, &[vec![0, 3], vec![], vec![1, 2, 4]]).unwrap();
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.nnz(), 5);
+        assert!(m.is_binary());
+        assert_eq!(m.row_cols(2), &[1, 2, 4]);
+        assert!(CsrMatrix::from_binary_rows(5, &[vec![3, 0]]).is_err());
+        assert!(CsrMatrix::from_binary_rows(5, &[vec![1, 1]]).is_err());
+        assert!(CsrMatrix::from_binary_rows(5, &[vec![5]]).is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_validation() {
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![1.0]).is_ok());
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![2], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0; 2]).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        // Double transpose is identity.
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let m = sample();
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn select_rows_works() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0]).unwrap();
+        assert_eq!(s.row_cols(0), &[0, 1]);
+        assert_eq!(s.row_cols(1), &[0, 2]);
+        assert!(m.select_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn select_cols_renumbers() {
+        let m = sample();
+        let s = m.select_cols(&[0, 2]).unwrap();
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(2, 0), 3.0);
+        assert_eq!(s.get(2, 1), 0.0);
+        assert!(m.select_cols(&[2, 0]).is_err());
+        assert!(m.select_cols(&[0, 7]).is_err());
+    }
+
+    #[test]
+    fn remove_empty_rows_compacts() {
+        let m = sample();
+        let (out, kept) = m.remove_empty_rows();
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn rbind_stacks() {
+        let a = sample();
+        let b = CsrMatrix::from_triplets(1, 3, &[(0, 1, 9.0)]).unwrap();
+        let v = a.rbind(&b).unwrap();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.get(3, 1), 9.0);
+        let empty = CsrMatrix::zeros(0, 0);
+        assert_eq!(empty.rbind(&a).unwrap().rows(), 3);
+    }
+
+    #[test]
+    fn matvec_vecmat() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0, 1.0]).unwrap(), vec![4.0, 4.0, 2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn density_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(CsrMatrix::zeros(0, 0).density(), 0.0);
+    }
+}

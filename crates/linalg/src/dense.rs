@@ -1,0 +1,619 @@
+//! Row-major dense `f64` matrices.
+//!
+//! [`DenseMatrix`] is the workhorse for the ML substrate (normal equations,
+//! logistic gradients), for small intermediates of the SliceLine algorithm
+//! (slice statistics `R`), and as a readable reference implementation that
+//! the sparse kernels are property-tested against.
+
+use crate::error::{LinalgError, Result};
+use crate::parallel::ParallelConfig;
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// Invariant: `data.len() == rows * cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// Returns [`LinalgError::InvalidData`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidData {
+                reason: format!(
+                    "expected {} elements for a {}x{} matrix, got {}",
+                    rows * cols,
+                    rows,
+                    cols,
+                    data.len()
+                ),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(LinalgError::InvalidData {
+                    reason: format!("row {i} has length {}, expected {ncols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a column vector (n×1) from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        DenseMatrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element access (panics on out-of-bounds in debug builds only via
+    /// slice indexing; use [`DenseMatrix::try_get`] for checked access).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Checked element access.
+    pub fn try_get(&self, r: usize, c: usize) -> Result<f64> {
+        if r >= self.rows {
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "get",
+                index: r,
+                bound: self.rows,
+            });
+        }
+        if c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "get",
+                index: c,
+                bound: self.cols,
+            });
+        }
+        Ok(self.get(r, c))
+    }
+
+    /// Sets element `(r, c)` to `v`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix multiplication `self * rhs` (single-threaded, ikj loop
+    /// order for cache-friendly access).
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parallel dense matrix multiplication, splitting the output rows
+    /// across the threads configured in `par`.
+    pub fn matmul_parallel(&self, rhs: &DenseMatrix, par: &ParallelConfig) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_parallel",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let out_cols = rhs.cols;
+        let mut out = DenseMatrix::zeros(self.rows, out_cols);
+        let lhs = self;
+        par.run_on_chunks(&mut out.data, out_cols, |row0, chunk| {
+            let nrows = chunk.len() / out_cols;
+            for i in 0..nrows {
+                let arow = lhs.row(row0 + i);
+                let orow = &mut chunk[i * out_cols..(i + 1) * out_cols];
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * out_cols..(k + 1) * out_cols];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Vector–matrix product `v * self` (v is treated as a 1×rows row
+    /// vector), returning a vector of length `cols`.
+    pub fn vecmat(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vecmat",
+                lhs: (1, v.len()),
+                rhs: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &scale) in v.iter().enumerate() {
+            if scale == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += scale * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise map, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise binary operation against another matrix of the same
+    /// shape.
+    pub fn zip_with(&self, rhs: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> Result<DenseMatrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "zip_with",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f64) -> DenseMatrix {
+        self.map(|x| x * s)
+    }
+
+    /// Stacks two matrices vertically (`rbind` in R terms).
+    pub fn rbind(&self, bottom: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != bottom.cols && self.rows != 0 && bottom.rows != 0 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rbind",
+                lhs: self.shape(),
+                rhs: bottom.shape(),
+            });
+        }
+        let cols = if self.rows == 0 { bottom.cols } else { self.cols };
+        let mut data = Vec::with_capacity((self.rows + bottom.rows) * cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&bottom.data);
+        Ok(DenseMatrix {
+            rows: self.rows + bottom.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Concatenates two matrices horizontally (`cbind` in R terms).
+    pub fn cbind(&self, right: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.rows != right.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cbind",
+                lhs: self.shape(),
+                rhs: right.shape(),
+            });
+        }
+        let cols = self.cols + right.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(right.row(r));
+        }
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Selects the given rows (in order, duplicates allowed) into a new
+    /// matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<DenseMatrix> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            if r >= self.rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_rows",
+                    index: r,
+                    bound: self.rows,
+                });
+            }
+            data.extend_from_slice(self.row(r));
+        }
+        Ok(DenseMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Selects the given columns (in order) into a new matrix.
+    pub fn select_cols(&self, indices: &[usize]) -> Result<DenseMatrix> {
+        for &c in indices {
+            if c >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_cols",
+                    index: c,
+                    bound: self.cols,
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for &c in indices {
+                data.push(row[c]);
+            }
+        }
+        Ok(DenseMatrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        })
+    }
+
+    /// Removes rows whose entries are all zero (`removeEmpty(margin="rows")`).
+    /// Returns the compacted matrix and the original indexes of kept rows.
+    pub fn remove_empty_rows(&self) -> (DenseMatrix, Vec<usize>) {
+        let kept: Vec<usize> = (0..self.rows)
+            .filter(|&r| self.row(r).iter().any(|&x| x != 0.0))
+            .collect();
+        let m = self
+            .select_rows(&kept)
+            .expect("indices from own row range are valid");
+        (m, kept)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Number of structurally non-zero entries (exact zero test).
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// `true` if all pairwise element differences are within `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x3() -> DenseMatrix {
+        DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(1, 0, 7.5);
+        assert_eq!(m.get(1, 0), 7.5);
+        assert_eq!(m.try_get(1, 0).unwrap(), 7.5);
+        assert!(m.try_get(2, 0).is_err());
+        assert!(m.try_get(0, 2).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = m2x3();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = m2x3();
+        let i3 = DenseMatrix::identity(3);
+        assert_eq!(m.matmul(&i3).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = m2x3();
+        assert!(a.matmul(&m2x3()).is_err());
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let a = DenseMatrix::from_vec(4, 3, (0..12).map(|x| x as f64).collect()).unwrap();
+        let b = DenseMatrix::from_vec(3, 5, (0..15).map(|x| (x * 2) as f64).collect()).unwrap();
+        let serial = a.matmul(&b).unwrap();
+        let par = ParallelConfig::new(3);
+        let parallel = a.matmul_parallel(&b, &par).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let m = m2x3();
+        assert_eq!(m.matvec(&[1.0, 0.0, 1.0]).unwrap(), vec![4.0, 10.0]);
+        assert_eq!(m.vecmat(&[1.0, 1.0]).unwrap(), vec![5.0, 7.0, 9.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.vecmat(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = DenseMatrix::filled(2, 2, 3.0);
+        let b = DenseMatrix::filled(2, 2, 2.0);
+        assert_eq!(a.add(&b).unwrap(), DenseMatrix::filled(2, 2, 5.0));
+        assert_eq!(a.sub(&b).unwrap(), DenseMatrix::filled(2, 2, 1.0));
+        assert_eq!(a.hadamard(&b).unwrap(), DenseMatrix::filled(2, 2, 6.0));
+        assert_eq!(a.scale(2.0), DenseMatrix::filled(2, 2, 6.0));
+        assert!(a.add(&DenseMatrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn rbind_cbind() {
+        let a = DenseMatrix::filled(1, 2, 1.0);
+        let b = DenseMatrix::filled(2, 2, 2.0);
+        let v = a.rbind(&b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.get(2, 1), 2.0);
+        let c = DenseMatrix::filled(1, 3, 3.0);
+        let h = a.cbind(&c).unwrap();
+        assert_eq!(h.shape(), (1, 5));
+        assert_eq!(h.get(0, 4), 3.0);
+        assert!(a.cbind(&b).is_err());
+    }
+
+    #[test]
+    fn rbind_with_empty() {
+        let empty = DenseMatrix::zeros(0, 0);
+        let b = DenseMatrix::filled(2, 2, 2.0);
+        let v = empty.rbind(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+    }
+
+    #[test]
+    fn select_rows_cols() {
+        let m = m2x3();
+        let r = m.select_rows(&[1, 0, 1]).unwrap();
+        assert_eq!(r.shape(), (3, 3));
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        let c = m.select_cols(&[2, 0]).unwrap();
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        assert!(m.select_rows(&[5]).is_err());
+        assert!(m.select_cols(&[5]).is_err());
+    }
+
+    #[test]
+    fn remove_empty_rows_keeps_indices() {
+        let m = DenseMatrix::from_vec(3, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]).unwrap();
+        let (out, kept) = m.remove_empty_rows();
+        assert_eq!(kept, vec![1]);
+        assert_eq!(out.shape(), (1, 2));
+        assert_eq!(out.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn norms_and_counts() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.count_nonzero(), 2);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = DenseMatrix::filled(2, 2, 1.0);
+        let b = DenseMatrix::filled(2, 2, 1.0 + 1e-9);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-10));
+        assert!(!a.approx_eq(&DenseMatrix::zeros(1, 1), 1.0));
+    }
+}

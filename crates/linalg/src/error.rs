@@ -1,0 +1,127 @@
+//! Error types shared by all linear algebra operations.
+
+use std::fmt;
+
+/// Convenience alias for results of linear algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by matrix and vector operations.
+///
+/// All shape information is carried so callers can print actionable
+/// diagnostics without re-deriving the offending dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes, e.g. `A (n×m) * B (p×q)` with
+    /// `m != p`.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// An index was outside the valid range of a matrix or vector.
+    IndexOutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay below.
+        bound: usize,
+    },
+    /// A matrix expected to be square was not.
+    NotSquare {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Number of rows found.
+        rows: usize,
+        /// Number of columns found.
+        cols: usize,
+    },
+    /// A matrix required to be (numerically) positive definite was not,
+    /// e.g. Cholesky hit a non-positive pivot.
+    NotPositiveDefinite {
+        /// The pivot column at which factorization failed.
+        pivot: usize,
+    },
+    /// Raw data passed to a constructor did not match the declared shape.
+    InvalidData {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An operation was asked to produce an empty result where that is not
+    /// representable (e.g. a max over zero elements).
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: shape mismatch, lhs is {}x{} but rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds (must be < {bound})")
+            }
+            LinalgError::NotSquare { op, rows, cols } => {
+                write!(f, "{op}: matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "cholesky: matrix not positive definite at pivot {pivot}")
+            }
+            LinalgError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            LinalgError::EmptyInput { op } => write!(f, "{op}: empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "matmul: shape mismatch, lhs is 2x3 but rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = LinalgError::IndexOutOfBounds {
+            op: "row",
+            index: 7,
+            bound: 5,
+        };
+        assert_eq!(e.to_string(), "row: index 7 out of bounds (must be < 5)");
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        assert_eq!(
+            e.to_string(),
+            "cholesky: matrix not positive definite at pivot 3"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<LinalgError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! # sliceline-linalg
+//!
+//! Dense and sparse (CSR) linear algebra substrate for the SliceLine
+//! reproduction.
+//!
+//! The SliceLine paper (Sagadeeva & Boehm, SIGMOD 2021) expresses slice
+//! enumeration entirely in linear algebra so that ML systems such as Apache
+//! SystemDS or R can compile it into efficient local or distributed plans.
+//! This crate provides the operations that the paper's Algorithm 1 relies on:
+//!
+//! * [`DenseMatrix`] — row-major dense `f64` matrices with element-wise
+//!   operations, aggregations and (parallel) matrix multiplication,
+//! * [`CsrMatrix`] — compressed sparse row matrices used for the one-hot
+//!   encoded feature matrix `X` and the slice matrix `S`,
+//! * contingency tables (`table(rix, cix)`), `removeEmpty`, selection
+//!   matrices and upper-triangle extraction ([`table`]),
+//! * vector kernels: `cumsum`, `cumprod`, sequences ([`vector`]),
+//! * sparse-sparse and sparse-dense products including the symmetric
+//!   `S·Sᵀ` self-join used for pair enumeration ([`spgemm`]),
+//! * SystemDS-style block-partitioned matrices ([`blocked`]) modelling
+//!   the paper's distributed 1K×1K block storage,
+//! * a small dense Cholesky solver for the ML substrate ([`solve`]),
+//! * a scoped-thread parallel-for helper ([`parallel`]).
+//!
+//! Everything is implemented from scratch on `std` (plus `crossbeam` for
+//! scoped threads); no BLAS or external matrix crates are used.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod agg;
+pub mod blocked;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod parallel;
+pub mod solve;
+pub mod spgemm;
+pub mod table;
+pub mod vector;
+
+pub use blocked::BlockedMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{LinalgError, Result};
+pub use parallel::ParallelConfig;

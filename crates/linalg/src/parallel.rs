@@ -1,0 +1,257 @@
+//! Minimal scoped-thread parallelism helpers.
+//!
+//! SliceLine's evaluation step is embarrassingly parallel over row
+//! partitions of `X` (data parallelism) or over slices (task parallelism,
+//! the paper's `parfor`). This module provides the small amount of
+//! infrastructure both need, without pulling in a full task scheduler:
+//!
+//! * [`ParallelConfig::run_on_chunks`] — split a mutable output buffer into
+//!   row-aligned chunks and fill them from worker threads,
+//! * [`ParallelConfig::par_map`] — map a function over an index range on a
+//!   fixed number of threads, preserving order,
+//! * [`ParallelConfig::par_reduce`] — map-reduce over index blocks.
+
+/// Thread-count configuration for parallel kernels.
+///
+/// A `threads` value of 1 runs everything inline on the calling thread,
+/// which keeps single-threaded benchmarks free of spawn overhead and makes
+/// failures deterministic under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl Default for ParallelConfig {
+    /// Defaults to the machine's available parallelism (at least 1).
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ParallelConfig { threads }
+    }
+}
+
+impl ParallelConfig {
+    /// Creates a configuration with exactly `threads` worker threads
+    /// (values below 1 are clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded configuration.
+    pub fn serial() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// The configured number of threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `data` (a row-major buffer with rows of `row_width` elements)
+    /// into contiguous row-aligned chunks, one per worker, and invokes
+    /// `f(first_row_index, chunk)` on each from its own thread.
+    ///
+    /// With `row_width == 0` or empty data this is a no-op.
+    pub fn run_on_chunks<F>(&self, data: &mut [f64], row_width: usize, f: F)
+    where
+        F: Fn(usize, &mut [f64]) + Sync,
+    {
+        if data.is_empty() || row_width == 0 {
+            return;
+        }
+        let total_rows = data.len() / row_width;
+        let workers = self.threads.min(total_rows).max(1);
+        if workers == 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per = total_rows.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut row0 = 0usize;
+            while !rest.is_empty() {
+                let take = (rows_per * row_width).min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let fref = &f;
+                let start = row0;
+                scope.spawn(move || fref(start, chunk));
+                row0 += take / row_width;
+            }
+        });
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// Work is split into `threads` contiguous blocks; each worker fills its
+    /// own slice of the output vector so no locking is needed.
+    pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        if n == 0 {
+            return out;
+        }
+        let workers = self.threads.min(n).max(1);
+        if workers == 1 {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(i);
+            }
+            return out;
+        }
+        let per = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut rest = out.as_mut_slice();
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let fref = &f;
+                let start = base;
+                scope.spawn(move || {
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = fref(start + i);
+                    }
+                });
+                base += take;
+            }
+        });
+        out
+    }
+
+    /// Map-reduce over `0..n`: each worker folds its contiguous block with
+    /// `fold` starting from `init.clone()`, and the per-worker accumulators
+    /// are combined with `combine`.
+    pub fn par_reduce<A, F, C>(&self, n: usize, init: A, fold: F, combine: C) -> A
+    where
+        A: Send + Clone,
+        F: Fn(A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        if n == 0 {
+            return init;
+        }
+        let workers = self.threads.min(n).max(1);
+        if workers == 1 {
+            return (0..n).fold(init, fold);
+        }
+        let per = n.div_ceil(workers);
+        let mut partials: Vec<Option<A>> = vec![None; workers];
+        std::thread::scope(|scope| {
+            for (w, slot) in partials.iter_mut().enumerate() {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let foldref = &fold;
+                let seed = init.clone();
+                scope.spawn(move || {
+                    *slot = Some((lo..hi).fold(seed, foldref));
+                });
+            }
+        });
+        let mut acc = init;
+        for p in partials.into_iter().flatten() {
+            acc = combine(acc, p);
+        }
+        acc
+    }
+
+    /// Splits `0..n` into at most `threads` contiguous `(lo, hi)` ranges.
+    pub fn split_range(&self, n: usize) -> Vec<(usize, usize)> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n).max(1);
+        let per = n.div_ceil(workers);
+        (0..workers)
+            .map(|w| (w * per, ((w + 1) * per).min(n)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_to_one() {
+        assert_eq!(ParallelConfig::new(0).threads(), 1);
+        assert_eq!(ParallelConfig::new(8).threads(), 8);
+    }
+
+    #[test]
+    fn run_on_chunks_covers_all_rows() {
+        let mut data = vec![0.0; 10 * 3];
+        ParallelConfig::new(4).run_on_chunks(&mut data, 3, |row0, chunk| {
+            let rows = chunk.len() / 3;
+            for i in 0..rows {
+                for c in 0..3 {
+                    chunk[i * 3 + c] = (row0 + i) as f64;
+                }
+            }
+        });
+        for (r, row) in data.chunks(3).enumerate() {
+            assert!(row.iter().all(|&x| x == r as f64), "row {r} wrong: {row:?}");
+        }
+    }
+
+    #[test]
+    fn run_on_chunks_empty_noop() {
+        let mut data: Vec<f64> = Vec::new();
+        ParallelConfig::new(2).run_on_chunks(&mut data, 3, |_, _| panic!("must not run"));
+        let mut data = vec![1.0];
+        ParallelConfig::new(2).run_on_chunks(&mut data, 0, |_, _| panic!("must not run"));
+        assert_eq!(data, vec![1.0]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 3, 7] {
+            let out = ParallelConfig::new(threads).par_map(23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<usize> = ParallelConfig::new(4).par_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        for threads in [1, 2, 5] {
+            let total =
+                ParallelConfig::new(threads).par_reduce(100, 0u64, |a, i| a + i as u64, |a, b| a + b);
+            assert_eq!(total, 4950);
+        }
+    }
+
+    #[test]
+    fn split_range_partitions() {
+        let ranges = ParallelConfig::new(3).split_range(10);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 10);
+        let covered: usize = ranges.iter().map(|(lo, hi)| hi - lo).sum();
+        assert_eq!(covered, 10);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert!(ParallelConfig::new(3).split_range(0).is_empty());
+    }
+
+    #[test]
+    fn default_has_at_least_one_thread() {
+        assert!(ParallelConfig::default().threads() >= 1);
+    }
+}

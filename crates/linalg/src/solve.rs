@@ -1,0 +1,238 @@
+//! Small dense linear solvers for the ML substrate.
+//!
+//! The paper evaluates SliceLine on errors produced by linear regression
+//! (`lm`) and multinomial logistic regression (`mlogit`). Linear regression
+//! via normal equations needs a symmetric positive (semi-)definite solve
+//! `(XᵀX + λI) w = Xᵀy`; this module provides the Cholesky factorization
+//! and triangular solves for it.
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite
+/// matrix, returning the lower-triangular factor `L` (upper part zeroed).
+pub fn cholesky(a: &DenseMatrix) -> Result<DenseMatrix> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare {
+            op: "cholesky",
+            rows: n,
+            cols: m,
+        });
+    }
+    let mut l = DenseMatrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a.get(j, j);
+        for k in 0..j {
+            let v = l.get(j, k);
+            diag -= v * v;
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let dsqrt = diag.sqrt();
+        l.set(j, j, dsqrt);
+        for i in (j + 1)..n {
+            let mut v = a.get(i, j);
+            for k in 0..j {
+                v -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, v / dsqrt);
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if l.cols() != n {
+        return Err(LinalgError::NotSquare {
+            op: "solve_lower",
+            rows: l.rows(),
+            cols: l.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = b[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            acc -= l.get(i, j) * xj;
+        }
+        x[i] = acc / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solves `Lᵀ x = b` for lower-triangular `L` (backward substitution on the
+/// transpose).
+#[allow(clippy::needless_range_loop)] // dual-index access reads better than zip here
+pub fn solve_lower_transposed(l: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if l.cols() != n {
+        return Err(LinalgError::NotSquare {
+            op: "solve_lower_transposed",
+            rows: l.rows(),
+            cols: l.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_lower_transposed",
+            lhs: l.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for j in (i + 1)..n {
+            acc -= l.get(j, i) * x[j];
+        }
+        x[i] = acc / l.get(i, i);
+    }
+    Ok(x)
+}
+
+/// Solves the symmetric positive definite system `A x = b` via Cholesky.
+pub fn solve_spd(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    let l = cholesky(a)?;
+    let y = solve_lower(&l, b)?;
+    solve_lower_transposed(&l, &y)
+}
+
+#[allow(clippy::needless_range_loop)]
+/// Solves the (ridge-regularized) normal equations
+/// `(XᵀX + λI) w = Xᵀ y` for least squares regression.
+///
+/// `lambda > 0` guarantees positive definiteness even with collinear
+/// features (which one-hot encoded data always has).
+pub fn solve_normal_equations(x: &DenseMatrix, y: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_normal_equations",
+            lhs: x.shape(),
+            rhs: (y.len(), 1),
+        });
+    }
+    let d = x.cols();
+    // Gram matrix XᵀX, accumulated row by row to avoid materializing Xᵀ.
+    let mut gram = DenseMatrix::zeros(d, d);
+    let mut xty = vec![0.0; d];
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for i in 0..d {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            xty[i] += xi * y[r];
+            let grow = gram.row_mut(i);
+            for (g, &xj) in grow.iter_mut().zip(row.iter()) {
+                *g += xi * xj;
+            }
+        }
+    }
+    for i in 0..d {
+        let v = gram.get(i, i) + lambda;
+        gram.set(i, i, v);
+    }
+    solve_spd(&gram, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        // A = B Bᵀ + I for a simple B, guaranteed SPD.
+        DenseMatrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 6.0, 3.0, 1.0, 3.0, 7.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_not_square_and_not_spd() {
+        assert!(cholesky(&DenseMatrix::zeros(2, 3)).is_err());
+        let indef =
+            DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            cholesky(&indef),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let l =
+            DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]).unwrap();
+        let x = solve_lower(&l, &[4.0, 11.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+        // Lᵀ x = b
+        let x = solve_lower_transposed(&l, &[7.0, 9.0]).unwrap();
+        assert_eq!(x, vec![2.0, 3.0]);
+        assert!(solve_lower(&l, &[1.0]).is_err());
+        assert!(solve_lower_transposed(&l, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (xs, xt) in x.iter().zip(x_true.iter()) {
+            assert!((xs - xt).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn normal_equations_recover_exact_fit() {
+        // y = 2*x1 - 3*x2 exactly; tiny ridge keeps SPD.
+        let x = DenseMatrix::from_vec(
+            4,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0],
+        )
+        .unwrap();
+        let y: Vec<f64> = (0..4)
+            .map(|r| 2.0 * x.get(r, 0) - 3.0 * x.get(r, 1))
+            .collect();
+        let w = solve_normal_equations(&x, &y, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-4);
+        assert!((w[1] + 3.0).abs() < 1e-4);
+        assert!(solve_normal_equations(&x, &[1.0], 1e-9).is_err());
+    }
+
+    #[test]
+    fn normal_equations_handle_collinearity_with_ridge() {
+        // Two identical columns: singular Gram matrix, ridge must rescue it.
+        let x = DenseMatrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let y = vec![2.0, 4.0, 6.0];
+        let w = solve_normal_equations(&x, &y, 1e-6).unwrap();
+        // Prediction quality matters, not the individual weights.
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..3 {
+            let pred = w[0] * x.get(r, 0) + w[1] * x.get(r, 1);
+            assert!((pred - y[r]).abs() < 1e-3);
+        }
+    }
+}

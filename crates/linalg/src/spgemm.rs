@@ -1,0 +1,363 @@
+//! Sparse matrix products.
+//!
+//! Three products carry the SliceLine algorithm:
+//!
+//! * `S ⊙ Sᵀ` — the symmetric self-join counting predicate overlap between
+//!   slice pairs (Eq. 6). [`self_overlap`] computes it directly from the
+//!   transpose (an inverted column → row index), exploiting symmetry like
+//!   the `cblas_dsyrk` call the paper footnotes.
+//! * `X ⊙ Sᵀ` — the evaluation product counting how many of a slice's `L`
+//!   predicates each row satisfies (Eq. 10). [`count_matches_block`] produces the
+//!   (row, slice, count) structure blocked over slices.
+//! * general `A ⊙ B` sparse-sparse products ([`spgemm`]) used by the
+//!   reference (pure linear algebra) backend.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::parallel::ParallelConfig;
+
+/// General sparse × sparse product `a * b` using the classic Gustavson
+/// row-wise algorithm with a dense accumulator of size `b.cols()`.
+pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "spgemm",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = b.cols();
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for r in 0..a.rows() {
+        touched.clear();
+        let (acols, avals) = a.row(r);
+        for (&k, &av) in acols.iter().zip(avals.iter()) {
+            let (bcols, bvals) = b.row(k as usize);
+            for (&c, &bv) in bcols.iter().zip(bvals.iter()) {
+                if acc[c as usize] == 0.0 && !touched.contains(&c) {
+                    touched.push(c);
+                }
+                acc[c as usize] += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            let v = acc[c as usize];
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+            }
+            acc[c as usize] = 0.0;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_raw_parts(a.rows(), n, row_ptr, col_idx, values)
+}
+
+/// Sparse × dense product `a * b`, producing a dense result.
+pub fn sp_dense(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "sp_dense",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let out_cols = b.cols();
+    let mut out = DenseMatrix::zeros(a.rows(), out_cols);
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        let orow = out.row_mut(r);
+        for (&k, &av) in cols.iter().zip(vals.iter()) {
+            let brow = b.row(k as usize);
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Symmetric self-overlap `S ⊙ Sᵀ` of a *binary* matrix: entry `(i, j)`
+/// counts the columns shared by rows `i` and `j`.
+///
+/// Implemented via the transpose as an inverted index so the cost is
+/// `Σ_c nnz(col c)²` rather than a full row-pair scan, and only the upper
+/// triangle is accumulated (the product is symmetric); the result is
+/// mirrored on output.
+pub fn self_overlap(s: &CsrMatrix) -> Result<CsrMatrix> {
+    if !s.is_binary() {
+        return Err(LinalgError::InvalidData {
+            reason: "self_overlap requires a binary matrix".to_string(),
+        });
+    }
+    let st = s.transpose();
+    let k = s.rows();
+    // Accumulate pair counts in a hash map keyed by (i, j) with i < j;
+    // diagonal entries are just row nnz counts.
+    let mut counts: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    for c in 0..st.rows() {
+        let rows = st.row_cols(c);
+        for (a, &i) in rows.iter().enumerate() {
+            for &j in &rows[a + 1..] {
+                *counts.entry((i, j)).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(counts.len() * 2 + k);
+    for ((i, j), v) in counts {
+        triplets.push((i as usize, j as usize, v));
+        triplets.push((j as usize, i as usize, v));
+    }
+    for r in 0..k {
+        let nnz = s.row_nnz(r);
+        if nnz > 0 {
+            triplets.push((r, r, nnz as f64));
+        }
+    }
+    CsrMatrix::from_triplets(k, k, &triplets)
+}
+
+/// Upper-triangle pairs `(i, j)`, `i < j`, of `S ⊙ Sᵀ` whose overlap count
+/// equals `target` — the fused form of Eq. 6 that never materializes the
+/// `k × k` product. This is the hot path of pair enumeration.
+pub fn self_overlap_pairs_eq(s: &CsrMatrix, target: usize) -> Result<Vec<(usize, usize)>> {
+    if !s.is_binary() {
+        return Err(LinalgError::InvalidData {
+            reason: "self_overlap_pairs_eq requires a binary matrix".to_string(),
+        });
+    }
+    let st = s.transpose();
+    let mut counts: std::collections::HashMap<(u32, u32), usize> =
+        std::collections::HashMap::new();
+    for c in 0..st.rows() {
+        let rows = st.row_cols(c);
+        for (a, &i) in rows.iter().enumerate() {
+            for &j in &rows[a + 1..] {
+                *counts.entry((i, j)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = if target == 0 {
+        // Zero overlap means the pair never shares a column: enumerate all
+        // pairs and subtract those with counted overlap.
+        let k = s.rows();
+        let mut all = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if !counts.contains_key(&(i as u32, j as u32)) {
+                    all.push((i, j));
+                }
+            }
+        }
+        all
+    } else {
+        counts
+            .into_iter()
+            .filter_map(|((i, j), v)| (v == target).then_some((i as usize, j as usize)))
+            .collect()
+    };
+    pairs.sort_unstable();
+    Ok(pairs)
+}
+
+/// Result of blocked match counting: for one block of slices, the per-row
+/// match counts as a dense `rows × block` matrix.
+///
+/// This materializes the paper's intermediate `(X ⊙ Sᵀ)` for a block of
+/// `b` slices, mirroring the data-parallel formulation whose memory
+/// behaviour §5.4's block-size experiment studies.
+pub fn count_matches_block(
+    x: &CsrMatrix,
+    slices: &CsrMatrix,
+    block: std::ops::Range<usize>,
+) -> Result<DenseMatrix> {
+    if x.cols() != slices.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "count_matches_block",
+            lhs: x.shape(),
+            rhs: slices.shape(),
+        });
+    }
+    if block.end > slices.rows() {
+        return Err(LinalgError::IndexOutOfBounds {
+            op: "count_matches_block",
+            index: block.end,
+            bound: slices.rows() + 1,
+        });
+    }
+    let b = block.len();
+    // Inverted index: column -> local slice ids in the block.
+    let mut inv: Vec<Vec<u32>> = vec![Vec::new(); x.cols()];
+    for (local, s) in block.clone().enumerate() {
+        for &c in slices.row_cols(s) {
+            inv[c as usize].push(local as u32);
+        }
+    }
+    let mut out = DenseMatrix::zeros(x.rows(), b);
+    for r in 0..x.rows() {
+        let orow = out.row_mut(r);
+        for &c in x.row_cols(r) {
+            for &local in &inv[c as usize] {
+                orow[local as usize] += 1.0;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parallel variant of [`count_matches_block`]: row partitions of `X` are
+/// processed by separate threads writing disjoint chunks of the output.
+pub fn count_matches_block_parallel(
+    x: &CsrMatrix,
+    slices: &CsrMatrix,
+    block: std::ops::Range<usize>,
+    par: &ParallelConfig,
+) -> Result<DenseMatrix> {
+    if x.cols() != slices.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "count_matches_block_parallel",
+            lhs: x.shape(),
+            rhs: slices.shape(),
+        });
+    }
+    if block.end > slices.rows() {
+        return Err(LinalgError::IndexOutOfBounds {
+            op: "count_matches_block_parallel",
+            index: block.end,
+            bound: slices.rows() + 1,
+        });
+    }
+    let b = block.len();
+    let mut inv: Vec<Vec<u32>> = vec![Vec::new(); x.cols()];
+    for (local, s) in block.clone().enumerate() {
+        for &c in slices.row_cols(s) {
+            inv[c as usize].push(local as u32);
+        }
+    }
+    let mut out = DenseMatrix::zeros(x.rows(), b);
+    let inv_ref = &inv;
+    par.run_on_chunks(out.data_mut(), b, |row0, chunk| {
+        let rows = chunk.len() / b;
+        for i in 0..rows {
+            let orow = &mut chunk[i * b..(i + 1) * b];
+            for &c in x.row_cols(row0 + i) {
+                for &local in &inv_ref[c as usize] {
+                    orow[local as usize] += 1.0;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(rows: &[Vec<u32>], cols: usize) -> CsrMatrix {
+        CsrMatrix::from_binary_rows(cols, rows).unwrap()
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triplets(3, 2, &[(0, 1, 4.0), (1, 0, 5.0), (2, 0, 6.0)]).unwrap();
+        let c = spgemm(&a, &b).unwrap();
+        let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
+        assert_eq!(c.to_dense(), expect);
+        assert!(spgemm(&a, &a).is_err());
+    }
+
+    #[test]
+    fn sp_dense_matches_dense() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+        let b = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(
+            sp_dense(&a, &b).unwrap(),
+            a.to_dense().matmul(&b).unwrap()
+        );
+        let bad = DenseMatrix::zeros(2, 2);
+        assert!(sp_dense(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn self_overlap_counts_shared_columns() {
+        // Slices ab, ac, bc over columns {a=0, b=1, c=2}.
+        let s = binary(&[vec![0, 1], vec![0, 2], vec![1, 2]], 3);
+        let o = self_overlap(&s).unwrap();
+        let expect = spgemm(&s, &s.transpose()).unwrap();
+        assert_eq!(o.to_dense(), expect.to_dense());
+        assert_eq!(o.get(0, 1), 1.0); // ab ∩ ac = {a}
+        assert_eq!(o.get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn self_overlap_rejects_non_binary() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 2.0)]).unwrap();
+        assert!(self_overlap(&m).is_err());
+    }
+
+    #[test]
+    fn overlap_pairs_eq_fused() {
+        let s = binary(&[vec![0, 1], vec![0, 2], vec![1, 2], vec![3, 4]], 5);
+        // Pairs sharing exactly 1 column: (0,1), (0,2), (1,2).
+        assert_eq!(
+            self_overlap_pairs_eq(&s, 1).unwrap(),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
+        // Pairs sharing 0 columns: everything with slice 3.
+        assert_eq!(
+            self_overlap_pairs_eq(&s, 0).unwrap(),
+            vec![(0, 3), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn count_matches_equals_matmul() {
+        // X: 4 rows over 5 one-hot columns; S: 2 slices.
+        let x = binary(&[vec![0, 3], vec![0, 4], vec![1, 3], vec![0, 3]], 5);
+        let s = binary(&[vec![0, 3], vec![3]], 5);
+        let counts = count_matches_block(&x, &s, 0..2).unwrap();
+        let expect = spgemm(&x, &s.transpose()).unwrap().to_dense();
+        assert_eq!(counts, expect);
+        // Row 0 matches both predicates of slice 0.
+        assert_eq!(counts.get(0, 0), 2.0);
+        assert_eq!(counts.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn count_matches_block_subrange() {
+        let x = binary(&[vec![0, 3], vec![1, 4]], 5);
+        let s = binary(&[vec![0], vec![1], vec![4]], 5);
+        let counts = count_matches_block(&x, &s, 1..3).unwrap();
+        assert_eq!(counts.shape(), (2, 2));
+        assert_eq!(counts.get(1, 0), 1.0); // row 1 vs slice 1 (col 1)
+        assert_eq!(counts.get(1, 1), 1.0); // row 1 vs slice 2 (col 4)
+        assert_eq!(counts.get(0, 0), 0.0);
+        assert!(count_matches_block(&x, &s, 1..4).is_err());
+    }
+
+    #[test]
+    fn count_matches_parallel_matches_serial() {
+        let x = binary(
+            &(0..50)
+                .map(|i| vec![(i % 5) as u32, 5 + (i % 3) as u32])
+                .collect::<Vec<_>>(),
+            8,
+        );
+        let s = binary(&[vec![0, 5], vec![1, 6], vec![2], vec![0, 6]], 8);
+        let serial = count_matches_block(&x, &s, 0..4).unwrap();
+        for threads in [1, 2, 4] {
+            let par = count_matches_block_parallel(&x, &s, 0..4, &ParallelConfig::new(threads))
+                .unwrap();
+            assert_eq!(par, serial);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Contingency tables, selection matrices and triangular extraction.
+//!
+//! The SliceLine paper builds its one-hot matrix via
+//! `X = table(rix, cix)` (Algorithm 1 data preparation), extracts top-K
+//! rows via a selection matrix `P = table(seq(1,K), IX, …)` (§4.5), and
+//! joins compatible slice pairs via
+//! `I = upper.tri((S Sᵀ) == (L-2), values=TRUE)` (Eq. 6). All three
+//! primitives are implemented here on CSR matrices.
+
+use crate::csr::CsrMatrix;
+use crate::error::{LinalgError, Result};
+
+/// `table(rix, cix)`: builds a `rows × cols` contingency matrix counting
+/// each `(rix[i], cix[i])` pair. Indexes are 0-based here (the paper's DML
+/// uses 1-based).
+///
+/// When every pair is unique — as in one-hot encoding — the result is a 0/1
+/// matrix.
+pub fn table_from_pairs(
+    rix: &[usize],
+    cix: &[usize],
+    rows: usize,
+    cols: usize,
+) -> Result<CsrMatrix> {
+    if rix.len() != cix.len() {
+        return Err(LinalgError::InvalidData {
+            reason: format!(
+                "table: rix length {} != cix length {}",
+                rix.len(),
+                cix.len()
+            ),
+        });
+    }
+    let triplets: Vec<(usize, usize, f64)> = rix
+        .iter()
+        .zip(cix.iter())
+        .map(|(&r, &c)| (r, c, 1.0))
+        .collect();
+    CsrMatrix::from_triplets(rows, cols, &triplets)
+}
+
+/// Builds the `k × n` selection matrix `P` with `P[i, indices[i]] = 1`,
+/// i.e. `P = table(seq(1,k), IX, k, n)`. Multiplying `P ⊙ M` then extracts
+/// rows `indices` of `M` in order.
+pub fn selection_matrix(indices: &[usize], n: usize) -> Result<CsrMatrix> {
+    let mut rows = Vec::with_capacity(indices.len());
+    for &ix in indices {
+        if ix >= n {
+            return Err(LinalgError::IndexOutOfBounds {
+                op: "selection_matrix",
+                index: ix,
+                bound: n,
+            });
+        }
+        rows.push(vec![ix as u32]);
+    }
+    CsrMatrix::from_binary_rows(n, &rows)
+}
+
+/// Extracts the strict upper triangle entries `(r, c)` with `r < c` of a
+/// square matrix `m` whose value equals `target`, returning the index
+/// pairs. This is the paper's
+/// `upper.tri((S Sᵀ) == (L-2), values=TRUE)` step used to select
+/// compatible slice pairs (the product is symmetric, so the strict upper
+/// triangle enumerates each unordered pair once).
+pub fn upper_tri_eq(m: &CsrMatrix, target: f64) -> Result<Vec<(usize, usize)>> {
+    if m.rows() != m.cols() {
+        return Err(LinalgError::NotSquare {
+            op: "upper_tri_eq",
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let mut pairs = Vec::new();
+    for r in 0..m.rows() {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            let c = c as usize;
+            if c > r && v == target {
+                pairs.push((r, c));
+            }
+        }
+    }
+    // Implicit zeros also count when target == 0: every absent strict
+    // upper-triangle entry matches.
+    if target == 0.0 {
+        let mut present: Vec<Vec<usize>> = vec![Vec::new(); m.rows()];
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..m.rows() {
+            for &c in m.row_cols(r) {
+                let c = c as usize;
+                if c > r {
+                    present[r].push(c);
+                }
+            }
+        }
+        for (r, pres) in present.iter().enumerate() {
+            let mut it = pres.iter().peekable();
+            for c in (r + 1)..m.cols() {
+                if it.peek() == Some(&&c) {
+                    it.next();
+                } else {
+                    pairs.push((r, c));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+    }
+    Ok(pairs)
+}
+
+/// Element-wise comparison of a CSR matrix against a scalar, producing a
+/// binary CSR indicator `m == target` over *stored* entries only.
+///
+/// This mirrors sparsity-exploiting ML-system semantics where comparisons
+/// against a non-zero scalar never introduce new non-zeros. `target` must
+/// be non-zero (a zero target would produce a dense result; callers that
+/// need it should work on dense matrices instead).
+pub fn eq_scalar_sparse(m: &CsrMatrix, target: f64) -> Result<CsrMatrix> {
+    if target == 0.0 {
+        return Err(LinalgError::InvalidData {
+            reason: "eq_scalar_sparse with target 0 would be dense".to_string(),
+        });
+    }
+    let mut triplets = Vec::new();
+    for r in 0..m.rows() {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals.iter()) {
+            if v == target {
+                triplets.push((r, c as usize, 1.0));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts_pairs() {
+        let t = table_from_pairs(&[0, 1, 1, 0], &[0, 1, 1, 2], 2, 3).unwrap();
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 1), 2.0);
+        assert_eq!(t.get(0, 2), 1.0);
+        assert_eq!(t.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn table_rejects_mismatched_lengths() {
+        assert!(table_from_pairs(&[0], &[0, 1], 1, 2).is_err());
+    }
+
+    #[test]
+    fn table_one_hot_is_binary() {
+        // One-hot encoding: row i sets column code[i].
+        let codes = [2usize, 0, 1];
+        let rix: Vec<usize> = (0..3).collect();
+        let t = table_from_pairs(&rix, &codes, 3, 3).unwrap();
+        assert!(t.is_binary());
+        assert_eq!(t.nnz(), 3);
+    }
+
+    #[test]
+    fn selection_matrix_extracts_rows() {
+        let p = selection_matrix(&[2, 0], 4).unwrap();
+        assert_eq!(p.shape(), (2, 4));
+        let m = CsrMatrix::from_triplets(
+            4,
+            2,
+            &[(0, 0, 10.0), (1, 0, 20.0), (2, 1, 30.0), (3, 0, 40.0)],
+        )
+        .unwrap();
+        let extracted = crate::spgemm::spgemm(&p, &m).unwrap();
+        assert_eq!(extracted.get(0, 1), 30.0);
+        assert_eq!(extracted.get(1, 0), 10.0);
+        assert!(selection_matrix(&[4], 4).is_err());
+    }
+
+    #[test]
+    fn upper_tri_eq_selects_pairs() {
+        // Symmetric matrix with some target entries.
+        let m = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 2, 3.0),
+                (2, 0, 3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(upper_tri_eq(&m, 1.0).unwrap(), vec![(0, 1), (1, 2)]);
+        assert_eq!(upper_tri_eq(&m, 3.0).unwrap(), vec![(0, 2)]);
+        let not_square = CsrMatrix::zeros(2, 3);
+        assert!(upper_tri_eq(&not_square, 1.0).is_err());
+    }
+
+    #[test]
+    fn upper_tri_eq_zero_target_includes_implicit() {
+        // Only entry (0,1)=5; the zero-target match must include (0,2),(1,2).
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 5.0), (1, 0, 5.0)]).unwrap();
+        assert_eq!(upper_tri_eq(&m, 0.0).unwrap(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn eq_scalar_sparse_indicator() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 3.0), (1, 1, 2.0)]).unwrap();
+        let i = eq_scalar_sparse(&m, 2.0).unwrap();
+        assert!(i.is_binary());
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert!(eq_scalar_sparse(&m, 0.0).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Vector kernels: sequences, cumulative sums/products, element-wise
+//! predicates, and ordering.
+//!
+//! SliceLine's data preparation computes feature offsets via
+//! `fb = cumsum(fdom) - fdom` and `fe = cumsum(fdom)` (Algorithm 1 lines
+//! 3–4), and top-K maintenance sorts score vectors with `order(...,
+//! decreasing=TRUE, index.return=TRUE)` (§4.5). Those primitives live here.
+
+/// `seq(1, n)` as 1-based f64 values (R/DML convention).
+pub fn seq(n: usize) -> Vec<f64> {
+    (1..=n).map(|i| i as f64).collect()
+}
+
+/// Cumulative sum: `out[i] = v[0] + … + v[i]`.
+pub fn cumsum(v: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    v.iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+/// Cumulative sum over usize values.
+pub fn cumsum_usize(v: &[usize]) -> Vec<usize> {
+    let mut acc = 0usize;
+    v.iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+/// Cumulative product: `out[i] = v[0] * … * v[i]`.
+pub fn cumprod(v: &[f64]) -> Vec<f64> {
+    let mut acc = 1.0;
+    v.iter()
+        .map(|&x| {
+            acc *= x;
+            acc
+        })
+        .collect()
+}
+
+/// Element-wise `v >= t` as 0/1 indicator values.
+pub fn ge_indicator(v: &[f64], t: f64) -> Vec<f64> {
+    v.iter().map(|&x| if x >= t { 1.0 } else { 0.0 }).collect()
+}
+
+/// Element-wise `v > t` as 0/1 indicator values.
+pub fn gt_indicator(v: &[f64], t: f64) -> Vec<f64> {
+    v.iter().map(|&x| if x > t { 1.0 } else { 0.0 }).collect()
+}
+
+/// Element-wise logical AND of 0/1 indicator vectors.
+pub fn and(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| if x != 0.0 && y != 0.0 { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Indexes `i` with `v[i] != 0`, i.e. `removeEmpty` on an indicator vector
+/// returning the kept positions.
+pub fn nonzero_indices(v: &[f64]) -> Vec<usize> {
+    v.iter()
+        .enumerate()
+        .filter_map(|(i, &x)| (x != 0.0).then_some(i))
+        .collect()
+}
+
+/// Stable argsort in *descending* order of `v` — the paper's
+/// `order(R, by=1, decreasing=TRUE, index.return=TRUE)`.
+///
+/// NaN values sort last. Ties keep their original relative order so results
+/// are deterministic.
+pub fn order_desc(v: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| {
+        v[b].partial_cmp(&v[a])
+            .unwrap_or_else(|| v[a].is_nan().cmp(&v[b].is_nan()))
+    });
+    idx
+}
+
+/// Element-wise minimum of two equal-length vectors.
+pub fn elem_min(a: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.min(y)).collect()
+}
+
+/// Dot product of two equal-length vectors.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_one_based() {
+        assert_eq!(seq(3), vec![1.0, 2.0, 3.0]);
+        assert!(seq(0).is_empty());
+    }
+
+    #[test]
+    fn cumsum_basic() {
+        assert_eq!(cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert!(cumsum(&[]).is_empty());
+        assert_eq!(cumsum_usize(&[2, 3, 4]), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn cumprod_basic() {
+        assert_eq!(cumprod(&[2.0, 3.0, 4.0]), vec![2.0, 6.0, 24.0]);
+    }
+
+    #[test]
+    fn feature_offsets_identity() {
+        // The paper's fb/fe: for domains [2,3,2] one-hot columns are
+        // [0..2), [2..5), [5..7).
+        let fdom = [2.0, 3.0, 2.0];
+        let fe = cumsum(&fdom);
+        let fb: Vec<f64> = fe.iter().zip(fdom.iter()).map(|(&e, &d)| e - d).collect();
+        assert_eq!(fb, vec![0.0, 2.0, 5.0]);
+        assert_eq!(fe, vec![2.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn indicators() {
+        assert_eq!(ge_indicator(&[1.0, 2.0, 3.0], 2.0), vec![0.0, 1.0, 1.0]);
+        assert_eq!(gt_indicator(&[1.0, 2.0, 3.0], 2.0), vec![0.0, 0.0, 1.0]);
+        assert_eq!(
+            and(&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]),
+            vec![1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn nonzero_indices_basic() {
+        assert_eq!(nonzero_indices(&[0.0, 2.0, 0.0, -1.0]), vec![1, 3]);
+    }
+
+    #[test]
+    fn order_desc_stable() {
+        assert_eq!(order_desc(&[1.0, 3.0, 2.0]), vec![1, 2, 0]);
+        // Ties keep original order.
+        assert_eq!(order_desc(&[2.0, 2.0, 1.0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_desc_nan_last() {
+        let idx = order_desc(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(idx[0], 2);
+        assert_eq!(idx[1], 0);
+        assert_eq!(idx[2], 1);
+    }
+
+    #[test]
+    fn min_dot() {
+        assert_eq!(elem_min(&[1.0, 5.0], &[2.0, 3.0]), vec![1.0, 3.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+}

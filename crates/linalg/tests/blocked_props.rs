@@ -1,0 +1,62 @@
+//! Property tests for the SystemDS-style block-partitioned matrices.
+
+use proptest::prelude::*;
+use sliceline_linalg::{BlockedMatrix, CsrMatrix};
+
+fn csr_strategy() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..=12, 1usize..=12).prop_flat_map(|(r, c)| {
+        proptest::collection::vec((0..r, 0..c, -3.0f64..3.0), 0..=(r * c))
+            .prop_map(move |mut trips| {
+                // Drop exact zeros to keep the nnz interpretation clean.
+                trips.retain(|t| t.2.abs() > 1e-6);
+                CsrMatrix::from_triplets(r, c, &trips).unwrap()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_any_block_size(m in csr_strategy(), bs in 1usize..16) {
+        let blocked = BlockedMatrix::from_csr(&m, bs).unwrap();
+        prop_assert_eq!(blocked.to_csr(), m.clone());
+        prop_assert_eq!(blocked.rows(), m.rows());
+        prop_assert_eq!(blocked.cols(), m.cols());
+        // All mass is preserved: nnz of reassembly equals original.
+        prop_assert!(blocked.num_blocks() <= blocked.block_slots());
+    }
+
+    #[test]
+    fn matvec_matches_flat(m in csr_strategy(), bs in 1usize..16) {
+        let v: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.7) - 1.0).collect();
+        let blocked = BlockedMatrix::from_csr(&m, bs).unwrap();
+        let got = blocked.matvec(&v).unwrap();
+        let want = m.matvec(&v).unwrap();
+        for (a, b) in got.iter().zip(want.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_flat(a in csr_strategy(), b in csr_strategy(), bs in 1usize..8) {
+        prop_assume!(a.cols() == b.rows());
+        let ab = BlockedMatrix::from_csr(&a, bs).unwrap();
+        let bb = BlockedMatrix::from_csr(&b, bs).unwrap();
+        let got = ab.matmul(&bb).unwrap().to_csr().to_dense();
+        let want = sliceline_linalg::spgemm::spgemm(&a, &b).unwrap().to_dense();
+        prop_assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn block_density_bounds(m in csr_strategy(), bs in 1usize..16) {
+        let blocked = BlockedMatrix::from_csr(&m, bs).unwrap();
+        let d = blocked.block_density();
+        prop_assert!((0.0..=1.0).contains(&d));
+        if m.nnz() == 0 {
+            prop_assert_eq!(blocked.num_blocks(), 0);
+        } else {
+            prop_assert!(blocked.avg_nnz_per_block() >= 1.0);
+        }
+    }
+}

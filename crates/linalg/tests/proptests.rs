@@ -1,0 +1,200 @@
+//! Property tests: sparse kernels against their dense reference
+//! implementations, and structural invariants of CSR construction.
+
+use proptest::prelude::*;
+use sliceline_linalg::agg;
+use sliceline_linalg::spgemm::{self_overlap, self_overlap_pairs_eq, sp_dense, spgemm};
+use sliceline_linalg::table::{selection_matrix, table_from_pairs, upper_tri_eq};
+use sliceline_linalg::vector;
+use sliceline_linalg::{CsrMatrix, DenseMatrix, ParallelConfig};
+
+/// Random sparse matrix via triplets (duplicates intended — they test the
+/// summing path).
+fn csr_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = CsrMatrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            (0..r, 0..c, prop_oneof![Just(-2.0), Just(-1.0), Just(1.0), Just(2.0), Just(0.5)]),
+            0..=(r * c),
+        )
+        .prop_map(move |trips| CsrMatrix::from_triplets(r, c, &trips).unwrap())
+    })
+}
+
+/// Random binary matrix with sorted unique columns per row.
+fn binary_strategy(max_rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0..cols as u32, 0..=cols.min(5)),
+        1..=max_rows,
+    )
+    .prop_map(move |rows| {
+        let rows: Vec<Vec<u32>> = rows.into_iter().map(|s| s.into_iter().collect()).collect();
+        CsrMatrix::from_binary_rows(cols, &rows).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_dense_roundtrip(m in csr_strategy(8, 8)) {
+        let dense = m.to_dense();
+        prop_assert_eq!(CsrMatrix::from_dense(&dense), m);
+    }
+
+    #[test]
+    fn transpose_is_involution_and_matches_dense(m in csr_strategy(8, 8)) {
+        let t = m.transpose();
+        prop_assert_eq!(t.to_dense(), m.to_dense().transpose());
+        prop_assert_eq!(t.transpose(), m.clone());
+        prop_assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn spgemm_matches_dense_matmul(a in csr_strategy(6, 5), b in csr_strategy(5, 7)) {
+        // Reshape b to match a's inner dimension.
+        let bt = if b.rows() == a.cols() {
+            b
+        } else {
+            let rows: Vec<usize> = (0..a.cols()).map(|i| i % b.rows()).collect();
+            b.select_rows(&rows).unwrap()
+        };
+        let sparse = spgemm(&a, &bt).unwrap();
+        let dense = a.to_dense().matmul(&bt.to_dense()).unwrap();
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 1e-9));
+    }
+
+    #[test]
+    fn sp_dense_matches_dense_matmul(a in csr_strategy(6, 5)) {
+        let b = DenseMatrix::from_vec(
+            a.cols(),
+            3,
+            (0..a.cols() * 3).map(|i| (i % 7) as f64 - 3.0).collect(),
+        ).unwrap();
+        let got = sp_dense(&a, &b).unwrap();
+        let want = a.to_dense().matmul(&b).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn aggregations_match_dense_reference(m in csr_strategy(8, 8)) {
+        let d = m.to_dense();
+        prop_assert_eq!(agg::col_sums_csr(&m), agg::col_sums_dense(&d));
+        prop_assert_eq!(agg::row_sums_csr(&m), agg::row_sums_dense(&d));
+        prop_assert_eq!(agg::col_maxs_csr(&m), agg::col_maxs_dense(&d));
+        prop_assert_eq!(agg::row_maxs_csr(&m), agg::row_maxs_dense(&d));
+    }
+
+    #[test]
+    fn parallel_col_sums_equal_serial(m in csr_strategy(16, 8), threads in 1usize..6) {
+        let serial = agg::col_sums_csr(&m);
+        let parallel = agg::col_sums_csr_parallel(&m, &ParallelConfig::new(threads));
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matvec_vecmat_match_dense(m in csr_strategy(8, 8)) {
+        let v: Vec<f64> = (0..m.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let w: Vec<f64> = (0..m.rows()).map(|i| (i % 3) as f64).collect();
+        let d = m.to_dense();
+        prop_assert_eq!(m.matvec(&v).unwrap(), d.matvec(&v).unwrap());
+        prop_assert_eq!(m.vecmat(&w).unwrap(), d.vecmat(&w).unwrap());
+    }
+
+    #[test]
+    fn self_overlap_matches_spgemm(s in binary_strategy(8, 6)) {
+        let got = self_overlap(&s).unwrap();
+        let want = spgemm(&s, &s.transpose()).unwrap();
+        prop_assert_eq!(got.to_dense(), want.to_dense());
+    }
+
+    #[test]
+    fn overlap_pairs_match_materialized_product(s in binary_strategy(8, 6), target in 0usize..4) {
+        let pairs = self_overlap_pairs_eq(&s, target).unwrap();
+        let product = spgemm(&s, &s.transpose()).unwrap();
+        let expect = upper_tri_eq(&product, target as f64).unwrap();
+        prop_assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn table_counts_every_pair(
+        pairs in proptest::collection::vec((0usize..5, 0usize..7), 0..30)
+    ) {
+        let rix: Vec<usize> = pairs.iter().map(|&(r, _)| r).collect();
+        let cix: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+        let t = table_from_pairs(&rix, &cix, 5, 7).unwrap();
+        // Total mass equals the number of pairs.
+        let total: f64 = agg::col_sums_csr(&t).iter().sum();
+        prop_assert_eq!(total, pairs.len() as f64);
+        // Spot-check one cell against a direct count.
+        if let Some(&(r, c)) = pairs.first() {
+            let count = pairs.iter().filter(|&&p| p == (r, c)).count();
+            prop_assert_eq!(t.get(r, c), count as f64);
+        }
+    }
+
+    #[test]
+    fn selection_matrix_extracts_rows(
+        indices in proptest::collection::vec(0usize..6, 1..5),
+        m in csr_strategy(6, 4),
+    ) {
+        let m = if m.rows() == 6 { m } else {
+            let rows: Vec<usize> = (0..6).map(|i| i % m.rows()).collect();
+            m.select_rows(&rows).unwrap()
+        };
+        let p = selection_matrix(&indices, 6).unwrap();
+        let extracted = spgemm(&p, &m).unwrap();
+        let direct = m.select_rows(&indices).unwrap();
+        prop_assert_eq!(extracted.to_dense(), direct.to_dense());
+    }
+
+    #[test]
+    fn remove_empty_rows_preserves_content(m in csr_strategy(8, 8)) {
+        let (compact, kept) = m.remove_empty_rows();
+        prop_assert_eq!(compact.rows(), kept.len());
+        for (new_r, &old_r) in kept.iter().enumerate() {
+            prop_assert_eq!(compact.row_cols(new_r), m.row_cols(old_r));
+        }
+        prop_assert_eq!(compact.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn cumsum_cumprod_invariants(v in proptest::collection::vec(0.0f64..4.0, 0..20)) {
+        let cs = vector::cumsum(&v);
+        if let Some(last) = cs.last() {
+            let sum: f64 = v.iter().sum();
+            prop_assert!((last - sum).abs() < 1e-9);
+        }
+        // cumsum is non-decreasing for non-negative input.
+        for w in cs.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        let cp = vector::cumprod(&v);
+        prop_assert_eq!(cp.len(), v.len());
+    }
+
+    #[test]
+    fn order_desc_is_a_sorted_permutation(v in proptest::collection::vec(-5.0f64..5.0, 0..20)) {
+        let idx = vector::order_desc(&v);
+        prop_assert_eq!(idx.len(), v.len());
+        let mut seen = idx.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..v.len()).collect::<Vec<_>>());
+        for w in idx.windows(2) {
+            prop_assert!(v[w[0]] >= v[w[1]]);
+        }
+    }
+
+    #[test]
+    fn rbind_select_roundtrip(a in csr_strategy(5, 6), b in csr_strategy(4, 6)) {
+        prop_assume!(a.cols() == b.cols());
+        let stacked = a.rbind(&b).unwrap();
+        prop_assert_eq!(stacked.rows(), a.rows() + b.rows());
+        let top = stacked.select_rows(&(0..a.rows()).collect::<Vec<_>>()).unwrap();
+        prop_assert_eq!(top, a);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error functions `err(y, ŷ)` of the paper's §2.1.
+//!
+//! SliceLine consumes a non-negative, row-aligned error vector `e`. The
+//! paper names classification inaccuracy `e = (y ≠ ŷ)` and squared loss
+//! `e = (y − ŷ)²` as the common choices; absolute loss is included as an
+//! additional user-defined error function.
+
+use crate::{MlError, Result};
+
+fn check_aligned(y: &[f64], yhat: &[f64]) -> Result<()> {
+    if y.len() != yhat.len() {
+        return Err(MlError::ShapeMismatch {
+            reason: format!("y has {} rows, yhat has {}", y.len(), yhat.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Squared loss `e_i = (y_i − ŷ_i)²` for regression tasks.
+pub fn squared_loss(y: &[f64], yhat: &[f64]) -> Result<Vec<f64>> {
+    check_aligned(y, yhat)?;
+    Ok(y.iter()
+        .zip(yhat.iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .collect())
+}
+
+/// Absolute loss `e_i = |y_i − ŷ_i|`.
+pub fn absolute_loss(y: &[f64], yhat: &[f64]) -> Result<Vec<f64>> {
+    check_aligned(y, yhat)?;
+    Ok(y.iter()
+        .zip(yhat.iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .collect())
+}
+
+/// Classification inaccuracy `e_i = [y_i ≠ ŷ_i]` (0/1 loss).
+pub fn inaccuracy(y: &[f64], yhat: &[f64]) -> Result<Vec<f64>> {
+    check_aligned(y, yhat)?;
+    Ok(y.iter()
+        .zip(yhat.iter())
+        .map(|(&a, &b)| if a == b { 0.0 } else { 1.0 })
+        .collect())
+}
+
+/// Overall accuracy `1 − mean(inaccuracy)`; 0 for empty input.
+pub fn accuracy(y: &[f64], yhat: &[f64]) -> Result<f64> {
+    let e = inaccuracy(y, yhat)?;
+    if e.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(1.0 - e.iter().sum::<f64>() / e.len() as f64)
+}
+
+/// Root mean squared error; 0 for empty input.
+pub fn rmse(y: &[f64], yhat: &[f64]) -> Result<f64> {
+    let e = squared_loss(y, yhat)?;
+    if e.is_empty() {
+        return Ok(0.0);
+    }
+    Ok((e.iter().sum::<f64>() / e.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_loss_values() {
+        let e = squared_loss(&[1.0, 2.0], &[2.0, 0.0]).unwrap();
+        assert_eq!(e, vec![1.0, 4.0]);
+        assert!(e.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn absolute_loss_values() {
+        assert_eq!(
+            absolute_loss(&[1.0, -2.0], &[3.0, 0.0]).unwrap(),
+            vec![2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn inaccuracy_zero_one() {
+        assert_eq!(
+            inaccuracy(&[0.0, 1.0, 2.0], &[0.0, 2.0, 2.0]).unwrap(),
+            vec![0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn metrics() {
+        assert!((accuracy(&[1.0, 1.0, 0.0], &[1.0, 0.0, 0.0]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]).unwrap(), 0.0);
+        assert_eq!(rmse(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        assert!(squared_loss(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(inaccuracy(&[1.0], &[]).is_err());
+        assert!(absolute_loss(&[], &[1.0]).is_err());
+    }
+}

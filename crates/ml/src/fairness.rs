@@ -1,0 +1,135 @@
+//! Fairness-oriented error vectors — the paper's §7 future-work direction
+//! ("slice finding for bias and fairness (instead of accuracy)").
+//!
+//! SliceLine maximizes a score over an arbitrary non-negative, row-aligned
+//! error vector `e`; nothing restricts `e` to accuracy. This module builds
+//! error vectors whose slice-level averages correspond to group fairness
+//! metrics, so the *same* enumeration finds the top-K slices with the
+//! worst:
+//!
+//! * **false-positive rate** — `e_i = [ŷ_i = 1 ∧ y_i = 0]` restricted to
+//!   negatives: a slice's average error over its negative rows is its FPR.
+//! * **false-negative rate** — symmetric for positives.
+//! * **positive-prediction rate** (demographic parity debugging) —
+//!   `e_i = [ŷ_i = 1]`: slices with unusually high average are slices the
+//!   model disproportionately flags.
+//!
+//! The indicator vectors deliberately keep *all* rows (non-relevant rows
+//! get error 0) so slice sizes keep their usual meaning; use
+//! [`restrict_rows`] to drop non-relevant rows when the rate itself must
+//! be the slice average.
+
+use crate::{MlError, Result};
+
+fn check_binary(name: &str, values: &[f64]) -> Result<()> {
+    for (i, &v) in values.iter().enumerate() {
+        if v != 0.0 && v != 1.0 {
+            return Err(MlError::InvalidConfig {
+                reason: format!("{name} must be 0/1; found {v} at row {i}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// False-positive indicators: 1 where `ŷ = 1 ∧ y = 0`, else 0.
+///
+/// ```
+/// use sliceline_ml::fairness::false_positive_errors;
+/// let e = false_positive_errors(&[0.0, 1.0], &[1.0, 1.0]).unwrap();
+/// assert_eq!(e, vec![1.0, 0.0]);
+/// ```
+pub fn false_positive_errors(y: &[f64], yhat: &[f64]) -> Result<Vec<f64>> {
+    if y.len() != yhat.len() {
+        return Err(MlError::ShapeMismatch {
+            reason: format!("y has {} rows, yhat has {}", y.len(), yhat.len()),
+        });
+    }
+    check_binary("y", y)?;
+    check_binary("yhat", yhat)?;
+    Ok(y.iter()
+        .zip(yhat.iter())
+        .map(|(&t, &p)| if p == 1.0 && t == 0.0 { 1.0 } else { 0.0 })
+        .collect())
+}
+
+/// False-negative indicators: 1 where `ŷ = 0 ∧ y = 1`, else 0.
+pub fn false_negative_errors(y: &[f64], yhat: &[f64]) -> Result<Vec<f64>> {
+    if y.len() != yhat.len() {
+        return Err(MlError::ShapeMismatch {
+            reason: format!("y has {} rows, yhat has {}", y.len(), yhat.len()),
+        });
+    }
+    check_binary("y", y)?;
+    check_binary("yhat", yhat)?;
+    Ok(y.iter()
+        .zip(yhat.iter())
+        .map(|(&t, &p)| if p == 0.0 && t == 1.0 { 1.0 } else { 0.0 })
+        .collect())
+}
+
+/// Positive-prediction indicators: 1 where `ŷ = 1` (for demographic-parity
+/// style debugging).
+pub fn positive_prediction_errors(yhat: &[f64]) -> Result<Vec<f64>> {
+    check_binary("yhat", yhat)?;
+    Ok(yhat.to_vec())
+}
+
+/// Row indexes where `keep` returns true — used to restrict a dataset to
+/// the relevant population (e.g. only true negatives for FPR slicing) so
+/// the slice average *is* the rate.
+pub fn restrict_rows(y: &[f64], keep: impl Fn(f64) -> bool) -> Vec<usize> {
+    y.iter()
+        .enumerate()
+        .filter_map(|(i, &v)| keep(v).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_positive_indicator() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        let yhat = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(
+            false_positive_errors(&y, &yhat).unwrap(),
+            vec![1.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn false_negative_indicator() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        let yhat = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(
+            false_negative_errors(&y, &yhat).unwrap(),
+            vec![0.0, 0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn positive_prediction_indicator() {
+        assert_eq!(
+            positive_prediction_errors(&[1.0, 0.0, 1.0]).unwrap(),
+            vec![1.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn non_binary_rejected() {
+        assert!(false_positive_errors(&[0.5], &[1.0]).is_err());
+        assert!(false_negative_errors(&[0.0], &[2.0]).is_err());
+        assert!(positive_prediction_errors(&[0.3]).is_err());
+        assert!(false_positive_errors(&[0.0], &[1.0, 0.0]).is_err());
+        assert!(false_negative_errors(&[0.0], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn restrict_rows_filters() {
+        let y = [0.0, 1.0, 0.0, 1.0];
+        assert_eq!(restrict_rows(&y, |v| v == 0.0), vec![0, 2]);
+        assert_eq!(restrict_rows(&y, |v| v == 1.0), vec![1, 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! The paper derives artificial labels for the unlabeled USCensus dataset
+//! via K-Means (§5.1): cluster ids become the 4-class labels, and a
+//! classifier trained on them supplies SliceLine's error vector. The
+//! census-like generator in `sliceline-datagen` follows the same recipe.
+
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliceline_linalg::DenseMatrix;
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tolerance: f64,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 4,
+            max_iterations: 50,
+            tolerance: 1e-6,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted K-Means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: DenseMatrix,
+}
+
+impl KMeans {
+    /// Fits K-Means with k-means++ seeding on the rows of `x`.
+    pub fn fit(x: &DenseMatrix, config: &KMeansConfig) -> Result<Self> {
+        let n = x.rows();
+        let d = x.cols();
+        if config.k == 0 {
+            return Err(MlError::InvalidConfig {
+                reason: "k must be positive".to_string(),
+            });
+        }
+        if n < config.k {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("{n} rows cannot form {} clusters", config.k),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut centroids = kmeanspp_init(x, config.k, &mut rng);
+        let mut assign = vec![0usize; n];
+        for _ in 0..config.max_iterations {
+            // Assignment step.
+            for (r, a) in assign.iter_mut().enumerate() {
+                *a = nearest_centroid(x.row(r), &centroids).0;
+            }
+            // Update step.
+            let mut sums = DenseMatrix::zeros(config.k, d);
+            let mut counts = vec![0usize; config.k];
+            for (r, &a) in assign.iter().enumerate() {
+                counts[a] += 1;
+                let srow = sums.row_mut(a);
+                for (s, &v) in srow.iter_mut().zip(x.row(r).iter()) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..config.k {
+                if counts[k] == 0 {
+                    // Re-seed empty clusters at a random point.
+                    let r = rng.gen_range(0..n);
+                    let row = x.row(r).to_vec();
+                    centroids.row_mut(k).copy_from_slice(&row);
+                    continue;
+                }
+                let inv = 1.0 / counts[k] as f64;
+                for j in 0..d {
+                    let newv = sums.get(k, j) * inv;
+                    movement += (newv - centroids.get(k, j)).abs();
+                    centroids.set(k, j, newv);
+                }
+            }
+            if movement < config.tolerance {
+                break;
+            }
+        }
+        Ok(KMeans { centroids })
+    }
+
+    /// The fitted centroids (`k × d`).
+    pub fn centroids(&self) -> &DenseMatrix {
+        &self.centroids
+    }
+
+    /// Assigns each row of `x` its nearest centroid id as `f64` labels.
+    pub fn predict(&self, x: &DenseMatrix) -> Result<Vec<f64>> {
+        if x.cols() != self.centroids.cols() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "model has {} features, input has {}",
+                    self.centroids.cols(),
+                    x.cols()
+                ),
+            });
+        }
+        Ok((0..x.rows())
+            .map(|r| nearest_centroid(x.row(r), &self.centroids).0 as f64)
+            .collect())
+    }
+
+    /// Total within-cluster sum of squared distances for `x`.
+    pub fn inertia(&self, x: &DenseMatrix) -> Result<f64> {
+        if x.cols() != self.centroids.cols() {
+            return Err(MlError::ShapeMismatch {
+                reason: "feature mismatch".to_string(),
+            });
+        }
+        Ok((0..x.rows())
+            .map(|r| nearest_centroid(x.row(r), &self.centroids).1)
+            .sum())
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+fn nearest_centroid(row: &[f64], centroids: &DenseMatrix) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for k in 0..centroids.rows() {
+        let d = sq_dist(row, centroids.row(k));
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ initialization: first centroid uniform, subsequent centroids
+/// sampled proportionally to squared distance from the nearest chosen one.
+fn kmeanspp_init(x: &DenseMatrix, k: usize, rng: &mut StdRng) -> DenseMatrix {
+    let n = x.rows();
+    let d = x.cols();
+    let mut centroids = DenseMatrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    let first_row = x.row(first).to_vec();
+    centroids.row_mut(0).copy_from_slice(&first_row);
+    let mut dists: Vec<f64> = (0..n).map(|r| sq_dist(x.row(r), x.row(first))).collect();
+    for c in 1..k {
+        let total: f64 = dists.iter().sum();
+        let pick = if total > 0.0 {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (r, &dist) in dists.iter().enumerate() {
+                if target < dist {
+                    chosen = r;
+                    break;
+                }
+                target -= dist;
+            }
+            chosen
+        } else {
+            rng.gen_range(0..n)
+        };
+        let chosen_row = x.row(pick).to_vec();
+        centroids.row_mut(c).copy_from_slice(&chosen_row);
+        for (r, dist) in dists.iter_mut().enumerate() {
+            let nd = sq_dist(x.row(r), &chosen_row);
+            if nd < *dist {
+                *dist = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> DenseMatrix {
+        // Three well-separated blobs of 10 points each.
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            let j = (i % 5) as f64 * 0.05;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            rows.push(vec![10.0 + j, 10.0 - j]);
+            rows.push(vec![-10.0 - j, 10.0 + j]);
+        }
+        DenseMatrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let x = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..Default::default()
+        };
+        let m = KMeans::fit(&x, &cfg).unwrap();
+        let labels = m.predict(&x).unwrap();
+        // Points within one blob share a label; different blobs differ.
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[1], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+        // Inertia is small relative to blob separation.
+        assert!(m.inertia(&x).unwrap() < 10.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = KMeans::fit(&x, &cfg).unwrap();
+        let b = KMeans::fit(&x, &cfg).unwrap();
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn invalid_configs() {
+        let x = blobs();
+        assert!(KMeans::fit(
+            &x,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &DenseMatrix::zeros(2, 2),
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predict_shape_checked() {
+        let x = blobs();
+        let m = KMeans::fit(
+            &x,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.predict(&DenseMatrix::zeros(1, 9)).is_err());
+        assert!(m.inertia(&DenseMatrix::zeros(1, 9)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_is_allowed() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![5.0], vec![10.0]]).unwrap();
+        let m = KMeans::fit(
+            &x,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let labels = m.predict(&x).unwrap();
+        let mut distinct = labels.clone();
+        distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3);
+    }
+}

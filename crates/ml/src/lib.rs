@@ -1,0 +1,68 @@
+//! # sliceline-ml
+//!
+//! The ML substrate of the SliceLine reproduction: the models that produce
+//! the error vectors `e = err(y, ŷ)` SliceLine debugs.
+//!
+//! The paper's evaluation (§5.1) trains linear regression (`lm`) for
+//! regression datasets and multinomial logistic regression (`mlogit`) for
+//! classification, and derives artificial labels for USCensus via K-Means
+//! clustering. All three are implemented here from scratch on the
+//! `sliceline-linalg` substrate:
+//!
+//! * [`linreg::LinearRegression`] — ridge-regularized least squares via
+//!   normal equations and Cholesky,
+//! * [`logreg::MultinomialLogistic`] — softmax regression via batch
+//!   gradient descent,
+//! * [`kmeans::KMeans`] — Lloyd's algorithm with k-means++ seeding,
+//! * [`errors`] — the error functions of §2.1: squared loss for regression
+//!   and 0/1 inaccuracy for classification.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod errors;
+pub mod fairness;
+pub mod kmeans;
+pub mod linreg;
+pub mod logreg;
+
+pub use errors::{absolute_loss, inaccuracy, squared_loss};
+pub use kmeans::KMeans;
+pub use linreg::LinearRegression;
+pub use logreg::MultinomialLogistic;
+
+/// Errors produced when fitting or applying models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Features and labels had different row counts, or prediction input
+    /// width did not match the trained model.
+    ShapeMismatch {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The underlying linear algebra failed (e.g. singular system).
+    Numeric {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Invalid hyperparameters (e.g. zero clusters or classes).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            MlError::Numeric { reason } => write!(f, "numeric failure: {reason}"),
+            MlError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Convenience alias for ML results.
+pub type Result<T> = std::result::Result<T, MlError>;

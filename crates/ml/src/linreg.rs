@@ -1,0 +1,159 @@
+//! Linear regression (`lm`) via ridge-regularized normal equations.
+//!
+//! Used for the paper's regression datasets (KDD 98, Salaries): the model
+//! is fit on the feature matrix, predictions are scored with squared loss,
+//! and the resulting error vector feeds SliceLine.
+
+use crate::{MlError, Result};
+use sliceline_linalg::solve::solve_normal_equations;
+use sliceline_linalg::DenseMatrix;
+
+/// A fitted linear regression model `ŷ = X w + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Per-feature weights.
+    weights: Vec<f64>,
+    /// Intercept term.
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits ordinary least squares with ridge regularization `lambda`
+    /// (applied to the weights, not the intercept, via mean-centering).
+    ///
+    /// `lambda > 0` keeps the normal equations positive definite even with
+    /// collinear features.
+    pub fn fit(x: &DenseMatrix, y: &[f64], lambda: f64) -> Result<Self> {
+        let n = x.rows();
+        if n != y.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("X has {n} rows, y has {}", y.len()),
+            });
+        }
+        if n == 0 {
+            return Err(MlError::ShapeMismatch {
+                reason: "cannot fit on zero rows".to_string(),
+            });
+        }
+        let d = x.cols();
+        // Mean-center features and labels so the intercept is recovered
+        // exactly and stays unregularized.
+        let mut xmeans = vec![0.0; d];
+        for r in 0..n {
+            for (m, &v) in xmeans.iter_mut().zip(x.row(r).iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut xmeans {
+            *m /= n as f64;
+        }
+        let ymean = y.iter().sum::<f64>() / n as f64;
+        let mut xc = DenseMatrix::zeros(n, d);
+        for r in 0..n {
+            let src = x.row(r);
+            let dst = xc.row_mut(r);
+            for ((o, &v), &m) in dst.iter_mut().zip(src.iter()).zip(xmeans.iter()) {
+                *o = v - m;
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|&v| v - ymean).collect();
+        let weights = solve_normal_equations(&xc, &yc, lambda.max(1e-12)).map_err(|e| {
+            MlError::Numeric {
+                reason: format!("normal equations failed: {e}"),
+            }
+        })?;
+        let intercept = ymean
+            - weights
+                .iter()
+                .zip(xmeans.iter())
+                .map(|(&w, &m)| w * m)
+                .sum::<f64>();
+        Ok(LinearRegression { weights, intercept })
+    }
+
+    /// Predicts `ŷ = X w + b` for each row of `x`.
+    pub fn predict(&self, x: &DenseMatrix) -> Result<Vec<f64>> {
+        if x.cols() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "model has {} features, input has {}",
+                    self.weights.len(),
+                    x.cols()
+                ),
+            });
+        }
+        Ok((0..x.rows())
+            .map(|r| {
+                self.intercept
+                    + x.row(r)
+                        .iter()
+                        .zip(self.weights.iter())
+                        .map(|(&v, &w)| v * w)
+                        .sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        // y = 3 + 2 x1 - x2 exactly.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 5) as f64])
+            .collect();
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let m = LinearRegression::fit(&x, &y, 1e-8).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-5);
+        assert!((m.weights()[1] + 1.0).abs() < 1e-5);
+        assert!((m.intercept() - 3.0).abs() < 1e-4);
+        let yhat = m.predict(&x).unwrap();
+        for (a, b) in yhat.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn intercept_only_model() {
+        let x = DenseMatrix::zeros(4, 1);
+        let y = vec![5.0, 5.0, 5.0, 5.0];
+        let m = LinearRegression::fit(&x, &y, 1e-6).unwrap();
+        assert!((m.intercept() - 5.0).abs() < 1e-9);
+        assert_eq!(m.predict(&x).unwrap(), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = DenseMatrix::zeros(2, 1);
+        assert!(LinearRegression::fit(&x, &[1.0], 0.1).is_err());
+        assert!(LinearRegression::fit(&DenseMatrix::zeros(0, 1), &[], 0.1).is_err());
+        let m = LinearRegression::fit(&x, &[1.0, 2.0], 0.1).unwrap();
+        assert!(m.predict(&DenseMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn collinear_features_survive_with_ridge() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let m = LinearRegression::fit(&x, &y, 1e-4).unwrap();
+        let yhat = m.predict(&x).unwrap();
+        for (a, b) in yhat.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Multinomial logistic regression (`mlogit`) via batch gradient descent
+//! on the softmax cross-entropy loss.
+//!
+//! Used for the paper's classification datasets (Adult 2-class, Covtype
+//! 7-class, USCensus 4-class, Criteo 2-class). Labels are class ids
+//! `0, 1, …, K-1` encoded as `f64` (matching the label vectors produced by
+//! `sliceline-frame`).
+
+use crate::{MlError, Result};
+use sliceline_linalg::DenseMatrix;
+
+/// Hyperparameters for [`MultinomialLogistic::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// Gradient descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            iterations: 200,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted multinomial logistic regression model.
+///
+/// `weights` is `classes × (features + 1)`; the last column is the bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultinomialLogistic {
+    weights: DenseMatrix,
+    classes: usize,
+}
+
+impl MultinomialLogistic {
+    /// Fits softmax regression on features `x` and class-id labels `y`.
+    ///
+    /// Features are standardized internally (mean 0, stddev 1) for
+    /// stable gradient descent; the standardization is folded back into
+    /// the stored weights so prediction operates on raw features.
+    pub fn fit(x: &DenseMatrix, y: &[f64], config: &LogisticConfig) -> Result<Self> {
+        let n = x.rows();
+        if n != y.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("X has {n} rows, y has {}", y.len()),
+            });
+        }
+        if n == 0 {
+            return Err(MlError::ShapeMismatch {
+                reason: "cannot fit on zero rows".to_string(),
+            });
+        }
+        let classes = y.iter().fold(0usize, |acc, &v| acc.max(v as usize + 1));
+        if classes < 2 {
+            return Err(MlError::InvalidConfig {
+                reason: format!("need at least 2 classes, found {classes}"),
+            });
+        }
+        for (i, &v) in y.iter().enumerate() {
+            if v < 0.0 || v.fract() != 0.0 {
+                return Err(MlError::InvalidConfig {
+                    reason: format!("label {v} at row {i} is not a non-negative class id"),
+                });
+            }
+        }
+        let d = x.cols();
+        // Standardize features.
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for r in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(r).iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        for r in 0..n {
+            for ((s, &v), &m) in stds.iter_mut().zip(x.row(r).iter()).zip(means.iter()) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        // Gradient descent on standardized features with bias column.
+        let mut w = DenseMatrix::zeros(classes, d + 1);
+        let mut probs = vec![0.0; classes];
+        let mut grad = DenseMatrix::zeros(classes, d + 1);
+        let mut zrow = vec![0.0; d];
+        for _ in 0..config.iterations {
+            grad.data_mut().iter_mut().for_each(|g| *g = 0.0);
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..n {
+                for ((z, &v), (&m, &s)) in zrow
+                    .iter_mut()
+                    .zip(x.row(r).iter())
+                    .zip(means.iter().zip(stds.iter()))
+                {
+                    *z = (v - m) / s;
+                }
+                softmax_scores(&w, &zrow, &mut probs);
+                let label = y[r] as usize;
+                for (k, &p) in probs.iter().enumerate() {
+                    let delta = p - if k == label { 1.0 } else { 0.0 };
+                    if delta == 0.0 {
+                        continue;
+                    }
+                    let grow = grad.row_mut(k);
+                    for (g, &z) in grow.iter_mut().zip(zrow.iter()) {
+                        *g += delta * z;
+                    }
+                    grow[d] += delta;
+                }
+            }
+            let lr = config.learning_rate / n as f64;
+            for k in 0..classes {
+                let wrow_start = k * (d + 1);
+                for j in 0..=d {
+                    let g = grad.get(k, j)
+                        + if j < d {
+                            config.l2 * w.data()[wrow_start + j] * n as f64
+                        } else {
+                            0.0
+                        };
+                    let cur = w.data()[wrow_start + j];
+                    w.data_mut()[wrow_start + j] = cur - lr * g;
+                }
+            }
+        }
+        // Fold standardization into the weights: w_raw = w_std / s,
+        // b_raw = b_std - Σ w_std * m / s.
+        let mut folded = DenseMatrix::zeros(classes, d + 1);
+        for k in 0..classes {
+            let mut bias = w.get(k, d);
+            for j in 0..d {
+                let wj = w.get(k, j) / stds[j];
+                folded.set(k, j, wj);
+                bias -= wj * means[j];
+            }
+            folded.set(k, d, bias);
+        }
+        Ok(MultinomialLogistic {
+            weights: folded,
+            classes,
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Class probabilities for each row, returned as `n × classes`.
+    pub fn predict_proba(&self, x: &DenseMatrix) -> Result<DenseMatrix> {
+        let d = self.weights.cols() - 1;
+        if x.cols() != d {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("model has {d} features, input has {}", x.cols()),
+            });
+        }
+        let mut out = DenseMatrix::zeros(x.rows(), self.classes);
+        let mut probs = vec![0.0; self.classes];
+        for r in 0..x.rows() {
+            softmax_scores(&self.weights, x.row(r), &mut probs);
+            out.row_mut(r).copy_from_slice(&probs);
+        }
+        Ok(out)
+    }
+
+    /// Most likely class id for each row.
+    pub fn predict(&self, x: &DenseMatrix) -> Result<Vec<f64>> {
+        let proba = self.predict_proba(x)?;
+        Ok((0..proba.rows())
+            .map(|r| {
+                let row = proba.row(r);
+                let mut best = 0usize;
+                let mut best_p = f64::NEG_INFINITY;
+                for (k, &p) in row.iter().enumerate() {
+                    if p > best_p {
+                        best_p = p;
+                        best = k;
+                    }
+                }
+                best as f64
+            })
+            .collect())
+    }
+}
+
+/// Computes softmax probabilities for one feature row given
+/// `classes × (d+1)` weights (last column = bias). `features.len()` may be
+/// `d` — the bias is always applied.
+fn softmax_scores(weights: &DenseMatrix, features: &[f64], out: &mut [f64]) {
+    let d = weights.cols() - 1;
+    let mut maxz = f64::NEG_INFINITY;
+    for (k, o) in out.iter_mut().enumerate() {
+        let wrow = weights.row(k);
+        let mut z = wrow[d];
+        for (w, &v) in wrow[..d].iter().zip(features.iter()) {
+            z += w * v;
+        }
+        *o = z;
+        if z > maxz {
+            maxz = z;
+        }
+    }
+    let mut sum = 0.0;
+    for o in out.iter_mut() {
+        *o = (*o - maxz).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_2class() -> (DenseMatrix, Vec<f64>) {
+        // Class 0 around (0,0), class 1 around (4,4).
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.1;
+            rows.push(vec![jitter, -jitter]);
+            y.push(0.0);
+            rows.push(vec![4.0 + jitter, 4.0 - jitter]);
+            y.push(1.0);
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let (x, y) = separable_2class();
+        let m = MultinomialLogistic::fit(&x, &y, &LogisticConfig::default()).unwrap();
+        assert_eq!(m.classes(), 2);
+        let yhat = m.predict(&x).unwrap();
+        let acc = crate::errors::accuracy(&y, &yhat).unwrap();
+        assert!(acc > 0.95, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..15 {
+            let j = (i % 5) as f64 * 0.2;
+            rows.push(vec![0.0 + j, 0.0]);
+            y.push(0.0);
+            rows.push(vec![5.0 + j, 0.0]);
+            y.push(1.0);
+            rows.push(vec![2.5, 5.0 + j]);
+            y.push(2.0);
+        }
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let cfg = LogisticConfig {
+            iterations: 400,
+            ..Default::default()
+        };
+        let m = MultinomialLogistic::fit(&x, &y, &cfg).unwrap();
+        assert_eq!(m.classes(), 3);
+        let yhat = m.predict(&x).unwrap();
+        let acc = crate::errors::accuracy(&y, &yhat).unwrap();
+        assert!(acc > 0.9, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = separable_2class();
+        let m = MultinomialLogistic::fit(&x, &y, &LogisticConfig::default()).unwrap();
+        let p = m.predict_proba(&x).unwrap();
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let x = DenseMatrix::zeros(2, 1);
+        assert!(MultinomialLogistic::fit(&x, &[0.0], &LogisticConfig::default()).is_err());
+        // Single class.
+        assert!(MultinomialLogistic::fit(&x, &[0.0, 0.0], &LogisticConfig::default()).is_err());
+        // Fractional label.
+        assert!(MultinomialLogistic::fit(&x, &[0.5, 1.0], &LogisticConfig::default()).is_err());
+        // Zero rows.
+        assert!(
+            MultinomialLogistic::fit(&DenseMatrix::zeros(0, 1), &[], &LogisticConfig::default())
+                .is_err()
+        );
+        let (xs, ys) = separable_2class();
+        let m = MultinomialLogistic::fit(&xs, &ys, &LogisticConfig::default()).unwrap();
+        assert!(m.predict(&DenseMatrix::zeros(1, 5)).is_err());
+    }
+}

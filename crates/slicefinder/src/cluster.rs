@@ -1,0 +1,221 @@
+//! Clustering slicer: SliceFinder's clustering alternative.
+//!
+//! K-modes clustering over the integer-coded rows (Hamming distance,
+//! per-feature mode centroids); the clusters with the highest mean error
+//! are reported as "problematic regions". Clusters are descriptive — a
+//! centroid is not a predicate conjunction, and cluster membership cannot
+//! be expressed in the slice language. That interpretability gap is the
+//! reason both SliceFinder and SliceLine moved to lattice search; this
+//! baseline exists to make the comparison concrete.
+
+use sliceline_frame::IntMatrix;
+
+/// Configuration for [`ClusterSlicer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSlicerConfig {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Lloyd-style iterations.
+    pub iterations: usize,
+    /// Number of worst clusters to report.
+    pub k: usize,
+    /// Deterministic seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for ClusterSlicerConfig {
+    fn default() -> Self {
+        ClusterSlicerConfig {
+            clusters: 8,
+            iterations: 10,
+            k: 4,
+            seed: 17,
+        }
+    }
+}
+
+/// A cluster reported as a problematic region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRegion {
+    /// Per-feature modal code of the cluster (its centroid).
+    pub centroid: Vec<u32>,
+    /// Rows assigned to the cluster.
+    pub size: usize,
+    /// Mean error over the cluster.
+    pub mean_error: f64,
+}
+
+/// K-modes clustering over integer-coded rows.
+#[derive(Debug, Clone)]
+pub struct ClusterSlicer {
+    config: ClusterSlicerConfig,
+}
+
+impl ClusterSlicer {
+    /// Creates a slicer with the given configuration.
+    pub fn new(config: ClusterSlicerConfig) -> Self {
+        ClusterSlicer { config }
+    }
+
+    /// Clusters the rows and returns the `k` clusters with the highest
+    /// mean error.
+    pub fn worst_clusters(&self, x0: &IntMatrix, errors: &[f64]) -> Vec<ClusterRegion> {
+        assert_eq!(x0.rows(), errors.len(), "X0 and errors must be row-aligned");
+        let n = x0.rows();
+        let m = x0.cols();
+        let kc = self.config.clusters.min(n).max(1);
+        // Deterministic spread-out initialization: rows at strided
+        // positions mixed with the seed.
+        let mut centroids: Vec<Vec<u32>> = (0..kc)
+            .map(|c| {
+                let r = ((c as u64 * 0x9E37_79B9 + self.config.seed) % n as u64) as usize;
+                x0.row(r).to_vec()
+            })
+            .collect();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.config.iterations {
+            // Assign to nearest centroid by Hamming distance.
+            for (r, a) in assign.iter_mut().enumerate() {
+                let row = x0.row(r);
+                let mut best = 0usize;
+                let mut best_d = usize::MAX;
+                for (c, cent) in centroids.iter().enumerate() {
+                    let d = hamming(row, cent);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                *a = best;
+            }
+            // Update centroids to per-feature modes.
+            let mut changed = false;
+            for (c, cent) in centroids.iter_mut().enumerate() {
+                for j in 0..m {
+                    let d = x0.domains()[j] as usize;
+                    let mut counts = vec![0usize; d];
+                    for (r, &a) in assign.iter().enumerate() {
+                        if a == c {
+                            counts[x0.get(r, j) as usize - 1] += 1;
+                        }
+                    }
+                    if let Some((mode, &cnt)) =
+                        counts.iter().enumerate().max_by_key(|&(_, &v)| v)
+                    {
+                        if cnt > 0 {
+                            let new_code = mode as u32 + 1;
+                            if cent[j] != new_code {
+                                cent[j] = new_code;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Score clusters.
+        let mut regions: Vec<ClusterRegion> = Vec::with_capacity(kc);
+        for (c, cent) in centroids.iter().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&r| assign[r] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let sum: f64 = members.iter().map(|&r| errors[r]).sum();
+            regions.push(ClusterRegion {
+                centroid: cent.clone(),
+                size: members.len(),
+                mean_error: sum / members.len() as f64,
+            });
+        }
+        regions.sort_by(|a, b| b.mean_error.partial_cmp(&a.mean_error).unwrap());
+        regions.truncate(self.config.k);
+        regions
+    }
+}
+
+fn hamming(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated row populations; population B has high errors.
+    fn fixture() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..120u32 {
+            if i % 3 == 0 {
+                rows.push(vec![2, 2, 2, 2]);
+                errors.push(1.0);
+            } else {
+                rows.push(vec![1, 1, 1, 1 + (i % 2)]);
+                errors.push(0.1);
+            }
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    #[test]
+    fn separates_error_population() {
+        let (x0, e) = fixture();
+        let regions = ClusterSlicer::new(ClusterSlicerConfig {
+            clusters: 4,
+            iterations: 10,
+            k: 2,
+            seed: 3,
+        })
+        .worst_clusters(&x0, &e);
+        assert!(!regions.is_empty());
+        let top = &regions[0];
+        assert!(top.mean_error > 0.8, "top cluster mean {}", top.mean_error);
+        assert_eq!(top.centroid, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn cluster_sizes_partition() {
+        let (x0, e) = fixture();
+        let regions = ClusterSlicer::new(ClusterSlicerConfig {
+            clusters: 3,
+            iterations: 5,
+            k: 10,
+            seed: 1,
+        })
+        .worst_clusters(&x0, &e);
+        let total: usize = regions.iter().map(|r| r.size).sum();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x0, e) = fixture();
+        let cfg = ClusterSlicerConfig::default();
+        let a = ClusterSlicer::new(cfg).worst_clusters(&x0, &e);
+        let b = ClusterSlicer::new(cfg).worst_clusters(&x0, &e);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_cluster_is_whole_dataset() {
+        let (x0, e) = fixture();
+        let regions = ClusterSlicer::new(ClusterSlicerConfig {
+            clusters: 1,
+            iterations: 3,
+            k: 5,
+            seed: 9,
+        })
+        .worst_clusters(&x0, &e);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].size, 120);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(hamming(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(hamming(&[1, 2, 3], &[3, 2, 1]), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # slicefinder-baseline
+//!
+//! Comparators for the SliceLine reproduction:
+//!
+//! * [`naive::NaiveEnumerator`] — a brute-force, provably exact top-K
+//!   enumerator over the full slice lattice, used as the ground-truth
+//!   oracle in property tests (SliceLine's headline claim is that its
+//!   pruned enumeration is *exact*; the oracle is what that is checked
+//!   against).
+//! * [`lattice::SliceFinder`] — a reimplementation of the SliceFinder
+//!   baseline (Chung et al., ICDE'19/TKDE'20) that the paper compares to
+//!   in §5.4: a heuristic, level-wise lattice search ordered by
+//!   "increasing number of literals, decreasing slice size", testing each
+//!   slice for minimum effect size and statistical significance (Welch's
+//!   t-test), terminating as soon as `K` slices have been recommended.
+//!   It is *not* exact — which is exactly the gap SliceLine closes.
+//! * [`tree::DecisionTreeSlicer`] — the decision-tree alternative the
+//!   SliceFinder work proposed for *non-overlapping* slices: a greedy
+//!   CART-style tree on the error signal whose worst leaves are read as
+//!   slices.
+//! * [`cluster::ClusterSlicer`] — SliceFinder's clustering alternative:
+//!   k-modes clustering of the integer-coded rows, reporting the clusters
+//!   with the highest mean error (descriptive, not a predicate
+//!   conjunction — the mismatch the lattice approaches fix).
+//! * [`stats`] — effect size and Welch's t-test on top of a hand-rolled
+//!   Student-t CDF (regularized incomplete beta function).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod lattice;
+pub mod naive;
+pub mod stats;
+pub mod tree;
+
+pub use cluster::{ClusterSlicer, ClusterSlicerConfig};
+pub use lattice::{SliceFinder, SliceFinderConfig, SliceFinderResult};
+pub use naive::{NaiveEnumerator, NaiveSlice};
+pub use tree::{DecisionTreeSlicer, LeafSlice, TreeConfig};

@@ -1,0 +1,215 @@
+//! Brute-force exact slice enumeration — the test oracle.
+//!
+//! Enumerates *every* valid slice of the lattice (conjunctions with at
+//! most one predicate per feature) by depth-first search over features,
+//! computing sizes and errors directly on row index sets. Exponential and
+//! only usable on small inputs, but unarguably correct: property tests
+//! assert that SliceLine's pruned enumeration returns exactly the same
+//! top-K.
+
+use sliceline_frame::IntMatrix;
+
+/// A fully evaluated slice from the naive enumerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveSlice {
+    /// `(feature, 1-based code)` pairs sorted by feature.
+    pub predicates: Vec<(usize, u32)>,
+    /// Number of matching rows.
+    pub size: usize,
+    /// Sum of matching rows' errors.
+    pub error: f64,
+    /// SliceLine score (Definition 1).
+    pub score: f64,
+}
+
+/// Brute-force enumerator configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct NaiveEnumerator {
+    /// Top-K size.
+    pub k: usize,
+    /// Minimum support σ.
+    pub sigma: usize,
+    /// Scoring weight α.
+    pub alpha: f64,
+    /// Maximum number of predicates per slice (`⌈L⌉`).
+    pub max_level: usize,
+}
+
+impl NaiveEnumerator {
+    /// Creates an enumerator with the given parameters.
+    pub fn new(k: usize, sigma: usize, alpha: f64, max_level: usize) -> Self {
+        NaiveEnumerator {
+            k,
+            sigma,
+            alpha,
+            max_level,
+        }
+    }
+
+    /// Enumerates all slices satisfying `|S| ≥ σ ∧ sc > 0` and returns the
+    /// top-K by score (descending; ties broken by fewer predicates, then
+    /// lexicographic predicates for determinism).
+    pub fn top_k(&self, x0: &IntMatrix, errors: &[f64]) -> Vec<NaiveSlice> {
+        assert_eq!(x0.rows(), errors.len(), "X0 and errors must be row-aligned");
+        let n = x0.rows();
+        let total_error: f64 = errors.iter().sum();
+        let avg_error = if n > 0 { total_error / n as f64 } else { 0.0 };
+        let mut results: Vec<NaiveSlice> = Vec::new();
+        if n == 0 || total_error <= 0.0 {
+            return results;
+        }
+        let all_rows: Vec<usize> = (0..n).collect();
+        let mut predicates: Vec<(usize, u32)> = Vec::new();
+        self.dfs(
+            x0,
+            errors,
+            0,
+            &all_rows,
+            &mut predicates,
+            n as f64,
+            avg_error,
+            &mut results,
+        );
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.predicates.len().cmp(&b.predicates.len()))
+                .then(a.predicates.cmp(&b.predicates))
+        });
+        results.truncate(self.k);
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        x0: &IntMatrix,
+        errors: &[f64],
+        next_feature: usize,
+        rows: &[usize],
+        predicates: &mut Vec<(usize, u32)>,
+        n: f64,
+        avg_error: f64,
+        results: &mut Vec<NaiveSlice>,
+    ) {
+        if !predicates.is_empty() {
+            let size = rows.len();
+            // Monotone: all descendants are no larger — safe exact cut.
+            if size < self.sigma {
+                return;
+            }
+            let error: f64 = rows.iter().map(|&r| errors[r]).sum();
+            let score = self.score(n, avg_error, size as f64, error);
+            if score > 0.0 {
+                results.push(NaiveSlice {
+                    predicates: predicates.clone(),
+                    size,
+                    error,
+                    score,
+                });
+            }
+        }
+        if predicates.len() >= self.max_level {
+            return;
+        }
+        for j in next_feature..x0.cols() {
+            for code in 1..=x0.domains()[j] {
+                let sub: Vec<usize> = rows
+                    .iter()
+                    .copied()
+                    .filter(|&r| x0.get(r, j) == code)
+                    .collect();
+                if sub.len() < self.sigma {
+                    continue;
+                }
+                predicates.push((j, code));
+                self.dfs(
+                    x0,
+                    errors,
+                    j + 1,
+                    &sub,
+                    predicates,
+                    n,
+                    avg_error,
+                    results,
+                );
+                predicates.pop();
+            }
+        }
+    }
+
+    fn score(&self, n: f64, avg_error: f64, size: f64, error: f64) -> f64 {
+        if size <= 0.0 || avg_error <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let rel = (error / size) / avg_error;
+        self.alpha * (rel - 1.0) - (1.0 - self.alpha) * (n / size - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (IntMatrix, Vec<f64>) {
+        // 8 rows, 2 features with domains 2 and 2.
+        let rows: Vec<Vec<u32>> = (0..8u32)
+            .map(|i| vec![1 + (i % 2), 1 + ((i / 2) % 2)])
+            .collect();
+        let errors: Vec<f64> = (0..8)
+            .map(|i| if i % 4 == 0 { 1.0 } else { 0.1 })
+            .collect();
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    #[test]
+    fn finds_highest_error_conjunction() {
+        let (x0, e) = fixture();
+        // Rows 0 and 4 (f0=1, f1=1) carry error 1.0.
+        let top = NaiveEnumerator::new(3, 1, 0.95, 2).top_k(&x0, &e);
+        assert!(!top.is_empty());
+        assert_eq!(top[0].predicates, vec![(0, 1), (1, 1)]);
+        assert_eq!(top[0].size, 2);
+        assert!((top[0].error - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_sigma() {
+        let (x0, e) = fixture();
+        let top = NaiveEnumerator::new(10, 3, 0.95, 2).top_k(&x0, &e);
+        assert!(top.iter().all(|s| s.size >= 3));
+    }
+
+    #[test]
+    fn respects_max_level() {
+        let (x0, e) = fixture();
+        let top = NaiveEnumerator::new(10, 1, 0.95, 1).top_k(&x0, &e);
+        assert!(top.iter().all(|s| s.predicates.len() == 1));
+    }
+
+    #[test]
+    fn zero_error_returns_empty() {
+        let (x0, _) = fixture();
+        let top = NaiveEnumerator::new(5, 1, 0.95, 2).top_k(&x0, &[0.0; 8]);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let (x0, e) = fixture();
+        let top = NaiveEnumerator::new(10, 1, 0.95, 2).top_k(&x0, &e);
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // All returned slices satisfy the constraints.
+        assert!(top.iter().all(|s| s.score > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row-aligned")]
+    fn misaligned_errors_panic() {
+        let (x0, _) = fixture();
+        NaiveEnumerator::new(1, 1, 0.95, 2).top_k(&x0, &[1.0]);
+    }
+}

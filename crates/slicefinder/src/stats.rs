@@ -1,0 +1,310 @@
+//! Statistical machinery for the SliceFinder baseline: effect size and
+//! Welch's t-test, on top of a hand-rolled Student-t CDF.
+//!
+//! SliceFinder recommends a slice `S` when (1) the *effect size* between
+//! the error distributions of `S` and `¬S` exceeds a threshold `T`, and
+//! (2) Welch's t-test rejects the hypothesis that `S`'s errors are not
+//! larger than `¬S`'s. Both are implemented here from their definitions;
+//! the t CDF uses the regularized incomplete beta function evaluated with
+//! Lentz's continued fraction.
+
+/// Mean and (sample) variance of a slice's error values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of values.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for n < 2).
+    pub var: f64,
+}
+
+/// Computes count, mean, and unbiased sample variance.
+pub fn moments(values: &[f64]) -> Moments {
+    let n = values.len();
+    if n == 0 {
+        return Moments {
+            n: 0,
+            mean: 0.0,
+            var: 0.0,
+        };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0)
+    };
+    Moments { n, mean, var }
+}
+
+/// Cohen's-d style effect size between the slice and its complement:
+/// `(mean_S − mean_notS) / pooled_std`. Returns 0 when the pooled
+/// standard deviation vanishes.
+pub fn effect_size(slice: &Moments, rest: &Moments) -> f64 {
+    if slice.n < 2 || rest.n < 2 {
+        return 0.0;
+    }
+    let pooled = (((slice.n - 1) as f64 * slice.var + (rest.n - 1) as f64 * rest.var)
+        / ((slice.n + rest.n - 2) as f64))
+        .sqrt();
+    if pooled <= 0.0 {
+        return 0.0;
+    }
+    (slice.mean - rest.mean) / pooled
+}
+
+/// Result of Welch's one-sided t-test (H1: slice mean > rest mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value `P(T ≥ t)`.
+    pub p_value: f64,
+}
+
+/// Welch's t-test for "slice errors are larger than the rest".
+///
+/// Degenerate inputs (fewer than 2 samples on either side, or zero
+/// variance on both) yield `p_value = 1.0` (no evidence).
+pub fn welch_t_test(slice: &Moments, rest: &Moments) -> WelchResult {
+    if slice.n < 2 || rest.n < 2 {
+        return WelchResult {
+            t: 0.0,
+            df: 1.0,
+            p_value: 1.0,
+        };
+    }
+    let va = slice.var / slice.n as f64;
+    let vb = rest.var / rest.n as f64;
+    let denom = (va + vb).sqrt();
+    if denom <= 0.0 {
+        // Equal constants on both sides: direction decides.
+        let p = if slice.mean > rest.mean { 0.0 } else { 1.0 };
+        return WelchResult {
+            t: if slice.mean > rest.mean {
+                f64::INFINITY
+            } else {
+                0.0
+            },
+            df: 1.0,
+            p_value: p,
+        };
+    }
+    let t = (slice.mean - rest.mean) / denom;
+    let df = (va + vb) * (va + vb)
+        / (va * va / (slice.n as f64 - 1.0) + vb * vb / (rest.n as f64 - 1.0));
+    let p_value = 1.0 - student_t_cdf(t, df);
+    WelchResult { t, df, p_value }
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+///
+/// Uses the identity `P(T ≤ t) = 1 − I_x(df/2, 1/2) / 2` for `t ≥ 0` with
+/// `x = df / (df + t²)`, where `I` is the regularized incomplete beta
+/// function.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction (Numerical Recipes style).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry that keeps the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_basic() {
+        let m = moments(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.n, 3);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.var - 1.0).abs() < 1e-12);
+        let empty = moments(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(moments(&[5.0]).var, 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_bounds_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform distribution CDF).
+        for x in [0.1, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        let v = incomplete_beta(2.5, 4.0, 0.3);
+        let w = 1.0 - incomplete_beta(4.0, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_cdf_known_values() {
+        // Symmetric around 0.
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-10);
+        // t=1, df=1 (Cauchy): CDF = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-8);
+        // Large df approaches the normal: Φ(1.96) ≈ 0.975.
+        assert!((student_t_cdf(1.96, 10_000.0) - 0.975).abs() < 1e-3);
+        // Monotone in t.
+        assert!(student_t_cdf(2.0, 7.0) > student_t_cdf(1.0, 7.0));
+        assert_eq!(student_t_cdf(f64::INFINITY, 5.0), 1.0);
+        assert_eq!(student_t_cdf(f64::NEG_INFINITY, 5.0), 0.0);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let high: Vec<f64> = (0..30).map(|i| 5.0 + (i % 3) as f64 * 0.1).collect();
+        let low: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64 * 0.1).collect();
+        let r = welch_t_test(&moments(&high), &moments(&low));
+        assert!(r.t > 10.0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn welch_no_difference_high_p() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let r = welch_t_test(&moments(&a), &moments(&a));
+        assert!((r.t).abs() < 1e-12);
+        assert!(r.p_value > 0.49);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        let one = moments(&[1.0]);
+        let many = moments(&[1.0, 2.0, 3.0]);
+        assert_eq!(welch_t_test(&one, &many).p_value, 1.0);
+        // Zero variance both sides, higher mean -> p = 0.
+        let hi = moments(&[2.0, 2.0, 2.0]);
+        let lo = moments(&[1.0, 1.0, 1.0]);
+        assert_eq!(welch_t_test(&hi, &lo).p_value, 0.0);
+        assert_eq!(welch_t_test(&lo, &hi).p_value, 1.0);
+    }
+
+    #[test]
+    fn effect_size_direction_and_scale() {
+        let hi = moments(&[3.0, 3.1, 2.9, 3.0]);
+        let lo = moments(&[1.0, 1.1, 0.9, 1.0]);
+        let d = effect_size(&hi, &lo);
+        assert!(d > 5.0, "strong separation should give large d, got {d}");
+        assert!(effect_size(&lo, &hi) < 0.0);
+        assert_eq!(effect_size(&moments(&[1.0]), &lo), 0.0);
+        // Identical constant distributions: zero pooled std -> 0.
+        let c = moments(&[1.0, 1.0]);
+        assert_eq!(effect_size(&c, &c), 0.0);
+    }
+}

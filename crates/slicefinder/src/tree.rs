@@ -1,0 +1,251 @@
+//! Decision-tree slicer: the non-overlapping alternative to slice finding.
+//!
+//! SliceFinder (and the SliceLine paper's introduction) contrast lattice
+//! search with decision trees, which partition the data into
+//! *non-overlapping* slices: train a tree on the error signal, then read
+//! the highest-error leaves as slices. The limitation this baseline makes
+//! visible is exactly the paper's motivation — a greedy, axis-aligned
+//! partition cannot represent overlapping slices and often splits a
+//! problematic conjunction across branches.
+//!
+//! The tree greedily splits on equality predicates `F_j = v` (matching the
+//! slice definition language) to maximize the reduction in error variance
+//! (CART-style), bounded by depth and minimum leaf size.
+
+use sliceline_frame::IntMatrix;
+
+/// Configuration for [`DecisionTreeSlicer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (= maximum predicates per slice).
+    pub max_depth: usize,
+    /// Minimum rows per leaf (the σ analog).
+    pub min_leaf: usize,
+    /// Number of worst leaves to report.
+    pub k: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 3,
+            min_leaf: 32,
+            k: 4,
+        }
+    }
+}
+
+/// A leaf reported as a slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafSlice {
+    /// `(feature, code, equals)` path predicates: `equals == true` means
+    /// `F_j = code`, `false` means `F_j ≠ code` (trees need negations,
+    /// which the slice language cannot express — part of the baseline's
+    /// mismatch).
+    pub path: Vec<(usize, u32, bool)>,
+    /// Rows in the leaf.
+    pub size: usize,
+    /// Mean error in the leaf.
+    pub mean_error: f64,
+}
+
+/// Greedy decision tree over equality predicates on integer features.
+///
+/// ```
+/// use slicefinder_baseline::{DecisionTreeSlicer, TreeConfig};
+/// use sliceline_frame::IntMatrix;
+///
+/// let rows: Vec<Vec<u32>> = (0..40).map(|i| vec![1 + i % 2, 1 + (i / 2) % 2]).collect();
+/// let errors: Vec<f64> = (0..40).map(|i| if i % 4 == 0 { 1.0 } else { 0.1 }).collect();
+/// let x0 = IntMatrix::from_rows(&rows).unwrap();
+/// let leaves = DecisionTreeSlicer::new(TreeConfig { max_depth: 2, min_leaf: 5, k: 2 })
+///     .worst_leaves(&x0, &errors);
+/// assert!(leaves[0].mean_error > leaves[1].mean_error);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTreeSlicer {
+    config: TreeConfig,
+}
+
+impl DecisionTreeSlicer {
+    /// Creates a slicer with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeSlicer { config }
+    }
+
+    /// Builds the tree on `(x0, errors)` and returns the `k` leaves with
+    /// the highest mean error (each leaf at least `min_leaf` rows).
+    pub fn worst_leaves(&self, x0: &IntMatrix, errors: &[f64]) -> Vec<LeafSlice> {
+        assert_eq!(x0.rows(), errors.len(), "X0 and errors must be row-aligned");
+        let rows: Vec<u32> = (0..x0.rows() as u32).collect();
+        let mut leaves = Vec::new();
+        let mut path = Vec::new();
+        self.split(x0, errors, &rows, 0, &mut path, &mut leaves);
+        leaves.sort_by(|a, b| b.mean_error.partial_cmp(&a.mean_error).unwrap());
+        leaves.truncate(self.config.k);
+        leaves
+    }
+
+    fn split(
+        &self,
+        x0: &IntMatrix,
+        errors: &[f64],
+        rows: &[u32],
+        depth: usize,
+        path: &mut Vec<(usize, u32, bool)>,
+        leaves: &mut Vec<LeafSlice>,
+    ) {
+        let emit = |path: &[(usize, u32, bool)], rows: &[u32], leaves: &mut Vec<LeafSlice>| {
+            if rows.is_empty() {
+                return;
+            }
+            let sum: f64 = rows.iter().map(|&r| errors[r as usize]).sum();
+            leaves.push(LeafSlice {
+                path: path.to_vec(),
+                size: rows.len(),
+                mean_error: sum / rows.len() as f64,
+            });
+        };
+        if depth >= self.config.max_depth || rows.len() < 2 * self.config.min_leaf {
+            emit(path, rows, leaves);
+            return;
+        }
+        // Find the equality split maximizing the variance reduction of the
+        // error signal (equivalently, maximizing the between-group sum of
+        // squares of the binary partition).
+        let total: f64 = rows.iter().map(|&r| errors[r as usize]).sum();
+        let n = rows.len() as f64;
+        let mut best: Option<(usize, u32, f64)> = None;
+        for j in 0..x0.cols() {
+            // Per-code sums and counts within this node.
+            let d = x0.domains()[j] as usize;
+            let mut sums = vec![0.0f64; d];
+            let mut counts = vec![0usize; d];
+            for &r in rows {
+                let code = x0.get(r as usize, j) as usize - 1;
+                sums[code] += errors[r as usize];
+                counts[code] += 1;
+            }
+            for code in 0..d {
+                let c = counts[code];
+                if c < self.config.min_leaf || rows.len() - c < self.config.min_leaf {
+                    continue;
+                }
+                let c = c as f64;
+                let rest = n - c;
+                let mean_in = sums[code] / c;
+                let mean_out = (total - sums[code]) / rest;
+                // Between-group sum of squares.
+                let overall = total / n;
+                let gain = c * (mean_in - overall).powi(2) + rest * (mean_out - overall).powi(2);
+                if best.map_or(true, |(_, _, g)| gain > g) {
+                    best = Some((j, code as u32 + 1, gain));
+                }
+            }
+        }
+        let Some((j, code, gain)) = best else {
+            emit(path, rows, leaves);
+            return;
+        };
+        if gain <= 1e-12 {
+            emit(path, rows, leaves);
+            return;
+        }
+        let (inside, outside): (Vec<u32>, Vec<u32>) = rows
+            .iter()
+            .partition(|&&r| x0.get(r as usize, j) == code);
+        path.push((j, code, true));
+        self.split(x0, errors, &inside, depth + 1, path, leaves);
+        path.pop();
+        path.push((j, code, false));
+        self.split(x0, errors, &outside, depth + 1, path, leaves);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 160 rows; (f0=1, f1=2) has high errors.
+    fn fixture() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..160u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 4);
+            rows.push(vec![f0, f1]);
+            errors.push(if f0 == 1 && f1 == 2 { 1.0 } else { 0.1 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    #[test]
+    fn finds_high_error_leaf() {
+        let (x0, e) = fixture();
+        let leaves = DecisionTreeSlicer::new(TreeConfig {
+            max_depth: 3,
+            min_leaf: 10,
+            k: 3,
+        })
+        .worst_leaves(&x0, &e);
+        assert!(!leaves.is_empty());
+        let top = &leaves[0];
+        assert!(top.mean_error > 0.9, "worst leaf mean {}", top.mean_error);
+        // The worst leaf pins both planted predicates; on the binary
+        // feature f0 the tree may express `f0 = 1` as `f0 ≠ 2` (the same
+        // partition), so accept either form.
+        let has_f0 = top
+            .path
+            .iter()
+            .any(|&(j, c, eq)| j == 0 && ((c == 1 && eq) || (c == 2 && !eq)));
+        let has_f1 = top.path.iter().any(|&(j, c, eq)| j == 1 && c == 2 && eq);
+        assert!(has_f0 && has_f1, "path {:?}", top.path);
+    }
+
+    #[test]
+    fn leaves_partition_rows() {
+        let (x0, e) = fixture();
+        let slicer = DecisionTreeSlicer::new(TreeConfig {
+            max_depth: 2,
+            min_leaf: 10,
+            k: 100,
+        });
+        let leaves = slicer.worst_leaves(&x0, &e);
+        // Non-overlapping: total size equals n.
+        let total: usize = leaves.iter().map(|l| l.size).sum();
+        assert_eq!(total, 160);
+        for l in &leaves {
+            assert!(l.size >= 10);
+        }
+    }
+
+    #[test]
+    fn depth_zero_returns_root() {
+        let (x0, e) = fixture();
+        let leaves = DecisionTreeSlicer::new(TreeConfig {
+            max_depth: 0,
+            min_leaf: 1,
+            k: 5,
+        })
+        .worst_leaves(&x0, &e);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].size, 160);
+        assert!(leaves[0].path.is_empty());
+    }
+
+    #[test]
+    fn constant_errors_stop_splitting() {
+        let (x0, _) = fixture();
+        let leaves = DecisionTreeSlicer::new(TreeConfig::default())
+            .worst_leaves(&x0, &vec![0.5; 160]);
+        assert_eq!(leaves.len(), 1, "no informative split must exist");
+    }
+
+    #[test]
+    #[should_panic(expected = "row-aligned")]
+    fn misaligned_panics() {
+        let (x0, _) = fixture();
+        DecisionTreeSlicer::new(TreeConfig::default()).worst_leaves(&x0, &[1.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Bias audit on the Adult-shaped dataset: exact SliceLine vs the
+//! heuristic SliceFinder baseline on the same classification errors.
+//!
+//! The generator plants biased subgroups (e.g. `sex=2 AND education=12`
+//! erring at 65% against a 12% baseline); SliceLine recovers them exactly
+//! and we compare against what the SliceFinder heuristic recommends.
+//!
+//! ```sh
+//! cargo run --release --example adult_bias_audit
+//! ```
+
+use sliceline_repro::datagen::{adult_like, GenConfig};
+use sliceline_repro::slicefinder::{SliceFinder, SliceFinderConfig};
+use sliceline_repro::sliceline::{MinSupport, SliceLine, SliceLineConfig};
+
+fn main() {
+    let data = adult_like(&GenConfig {
+        seed: 20_260_705,
+        scale: 0.5,
+    });
+    println!(
+        "AdultSim: {} rows, {} features, {} one-hot columns; planted slices:",
+        data.n(),
+        data.m(),
+        data.l()
+    );
+    for p in &data.planted {
+        println!("  {:?} erring at {:.0}%", p.predicates, p.elevated * 100.0);
+    }
+    let overall = data.errors.iter().sum::<f64>() / data.n() as f64;
+    println!("overall error rate: {:.1}%\n", overall * 100.0);
+
+    // --- SliceLine: exact top-K. ---
+    let mut config = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .max_level(3)
+        .build()
+        .expect("valid");
+    config.min_support = MinSupport::Fraction(0.01);
+    let sl = SliceLine::new(config)
+        .find_slices(&data.x0, &data.errors)
+        .expect("valid input");
+    println!("SliceLine exact top-{} (total {:?}):", sl.top_k.len(), sl.stats.total_elapsed);
+    for (rank, s) in sl.top_k.iter().enumerate() {
+        let planted = data
+            .planted
+            .iter()
+            .any(|p| p.predicates == s.predicates);
+        println!(
+            "  #{} {:?} score={:.3} size={} err={:.0}%{}",
+            rank + 1,
+            s.predicates,
+            s.score,
+            s.size as u64,
+            s.avg_error * 100.0,
+            if planted { "  <- planted ground truth" } else { "" }
+        );
+    }
+
+    // --- SliceFinder baseline: heuristic recommendations. ---
+    let sf = SliceFinder::new(SliceFinderConfig {
+        k: 4,
+        min_size: data.n() / 100,
+        max_level: 3,
+        threads: 2,
+        ..Default::default()
+    })
+    .find_slices(&data.x0, &data.errors);
+    println!("\nSliceFinder heuristic recommendations (level-wise, stops at K):");
+    for (rank, s) in sf.recommended.iter().enumerate() {
+        println!(
+            "  #{} {:?} size={} mean_err={:.0}% effect={:.2} p={:.1e}",
+            rank + 1,
+            s.predicates,
+            s.size,
+            s.mean_error * 100.0,
+            s.effect_size,
+            s.p_value
+        );
+    }
+    println!(
+        "\nnote: SliceFinder terminates level-wise once K slices pass its \
+         tests — single-predicate projections of the planted bias tend to \
+         be recommended before the exact conjunctions SliceLine ranks on \
+         top. That gap motivates SliceLine's exact enumeration."
+    );
+    // Sanity: the strongest planted slice must be in SliceLine's top-K.
+    let strongest = &data.planted[0];
+    assert!(
+        sl.top_k.iter().any(|s| s.predicates == strongest.predicates),
+        "SliceLine must recover the strongest planted slice"
+    );
+}

@@ -1,0 +1,129 @@
+//! All four slice-finding approaches on the same biased dataset:
+//! exact SliceLine, the SliceFinder heuristic lattice search, the
+//! decision-tree slicer (non-overlapping), and the clustering slicer
+//! (descriptive). This is the comparison the paper's introduction sketches
+//! when motivating exact, overlapping slice enumeration.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use sliceline_repro::datagen::{adult_like, GenConfig};
+use sliceline_repro::slicefinder::{
+    ClusterSlicer, ClusterSlicerConfig, DecisionTreeSlicer, SliceFinder, SliceFinderConfig,
+    TreeConfig,
+};
+use sliceline_repro::sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use std::time::Instant;
+
+fn main() {
+    let data = adult_like(&GenConfig {
+        seed: 99,
+        scale: 0.25,
+    });
+    println!(
+        "AdultSim: {} rows; strongest planted slice {:?} at {:.0}% error\n",
+        data.n(),
+        data.planted[0].predicates,
+        data.planted[0].elevated * 100.0
+    );
+
+    // 1. SliceLine — exact top-K of the score-based formulation.
+    let mut config = SliceLineConfig::builder()
+        .k(3)
+        .alpha(0.95)
+        .max_level(3)
+        .build()
+        .expect("valid");
+    config.min_support = MinSupport::Fraction(0.01);
+    let t = Instant::now();
+    let sl = SliceLine::new(config)
+        .find_slices(&data.x0, &data.errors)
+        .expect("valid input");
+    println!("SliceLine (exact, {:?}):", t.elapsed());
+    for s in &sl.top_k {
+        println!(
+            "  {:?} score={:.3} size={} err={:.0}%",
+            s.predicates,
+            s.score,
+            s.size as u64,
+            s.avg_error * 100.0
+        );
+    }
+
+    // 2. SliceFinder heuristic.
+    let t = Instant::now();
+    let sf = SliceFinder::new(SliceFinderConfig {
+        k: 3,
+        min_size: data.n() / 100,
+        max_level: 3,
+        threads: 2,
+        ..Default::default()
+    })
+    .find_slices(&data.x0, &data.errors);
+    println!("\nSliceFinder heuristic ({:?}):", t.elapsed());
+    for s in &sf.recommended {
+        println!(
+            "  {:?} size={} err={:.0}% effect={:.2}",
+            s.predicates,
+            s.size,
+            s.mean_error * 100.0,
+            s.effect_size
+        );
+    }
+
+    // 3. Decision tree — non-overlapping leaves, negations allowed.
+    let t = Instant::now();
+    let leaves = DecisionTreeSlicer::new(TreeConfig {
+        max_depth: 3,
+        min_leaf: data.n() / 100,
+        k: 3,
+    })
+    .worst_leaves(&data.x0, &data.errors);
+    println!("\nDecision-tree slicer ({:?}):", t.elapsed());
+    for l in &leaves {
+        let path: Vec<String> = l
+            .path
+            .iter()
+            .map(|&(j, c, eq)| format!("f{j}{}{c}", if eq { "=" } else { "≠" }))
+            .collect();
+        println!(
+            "  [{}] size={} err={:.0}%",
+            path.join(" AND "),
+            l.size,
+            l.mean_error * 100.0
+        );
+    }
+
+    // 4. Clustering — descriptive centroids, not predicates.
+    let t = Instant::now();
+    let clusters = ClusterSlicer::new(ClusterSlicerConfig {
+        clusters: 8,
+        iterations: 8,
+        k: 2,
+        seed: 5,
+    })
+    .worst_clusters(&data.x0, &data.errors);
+    println!("\nClustering slicer ({:?}):", t.elapsed());
+    for c in &clusters {
+        println!(
+            "  centroid {:?}... size={} err={:.0}%",
+            &c.centroid[..6.min(c.centroid.len())],
+            c.size,
+            c.mean_error * 100.0
+        );
+    }
+
+    println!(
+        "\ntakeaway: only SliceLine guarantees the true top-K conjunctions; \
+         the heuristic may stop at coarser slices, the tree cannot express \
+         overlapping slices (and needs negations), and clusters are not \
+         predicates at all."
+    );
+    assert!(
+        sl.top_k
+            .iter()
+            .any(|s| s.predicates == data.planted[0].predicates),
+        "SliceLine must recover the strongest planted slice"
+    );
+}

@@ -1,0 +1,287 @@
+//! Cross-crate integration tests: full pipelines from data generation /
+//! encoding through model training to slice finding.
+
+use sliceline_repro::datagen::{
+    adult_like, census_like, covtype_like, criteo_like, kdd98_like, salaries, GenConfig,
+};
+use sliceline_repro::dist::{ClusterConfig, DistSliceLine, Strategy};
+use sliceline_repro::frame::DatasetEncoder;
+use sliceline_repro::linalg::DenseMatrix;
+use sliceline_repro::ml::{squared_loss, LinearRegression};
+use sliceline_repro::slicefinder::{SliceFinder, SliceFinderConfig};
+use sliceline_repro::sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use std::time::Duration;
+
+fn tiny(seed: u64) -> GenConfig {
+    GenConfig { seed, scale: 0.05 }
+}
+
+fn config(max_level: usize) -> SliceLineConfig {
+    let mut c = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .max_level(max_level)
+        .threads(2)
+        .build()
+        .unwrap();
+    c.min_support = MinSupport::Fraction(0.01);
+    c
+}
+
+#[test]
+fn adult_pipeline_recovers_strongest_planted_slice() {
+    let d = adult_like(&GenConfig {
+        seed: 1,
+        scale: 0.3,
+    });
+    let r = SliceLine::new(config(3))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    assert!(!r.top_k.is_empty());
+    let strongest = &d.planted[0];
+    assert!(
+        r.top_k.iter().any(|s| s.predicates == strongest.predicates),
+        "planted {:?} missing from top-K {:?}",
+        strongest.predicates,
+        r.top_k.iter().map(|s| &s.predicates).collect::<Vec<_>>()
+    );
+    // Every reported slice satisfies the problem constraints.
+    for s in &r.top_k {
+        assert!(s.score > 0.0);
+        assert!(s.size >= r.stats.sigma as f64);
+    }
+}
+
+#[test]
+fn every_generator_runs_end_to_end() {
+    for d in [
+        adult_like(&tiny(2)),
+        kdd98_like(&tiny(2)),
+        census_like(&tiny(2)),
+        covtype_like(&tiny(2)),
+        criteo_like(&tiny(2)),
+    ] {
+        let r = SliceLine::new(config(2))
+            .find_slices(&d.x0, &d.errors)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", d.name));
+        assert_eq!(r.stats.n, d.n(), "{}", d.name);
+        assert_eq!(r.stats.m, d.m(), "{}", d.name);
+        assert_eq!(r.stats.l, d.l(), "{}", d.name);
+        // Scores sorted descending and within constraints.
+        for w in r.top_k.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}
+
+#[test]
+fn salaries_lm_pipeline_produces_interpretable_slices() {
+    let df = salaries();
+    let encoder = DatasetEncoder {
+        recode_threshold: 0,
+        ..DatasetEncoder::with_label("salary")
+    };
+    let enc = encoder.encode(&df).unwrap();
+    let y = enc.labels.clone().unwrap();
+    let x_dense = DenseMatrix::from_rows(
+        &(0..enc.x0.rows())
+            .map(|r| enc.x0.row(r).iter().map(|&c| c as f64).collect())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let model = LinearRegression::fit(&x_dense, &y, 1e-6).unwrap();
+    let yhat = model.predict(&x_dense).unwrap();
+    let e = squared_loss(&y, &yhat).unwrap();
+    let r = SliceLine::new(
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(8)
+            .alpha(0.95)
+            .threads(1)
+            .build()
+            .unwrap(),
+    )
+    .find_slices(&enc.x0, &e)
+    .unwrap();
+    assert!(!r.top_k.is_empty(), "salary model must have weak slices");
+    // Decoding through the feature metadata never panics and mentions a
+    // real column name.
+    let desc = r.top_k[0].describe(&enc.features);
+    let names = ["rank", "discipline", "yrs.since.phd", "yrs.service", "sex"];
+    assert!(
+        names.iter().any(|n| desc.contains(n)),
+        "description '{desc}' references no known column"
+    );
+}
+
+#[test]
+fn replicated_rows_preserve_topk_under_relative_sigma() {
+    let d = census_like(&tiny(3));
+    let base = SliceLine::new(config(2))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    let x2 = d.x0.replicate_rows(2);
+    let e2: Vec<f64> = d.errors.iter().chain(d.errors.iter()).copied().collect();
+    let rep = SliceLine::new(config(2)).find_slices(&x2, &e2).unwrap();
+    // Same slices, same scores (scores are scale-invariant), doubled sizes.
+    assert_eq!(base.top_k.len(), rep.top_k.len());
+    for (a, b) in base.top_k.iter().zip(rep.top_k.iter()) {
+        assert_eq!(a.predicates, b.predicates);
+        assert!((a.score - b.score).abs() < 1e-9);
+        assert_eq!(b.size, a.size * 2.0);
+    }
+}
+
+#[test]
+fn criteo_ultra_sparse_enumeration_matches_table2_shape() {
+    let d = criteo_like(&GenConfig {
+        seed: 4,
+        scale: 0.1,
+    });
+    let r = SliceLine::new(config(3))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    // Level-1 candidates = l (all one-hot columns); survivors far fewer.
+    assert_eq!(r.stats.levels[0].candidates, d.l());
+    assert!(
+        r.stats.basic_slices * 4 < d.l(),
+        "{} of {} basic slices survived — not ultra-sparse",
+        r.stats.basic_slices,
+        d.l()
+    );
+}
+
+#[test]
+fn distributed_strategies_agree_on_generated_data() {
+    let d = census_like(&tiny(5));
+    let local = SliceLine::new(config(2))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    for strategy in [
+        Strategy::MtOps {
+            threads: 2,
+            block_size: 8,
+        },
+        Strategy::MtParfor {
+            threads: 3,
+            block_size: 8,
+        },
+        Strategy::DistParfor(ClusterConfig {
+            nodes: 3,
+            threads_per_node: 1,
+            broadcast_latency: Duration::ZERO,
+            broadcast_per_nnz: Duration::ZERO,
+            aggregate_latency: Duration::ZERO,
+        }),
+    ] {
+        let r = DistSliceLine::new(config(2), strategy)
+            .find_slices(&d.x0, &d.errors)
+            .unwrap();
+        assert_eq!(r.top_k.len(), local.top_k.len(), "{strategy:?}");
+        for (a, b) in r.top_k.iter().zip(local.top_k.iter()) {
+            assert_eq!(a.predicates, b.predicates, "{strategy:?}");
+            assert!((a.score - b.score).abs() < 1e-9, "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn slicefinder_baseline_flags_planted_bias_components() {
+    let d = adult_like(&GenConfig {
+        seed: 6,
+        scale: 0.3,
+    });
+    let sf = SliceFinder::new(SliceFinderConfig {
+        k: 6,
+        min_size: d.n() / 100,
+        max_level: 2,
+        threads: 2,
+        ..Default::default()
+    })
+    .find_slices(&d.x0, &d.errors);
+    assert!(
+        !sf.recommended.is_empty(),
+        "heuristic should flag something on strongly biased data"
+    );
+    // At least one recommendation overlaps a planted slice's predicates.
+    let overlaps = sf.recommended.iter().any(|rec| {
+        d.planted.iter().any(|p| {
+            rec.predicates
+                .iter()
+                .any(|pred| p.predicates.contains(pred))
+        })
+    });
+    assert!(overlaps, "recommendations: {:?}", sf.recommended);
+}
+
+#[test]
+fn results_export_to_json_and_csv() {
+    use sliceline_repro::sliceline::export::{result_to_json, top_k_to_csv, top_k_to_json};
+    let d = adult_like(&tiny(8));
+    let r = SliceLine::new(config(2))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    let json = result_to_json(&r);
+    assert!(json.contains(&format!("\"n\":{}", d.n())));
+    assert!(json.contains("\"top_k\":["));
+    // Every slice appears in both renderings.
+    let topk_json = top_k_to_json(&r);
+    let csv = top_k_to_csv(&r);
+    assert_eq!(
+        topk_json.matches("\"score\"").count(),
+        r.top_k.len()
+    );
+    assert_eq!(csv.lines().count(), r.top_k.len() + 1);
+}
+
+#[test]
+fn fairness_errors_drive_slicing_end_to_end() {
+    use sliceline_repro::ml::fairness::{false_positive_errors, restrict_rows};
+    let d = adult_like(&tiny(9));
+    // Treat the simulated 0/1 errors as predictions vs an all-zero truth:
+    // rows the "model" got wrong on negatives are false positives.
+    let y = vec![0.0; d.n()];
+    let yhat = d.errors.clone(); // already 0/1
+    let negatives = restrict_rows(&y, |v| v == 0.0);
+    assert_eq!(negatives.len(), d.n());
+    let fp = false_positive_errors(&y, &yhat).unwrap();
+    let r = SliceLine::new(config(2)).find_slices(&d.x0, &fp).unwrap();
+    // The FP vector equals the error vector here, so results must match
+    // the accuracy-based run exactly.
+    let base = SliceLine::new(config(2))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    assert_eq!(r.top_k, base.top_k);
+}
+
+#[test]
+fn train_test_split_debugging_workflow() {
+    use sliceline_repro::frame::train_test_split;
+    let d = adult_like(&GenConfig {
+        seed: 10,
+        scale: 0.2,
+    });
+    let split = train_test_split(d.n(), 0.3, 42);
+    let x_test = d.x0.select_rows(&split.test).unwrap();
+    let e_test: Vec<f64> = split.test.iter().map(|&i| d.errors[i]).collect();
+    let r = SliceLine::new(config(2)).find_slices(&x_test, &e_test).unwrap();
+    // The strongest planted bias survives subsampling to 30% of rows.
+    assert!(
+        r.top_k
+            .iter()
+            .any(|s| s.predicates == d.planted[0].predicates),
+        "top-K on the test split: {:?}",
+        r.top_k.iter().map(|s| &s.predicates).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn stats_table_renders_for_real_run() {
+    let d = adult_like(&tiny(7));
+    let r = SliceLine::new(config(3))
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
+    let table = r.stats.render_table();
+    assert!(table.contains("level"));
+    assert!(table.lines().count() > r.stats.levels.len());
+}

@@ -1,0 +1,238 @@
+//! The headline property: SliceLine's pruned enumeration is **exact**.
+//!
+//! Property tests compare SliceLine's top-K — under every kernel, thread
+//! count, pruning ablation, and the pure-LA reference backend — against a
+//! brute-force oracle on randomized small datasets. Scores must agree to
+//! floating-point tolerance; slice identities must agree up to score ties.
+
+use proptest::prelude::*;
+use sliceline_repro::slicefinder::NaiveEnumerator;
+use sliceline_repro::sliceline::lagraph::find_slices_reference;
+use sliceline_repro::sliceline::{
+    EvalKernel, PruningConfig, SliceLine, SliceLineConfig,
+};
+use sliceline_repro::frame::IntMatrix;
+
+const TOL: f64 = 1e-9;
+
+/// A random small dataset: up to 4 features with domains ≤ 4, up to 48
+/// rows, errors from a small non-negative set (ties are likely — good).
+fn dataset_strategy() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
+    (1usize..=4, 8usize..=48)
+        .prop_flat_map(|(m, n)| {
+            let domains = proptest::collection::vec(2u32..=4, m);
+            domains.prop_flat_map(move |doms| {
+                let row = doms
+                    .iter()
+                    .map(|&d| 1u32..=d)
+                    .collect::<Vec<_>>();
+                let rows = proptest::collection::vec(
+                    row.into_iter()
+                        .fold(Just(Vec::new()).boxed(), |acc, r| {
+                            (acc, r)
+                                .prop_map(|(mut v, x)| {
+                                    v.push(x);
+                                    v
+                                })
+                                .boxed()
+                        }),
+                    n,
+                );
+                let errors = proptest::collection::vec(
+                    prop_oneof![
+                        Just(0.0f64),
+                        Just(0.25),
+                        Just(0.5),
+                        Just(1.0),
+                        Just(2.0)
+                    ],
+                    n,
+                );
+                (rows, errors)
+            })
+        })
+        .prop_map(|(rows, errors)| {
+            // Ensure the full domain appears so IntMatrix::from_data infers
+            // the intended domains; the first rows are overwritten with a
+            // diagonal sweep of max codes. (Domain inference via colMaxs is
+            // exactly what Algorithm 1 does.)
+            (IntMatrix::from_rows(&rows).unwrap(), errors)
+        })
+}
+
+fn params_strategy() -> impl Strategy<Value = (usize, usize, f64)> {
+    (1usize..=6, 1usize..=4, prop_oneof![Just(0.5), Just(0.9), Just(0.95), Just(1.0)])
+}
+
+fn sliceline_config(k: usize, sigma: usize, alpha: f64) -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(k)
+        .min_support(sigma)
+        .alpha(alpha)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// Checks that `result` equals the oracle's top-K up to score ties:
+/// score sequences match, and every returned slice exists in the oracle's
+/// (larger) enumeration with identical statistics.
+fn assert_matches_oracle(
+    x0: &IntMatrix,
+    errors: &[f64],
+    k: usize,
+    sigma: usize,
+    alpha: f64,
+    top_k: &[sliceline_repro::sliceline::SliceInfo],
+) {
+    let oracle_full = NaiveEnumerator::new(10_000, sigma, alpha, x0.cols()).top_k(x0, errors);
+    let expected: Vec<&_> = oracle_full.iter().take(k).collect();
+    assert_eq!(
+        top_k.len(),
+        expected.len(),
+        "top-K size mismatch (oracle found {} total)",
+        oracle_full.len()
+    );
+    for (got, want) in top_k.iter().zip(expected.iter()) {
+        assert!(
+            (got.score - want.score).abs() < TOL,
+            "score mismatch: got {} want {}",
+            got.score,
+            want.score
+        );
+    }
+    // Identity check: each returned slice appears in the full oracle
+    // enumeration with the same size/error.
+    for got in top_k {
+        let found = oracle_full
+            .iter()
+            .find(|o| o.predicates == got.predicates)
+            .unwrap_or_else(|| panic!("slice {:?} not in oracle enumeration", got.predicates));
+        assert_eq!(found.size as f64, got.size);
+        assert!((found.error - got.error).abs() < TOL);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sliceline_matches_bruteforce_oracle(
+        (x0, errors) in dataset_strategy(),
+        (k, sigma, alpha) in params_strategy(),
+    ) {
+        let r = SliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        assert_matches_oracle(&x0, &errors, k, sigma, alpha, &r.top_k);
+    }
+
+    #[test]
+    fn pruning_ablations_preserve_exactness(
+        (x0, errors) in dataset_strategy(),
+        (k, sigma, alpha) in params_strategy(),
+    ) {
+        let base = SliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        for pruning in [
+            PruningConfig::no_parent_handling(),
+            PruningConfig::no_score_pruning(),
+            PruningConfig::no_size_pruning(),
+            PruningConfig::none(),
+        ] {
+            let mut c = sliceline_config(k, sigma, alpha);
+            c.pruning = pruning;
+            let r = SliceLine::new(c).find_slices(&x0, &errors).unwrap();
+            prop_assert_eq!(r.top_k.len(), base.top_k.len());
+            for (a, b) in r.top_k.iter().zip(base.top_k.iter()) {
+                prop_assert!((a.score - b.score).abs() < TOL);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_and_reference_backend_agree(
+        (x0, errors) in dataset_strategy(),
+        (k, sigma, alpha) in params_strategy(),
+    ) {
+        let base = SliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        // Fused kernel.
+        let mut c = sliceline_config(k, sigma, alpha);
+        c.eval = EvalKernel::Fused;
+        let fused = SliceLine::new(c).find_slices(&x0, &errors).unwrap();
+        prop_assert_eq!(&fused.top_k, &base.top_k);
+        // Odd block size + threads.
+        let mut c = sliceline_config(k, sigma, alpha);
+        c.eval = EvalKernel::Blocked { block_size: 3 };
+        c.parallel = sliceline_repro::linalg::ParallelConfig::new(3);
+        let blocked = SliceLine::new(c).find_slices(&x0, &errors).unwrap();
+        prop_assert_eq!(&blocked.top_k, &base.top_k);
+        // Pure-LA reference backend.
+        let reference =
+            find_slices_reference(&x0, &errors, &sliceline_config(k, sigma, alpha)).unwrap();
+        prop_assert_eq!(reference.top_k.len(), base.top_k.len());
+        for (a, b) in reference.top_k.iter().zip(base.top_k.iter()) {
+            prop_assert!((a.score - b.score).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn best_first_priority_enumeration_is_exact(
+        (x0, errors) in dataset_strategy(),
+        (k, sigma, alpha) in params_strategy(),
+    ) {
+        use sliceline_repro::sliceline::priority::PrioritySliceLine;
+        let levelwise = SliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        let best_first = PrioritySliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        prop_assert!(best_first.exact);
+        prop_assert_eq!(best_first.result.top_k.len(), levelwise.top_k.len());
+        for (a, b) in best_first.result.top_k.iter().zip(levelwise.top_k.iter()) {
+            prop_assert!(
+                (a.score - b.score).abs() < TOL,
+                "best-first {} vs level-wise {}",
+                a.score,
+                b.score
+            );
+        }
+    }
+
+    #[test]
+    fn returned_statistics_are_self_consistent(
+        (x0, errors) in dataset_strategy(),
+        (k, sigma, alpha) in params_strategy(),
+    ) {
+        let r = SliceLine::new(sliceline_config(k, sigma, alpha))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        for s in &r.top_k {
+            // Recompute size and error directly from the data.
+            let mut size = 0.0;
+            let mut err = 0.0;
+            let mut max_err: f64 = 0.0;
+            #[allow(clippy::needless_range_loop)]
+            for row in 0..x0.rows() {
+                if s.predicates.iter().all(|&(j, code)| x0.get(row, j) == code) {
+                    size += 1.0;
+                    err += errors[row];
+                    max_err = max_err.max(errors[row]);
+                }
+            }
+            prop_assert_eq!(s.size, size);
+            prop_assert!((s.error - err).abs() < TOL);
+            prop_assert!((s.max_error - max_err).abs() < TOL);
+            prop_assert!(s.size >= sigma as f64);
+            prop_assert!(s.score > 0.0);
+            // Predicates are sorted and unique per feature.
+            for w in s.predicates.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+}
