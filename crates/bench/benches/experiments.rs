@@ -57,7 +57,10 @@ fn bench_figure3_pruning_ablation(c: &mut Criterion) {
     let labels = enc.labels.unwrap();
     let labels2: Vec<f64> = labels.iter().chain(labels.iter()).copied().collect();
     let mean = labels2.iter().sum::<f64>() / labels2.len() as f64;
-    let errors: Vec<f64> = labels2.iter().map(|&y| (y - mean) * (y - mean) * 1e-8).collect();
+    let errors: Vec<f64> = labels2
+        .iter()
+        .map(|&y| (y - mean) * (y - mean) * 1e-8)
+        .collect();
     let mut group = c.benchmark_group("figure3_pruning");
     let configs = [
         ("all", PruningConfig::all(), 6),
@@ -85,7 +88,14 @@ fn bench_figure4_datasets(c: &mut Criterion) {
     // to clear sigma = n/100, so it runs at full scale (its base is small).
     let datasets = [
         ("adult", adult_like(&gen(2)), usize::MAX),
-        ("kdd98", kdd98_like(&GenConfig { seed: 2, scale: 1.0 }), 2),
+        (
+            "kdd98",
+            kdd98_like(&GenConfig {
+                seed: 2,
+                scale: 1.0,
+            }),
+            2,
+        ),
         ("census", census_like(&gen(2)), 3),
         ("covtype", covtype_like(&gen(2)), 3),
     ];
@@ -102,22 +112,30 @@ fn bench_figure5_parameters(c: &mut Criterion) {
     let d = adult_like(&gen(3));
     let mut group = c.benchmark_group("figure5_parameters");
     for &alpha in &[0.36, 0.92, 0.99] {
-        group.bench_with_input(BenchmarkId::new("alpha", alpha.to_string()), &alpha, |b, &a| {
-            b.iter(|| {
-                let mut cfg = config(3);
-                cfg.alpha = a;
-                run(&d, cfg)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alpha", alpha.to_string()),
+            &alpha,
+            |b, &a| {
+                b.iter(|| {
+                    let mut cfg = config(3);
+                    cfg.alpha = a;
+                    run(&d, cfg)
+                })
+            },
+        );
     }
     for &frac in &[1e-3, 1e-2, 1e-1] {
-        group.bench_with_input(BenchmarkId::new("sigma", frac.to_string()), &frac, |b, &f| {
-            b.iter(|| {
-                let mut cfg = config(3);
-                cfg.min_support = MinSupport::Fraction(f);
-                run(&d, cfg)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sigma", frac.to_string()),
+            &frac,
+            |b, &f| {
+                b.iter(|| {
+                    let mut cfg = config(3);
+                    cfg.min_support = MinSupport::Fraction(f);
+                    run(&d, cfg)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -147,15 +165,9 @@ fn bench_figure7_scalability(c: &mut Criterion) {
     for &factor in &[1usize, 2, 4] {
         let x0 = d.x0.replicate_rows(factor);
         let errors: Vec<f64> = (0..factor).flat_map(|_| d.errors.iter().copied()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("replication", factor),
-            &factor,
-            |b, _| {
-                b.iter(|| {
-                    SliceLine::new(config(2)).find_slices(&x0, &errors).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replication", factor), &factor, |b, _| {
+            b.iter(|| SliceLine::new(config(2)).find_slices(&x0, &errors).unwrap())
+        });
     }
     let strategies: Vec<(&str, Strategy)> = vec![
         (

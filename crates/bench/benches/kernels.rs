@@ -9,7 +9,7 @@ use sliceline::ScoringContext;
 use sliceline_datagen::{adult_like, GenConfig};
 use sliceline_frame::onehot::one_hot_encode;
 use sliceline_linalg::spgemm::{self_overlap_pairs_eq, spgemm};
-use sliceline_linalg::{CsrMatrix, ParallelConfig};
+use sliceline_linalg::{CsrMatrix, ExecContext};
 
 fn fixture() -> (CsrMatrix, Vec<f64>, Vec<Vec<u32>>) {
     let d = adult_like(&GenConfig {
@@ -58,7 +58,7 @@ fn bench_eval_kernels(c: &mut Criterion) {
                     2,
                     &ctx,
                     EvalKernel::Blocked { block_size: b },
-                    &ParallelConfig::new(2),
+                    &ExecContext::new(2),
                 )
             })
         });
@@ -72,7 +72,7 @@ fn bench_eval_kernels(c: &mut Criterion) {
                 2,
                 &ctx,
                 EvalKernel::Fused,
-                &ParallelConfig::new(2),
+                &ExecContext::new(2),
             )
         })
     });

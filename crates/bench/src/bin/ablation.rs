@@ -32,7 +32,13 @@ fn main() {
     };
 
     println!("(1) evaluation kernel (L<=3, sigma=n/100)");
-    let mut table = TextTable::new(&["dataset", "blocked b=1", "blocked b=16", "blocked b=256", "fused"]);
+    let mut table = TextTable::new(&[
+        "dataset",
+        "blocked b=1",
+        "blocked b=16",
+        "blocked b=256",
+        "fused",
+    ]);
     for d in [adult_like(&cfg), census_like(&cfg)] {
         let mut cells = vec![d.name.clone()];
         for eval in [
@@ -53,7 +59,13 @@ fn main() {
 
     println!("(2) enumeration order on AdultSim (identical exact top-K)");
     let d = adult_like(&cfg);
-    let mut table = TextTable::new(&["strategy", "runtime", "slices evaluated", "exact", "top-1 score"]);
+    let mut table = TextTable::new(&[
+        "strategy",
+        "runtime",
+        "slices evaluated",
+        "exact",
+        "top-1 score",
+    ]);
     let t = Instant::now();
     let levelwise = SliceLine::new(make_config(EvalKernel::default()))
         .find_slices(&d.x0, &d.errors)

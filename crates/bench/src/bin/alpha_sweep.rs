@@ -6,7 +6,10 @@ use std::time::Instant;
 
 fn main() {
     let name = std::env::var("PROBE_DATASET").unwrap_or_else(|_| "adult".to_string());
-    let cfg = sliceline_datagen::GenConfig { seed: 42, scale: 1.0 };
+    let cfg = sliceline_datagen::GenConfig {
+        seed: 42,
+        scale: 1.0,
+    };
     let d = match name.as_str() {
         "census" => sliceline_datagen::census_like(&cfg),
         "kdd98" => sliceline_datagen::kdd98_like(&cfg),

@@ -64,9 +64,15 @@ fn main() {
     );
     for pct in [50, 90, 99] {
         let i = bounds.len() * pct / 100;
-        println!("bound p{pct}: {:.3}", bounds.get(i).copied().unwrap_or(f64::NAN));
+        println!(
+            "bound p{pct}: {:.3}",
+            bounds.get(i).copied().unwrap_or(f64::NAN)
+        );
     }
-    println!("bound max: {:.3}", bounds.first().copied().unwrap_or(f64::NAN));
+    println!(
+        "bound max: {:.3}",
+        bounds.first().copied().unwrap_or(f64::NAN)
+    );
     // Characterize survivors: which feature/domain class do they live in?
     let begins = d.features.onehot_begin();
     let mut survivors: Vec<(usize, u32, f64, f64, f64, f64)> = Vec::new();
@@ -94,6 +100,8 @@ fn main() {
     }
     if survivors.len() > 8 {
         let (j, dom, ss, se, sm, b) = &survivors[survivors.len() / 2];
-        println!("  median survivor: f{j} (dom {dom}): ss={ss:.0} se={se:.1} sm={sm:.1} bound={b:.2}");
+        println!(
+            "  median survivor: f{j} (dom {dom}): ss={ss:.0} se={se:.1} sm={sm:.1} bound={b:.2}"
+        );
     }
 }

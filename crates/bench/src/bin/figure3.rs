@@ -12,6 +12,7 @@
 use sliceline::{PruningConfig, SliceLine, SliceLineConfig};
 use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
 use sliceline_datagen::salaries_encoded;
+use sliceline_linalg::ExecStats;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -25,11 +26,22 @@ fn main() {
     let mean = labels2.iter().sum::<f64>() / labels2.len() as f64;
     // Normalize squared errors to keep scores in a readable range.
     let scale = 1e-8;
-    let errors: Vec<f64> = labels2.iter().map(|&y| (y - mean) * (y - mean) * scale).collect();
+    let errors: Vec<f64> = labels2
+        .iter()
+        .map(|&y| (y - mean) * (y - mean) * scale)
+        .collect();
     let configs: Vec<(&str, PruningConfig, usize)> = vec![
         ("(1) all pruning", PruningConfig::all(), usize::MAX),
-        ("(2) no parent handling", PruningConfig::no_parent_handling(), usize::MAX),
-        ("(3) + no score pruning", PruningConfig::no_score_pruning(), usize::MAX),
+        (
+            "(2) no parent handling",
+            PruningConfig::no_parent_handling(),
+            usize::MAX,
+        ),
+        (
+            "(3) + no score pruning",
+            PruningConfig::no_score_pruning(),
+            usize::MAX,
+        ),
         ("(4) + no size pruning", PruningConfig::no_size_pruning(), 6),
         ("(5) no pruning, no dedup", PruningConfig::none(), 4),
     ];
@@ -38,6 +50,7 @@ fn main() {
         "config", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10",
     ]);
     let mut runtime = TextTable::new(&["config", "total runtime", "slices evaluated"]);
+    let mut exec_profiles: Vec<(&str, ExecStats)> = Vec::new();
     for (name, pruning, cap) in configs {
         let config = SliceLineConfig::builder()
             .k(4)
@@ -48,9 +61,12 @@ fn main() {
             .pruning(pruning)
             .build()
             .expect("static config is valid");
+        let exec = config.exec_context();
+        exec.enable_stats(true);
         let result = SliceLine::new(config)
-            .find_slices(&x0, &errors)
+            .find_slices_in(&x0, &errors, &exec)
             .expect("salaries input is valid");
+        exec_profiles.push((name, exec.exec_stats()));
         let mut cells = vec![name.to_string()];
         for lvl in 1..=10usize {
             let count = result
@@ -73,6 +89,14 @@ fn main() {
     println!("{}", per_level.render());
     println!("(b) End-to-end runtime");
     println!("{}", runtime.render());
+    println!("(c) Execution-layer telemetry, all-pruning configuration");
+    println!("{}", exec_profiles[0].1.render_table());
+    if args.stats_json {
+        println!("\n--stats-json dump (one object per configuration):");
+        for (name, stats) in &exec_profiles {
+            println!("{{\"config\":\"{}\",\"stats\":{}}}", name, stats.to_json());
+        }
+    }
     println!(
         "expected shape (paper Fig. 3): every pruning technique reduces the \
          enumerated slices; config (5) grows exponentially and is only \

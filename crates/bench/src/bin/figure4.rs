@@ -14,7 +14,10 @@ use sliceline_datagen::{adult_like, census_like, covtype_like, kdd98_like};
 
 fn main() {
     let args = BenchArgs::parse();
-    banner("Figure 4: Dataset Slice Enumeration (# slices per level)", &args);
+    banner(
+        "Figure 4: Dataset Slice Enumeration (# slices per level)",
+        &args,
+    );
     let cfg = args.gen_config();
     // (dataset, max_level) — the paper caps correlated datasets at 3-4.
     let runs = vec![

@@ -16,7 +16,10 @@ use std::time::Duration;
 
 fn main() {
     let args = BenchArgs::parse();
-    banner("Figure 7: Scalability with Data Size and Parallelism", &args);
+    banner(
+        "Figure 7: Scalability with Data Size and Parallelism",
+        &args,
+    );
     // CensusSim at 0.1x the requested scale: replication multiplies the
     // rows up to 10x and the evaluation cost with them (the paper ran the
     // real 2.4M-row census on 112 vcores). Raise --scale to compensate.
@@ -41,7 +44,9 @@ fn main() {
     let mut base_time = None;
     for factor in [1usize, 2, 4, 6, 8, 10] {
         let x0 = base.x0.replicate_rows(factor);
-        let errors: Vec<f64> = (0..factor).flat_map(|_| base.errors.iter().copied()).collect();
+        let errors: Vec<f64> = (0..factor)
+            .flat_map(|_| base.errors.iter().copied())
+            .collect();
         let runner = DistSliceLine::new(
             make_config(),
             Strategy::MtOps {
@@ -51,15 +56,16 @@ fn main() {
         );
         let result = runner.find_slices(&x0, &errors).expect("valid input");
         let elapsed = result.stats.total_elapsed;
-        let ideal = base_time
-            .get_or_insert(elapsed)
-            .mul_f64(factor as f64);
+        let ideal = base_time.get_or_insert(elapsed).mul_f64(factor as f64);
         table.row(&[
             format!("{factor}x"),
             x0.rows().to_string(),
             fmt_secs(elapsed),
             fmt_secs(ideal),
-            format!("{:.2}", elapsed.as_secs_f64() / ideal.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.2}",
+                elapsed.as_secs_f64() / ideal.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     println!("{}", table.render());

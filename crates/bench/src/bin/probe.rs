@@ -37,8 +37,13 @@ fn main() {
     if fused {
         config.eval = sliceline::EvalKernel::Fused;
     }
-    let r = SliceLine::new(config).find_slices(&d.x0, &d.errors).unwrap();
+    let r = SliceLine::new(config)
+        .find_slices(&d.x0, &d.errors)
+        .unwrap();
     println!("{} n={} l={} sigma={}", d.name, d.n(), d.l(), r.stats.sigma);
     println!("{}", r.stats.render_table());
-    println!("top1: {:?}", r.top_k.first().map(|t| (&t.predicates, t.score)));
+    println!(
+        "top1: {:?}",
+        r.top_k.first().map(|t| (&t.predicates, t.score))
+    );
 }

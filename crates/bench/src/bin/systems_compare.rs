@@ -49,8 +49,7 @@ fn main() {
     ]);
 
     let t = Instant::now();
-    let reference =
-        find_slices_reference(&d.x0, &d.errors, &config).expect("valid input");
+    let reference = find_slices_reference(&d.x0, &d.errors, &config).expect("valid input");
     let ref_time = t.elapsed();
     table.row(&[
         "SliceLine (generic LA reference)".to_string(),

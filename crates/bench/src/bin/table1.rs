@@ -13,7 +13,13 @@ use sliceline_datagen::salaries_encoded;
 fn main() {
     let args = BenchArgs::parse();
     banner("Table 1: Dataset Characteristics", &args);
-    let mut table = TextTable::new(&["Dataset", "n (nrow X0)", "m (ncol X0)", "l (ncol X)", "ML Alg."]);
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "n (nrow X0)",
+        "m (ncol X0)",
+        "l (ncol X)",
+        "ML Alg.",
+    ]);
     for d in all_datasets(&args.gen_config()) {
         table.row(&[
             d.name.clone(),

@@ -36,7 +36,12 @@ fn main() {
     let result = SliceLine::new(config)
         .find_slices(&d.x0, &d.errors)
         .expect("generated input is valid");
-    let mut table = TextTable::new(&["Lattice Level", "Candidates", "Valid Slices", "Elapsed Time"]);
+    let mut table = TextTable::new(&[
+        "Lattice Level",
+        "Candidates",
+        "Valid Slices",
+        "Elapsed Time",
+    ]);
     let mut cumulative = std::time::Duration::ZERO;
     for l in &result.stats.levels {
         cumulative += l.elapsed;

@@ -38,6 +38,9 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Paper-sized preset (an order of magnitude above the defaults).
     pub paper: bool,
+    /// Dump per-level execution telemetry as JSON (binaries that support
+    /// it run with stats collection enabled).
+    pub stats_json: bool,
 }
 
 impl Default for BenchArgs {
@@ -47,6 +50,7 @@ impl Default for BenchArgs {
             seed: 42,
             threads: 0,
             paper: false,
+            stats_json: false,
         }
     }
 }
@@ -82,6 +86,7 @@ impl BenchArgs {
                         .unwrap_or_else(|| usage("--threads needs an integer"));
                 }
                 "--paper" => out.paper = true,
+                "--stats-json" => out.stats_json = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -124,7 +129,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale F] [--seed N] [--threads N] [--paper]");
+    eprintln!("usage: <bin> [--scale F] [--seed N] [--threads N] [--paper] [--stats-json]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 
@@ -238,13 +243,18 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.threads, 3);
         assert_eq!(a.resolved_threads(), 3);
+        assert!(!a.stats_json);
+    }
+
+    #[test]
+    fn parse_stats_json_flag() {
+        let a = BenchArgs::parse_from(["--stats-json".to_string()]);
+        assert!(a.stats_json);
     }
 
     #[test]
     fn paper_preset_multiplies_scale() {
-        let a = BenchArgs::parse_from(
-            ["--scale", "0.2", "--paper"].iter().map(|s| s.to_string()),
-        );
+        let a = BenchArgs::parse_from(["--scale", "0.2", "--paper"].iter().map(|s| s.to_string()));
         assert!((a.scale - 2.0).abs() < 1e-12);
     }
 

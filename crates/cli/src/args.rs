@@ -51,6 +51,9 @@ pub struct FindArgs {
     pub bins: u32,
     /// Output format.
     pub format: OutputFormat,
+    /// Collect and print execution-layer statistics (per-level counters,
+    /// stage timings, scratch-pool reuse).
+    pub stats: bool,
 }
 
 impl Default for FindArgs {
@@ -68,6 +71,7 @@ impl Default for FindArgs {
             drop: Vec::new(),
             bins: 10,
             format: OutputFormat::Text,
+            stats: false,
         }
     }
 }
@@ -137,6 +141,8 @@ FIND OPTIONS:
   --drop COL          drop a column (repeatable)
   --bins N            equi-width bins for continuous features (default: 10)
   --format FMT        text | json | csv              (default: text)
+  --stats             collect and print per-level execution statistics
+                      (candidates, pruning, kernel choice, stage timings)
 
 GENERATE OPTIONS:
   --dataset NAME      adult | covtype | kdd98 | census | criteo | salaries
@@ -161,10 +167,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
     Ok(Cli { command })
 }
 
-fn next_value(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> Result<String, CliError> {
+fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
     it.next()
         .ok_or_else(|| CliError::usage(format!("{flag} requires a value")))
 }
@@ -203,6 +206,7 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
             }
             "--drop" => out.drop.push(next_value(&mut it, "--drop")?),
             "--bins" => out.bins = parse_num(&next_value(&mut it, "--bins")?, "--bins")?,
+            "--stats" => out.stats = true,
             "--format" => {
                 let v = next_value(&mut it, "--format")?;
                 out.format = match v.as_str() {
@@ -246,9 +250,7 @@ fn parse_generate(mut it: impl Iterator<Item = String>) -> Result<GenerateArgs, 
             "--scale" => out.scale = parse_num(&next_value(&mut it, "--scale")?, "--scale")?,
             "--seed" => out.seed = parse_num(&next_value(&mut it, "--seed")?, "--seed")?,
             "--output" => out.output = next_value(&mut it, "--output")?,
-            other => {
-                return Err(CliError::usage(format!("generate: unknown flag '{other}'")))
-            }
+            other => return Err(CliError::usage(format!("generate: unknown flag '{other}'"))),
         }
     }
     Ok(out)
@@ -265,8 +267,8 @@ mod tests {
     #[test]
     fn parses_find_with_label() {
         let cli = parse(sv(&[
-            "find", "--input", "a.csv", "--label", "y", "--k", "7", "--alpha", "0.9",
-            "--sigma", "32", "--drop", "id", "--drop", "name", "--format", "json",
+            "find", "--input", "a.csv", "--label", "y", "--k", "7", "--alpha", "0.9", "--sigma",
+            "32", "--drop", "id", "--drop", "name", "--format", "json",
         ]))
         .unwrap();
         let Command::Find(f) = cli.command else {
@@ -289,6 +291,19 @@ mod tests {
         };
         assert_eq!(f.errors.as_deref(), Some("e"));
         assert!(f.label.is_none());
+        assert!(!f.stats);
+    }
+
+    #[test]
+    fn parses_stats_flag() {
+        let cli = parse(sv(&[
+            "find", "--input", "a.csv", "--errors", "e", "--stats",
+        ]))
+        .unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert!(f.stats);
     }
 
     #[test]
@@ -325,7 +340,14 @@ mod tests {
     #[test]
     fn parses_generate() {
         let cli = parse(sv(&[
-            "generate", "--dataset", "census", "--scale", "0.2", "--seed", "7", "--output",
+            "generate",
+            "--dataset",
+            "census",
+            "--scale",
+            "0.2",
+            "--seed",
+            "7",
+            "--output",
             "x.csv",
         ]))
         .unwrap();

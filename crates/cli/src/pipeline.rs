@@ -62,7 +62,9 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         .alpha(args.alpha)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             args.threads
         })
@@ -73,8 +75,12 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
     } else {
         MinSupport::Fraction(args.sigma)
     };
+    // One execution context for the whole run: thread pool, scratch
+    // buffers, and (with --stats) per-level telemetry.
+    let exec = config.exec_context();
+    exec.enable_stats(args.stats);
     let result = SliceLine::new(config)
-        .find_slices(&encoded.x0, &errors)
+        .find_slices_in(&encoded.x0, &errors, &exec)
         .map_err(|e| CliError::runtime(e.to_string()))?;
     Ok(match args.format {
         OutputFormat::Text => report::render_text(&result, &encoded.features, &errors),
@@ -198,7 +204,11 @@ mod tests {
             let city = if i % 2 == 0 { "A" } else { "B" };
             let plan = if (i / 2) % 2 == 0 { "paid" } else { "free" };
             let age = 20 + (i % 40);
-            let err = if city == "B" && plan == "free" { 0.9 } else { 0.05 };
+            let err = if city == "B" && plan == "free" {
+                0.9
+            } else {
+                0.05
+            };
             s.push_str(&format!("{city},{plan},{age},{err}\n"));
         }
         s
@@ -219,6 +229,30 @@ mod tests {
         assert!(out.contains("city = B"), "report:\n{out}");
         assert!(out.contains("plan = free"));
         assert!(out.contains("score"));
+    }
+
+    #[test]
+    fn find_with_stats_prints_execution_table() {
+        let path = write_temp("biased_stats.csv", &biased_csv());
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 2,
+            stats: true,
+            ..Default::default()
+        };
+        let out = run_find(&args).unwrap();
+        assert!(out.contains("Execution statistics"), "report:\n{out}");
+        assert!(out.contains("kernel"));
+        // Without the flag the table is absent.
+        let args = FindArgs {
+            stats: false,
+            ..args
+        };
+        let out = run_find(&args).unwrap();
+        assert!(!out.contains("Execution statistics"));
     }
 
     #[test]
@@ -260,7 +294,11 @@ mod tests {
             let salary = 1000.0
                 + if city == "B" { 100.0 } else { 0.0 }
                 + if plan == "free" { -50.0 } else { 0.0 }
-                + if city == "B" && plan == "free" { -600.0 } else { 0.0 }
+                + if city == "B" && plan == "free" {
+                    -600.0
+                } else {
+                    0.0
+                }
                 + noise;
             s.push_str(&format!("{city},{plan},{salary}\n"));
         }

@@ -1,6 +1,6 @@
 //! Human-readable debugging report rendering.
 
-use sliceline::{SliceLineResult, SliceInfo};
+use sliceline::{SliceInfo, SliceLineResult};
 use sliceline_frame::FeatureSet;
 
 /// Renders the full text report: headline, per-slice sections, and the
@@ -31,6 +31,10 @@ pub fn render_text(result: &SliceLineResult, features: &FeatureSet, errors: &[f6
     }
     out.push_str("Enumeration statistics:\n");
     out.push_str(&result.stats.render_table());
+    if let Some(exec) = &result.stats.exec {
+        out.push('\n');
+        out.push_str(&render_exec_stats(exec));
+    }
     out.push_str(&format!(
         "\ntotal: {:.3}s over {} evaluated slices (exact top-{}).\n",
         result.stats.total_elapsed.as_secs_f64(),
@@ -38,6 +42,12 @@ pub fn render_text(result: &SliceLineResult, features: &FeatureSet, errors: &[f6
         result.top_k.len(),
     ));
     out
+}
+
+/// Renders the execution-layer telemetry collected under `--stats`:
+/// per-level counters, kernel choices, stage timings, and pool reuse.
+pub fn render_exec_stats(exec: &sliceline_linalg::ExecStats) -> String {
+    format!("Execution statistics (--stats):\n{}", exec.render_table())
 }
 
 /// Renders one slice section.
@@ -96,6 +106,29 @@ mod tests {
         assert!(text.contains("score 1.2500"));
         assert!(text.contains("5.0x overall"));
         assert!(text.contains("Enumeration statistics"));
+    }
+
+    #[test]
+    fn renders_exec_stats_when_present() {
+        let mut r = result(vec![SliceInfo {
+            predicates: vec![(0, 1)],
+            score: 0.5,
+            size: 10.0,
+            error: 5.0,
+            max_error: 1.0,
+            avg_error: 0.5,
+        }]);
+        let exec = sliceline_linalg::ExecContext::serial();
+        exec.enable_stats(true);
+        exec.begin_level(1);
+        exec.record_level(|p| {
+            p.candidates += 5;
+            p.evaluated += 5;
+        });
+        r.stats.exec = Some(exec.exec_stats());
+        let text = render_text(&r, &features(), &[0.1; 100]);
+        assert!(text.contains("Execution statistics"), "report:\n{text}");
+        assert!(text.contains("evaluated"));
     }
 
     #[test]

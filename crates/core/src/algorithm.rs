@@ -9,6 +9,7 @@ use crate::prepare::{prepare, PreparedData};
 use crate::stats::{LevelStats, RunStats};
 use crate::topk::TopK;
 use sliceline_frame::{FeatureSet, IntMatrix};
+use sliceline_linalg::{ExecContext, Stage};
 use std::time::Instant;
 
 /// One decoded top-K slice.
@@ -68,12 +69,10 @@ pub struct SliceLineResult {
 /// Construct with a validated [`SliceLineConfig`], then call
 /// [`SliceLine::find_slices`] with the integer-encoded feature matrix and
 /// the model's error vector.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SliceLine {
     config: SliceLineConfig,
 }
-
 
 impl SliceLine {
     /// Creates a slice finder with the given configuration.
@@ -88,10 +87,33 @@ impl SliceLine {
 
     /// Runs the full enumeration (Algorithm 1) and returns the decoded
     /// top-K slices with run statistics.
+    ///
+    /// Creates a fresh [`ExecContext`] from the configuration; to share
+    /// scratch buffers across runs or collect execution telemetry, build
+    /// a context once and call [`SliceLine::find_slices_in`].
     pub fn find_slices(&self, x0: &IntMatrix, errors: &[f64]) -> Result<SliceLineResult> {
+        let exec = self.config.exec_context();
+        self.find_slices_in(x0, errors, &exec)
+    }
+
+    /// Runs the full enumeration on a caller-provided execution context.
+    ///
+    /// The context supplies the thread pool, the scratch-buffer pool
+    /// (level vectors and kernel intermediates are recycled through it),
+    /// and — when [`ExecContext::enable_stats`] is on — per-level
+    /// telemetry, returned in [`RunStats::exec`]. Any telemetry from a
+    /// previous run on the same context is cleared first.
+    pub fn find_slices_in(
+        &self,
+        x0: &IntMatrix,
+        errors: &[f64],
+        exec: &ExecContext,
+    ) -> Result<SliceLineResult> {
         let start = Instant::now();
+        exec.reset_stats();
         // a) data preparation.
-        let prepared = prepare(x0, errors, &self.config)?;
+        let prepared = prepare(x0, errors, &self.config, exec)?;
+        exec.add_prepare(start.elapsed());
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -100,11 +122,18 @@ impl SliceLine {
             ..Default::default()
         };
         // b) initialization: basic slices and initial top-K.
+        exec.begin_level(1);
         let level_start = Instant::now();
-        let (proj, mut level) = create_and_score_basic_slices(&prepared);
+        let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
+            create_and_score_basic_slices(&prepared, exec)
+        });
+        exec.record_level(|p| {
+            p.candidates += prepared.l() as u64;
+            p.evaluated += prepared.l() as u64;
+        });
         stats.basic_slices = level.len();
         let mut topk = TopK::new(self.config.k, prepared.sigma);
-        topk.update(&level);
+        exec.time_stage(Stage::TopK, || topk.update(&level));
         stats.levels.push(LevelStats {
             level: 1,
             candidates: prepared.l(),
@@ -118,28 +147,35 @@ impl SliceLine {
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
             l += 1;
+            exec.begin_level(l);
             let level_start = Instant::now();
-            let (candidates, enum_stats) = get_pair_candidates(
-                &level,
-                l,
-                &proj.col_feature,
-                proj.x.cols(),
-                &prepared.ctx,
-                prepared.sigma,
-                &self.config.pruning,
-                &topk,
-            );
+            let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
+                get_pair_candidates(
+                    &level,
+                    l,
+                    &proj.col_feature,
+                    proj.x.cols(),
+                    &prepared.ctx,
+                    prepared.sigma,
+                    &self.config.pruning,
+                    &topk,
+                    exec,
+                )
+            });
             let evaluated = candidates.len();
-            level = evaluate_slices(
-                &proj.x,
-                &prepared.errors,
-                candidates,
-                l,
-                &prepared.ctx,
-                self.config.eval,
-                &self.config.parallel,
-            );
-            topk.update(&level);
+            let next = exec.time_stage(Stage::Evaluate, || {
+                evaluate_slices(
+                    &proj.x,
+                    &prepared.errors,
+                    candidates,
+                    l,
+                    &prepared.ctx,
+                    self.config.eval,
+                    exec,
+                )
+            });
+            recycle_level(exec, std::mem::replace(&mut level, next));
+            exec.time_stage(Stage::TopK, || topk.update(&level));
             stats.levels.push(LevelStats {
                 level: l,
                 candidates: evaluated,
@@ -149,11 +185,29 @@ impl SliceLine {
                 threshold_after: topk.prune_threshold(),
             });
         }
+        recycle_level(exec, level);
         stats.total_elapsed = start.elapsed();
+        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
         // Decode the top-K back to (feature, value) predicates.
         let top_k = decode_topk(&topk, &proj, &prepared);
         Ok(SliceLineResult { top_k, stats })
     }
+}
+
+/// Returns a finished level's statistic vectors to the context's scratch
+/// pool; safe because the top-K clones everything it keeps.
+fn recycle_level(exec: &ExecContext, level: LevelState) {
+    let LevelState {
+        slices: _,
+        sizes,
+        errors,
+        max_errors,
+        scores,
+    } = level;
+    exec.put_f64(sizes);
+    exec.put_f64(errors);
+    exec.put_f64(max_errors);
+    exec.put_f64(scores);
 }
 
 fn count_valid(level: &LevelState, sigma: usize) -> usize {

@@ -3,7 +3,7 @@
 //! switches (Fig. 3).
 
 use crate::error::{Result, SliceLineError};
-use sliceline_linalg::ParallelConfig;
+use sliceline_linalg::{ExecContext, ParallelConfig};
 
 /// Minimum support threshold `σ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,6 +177,13 @@ impl SliceLineConfig {
         SliceLineConfigBuilder {
             config: SliceLineConfig::default(),
         }
+    }
+
+    /// Builds a fresh [`ExecContext`] (thread pool + scratch buffers +
+    /// telemetry) honoring this configuration's thread count. Kernels and
+    /// the level loop take `&ExecContext`, never a raw [`ParallelConfig`].
+    pub fn exec_context(&self) -> ExecContext {
+        ExecContext::with_parallel(self.parallel)
     }
 
     /// Validates parameter ranges.

@@ -22,7 +22,7 @@ use crate::init::LevelState;
 use crate::scoring::ScoringContext;
 use crate::topk::TopK;
 use sliceline_linalg::spgemm::self_overlap_pairs_eq;
-use sliceline_linalg::CsrMatrix;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::collections::HashMap;
 
 /// Counters describing one level's enumeration (feeds the Fig. 3/4 and
@@ -48,6 +48,10 @@ pub struct EnumStats {
 }
 
 /// A merged candidate with parent-derived upper bounds.
+///
+/// When deduplication is on, `cols` is left empty during the join (the
+/// dedup table owns the only copy of the column list) and moved back in
+/// afterwards — the merged list is never cloned.
 #[derive(Debug, Clone)]
 struct Candidate {
     cols: Vec<u32>,
@@ -91,6 +95,7 @@ pub fn get_pair_candidates(
     sigma: usize,
     pruning: &PruningConfig,
     topk: &TopK,
+    exec: &ExecContext,
 ) -> (Vec<Vec<u32>>, EnumStats) {
     debug_assert!(level >= 2);
     let mut stats = EnumStats::default();
@@ -113,12 +118,8 @@ pub fn get_pair_candidates(
                 return false;
             }
             if pruning.score_pruning {
-                let ub = ctx.score_upper_bound(
-                    prev.sizes[i],
-                    prev.errors[i],
-                    prev.max_errors[i],
-                    sigma,
-                );
+                let ub =
+                    ctx.score_upper_bound(prev.sizes[i], prev.errors[i], prev.max_errors[i], sigma);
                 if ub <= threshold {
                     return false;
                 }
@@ -128,9 +129,14 @@ pub fn get_pair_candidates(
         .collect();
     stats.parents = parent_idx.len();
     if parent_idx.len() < 2 {
+        record_enum_stats(exec, &stats);
         return (Vec::new(), stats);
     }
-    let parent_slices: Vec<Vec<u32>> = parent_idx.iter().map(|&i| prev.slices[i].clone()).collect();
+    // Borrow, don't clone: the join only reads parent column lists.
+    let parent_slices: Vec<&[u32]> = parent_idx
+        .iter()
+        .map(|&i| prev.slices[i].as_slice())
+        .collect();
     // Step 2 — join compatible slices: exactly L−2 shared predicates.
     // Level 2 joins single-predicate slices with zero overlap — that is
     // every index pair, so enumerate them directly instead of
@@ -174,7 +180,7 @@ pub fn get_pair_candidates(
                 continue;
             }
         }
-        merge_sorted(&parent_slices[a], &parent_slices[b], &mut merged);
+        merge_sorted(parent_slices[a], parent_slices[b], &mut merged);
         if merged.len() != level || !feature_valid(&merged, col_feature) {
             continue;
         }
@@ -190,25 +196,45 @@ pub fn get_pair_candidates(
             match dedup.get(merged.as_slice()) {
                 Some(&ix) => &mut candidates[ix],
                 None => {
+                    // Move the merged list into the dedup table (its only
+                    // owner until the final pruning pass); the candidate
+                    // keeps an empty placeholder. `merged` re-grows on the
+                    // next iteration, so no clone happens on either path.
                     let ix = candidates.len();
-                    candidates.push(make(merged.clone()));
-                    dedup.insert(merged.clone(), ix);
+                    candidates.push(make(Vec::new()));
+                    dedup.insert(std::mem::take(&mut merged), ix);
                     &mut candidates[ix]
                 }
             }
         } else {
-            candidates.push(make(merged.clone()));
+            candidates.push(make(std::mem::take(&mut merged)));
             let ix = candidates.len() - 1;
             &mut candidates[ix]
         };
-        cand.absorb_parent(a as u32, prev.sizes[pa], prev.errors[pa], prev.max_errors[pa]);
-        cand.absorb_parent(b as u32, prev.sizes[pb], prev.errors[pb], prev.max_errors[pb]);
+        cand.absorb_parent(
+            a as u32,
+            prev.sizes[pa],
+            prev.errors[pa],
+            prev.max_errors[pa],
+        );
+        cand.absorb_parent(
+            b as u32,
+            prev.sizes[pb],
+            prev.errors[pb],
+            prev.max_errors[pb],
+        );
     }
     stats.deduped = if pruning.deduplication {
         candidates.len()
     } else {
         stats.merged_valid
     };
+    // Hand the deduplicated column lists back to their candidates.
+    if pruning.deduplication {
+        for (cols, ix) in dedup {
+            candidates[ix].cols = cols;
+        }
+    }
     // Step 5 — pruning (Eq. 9): size, score, and missing-parent handling.
     let mut out = Vec::with_capacity(candidates.len());
     for cand in candidates {
@@ -218,10 +244,7 @@ pub fn get_pair_candidates(
         }
         // Missing-parent handling only makes sense on deduplicated
         // candidates (a single pair can contribute at most 2 parents).
-        if pruning.parent_handling
-            && pruning.deduplication
-            && cand.parents.len() != level
-        {
+        if pruning.parent_handling && pruning.deduplication && cand.parents.len() != level {
             stats.pruned_parents += 1;
             continue;
         }
@@ -235,7 +258,20 @@ pub fn get_pair_candidates(
         out.push(cand.cols);
     }
     stats.survivors = out.len();
+    record_enum_stats(exec, &stats);
     (out, stats)
+}
+
+/// Folds one level's enumeration counters into the execution context's
+/// telemetry (no-op when stats are disabled).
+fn record_enum_stats(exec: &ExecContext, stats: &EnumStats) {
+    exec.record_level(|p| {
+        p.candidates += stats.merged_valid as u64;
+        p.deduped += (stats.merged_valid - stats.deduped) as u64;
+        p.pruned_size += stats.pruned_size as u64;
+        p.pruned_score += stats.pruned_score as u64;
+        p.pruned_parents += stats.pruned_parents as u64;
+    });
 }
 
 /// Merges two sorted, duplicate-free column lists into `out` (cleared
@@ -280,13 +316,13 @@ mod tests {
     /// cols 0,1 -> f0; cols 2,3 -> f1; cols 4,5 -> f2.
     const COL_FEATURE: [u32; 6] = [0, 0, 1, 1, 2, 2];
 
-    fn level1(sizes: &[f64], errors: &[f64]) -> LevelState {
+    fn level1(sizes: Vec<f64>, errors: Vec<f64>) -> LevelState {
         let n = sizes.len();
         LevelState {
             slices: (0..n as u32).map(|c| vec![c]).collect(),
-            sizes: sizes.to_vec(),
-            errors: errors.to_vec(),
             max_errors: errors.iter().map(|&e| e / 2.0).collect(),
+            sizes,
+            errors,
             scores: vec![1.0; n],
         }
     }
@@ -321,7 +357,7 @@ mod tests {
 
     #[test]
     fn level2_pairs_all_cross_feature() {
-        let prev = level1(&[50.0; 6], &[25.0; 6]);
+        let prev = level1(vec![50.0; 6], vec![25.0; 6]);
         let tk = TopK::new(4, 1);
         let (cands, stats) = get_pair_candidates(
             &prev,
@@ -332,6 +368,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         // C(6,2)=15 pairs, minus 3 same-feature pairs = 12 valid.
         assert_eq!(stats.pairs, 15);
@@ -343,7 +380,10 @@ mod tests {
 
     #[test]
     fn parent_filter_removes_small_or_zero_error() {
-        let prev = level1(&[50.0, 2.0, 50.0, 50.0, 50.0, 50.0], &[25.0, 25.0, 0.0, 25.0, 25.0, 25.0]);
+        let prev = level1(
+            vec![50.0, 2.0, 50.0, 50.0, 50.0, 50.0],
+            vec![25.0, 25.0, 0.0, 25.0, 25.0, 25.0],
+        );
         let tk = TopK::new(4, 1);
         let (_, stats) = get_pair_candidates(
             &prev,
@@ -354,6 +394,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         // Parent 1 fails sigma, parent 2 fails zero error.
         assert_eq!(stats.parents, 4);
@@ -382,6 +423,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         // Parent 1 itself fails the sigma filter, so no pairs at all.
         assert_eq!(stats.parents, 1);
@@ -409,6 +451,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         assert_eq!(stats.pairs, 3);
         assert_eq!(stats.merged_valid, 3);
@@ -436,6 +479,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         assert!(cands.is_empty());
         assert_eq!(stats.pruned_parents, 1);
@@ -449,13 +493,14 @@ mod tests {
             1,
             &PruningConfig::no_parent_handling(),
             &tk,
+            &ExecContext::serial(),
         );
         assert_eq!(cands2, vec![vec![0, 2, 4]]);
     }
 
     #[test]
     fn score_pruning_against_topk_threshold() {
-        let prev = level1(&[20.0; 6], &[1.0; 6]);
+        let prev = level1(vec![20.0; 6], vec![1.0; 6]);
         // Fill the top-K with very high scores so every candidate's upper
         // bound falls below the threshold.
         let mut tk = TopK::new(1, 1);
@@ -475,6 +520,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         assert!(cands.is_empty());
         assert_eq!(stats.pruned_score, stats.deduped);
@@ -488,6 +534,7 @@ mod tests {
             1,
             &PruningConfig::no_score_pruning(),
             &tk,
+            &ExecContext::serial(),
         );
         assert_eq!(cands2.len(), 12);
     }
@@ -520,6 +567,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         // Parents 0 and 2 have bound ≈ 0.8 > threshold 0.6 and join;
         // parent 1's bound is negative and it is dropped up front.
@@ -536,6 +584,7 @@ mod tests {
             10,
             &PruningConfig::no_score_pruning(),
             &tk,
+            &ExecContext::serial(),
         );
         assert_eq!(stats2.parents, 3);
         assert_eq!(stats2.pairs, 3);
@@ -560,6 +609,7 @@ mod tests {
             1,
             &PruningConfig::none(),
             &tk,
+            &ExecContext::serial(),
         );
         assert_eq!(cands.len(), 3);
         assert!(cands.iter().all(|c| c == &vec![0, 2, 4]));
@@ -567,7 +617,7 @@ mod tests {
 
     #[test]
     fn fewer_than_two_parents_short_circuits() {
-        let prev = level1(&[50.0], &[25.0]);
+        let prev = level1(vec![50.0], vec![25.0]);
         let tk = TopK::new(4, 1);
         let (cands, stats) = get_pair_candidates(
             &prev,
@@ -578,6 +628,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            &ExecContext::serial(),
         );
         assert!(cands.is_empty());
         assert_eq!(stats.pairs, 0);

@@ -53,11 +53,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SliceLineError::InvalidConfig {
-            reason: "x".into()
-        }
-        .to_string()
-        .contains("invalid config"));
+        assert!(SliceLineError::InvalidConfig { reason: "x".into() }
+            .to_string()
+            .contains("invalid config"));
         assert!(SliceLineError::InvalidInput { reason: "y".into() }
             .to_string()
             .contains("invalid input"));

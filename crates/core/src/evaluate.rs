@@ -16,15 +16,26 @@
 //!   through an inverted index, never materializing the intermediate.
 //!   This is the specialization the paper's "simple design" deliberately
 //!   forgoes; it serves as an ablation of materialization cost.
+//!
+//! Both kernels draw their parallelism and scratch memory from the
+//! [`ExecContext`]: the blocked `n × b` intermediate and all per-level
+//! statistic vectors are checked out of the context's buffer pool, so a
+//! multi-level run reuses a handful of allocations instead of re-allocating
+//! every level. The fused statistics kernel is also the single source of
+//! truth for the distributed path ([`evaluate_slice_stats`]), so local and
+//! per-node results cannot drift.
 
 use crate::config::EvalKernel;
 use crate::init::LevelState;
 use crate::scoring::ScoringContext;
-use sliceline_linalg::spgemm::count_matches_block_parallel;
-use sliceline_linalg::{CsrMatrix, ParallelConfig};
+use sliceline_linalg::spgemm::count_matches_block_into;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 
 /// Evaluates `slices` (sorted projected-column id lists, all of length
 /// `level`) against `x`, returning a fully scored [`LevelState`].
+///
+/// Records the chosen kernel and evaluated-slice count in the context's
+/// telemetry (when enabled).
 pub fn evaluate_slices(
     x: &CsrMatrix,
     errors: &[f64],
@@ -32,17 +43,18 @@ pub fn evaluate_slices(
     level: usize,
     ctx: &ScoringContext,
     kernel: EvalKernel,
-    par: &ParallelConfig,
+    exec: &ExecContext,
 ) -> LevelState {
     let k = slices.len();
     if k == 0 {
         return LevelState::default();
     }
-    let (sizes, errs, max_errs) = match kernel {
-        EvalKernel::Blocked { block_size } => {
-            eval_blocked(x, errors, &slices, level, block_size.max(1), par)
-        }
-        EvalKernel::Fused => eval_fused(x, errors, &slices, level, par),
+    let (name, (sizes, errs, max_errs)) = match kernel {
+        EvalKernel::Blocked { block_size } => (
+            "blocked",
+            eval_blocked(x, errors, &slices, level, block_size.max(1), exec),
+        ),
+        EvalKernel::Fused => ("fused", eval_fused(x, errors, &slices, level, exec)),
         EvalKernel::Auto {
             block_size,
             fused_above,
@@ -52,13 +64,21 @@ pub fn evaluate_slices(
             // with many, rescanning X per block dominates and the fused
             // single-scan kernel is asymptotically better.
             if k > fused_above {
-                eval_fused(x, errors, &slices, level, par)
+                ("fused", eval_fused(x, errors, &slices, level, exec))
             } else {
-                eval_blocked(x, errors, &slices, level, block_size.max(1), par)
+                (
+                    "blocked",
+                    eval_blocked(x, errors, &slices, level, block_size.max(1), exec),
+                )
             }
         }
     };
-    let scores = ctx.score_all(&sizes, &errs);
+    exec.record_level(|p| {
+        p.evaluated += k as u64;
+        p.kernel = Some(name);
+    });
+    let mut scores = exec.take_f64(0);
+    ctx.score_all_into(&sizes, &errs, &mut scores);
     LevelState {
         slices,
         sizes,
@@ -68,36 +88,56 @@ pub fn evaluate_slices(
     }
 }
 
+/// Raw slice statistics `(sizes, errors, max_errors)` via the fused
+/// kernel. This is the shared evaluation core: the local path calls it
+/// through [`evaluate_slices`] and the simulated cluster calls it per
+/// node with a per-node thread view (`exec.with_threads(..)`), so both
+/// paths compute identical statistics by construction.
+pub fn evaluate_slice_stats(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    exec: &ExecContext,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    if slices.is_empty() {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    eval_fused(x, errors, slices, level, exec)
+}
+
 /// Blocked evaluation: materializes the `n × b` match-count intermediate
-/// per block of slices (paper Eq. 10 with scan sharing).
+/// per block of slices (paper Eq. 10 with scan sharing). The intermediate
+/// lives in one pooled scratch buffer reused across blocks and levels.
 fn eval_blocked(
     x: &CsrMatrix,
     errors: &[f64],
     slices: &[Vec<u32>],
     level: usize,
     block_size: usize,
-    par: &ParallelConfig,
+    exec: &ExecContext,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = slices.len();
     let s = CsrMatrix::from_binary_rows(x.cols(), slices)
         .expect("slice column ids are sorted, unique and in range");
-    let mut sizes = vec![0.0; k];
-    let mut errs = vec![0.0; k];
-    let mut max_errs = vec![0.0; k];
+    let mut sizes = exec.take_f64(k);
+    let mut errs = exec.take_f64(k);
+    let mut max_errs = exec.take_f64(k);
+    let mut scratch = exec.take_f64(0);
     let target = level as f64;
     let mut start = 0usize;
     while start < k {
         let end = (start + block_size).min(k);
-        let counts = count_matches_block_parallel(x, &s, start..end, par)
+        let b = count_matches_block_into(x, &s, start..end, exec, &mut scratch)
             .expect("block range validated by loop bounds");
-        let b = end - start;
+        let counts = &scratch;
         // Aggregate the indicator I = (counts == L) into ss/se/sm
         // (colSums(I), eᵀI, colMaxs(I·e)); parallel over row chunks.
-        let (bs, be, bm) = par.par_reduce(
+        let (bs, be, bm) = exec.parallel().par_reduce(
             x.rows(),
             (vec![0.0; b], vec![0.0; b], vec![0.0; b]),
             |mut acc, r| {
-                let row = counts.row(r);
+                let row = &counts[r * b..(r + 1) * b];
                 let e = errors[r];
                 for (j, &c) in row.iter().enumerate() {
                     if c == target {
@@ -126,17 +166,19 @@ fn eval_blocked(
         max_errs[start..end].copy_from_slice(&bm);
         start = end;
     }
+    exec.put_f64(scratch);
     (sizes, errs, max_errs)
 }
 
 /// Fused evaluation: one scan of `X`, per-slice accumulators, no
-/// materialized intermediate.
+/// materialized intermediate. Worker-local accumulators are checked out
+/// of the context pool and returned after the merge.
 fn eval_fused(
     x: &CsrMatrix,
     errors: &[f64],
     slices: &[Vec<u32>],
     level: usize,
-    par: &ParallelConfig,
+    exec: &ExecContext,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = slices.len();
     // Inverted index: projected column -> slice ids containing it.
@@ -148,17 +190,17 @@ fn eval_fused(
     }
     let inv = &inv;
     let target = level as u32;
-    let ranges = par.split_range(x.rows());
+    let ranges = exec.parallel().split_range(x.rows());
     let partials: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 scope.spawn(move || {
-                    let mut sizes = vec![0.0; k];
-                    let mut errs = vec![0.0; k];
-                    let mut max_errs = vec![0.0; k];
-                    let mut counts = vec![0u32; k];
-                    let mut touched: Vec<u32> = Vec::with_capacity(64);
+                    let mut sizes = exec.take_f64(k);
+                    let mut errs = exec.take_f64(k);
+                    let mut max_errs = exec.take_f64(k);
+                    let mut counts = exec.take_u32(k);
+                    let mut touched = exec.take_u32(0);
                     #[allow(clippy::needless_range_loop)]
                     for r in lo..hi {
                         let e = errors[r];
@@ -183,15 +225,20 @@ fn eval_fused(
                         }
                         touched.clear();
                     }
+                    exec.put_u32(counts);
+                    exec.put_u32(touched);
                     (sizes, errs, max_errs)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let mut sizes = vec![0.0; k];
-    let mut errs = vec![0.0; k];
-    let mut max_errs = vec![0.0; k];
+    let mut partials = partials.into_iter();
+    // The first partial becomes the accumulator; the rest merge into it
+    // and their buffers go back to the pool.
+    let (mut sizes, mut errs, mut max_errs) = partials
+        .next()
+        .expect("split_range yields at least one range");
     for (ps, pe, pm) in partials {
         for j in 0..k {
             sizes[j] += ps[j];
@@ -200,6 +247,9 @@ fn eval_fused(
                 max_errs[j] = pm[j];
             }
         }
+        exec.put_f64(ps);
+        exec.put_f64(pe);
+        exec.put_f64(pm);
     }
     (sizes, errs, max_errs)
 }
@@ -239,7 +289,7 @@ mod tests {
             2,
             &c,
             EvalKernel::Blocked { block_size: 2 },
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         // Slice {c0,c2}: rows 0 and 3 -> size 2, err 3.0, max 2.0.
         assert_eq!(out.sizes, vec![2.0, 2.0, 1.0]);
@@ -253,6 +303,7 @@ mod tests {
         let (x, e) = fixture();
         let c = ctx(&e);
         let slices = vec![vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]];
+        let exec = ExecContext::serial();
         let blocked = evaluate_slices(
             &x,
             &e,
@@ -260,17 +311,9 @@ mod tests {
             2,
             &c,
             EvalKernel::Blocked { block_size: 3 },
-            &ParallelConfig::serial(),
+            &exec,
         );
-        let fused = evaluate_slices(
-            &x,
-            &e,
-            slices,
-            2,
-            &c,
-            EvalKernel::Fused,
-            &ParallelConfig::serial(),
-        );
+        let fused = evaluate_slices(&x, &e, slices, 2, &c, EvalKernel::Fused, &exec);
         assert_eq!(blocked.sizes, fused.sizes);
         assert_eq!(blocked.errors, fused.errors);
         assert_eq!(blocked.max_errors, fused.max_errors);
@@ -290,7 +333,7 @@ mod tests {
             1,
             &c,
             EvalKernel::Blocked { block_size: 16 },
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         for threads in [2, 4] {
             for kernel in [EvalKernel::Blocked { block_size: 2 }, EvalKernel::Fused] {
@@ -301,7 +344,7 @@ mod tests {
                     1,
                     &c,
                     kernel,
-                    &ParallelConfig::new(threads),
+                    &ExecContext::new(threads),
                 );
                 assert_eq!(par.sizes, serial.sizes);
                 assert_eq!(par.errors, serial.errors);
@@ -321,7 +364,7 @@ mod tests {
             2,
             &c,
             EvalKernel::default(),
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         assert!(out.is_empty());
     }
@@ -340,7 +383,7 @@ mod tests {
             2,
             &c,
             EvalKernel::default(),
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         assert_eq!(out.sizes, vec![0.0]);
         assert_eq!(out.scores[0], f64::NEG_INFINITY);
@@ -358,7 +401,7 @@ mod tests {
             2,
             &c,
             EvalKernel::Fused,
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         // Below the threshold: blocked plan; above: fused. Same numbers.
         for fused_above in [1usize, 100] {
@@ -372,7 +415,7 @@ mod tests {
                     block_size: 2,
                     fused_above,
                 },
-                &ParallelConfig::serial(),
+                &ExecContext::serial(),
             );
             assert_eq!(out.sizes, expect.sizes, "fused_above={fused_above}");
             assert_eq!(out.errors, expect.errors);
@@ -391,7 +434,7 @@ mod tests {
             2,
             &c,
             EvalKernel::Blocked { block_size: 1 },
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         let b16 = evaluate_slices(
             &x,
@@ -400,9 +443,50 @@ mod tests {
             2,
             &c,
             EvalKernel::Blocked { block_size: 16 },
-            &ParallelConfig::serial(),
+            &ExecContext::serial(),
         );
         assert_eq!(b1.sizes, b16.sizes);
         assert_eq!(b1.errors, b16.errors);
+    }
+
+    #[test]
+    fn pooled_buffers_do_not_leak_state_between_calls() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let slices = vec![vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3]];
+        // Poison the pool with dirty buffers of assorted sizes; results
+        // must match a context that never pools.
+        let exec = ExecContext::new(2);
+        exec.put_f64(vec![123.0; 7]);
+        exec.put_f64(vec![-4.0; 100]);
+        exec.put_u32(vec![9; 3]);
+        let fresh = ExecContext::new(2);
+        fresh.set_pooling(false);
+        for kernel in [EvalKernel::Blocked { block_size: 2 }, EvalKernel::Fused] {
+            for _ in 0..3 {
+                let pooled = evaluate_slices(&x, &e, slices.clone(), 2, &c, kernel, &exec);
+                let plain = evaluate_slices(&x, &e, slices.clone(), 2, &c, kernel, &fresh);
+                assert_eq!(pooled.sizes, plain.sizes);
+                assert_eq!(pooled.errors, plain.errors);
+                assert_eq!(pooled.max_errors, plain.max_errors);
+                assert_eq!(pooled.scores, plain.scores);
+            }
+        }
+        assert!(exec.pool_stats().reused() > 0);
+    }
+
+    #[test]
+    fn stats_kernel_matches_evaluate_slices() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let slices = vec![vec![0, 2], vec![0, 3], vec![1, 3]];
+        let exec = ExecContext::serial();
+        let (sizes, errs, max_errs) = evaluate_slice_stats(&x, &e, &slices, 2, &exec);
+        let full = evaluate_slices(&x, &e, slices, 2, &c, EvalKernel::Fused, &exec);
+        assert_eq!(sizes, full.sizes);
+        assert_eq!(errs, full.errors);
+        assert_eq!(max_errs, full.max_errors);
+        let empty = evaluate_slice_stats(&x, &e, &[], 2, &exec);
+        assert!(empty.0.is_empty() && empty.1.is_empty() && empty.2.is_empty());
     }
 }

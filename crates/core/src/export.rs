@@ -55,8 +55,12 @@ pub fn result_to_json(result: &SliceLineResult) -> String {
         })
         .collect::<Vec<_>>()
         .join(",");
+    let exec = match &result.stats.exec {
+        Some(e) => e.to_json(),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_ms\":{},\"top_k\":{},\"levels\":[{levels}]}}",
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_ms\":{},\"top_k\":{},\"levels\":[{levels}],\"exec\":{exec}}}",
         result.stats.n,
         result.stats.m,
         result.stats.l,
@@ -161,6 +165,21 @@ mod tests {
         assert!(json.contains("\"sigma\":10"));
         assert!(json.contains("\"levels\":[{\"level\":1"));
         assert!(json.contains("\"candidates\":20"));
+        // No execution telemetry collected in the sample.
+        assert!(json.contains("\"exec\":null"));
+    }
+
+    #[test]
+    fn json_result_embeds_exec_stats() {
+        let mut r = sample();
+        let exec = sliceline_linalg::ExecContext::serial();
+        exec.enable_stats(true);
+        exec.begin_level(1);
+        exec.record_level(|p| p.candidates += 3);
+        r.stats.exec = Some(exec.exec_stats());
+        let json = result_to_json(&r);
+        assert!(json.contains("\"exec\":{"));
+        assert!(json.contains("\"prepare_secs\""));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::prepare::PreparedData;
 use sliceline_linalg::agg;
-use sliceline_linalg::CsrMatrix;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 
 /// The projected dataset used by levels ≥ 1.
 #[derive(Debug, Clone)]
@@ -59,13 +59,21 @@ impl LevelState {
 /// Returns `(projected data, level-1 state, total basic slice count)`.
 /// The basic slice count (`l`) is reported so run statistics can show the
 /// level-1 "candidates" line of the paper's Table 2.
-pub fn create_and_score_basic_slices(p: &PreparedData) -> (ProjectedData, LevelState) {
-    // Eq. 4 — vectorized basic statistics on the one-hot matrix.
-    let ss0 = agg::col_sums_csr(&p.x);
-    let se0 = p
-        .x
-        .vecmat(&p.errors)
-        .expect("errors validated to be row-aligned in prepare()");
+pub fn create_and_score_basic_slices(
+    p: &PreparedData,
+    exec: &ExecContext,
+) -> (ProjectedData, LevelState) {
+    // Eq. 4 — vectorized basic statistics on the one-hot matrix. The
+    // parallel column sums add integers (X is binary), so the chunked
+    // reduction is exact and any thread count gives identical results.
+    let ss0 = if exec.threads() > 1 {
+        agg::col_sums_csr_parallel(&p.x, exec)
+    } else {
+        agg::col_sums_csr(&p.x)
+    };
+    let se0 =
+        p.x.vecmat(&p.errors)
+            .expect("errors validated to be row-aligned in prepare()");
     // Max tuple error per column: one scan over the rows.
     let mut sm0 = vec![0.0f64; p.x.cols()];
     for r in 0..p.x.rows() {
@@ -83,13 +91,20 @@ pub fn create_and_score_basic_slices(p: &PreparedData) -> (ProjectedData, LevelS
     let kept: Vec<usize> = (0..p.x.cols())
         .filter(|&c| ss0[c] >= p.sigma as f64 && se0[c] > 0.0)
         .collect();
-    let x_proj = p
-        .x
-        .select_cols(&kept)
-        .expect("kept indices are strictly increasing and in range");
+    let x_proj =
+        p.x.select_cols(&kept)
+            .expect("kept indices are strictly increasing and in range");
     let col_feature: Vec<u32> = kept.iter().map(|&c| p.col_feature[c]).collect();
     let col_code: Vec<u32> = kept.iter().map(|&c| p.col_code[c]).collect();
-    let mut level = LevelState::default();
+    // Level statistic vectors start from pooled scratch so repeated runs
+    // on one context reuse their allocations.
+    let mut level = LevelState {
+        slices: Vec::with_capacity(kept.len()),
+        sizes: exec.take_f64(0),
+        errors: exec.take_f64(0),
+        max_errors: exec.take_f64(0),
+        scores: exec.take_f64(0),
+    };
     for (new_c, &c) in kept.iter().enumerate() {
         level.slices.push(vec![new_c as u32]);
         level.sizes.push(ss0[c]);
@@ -117,26 +132,21 @@ mod tests {
 
     fn prepared(sigma: usize) -> PreparedData {
         // Feature 0: domain 2, feature 1: domain 3.
-        let x0 = IntMatrix::from_rows(&[
-            vec![1, 1],
-            vec![1, 2],
-            vec![2, 1],
-            vec![2, 3],
-            vec![1, 1],
-        ])
-        .unwrap();
+        let x0 =
+            IntMatrix::from_rows(&[vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 3], vec![1, 1]])
+                .unwrap();
         let errors = vec![1.0, 0.0, 0.5, 0.0, 1.0];
         let cfg = SliceLineConfig::builder()
             .min_support(sigma)
             .build()
             .unwrap();
-        prepare(&x0, &errors, &cfg).unwrap()
+        prepare(&x0, &errors, &cfg, &ExecContext::serial()).unwrap()
     }
 
     #[test]
     fn basic_statistics_match_hand_computation() {
         let p = prepared(1);
-        let (proj, level) = create_and_score_basic_slices(&p);
+        let (proj, level) = create_and_score_basic_slices(&p, &ExecContext::serial());
         // Column layout: f0=1, f0=2, f1=1, f1=2, f1=3.
         // Sizes: 3, 2, 3, 1, 1. Errors: 2.0, 0.5, 2.5, 0, 0.
         // Valid (ss>=1, se>0): f0=1, f0=2, f1=1.
@@ -156,7 +166,7 @@ mod tests {
     #[test]
     fn sigma_filters_small_slices() {
         let p = prepared(3);
-        let (proj, level) = create_and_score_basic_slices(&p);
+        let (proj, level) = create_and_score_basic_slices(&p, &ExecContext::serial());
         // Only sizes >= 3 with positive error: f0=1 (3 rows), f1=1 (3 rows).
         assert_eq!(proj.orig_col, vec![0, 2]);
         assert_eq!(level.len(), 2);
@@ -165,7 +175,7 @@ mod tests {
     #[test]
     fn zero_error_columns_dropped() {
         let p = prepared(1);
-        let (proj, _) = create_and_score_basic_slices(&p);
+        let (proj, _) = create_and_score_basic_slices(&p, &ExecContext::serial());
         // f1=2 and f1=3 have zero error and must be gone.
         assert!(!proj.orig_col.contains(&3));
         assert!(!proj.orig_col.contains(&4));
@@ -174,7 +184,7 @@ mod tests {
     #[test]
     fn scores_consistent_with_context() {
         let p = prepared(1);
-        let (_, level) = create_and_score_basic_slices(&p);
+        let (_, level) = create_and_score_basic_slices(&p, &ExecContext::serial());
         for i in 0..level.len() {
             let expect = p.ctx.score(level.sizes[i], level.errors[i]);
             assert_eq!(level.scores[i], expect);
@@ -185,8 +195,8 @@ mod tests {
     fn all_filtered_returns_empty_level() {
         let x0 = IntMatrix::from_rows(&[vec![1], vec![2]]).unwrap();
         let cfg = SliceLineConfig::builder().min_support(5).build().unwrap();
-        let p = prepare(&x0, &[1.0, 1.0], &cfg).unwrap();
-        let (proj, level) = create_and_score_basic_slices(&p);
+        let p = prepare(&x0, &[1.0, 1.0], &cfg, &ExecContext::serial()).unwrap();
+        let (proj, level) = create_and_score_basic_slices(&p, &ExecContext::serial());
         assert!(level.is_empty());
         assert_eq!(proj.x.cols(), 0);
     }

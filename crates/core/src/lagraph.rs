@@ -13,17 +13,17 @@
 //!    (R at 200.4s vs SystemDS at 5.6s on Adult): the bench harness runs
 //!    both backends on the same data to reproduce that shape.
 
+use crate::algorithm::{SliceInfo, SliceLineResult};
 use crate::config::SliceLineConfig;
 use crate::error::Result;
 use crate::init::LevelState;
 use crate::prepare::prepare;
-use crate::topk::TopK;
-use crate::algorithm::{SliceInfo, SliceLineResult};
 use crate::stats::{LevelStats, RunStats};
+use crate::topk::TopK;
 use sliceline_linalg::agg::{col_sums_csr, row_nnz_counts};
 use sliceline_linalg::spgemm::spgemm;
 use sliceline_linalg::table::{selection_matrix, upper_tri_eq};
-use sliceline_linalg::CsrMatrix;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -37,7 +37,12 @@ pub fn find_slices_reference(
     config: &SliceLineConfig,
 ) -> Result<SliceLineResult> {
     let start = Instant::now();
-    let prepared = prepare(x0, errors, config)?;
+    let prepared = prepare(
+        x0,
+        errors,
+        config,
+        &ExecContext::with_parallel(config.parallel),
+    )?;
     let sigma = prepared.sigma as f64;
     let mut stats = RunStats {
         sigma: prepared.sigma,
@@ -109,7 +114,11 @@ pub fn find_slices_reference(
         let cix: Vec<usize> = pairs.iter().map(|&(_, b)| b).collect();
         let p1 = selection_matrix(&rix, s_prev.rows())?;
         let p2 = selection_matrix(&cix, s_prev.rows())?;
-        let merged = binarize(&spgemm(&p1, &s_prev)?.to_dense().add(&spgemm(&p2, &s_prev)?.to_dense())?);
+        let merged = binarize(
+            &spgemm(&p1, &s_prev)?
+                .to_dense()
+                .add(&spgemm(&p2, &s_prev)?.to_dense())?,
+        );
         // Step 4: discard slices with multiple assignments per feature:
         // rowSums(P[, beg:end]) <= 1 for every feature.
         let valid_rows: Vec<usize> = (0..merged.rows())
@@ -120,7 +129,10 @@ pub fn find_slices_reference(
         // Dedup via grouping identical rows (the paper's ID + recode step).
         let mut groups: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
         for r in 0..merged.rows() {
-            groups.entry(merged.row_cols(r).to_vec()).or_default().push(r);
+            groups
+                .entry(merged.row_cols(r).to_vec())
+                .or_default()
+                .push(r);
         }
         // Candidate pruning (Eqs. 7–9) using min over all parents.
         let threshold = topk.prune_threshold();
@@ -138,9 +150,18 @@ pub fn find_slices_reference(
                     parents.push(b);
                 }
             }
-            let ss_ub = parents.iter().map(|&p| kept_sizes[p]).fold(f64::INFINITY, f64::min);
-            let se_ub = parents.iter().map(|&p| kept_errs[p]).fold(f64::INFINITY, f64::min);
-            let sm_ub = parents.iter().map(|&p| kept_sms[p]).fold(f64::INFINITY, f64::min);
+            let ss_ub = parents
+                .iter()
+                .map(|&p| kept_sizes[p])
+                .fold(f64::INFINITY, f64::min);
+            let se_ub = parents
+                .iter()
+                .map(|&p| kept_errs[p])
+                .fold(f64::INFINITY, f64::min);
+            let sm_ub = parents
+                .iter()
+                .map(|&p| kept_sms[p])
+                .fold(f64::INFINITY, f64::min);
             if config.pruning.size_pruning && ss_ub < sigma {
                 continue;
             }
@@ -256,11 +277,7 @@ fn binarize(m: &sliceline_linalg::DenseMatrix) -> CsrMatrix {
     CsrMatrix::from_dense(&m.map(|v| if v != 0.0 { 1.0 } else { 0.0 }))
 }
 
-fn feature_valid_row(
-    m: &CsrMatrix,
-    row: usize,
-    col_feature: &[u32],
-) -> bool {
+fn feature_valid_row(m: &CsrMatrix, row: usize, col_feature: &[u32]) -> bool {
     let cols = m.row_cols(row);
     cols.windows(2)
         .all(|w| col_feature[w[0] as usize] != col_feature[w[1] as usize])

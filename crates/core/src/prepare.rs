@@ -7,7 +7,7 @@ use crate::error::{Result, SliceLineError};
 use crate::scoring::ScoringContext;
 use sliceline_frame::onehot::one_hot_encode;
 use sliceline_frame::IntMatrix;
-use sliceline_linalg::CsrMatrix;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 
 /// Validated, one-hot encoded input ready for enumeration.
 #[derive(Debug, Clone)]
@@ -41,10 +41,14 @@ impl PreparedData {
 }
 
 /// Validates inputs and performs the one-hot data preparation.
+///
+/// The error vector is copied into a scratch buffer checked out of `exec`'s
+/// pool, so repeated runs on the same context reuse the allocation.
 pub fn prepare(
     x0: &IntMatrix,
     errors: &[f64],
     config: &SliceLineConfig,
+    exec: &ExecContext,
 ) -> Result<PreparedData> {
     config.validate()?;
     let n = x0.rows();
@@ -76,9 +80,11 @@ pub fn prepare(
     }
     let ctx = ScoringContext::new(errors, config.alpha);
     let sigma = config.min_support.resolve(n).max(1);
+    let mut err_buf = exec.take_f64(0);
+    err_buf.extend_from_slice(errors);
     Ok(PreparedData {
         x,
-        errors: errors.to_vec(),
+        errors: err_buf,
         ctx,
         sigma,
         m: x0.cols(),
@@ -102,7 +108,7 @@ mod tests {
 
     #[test]
     fn prepares_valid_input() {
-        let p = prepare(&x0(), &[0.5, 0.0, 1.0], &cfg()).unwrap();
+        let p = prepare(&x0(), &[0.5, 0.0, 1.0], &cfg(), &ExecContext::serial()).unwrap();
         assert_eq!(p.n(), 3);
         assert_eq!(p.l(), 5);
         assert_eq!(p.m, 2);
@@ -115,22 +121,28 @@ mod tests {
     #[test]
     fn rejects_misaligned_errors() {
         assert!(matches!(
-            prepare(&x0(), &[0.5, 0.0], &cfg()),
+            prepare(&x0(), &[0.5, 0.0], &cfg(), &ExecContext::serial()),
             Err(SliceLineError::InvalidInput { .. })
         ));
     }
 
     #[test]
     fn rejects_negative_or_nonfinite_errors() {
-        assert!(prepare(&x0(), &[0.5, -0.1, 0.0], &cfg()).is_err());
-        assert!(prepare(&x0(), &[0.5, f64::NAN, 0.0], &cfg()).is_err());
-        assert!(prepare(&x0(), &[0.5, f64::INFINITY, 0.0], &cfg()).is_err());
+        assert!(prepare(&x0(), &[0.5, -0.1, 0.0], &cfg(), &ExecContext::serial()).is_err());
+        assert!(prepare(&x0(), &[0.5, f64::NAN, 0.0], &cfg(), &ExecContext::serial()).is_err());
+        assert!(prepare(
+            &x0(),
+            &[0.5, f64::INFINITY, 0.0],
+            &cfg(),
+            &ExecContext::serial()
+        )
+        .is_err());
     }
 
     #[test]
     fn rejects_empty_input() {
         let empty = IntMatrix::from_data(0, 0, vec![]).unwrap();
-        assert!(prepare(&empty, &[], &cfg()).is_err());
+        assert!(prepare(&empty, &[], &cfg(), &ExecContext::serial()).is_err());
     }
 
     #[test]
@@ -139,7 +151,7 @@ mod tests {
             .min_support_fraction(0.5)
             .build()
             .unwrap();
-        let p = prepare(&x0(), &[1.0, 1.0, 1.0], &c).unwrap();
+        let p = prepare(&x0(), &[1.0, 1.0, 1.0], &c, &ExecContext::serial()).unwrap();
         assert_eq!(p.sigma, 2); // ceil(3 * 0.5)
     }
 
@@ -148,7 +160,7 @@ mod tests {
         let mut c = cfg();
         c.alpha = 2.0;
         assert!(matches!(
-            prepare(&x0(), &[1.0, 1.0, 1.0], &c),
+            prepare(&x0(), &[1.0, 1.0, 1.0], &c, &ExecContext::serial()),
             Err(SliceLineError::InvalidConfig { .. })
         ));
     }

@@ -123,7 +123,8 @@ impl PrioritySliceLine {
         errors: &[f64],
     ) -> Result<PriorityResult> {
         let start = Instant::now();
-        let prepared = prepare(x0, errors, &self.config)?;
+        let exec = self.config.exec_context();
+        let prepared = prepare(x0, errors, &self.config, &exec)?;
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -131,7 +132,7 @@ impl PrioritySliceLine {
             l: prepared.l(),
             ..Default::default()
         };
-        let (proj, basic) = create_and_score_basic_slices(&prepared);
+        let (proj, basic) = create_and_score_basic_slices(&prepared, &exec);
         stats.basic_slices = basic.len();
         let sigma = prepared.sigma;
         let max_level = self.config.max_level.min(prepared.m);
@@ -212,7 +213,9 @@ impl PrioritySliceLine {
                 cols.push(next as u32);
                 let score = prepared.ctx.score(size, error);
                 topk.update(&singleton_level(&cols, size, error, max_error, score));
-                let bound = prepared.ctx.score_upper_bound(size, error, max_error, sigma);
+                let bound = prepared
+                    .ctx
+                    .score_upper_bound(size, error, max_error, sigma);
                 if bound > topk.prune_threshold() && cols.len() < max_level {
                     heap.push(Node { bound, cols, rows });
                 }
@@ -253,10 +256,7 @@ impl PrioritySliceLine {
             })
             .collect();
         Ok(PriorityResult {
-            result: SliceLineResult {
-                top_k,
-                stats,
-            },
+            result: SliceLineResult { top_k, stats },
             evaluated,
             exact,
         })
@@ -265,13 +265,7 @@ impl PrioritySliceLine {
 
 /// Wraps a single evaluated slice as a one-row [`LevelState`] for top-K
 /// maintenance.
-fn singleton_level(
-    cols: &[u32],
-    size: f64,
-    error: f64,
-    max_error: f64,
-    score: f64,
-) -> LevelState {
+fn singleton_level(cols: &[u32], size: f64, error: f64, max_error: f64, score: f64) -> LevelState {
     LevelState {
         slices: vec![cols.to_vec()],
         sizes: vec![size],
@@ -338,12 +332,7 @@ mod tests {
             .unwrap();
         assert!(best_first.exact);
         assert_eq!(best_first.result.top_k.len(), levelwise.top_k.len());
-        for (a, b) in best_first
-            .result
-            .top_k
-            .iter()
-            .zip(levelwise.top_k.iter())
-        {
+        for (a, b) in best_first.result.top_k.iter().zip(levelwise.top_k.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);
         }
     }
@@ -383,11 +372,7 @@ mod tests {
         let mut c = config();
         c.max_level = 1;
         let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
-        assert!(r
-            .result
-            .top_k
-            .iter()
-            .all(|s| s.predicates.len() == 1));
+        assert!(r.result.top_k.iter().all(|s| s.predicates.len() == 1));
     }
 
     #[test]

@@ -56,11 +56,22 @@ impl ScoringContext {
 
     /// Scores each `(size, err)` pair, writing into a fresh vector.
     pub fn score_all(&self, sizes: &[f64], errs: &[f64]) -> Vec<f64> {
-        sizes
-            .iter()
-            .zip(errs.iter())
-            .map(|(&s, &e)| self.score(s, e))
-            .collect()
+        let mut out = Vec::with_capacity(sizes.len());
+        self.score_all_into(sizes, errs, &mut out);
+        out
+    }
+
+    /// Like [`ScoringContext::score_all`] but writing into a caller-owned
+    /// buffer (cleared first), so a pooled scratch vector can be reused
+    /// across levels.
+    pub fn score_all_into(&self, sizes: &[f64], errs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            sizes
+                .iter()
+                .zip(errs.iter())
+                .map(|(&s, &e)| self.score(s, e)),
+        );
     }
 
     /// Upper-bounds the score of any slice reachable below a lattice node

@@ -2,6 +2,7 @@
 //! the paper's Fig. 3, Fig. 4 and Table 2.
 
 use crate::enumerate::EnumStats;
+use sliceline_linalg::ExecStats;
 use std::time::Duration;
 
 /// Statistics for a single lattice level.
@@ -44,6 +45,12 @@ pub struct RunStats {
     pub l: usize,
     /// Valid basic slices (columns surviving `ss₀ ≥ σ ∧ se₀ > 0`).
     pub basic_slices: usize,
+    /// Execution-layer telemetry (per-stage timings, kernel choices, pool
+    /// counters). `None` unless stats were enabled on the [`ExecContext`]
+    /// the run used.
+    ///
+    /// [`ExecContext`]: sliceline_linalg::ExecContext
+    pub exec: Option<ExecStats>,
 }
 
 impl RunStats {

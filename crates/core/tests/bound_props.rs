@@ -10,7 +10,10 @@ fn data_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<f64>)> {
     (2usize..=4, 8usize..=32).prop_flat_map(|(m, n)| {
         (
             proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
-            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(1.0), Just(3.0)], n..=n),
+            proptest::collection::vec(
+                prop_oneof![Just(0.0f64), Just(0.5), Just(1.0), Just(3.0)],
+                n..=n,
+            ),
         )
     })
 }

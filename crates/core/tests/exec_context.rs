@@ -1,0 +1,190 @@
+//! Integration tests for the unified execution layer: results must be
+//! invariant to buffer reuse, kernel choice, and thread count, and the
+//! telemetry counters must agree with the run statistics.
+
+use sliceline::{EvalKernel, SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::ExecContext;
+
+/// Deterministic std-only generator (SplitMix64) so the tests do not
+/// depend on the `rand` crate's exact stream.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A random 200×6 categorical dataset with errors concentrated in one
+/// feature conjunction, so slice finding has real structure to recover.
+fn dataset(seed: u64) -> (IntMatrix, Vec<f64>) {
+    let mut rng = Lcg(seed);
+    let n = 200;
+    let m = 6;
+    let mut rows = Vec::with_capacity(n);
+    let mut errors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<u32> = (0..m)
+            .map(|j| 1 + rng.gen_range(2 + j as u64) as u32)
+            .collect();
+        let bad = row[0] == 1 && row[1] == 2;
+        let noise = rng.gen_range(1000) as f64 / 1000.0;
+        errors.push(if bad { 0.8 + 0.2 * noise } else { 0.1 * noise });
+        rows.push(row);
+    }
+    (IntMatrix::from_rows(&rows).unwrap(), errors)
+}
+
+fn config(eval: EvalKernel, threads: usize) -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(5)
+        .alpha(0.9)
+        .min_support(8)
+        .max_level(4)
+        .eval(eval)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+fn assert_same_result(a: &SliceLineResult, b: &SliceLineResult, what: &str) {
+    assert_eq!(a.top_k.len(), b.top_k.len(), "{what}: top-k length differs");
+    for (sa, sb) in a.top_k.iter().zip(&b.top_k) {
+        assert_eq!(sa.predicates, sb.predicates, "{what}: predicates differ");
+        assert!(
+            (sa.score - sb.score).abs() < 1e-9,
+            "{what}: score {} vs {}",
+            sa.score,
+            sb.score
+        );
+        assert_eq!(sa.size, sb.size, "{what}: size differs");
+    }
+}
+
+#[test]
+fn reused_buffers_match_fresh_allocation() {
+    let (x0, errors) = dataset(7);
+    let cfg = config(EvalKernel::Blocked { block_size: 16 }, 1);
+    let finder = SliceLine::new(cfg.clone());
+
+    // Fresh context per run (pooling disabled → every buffer allocated).
+    let fresh_exec = cfg.exec_context();
+    fresh_exec.set_pooling(false);
+    let fresh = finder.find_slices_in(&x0, &errors, &fresh_exec).unwrap();
+    assert_eq!(fresh_exec.pool_stats().f64_reused, 0);
+
+    // One shared context run three times: runs 2 and 3 hit the warm pool.
+    let shared = cfg.exec_context();
+    let mut last = None;
+    for run in 0..3 {
+        let result = finder.find_slices_in(&x0, &errors, &shared).unwrap();
+        assert_same_result(&fresh, &result, &format!("pooled run {run}"));
+        last = Some(result);
+    }
+    let pool = shared.pool_stats();
+    assert!(pool.f64_reused > 0, "warm pool served no buffers: {pool:?}");
+    assert!(pool.bytes_reused > 0);
+    assert!(!last.unwrap().top_k.is_empty(), "planted slice not found");
+}
+
+#[test]
+fn blocked_and_fused_kernels_agree_on_shared_context() {
+    let (x0, errors) = dataset(11);
+    let exec = ExecContext::serial();
+    let blocked = SliceLine::new(config(EvalKernel::Blocked { block_size: 8 }, 1))
+        .find_slices_in(&x0, &errors, &exec)
+        .unwrap();
+    // Same context reused across kernels: fused must see clean buffers.
+    let fused = SliceLine::new(config(EvalKernel::Fused, 1))
+        .find_slices_in(&x0, &errors, &exec)
+        .unwrap();
+    assert!(!blocked.top_k.is_empty());
+    assert_same_result(&blocked, &fused, "blocked vs fused");
+}
+
+#[test]
+fn serial_and_four_threads_agree() {
+    let (x0, errors) = dataset(23);
+    let serial = SliceLine::new(config(EvalKernel::default(), 1))
+        .find_slices(&x0, &errors)
+        .unwrap();
+    let parallel = SliceLine::new(config(EvalKernel::default(), 4))
+        .find_slices(&x0, &errors)
+        .unwrap();
+    assert!(!serial.top_k.is_empty());
+    assert_same_result(&serial, &parallel, "serial vs 4 threads");
+}
+
+#[test]
+fn telemetry_counters_sum_to_run_stats() {
+    let (x0, errors) = dataset(42);
+    let cfg = config(EvalKernel::default(), 1);
+    let exec = cfg.exec_context();
+    exec.enable_stats(true);
+    let result = SliceLine::new(cfg)
+        .find_slices_in(&x0, &errors, &exec)
+        .unwrap();
+
+    let stats = result
+        .stats
+        .exec
+        .as_ref()
+        .expect("stats enabled → exec telemetry present");
+    assert_eq!(
+        stats.levels.len(),
+        result.stats.levels.len(),
+        "one telemetry profile per enumerated level"
+    );
+    let evaluated: u64 = stats.levels.iter().map(|l| l.evaluated).sum();
+    assert_eq!(
+        evaluated,
+        result.stats.total_evaluated() as u64,
+        "per-level evaluated counters must sum to the run total"
+    );
+    for profile in &stats.levels {
+        assert!(
+            profile.evaluated
+                <= profile.candidates
+                    - profile.deduped
+                    - profile.pruned_size
+                    - profile.pruned_score
+                    - profile.pruned_parents,
+            "level {}: evaluated {} exceeds surviving candidates",
+            profile.level,
+            profile.evaluated
+        );
+    }
+    // Levels past the first that evaluated anything chose a kernel.
+    for profile in stats
+        .levels
+        .iter()
+        .filter(|l| l.level > 1 && l.evaluated > 0)
+    {
+        assert!(
+            profile.kernel.is_some(),
+            "level {} has no kernel",
+            profile.level
+        );
+    }
+}
+
+#[test]
+fn stats_disabled_by_default_and_resettable() {
+    let (x0, errors) = dataset(5);
+    let cfg = config(EvalKernel::default(), 1);
+    let exec = cfg.exec_context();
+    let result = SliceLine::new(cfg)
+        .find_slices_in(&x0, &errors, &exec)
+        .unwrap();
+    assert!(result.stats.exec.is_none(), "telemetry must be opt-in");
+    assert!(exec.exec_stats().levels.is_empty());
+}

@@ -9,10 +9,7 @@ use sliceline_frame::IntMatrix;
 fn dataset() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
     (2usize..=4, 10usize..=40).prop_flat_map(|(m, n)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(1u32..=3, m..=m),
-                n..=n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
             proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)], n..=n),
         )
             .prop_map(|(rows, errors)| (IntMatrix::from_rows(&rows).unwrap(), errors))

@@ -9,8 +9,7 @@
 //! that shape.
 
 use crate::synth::{
-    classification_errors, sample_matrix, CorrelatedSampler, Dataset, GenConfig, PlantedSlice,
-    Task,
+    classification_errors, sample_matrix, CorrelatedSampler, Dataset, GenConfig, PlantedSlice, Task,
 };
 use sliceline_frame::FeatureSet;
 

@@ -14,8 +14,7 @@
 //! the paper.
 
 use crate::synth::{
-    classification_errors, sample_matrix, CorrelatedSampler, Dataset, GenConfig, PlantedSlice,
-    Task,
+    classification_errors, sample_matrix, CorrelatedSampler, Dataset, GenConfig, PlantedSlice, Task,
 };
 use sliceline_frame::FeatureSet;
 
@@ -29,8 +28,8 @@ pub fn domains() -> Vec<u32> {
     let target = 378u32;
     let mut d: Vec<u32> = (0..m)
         .map(|j| match j % 10 {
-            0 => 10,      // binned continuous
-            1 | 2 => 9,   // wide categorical
+            0 => 10,    // binned continuous
+            1 | 2 => 9, // wide categorical
             3..=5 => 5,
             _ => 3,
         })

@@ -135,10 +135,8 @@ mod tests {
         // support as (soil_j=2) — wide flat lattices. Spot-check that
         // absent codes dominate.
         let d = small();
-        let absent_fraction = (0..d.n())
-            .filter(|&r| d.x0.get(r, 20) == 1)
-            .count() as f64
-            / d.n() as f64;
+        let absent_fraction =
+            (0..d.n()).filter(|&r| d.x0.get(r, 20) == 1).count() as f64 / d.n() as f64;
         assert!(absent_fraction > 0.8);
     }
 

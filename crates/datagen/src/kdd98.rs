@@ -27,10 +27,10 @@ pub fn domains() -> Vec<u32> {
     // commentary in `kdd98_like`).
     let mut d: Vec<u32> = (0..m)
         .map(|j| match j % 12 {
-            0 => 44,        // wide recoded categoricals
-            1 | 2 => 26,    // medium
-            3..=6 => 15,    // binned continuous
-            _ => 13,        // small categoricals
+            0 => 44,     // wide recoded categoricals
+            1 | 2 => 26, // medium
+            3..=6 => 15, // binned continuous
+            _ => 13,     // small categoricals
         })
         .collect();
     adjust_to_target(&mut d, target);

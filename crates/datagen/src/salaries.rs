@@ -54,9 +54,7 @@ pub fn salaries() -> DataFrame {
             1 => 93_000.0,
             _ => 126_000.0,
         };
-        let mut salary = base
-            + if discipline == 1 { 8_000.0 } else { 0.0 }
-            + yrs_phd * 450.0
+        let mut salary = base + if discipline == 1 { 8_000.0 } else { 0.0 } + yrs_phd * 450.0
             - yrs_service * 120.0
             + gaussian(&mut rng) * 9_000.0;
         if sex == 0 && rank == 1 && discipline == 0 {

@@ -376,9 +376,15 @@ mod tests {
 
     #[test]
     fn gen_config_rows_scale() {
-        let c = GenConfig { seed: 1, scale: 0.5 };
+        let c = GenConfig {
+            seed: 1,
+            scale: 0.5,
+        };
         assert_eq!(c.rows(1000), 500);
-        let tiny = GenConfig { seed: 1, scale: 1e-9 };
+        let tiny = GenConfig {
+            seed: 1,
+            scale: 1e-9,
+        };
         assert_eq!(tiny.rows(1000), 16);
     }
 
@@ -423,11 +429,7 @@ mod tests {
             h0[(s.sample_code(0, 0, &mut r) - 1) as usize] += 1;
             h1[(s.sample_code(0, 1, &mut r) - 1) as usize] += 1;
         }
-        let l1: usize = h0
-            .iter()
-            .zip(h1.iter())
-            .map(|(&a, &b)| a.abs_diff(b))
-            .sum();
+        let l1: usize = h0.iter().zip(h1.iter()).map(|(&a, &b)| a.abs_diff(b)).sum();
         assert!(l1 > 200, "group histograms too similar: {h0:?} vs {h1:?}");
     }
 
@@ -443,8 +445,7 @@ mod tests {
             fraction: 0.0,
         }];
         let e = classification_errors(&x0, &planted, 0.1, &mut r);
-        let slice_rate: f64 =
-            (0..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
+        let slice_rate: f64 = (0..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
         let rest_rate: f64 = (1..n).step_by(2).map(|i| e[i]).sum::<f64>() / (n as f64 / 2.0);
         assert!(slice_rate > 0.7, "slice rate {slice_rate}");
         assert!(rest_rate < 0.2, "rest rate {rest_rate}");
@@ -489,8 +490,11 @@ mod tests {
         let mut r = rng();
         let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut r)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        let var = samples
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -2,7 +2,8 @@
 //! aggregation with configurable latencies.
 
 use crate::partition::PartitionedMatrix;
-use sliceline_linalg::{CsrMatrix, ParallelConfig};
+use sliceline::evaluate::evaluate_slice_stats;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::time::Duration;
 
 /// Cluster shape and simulated communication costs.
@@ -42,12 +43,8 @@ pub struct SimulatedCluster {
     data: PartitionedMatrix,
 }
 
-/// Per-node partial slice statistics.
-struct Partial {
-    sizes: Vec<f64>,
-    errors: Vec<f64>,
-    max_errors: Vec<f64>,
-}
+/// Per-node partial slice statistics `(sizes, errors, max_errors)`.
+type Partial = (Vec<f64>, Vec<f64>, Vec<f64>);
 
 impl SimulatedCluster {
     /// Distributes `x`/`errors` across the configured number of nodes.
@@ -73,11 +70,18 @@ impl SimulatedCluster {
     /// `slices`, let every node scan its partition with its local thread
     /// pool, and aggregate the partial `(ss, se, sm)` statistics.
     ///
+    /// Every node runs the same fused scan as the local driver
+    /// ([`evaluate_slice_stats`]) on a context view sharing `exec`'s
+    /// scratch pool and telemetry but restricted to `threads_per_node`
+    /// threads; each node's partial is counted in the current level's
+    /// telemetry.
+    ///
     /// Returns `(sizes, errors, max_errors)` aligned with `slices`.
     pub fn evaluate_slices(
         &self,
         slices: &[Vec<u32>],
         level: usize,
+        exec: &ExecContext,
     ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let k = slices.len();
         if k == 0 {
@@ -86,19 +90,22 @@ impl SimulatedCluster {
         // Broadcast: one serialization of S, charged per nnz, plus fixed
         // latency. Each node receives its own copy (the clone below).
         let nnz: usize = slices.iter().map(|s| s.len()).sum();
-        let broadcast_cost = self.config.broadcast_latency
-            + self.config.broadcast_per_nnz * (nnz as u32);
+        let broadcast_cost =
+            self.config.broadcast_latency + self.config.broadcast_per_nnz * (nnz as u32);
         std::thread::sleep(broadcast_cost);
         let parts = self.data.num_partitions();
+        let node_exec = exec.with_threads(self.config.threads_per_node);
         let partials: Vec<Partial> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..parts)
                 .map(|node| {
                     let slices_copy: Vec<Vec<u32>> = slices.to_vec(); // the "broadcast"
-                    let threads = self.config.threads_per_node;
                     let data = &self.data;
+                    let ne = node_exec.clone();
                     scope.spawn(move || {
                         let (x, errors) = data.partition(node);
-                        node_evaluate(x, errors, &slices_copy, level, threads)
+                        let partial = evaluate_slice_stats(x, errors, &slices_copy, level, &ne);
+                        ne.record_level(|p| p.partials += 1);
+                        partial
                     })
                 })
                 .collect();
@@ -109,89 +116,22 @@ impl SimulatedCluster {
         });
         // Aggregate (the result shuffle back to the driver).
         std::thread::sleep(self.config.aggregate_latency);
-        let mut sizes = vec![0.0; k];
-        let mut errors = vec![0.0; k];
-        let mut max_errors = vec![0.0; k];
-        for p in partials {
+        let mut partials = partials.into_iter();
+        let (mut sizes, mut errors, mut max_errors) =
+            partials.next().expect("at least one partition");
+        for (ps, pe, pm) in partials {
             for j in 0..k {
-                sizes[j] += p.sizes[j];
-                errors[j] += p.errors[j];
-                if p.max_errors[j] > max_errors[j] {
-                    max_errors[j] = p.max_errors[j];
+                sizes[j] += ps[j];
+                errors[j] += pe[j];
+                if pm[j] > max_errors[j] {
+                    max_errors[j] = pm[j];
                 }
             }
+            exec.put_f64(ps);
+            exec.put_f64(pe);
+            exec.put_f64(pm);
         }
         (sizes, errors, max_errors)
-    }
-}
-
-/// One node's scan of its partition: fused match counting with the node's
-/// local thread pool.
-fn node_evaluate(
-    x: &CsrMatrix,
-    errors: &[f64],
-    slices: &[Vec<u32>],
-    level: usize,
-    threads: usize,
-) -> Partial {
-    let k = slices.len();
-    let mut inv: Vec<Vec<u32>> = vec![Vec::new(); x.cols()];
-    for (sid, cols) in slices.iter().enumerate() {
-        for &c in cols {
-            inv[c as usize].push(sid as u32);
-        }
-    }
-    let par = ParallelConfig::new(threads);
-    // Accumulator carries per-worker scratch (match counts + touched
-    // list) so each row costs O(slice hits), not O(hits²).
-    let (sizes, errs, maxes, _, _) = par.par_reduce(
-        x.rows(),
-        (
-            vec![0.0; k],
-            vec![0.0; k],
-            vec![0.0; k],
-            vec![0u32; k],
-            Vec::<u32>::new(),
-        ),
-        |mut acc, r| {
-            let e = errors[r];
-            for &c in x.row_cols(r) {
-                for &sid in &inv[c as usize] {
-                    if acc.3[sid as usize] == 0 {
-                        acc.4.push(sid);
-                    }
-                    acc.3[sid as usize] += 1;
-                }
-            }
-            for i in 0..acc.4.len() {
-                let sid = acc.4[i] as usize;
-                if acc.3[sid] as usize == level {
-                    acc.0[sid] += 1.0;
-                    acc.1[sid] += e;
-                    if e > acc.2[sid] {
-                        acc.2[sid] = e;
-                    }
-                }
-                acc.3[sid] = 0;
-            }
-            acc.4.clear();
-            acc
-        },
-        |mut a, b| {
-            for j in 0..a.0.len() {
-                a.0[j] += b.0[j];
-                a.1[j] += b.1[j];
-                if b.2[j] > a.2[j] {
-                    a.2[j] = b.2[j];
-                }
-            }
-            a
-        },
-    );
-    Partial {
-        sizes,
-        errors: errs,
-        max_errors: maxes,
     }
 }
 
@@ -205,7 +145,9 @@ mod tests {
             .map(|i| vec![(i % 3) as u32, 3 + (i % 2) as u32])
             .collect();
         let x = CsrMatrix::from_binary_rows(6, &rows).unwrap();
-        let e: Vec<f64> = (0..40).map(|i| if i % 6 == 0 { 1.0 } else { 0.1 }).collect();
+        let e: Vec<f64> = (0..40)
+            .map(|i| if i % 6 == 0 { 1.0 } else { 0.1 })
+            .collect();
         (x, e)
     }
 
@@ -225,10 +167,17 @@ mod tests {
         let slices = [vec![0, 3], vec![1, 4], vec![2, 3], vec![0], vec![4]];
         // Mixed-arity slices are evaluated per level; use level-2 set.
         let l2: Vec<Vec<u32>> = slices[..3].to_vec();
-        let single = SimulatedCluster::new(fast_config(1), &x, &e).evaluate_slices(&l2, 2);
+        let single = SimulatedCluster::new(fast_config(1), &x, &e).evaluate_slices(
+            &l2,
+            2,
+            &ExecContext::serial(),
+        );
         for nodes in [2, 4, 7] {
-            let multi =
-                SimulatedCluster::new(fast_config(nodes), &x, &e).evaluate_slices(&l2, 2);
+            let multi = SimulatedCluster::new(fast_config(nodes), &x, &e).evaluate_slices(
+                &l2,
+                2,
+                &ExecContext::serial(),
+            );
             assert_eq!(multi.0, single.0, "sizes differ at {nodes} nodes");
             // Error sums may differ by float association across partitions.
             for (a, b) in multi.1.iter().zip(single.1.iter()) {
@@ -242,7 +191,7 @@ mod tests {
     fn statistics_are_correct() {
         let (x, e) = fixture();
         let cluster = SimulatedCluster::new(fast_config(3), &x, &e);
-        let (ss, se, sm) = cluster.evaluate_slices(&[vec![0, 3]], 2);
+        let (ss, se, sm) = cluster.evaluate_slices(&[vec![0, 3]], 2, &ExecContext::serial());
         // Rows with i%3==0 and i%2==0 -> i%6==0: rows 0,6,12,18,24,30,36.
         assert_eq!(ss, vec![7.0]);
         assert!((se[0] - 7.0).abs() < 1e-12);
@@ -253,7 +202,7 @@ mod tests {
     fn empty_slices_no_work() {
         let (x, e) = fixture();
         let cluster = SimulatedCluster::new(fast_config(2), &x, &e);
-        let (ss, se, sm) = cluster.evaluate_slices(&[], 2);
+        let (ss, se, sm) = cluster.evaluate_slices(&[], 2, &ExecContext::serial());
         assert!(ss.is_empty() && se.is_empty() && sm.is_empty());
     }
 

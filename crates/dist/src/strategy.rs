@@ -16,7 +16,7 @@ use sliceline::prepare::prepare;
 use sliceline::stats::{LevelStats, RunStats};
 use sliceline::topk::TopK;
 use sliceline::{Result, SliceLineResult};
-use sliceline_linalg::{CsrMatrix, ParallelConfig};
+use sliceline_linalg::{CsrMatrix, ExecContext, Stage};
 use std::time::Instant;
 
 /// How slice evaluation is parallelized.
@@ -44,6 +44,10 @@ pub enum Strategy {
 
 /// Evaluates one level of slices under the given strategy, returning the
 /// scored [`LevelState`].
+///
+/// All strategies draw scratch buffers from (and report telemetry to)
+/// `exec`; thread counts come from the strategy, realized as
+/// [`ExecContext::with_threads`] views over the shared context.
 pub fn evaluate_with_strategy(
     x: &CsrMatrix,
     errors: &[f64],
@@ -51,6 +55,7 @@ pub fn evaluate_with_strategy(
     level: usize,
     ctx: &sliceline::ScoringContext,
     strategy: &Strategy,
+    exec: &ExecContext,
 ) -> LevelState {
     match *strategy {
         Strategy::MtOps {
@@ -63,7 +68,7 @@ pub fn evaluate_with_strategy(
             level,
             ctx,
             EvalKernel::Blocked { block_size },
-            &ParallelConfig::new(threads),
+            &exec.with_threads(threads),
         ),
         Strategy::MtParfor {
             threads,
@@ -82,10 +87,12 @@ pub fn evaluate_with_strategy(
                 .filter(|&(lo, hi)| lo < hi)
                 .collect();
             let slice_refs = &slices;
+            let worker_exec = exec.with_threads(1);
             let parts: Vec<LevelState> = std::thread::scope(|scope| {
                 let handles: Vec<_> = ranges
                     .into_iter()
                     .map(|(lo, hi)| {
+                        let we = worker_exec.clone();
                         scope.spawn(move || {
                             evaluate_slices(
                                 x,
@@ -94,7 +101,7 @@ pub fn evaluate_with_strategy(
                                 level,
                                 ctx,
                                 EvalKernel::Blocked { block_size },
-                                &ParallelConfig::serial(),
+                                &we,
                             )
                         })
                     })
@@ -116,7 +123,7 @@ pub fn evaluate_with_strategy(
         }
         Strategy::DistParfor(config) => {
             let cluster = SimulatedCluster::new(config, x, errors);
-            let (sizes, errs, max_errs) = cluster.evaluate_slices(&slices, level);
+            let (sizes, errs, max_errs) = cluster.evaluate_slices(&slices, level, exec);
             let scores = ctx.score_all(&sizes, &errs);
             LevelState {
                 slices,
@@ -151,7 +158,10 @@ impl DistSliceLine {
         errors: &[f64],
     ) -> Result<SliceLineResult> {
         let start = Instant::now();
-        let prepared = prepare(x0, errors, &self.config)?;
+        let exec = self.config.exec_context();
+        exec.reset_stats();
+        let prepared = prepare(x0, errors, &self.config, &exec)?;
+        exec.add_prepare(start.elapsed());
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -159,11 +169,14 @@ impl DistSliceLine {
             l: prepared.l(),
             ..Default::default()
         };
+        exec.begin_level(1);
         let lvl_start = Instant::now();
-        let (proj, mut level) = create_and_score_basic_slices(&prepared);
+        let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
+            create_and_score_basic_slices(&prepared, &exec)
+        });
         stats.basic_slices = level.len();
         let mut topk = TopK::new(self.config.k, prepared.sigma);
-        topk.update(&level);
+        exec.time_stage(Stage::TopK, || topk.update(&level));
         stats.levels.push(LevelStats {
             level: 1,
             candidates: prepared.l(),
@@ -176,34 +189,39 @@ impl DistSliceLine {
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
             l += 1;
+            exec.begin_level(l);
             let lvl_start = Instant::now();
-            let (candidates, enum_stats) = get_pair_candidates(
-                &level,
-                l,
-                &proj.col_feature,
-                proj.x.cols(),
-                &prepared.ctx,
-                prepared.sigma,
-                &self.config.pruning,
-                &topk,
-            );
+            let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
+                get_pair_candidates(
+                    &level,
+                    l,
+                    &proj.col_feature,
+                    proj.x.cols(),
+                    &prepared.ctx,
+                    prepared.sigma,
+                    &self.config.pruning,
+                    &topk,
+                    &exec,
+                )
+            });
             let evaluated = candidates.len();
-            level = evaluate_with_strategy(
-                &proj.x,
-                &prepared.errors,
-                candidates,
-                l,
-                &prepared.ctx,
-                &self.strategy,
-            );
-            topk.update(&level);
+            level = exec.time_stage(Stage::Evaluate, || {
+                evaluate_with_strategy(
+                    &proj.x,
+                    &prepared.errors,
+                    candidates,
+                    l,
+                    &prepared.ctx,
+                    &self.strategy,
+                    &exec,
+                )
+            });
+            exec.time_stage(Stage::TopK, || topk.update(&level));
             stats.levels.push(LevelStats {
                 level: l,
                 candidates: evaluated,
                 valid: (0..level.len())
-                    .filter(|&i| {
-                        level.sizes[i] >= prepared.sigma as f64 && level.errors[i] > 0.0
-                    })
+                    .filter(|&i| level.sizes[i] >= prepared.sigma as f64 && level.errors[i] > 0.0)
                     .count(),
                 enumeration: Some(enum_stats),
                 elapsed: lvl_start.elapsed(),
@@ -211,6 +229,7 @@ impl DistSliceLine {
             });
         }
         stats.total_elapsed = start.elapsed();
+        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
         // Decode via the same predicate mapping as the core driver.
         let top_k = topk
             .entries()
@@ -343,7 +362,15 @@ mod tests {
                 block_size: 2,
             },
         ] {
-            let out = evaluate_with_strategy(&x, &[1.0; 4], Vec::new(), 2, &ctx, &s);
+            let out = evaluate_with_strategy(
+                &x,
+                &[1.0; 4],
+                Vec::new(),
+                2,
+                &ctx,
+                &s,
+                &ExecContext::serial(),
+            );
             assert!(out.is_empty());
         }
     }

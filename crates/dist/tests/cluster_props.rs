@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sliceline_dist::{ClusterConfig, PartitionedMatrix, SimulatedCluster};
-use sliceline_linalg::CsrMatrix;
+use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::time::Duration;
 
 /// A random one-hot-ish matrix (2 features) plus aligned errors and a
@@ -14,23 +14,19 @@ fn workload() -> impl Strategy<Value = (CsrMatrix, Vec<f64>, Vec<Vec<u32>>)> {
         let rows = proptest::collection::vec((0..d0, 0..d1), n..=n);
         let errors =
             proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(2.0)], n..=n);
-        (rows, errors, Just((d0, d1)))
-            .prop_map(move |(codes, errors, (d0, d1))| {
-                let cols = (d0 + d1) as usize;
-                let row_lists: Vec<Vec<u32>> = codes
-                    .iter()
-                    .map(|&(a, b)| vec![a, d0 + b])
-                    .collect();
-                let x = CsrMatrix::from_binary_rows(cols, &row_lists).unwrap();
-                // All cross-feature pairs as level-2 slices.
-                let mut slices = Vec::new();
-                for a in 0..d0 {
-                    for b in 0..d1 {
-                        slices.push(vec![a, d0 + b]);
-                    }
+        (rows, errors, Just((d0, d1))).prop_map(move |(codes, errors, (d0, d1))| {
+            let cols = (d0 + d1) as usize;
+            let row_lists: Vec<Vec<u32>> = codes.iter().map(|&(a, b)| vec![a, d0 + b]).collect();
+            let x = CsrMatrix::from_binary_rows(cols, &row_lists).unwrap();
+            // All cross-feature pairs as level-2 slices.
+            let mut slices = Vec::new();
+            for a in 0..d0 {
+                for b in 0..d1 {
+                    slices.push(vec![a, d0 + b]);
                 }
-                (x, errors, slices)
-            })
+            }
+            (x, errors, slices)
+        })
     })
 }
 
@@ -54,9 +50,9 @@ proptest! {
         threads in 1usize..3,
     ) {
         let single = SimulatedCluster::new(fast_cluster(1, 1), &x, &errors)
-            .evaluate_slices(&slices, 2);
+            .evaluate_slices(&slices, 2, &ExecContext::serial());
         let multi = SimulatedCluster::new(fast_cluster(nodes, threads), &x, &errors)
-            .evaluate_slices(&slices, 2);
+            .evaluate_slices(&slices, 2, &ExecContext::serial());
         prop_assert_eq!(&multi.0, &single.0);
         for (a, b) in multi.1.iter().zip(single.1.iter()) {
             prop_assert!((a - b).abs() < 1e-9);
@@ -67,12 +63,12 @@ proptest! {
             let mut size = 0.0;
             let mut err = 0.0;
             let mut max: f64 = 0.0;
-            for r in 0..x.rows() {
+            for (r, &e) in errors.iter().enumerate().take(x.rows()) {
                 let row = x.row_cols(r);
                 if cols.iter().all(|c| row.contains(c)) {
                     size += 1.0;
-                    err += errors[r];
-                    max = max.max(errors[r]);
+                    err += e;
+                    max = max.max(e);
                 }
             }
             prop_assert_eq!(single.0[i], size);

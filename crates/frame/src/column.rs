@@ -35,10 +35,7 @@ impl fmt::Display for FrameError {
                 column,
                 len,
                 expected,
-            } => write!(
-                f,
-                "column '{column}' has {len} rows, expected {expected}"
-            ),
+            } => write!(f, "column '{column}' has {len} rows, expected {expected}"),
             FrameError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
             FrameError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
             FrameError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
@@ -269,7 +266,8 @@ mod tests {
     #[test]
     fn remove_column_splits_labels() {
         let mut df = DataFrame::new();
-        df.add_column("feature", Column::Numeric(vec![1.0])).unwrap();
+        df.add_column("feature", Column::Numeric(vec![1.0]))
+            .unwrap();
         df.add_column("label", Column::Numeric(vec![9.0])).unwrap();
         let label = df.remove_column("label").unwrap();
         assert_eq!(label, Column::Numeric(vec![9.0]));

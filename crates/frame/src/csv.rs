@@ -93,7 +93,11 @@ pub fn read_csv(text: &str, sep: char, has_header: bool) -> Result<DataFrame> {
         return Ok(DataFrame::new());
     }
     let names: Vec<String> = if has_header {
-        records.remove(0).iter().map(|s| s.trim().to_string()).collect()
+        records
+            .remove(0)
+            .iter()
+            .map(|s| s.trim().to_string())
+            .collect()
     } else {
         (0..records[0].len()).map(|i| format!("c{i}")).collect()
     };

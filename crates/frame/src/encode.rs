@@ -363,10 +363,7 @@ mod tests {
         let mut df = DataFrame::new();
         df.add_column("x", Column::Numeric(vec![1.0])).unwrap();
         let enc = DatasetEncoder::with_label("nope");
-        assert!(matches!(
-            enc.encode(&df),
-            Err(FrameError::UnknownColumn(_))
-        ));
+        assert!(matches!(enc.encode(&df), Err(FrameError::UnknownColumn(_))));
     }
 
     #[test]

@@ -46,10 +46,7 @@ impl IntMatrix {
             if v == 0 || v > domains[j] {
                 return Err(FrameError::Parse {
                     line: i / cols + 1,
-                    reason: format!(
-                        "code {v} out of range [1, {}] for feature {j}",
-                        domains[j]
-                    ),
+                    reason: format!("code {v} out of range [1, {}] for feature {j}", domains[j]),
                 });
             }
         }

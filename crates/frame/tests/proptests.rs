@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use sliceline_frame::csv::read_csv;
 use sliceline_frame::onehot::{one_hot_encode, one_hot_via_table};
-use sliceline_frame::{
-    BinningStrategy, Column, DataFrame, DatasetEncoder, FeatureKind, IntMatrix,
-};
+use sliceline_frame::{BinningStrategy, Column, DataFrame, DatasetEncoder, FeatureKind, IntMatrix};
 
 fn int_matrix_strategy() -> impl Strategy<Value = IntMatrix> {
     (1usize..=5, 1usize..=30).prop_flat_map(|(m, n)| {

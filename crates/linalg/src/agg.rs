@@ -9,9 +9,9 @@
 //! the maximum exactly as in SystemDS — a column whose stored values are
 //! all negative but that has at least one implicit zero reports max 0.
 
+use crate::context::ExecContext;
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
-use crate::parallel::ParallelConfig;
 
 /// Column sums of a dense matrix, returned as a vector of length `cols`.
 pub fn col_sums_dense(m: &DenseMatrix) -> Vec<f64> {
@@ -81,9 +81,10 @@ pub fn col_sums_csr(m: &CsrMatrix) -> Vec<f64> {
 }
 
 /// Parallel column sums of a CSR matrix: workers accumulate over disjoint
-/// row ranges into private buffers that are then combined.
-pub fn col_sums_csr_parallel(m: &CsrMatrix, par: &ParallelConfig) -> Vec<f64> {
-    par.par_reduce(
+/// row ranges into private buffers that are then combined. Fan-out comes
+/// from the execution context.
+pub fn col_sums_csr_parallel(m: &CsrMatrix, exec: &ExecContext) -> Vec<f64> {
+    exec.parallel().par_reduce(
         m.rows(),
         vec![0.0; m.cols()],
         |mut acc, r| {
@@ -130,9 +131,7 @@ pub fn col_maxs_csr(m: &CsrMatrix) -> Vec<f64> {
 
 /// Row sums of a CSR matrix.
 pub fn row_sums_csr(m: &CsrMatrix) -> Vec<f64> {
-    (0..m.rows())
-        .map(|r| m.row(r).1.iter().sum())
-        .collect()
+    (0..m.rows()).map(|r| m.row(r).1.iter().sum()).collect()
 }
 
 /// Row maxima of a CSR matrix with implicit-zero participation.
@@ -229,7 +228,7 @@ mod tests {
         let s = CsrMatrix::from_dense(&d);
         for threads in [1, 2, 4] {
             assert_eq!(
-                col_sums_csr_parallel(&s, &ParallelConfig::new(threads)),
+                col_sums_csr_parallel(&s, &ExecContext::new(threads)),
                 col_sums_csr(&s)
             );
         }

@@ -10,9 +10,13 @@
 //! per-block overhead dominates when most blocks hold a handful of
 //! non-zeros, exactly the effect the paper reports.
 
+use crate::context::ExecContext;
 use crate::csr::CsrMatrix;
 use crate::error::{LinalgError, Result};
 use std::collections::BTreeMap;
+
+/// Block-local `(row, col, value)` triplets keyed by block coordinate.
+type BlockTriplets = BTreeMap<(usize, usize), Vec<(usize, usize, f64)>>;
 
 /// A sparse matrix tiled into `block_size × block_size` CSR blocks.
 ///
@@ -44,7 +48,7 @@ impl BlockedMatrix {
             });
         }
         // Gather triplets per block.
-        let mut per_block: BTreeMap<(usize, usize), Vec<(usize, usize, f64)>> = BTreeMap::new();
+        let mut per_block: BlockTriplets = BTreeMap::new();
         for r in 0..m.rows() {
             let (cols, vals) = m.row(r);
             let br = r / block_size;
@@ -157,6 +161,48 @@ impl BlockedMatrix {
         Ok(out)
     }
 
+    /// Parallel blocked matrix–vector product: block *rows* are
+    /// independent output segments, so the execution context fans them
+    /// out across threads with no write contention.
+    pub fn matvec_parallel(&self, v: &[f64], exec: &ExecContext) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "blocked_matvec_parallel",
+                lhs: (self.rows, self.cols),
+                rhs: (v.len(), 1),
+            });
+        }
+        // Group present blocks by block row; each group owns a disjoint
+        // output segment.
+        let mut by_brow: BTreeMap<usize, Vec<(usize, &CsrMatrix)>> = BTreeMap::new();
+        for (&(br, bc), block) in &self.blocks {
+            by_brow.entry(br).or_default().push((bc, block));
+        }
+        let groups: Vec<(usize, Vec<(usize, &CsrMatrix)>)> = by_brow.into_iter().collect();
+        let segments = exec.parallel().par_map(groups.len(), |g| {
+            let (br, blocks) = &groups[g];
+            let r0 = br * self.block_size;
+            let seg_len = block_dim(self.rows, *br, self.block_size);
+            let mut seg = vec![0.0; seg_len];
+            for (bc, block) in blocks {
+                let c0 = bc * self.block_size;
+                let vseg = &v[c0..(c0 + block.cols())];
+                let partial = block
+                    .matvec(vseg)
+                    .expect("block shapes are consistent by construction");
+                for (i, p) in partial.into_iter().enumerate() {
+                    seg[i] += p;
+                }
+            }
+            (r0, seg)
+        });
+        let mut out = vec![0.0; self.rows];
+        for (r0, seg) in segments {
+            out[r0..r0 + seg.len()].copy_from_slice(&seg);
+        }
+        Ok(out)
+    }
+
     /// Blocked sparse-sparse product `self * rhs` — block rows of `self`
     /// join block columns of `rhs` over the shared block index, mirroring
     /// the distributed join-and-aggregate plan Spark executes.
@@ -236,9 +282,7 @@ mod tests {
 
     fn sample(rows: usize, cols: usize) -> CsrMatrix {
         let triplets: Vec<(usize, usize, f64)> = (0..rows)
-            .flat_map(|r| {
-                [(r, r % cols, 1.0 + r as f64), (r, (r * 3 + 1) % cols, 2.0)]
-            })
+            .flat_map(|r| [(r, r % cols, 1.0 + r as f64), (r, (r * 3 + 1) % cols, 2.0)])
             .collect();
         CsrMatrix::from_triplets(rows, cols, &triplets).unwrap()
     }
@@ -270,6 +314,21 @@ mod tests {
     }
 
     #[test]
+    fn matvec_parallel_matches_serial() {
+        let m = sample(23, 7);
+        let v: Vec<f64> = (0..7).map(|i| 0.5 * i as f64 - 1.0).collect();
+        let blocked = BlockedMatrix::from_csr(&m, 4).unwrap();
+        let expect = blocked.matvec(&v).unwrap();
+        for threads in [1, 2, 4] {
+            let exec = ExecContext::new(threads);
+            assert_eq!(blocked.matvec_parallel(&v, &exec).unwrap(), expect);
+        }
+        assert!(blocked
+            .matvec_parallel(&[1.0], &ExecContext::serial())
+            .is_err());
+    }
+
+    #[test]
     fn matmul_matches_flat_spgemm() {
         let a = sample(6, 5);
         let b = sample(5, 4);
@@ -292,8 +351,7 @@ mod tests {
     fn ultra_sparse_block_overhead_metrics() {
         // A diagonal-ish ultra-sparse matrix: every block holds ~1 nnz.
         let n = 64;
-        let triplets: Vec<(usize, usize, f64)> =
-            (0..n).map(|i| (i, i, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f64)> = (0..n).map(|i| (i, i, 1.0)).collect();
         let m = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
         let blocked = BlockedMatrix::from_csr(&m, 4).unwrap();
         // Only the diagonal block slots materialize.

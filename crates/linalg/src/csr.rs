@@ -123,12 +123,16 @@ impl CsrMatrix {
     ///
     /// Returns an error if any row list is unsorted, has duplicates, or
     /// references a column `>= cols`.
-    pub fn from_binary_rows(cols: usize, rows: &[Vec<u32>]) -> Result<Self> {
-        let nnz: usize = rows.iter().map(|r| r.len()).sum();
+    ///
+    /// Accepts any slice of column lists (`&[Vec<u32>]`, `&[&[u32]]`, …)
+    /// so callers can build from borrowed rows without cloning.
+    pub fn from_binary_rows<R: AsRef<[u32]>>(cols: usize, rows: &[R]) -> Result<Self> {
+        let nnz: usize = rows.iter().map(|r| r.as_ref().len()).sum();
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         row_ptr.push(0);
         let mut col_idx = Vec::with_capacity(nnz);
         for (i, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
             for w in r.windows(2) {
                 if w[0] >= w[1] {
                     return Err(LinalgError::InvalidData {
@@ -470,7 +474,11 @@ impl CsrMatrix {
                 rhs: bottom.shape(),
             });
         }
-        let cols = if self.rows == 0 { bottom.cols } else { self.cols };
+        let cols = if self.rows == 0 {
+            bottom.cols
+        } else {
+            self.cols
+        };
         let mut row_ptr = self.row_ptr.clone();
         let offset = self.nnz();
         row_ptr.extend(bottom.row_ptr.iter().skip(1).map(|&p| p + offset));
@@ -556,8 +564,9 @@ mod tests {
 
     #[test]
     fn triplets_sum_duplicates_and_drop_zero() {
-        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, 2.0), (0, 1, 1.0), (0, 1, -1.0)])
-            .unwrap();
+        let m =
+            CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 0, 2.0), (0, 1, 1.0), (0, 1, -1.0)])
+                .unwrap();
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 3.0);
         assert_eq!(m.get(0, 1), 0.0);

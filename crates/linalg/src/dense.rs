@@ -5,8 +5,8 @@
 //! (slice statistics `R`), and as a readable reference implementation that
 //! the sparse kernels are property-tested against.
 
+use crate::context::ExecContext;
 use crate::error::{LinalgError, Result};
-use crate::parallel::ParallelConfig;
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -216,8 +216,8 @@ impl DenseMatrix {
     }
 
     /// Parallel dense matrix multiplication, splitting the output rows
-    /// across the threads configured in `par`.
-    pub fn matmul_parallel(&self, rhs: &DenseMatrix, par: &ParallelConfig) -> Result<DenseMatrix> {
+    /// across the execution context's threads.
+    pub fn matmul_parallel(&self, rhs: &DenseMatrix, exec: &ExecContext) -> Result<DenseMatrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_parallel",
@@ -228,22 +228,23 @@ impl DenseMatrix {
         let out_cols = rhs.cols;
         let mut out = DenseMatrix::zeros(self.rows, out_cols);
         let lhs = self;
-        par.run_on_chunks(&mut out.data, out_cols, |row0, chunk| {
-            let nrows = chunk.len() / out_cols;
-            for i in 0..nrows {
-                let arow = lhs.row(row0 + i);
-                let orow = &mut chunk[i * out_cols..(i + 1) * out_cols];
-                for (k, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &rhs.data[k * out_cols..(k + 1) * out_cols];
-                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                        *o += a * b;
+        exec.parallel()
+            .run_on_chunks(&mut out.data, out_cols, |row0, chunk| {
+                let nrows = chunk.len() / out_cols;
+                for i in 0..nrows {
+                    let arow = lhs.row(row0 + i);
+                    let orow = &mut chunk[i * out_cols..(i + 1) * out_cols];
+                    for (k, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &rhs.data[k * out_cols..(k + 1) * out_cols];
+                        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
                     }
                 }
-            }
-        });
+            });
         Ok(out)
     }
 
@@ -351,7 +352,11 @@ impl DenseMatrix {
                 rhs: bottom.shape(),
             });
         }
-        let cols = if self.rows == 0 { bottom.cols } else { self.cols };
+        let cols = if self.rows == 0 {
+            bottom.cols
+        } else {
+            self.cols
+        };
         let mut data = Vec::with_capacity((self.rows + bottom.rows) * cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&bottom.data);
@@ -533,8 +538,8 @@ mod tests {
         let a = DenseMatrix::from_vec(4, 3, (0..12).map(|x| x as f64).collect()).unwrap();
         let b = DenseMatrix::from_vec(3, 5, (0..15).map(|x| (x * 2) as f64).collect()).unwrap();
         let serial = a.matmul(&b).unwrap();
-        let par = ParallelConfig::new(3);
-        let parallel = a.matmul_parallel(&b, &par).unwrap();
+        let exec = ExecContext::new(3);
+        let parallel = a.matmul_parallel(&b, &exec).unwrap();
         assert_eq!(serial, parallel);
     }
 

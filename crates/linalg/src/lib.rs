@@ -20,16 +20,20 @@
 //! * SystemDS-style block-partitioned matrices ([`blocked`]) modelling
 //!   the paper's distributed 1K×1K block storage,
 //! * a small dense Cholesky solver for the ML substrate ([`solve`]),
-//! * a scoped-thread parallel-for helper ([`parallel`]).
+//! * a scoped-thread parallel-for helper ([`parallel`]),
+//! * a unified execution context — thread pool + scratch-buffer reuse +
+//!   per-level telemetry — that every kernel entry point takes
+//!   ([`context`]).
 //!
-//! Everything is implemented from scratch on `std` (plus `crossbeam` for
-//! scoped threads); no BLAS or external matrix crates are used.
+//! Everything is implemented from scratch on `std` scoped threads; no
+//! BLAS or external matrix crates are used.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod agg;
 pub mod blocked;
+pub mod context;
 pub mod csr;
 pub mod dense;
 pub mod error;
@@ -40,6 +44,7 @@ pub mod table;
 pub mod vector;
 
 pub use blocked::BlockedMatrix;
+pub use context::{ExecContext, ExecStats, LevelProfile, PoolStats, Stage};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};

@@ -231,8 +231,12 @@ mod tests {
     #[test]
     fn par_reduce_sums() {
         for threads in [1, 2, 5] {
-            let total =
-                ParallelConfig::new(threads).par_reduce(100, 0u64, |a, i| a + i as u64, |a, b| a + b);
+            let total = ParallelConfig::new(threads).par_reduce(
+                100,
+                0u64,
+                |a, i| a + i as u64,
+                |a, b| a + b,
+            );
             assert_eq!(total, 4950);
         }
     }

@@ -153,12 +153,7 @@ mod tests {
 
     fn spd3() -> DenseMatrix {
         // A = B Bᵀ + I for a simple B, guaranteed SPD.
-        DenseMatrix::from_vec(
-            3,
-            3,
-            vec![5.0, 2.0, 1.0, 2.0, 6.0, 3.0, 1.0, 3.0, 7.0],
-        )
-        .unwrap()
+        DenseMatrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 3.0, 1.0, 3.0, 7.0]).unwrap()
     }
 
     #[test]
@@ -172,8 +167,7 @@ mod tests {
     #[test]
     fn cholesky_rejects_not_square_and_not_spd() {
         assert!(cholesky(&DenseMatrix::zeros(2, 3)).is_err());
-        let indef =
-            DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        let indef = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
         assert!(matches!(
             cholesky(&indef),
             Err(LinalgError::NotPositiveDefinite { .. })
@@ -182,8 +176,7 @@ mod tests {
 
     #[test]
     fn triangular_solves() {
-        let l =
-            DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]).unwrap();
+        let l = DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 1.0, 3.0]).unwrap();
         let x = solve_lower(&l, &[4.0, 11.0]).unwrap();
         assert_eq!(x, vec![2.0, 3.0]);
         // Lᵀ x = b
@@ -207,12 +200,7 @@ mod tests {
     #[test]
     fn normal_equations_recover_exact_fit() {
         // y = 2*x1 - 3*x2 exactly; tiny ridge keeps SPD.
-        let x = DenseMatrix::from_vec(
-            4,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0],
-        )
-        .unwrap();
+        let x = DenseMatrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 1.0]).unwrap();
         let y: Vec<f64> = (0..4)
             .map(|r| 2.0 * x.get(r, 0) - 3.0 * x.get(r, 1))
             .collect();

@@ -12,10 +12,10 @@
 //! * general `A ⊙ B` sparse-sparse products ([`spgemm`]) used by the
 //!   reference (pure linear algebra) backend.
 
+use crate::context::ExecContext;
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{LinalgError, Result};
-use crate::parallel::ParallelConfig;
 
 /// General sparse × sparse product `a * b` using the classic Gustavson
 /// row-wise algorithm with a dense accumulator of size `b.cols()`.
@@ -134,8 +134,7 @@ pub fn self_overlap_pairs_eq(s: &CsrMatrix, target: usize) -> Result<Vec<(usize,
         });
     }
     let st = s.transpose();
-    let mut counts: std::collections::HashMap<(u32, u32), usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
     for c in 0..st.rows() {
         let rows = st.row_cols(c);
         for (a, &i) in rows.iter().enumerate() {
@@ -214,12 +213,32 @@ pub fn count_matches_block(
 
 /// Parallel variant of [`count_matches_block`]: row partitions of `X` are
 /// processed by separate threads writing disjoint chunks of the output.
+/// Parallelism comes from the execution context; the `rows × b`
+/// intermediate is checked out of the context's scratch pool.
 pub fn count_matches_block_parallel(
     x: &CsrMatrix,
     slices: &CsrMatrix,
     block: std::ops::Range<usize>,
-    par: &ParallelConfig,
+    exec: &ExecContext,
 ) -> Result<DenseMatrix> {
+    let mut buf = exec.take_f64(0);
+    let b = count_matches_block_into(x, slices, block, exec, &mut buf)?;
+    // Ownership of the scratch transfers into the returned matrix, so it
+    // is intentionally not returned to the pool here.
+    DenseMatrix::from_vec(x.rows(), b, buf)
+}
+
+/// Core of [`count_matches_block_parallel`] writing into a caller-owned
+/// flat `rows × b` row-major buffer (resized and zeroed here), so the
+/// level loop can reuse one scratch allocation across all blocks and
+/// levels. Returns the block width `b`.
+pub fn count_matches_block_into(
+    x: &CsrMatrix,
+    slices: &CsrMatrix,
+    block: std::ops::Range<usize>,
+    exec: &ExecContext,
+    out: &mut Vec<f64>,
+) -> Result<usize> {
     if x.cols() != slices.cols() {
         return Err(LinalgError::ShapeMismatch {
             op: "count_matches_block_parallel",
@@ -241,9 +260,13 @@ pub fn count_matches_block_parallel(
             inv[c as usize].push(local as u32);
         }
     }
-    let mut out = DenseMatrix::zeros(x.rows(), b);
+    out.clear();
+    out.resize(x.rows() * b, 0.0);
+    if b == 0 {
+        return Ok(0);
+    }
     let inv_ref = &inv;
-    par.run_on_chunks(out.data_mut(), b, |row0, chunk| {
+    exec.parallel().run_on_chunks(out, b, |row0, chunk| {
         let rows = chunk.len() / b;
         for i in 0..rows {
             let orow = &mut chunk[i * b..(i + 1) * b];
@@ -254,7 +277,7 @@ pub fn count_matches_block_parallel(
             }
         }
     });
-    Ok(out)
+    Ok(b)
 }
 
 #[cfg(test)]
@@ -279,10 +302,7 @@ mod tests {
     fn sp_dense_matches_dense() {
         let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
         let b = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
-        assert_eq!(
-            sp_dense(&a, &b).unwrap(),
-            a.to_dense().matmul(&b).unwrap()
-        );
+        assert_eq!(sp_dense(&a, &b).unwrap(), a.to_dense().matmul(&b).unwrap());
         let bad = DenseMatrix::zeros(2, 2);
         assert!(sp_dense(&a, &bad).is_err());
     }
@@ -355,9 +375,29 @@ mod tests {
         let s = binary(&[vec![0, 5], vec![1, 6], vec![2], vec![0, 6]], 8);
         let serial = count_matches_block(&x, &s, 0..4).unwrap();
         for threads in [1, 2, 4] {
-            let par = count_matches_block_parallel(&x, &s, 0..4, &ParallelConfig::new(threads))
-                .unwrap();
+            let par =
+                count_matches_block_parallel(&x, &s, 0..4, &ExecContext::new(threads)).unwrap();
             assert_eq!(par, serial);
         }
+    }
+
+    #[test]
+    fn count_matches_into_reuses_scratch() {
+        let x = binary(
+            &(0..20)
+                .map(|i| vec![(i % 4) as u32, 4 + (i % 2) as u32])
+                .collect::<Vec<_>>(),
+            6,
+        );
+        let s = binary(&[vec![0, 4], vec![1], vec![2, 5]], 6);
+        let exec = ExecContext::new(2);
+        let mut scratch = exec.take_f64(0);
+        // First fill leaves stale data; the second call must zero it.
+        let b = count_matches_block_into(&x, &s, 0..3, &exec, &mut scratch).unwrap();
+        assert_eq!(b, 3);
+        let expected = count_matches_block(&x, &s, 1..3).unwrap();
+        let b2 = count_matches_block_into(&x, &s, 1..3, &exec, &mut scratch).unwrap();
+        assert_eq!(b2, 2);
+        assert_eq!(&scratch[..], expected.data());
     }
 }

@@ -132,10 +132,7 @@ mod tests {
     fn indicators() {
         assert_eq!(ge_indicator(&[1.0, 2.0, 3.0], 2.0), vec![0.0, 1.0, 1.0]);
         assert_eq!(gt_indicator(&[1.0, 2.0, 3.0], 2.0), vec![0.0, 0.0, 1.0]);
-        assert_eq!(
-            and(&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]),
-            vec![1.0, 0.0, 0.0]
-        );
+        assert_eq!(and(&[1.0, 1.0, 0.0], &[1.0, 0.0, 1.0]), vec![1.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -5,12 +5,13 @@ use sliceline_linalg::{BlockedMatrix, CsrMatrix};
 
 fn csr_strategy() -> impl Strategy<Value = CsrMatrix> {
     (1usize..=12, 1usize..=12).prop_flat_map(|(r, c)| {
-        proptest::collection::vec((0..r, 0..c, -3.0f64..3.0), 0..=(r * c))
-            .prop_map(move |mut trips| {
+        proptest::collection::vec((0..r, 0..c, -3.0f64..3.0), 0..=(r * c)).prop_map(
+            move |mut trips| {
                 // Drop exact zeros to keep the nnz interpretation clean.
                 trips.retain(|t| t.2.abs() > 1e-6);
                 CsrMatrix::from_triplets(r, c, &trips).unwrap()
-            })
+            },
+        )
     })
 }
 

@@ -6,17 +6,18 @@ use sliceline_linalg::agg;
 use sliceline_linalg::spgemm::{self_overlap, self_overlap_pairs_eq, sp_dense, spgemm};
 use sliceline_linalg::table::{selection_matrix, table_from_pairs, upper_tri_eq};
 use sliceline_linalg::vector;
-use sliceline_linalg::{CsrMatrix, DenseMatrix, ParallelConfig};
+use sliceline_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 
 /// Random sparse matrix via triplets (duplicates intended — they test the
 /// summing path).
-fn csr_strategy(
-    max_rows: usize,
-    max_cols: usize,
-) -> impl Strategy<Value = CsrMatrix> {
+fn csr_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = CsrMatrix> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(
-            (0..r, 0..c, prop_oneof![Just(-2.0), Just(-1.0), Just(1.0), Just(2.0), Just(0.5)]),
+            (
+                0..r,
+                0..c,
+                prop_oneof![Just(-2.0), Just(-1.0), Just(1.0), Just(2.0), Just(0.5)],
+            ),
             0..=(r * c),
         )
         .prop_map(move |trips| CsrMatrix::from_triplets(r, c, &trips).unwrap())
@@ -90,7 +91,7 @@ proptest! {
     #[test]
     fn parallel_col_sums_equal_serial(m in csr_strategy(16, 8), threads in 1usize..6) {
         let serial = agg::col_sums_csr(&m);
-        let parallel = agg::col_sums_csr_parallel(&m, &ParallelConfig::new(threads));
+        let parallel = agg::col_sums_csr_parallel(&m, &ExecContext::new(threads));
         for (a, b) in serial.iter().zip(parallel.iter()) {
             prop_assert!((a - b).abs() < 1e-9);
         }

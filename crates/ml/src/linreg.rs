@@ -57,11 +57,10 @@ impl LinearRegression {
             }
         }
         let yc: Vec<f64> = y.iter().map(|&v| v - ymean).collect();
-        let weights = solve_normal_equations(&xc, &yc, lambda.max(1e-12)).map_err(|e| {
-            MlError::Numeric {
+        let weights =
+            solve_normal_equations(&xc, &yc, lambda.max(1e-12)).map_err(|e| MlError::Numeric {
                 reason: format!("normal equations failed: {e}"),
-            }
-        })?;
+            })?;
         let intercept = ymean
             - weights
                 .iter()
@@ -112,9 +111,7 @@ mod tests {
     #[test]
     fn recovers_linear_function() {
         // y = 3 + 2 x1 - x2 exactly.
-        let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i % 5) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 5) as f64]).collect();
         let x = DenseMatrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
         let m = LinearRegression::fit(&x, &y, 1e-8).unwrap();

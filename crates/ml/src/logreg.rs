@@ -299,10 +299,12 @@ mod tests {
         // Fractional label.
         assert!(MultinomialLogistic::fit(&x, &[0.5, 1.0], &LogisticConfig::default()).is_err());
         // Zero rows.
-        assert!(
-            MultinomialLogistic::fit(&DenseMatrix::zeros(0, 1), &[], &LogisticConfig::default())
-                .is_err()
-        );
+        assert!(MultinomialLogistic::fit(
+            &DenseMatrix::zeros(0, 1),
+            &[],
+            &LogisticConfig::default()
+        )
+        .is_err());
         let (xs, ys) = separable_2class();
         let m = MultinomialLogistic::fit(&xs, &ys, &LogisticConfig::default()).unwrap();
         assert!(m.predict(&DenseMatrix::zeros(1, 5)).is_err());

@@ -99,9 +99,7 @@ impl ClusterSlicer {
                             counts[x0.get(r, j) as usize - 1] += 1;
                         }
                     }
-                    if let Some((mode, &cnt)) =
-                        counts.iter().enumerate().max_by_key(|&(_, &v)| v)
-                    {
+                    if let Some((mode, &cnt)) = counts.iter().enumerate().max_by_key(|&(_, &v)| v) {
                         if cnt > 0 {
                             let new_code = mode as u32 + 1;
                             if cent[j] != new_code {

@@ -157,11 +157,11 @@ impl SliceFinder {
             // Var of complement via sum of squares decomposition.
             let total_ss = overall.var * (overall.n as f64 - 1.0)
                 + overall.n as f64 * overall.mean * overall.mean;
-            let slice_ss =
-                s.var * (s.n as f64 - 1.0) + s.n as f64 * s.mean * s.mean;
+            let slice_ss = s.var * (s.n as f64 - 1.0) + s.n as f64 * s.mean * s.mean;
             let rest_ss = total_ss - slice_ss;
-            let rest_var =
-                ((rest_ss - rest_n as f64 * rest_mean * rest_mean) / (rest_n as f64 - 1.0)).max(0.0);
+            let rest_var = ((rest_ss - rest_n as f64 * rest_mean * rest_mean)
+                / (rest_n as f64 - 1.0))
+                .max(0.0);
             let rest = Moments {
                 n: rest_n,
                 mean: rest_mean,
@@ -268,9 +268,10 @@ mod tests {
         assert!(!r.recommended.is_empty());
         // The planted predicates appear among the recommendations (the
         // 1-literal projections f0=1 / f1=1 are already significant).
-        let has_planted_component = r.recommended.iter().any(|s| {
-            s.predicates.contains(&(0, 1)) || s.predicates.contains(&(1, 1))
-        });
+        let has_planted_component = r
+            .recommended
+            .iter()
+            .any(|s| s.predicates.contains(&(0, 1)) || s.predicates.contains(&(1, 1)));
         assert!(has_planted_component, "got {:?}", r.recommended);
         for s in &r.recommended {
             assert!(s.effect_size >= 0.3);

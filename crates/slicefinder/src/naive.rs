@@ -124,16 +124,7 @@ impl NaiveEnumerator {
                     continue;
                 }
                 predicates.push((j, code));
-                self.dfs(
-                    x0,
-                    errors,
-                    j + 1,
-                    &sub,
-                    predicates,
-                    n,
-                    avg_error,
-                    results,
-                );
+                self.dfs(x0, errors, j + 1, &sub, predicates, n, avg_error, results);
                 predicates.pop();
             }
         }
@@ -157,9 +148,7 @@ mod tests {
         let rows: Vec<Vec<u32>> = (0..8u32)
             .map(|i| vec![1 + (i % 2), 1 + ((i / 2) % 2)])
             .collect();
-        let errors: Vec<f64> = (0..8)
-            .map(|i| if i % 4 == 0 { 1.0 } else { 0.1 })
-            .collect();
+        let errors: Vec<f64> = (0..8).map(|i| if i % 4 == 0 { 1.0 } else { 0.1 }).collect();
         (IntMatrix::from_rows(&rows).unwrap(), errors)
     }
 

@@ -138,7 +138,7 @@ impl DecisionTreeSlicer {
                 // Between-group sum of squares.
                 let overall = total / n;
                 let gain = c * (mean_in - overall).powi(2) + rest * (mean_out - overall).powi(2);
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((j, code as u32 + 1, gain));
                 }
             }
@@ -151,9 +151,8 @@ impl DecisionTreeSlicer {
             emit(path, rows, leaves);
             return;
         }
-        let (inside, outside): (Vec<u32>, Vec<u32>) = rows
-            .iter()
-            .partition(|&&r| x0.get(r as usize, j) == code);
+        let (inside, outside): (Vec<u32>, Vec<u32>) =
+            rows.iter().partition(|&&r| x0.get(r as usize, j) == code);
         path.push((j, code, true));
         self.split(x0, errors, &inside, depth + 1, path, leaves);
         path.pop();
@@ -237,8 +236,8 @@ mod tests {
     #[test]
     fn constant_errors_stop_splitting() {
         let (x0, _) = fixture();
-        let leaves = DecisionTreeSlicer::new(TreeConfig::default())
-            .worst_leaves(&x0, &vec![0.5; 160]);
+        let leaves =
+            DecisionTreeSlicer::new(TreeConfig::default()).worst_leaves(&x0, &vec![0.5; 160]);
         assert_eq!(leaves.len(), 1, "no informative split must exist");
     }
 

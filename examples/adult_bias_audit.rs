@@ -41,12 +41,13 @@ fn main() {
     let sl = SliceLine::new(config)
         .find_slices(&data.x0, &data.errors)
         .expect("valid input");
-    println!("SliceLine exact top-{} (total {:?}):", sl.top_k.len(), sl.stats.total_elapsed);
+    println!(
+        "SliceLine exact top-{} (total {:?}):",
+        sl.top_k.len(),
+        sl.stats.total_elapsed
+    );
     for (rank, s) in sl.top_k.iter().enumerate() {
-        let planted = data
-            .planted
-            .iter()
-            .any(|p| p.predicates == s.predicates);
+        let planted = data.planted.iter().any(|p| p.predicates == s.predicates);
         println!(
             "  #{} {:?} score={:.3} size={} err={:.0}%{}",
             rank + 1,
@@ -54,7 +55,11 @@ fn main() {
             s.score,
             s.size as u64,
             s.avg_error * 100.0,
-            if planted { "  <- planted ground truth" } else { "" }
+            if planted {
+                "  <- planted ground truth"
+            } else {
+                ""
+            }
         );
     }
 
@@ -88,7 +93,9 @@ fn main() {
     // Sanity: the strongest planted slice must be in SliceLine's top-K.
     let strongest = &data.planted[0];
     assert!(
-        sl.top_k.iter().any(|s| s.predicates == strongest.predicates),
+        sl.top_k
+            .iter()
+            .any(|s| s.predicates == strongest.predicates),
         "SliceLine must recover the strongest planted slice"
     );
 }

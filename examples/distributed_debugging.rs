@@ -22,7 +22,9 @@ fn main() {
         data.m(),
         data.l()
     );
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let make_config = || {
         let mut c = SliceLineConfig::builder()
             .k(4)

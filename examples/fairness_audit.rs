@@ -36,7 +36,11 @@ fn main() {
         let fp_rate = if biased { 0.45 } else { 0.06 };
         let fn_rate = 0.15;
         let pred = if truly_risky {
-            if rng.gen::<f64>() < fn_rate { 0.0 } else { 1.0 }
+            if rng.gen::<f64>() < fn_rate {
+                0.0
+            } else {
+                1.0
+            }
         } else if rng.gen::<f64>() < fp_rate {
             1.0
         } else {

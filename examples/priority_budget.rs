@@ -68,7 +68,8 @@ fn main() {
             frac * 100.0,
             t.elapsed(),
             anytime.evaluated,
-            top.map(|s| format!("{:.3}", s.score)).unwrap_or_else(|| "-".into()),
+            top.map(|s| format!("{:.3}", s.score))
+                .unwrap_or_else(|| "-".into()),
             anytime.exact
         );
         if let Some(s) = top {

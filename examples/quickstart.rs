@@ -4,9 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use sliceline_repro::frame::{FeatureSet, IntMatrix};
 use sliceline_repro::linalg::ParallelConfig;
 use sliceline_repro::sliceline::{SliceLine, SliceLineConfig};
-use sliceline_repro::frame::{FeatureSet, IntMatrix};
 
 fn main() {
     // A tiny integer-encoded dataset: 3 features (domains 2, 3, 4),

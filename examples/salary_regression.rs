@@ -19,7 +19,11 @@ use sliceline_repro::sliceline::{SliceLine, SliceLineConfig};
 fn main() {
     // 1. Load the data frame (397 professors).
     let df = salaries();
-    println!("loaded Salaries: {} rows x {} columns", df.nrows(), df.ncols());
+    println!(
+        "loaded Salaries: {} rows x {} columns",
+        df.nrows(),
+        df.ncols()
+    );
 
     // 2. Encode with the paper's preprocessing: recode categoricals, 10
     //    equi-width bins for continuous features, salary as the label.
@@ -58,7 +62,9 @@ fn main() {
         .alpha(0.95)
         .build()
         .expect("valid");
-    let result = SliceLine::new(config).find_slices(&encoded.x0, &e).expect("valid input");
+    let result = SliceLine::new(config)
+        .find_slices(&encoded.x0, &e)
+        .expect("valid input");
 
     println!("\ntop slices where the salary model fails:");
     for (rank, s) in result.top_k.iter().enumerate() {

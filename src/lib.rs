@@ -2,6 +2,7 @@
 //! APIs of all workspace crates so examples and integration tests have a
 //! single import root.
 
+pub use slicefinder_baseline as slicefinder;
 pub use sliceline;
 pub use sliceline_cli as cli;
 pub use sliceline_datagen as datagen;
@@ -9,4 +10,3 @@ pub use sliceline_dist as dist;
 pub use sliceline_frame as frame;
 pub use sliceline_linalg as linalg;
 pub use sliceline_ml as ml;
-pub use slicefinder_baseline as slicefinder;

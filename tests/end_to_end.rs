@@ -227,10 +227,7 @@ fn results_export_to_json_and_csv() {
     // Every slice appears in both renderings.
     let topk_json = top_k_to_json(&r);
     let csv = top_k_to_csv(&r);
-    assert_eq!(
-        topk_json.matches("\"score\"").count(),
-        r.top_k.len()
-    );
+    assert_eq!(topk_json.matches("\"score\"").count(), r.top_k.len());
     assert_eq!(csv.lines().count(), r.top_k.len() + 1);
 }
 
@@ -264,7 +261,9 @@ fn train_test_split_debugging_workflow() {
     let split = train_test_split(d.n(), 0.3, 42);
     let x_test = d.x0.select_rows(&split.test).unwrap();
     let e_test: Vec<f64> = split.test.iter().map(|&i| d.errors[i]).collect();
-    let r = SliceLine::new(config(2)).find_slices(&x_test, &e_test).unwrap();
+    let r = SliceLine::new(config(2))
+        .find_slices(&x_test, &e_test)
+        .unwrap();
     // The strongest planted bias survives subsampling to 30% of rows.
     assert!(
         r.top_k

@@ -6,12 +6,10 @@
 //! floating-point tolerance; slice identities must agree up to score ties.
 
 use proptest::prelude::*;
+use sliceline_repro::frame::IntMatrix;
 use sliceline_repro::slicefinder::NaiveEnumerator;
 use sliceline_repro::sliceline::lagraph::find_slices_reference;
-use sliceline_repro::sliceline::{
-    EvalKernel, PruningConfig, SliceLine, SliceLineConfig,
-};
-use sliceline_repro::frame::IntMatrix;
+use sliceline_repro::sliceline::{EvalKernel, PruningConfig, SliceLine, SliceLineConfig};
 
 const TOL: f64 = 1e-9;
 
@@ -22,30 +20,20 @@ fn dataset_strategy() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
         .prop_flat_map(|(m, n)| {
             let domains = proptest::collection::vec(2u32..=4, m);
             domains.prop_flat_map(move |doms| {
-                let row = doms
-                    .iter()
-                    .map(|&d| 1u32..=d)
-                    .collect::<Vec<_>>();
+                let row = doms.iter().map(|&d| 1u32..=d).collect::<Vec<_>>();
                 let rows = proptest::collection::vec(
-                    row.into_iter()
-                        .fold(Just(Vec::new()).boxed(), |acc, r| {
-                            (acc, r)
-                                .prop_map(|(mut v, x)| {
-                                    v.push(x);
-                                    v
-                                })
-                                .boxed()
-                        }),
+                    row.into_iter().fold(Just(Vec::new()).boxed(), |acc, r| {
+                        (acc, r)
+                            .prop_map(|(mut v, x)| {
+                                v.push(x);
+                                v
+                            })
+                            .boxed()
+                    }),
                     n,
                 );
                 let errors = proptest::collection::vec(
-                    prop_oneof![
-                        Just(0.0f64),
-                        Just(0.25),
-                        Just(0.5),
-                        Just(1.0),
-                        Just(2.0)
-                    ],
+                    prop_oneof![Just(0.0f64), Just(0.25), Just(0.5), Just(1.0), Just(2.0)],
                     n,
                 );
                 (rows, errors)
@@ -61,7 +49,11 @@ fn dataset_strategy() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
 }
 
 fn params_strategy() -> impl Strategy<Value = (usize, usize, f64)> {
-    (1usize..=6, 1usize..=4, prop_oneof![Just(0.5), Just(0.9), Just(0.95), Just(1.0)])
+    (
+        1usize..=6,
+        1usize..=4,
+        prop_oneof![Just(0.5), Just(0.9), Just(0.95), Just(1.0)],
+    )
 }
 
 fn sliceline_config(k: usize, sigma: usize, alpha: f64) -> SliceLineConfig {
