@@ -192,6 +192,7 @@ fn bench_figure7_scalability(c: &mut Criterion) {
                 broadcast_latency: Duration::from_micros(100),
                 broadcast_per_nnz: Duration::from_nanos(10),
                 aggregate_latency: Duration::from_micros(50),
+                bitmap_kernel: false,
             }),
         ),
     ];

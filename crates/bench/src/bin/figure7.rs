@@ -94,6 +94,7 @@ fn main() {
                 broadcast_latency: Duration::from_millis(2),
                 broadcast_per_nnz: Duration::from_nanos(20),
                 aggregate_latency: Duration::from_millis(1),
+                bitmap_kernel: false,
             }),
         ),
     ];

@@ -1,0 +1,350 @@
+//! Kernel comparison — blocked vs fused vs bitmap slice evaluation.
+//!
+//! Sweeps row counts (AdultSim replicated 1×/4×/16×) × candidate counts
+//! and times each evaluation kernel on the same level-2 slice sets, then
+//! measures the bitmap engine's incremental parent-bitmap reuse on a
+//! level-3 set. Before any timing, all kernels are checked for exact
+//! `(sizes, errors, max_errors)` agreement at one thread; any divergence
+//! exits non-zero, so this binary doubles as the CI parity gate.
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin kernel_compare -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes the machine-readable results to stdout (tables
+//! move to stderr); the committed `BENCH_kernels.json` is that output.
+
+use sliceline::config::EvalKernel;
+use sliceline::evaluate::{evaluate_slices_with, EvalEngine};
+use sliceline::ScoringContext;
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_datagen::adult_like;
+use sliceline_frame::onehot::one_hot_encode;
+use sliceline_linalg::{CsrMatrix, ExecContext};
+use std::time::Instant;
+
+/// One timed cell of the sweep.
+struct Cell {
+    rows: usize,
+    candidates: usize,
+    kernel: &'static str,
+    secs: f64,
+}
+
+fn kernel_of(name: &str) -> EvalKernel {
+    match name {
+        "blocked" => EvalKernel::Blocked { block_size: 16 },
+        "fused" => EvalKernel::Fused,
+        "bitmap" => EvalKernel::Bitmap,
+        _ => unreachable!("static kernel list"),
+    }
+}
+
+/// Level-`arity` candidates drawn from actual rows (guaranteed non-empty
+/// conjunctions), deduplicated and capped.
+fn candidates_from_rows(x: &CsrMatrix, arity: usize, cap: usize) -> Vec<Vec<u32>> {
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    // Stride across the whole matrix so the candidate set spans the full
+    // column space instead of whatever the first few rows happen to hold.
+    let stride = (x.rows() / (cap * 4).max(1)).max(1);
+    'rows: for r in (0..x.rows()).step_by(stride) {
+        let cols = x.row_cols(r);
+        if cols.len() < arity {
+            continue;
+        }
+        // All `arity`-subsets of this row's columns, smallest-first.
+        let mut idx: Vec<usize> = (0..arity).collect();
+        loop {
+            out.push(idx.iter().map(|&i| cols[i]).collect());
+            if out.len() >= cap * 4 {
+                break 'rows;
+            }
+            // Next combination of cols.len() choose arity.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if idx[i] != i + cols.len() - arity {
+                    idx[i] += 1;
+                    for j in i + 1..arity {
+                        idx[j] = idx[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    continue 'rows;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.truncate(cap);
+    out
+}
+
+/// Times repeated evaluation of `slices`, returning seconds per call.
+/// One untimed warmup call packs the bitmap (amortized over every level
+/// in a real run, like the cluster packs partitions at distribution
+/// time) and touches the scratch pools for all kernels equally.
+fn time_eval(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    ctx: &ScoringContext,
+    kernel: EvalKernel,
+    exec: &ExecContext,
+) -> f64 {
+    let mut engine = EvalEngine::new(0);
+    let run = |engine: &mut EvalEngine| {
+        evaluate_slices_with(x, errors, slices.to_vec(), level, ctx, kernel, exec, engine)
+    };
+    run(&mut engine);
+    let est_start = Instant::now();
+    run(&mut engine);
+    let est = est_start.elapsed().as_secs_f64();
+    let reps = ((0.25 / est.max(1e-6)) as usize).clamp(1, 40);
+    let start = Instant::now();
+    for _ in 0..reps {
+        run(&mut engine);
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Exact one-thread parity across all kernels; returns an error string on
+/// the first divergence.
+fn check_parity(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    ctx: &ScoringContext,
+) -> Result<(), String> {
+    let exec = ExecContext::serial();
+    let eval = |kernel: EvalKernel| {
+        let mut engine = EvalEngine::default();
+        evaluate_slices_with(
+            x,
+            errors,
+            slices.to_vec(),
+            level,
+            ctx,
+            kernel,
+            &exec,
+            &mut engine,
+        )
+    };
+    let base = eval(EvalKernel::Blocked { block_size: 16 });
+    for name in ["fused", "bitmap"] {
+        let got = eval(kernel_of(name));
+        if got.sizes != base.sizes || got.errors != base.errors || got.max_errors != base.max_errors
+        {
+            return Err(format!(
+                "{name} kernel diverged from blocked on {} level-{level} slices at {} rows",
+                slices.len(),
+                x.rows()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Tables go to stderr under --stats-json so stdout is pure JSON.
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner("Kernel comparison: blocked vs fused vs bitmap", &args);
+    }
+    let base = adult_like(&args.gen_config());
+    let threads = args.resolved_threads();
+    let exec = ExecContext::new(threads);
+    let kernels = ["blocked", "fused", "bitmap"];
+    let candidate_counts = [64usize, 256, 1024];
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut parity_checked = 0usize;
+    for factor in [1usize, 4, 16] {
+        let x0 = base.x0.replicate_rows(factor);
+        let errors: Vec<f64> = (0..factor)
+            .flat_map(|_| base.errors.iter().copied())
+            .collect();
+        let x = one_hot_encode(&x0);
+        let ctx = ScoringContext::new(&errors, 0.95);
+        for &count in &candidate_counts {
+            let slices = candidates_from_rows(&x, 2, count);
+            if let Err(msg) = check_parity(&x, &errors, &slices, 2, &ctx) {
+                eprintln!("PARITY FAILURE: {msg}");
+                std::process::exit(1);
+            }
+            parity_checked += slices.len();
+            for name in kernels {
+                let secs = time_eval(&x, &errors, &slices, 2, &ctx, kernel_of(name), &exec);
+                cells.push(Cell {
+                    rows: x.rows(),
+                    candidates: slices.len(),
+                    kernel: name,
+                    secs,
+                });
+            }
+        }
+    }
+    out(&format!(
+        "parity: blocked/fused/bitmap agree exactly on {parity_checked} slice evaluations\n"
+    ));
+
+    out("level-2 evaluation time per call (lower is better)");
+    let mut table = TextTable::new(&[
+        "rows",
+        "candidates",
+        "blocked",
+        "fused",
+        "bitmap",
+        "bitmap speedup vs fused",
+    ]);
+    for chunk in cells.chunks(kernels.len()) {
+        let by = |name: &str| chunk.iter().find(|c| c.kernel == name).unwrap().secs;
+        table.row(&[
+            chunk[0].rows.to_string(),
+            chunk[0].candidates.to_string(),
+            format!("{:.2}ms", by("blocked") * 1e3),
+            format!("{:.2}ms", by("fused") * 1e3),
+            format!("{:.2}ms", by("bitmap") * 1e3),
+            format!("{:.1}x", by("fused") / by("bitmap").max(1e-12)),
+        ]);
+    }
+    out(&table.render());
+
+    // Incremental reuse: evaluate a level-4 set cold (every child is a
+    // four-column AND chain from scratch) vs warm (the engine just walked
+    // levels 2 and 3 under a budget, so each child is one fused
+    // parent-AND-column pass against a cached level-3 bitmap). The warm
+    // priming is untimed — in a real run every level is evaluated anyway.
+    // This is a measurement, not a showcase: on row-derived candidate
+    // sets the cold AND chains re-read a few dozen distinct column
+    // bitmaps that stay CPU-cache-hot, while every cached parent is
+    // unique and streams from memory once, so recompute often wins and
+    // the reported factor can land below 1. Reuse pays when the
+    // per-level column working set outgrows the cache hierarchy; the
+    // byte budget (or `EvalEngine::new(0)` to disable caching outright)
+    // bounds that tradeoff either way.
+    let x = one_hot_encode(&base.x0);
+    let errors = base.errors.clone();
+    let ctx = ScoringContext::new(&errors, 0.95);
+    let quads = candidates_from_rows(&x, 4, 512);
+    let subsets = |sets: &[Vec<u32>]| {
+        let mut out: Vec<Vec<u32>> = sets
+            .iter()
+            .flat_map(|s| {
+                (0..s.len()).map(|drop| {
+                    let mut p = s.clone();
+                    p.remove(drop);
+                    p
+                })
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    let triples = subsets(&quads);
+    let pairs = subsets(&triples);
+    let eval = |engine: &mut EvalEngine, slices: &[Vec<u32>], level: usize| {
+        let start = Instant::now();
+        evaluate_slices_with(
+            &x,
+            &errors,
+            slices.to_vec(),
+            level,
+            &ctx,
+            EvalKernel::Bitmap,
+            &exec,
+            engine,
+        );
+        start.elapsed().as_secs_f64()
+    };
+    // Cold: packing amortized by one warmup, but no parent cache.
+    let mut cold_engine = EvalEngine::new(0);
+    eval(&mut cold_engine, &quads, 4);
+    let cold = eval(&mut cold_engine, &quads, 4);
+    // Warm: re-prime the parent chain before each timed call (evaluating
+    // the level-4 set rolls the cache forward to level 4).
+    let mut warm_engine = EvalEngine::new(EvalEngine::DEFAULT_CACHE_BYTES);
+    let mut warm = 0.0;
+    for _ in 0..2 {
+        eval(&mut warm_engine, &pairs, 2);
+        eval(&mut warm_engine, &triples, 3);
+        warm = eval(&mut warm_engine, &quads, 4);
+    }
+    out(&format!(
+        "incremental parent-bitmap reuse (level-4 set, {} rows)",
+        x.rows()
+    ));
+    let mut inc = TextTable::new(&["candidates", "cold", "warm (cached parents)", "speedup"]);
+    inc.row(&[
+        quads.len().to_string(),
+        format!("{:.2}ms", cold * 1e3),
+        format!("{:.2}ms", warm * 1e3),
+        format!("{:.2}x", cold / warm.max(1e-12)),
+    ]);
+    out(&inc.render());
+
+    // The acceptance headline: bitmap vs fused at the largest cell.
+    let largest: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.rows == cells.last().unwrap().rows)
+        .filter(|c| c.candidates == cells.last().unwrap().candidates)
+        .collect();
+    let at = |name: &str| largest.iter().find(|c| c.kernel == name).unwrap().secs;
+    let headline = at("fused") / at("bitmap").max(1e-12);
+    out(&format!(
+        "largest cell ({} rows, {} candidates): bitmap {:.1}x faster than fused",
+        largest[0].rows, largest[0].candidates, headline
+    ));
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"kernel_compare\",\n");
+        json.push_str(&format!(
+            "  \"threads\": {threads},\n  \"scale\": {},\n  \"seed\": {},\n",
+            args.scale, args.seed
+        ));
+        json.push_str(&format!("  \"parity_checked_slices\": {parity_checked},\n"));
+        json.push_str("  \"parity\": \"ok\",\n  \"level2\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"rows\": {}, \"candidates\": {}, \"kernel\": \"{}\", \"secs_per_eval\": {:.6e}}}{}\n",
+                c.rows,
+                c.candidates,
+                c.kernel,
+                c.secs,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"incremental\": {{\"rows\": {}, \"candidates\": {}, \"cold_secs\": {:.6e}, \"warm_secs\": {:.6e}, \"warm_speedup\": {:.3}}},\n",
+            x.rows(),
+            quads.len(),
+            cold,
+            warm,
+            cold / warm.max(1e-12)
+        ));
+        json.push_str(&format!(
+            "  \"largest_cell\": {{\"rows\": {}, \"candidates\": {}, \"fused_secs\": {:.6e}, \"bitmap_secs\": {:.6e}, \"bitmap_speedup_vs_fused\": {:.3}}}\n}}\n",
+            largest[0].rows,
+            largest[0].candidates,
+            at("fused"),
+            at("bitmap"),
+            headline
+        ));
+        print!("{json}");
+    }
+}

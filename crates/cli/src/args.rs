@@ -14,6 +14,21 @@ pub enum OutputFormat {
     Csv,
 }
 
+/// Which slice-evaluation kernel `find` runs (maps onto
+/// [`sliceline::EvalKernel`] in the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Block-partitioned sparse-float kernel (the library default).
+    #[default]
+    Blocked,
+    /// Fused single-pass sparse-float kernel.
+    Fused,
+    /// Packed u64 bitmap kernel with incremental parent-bitmap reuse.
+    Bitmap,
+    /// Per-level choice between the blocked and bitmap plans.
+    Auto,
+}
+
 /// How the error vector is produced when `--errors` is not given.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -51,6 +66,8 @@ pub struct FindArgs {
     pub bins: u32,
     /// Output format.
     pub format: OutputFormat,
+    /// Slice-evaluation kernel.
+    pub kernel: KernelChoice,
     /// Collect and print execution-layer statistics (per-level counters,
     /// stage timings, scratch-pool reuse).
     pub stats: bool,
@@ -71,6 +88,7 @@ impl Default for FindArgs {
             drop: Vec::new(),
             bins: 10,
             format: OutputFormat::Text,
+            kernel: KernelChoice::Blocked,
             stats: false,
         }
     }
@@ -141,6 +159,7 @@ FIND OPTIONS:
   --drop COL          drop a column (repeatable)
   --bins N            equi-width bins for continuous features (default: 10)
   --format FMT        text | json | csv              (default: text)
+  --kernel K          blocked | fused | bitmap | auto (default: blocked)
   --stats             collect and print per-level execution statistics
                       (candidates, pruning, kernel choice, stage timings)
 
@@ -216,6 +235,20 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
                     other => {
                         return Err(CliError::usage(format!(
                             "--format: unknown format '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--kernel" => {
+                let v = next_value(&mut it, "--kernel")?;
+                out.kernel = match v.as_str() {
+                    "blocked" => KernelChoice::Blocked,
+                    "fused" => KernelChoice::Fused,
+                    "bitmap" => KernelChoice::Bitmap,
+                    "auto" => KernelChoice::Auto,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--kernel: unknown kernel '{other}'"
                         )))
                     }
                 };
@@ -304,6 +337,35 @@ mod tests {
             panic!()
         };
         assert!(f.stats);
+    }
+
+    #[test]
+    fn parses_kernel_choices() {
+        for (v, expect) in [
+            ("blocked", KernelChoice::Blocked),
+            ("fused", KernelChoice::Fused),
+            ("bitmap", KernelChoice::Bitmap),
+            ("auto", KernelChoice::Auto),
+        ] {
+            let cli = parse(sv(&[
+                "find", "--input", "a.csv", "--errors", "e", "--kernel", v,
+            ]))
+            .unwrap();
+            let Command::Find(f) = cli.command else {
+                panic!()
+            };
+            assert_eq!(f.kernel, expect);
+        }
+        // Default when the flag is absent, error on unknown values.
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.kernel, KernelChoice::Blocked);
+        assert!(parse(sv(&[
+            "find", "--input", "a", "--errors", "e", "--kernel", "gpu"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The CLI pipelines: `find` (CSV → encode → model/errors → SliceLine →
 //! report) and `generate` (synthetic dataset → CSV).
 
-use crate::args::{FindArgs, GenerateArgs, OutputFormat, TaskKind};
+use crate::args::{FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind};
 use crate::report;
 use crate::CliError;
-use sliceline::{MinSupport, SliceLine, SliceLineConfig};
+use sliceline::{EvalKernel, MinSupport, SliceLine, SliceLineConfig};
 use sliceline_datagen::GenConfig;
 use sliceline_frame::csv::read_csv_file;
 use sliceline_frame::{Column, DatasetEncoder, EncodedDataset};
@@ -57,9 +57,21 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         }
         None => train_and_score(&encoded, args)?,
     };
+    // The CLI kernel names map onto the library's evaluation plans with
+    // their default tuning parameters.
+    let kernel = match args.kernel {
+        KernelChoice::Blocked => EvalKernel::Blocked { block_size: 16 },
+        KernelChoice::Fused => EvalKernel::Fused,
+        KernelChoice::Bitmap => EvalKernel::Bitmap,
+        KernelChoice::Auto => EvalKernel::Auto {
+            block_size: 16,
+            fused_above: 4096,
+        },
+    };
     let mut config = SliceLineConfig::builder()
         .k(args.k)
         .alpha(args.alpha)
+        .eval(kernel)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
             std::thread::available_parallelism()
@@ -253,6 +265,43 @@ mod tests {
         };
         let out = run_find(&args).unwrap();
         assert!(!out.contains("Execution statistics"));
+    }
+
+    #[test]
+    fn find_kernels_render_identical_reports() {
+        let path = write_temp("biased_kernels.csv", &biased_csv());
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            ..Default::default()
+        };
+        // The trailing statistics tables contain wall-clock timings, so
+        // only the slice report proper is comparable across runs.
+        let slices = |report: String| {
+            report
+                .split("\nEnumeration statistics:")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let blocked = slices(run_find(&base).unwrap());
+        for kernel in [
+            KernelChoice::Fused,
+            KernelChoice::Bitmap,
+            KernelChoice::Auto,
+        ] {
+            let out = slices(
+                run_find(&FindArgs {
+                    kernel,
+                    ..base.clone()
+                })
+                .unwrap(),
+            );
+            assert_eq!(out, blocked, "{kernel:?} report diverged");
+        }
     }
 
     #[test]

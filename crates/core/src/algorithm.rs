@@ -3,7 +3,7 @@
 use crate::config::SliceLineConfig;
 use crate::enumerate::get_pair_candidates;
 use crate::error::Result;
-use crate::evaluate::evaluate_slices;
+use crate::evaluate::{evaluate_slices_with, EvalEngine};
 use crate::init::{create_and_score_basic_slices, LevelState, ProjectedData};
 use crate::prepare::{prepare, PreparedData};
 use crate::stats::{LevelStats, RunStats};
@@ -142,7 +142,10 @@ impl SliceLine {
             elapsed: level_start.elapsed(),
             threshold_after: topk.prune_threshold(),
         });
-        // c) level-wise lattice enumeration.
+        // c) level-wise lattice enumeration. The evaluation engine carries
+        // the bitmap backend's packed columns and parent cache across
+        // levels (unused by the blocked/fused kernels).
+        let mut engine = EvalEngine::new(self.config.bitmap_cache_bytes);
         let max_level = self.config.max_level.min(prepared.m);
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
@@ -164,7 +167,7 @@ impl SliceLine {
             });
             let evaluated = candidates.len();
             let next = exec.time_stage(Stage::Evaluate, || {
-                evaluate_slices(
+                evaluate_slices_with(
                     &proj.x,
                     &prepared.errors,
                     candidates,
@@ -172,6 +175,7 @@ impl SliceLine {
                     &prepared.ctx,
                     self.config.eval,
                     exec,
+                    &mut engine,
                 )
             });
             recycle_level(exec, std::mem::replace(&mut level, next));
@@ -321,6 +325,11 @@ mod tests {
                 EvalKernel::Blocked { block_size: 1 },
                 EvalKernel::Blocked { block_size: 64 },
                 EvalKernel::Fused,
+                EvalKernel::Bitmap,
+                EvalKernel::Auto {
+                    block_size: 16,
+                    fused_above: 4,
+                },
             ] {
                 let mut c = config();
                 c.eval = eval;
@@ -329,6 +338,37 @@ mod tests {
                 assert_eq!(r.top_k, base.top_k, "eval={eval:?} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn bitmap_run_hits_parent_cache() {
+        let (x0, e) = planted();
+        let base = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
+        // Pruning stops this fixture before level 3; disable it so the
+        // run actually evaluates children of cached level-2 parents.
+        let mut c = config();
+        c.eval = EvalKernel::Bitmap;
+        c.pruning = PruningConfig::none();
+        let exec = c.exec_context();
+        exec.enable_stats(true);
+        let r = SliceLine::new(c).find_slices_in(&x0, &e, &exec).unwrap();
+        assert_eq!(r.top_k, base.top_k);
+        let stats = r.stats.exec.expect("stats enabled");
+        // Levels >= 3 resolve children through the previous level's
+        // cached bitmaps.
+        let hits: u64 = stats.levels.iter().map(|p| p.cache_hits).sum();
+        assert!(hits > 0, "expected parent-cache hits, stats: {stats:?}");
+        // With a zero budget the same run still agrees, cache-free.
+        let mut c0 = config();
+        c0.eval = EvalKernel::Bitmap;
+        c0.pruning = PruningConfig::none();
+        c0.bitmap_cache_bytes = 0;
+        let exec0 = c0.exec_context();
+        exec0.enable_stats(true);
+        let r0 = SliceLine::new(c0).find_slices_in(&x0, &e, &exec0).unwrap();
+        assert_eq!(r0.top_k, base.top_k);
+        let stats0 = r0.stats.exec.expect("stats enabled");
+        assert_eq!(stats0.levels.iter().map(|p| p.cache_hits).sum::<u64>(), 0);
     }
 
     #[test]

@@ -43,14 +43,23 @@ pub enum EvalKernel {
     /// (its LA systems must materialize operator outputs); provided as an
     /// ablation of the materialization cost.
     Fused,
+    /// Packed-bitmap evaluation: each projected column of `X` is stored as
+    /// a `u64` bitmap, a level-`L` slice is the `AND` of its `L` column
+    /// bitmaps, sizes are popcounts and the error aggregates a masked scan.
+    /// Surviving bitmaps are cached per level (byte-budgeted, see
+    /// [`crate::SliceLineConfig::bitmap_cache_bytes`]) so a child usually
+    /// costs a single `AND` with its one new predicate column.
+    Bitmap,
     /// Per-level plan selection, mirroring SystemDS' dynamic
     /// recompilation across iterations (§5.4, Table 2 discussion): blocked
-    /// evaluation for moderate candidate counts, fused for very large
-    /// ones where repeated scans of `X` would dominate.
+    /// evaluation for moderate candidate counts, the bitmap engine for
+    /// very large ones where per-candidate cost dominates and packed
+    /// `AND`/popcount (plus parent-bitmap reuse) is asymptotically better.
     Auto {
         /// Block size used when the blocked plan is chosen.
         block_size: usize,
-        /// Candidate-count threshold above which the fused plan is chosen.
+        /// Candidate-count threshold above which the bitmap plan is
+        /// chosen (named for the fused kernel it historically selected).
         fused_above: usize,
     },
 }
@@ -152,6 +161,10 @@ pub struct SliceLineConfig {
     pub pruning: PruningConfig,
     /// Thread configuration for parallel kernels.
     pub parallel: ParallelConfig,
+    /// Byte budget for the bitmap kernel's per-level parent-bitmap cache
+    /// (0 disables caching; children are then recomputed from their
+    /// column bitmaps). Ignored by the blocked/fused kernels.
+    pub bitmap_cache_bytes: usize,
 }
 
 impl Default for SliceLineConfig {
@@ -167,6 +180,7 @@ impl Default for SliceLineConfig {
             eval: EvalKernel::default(),
             pruning: PruningConfig::default(),
             parallel: ParallelConfig::default(),
+            bitmap_cache_bytes: 64 << 20,
         }
     }
 }
@@ -218,7 +232,7 @@ impl SliceLineConfig {
                     });
                 }
             }
-            EvalKernel::Fused => {}
+            EvalKernel::Fused | EvalKernel::Bitmap => {}
         }
         Ok(())
     }
@@ -276,6 +290,13 @@ impl SliceLineConfigBuilder {
     /// Sets the pruning switches.
     pub fn pruning(mut self, pruning: PruningConfig) -> Self {
         self.config.pruning = pruning;
+        self
+    }
+
+    /// Sets the byte budget of the bitmap kernel's parent cache
+    /// (0 disables incremental parent reuse).
+    pub fn bitmap_cache_bytes(mut self, bytes: usize) -> Self {
+        self.config.bitmap_cache_bytes = bytes;
         self
     }
 
@@ -345,6 +366,24 @@ mod tests {
         assert!(!nz.size_pruning && nz.deduplication);
         let none = PruningConfig::none();
         assert!(!none.deduplication && !none.size_pruning);
+    }
+
+    #[test]
+    fn bitmap_kernel_and_cache_budget() {
+        let c = SliceLineConfig::builder()
+            .eval(EvalKernel::Bitmap)
+            .bitmap_cache_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(c.eval, EvalKernel::Bitmap);
+        assert_eq!(c.bitmap_cache_bytes, 1 << 20);
+        // Default budget is 64 MiB; 0 (cache off) is a valid setting.
+        assert_eq!(SliceLineConfig::default().bitmap_cache_bytes, 64 << 20);
+        assert!(SliceLineConfig::builder()
+            .eval(EvalKernel::Bitmap)
+            .bitmap_cache_bytes(0)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! predicates, i.e. iff the inner product of its one-hot row with the
 //! slice's one-hot vector equals `L`.
 //!
-//! Two kernels are provided (see [`crate::config::EvalKernel`]):
+//! Three kernels are provided (see [`crate::config::EvalKernel`]):
 //!
 //! * **Blocked** — the paper's hybrid plan: slices are processed in blocks
 //!   of `b`, materializing the dense `n × b` intermediate `(X Sᵀ)` exactly
@@ -16,26 +16,105 @@
 //!   through an inverted index, never materializing the intermediate.
 //!   This is the specialization the paper's "simple design" deliberately
 //!   forgoes; it serves as an ablation of materialization cost.
+//! * **Bitmap** — the packed engine: columns of `X` as `u64` bitmaps, a
+//!   slice as the `AND` of its column bitmaps, sizes as popcounts and
+//!   error aggregates as a masked scan, with surviving parent bitmaps
+//!   cached across levels by the [`EvalEngine`] so a child usually costs
+//!   a single `AND` with its one new predicate column.
 //!
-//! Both kernels draw their parallelism and scratch memory from the
-//! [`ExecContext`]: the blocked `n × b` intermediate and all per-level
-//! statistic vectors are checked out of the context's buffer pool, so a
-//! multi-level run reuses a handful of allocations instead of re-allocating
-//! every level. The fused statistics kernel is also the single source of
-//! truth for the distributed path ([`evaluate_slice_stats`]), so local and
-//! per-node results cannot drift.
+//! All kernels draw their parallelism and scratch memory from the
+//! [`ExecContext`]: the blocked `n × b` intermediate, the bitmap word
+//! buffers, and all per-level statistic vectors are checked out of the
+//! context's buffer pool, so a multi-level run reuses a handful of
+//! allocations instead of re-allocating every level. The fused statistics
+//! kernel is the single source of truth for the distributed path
+//! ([`evaluate_slice_stats`]); [`evaluate_slice_stats_bitmap`] is its
+//! packed counterpart against a prebuilt per-node [`BitMatrix`]. All three
+//! kernels accumulate per-slice errors in ascending row order, so on exact
+//! partial sums they agree bit-for-bit on `(sizes, errors, max_errors)`.
 
 use crate::config::EvalKernel;
 use crate::init::LevelState;
 use crate::scoring::ScoringContext;
+use sliceline_linalg::bitmap;
 use sliceline_linalg::spgemm::count_matches_block_into;
-use sliceline_linalg::{CsrMatrix, ExecContext};
+use sliceline_linalg::{BitMatrix, CsrMatrix, ExecContext};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Per-run state of the bitmap evaluation backend ([`EvalKernel::Bitmap`]).
+///
+/// Holds the packed column bitmaps of the projected matrix (built lazily on
+/// first bitmap evaluation) and a byte-budgeted cache of the previous
+/// level's slice bitmaps. The cache is what makes evaluation *incremental*:
+/// a level-`L` child whose `(L-1)`-parent bitmap is cached costs one `AND`
+/// with its single new predicate column instead of `L` `AND`s from the
+/// column bitmaps. When the budget evicts (or caching is disabled with a
+/// zero budget) the child silently recomputes from scratch — the cache
+/// changes work, never results.
+///
+/// The level loop owns one engine per run and threads it through
+/// [`evaluate_slices_with`]; the plain [`evaluate_slices`] entry point
+/// builds a throwaway engine, which evaluates correctly but cannot reuse
+/// parents across calls.
+pub struct EvalEngine {
+    cache_budget: usize,
+    bitmap: Option<BitmapState>,
+}
+
+struct BitmapState {
+    bits: BitMatrix,
+    /// Slice bitmaps of the most recently evaluated level, keyed by the
+    /// slice's sorted projected-column ids.
+    cache: HashMap<Vec<u32>, Vec<u64>>,
+    /// Level whose bitmaps `cache` currently holds (0 = none).
+    cache_level: usize,
+}
+
+impl EvalEngine {
+    /// Default parent-cache budget (64 MiB), also the default of
+    /// [`crate::SliceLineConfig::bitmap_cache_bytes`].
+    pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+    /// Creates an engine with the given parent-cache byte budget
+    /// (0 disables incremental parent reuse).
+    pub fn new(cache_budget: usize) -> Self {
+        EvalEngine {
+            cache_budget,
+            bitmap: None,
+        }
+    }
+
+    /// The packed bitmap state for `x`, building (or rebuilding, if the
+    /// projected matrix changed shape) it on first use.
+    fn state(&mut self, x: &CsrMatrix) -> &mut BitmapState {
+        let stale = match &self.bitmap {
+            Some(s) => s.bits.rows() != x.rows() || s.bits.cols() != x.cols(),
+            None => true,
+        };
+        if stale {
+            self.bitmap = Some(BitmapState {
+                bits: BitMatrix::from_csr(x),
+                cache: HashMap::new(),
+                cache_level: 0,
+            });
+        }
+        self.bitmap.as_mut().expect("state built above")
+    }
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        EvalEngine::new(EvalEngine::DEFAULT_CACHE_BYTES)
+    }
+}
 
 /// Evaluates `slices` (sorted projected-column id lists, all of length
 /// `level`) against `x`, returning a fully scored [`LevelState`].
 ///
 /// Records the chosen kernel and evaluated-slice count in the context's
-/// telemetry (when enabled).
+/// telemetry (when enabled). Builds a throwaway [`EvalEngine`]; use
+/// [`evaluate_slices_with`] to reuse parent bitmaps across levels.
 pub fn evaluate_slices(
     x: &CsrMatrix,
     errors: &[f64],
@@ -44,6 +123,23 @@ pub fn evaluate_slices(
     ctx: &ScoringContext,
     kernel: EvalKernel,
     exec: &ExecContext,
+) -> LevelState {
+    let mut engine = EvalEngine::default();
+    evaluate_slices_with(x, errors, slices, level, ctx, kernel, exec, &mut engine)
+}
+
+/// [`evaluate_slices`] with a caller-owned [`EvalEngine`], so the bitmap
+/// backend's column bitmaps and parent cache persist across levels.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_slices_with(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: Vec<Vec<u32>>,
+    level: usize,
+    ctx: &ScoringContext,
+    kernel: EvalKernel,
+    exec: &ExecContext,
+    engine: &mut EvalEngine,
 ) -> LevelState {
     let k = slices.len();
     if k == 0 {
@@ -55,16 +151,24 @@ pub fn evaluate_slices(
             eval_blocked(x, errors, &slices, level, block_size.max(1), exec),
         ),
         EvalKernel::Fused => ("fused", eval_fused(x, errors, &slices, level, exec)),
+        EvalKernel::Bitmap => (
+            "bitmap",
+            eval_bitmap(x, errors, &slices, level, exec, engine),
+        ),
         EvalKernel::Auto {
             block_size,
             fused_above,
         } => {
             // Dynamic plan choice per level (the SystemDS recompilation
             // analog): with few candidates the blocked scan sharing wins;
-            // with many, rescanning X per block dominates and the fused
-            // single-scan kernel is asymptotically better.
+            // with many, per-candidate cost dominates and the packed
+            // AND/popcount engine (with parent reuse) is much cheaper
+            // per slice.
             if k > fused_above {
-                ("fused", eval_fused(x, errors, &slices, level, exec))
+                (
+                    "bitmap",
+                    eval_bitmap(x, errors, &slices, level, exec, engine),
+                )
             } else {
                 (
                     "blocked",
@@ -104,6 +208,174 @@ pub fn evaluate_slice_stats(
         return (Vec::new(), Vec::new(), Vec::new());
     }
     eval_fused(x, errors, slices, level, exec)
+}
+
+/// Raw slice statistics `(sizes, errors, max_errors)` via the bitmap
+/// kernel against a prebuilt [`BitMatrix`] — the packed counterpart of
+/// [`evaluate_slice_stats`]. The simulated cluster packs each node's row
+/// partition once and calls this per level, so the per-node scan cost
+/// drops from the sparse-float row walk to word-wise `AND`s. No parent
+/// cache is kept here; slices are always built from their column bitmaps.
+pub fn evaluate_slice_stats_bitmap(
+    bits: &BitMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    exec: &ExecContext,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let k = slices.len();
+    if k == 0 {
+        return (Vec::new(), Vec::new(), Vec::new());
+    }
+    let stats = exec.parallel().par_map(k, |i| {
+        let mut buf = exec.take_u64(0);
+        bits.and_cols_into(&slices[i], &mut buf);
+        let s = bitmap::masked_stats(&buf, errors);
+        exec.put_u64(buf);
+        s
+    });
+    unzip_stats(stats, exec)
+}
+
+/// Splits per-slice `(|S|, se, sm)` triples into the three pooled
+/// statistic vectors every kernel returns.
+fn unzip_stats(stats: Vec<(f64, f64, f64)>, exec: &ExecContext) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let k = stats.len();
+    let mut sizes = exec.take_f64(k);
+    let mut errs = exec.take_f64(k);
+    let mut max_errs = exec.take_f64(k);
+    for (i, (ss, se, sm)) in stats.into_iter().enumerate() {
+        sizes[i] = ss;
+        errs[i] = se;
+        max_errs[i] = sm;
+    }
+    (sizes, errs, max_errs)
+}
+
+/// Packed-bitmap evaluation (the tentpole kernel): each slice bitmap is
+/// the `AND` of its column bitmaps — or, when the engine's parent cache
+/// holds an `(L-1)`-subset from the previous level, a copy of that parent
+/// `AND`ed with the one remaining column. Statistics come from popcount
+/// plus a masked scan of the error vector in ascending row order (the same
+/// association as a serial scan, so exact sums agree with the other
+/// kernels bit-for-bit).
+///
+/// Parallelism is over slices (each worker owns disjoint result indexes);
+/// when there are fewer candidates than threads over a tall matrix the
+/// kernel switches to word-chunked parallelism inside each slice instead.
+fn eval_bitmap(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    exec: &ExecContext,
+    engine: &mut EvalEngine,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let budget = engine.cache_budget;
+    let state = engine.state(x);
+    let bits = &state.bits;
+    let wpc = bits.words_per_col();
+    let k = slices.len();
+    // The cache holds the previous level's slice bitmaps. Lookups only pay
+    // from level 3 up: a level-2 child is a plain two-column AND whether or
+    // not its single-column parent is at hand.
+    let lookup = (level >= 3 && state.cache_level + 1 == level).then_some(&state.cache);
+    // This level's bitmaps become the next level's parents. Approximate
+    // per-entry footprint: words + key + map overhead.
+    let entry_cost = wpc * 8 + level * 4 + 48;
+    let cache_children = budget > 0 && level >= 2;
+    let next_bytes = AtomicUsize::new(0);
+    let hits = AtomicU64::new(0);
+    // Budget admission races only over-reserve transiently; the cache
+    // bounds work, not results, so approximate is fine. Admitted buffers
+    // ride back in the result and are collected into the next level's
+    // cache serially below — a shared locked map here costs several
+    // times the word passes it would guard.
+    let admit = || -> bool {
+        if !cache_children {
+            return false;
+        }
+        if next_bytes.fetch_add(entry_cost, Ordering::Relaxed) + entry_cost <= budget {
+            return true;
+        }
+        next_bytes.fetch_sub(entry_cost, Ordering::Relaxed);
+        false
+    };
+    let eval_one = |cols: &[u32], word_parallel: bool| -> ((f64, f64, f64), Option<Vec<u64>>) {
+        if let Some(cache) = lookup {
+            // Any (L-1)-subset evaluated last level is a parent; probe by
+            // dropping each column, last (the merge-appended one) first.
+            // One key buffer serves every probe: the key dropping column
+            // `d` differs from the key dropping `d + 1` only at position
+            // `d`, so each step is a single overwrite, not a rebuild.
+            let mut key: Vec<u32> = cols[..cols.len() - 1].to_vec();
+            for drop in (0..cols.len()).rev() {
+                if drop + 1 < cols.len() {
+                    key[drop] = cols[drop + 1];
+                }
+                if let Some(parent) = cache.get(&key) {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    let col = bits.col(cols[drop] as usize);
+                    if admit() {
+                        // The child is retained for the next level: one
+                        // fused pass materializes it (`child = parent &
+                        // column`, no separate copy), then the usual
+                        // masked scan.
+                        let mut buf = exec.take_u64(0);
+                        bitmap::and2_into(&mut buf, parent, col);
+                        let stats = bitmap::masked_stats(&buf, errors);
+                        return (stats, Some(buf));
+                    }
+                    // Not retained: fold the AND into the stats scan and
+                    // never materialize the child at all — one read-only
+                    // pass, no scratch buffer.
+                    return (bitmap::masked_stats_and2(parent, col, errors), None);
+                }
+            }
+        }
+        let mut buf = exec.take_u64(0);
+        if word_parallel {
+            bits.and_cols_into_parallel(cols, &mut buf, exec);
+        } else {
+            bits.and_cols_into(cols, &mut buf);
+        }
+        let stats = if word_parallel {
+            bitmap::masked_stats_parallel(&buf, errors, exec)
+        } else {
+            bitmap::masked_stats(&buf, errors)
+        };
+        if admit() {
+            (stats, Some(buf))
+        } else {
+            exec.put_u64(buf);
+            (stats, None)
+        }
+    };
+    // Per-slice stats plus the child bitmap when admitted to the cache.
+    type SliceEval = ((f64, f64, f64), Option<Vec<u64>>);
+    let word_parallel = exec.threads() > 1 && k < exec.threads() && wpc >= 2 * bitmap::WORD_BITS;
+    let results: Vec<SliceEval> = if word_parallel {
+        slices.iter().map(|cols| eval_one(cols, true)).collect()
+    } else {
+        exec.parallel().par_map(k, |i| eval_one(&slices[i], false))
+    };
+    exec.record_level(|p| p.cache_hits += hits.load(Ordering::Relaxed));
+    let mut next_cache = HashMap::with_capacity(results.len().min(1024));
+    let mut stats = Vec::with_capacity(k);
+    for (i, (s, retained)) in results.into_iter().enumerate() {
+        stats.push(s);
+        if let Some(buf) = retained {
+            next_cache.insert(slices[i].clone(), buf);
+        }
+    }
+    // The outgoing level's parents feed the word pool instead of the
+    // allocator, so next level's retained children start from recycled
+    // capacity.
+    for (_, buf) in state.cache.drain() {
+        exec.put_u64(buf);
+    }
+    state.cache = next_cache;
+    state.cache_level = level;
+    unzip_stats(stats, exec)
 }
 
 /// Blocked evaluation: materializes the `n × b` match-count intermediate
@@ -460,9 +732,14 @@ mod tests {
         exec.put_f64(vec![123.0; 7]);
         exec.put_f64(vec![-4.0; 100]);
         exec.put_u32(vec![9; 3]);
+        exec.put_u64(vec![u64::MAX; 5]);
         let fresh = ExecContext::new(2);
         fresh.set_pooling(false);
-        for kernel in [EvalKernel::Blocked { block_size: 2 }, EvalKernel::Fused] {
+        for kernel in [
+            EvalKernel::Blocked { block_size: 2 },
+            EvalKernel::Fused,
+            EvalKernel::Bitmap,
+        ] {
             for _ in 0..3 {
                 let pooled = evaluate_slices(&x, &e, slices.clone(), 2, &c, kernel, &exec);
                 let plain = evaluate_slices(&x, &e, slices.clone(), 2, &c, kernel, &fresh);
@@ -473,6 +750,125 @@ mod tests {
             }
         }
         assert!(exec.pool_stats().reused() > 0);
+    }
+
+    #[test]
+    fn bitmap_kernel_matches_fused() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        for (slices, level) in [
+            (vec![vec![0u32], vec![1], vec![2], vec![3]], 1),
+            (vec![vec![0, 2], vec![0, 3], vec![1, 2], vec![0, 1]], 2),
+        ] {
+            let exec = ExecContext::serial();
+            let fused =
+                evaluate_slices(&x, &e, slices.clone(), level, &c, EvalKernel::Fused, &exec);
+            for threads in [1, 2, 4] {
+                let bm = evaluate_slices(
+                    &x,
+                    &e,
+                    slices.clone(),
+                    level,
+                    &c,
+                    EvalKernel::Bitmap,
+                    &ExecContext::new(threads),
+                );
+                assert_eq!(bm.sizes, fused.sizes, "level={level} threads={threads}");
+                assert_eq!(bm.errors, fused.errors);
+                assert_eq!(bm.max_errors, fused.max_errors);
+                assert_eq!(bm.scores, fused.scores);
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_engine_reuses_parents_across_levels() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let exec = ExecContext::serial();
+        exec.enable_stats(true);
+        let l2 = vec![vec![0u32, 2], vec![0, 3], vec![1, 2], vec![1, 3]];
+        let l3 = vec![vec![0u32, 2, 3], vec![0, 1, 2]];
+        // A budget-0 engine must agree with a cached engine: the cache
+        // changes work, never results.
+        for budget in [0usize, 1 << 20] {
+            let mut engine = EvalEngine::new(budget);
+            exec.begin_level(2);
+            let lvl2 = evaluate_slices_with(
+                &x,
+                &e,
+                l2.clone(),
+                2,
+                &c,
+                EvalKernel::Bitmap,
+                &exec,
+                &mut engine,
+            );
+            exec.begin_level(3);
+            let lvl3 = evaluate_slices_with(
+                &x,
+                &e,
+                l3.clone(),
+                3,
+                &c,
+                EvalKernel::Bitmap,
+                &exec,
+                &mut engine,
+            );
+            let expect2 = evaluate_slices(&x, &e, l2.clone(), 2, &c, EvalKernel::Fused, &exec);
+            let expect3 = evaluate_slices(&x, &e, l3.clone(), 3, &c, EvalKernel::Fused, &exec);
+            assert_eq!(lvl2.sizes, expect2.sizes, "budget={budget}");
+            assert_eq!(lvl2.errors, expect2.errors);
+            assert_eq!(lvl3.sizes, expect3.sizes, "budget={budget}");
+            assert_eq!(lvl3.errors, expect3.errors);
+            assert_eq!(lvl3.max_errors, expect3.max_errors);
+            // Every level-3 candidate has a cached level-2 parent when the
+            // budget allows; none can hit with the cache disabled.
+            let hits: u64 = exec.exec_stats().levels.iter().map(|p| p.cache_hits).sum();
+            if budget == 0 {
+                assert_eq!(hits, 0);
+            } else {
+                assert_eq!(hits, l3.len() as u64);
+            }
+            exec.reset_stats();
+        }
+    }
+
+    #[test]
+    fn auto_prefers_bitmap_above_threshold() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let exec = ExecContext::serial();
+        exec.enable_stats(true);
+        exec.begin_level(2);
+        let slices = vec![vec![0u32, 2], vec![0, 3], vec![1, 2]];
+        evaluate_slices(
+            &x,
+            &e,
+            slices,
+            2,
+            &c,
+            EvalKernel::Auto {
+                block_size: 16,
+                fused_above: 2,
+            },
+            &exec,
+        );
+        let stats = exec.exec_stats();
+        assert_eq!(stats.levels[0].kernel, Some("bitmap"));
+    }
+
+    #[test]
+    fn bitmap_stats_match_fused_stats() {
+        let (x, e) = fixture();
+        let slices = vec![vec![0u32, 2], vec![0, 3], vec![1, 3]];
+        let exec = ExecContext::serial();
+        let fused = evaluate_slice_stats(&x, &e, &slices, 2, &exec);
+        let bits = BitMatrix::from_csr(&x);
+        let bm = evaluate_slice_stats_bitmap(&bits, &e, &slices, &exec);
+        assert_eq!(bm, fused);
+        let empty = evaluate_slice_stats_bitmap(&bits, &e, &[], &exec);
+        assert!(empty.0.is_empty() && empty.1.is_empty() && empty.2.is_empty());
     }
 
     #[test]

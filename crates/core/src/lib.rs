@@ -78,5 +78,6 @@ pub mod topk;
 pub use algorithm::{SliceInfo, SliceLine, SliceLineResult};
 pub use config::{EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder};
 pub use error::{Result, SliceLineError};
+pub use evaluate::EvalEngine;
 pub use scoring::ScoringContext;
 pub use stats::{LevelStats, RunStats};

@@ -1,0 +1,183 @@
+//! Property tests for kernel parity: the blocked, fused, and bitmap
+//! evaluation kernels must agree **bit-for-bit** on `(sizes, errors,
+//! max_errors)` over random one-hot matrices and slice sets.
+//!
+//! Errors are drawn from a dyadic grid (multiples of 1/64), so every
+//! partial sum is exact in f64 and float association cannot mask a real
+//! kernel divergence: any mismatch is a bug, not rounding.
+
+use proptest::prelude::*;
+use sliceline::config::EvalKernel;
+use sliceline::evaluate::evaluate_slices;
+use sliceline::ScoringContext;
+use sliceline_linalg::{CsrMatrix, ExecContext};
+
+/// Random one-hot dataset: `m` features with per-feature domains, rows of
+/// integer codes, and dyadic per-row errors.
+///
+/// Returns `(column offsets per feature, rows as one-hot column lists,
+/// errors)`.
+fn dataset_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<u32>>, Vec<f64>)> {
+    (2usize..=4, 8usize..=48).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(2usize..=3, m..=m),
+            proptest::collection::vec(proptest::collection::vec(0u32..3, m..=m), n..=n),
+            proptest::collection::vec((0u32..=64).prop_map(|v| v as f64 / 64.0), n..=n),
+        )
+            .prop_map(|(domains, codes, errors)| {
+                // Feature j occupies columns offsets[j]..offsets[j+1].
+                let mut offsets = vec![0usize];
+                for &d in &domains {
+                    offsets.push(offsets.last().unwrap() + d);
+                }
+                let rows: Vec<Vec<u32>> = codes
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .zip(domains.iter())
+                            .enumerate()
+                            .map(|(j, (&c, &d))| offsets[j] as u32 + (c % d as u32))
+                            .collect()
+                    })
+                    .collect();
+                (offsets, rows, errors)
+            })
+    })
+}
+
+/// All arity-`level` column combinations over the one-hot space, capped —
+/// includes "impossible" slices that pick two columns of the same feature
+/// (always empty) and columns no row populates.
+fn candidates(total_cols: usize, level: usize, cap: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut combo = vec![0u32; level];
+    fn rec(
+        out: &mut Vec<Vec<u32>>,
+        combo: &mut Vec<u32>,
+        pos: usize,
+        start: u32,
+        total: u32,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if pos == combo.len() {
+            out.push(combo.clone());
+            return;
+        }
+        for c in start..total {
+            combo[pos] = c;
+            rec(out, combo, pos + 1, c + 1, total, cap);
+        }
+    }
+    rec(&mut out, &mut combo, 0, 0, total_cols as u32, cap);
+    out
+}
+
+/// Evaluates `slices` under one kernel/thread-count combination.
+fn run(
+    x: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    ctx: &ScoringContext,
+    kernel: EvalKernel,
+    threads: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let exec = ExecContext::new(threads);
+    let state = evaluate_slices(x, errors, slices.to_vec(), level, ctx, kernel, &exec);
+    (state.sizes, state.errors, state.max_errors)
+}
+
+/// Deterministic instance of the parity property that runs under plain
+/// `cargo test` even where the proptest runner is unavailable.
+#[test]
+fn kernels_agree_on_fixed_dataset() {
+    let offsets = [0usize, 3, 5, 8];
+    let total = *offsets.last().unwrap();
+    let rows: Vec<Vec<u32>> = (0..40)
+        .map(|i| vec![(i % 3) as u32, 3 + (i % 2) as u32, 5 + ((i / 2) % 3) as u32])
+        .collect();
+    let errors: Vec<f64> = (0..40).map(|i| ((i * 7) % 65) as f64 / 64.0).collect();
+    let x = CsrMatrix::from_binary_rows(total, &rows).unwrap();
+    let ctx = ScoringContext::new(&errors, 0.95);
+    for level in 1..=3usize {
+        let slices = candidates(total, level, 64);
+        let base = run(
+            &x,
+            &errors,
+            &slices,
+            level,
+            &ctx,
+            EvalKernel::Blocked { block_size: 4 },
+            1,
+        );
+        for kernel in [
+            EvalKernel::Blocked { block_size: 4 },
+            EvalKernel::Fused,
+            EvalKernel::Bitmap,
+        ] {
+            for threads in [1usize, 2] {
+                let got = run(&x, &errors, &slices, level, &ctx, kernel, threads);
+                assert_eq!(got, base, "{kernel:?} x{threads} diverged at level {level}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked, fused, and bitmap agree bit-for-bit at levels 1–3, at one
+    /// and two threads, over every slice candidate of that arity.
+    #[test]
+    fn kernels_agree_bit_for_bit((offsets, rows, errors) in dataset_strategy()) {
+        let total = *offsets.last().unwrap();
+        let x = CsrMatrix::from_binary_rows(total, &rows).unwrap();
+        let ctx = ScoringContext::new(&errors, 0.95);
+        let kernels = [
+            EvalKernel::Blocked { block_size: 4 },
+            EvalKernel::Fused,
+            EvalKernel::Bitmap,
+        ];
+        for level in 1..=3usize {
+            let slices = candidates(total, level, 64);
+            let base = run(&x, &errors, &slices, level, &ctx,
+                           EvalKernel::Blocked { block_size: 4 }, 1);
+            for kernel in kernels {
+                for threads in [1usize, 2] {
+                    let got = run(&x, &errors, &slices, level, &ctx, kernel, threads);
+                    prop_assert_eq!(
+                        &got.0, &base.0,
+                        "sizes diverged: {:?} x{} at level {}", kernel, threads, level
+                    );
+                    prop_assert_eq!(
+                        &got.1, &base.1,
+                        "errors diverged: {:?} x{} at level {}", kernel, threads, level
+                    );
+                    prop_assert_eq!(
+                        &got.2, &base.2,
+                        "max_errors diverged: {:?} x{} at level {}", kernel, threads, level
+                    );
+                }
+            }
+        }
+    }
+
+    /// An empty slice set yields empty statistics under every kernel.
+    #[test]
+    fn empty_slice_set((offsets, rows, errors) in dataset_strategy()) {
+        let total = *offsets.last().unwrap();
+        let x = CsrMatrix::from_binary_rows(total, &rows).unwrap();
+        let ctx = ScoringContext::new(&errors, 0.95);
+        for kernel in [
+            EvalKernel::Blocked { block_size: 4 },
+            EvalKernel::Fused,
+            EvalKernel::Bitmap,
+        ] {
+            let (ss, se, sm) = run(&x, &errors, &[], 2, &ctx, kernel, 2);
+            prop_assert!(ss.is_empty() && se.is_empty() && sm.is_empty());
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //! aggregation with configurable latencies.
 
 use crate::partition::PartitionedMatrix;
-use sliceline::evaluate::evaluate_slice_stats;
-use sliceline_linalg::{CsrMatrix, ExecContext};
+use sliceline::evaluate::{evaluate_slice_stats, evaluate_slice_stats_bitmap};
+use sliceline_linalg::{BitMatrix, CsrMatrix, ExecContext};
 use std::time::Duration;
 
 /// Cluster shape and simulated communication costs.
@@ -19,6 +19,10 @@ pub struct ClusterConfig {
     pub broadcast_per_nnz: Duration,
     /// Fixed latency charged for aggregating per-node partials.
     pub aggregate_latency: Duration,
+    /// Route per-node evaluation through the packed bitmap kernel: each
+    /// node packs its row partition once at distribution time and scans
+    /// word-wise `AND`s instead of the sparse-float fused walk.
+    pub bitmap_kernel: bool,
 }
 
 impl Default for ClusterConfig {
@@ -32,6 +36,7 @@ impl Default for ClusterConfig {
             broadcast_latency: Duration::from_micros(500),
             broadcast_per_nnz: Duration::from_nanos(20),
             aggregate_latency: Duration::from_micros(200),
+            bitmap_kernel: false,
         }
     }
 }
@@ -41,6 +46,9 @@ impl Default for ClusterConfig {
 pub struct SimulatedCluster {
     config: ClusterConfig,
     data: PartitionedMatrix,
+    /// Per-partition packed column bitmaps; empty unless
+    /// [`ClusterConfig::bitmap_kernel`] is set.
+    bitmaps: Vec<BitMatrix>,
 }
 
 /// Per-node partial slice statistics `(sizes, errors, max_errors)`.
@@ -50,9 +58,20 @@ impl SimulatedCluster {
     /// Distributes `x`/`errors` across the configured number of nodes.
     pub fn new(config: ClusterConfig, x: &CsrMatrix, errors: &[f64]) -> Self {
         let nodes = config.nodes.max(1);
+        let data = PartitionedMatrix::split(x, errors, nodes);
+        // Packing is part of data distribution: each node converts its
+        // partition to bitmaps once and amortizes it over every level.
+        let bitmaps = if config.bitmap_kernel {
+            (0..data.num_partitions())
+                .map(|p| BitMatrix::from_csr(data.partition(p).0))
+                .collect()
+        } else {
+            Vec::new()
+        };
         SimulatedCluster {
             config,
-            data: PartitionedMatrix::split(x, errors, nodes),
+            data,
+            bitmaps,
         }
     }
 
@@ -71,10 +90,12 @@ impl SimulatedCluster {
     /// pool, and aggregate the partial `(ss, se, sm)` statistics.
     ///
     /// Every node runs the same fused scan as the local driver
-    /// ([`evaluate_slice_stats`]) on a context view sharing `exec`'s
-    /// scratch pool and telemetry but restricted to `threads_per_node`
-    /// threads; each node's partial is counted in the current level's
-    /// telemetry.
+    /// ([`evaluate_slice_stats`]) — or, with
+    /// [`ClusterConfig::bitmap_kernel`], the packed scan over its
+    /// prebuilt partition bitmaps ([`evaluate_slice_stats_bitmap`]) — on
+    /// a context view sharing `exec`'s scratch pool and telemetry but
+    /// restricted to `threads_per_node` threads; each node's partial is
+    /// counted in the current level's telemetry.
     ///
     /// Returns `(sizes, errors, max_errors)` aligned with `slices`.
     pub fn evaluate_slices(
@@ -101,9 +122,14 @@ impl SimulatedCluster {
                     let slices_copy: Vec<Vec<u32>> = slices.to_vec(); // the "broadcast"
                     let data = &self.data;
                     let ne = node_exec.clone();
+                    let bitmaps = &self.bitmaps;
                     scope.spawn(move || {
                         let (x, errors) = data.partition(node);
-                        let partial = evaluate_slice_stats(x, errors, &slices_copy, level, &ne);
+                        let partial = if let Some(bits) = bitmaps.get(node) {
+                            evaluate_slice_stats_bitmap(bits, errors, &slices_copy, &ne)
+                        } else {
+                            evaluate_slice_stats(x, errors, &slices_copy, level, &ne)
+                        };
                         ne.record_level(|p| p.partials += 1);
                         partial
                     })
@@ -158,6 +184,7 @@ mod tests {
             broadcast_latency: Duration::ZERO,
             broadcast_per_nnz: Duration::ZERO,
             aggregate_latency: Duration::ZERO,
+            bitmap_kernel: false,
         }
     }
 
@@ -196,6 +223,31 @@ mod tests {
         assert_eq!(ss, vec![7.0]);
         assert!((se[0] - 7.0).abs() < 1e-12);
         assert_eq!(sm, vec![1.0]);
+    }
+
+    #[test]
+    fn bitmap_nodes_match_fused_nodes() {
+        let (x, e) = fixture();
+        let slices = vec![vec![0u32, 3], vec![1, 4], vec![2, 3], vec![2, 4]];
+        for nodes in [1, 3, 5] {
+            // One thread per node: both kernels then accumulate each
+            // node's rows in ascending order and merge partials in
+            // partition order, so the statistics are bit-for-bit equal.
+            let mut cfg = fast_config(nodes);
+            cfg.threads_per_node = 1;
+            let fused = SimulatedCluster::new(cfg, &x, &e).evaluate_slices(
+                &slices,
+                2,
+                &ExecContext::serial(),
+            );
+            cfg.bitmap_kernel = true;
+            let packed = SimulatedCluster::new(cfg, &x, &e).evaluate_slices(
+                &slices,
+                2,
+                &ExecContext::serial(),
+            );
+            assert_eq!(packed, fused, "{nodes} nodes");
+        }
     }
 
     #[test]

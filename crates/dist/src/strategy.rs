@@ -296,6 +296,7 @@ mod tests {
             broadcast_latency: Duration::ZERO,
             broadcast_per_nnz: Duration::ZERO,
             aggregate_latency: Duration::ZERO,
+            bitmap_kernel: false,
         }
     }
 
@@ -313,6 +314,10 @@ mod tests {
                 block_size: 4,
             },
             Strategy::DistParfor(fast_cluster(3)),
+            Strategy::DistParfor(ClusterConfig {
+                bitmap_kernel: true,
+                ..fast_cluster(3)
+            }),
         ];
         for s in strategies {
             let r = DistSliceLine::new(core_config(), s)

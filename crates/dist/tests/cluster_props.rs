@@ -37,6 +37,7 @@ fn fast_cluster(nodes: usize, threads: usize) -> ClusterConfig {
         broadcast_latency: Duration::ZERO,
         broadcast_per_nnz: Duration::ZERO,
         aggregate_latency: Duration::ZERO,
+        bitmap_kernel: false,
     }
 }
 

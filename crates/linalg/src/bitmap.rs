@@ -1,0 +1,396 @@
+//! Packed `u64` bitmaps for slice evaluation.
+//!
+//! The one-hot matrix `X` is binary, so the paper's evaluation product
+//! `X Sᵀ` (Eq. 10) degenerates to set intersection: a row belongs to a
+//! level-`L` slice iff it has a 1 in all `L` of the slice's columns. A
+//! [`BitMatrix`] stores each column of `X` as a packed bitmap of `n` bits
+//! (one `u64` word per 64 rows), turning the membership test into a chain
+//! of word-wise `AND`s, slice sizes into `popcount`, and the error
+//! aggregates `se`/`sm` into a masked scan of the error vector — roughly
+//! 64× less memory traffic than the sparse-float kernels and no
+//! per-element branching.
+//!
+//! The module provides the storage type plus the three word-chunked
+//! kernels the evaluation engine in `core` is built from:
+//!
+//! * [`BitMatrix::and_cols_into`] / [`BitMatrix::and_cols_into_parallel`]
+//!   — `AND`-reduce a set of column bitmaps into a slice bitmap,
+//! * [`popcount`] — slice sizes,
+//! * [`masked_stats`] / [`masked_stats_parallel`] — `(|S|, se, sm)` from a
+//!   slice bitmap and the row error vector.
+//!
+//! Parallel variants draw their fan-out from an [`ExecContext`] and chunk
+//! over *words*, so 64 rows is the smallest unit of work and partial
+//! results merge without any per-row synchronization.
+
+use crate::context::ExecContext;
+use crate::csr::CsrMatrix;
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// A binary matrix stored as packed per-column `u64` bitmaps
+/// (column-major: column `c` owns the contiguous word range
+/// `c * words_per_col .. (c + 1) * words_per_col`).
+///
+/// Trailing bits past `rows` in the last word of every column are always
+/// zero, so `AND` chains and popcounts never need a tail mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_col: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Packs the non-zero pattern of `x` (values are ignored; `x` is
+    /// expected to be binary) into per-column bitmaps.
+    pub fn from_csr(x: &CsrMatrix) -> Self {
+        let rows = x.rows();
+        let cols = x.cols();
+        let words_per_col = rows.div_ceil(WORD_BITS).max(1);
+        let mut words = vec![0u64; words_per_col * cols];
+        for r in 0..rows {
+            let word = r / WORD_BITS;
+            let bit = 1u64 << (r % WORD_BITS);
+            for &c in x.row_cols(r) {
+                words[c as usize * words_per_col + word] |= bit;
+            }
+        }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_col,
+            words,
+        }
+    }
+
+    /// Number of rows (bits per column).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bitmaps).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words per column bitmap (`ceil(rows / 64)`, at least 1).
+    pub fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
+    /// Total packed size in bytes (the broadcast/storage cost).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The packed bitmap of column `c`.
+    pub fn col(&self, c: usize) -> &[u64] {
+        &self.words[c * self.words_per_col..(c + 1) * self.words_per_col]
+    }
+
+    /// `AND`-reduces the column bitmaps named by `cols` into `out`
+    /// (resized to [`Self::words_per_col`]). An empty `cols` yields the
+    /// all-rows bitmap — every row matches zero predicates.
+    pub fn and_cols_into(&self, cols: &[u32], out: &mut Vec<u64>) {
+        out.clear();
+        match cols.split_first() {
+            None => {
+                out.resize(self.words_per_col, u64::MAX);
+                mask_tail(out, self.rows);
+            }
+            Some((&first, rest)) => {
+                out.extend_from_slice(self.col(first as usize));
+                for &c in rest {
+                    and_into(out, self.col(c as usize));
+                }
+            }
+        }
+    }
+
+    /// Word-chunked parallel [`Self::and_cols_into`]: the word range is
+    /// split across the context's threads and each worker `AND`s its
+    /// chunk through all columns (better cache behaviour than one pass
+    /// per column when bitmaps exceed the last-level cache).
+    pub fn and_cols_into_parallel(&self, cols: &[u32], out: &mut Vec<u64>, exec: &ExecContext) {
+        if exec.threads() <= 1 || self.words_per_col < 2 * WORD_BITS {
+            return self.and_cols_into(cols, out);
+        }
+        let Some((&first, rest)) = cols.split_first() else {
+            return self.and_cols_into(cols, out);
+        };
+        out.clear();
+        out.resize(self.words_per_col, 0);
+        let bits = self;
+        exec.parallel().run_on_chunks(out, 1, |word0, chunk| {
+            let lo = word0;
+            let hi = word0 + chunk.len();
+            chunk.copy_from_slice(&bits.col(first as usize)[lo..hi]);
+            for &c in rest {
+                and_into(chunk, &bits.col(c as usize)[lo..hi]);
+            }
+        });
+    }
+}
+
+/// Zeroes all bits at positions `>= rows` (call after filling with ones).
+fn mask_tail(words: &mut [u64], rows: usize) {
+    let full = rows / WORD_BITS;
+    if full < words.len() {
+        let rem = rows % WORD_BITS;
+        words[full] &= if rem == 0 {
+            0
+        } else {
+            u64::MAX >> (WORD_BITS - rem)
+        };
+        for w in &mut words[full + 1..] {
+            *w = 0;
+        }
+    }
+}
+
+/// In-place word-wise `acc &= src`.
+pub fn and_into(acc: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a &= s;
+    }
+}
+
+/// Word-wise `dst = a & b` in a single pass — the incremental
+/// child-from-parent step (cached parent bitmap `AND` one new column)
+/// without a separate copy pass.
+pub fn and2_into(dst: &mut Vec<u64>, a: &[u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    dst.clear();
+    dst.extend(a.iter().zip(b.iter()).map(|(&x, &y)| x & y));
+}
+
+/// Total set bits (the slice size `|S|`).
+pub fn popcount(words: &[u64]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// Masked error aggregation: `(|S|, se, sm)` — set-bit count, sum and max
+/// of `errors` over the rows selected by the bitmap.
+///
+/// Accumulates in ascending row order, matching the serial scan order of
+/// the blocked and fused kernels so sums agree bit-for-bit with them on a
+/// single thread.
+pub fn masked_stats(words: &[u64], errors: &[f64]) -> (f64, f64, f64) {
+    masked_stats_offset(words, errors, 0)
+}
+
+/// [`masked_stats`] for a word sub-range whose first word covers row
+/// `base_row` (`base_row` must be a multiple of 64).
+fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, f64, f64) {
+    let mut size = 0u64;
+    let mut se = 0.0f64;
+    let mut sm = 0.0f64;
+    for (wi, &word) in words.iter().enumerate() {
+        if word == 0 {
+            continue;
+        }
+        size += word.count_ones() as u64;
+        let row0 = base_row + wi * WORD_BITS;
+        let mut w = word;
+        while w != 0 {
+            let e = errors[row0 + w.trailing_zeros() as usize];
+            se += e;
+            if e > sm {
+                sm = e;
+            }
+            w &= w - 1;
+        }
+    }
+    (size as f64, se, sm)
+}
+
+/// [`masked_stats`] of `a & b` without materializing the conjunction:
+/// one read-only pass over both operands. This is the cache-hit fast
+/// path when the child bitmap itself is not retained — parent `AND`
+/// column folds directly into the error aggregation, skipping the child
+/// write and its buffer. Row order (and therefore float association)
+/// matches [`masked_stats`] exactly.
+pub fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut size = 0u64;
+    let mut se = 0.0f64;
+    let mut sm = 0.0f64;
+    for (wi, (&wa, &wb)) in a.iter().zip(b.iter()).enumerate() {
+        let word = wa & wb;
+        if word == 0 {
+            continue;
+        }
+        size += word.count_ones() as u64;
+        let row0 = wi * WORD_BITS;
+        let mut w = word;
+        while w != 0 {
+            let e = errors[row0 + w.trailing_zeros() as usize];
+            se += e;
+            if e > sm {
+                sm = e;
+            }
+            w &= w - 1;
+        }
+    }
+    (size as f64, se, sm)
+}
+
+/// Word-chunked parallel [`masked_stats`]: word ranges are reduced on the
+/// context's threads and partials merged in range order (`+` for size and
+/// sum, `max` for the max), so any thread count yields identical results
+/// whenever the partial sums are exact.
+pub fn masked_stats_parallel(words: &[u64], errors: &[f64], exec: &ExecContext) -> (f64, f64, f64) {
+    if exec.threads() <= 1 || words.len() < 2 * WORD_BITS {
+        return masked_stats(words, errors);
+    }
+    let ranges = exec.parallel().split_range(words.len());
+    let partials: Vec<(f64, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || masked_stats_offset(&words[lo..hi], errors, lo * WORD_BITS))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = (0.0, 0.0, 0.0);
+    for (ss, se, sm) in partials {
+        out.0 += ss;
+        out.1 += se;
+        if sm > out.2 {
+            out.2 = sm;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(rows: &[Vec<u32>], cols: usize) -> CsrMatrix {
+        CsrMatrix::from_binary_rows(cols, rows).unwrap()
+    }
+
+    #[test]
+    fn packs_columns_correctly() {
+        // 70 rows so the bitmap spans two words.
+        let rows: Vec<Vec<u32>> = (0..70).map(|i| vec![(i % 3) as u32]).collect();
+        let x = binary(&rows, 3);
+        let b = BitMatrix::from_csr(&x);
+        assert_eq!(b.rows(), 70);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.words_per_col(), 2);
+        assert_eq!(b.bytes(), 3 * 2 * 8);
+        for c in 0..3 {
+            assert_eq!(
+                popcount(b.col(c)),
+                rows.iter().filter(|r| r[0] == c as u32).count() as u64
+            );
+        }
+        // Bit r of column c is set iff row r contains c.
+        for (r, row) in rows.iter().enumerate() {
+            for c in 0..3u32 {
+                let set = b.col(c as usize)[r / 64] >> (r % 64) & 1 == 1;
+                assert_eq!(set, row.contains(&c), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn and_cols_counts_intersection() {
+        let rows: Vec<Vec<u32>> = (0..100)
+            .map(|i| vec![(i % 2) as u32, 2 + (i % 5) as u32])
+            .collect();
+        let x = binary(&rows, 7);
+        let b = BitMatrix::from_csr(&x);
+        let mut out = Vec::new();
+        b.and_cols_into(&[0, 2], &mut out);
+        // i % 2 == 0 and i % 5 == 0 -> i % 10 == 0: 10 rows.
+        assert_eq!(popcount(&out), 10);
+        // Empty slice matches everything; tail bits stay clear.
+        b.and_cols_into(&[], &mut out);
+        assert_eq!(popcount(&out), 100);
+    }
+
+    #[test]
+    fn masked_stats_and2_matches_materialized() {
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|i| vec![(i % 2) as u32, 2 + (i % 5) as u32])
+            .collect();
+        let errors: Vec<f64> = (0..200).map(|i| ((i * 11) % 9) as f64 / 8.0).collect();
+        let b = BitMatrix::from_csr(&binary(&rows, 7));
+        let mut child = Vec::new();
+        b.and_cols_into(&[1, 4], &mut child);
+        assert_eq!(
+            masked_stats_and2(b.col(1), b.col(4), &errors),
+            masked_stats(&child, &errors)
+        );
+    }
+
+    #[test]
+    fn and2_matches_copy_then_and() {
+        let rows: Vec<Vec<u32>> = (0..100)
+            .map(|i| vec![(i % 2) as u32, 2 + (i % 5) as u32])
+            .collect();
+        let b = BitMatrix::from_csr(&binary(&rows, 7));
+        let mut expect = b.col(0).to_vec();
+        and_into(&mut expect, b.col(2));
+        let mut fused = vec![u64::MAX; 3]; // stale contents are discarded
+        and2_into(&mut fused, b.col(0), b.col(2));
+        assert_eq!(fused, expect);
+    }
+
+    #[test]
+    fn masked_stats_matches_direct_scan() {
+        let rows: Vec<Vec<u32>> = (0..130).map(|i| vec![(i % 3) as u32]).collect();
+        let errors: Vec<f64> = (0..130).map(|i| (i % 7) as f64 / 8.0).collect();
+        let x = binary(&rows, 3);
+        let b = BitMatrix::from_csr(&x);
+        let mut buf = Vec::new();
+        b.and_cols_into(&[1], &mut buf);
+        let (ss, se, sm) = masked_stats(&buf, &errors);
+        let selected: Vec<f64> = (0..130).filter(|i| i % 3 == 1).map(|i| errors[i]).collect();
+        assert_eq!(ss, selected.len() as f64);
+        assert_eq!(se, selected.iter().sum::<f64>());
+        assert_eq!(sm, selected.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial() {
+        let rows: Vec<Vec<u32>> = (0..20_000)
+            .map(|i| vec![(i % 4) as u32, 4 + (i % 3) as u32])
+            .collect();
+        let errors: Vec<f64> = (0..20_000)
+            .map(|i| ((i * 13) % 256) as f64 / 256.0)
+            .collect();
+        let x = binary(&rows, 7);
+        let b = BitMatrix::from_csr(&x);
+        let mut serial = Vec::new();
+        b.and_cols_into(&[0, 5], &mut serial);
+        let expect = masked_stats(&serial, &errors);
+        for threads in [2, 4] {
+            let exec = ExecContext::new(threads);
+            let mut par = Vec::new();
+            b.and_cols_into_parallel(&[0, 5], &mut par, &exec);
+            assert_eq!(par, serial, "{threads} threads");
+            assert_eq!(masked_stats_parallel(&serial, &errors, &exec), expect);
+        }
+    }
+
+    #[test]
+    fn zero_row_matrix() {
+        let x = CsrMatrix::zeros(0, 2);
+        let b = BitMatrix::from_csr(&x);
+        assert_eq!(b.words_per_col(), 1);
+        let mut out = Vec::new();
+        b.and_cols_into(&[], &mut out);
+        assert_eq!(popcount(&out), 0);
+        b.and_cols_into(&[0, 1], &mut out);
+        assert_eq!(popcount(&out), 0);
+    }
+}

@@ -15,8 +15,9 @@
 //!    and telemetry (used by the simulated cluster to give each node its
 //!    own per-node parallelism while all nodes feed one stats sink).
 //! 2. **Scratch buffers** — a checkout/return pool of `Vec<f64>` /
-//!    `Vec<u32>` arenas so the blocked kernel's `n × b` intermediate and
-//!    each level's `sizes/errs/max_errs/scores` vectors are reused across
+//!    `Vec<u32>` / `Vec<u64>` arenas so the blocked kernel's `n × b`
+//!    intermediate, the bitmap kernel's packed word buffers, and each
+//!    level's `sizes/errs/max_errs/scores` vectors are reused across
 //!    levels instead of re-allocated. Pooling can be switched off
 //!    ([`ExecContext::set_pooling`]) to measure the allocation churn it
 //!    removes.
@@ -69,7 +70,10 @@ pub struct LevelProfile {
     pub evaluated: u64,
     /// Per-node partial aggregations merged (distributed runs).
     pub partials: u64,
-    /// Eval kernel that ran (`"blocked"` / `"fused"`), if any.
+    /// Bitmap-kernel evaluations served incrementally from a cached
+    /// parent bitmap (one `AND` instead of `L`).
+    pub cache_hits: u64,
+    /// Eval kernel that ran (`"blocked"` / `"fused"` / `"bitmap"`), if any.
     pub kernel: Option<&'static str>,
     /// Wall time in candidate enumeration.
     pub enumerate: Duration,
@@ -90,6 +94,10 @@ pub struct PoolStats {
     pub u32_reused: u64,
     /// `Vec<u32>` checkouts that had to allocate fresh.
     pub u32_allocated: u64,
+    /// `Vec<u64>` (bitmap word) checkouts served from the pool.
+    pub u64_reused: u64,
+    /// `Vec<u64>` (bitmap word) checkouts that had to allocate fresh.
+    pub u64_allocated: u64,
     /// Bytes of capacity served from the pool instead of the allocator.
     pub bytes_reused: u64,
 }
@@ -97,12 +105,12 @@ pub struct PoolStats {
 impl PoolStats {
     /// Total checkouts served from the pool.
     pub fn reused(&self) -> u64 {
-        self.f64_reused + self.u32_reused
+        self.f64_reused + self.u32_reused + self.u64_reused
     }
 
     /// Total checkouts that allocated fresh.
     pub fn allocated(&self) -> u64 {
-        self.f64_allocated + self.u32_allocated
+        self.f64_allocated + self.u32_allocated + self.u64_allocated
     }
 }
 
@@ -134,7 +142,7 @@ impl ExecStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9}\n",
+            "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>9} {:>9} {:>9}\n",
             "level",
             "cands",
             "dedup",
@@ -143,6 +151,7 @@ impl ExecStats {
             "pr:par",
             "evaluated",
             "partials",
+            "bmhits",
             "kernel",
             "enum(s)",
             "eval(s)",
@@ -150,7 +159,7 @@ impl ExecStats {
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4}\n",
+                "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>9.4} {:>9.4} {:>9.4}\n",
                 l.level,
                 l.candidates,
                 l.deduped,
@@ -159,6 +168,7 @@ impl ExecStats {
                 l.pruned_parents,
                 l.evaluated,
                 l.partials,
+                l.cache_hits,
                 l.kernel.unwrap_or("-"),
                 l.enumerate.as_secs_f64(),
                 l.evaluate.as_secs_f64(),
@@ -190,7 +200,8 @@ impl ExecStats {
             out.push_str(&format!(
                 "{{\"level\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
                  \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"partials\":{},\
-                 \"kernel\":{},\"enumerate_secs\":{:.6},\"evaluate_secs\":{:.6},\"topk_secs\":{:.6}}}",
+                 \"cache_hits\":{},\"kernel\":{},\"enumerate_secs\":{:.6},\
+                 \"evaluate_secs\":{:.6},\"topk_secs\":{:.6}}}",
                 l.level,
                 l.candidates,
                 l.deduped,
@@ -199,6 +210,7 @@ impl ExecStats {
                 l.pruned_parents,
                 l.evaluated,
                 l.partials,
+                l.cache_hits,
                 match l.kernel {
                     Some(k) => format!("\"{k}\""),
                     None => "null".to_string(),
@@ -211,11 +223,13 @@ impl ExecStats {
         out.push_str("],");
         out.push_str(&format!(
             "\"pool\":{{\"f64_reused\":{},\"f64_allocated\":{},\"u32_reused\":{},\
-             \"u32_allocated\":{},\"bytes_reused\":{}}}",
+             \"u32_allocated\":{},\"u64_reused\":{},\"u64_allocated\":{},\"bytes_reused\":{}}}",
             self.pool.f64_reused,
             self.pool.f64_allocated,
             self.pool.u32_reused,
             self.pool.u32_allocated,
+            self.pool.u64_reused,
+            self.pool.u64_allocated,
             self.pool.bytes_reused,
         ));
         out.push('}');
@@ -229,10 +243,13 @@ struct BufferPool {
     enabled: AtomicBool,
     f64_bufs: Mutex<Vec<Vec<f64>>>,
     u32_bufs: Mutex<Vec<Vec<u32>>>,
+    u64_bufs: Mutex<Vec<Vec<u64>>>,
     f64_reused: AtomicU64,
     f64_allocated: AtomicU64,
     u32_reused: AtomicU64,
     u32_allocated: AtomicU64,
+    u64_reused: AtomicU64,
+    u64_allocated: AtomicU64,
     bytes_reused: AtomicU64,
 }
 
@@ -374,6 +391,35 @@ impl ExecContext {
         }
     }
 
+    /// Checks out a zeroed `Vec<u64>` of length `len` — the packed word
+    /// buffers of the bitmap kernel.
+    pub fn take_u64(&self, len: usize) -> Vec<u64> {
+        let pool = &self.inner.pool;
+        if pool.enabled.load(Ordering::Relaxed) {
+            if let Some(mut buf) = self.inner.pool.u64_bufs.lock().unwrap().pop() {
+                pool.u64_reused.fetch_add(1, Ordering::Relaxed);
+                pool.bytes_reused
+                    .fetch_add(8 * buf.capacity().min(len) as u64, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, 0);
+                return buf;
+            }
+        }
+        pool.u64_allocated.fetch_add(1, Ordering::Relaxed);
+        vec![0; len]
+    }
+
+    /// Returns a `Vec<u64>` to the pool for later reuse.
+    pub fn put_u64(&self, buf: Vec<u64>) {
+        let pool = &self.inner.pool;
+        if pool.enabled.load(Ordering::Relaxed) && buf.capacity() > 0 {
+            let mut bufs = pool.u64_bufs.lock().unwrap();
+            if bufs.len() < MAX_POOLED {
+                bufs.push(buf);
+            }
+        }
+    }
+
     /// Enables or disables buffer pooling (enabled by default). When
     /// disabled, checkouts always allocate and returns drop the buffer —
     /// the fresh-allocation behaviour benches compare against.
@@ -382,6 +428,7 @@ impl ExecContext {
         if !enabled {
             self.inner.pool.f64_bufs.lock().unwrap().clear();
             self.inner.pool.u32_bufs.lock().unwrap().clear();
+            self.inner.pool.u64_bufs.lock().unwrap().clear();
         }
     }
 
@@ -398,6 +445,8 @@ impl ExecContext {
             f64_allocated: pool.f64_allocated.load(Ordering::Relaxed),
             u32_reused: pool.u32_reused.load(Ordering::Relaxed),
             u32_allocated: pool.u32_allocated.load(Ordering::Relaxed),
+            u64_reused: pool.u64_reused.load(Ordering::Relaxed),
+            u64_allocated: pool.u64_allocated.load(Ordering::Relaxed),
             bytes_reused: pool.bytes_reused.load(Ordering::Relaxed),
         }
     }
@@ -531,6 +580,21 @@ mod tests {
         let b = ctx.take_u32(10);
         assert_eq!(b, vec![0; 10]);
         assert_eq!(ctx.pool_stats().u32_reused, 1);
+    }
+
+    #[test]
+    fn u64_pool_roundtrip() {
+        let ctx = ExecContext::serial();
+        ctx.put_u64(vec![u64::MAX; 16]);
+        let b = ctx.take_u64(12);
+        assert_eq!(b, vec![0u64; 12]);
+        let stats = ctx.pool_stats();
+        assert_eq!(stats.u64_reused, 1);
+        assert!(stats.reused() >= 1);
+        ctx.set_pooling(false);
+        ctx.put_u64(vec![1; 4]);
+        let _ = ctx.take_u64(4);
+        assert_eq!(ctx.pool_stats().u64_allocated, 1);
     }
 
     #[test]

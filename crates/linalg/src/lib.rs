@@ -32,6 +32,7 @@
 #![warn(clippy::all)]
 
 pub mod agg;
+pub mod bitmap;
 pub mod blocked;
 pub mod context;
 pub mod csr;
@@ -43,6 +44,7 @@ pub mod spgemm;
 pub mod table;
 pub mod vector;
 
+pub use bitmap::BitMatrix;
 pub use blocked::BlockedMatrix;
 pub use context::{ExecContext, ExecStats, LevelProfile, PoolStats, Stage};
 pub use csr::CsrMatrix;

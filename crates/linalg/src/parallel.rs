@@ -53,12 +53,15 @@ impl ParallelConfig {
 
     /// Splits `data` (a row-major buffer with rows of `row_width` elements)
     /// into contiguous row-aligned chunks, one per worker, and invokes
-    /// `f(first_row_index, chunk)` on each from its own thread.
+    /// `f(first_row_index, chunk)` on each from its own thread. Generic
+    /// over the element type so both the `f64` match-count intermediates
+    /// and the packed `u64` bitmap words share one splitter.
     ///
     /// With `row_width == 0` or empty data this is a no-op.
-    pub fn run_on_chunks<F>(&self, data: &mut [f64], row_width: usize, f: F)
+    pub fn run_on_chunks<T, F>(&self, data: &mut [T], row_width: usize, f: F)
     where
-        F: Fn(usize, &mut [f64]) + Sync,
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
     {
         if data.is_empty() || row_width == 0 {
             return;

@@ -19,6 +19,12 @@ use crate::error::{LinalgError, Result};
 
 /// General sparse × sparse product `a * b` using the classic Gustavson
 /// row-wise algorithm with a dense accumulator of size `b.cols()`.
+///
+/// Occupancy is tracked with a dense `seen` flag array rather than an
+/// `acc[c] == 0.0` test: a partial sum can pass through zero (e.g.
+/// `1·1 + 1·(-1)`), so a value test would re-register the column and is
+/// incorrect for cancelling sums; it also avoids the O(nnz·row) linear
+/// `touched.contains` scan, keeping each row linear in its flop count.
 pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
     if a.cols() != b.rows() {
         return Err(LinalgError::ShapeMismatch {
@@ -29,6 +35,7 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
     }
     let n = b.cols();
     let mut acc = vec![0.0f64; n];
+    let mut seen = vec![false; n];
     let mut touched: Vec<u32> = Vec::new();
     let mut row_ptr = Vec::with_capacity(a.rows() + 1);
     row_ptr.push(0usize);
@@ -40,7 +47,8 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         for (&k, &av) in acols.iter().zip(avals.iter()) {
             let (bcols, bvals) = b.row(k as usize);
             for (&c, &bv) in bcols.iter().zip(bvals.iter()) {
-                if acc[c as usize] == 0.0 && !touched.contains(&c) {
+                if !seen[c as usize] {
+                    seen[c as usize] = true;
                     touched.push(c);
                 }
                 acc[c as usize] += av * bv;
@@ -54,6 +62,7 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
                 values.push(v);
             }
             acc[c as usize] = 0.0;
+            seen[c as usize] = false;
         }
         row_ptr.push(col_idx.len());
     }
@@ -296,6 +305,21 @@ mod tests {
         let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
         assert_eq!(c.to_dense(), expect);
         assert!(spgemm(&a, &a).is_err());
+    }
+
+    #[test]
+    fn spgemm_keeps_structural_zeros_from_cancelling_sums() {
+        // Row 0 of `a` hits both rows of `b`; in column 0 the partial sums
+        // are 1·1 + 1·(-1) = 0 — the entry cancels exactly and must simply
+        // be dropped, not corrupt occupancy tracking for column 1.
+        let a = CsrMatrix::from_triplets(1, 2, &[(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let b =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, -1.0), (1, 1, 3.0)])
+                .unwrap();
+        let c = spgemm(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 1), 5.0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ fn main() {
                 broadcast_latency: Duration::from_millis(1),
                 broadcast_per_nnz: Duration::from_nanos(20),
                 aggregate_latency: Duration::from_micros(500),
+                bitmap_kernel: false,
             }),
         ),
     ];

@@ -172,6 +172,7 @@ fn distributed_strategies_agree_on_generated_data() {
             broadcast_latency: Duration::ZERO,
             broadcast_per_nnz: Duration::ZERO,
             aggregate_latency: Duration::ZERO,
+            bitmap_kernel: false,
         }),
     ] {
         let r = DistSliceLine::new(config(2), strategy)
