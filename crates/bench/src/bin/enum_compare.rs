@@ -1,0 +1,290 @@
+//! Enumeration-engine comparison — serial vs sharded candidate generation.
+//!
+//! Builds genuine level states (data preparation → basic slices → level-2
+//! evaluation) on AdultSim and the wide KDD98Sim (the many-features regime
+//! where the level-2 join dominates end-to-end time, paper §5.2/Fig. 4b)
+//! and times `get_pair_candidates` under both engines on identical inputs.
+//! Before any timing, the engines are checked for identical candidate sets
+//! (up to ordering) and identical `EnumStats` counters on every cell; any
+//! divergence exits non-zero, so this binary doubles as the CI parity
+//! gate.
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin enum_compare -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes the machine-readable results to stdout (tables
+//! move to stderr); the committed `BENCH_enum.json` is that output.
+
+use sliceline::config::{EnumKernel, EvalKernel, PruningConfig};
+use sliceline::enumerate::{get_pair_candidates, EnumStats};
+use sliceline::evaluate::evaluate_slices;
+use sliceline::init::{create_and_score_basic_slices, LevelState};
+use sliceline::prepare::prepare;
+use sliceline::topk::TopK;
+use sliceline::{MinSupport, ScoringContext, SliceLineConfig};
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_datagen::{adult_like, kdd98_like, Dataset};
+use sliceline_linalg::ExecContext;
+use std::time::Instant;
+
+/// One benchmark cell: a (dataset, level) join problem.
+struct Cell {
+    dataset: &'static str,
+    level: usize,
+    parents: usize,
+    pairs: usize,
+    survivors: usize,
+    serial_secs: f64,
+    serial_join: f64,
+    serial_dedup: f64,
+    sharded_secs: f64,
+    sharded_join: f64,
+    sharded_dedup: f64,
+}
+
+/// A prepared join problem: the level state plus everything
+/// `get_pair_candidates` reads.
+struct JoinProblem {
+    prev: LevelState,
+    level: usize,
+    col_feature: Vec<u32>,
+    num_cols: usize,
+    ctx: ScoringContext,
+    sigma: usize,
+    topk: TopK,
+}
+
+impl JoinProblem {
+    fn run(&self, kernel: EnumKernel, exec: &ExecContext) -> (Vec<Vec<u32>>, EnumStats) {
+        get_pair_candidates(
+            &self.prev,
+            self.level,
+            &self.col_feature,
+            self.num_cols,
+            &self.ctx,
+            self.sigma,
+            &PruningConfig::all(),
+            &self.topk,
+            kernel,
+            exec,
+        )
+    }
+
+    /// Seconds per call (repetition-averaged after one untimed warmup)
+    /// plus the last call's join/dedup phase split.
+    fn time(&self, kernel: EnumKernel, exec: &ExecContext) -> (f64, EnumStats) {
+        self.run(kernel, exec);
+        let est_start = Instant::now();
+        self.run(kernel, exec);
+        let est = est_start.elapsed().as_secs_f64();
+        let reps = ((0.5 / est.max(1e-6)) as usize).clamp(1, 20);
+        let start = Instant::now();
+        let mut stats = EnumStats::default();
+        for _ in 0..reps {
+            stats = self.run(kernel, exec).1;
+        }
+        (start.elapsed().as_secs_f64() / reps as f64, stats)
+    }
+}
+
+/// Builds the level-(L−1) join problems for one dataset: always the
+/// level-2 join over basic slices, plus (when `with_level3`) the level-3
+/// join over the bitmap-evaluated level-2 survivors.
+fn problems(d: &Dataset, sigma: usize, with_level3: bool, exec: &ExecContext) -> Vec<JoinProblem> {
+    let config = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .build()
+        .expect("static config");
+    let mut config = config;
+    config.min_support = MinSupport::Absolute(sigma);
+    let prepared = prepare(&d.x0, &d.errors, &config, exec).expect("generated data is valid");
+    let (proj, level1) = create_and_score_basic_slices(&prepared, exec);
+    let mut topk = TopK::new(4, prepared.sigma);
+    topk.update(&level1);
+    let mut out = Vec::new();
+    let base = JoinProblem {
+        prev: level1,
+        level: 2,
+        col_feature: proj.col_feature.clone(),
+        num_cols: proj.x.cols(),
+        ctx: prepared.ctx,
+        sigma: prepared.sigma,
+        topk,
+    };
+    if with_level3 {
+        // Evaluate the level-2 survivors to get a real level-2 state.
+        let (cands, _) = base.run(EnumKernel::Serial, exec);
+        let level2 = evaluate_slices(
+            &proj.x,
+            &prepared.errors,
+            cands,
+            2,
+            &prepared.ctx,
+            EvalKernel::Bitmap,
+            exec,
+        );
+        let mut topk3 = TopK::new(4, prepared.sigma);
+        topk3.update(&level2);
+        out.push(JoinProblem {
+            prev: level2,
+            level: 3,
+            col_feature: base.col_feature.clone(),
+            num_cols: base.num_cols,
+            ctx: base.ctx,
+            sigma: base.sigma,
+            topk: topk3,
+        });
+    }
+    out.insert(0, base);
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner("Enumeration comparison: serial vs sharded", &args);
+    }
+    let threads = args.resolved_threads();
+    let exec = ExecContext::new(threads);
+    let serial_exec = ExecContext::serial();
+    let gen = args.gen_config();
+    // (dataset, sigma, level-3 too?). KDD98Sim is the wide regime the
+    // sharded engine targets (8,378 one-hot columns -> a huge level-2
+    // join); its level-2 survivor set is too large to evaluate in a bench,
+    // so only AdultSim exercises the level-3 join.
+    let specs: [(&'static str, Dataset, usize, bool); 2] = [
+        ("adult", adult_like(&gen), 32, true),
+        ("kdd98", kdd98_like(&gen), 32, false),
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, dataset, sigma, with_level3) in &specs {
+        for problem in problems(dataset, *sigma, *with_level3, &exec) {
+            // Parity gate before any timing: identical sets and counters
+            // across engines, thread counts, and shard counts.
+            let (mut serial, serial_stats) = problem.run(EnumKernel::Serial, &serial_exec);
+            serial.sort_unstable();
+            for (shards, ex) in [(0usize, &exec), (7, &exec), (3, &serial_exec)] {
+                let (mut sharded, sharded_stats) = problem.run(EnumKernel::Sharded { shards }, ex);
+                sharded.sort_unstable();
+                if sharded != serial || !sharded_stats.same_counters(&serial_stats) {
+                    eprintln!(
+                        "PARITY FAILURE: {name} level {} shards {shards}: engines diverged\n\
+                         serial  {serial_stats:?}\nsharded {sharded_stats:?}",
+                        problem.level
+                    );
+                    std::process::exit(1);
+                }
+            }
+            let (serial_secs, s_split) = problem.time(EnumKernel::Serial, &exec);
+            let (sharded_secs, sh_split) = problem.time(EnumKernel::Sharded { shards: 0 }, &exec);
+            cells.push(Cell {
+                dataset: name,
+                level: problem.level,
+                parents: serial_stats.parents,
+                pairs: serial_stats.pairs,
+                survivors: serial_stats.survivors,
+                serial_secs,
+                serial_join: s_split.join_time.as_secs_f64(),
+                serial_dedup: s_split.dedup_time.as_secs_f64(),
+                sharded_secs,
+                sharded_join: sh_split.join_time.as_secs_f64(),
+                sharded_dedup: sh_split.dedup_time.as_secs_f64(),
+            });
+        }
+    }
+    out("parity: serial and sharded engines agree on every cell\n");
+    out("candidate-generation time per call (lower is better)");
+    let mut table = TextTable::new(&[
+        "dataset",
+        "level",
+        "parents",
+        "pairs",
+        "survivors",
+        "serial (join+dedup)",
+        "sharded (join+dedup)",
+        "speedup",
+    ]);
+    for c in &cells {
+        table.row(&[
+            c.dataset.to_string(),
+            c.level.to_string(),
+            c.parents.to_string(),
+            c.pairs.to_string(),
+            c.survivors.to_string(),
+            format!(
+                "{:.2}ms ({:.1}+{:.1})",
+                c.serial_secs * 1e3,
+                c.serial_join * 1e3,
+                c.serial_dedup * 1e3
+            ),
+            format!(
+                "{:.2}ms ({:.1}+{:.1})",
+                c.sharded_secs * 1e3,
+                c.sharded_join * 1e3,
+                c.sharded_dedup * 1e3
+            ),
+            format!("{:.2}x", c.serial_secs / c.sharded_secs.max(1e-12)),
+        ]);
+    }
+    out(&table.render());
+
+    // The acceptance headline: the largest cell by pair count.
+    let largest = cells
+        .iter()
+        .max_by_key(|c| c.pairs)
+        .expect("at least one cell");
+    out(&format!(
+        "largest cell ({} level {}, {} pairs): sharded {:.2}x faster than serial at {threads} threads",
+        largest.dataset,
+        largest.level,
+        largest.pairs,
+        largest.serial_secs / largest.sharded_secs.max(1e-12)
+    ));
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"enum_compare\",\n");
+        json.push_str(&format!(
+            "  \"threads\": {threads},\n  \"scale\": {},\n  \"seed\": {},\n",
+            args.scale, args.seed
+        ));
+        json.push_str("  \"parity\": \"ok\",\n  \"cells\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"level\": {}, \"parents\": {}, \"pairs\": {}, \"survivors\": {}, \"serial_secs\": {:.6e}, \"serial_join_secs\": {:.6e}, \"serial_dedup_secs\": {:.6e}, \"sharded_secs\": {:.6e}, \"sharded_join_secs\": {:.6e}, \"sharded_dedup_secs\": {:.6e}, \"sharded_speedup\": {:.3}}}{}\n",
+                c.dataset,
+                c.level,
+                c.parents,
+                c.pairs,
+                c.survivors,
+                c.serial_secs,
+                c.serial_join,
+                c.serial_dedup,
+                c.sharded_secs,
+                c.sharded_join,
+                c.sharded_dedup,
+                c.serial_secs / c.sharded_secs.max(1e-12),
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"largest_cell\": {{\"dataset\": \"{}\", \"level\": {}, \"pairs\": {}, \"serial_secs\": {:.6e}, \"sharded_secs\": {:.6e}, \"sharded_speedup\": {:.3}}}\n}}\n",
+            largest.dataset,
+            largest.level,
+            largest.pairs,
+            largest.serial_secs,
+            largest.sharded_secs,
+            largest.serial_secs / largest.sharded_secs.max(1e-12)
+        ));
+        print!("{json}");
+    }
+}

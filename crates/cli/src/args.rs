@@ -29,6 +29,19 @@ pub enum KernelChoice {
     Auto,
 }
 
+/// Which candidate-generation engine `find` runs (maps onto
+/// [`sliceline::EnumKernel`] in the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnumKernelChoice {
+    /// Single-threaded streaming join + one dedup table.
+    Serial,
+    /// Parallel row-blocked join into hash-sharded dedup tables.
+    Sharded,
+    /// Per-level choice by parent count (the library default).
+    #[default]
+    Auto,
+}
+
 /// How the error vector is produced when `--errors` is not given.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -68,6 +81,8 @@ pub struct FindArgs {
     pub format: OutputFormat,
     /// Slice-evaluation kernel.
     pub kernel: KernelChoice,
+    /// Candidate-generation (enumeration) engine.
+    pub enum_kernel: EnumKernelChoice,
     /// Collect and print execution-layer statistics (per-level counters,
     /// stage timings, scratch-pool reuse).
     pub stats: bool,
@@ -89,6 +104,7 @@ impl Default for FindArgs {
             bins: 10,
             format: OutputFormat::Text,
             kernel: KernelChoice::Blocked,
+            enum_kernel: EnumKernelChoice::Auto,
             stats: false,
         }
     }
@@ -160,6 +176,9 @@ FIND OPTIONS:
   --bins N            equi-width bins for continuous features (default: 10)
   --format FMT        text | json | csv              (default: text)
   --kernel K          blocked | fused | bitmap | auto (default: blocked)
+  --enum-kernel E     serial | sharded | auto        (default: auto)
+                      candidate-generation engine: sharded runs the
+                      parallel streaming join + sharded dedup
   --stats             collect and print per-level execution statistics
                       (candidates, pruning, kernel choice, stage timings)
 
@@ -249,6 +268,19 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
                     other => {
                         return Err(CliError::usage(format!(
                             "--kernel: unknown kernel '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--enum-kernel" => {
+                let v = next_value(&mut it, "--enum-kernel")?;
+                out.enum_kernel = match v.as_str() {
+                    "serial" => EnumKernelChoice::Serial,
+                    "sharded" => EnumKernelChoice::Sharded,
+                    "auto" => EnumKernelChoice::Auto,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--enum-kernel: unknown engine '{other}'"
                         )))
                     }
                 };
@@ -364,6 +396,46 @@ mod tests {
         assert_eq!(f.kernel, KernelChoice::Blocked);
         assert!(parse(sv(&[
             "find", "--input", "a", "--errors", "e", "--kernel", "gpu"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_enum_kernel_choices() {
+        for (v, expect) in [
+            ("serial", EnumKernelChoice::Serial),
+            ("sharded", EnumKernelChoice::Sharded),
+            ("auto", EnumKernelChoice::Auto),
+        ] {
+            let cli = parse(sv(&[
+                "find",
+                "--input",
+                "a.csv",
+                "--errors",
+                "e",
+                "--enum-kernel",
+                v,
+            ]))
+            .unwrap();
+            let Command::Find(f) = cli.command else {
+                panic!()
+            };
+            assert_eq!(f.enum_kernel, expect);
+        }
+        // Default when the flag is absent, error on unknown values.
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.enum_kernel, EnumKernelChoice::Auto);
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--enum-kernel",
+            "distributed"
         ]))
         .is_err());
     }

@@ -1,10 +1,10 @@
 //! The CLI pipelines: `find` (CSV → encode → model/errors → SliceLine →
 //! report) and `generate` (synthetic dataset → CSV).
 
-use crate::args::{FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind};
+use crate::args::{EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind};
 use crate::report;
 use crate::CliError;
-use sliceline::{EvalKernel, MinSupport, SliceLine, SliceLineConfig};
+use sliceline::{EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig};
 use sliceline_datagen::GenConfig;
 use sliceline_frame::csv::read_csv_file;
 use sliceline_frame::{Column, DatasetEncoder, EncodedDataset};
@@ -68,10 +68,16 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
             fused_above: 4096,
         },
     };
+    let enum_kernel = match args.enum_kernel {
+        EnumKernelChoice::Serial => EnumKernel::Serial,
+        EnumKernelChoice::Sharded => EnumKernel::Sharded { shards: 0 },
+        EnumKernelChoice::Auto => EnumKernel::default(),
+    };
     let mut config = SliceLineConfig::builder()
         .k(args.k)
         .alpha(args.alpha)
         .eval(kernel)
+        .enum_kernel(enum_kernel)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
             std::thread::available_parallelism()
@@ -301,6 +307,27 @@ mod tests {
                 .unwrap(),
             );
             assert_eq!(out, blocked, "{kernel:?} report diverged");
+        }
+        // Candidate-generation engines must not change the report either
+        // (2 threads so Sharded/Auto actually exercise the parallel path).
+        let serial = slices(
+            run_find(&FindArgs {
+                enum_kernel: EnumKernelChoice::Serial,
+                threads: 2,
+                ..base.clone()
+            })
+            .unwrap(),
+        );
+        for enum_kernel in [EnumKernelChoice::Sharded, EnumKernelChoice::Auto] {
+            let out = slices(
+                run_find(&FindArgs {
+                    enum_kernel,
+                    threads: 2,
+                    ..base.clone()
+                })
+                .unwrap(),
+            );
+            assert_eq!(out, serial, "{enum_kernel:?} report diverged");
         }
     }
 

@@ -162,6 +162,7 @@ impl SliceLine {
                     prepared.sigma,
                     &self.config.pruning,
                     &topk,
+                    self.config.enum_kernel,
                     exec,
                 )
             });

@@ -70,6 +70,44 @@ impl Default for EvalKernel {
     }
 }
 
+/// Which candidate-generation engine `get_pair_candidates` runs (§4.3).
+///
+/// Both engines stream join pairs straight out of the overlap kernel —
+/// neither materializes the pair list — and produce identical candidate
+/// sets and counters (property-tested in `core/tests/enum_parity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumKernel {
+    /// Single-threaded streaming enumeration: one pass over the pair
+    /// stream feeding one dedup table. Lowest constant factors; the right
+    /// choice for the small parent counts of typical levels.
+    Serial,
+    /// Parallel two-phase enumeration: row-blocked workers stream join
+    /// pairs into hash-sharded record buffers (shard = hash(cols) % N), then
+    /// one worker per shard owns its dedup table and final Eq. 9 pruning
+    /// pass — lock-free by ownership, deterministic by shard order.
+    Sharded {
+        /// Number of dedup shards (0 = one per worker thread).
+        shards: usize,
+    },
+    /// Per-level choice mirroring [`EvalKernel::Auto`]: sharded when the
+    /// surviving parent count reaches `sharded_above` (the join is
+    /// quadratic in parents) and more than one thread is configured,
+    /// serial otherwise.
+    Auto {
+        /// Parent-count threshold at or above which the sharded engine
+        /// is chosen.
+        sharded_above: usize,
+    },
+}
+
+impl Default for EnumKernel {
+    /// Auto with a threshold of 256 parents: below that the join is tens
+    /// of thousands of pairs at most and fan-out overhead dominates.
+    fn default() -> Self {
+        EnumKernel::Auto { sharded_above: 256 }
+    }
+}
+
 /// Pruning and deduplication switches for the Fig. 3 ablation study.
 ///
 /// All switches default to **on**; disabling any of them never changes the
@@ -157,6 +195,8 @@ pub struct SliceLineConfig {
     pub max_level: usize,
     /// Evaluation kernel and block size.
     pub eval: EvalKernel,
+    /// Candidate-generation engine (§4.3 join + dedup + pruning).
+    pub enum_kernel: EnumKernel,
     /// Pruning/deduplication ablation switches.
     pub pruning: PruningConfig,
     /// Thread configuration for parallel kernels.
@@ -178,6 +218,7 @@ impl Default for SliceLineConfig {
             alpha: 0.95,
             max_level: usize::MAX,
             eval: EvalKernel::default(),
+            enum_kernel: EnumKernel::default(),
             pruning: PruningConfig::default(),
             parallel: ParallelConfig::default(),
             bitmap_cache_bytes: 64 << 20,
@@ -234,6 +275,15 @@ impl SliceLineConfig {
             }
             EvalKernel::Fused | EvalKernel::Bitmap => {}
         }
+        if let EnumKernel::Auto { sharded_above } = self.enum_kernel {
+            if sharded_above == 0 {
+                return Err(SliceLineError::InvalidConfig {
+                    reason: "enum_kernel Auto threshold must be at least 1 \
+                             (use EnumKernel::Sharded to force sharding)"
+                        .to_string(),
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -284,6 +334,12 @@ impl SliceLineConfigBuilder {
     /// Sets the evaluation block size (shorthand for a blocked kernel).
     pub fn block_size(mut self, b: usize) -> Self {
         self.config.eval = EvalKernel::Blocked { block_size: b };
+        self
+    }
+
+    /// Sets the candidate-generation engine.
+    pub fn enum_kernel(mut self, kernel: EnumKernel) -> Self {
+        self.config.enum_kernel = kernel;
         self
     }
 
@@ -366,6 +422,26 @@ mod tests {
         assert!(!nz.size_pruning && nz.deduplication);
         let none = PruningConfig::none();
         assert!(!none.deduplication && !none.size_pruning);
+    }
+
+    #[test]
+    fn enum_kernel_defaults_and_validation() {
+        let c = SliceLineConfig::builder().build().unwrap();
+        assert_eq!(c.enum_kernel, EnumKernel::Auto { sharded_above: 256 });
+        let c = SliceLineConfig::builder()
+            .enum_kernel(EnumKernel::Sharded { shards: 8 })
+            .build()
+            .unwrap();
+        assert_eq!(c.enum_kernel, EnumKernel::Sharded { shards: 8 });
+        // shards = 0 means "one per thread" and is valid.
+        assert!(SliceLineConfig::builder()
+            .enum_kernel(EnumKernel::Sharded { shards: 0 })
+            .build()
+            .is_ok());
+        assert!(SliceLineConfig::builder()
+            .enum_kernel(EnumKernel::Auto { sharded_above: 0 })
+            .build()
+            .is_err());
     }
 
     #[test]

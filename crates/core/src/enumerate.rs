@@ -16,14 +16,43 @@
 //! floating-point precision ceiling of ID arithmetic on very wide domains
 //! (the paper's IDs overflow doubles and need recoding; a hash table is the
 //! idiomatic Rust equivalent of that recode step).
+//!
+//! # Engines
+//!
+//! Two engines implement the join → merge → dedup → prune pipeline,
+//! selected by [`EnumKernel`]:
+//!
+//! * **Serial** — one pass over the streamed pair sequence feeding a
+//!   single dedup table. Pairs are consumed straight out of the overlap
+//!   kernel ([`self_overlap_pairs_stream`]) or the level-2 all-pairs loop;
+//!   the `O(k²)` pair list is never materialized at any level.
+//! * **Sharded** — two parallel phases. Phase A row-blocks the join:
+//!   workers grab row chunks, count overlaps with a flat epoch-marked
+//!   scatter array, apply pair-level bound pruning inline, and append
+//!   surviving merged candidates to per-(chunk, shard) record buffers with
+//!   `shard = hash(cols) % N`. Phase B assigns each shard to one worker
+//!   that owns its dedup table, parent-bound accumulation and final Eq. 9
+//!   pruning outright — lock-free by ownership, deterministic because
+//!   chunk buffers are scanned in chunk order and shards concatenate in
+//!   shard order. Identical candidate sets and counters to the serial
+//!   engine (up to candidate order; property-tested in
+//!   `core/tests/enum_parity.rs`).
 
-use crate::config::PruningConfig;
+use crate::config::{EnumKernel, PruningConfig};
 use crate::init::LevelState;
 use crate::scoring::ScoringContext;
 use crate::topk::TopK;
-use sliceline_linalg::spgemm::self_overlap_pairs_eq;
+use sliceline_linalg::spgemm::{
+    all_pairs_stream_chunked, self_overlap_pairs_stream, self_overlap_pairs_stream_chunked,
+};
 use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Row chunks handed to each worker thread in the sharded join, as a
+/// multiple of the thread count — oversubscription so the dynamic
+/// scheduler can balance the uneven per-row join costs.
+const CHUNKS_PER_THREAD: usize = 8;
 
 /// Counters describing one level's enumeration (feeds the Fig. 3/4 and
 /// Table 2 experiments).
@@ -45,6 +74,27 @@ pub struct EnumStats {
     pub pruned_parents: usize,
     /// Candidates surviving all pruning (to be evaluated).
     pub survivors: usize,
+    /// Wall time of the join phase (pair generation + merge + pair-level
+    /// pruning + shard routing).
+    pub join_time: Duration,
+    /// Wall time of the dedup phase (dedup table + parent-bound
+    /// accumulation + final Eq. 9 pruning).
+    pub dedup_time: Duration,
+}
+
+impl EnumStats {
+    /// `true` when all *counters* agree (wall-time fields are excluded —
+    /// they are never comparable across runs or engines).
+    pub fn same_counters(&self, other: &EnumStats) -> bool {
+        self.parents == other.parents
+            && self.pairs == other.pairs
+            && self.merged_valid == other.merged_valid
+            && self.deduped == other.deduped
+            && self.pruned_size == other.pruned_size
+            && self.pruned_score == other.pruned_score
+            && self.pruned_parents == other.pruned_parents
+            && self.survivors == other.survivors
+    }
 }
 
 /// A merged candidate with parent-derived upper bounds.
@@ -55,7 +105,7 @@ pub struct EnumStats {
 #[derive(Debug, Clone)]
 struct Candidate {
     cols: Vec<u32>,
-    /// Distinct parent indices (into the filtered parent list).
+    /// Distinct parent indices (into the filtered parent list), sorted.
     parents: Vec<u32>,
     ss_ub: f64,
     se_ub: f64,
@@ -63,9 +113,25 @@ struct Candidate {
 }
 
 impl Candidate {
+    fn new(level: usize) -> Self {
+        Candidate {
+            cols: Vec::new(),
+            parents: Vec::with_capacity(level),
+            ss_ub: f64::INFINITY,
+            se_ub: f64::INFINITY,
+            sm_ub: f64::INFINITY,
+        }
+    }
+
     fn absorb_parent(&mut self, idx: u32, ss: f64, se: f64, sm: f64) {
-        if !self.parents.contains(&idx) {
-            self.parents.push(idx);
+        // Sorted insert: a level-L candidate absorbs up to C(L,2) pairs,
+        // i.e. O(L²) absorb calls over only L distinct parents, and the
+        // pair stream repeats low indices non-adjacently ((p1,p2), (p1,p3),
+        // …) — so a last-element check is insufficient and a linear
+        // `contains` scan is O(L) per call. Binary search keeps the list
+        // sorted and the membership test O(log L).
+        if let Err(pos) = self.parents.binary_search(&idx) {
+            self.parents.insert(pos, idx);
         }
         if ss < self.ss_ub {
             self.ss_ub = ss;
@@ -79,8 +145,120 @@ impl Candidate {
     }
 }
 
+/// Everything the join/merge/prune pipeline reads, bundled so the serial
+/// closure and the sharded workers share one per-pair body.
+struct JoinInputs<'a> {
+    prev: &'a LevelState,
+    parent_idx: &'a [usize],
+    parent_slices: &'a [&'a [u32]],
+    level: usize,
+    col_feature: &'a [u32],
+    num_cols: usize,
+    ctx: &'a ScoringContext,
+    sigma: usize,
+    pruning: &'a PruningConfig,
+    threshold: f64,
+}
+
+impl JoinInputs<'_> {
+    /// Early pair-level pruning: bounds over the two generating parents
+    /// only. The full-parent bounds computed after deduplication are at
+    /// least as tight, so nothing prunable survives that wouldn't be
+    /// pruned in the final pass — this just avoids inserting hopeless
+    /// candidates into the dedup table (important for wide datasets like
+    /// KDD 98 where the L=2 join produces millions of pairs).
+    fn pair_prunable(&self, pa: usize, pb: usize) -> bool {
+        let prev = self.prev;
+        let pair_ss = prev.sizes[pa].min(prev.sizes[pb]);
+        if self.pruning.size_pruning && pair_ss < self.sigma as f64 {
+            return true;
+        }
+        if self.pruning.score_pruning {
+            let pair_se = prev.errors[pa].min(prev.errors[pb]);
+            let pair_sm = prev.max_errors[pa].min(prev.max_errors[pb]);
+            if self
+                .ctx
+                .score_upper_bound(pair_ss, pair_se, pair_sm, self.sigma)
+                <= self.threshold
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Merges parents `a` and `b` (filtered indices) into `merged`;
+    /// `true` when the union has exactly `level` columns and is
+    /// feature-valid.
+    fn merge_valid(&self, a: usize, b: usize, merged: &mut Vec<u32>) -> bool {
+        merge_sorted(self.parent_slices[a], self.parent_slices[b], merged);
+        merged.len() == self.level && feature_valid(merged, self.col_feature)
+    }
+
+    fn absorb(&self, cand: &mut Candidate, parent: u32) {
+        let p = self.parent_idx[parent as usize];
+        cand.absorb_parent(
+            parent,
+            self.prev.sizes[p],
+            self.prev.errors[p],
+            self.prev.max_errors[p],
+        );
+    }
+
+    /// The parent-slice matrix for the `L ≥ 3` overlap join (level 2
+    /// streams all index pairs directly and never builds it).
+    fn slice_matrix(&self) -> CsrMatrix {
+        CsrMatrix::from_binary_rows(self.num_cols, self.parent_slices)
+            .expect("parent slices are sorted, unique, in-range column lists")
+    }
+
+    /// Final pruning pass (Eq. 9): size, missing-parent handling, score.
+    /// Folds per-rule counters into `stats` and appends survivors' column
+    /// lists to `out`.
+    fn prune_into(
+        &self,
+        candidates: Vec<Candidate>,
+        stats: &mut PruneCounts,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        for cand in candidates {
+            if self.pruning.size_pruning && cand.ss_ub < self.sigma as f64 {
+                stats.size += 1;
+                continue;
+            }
+            // Missing-parent handling only makes sense on deduplicated
+            // candidates (a single pair can contribute at most 2 parents).
+            if self.pruning.parent_handling
+                && self.pruning.deduplication
+                && cand.parents.len() != self.level
+            {
+                stats.parents += 1;
+                continue;
+            }
+            if self.pruning.score_pruning {
+                let ub = self
+                    .ctx
+                    .score_upper_bound(cand.ss_ub, cand.se_ub, cand.sm_ub, self.sigma);
+                if ub <= self.threshold {
+                    stats.score += 1;
+                    continue;
+                }
+            }
+            out.push(cand.cols);
+        }
+    }
+}
+
+/// Per-rule pruning counters of one final pass (serial run or one shard).
+#[derive(Debug, Default, Clone, Copy)]
+struct PruneCounts {
+    size: usize,
+    parents: usize,
+    score: usize,
+}
+
 /// Generates the level-`L` candidate slices from the evaluated level
-/// `L−1`.
+/// `L−1`, using the engine selected by `kernel`.
 ///
 /// `col_feature` maps each projected column to its original feature and
 /// must be non-decreasing (guaranteed by the one-hot layout), so duplicate
@@ -95,6 +273,7 @@ pub fn get_pair_candidates(
     sigma: usize,
     pruning: &PruningConfig,
     topk: &TopK,
+    kernel: EnumKernel,
     exec: &ExecContext,
 ) -> (Vec<Vec<u32>>, EnumStats) {
     debug_assert!(level >= 2);
@@ -129,7 +308,7 @@ pub fn get_pair_candidates(
         .collect();
     stats.parents = parent_idx.len();
     if parent_idx.len() < 2 {
-        record_enum_stats(exec, &stats);
+        record_enum_stats(exec, &stats, None);
         return (Vec::new(), stats);
     }
     // Borrow, don't clone: the join only reads parent column lists.
@@ -137,140 +316,285 @@ pub fn get_pair_candidates(
         .iter()
         .map(|&i| prev.slices[i].as_slice())
         .collect();
-    // Step 2 — join compatible slices: exactly L−2 shared predicates.
-    // Level 2 joins single-predicate slices with zero overlap — that is
-    // every index pair, so enumerate them directly instead of
-    // materializing the O(k²) zero-overlap pair list.
-    let pairs: Vec<(usize, usize)> = if level == 2 {
-        let k = parent_slices.len();
-        let mut all = Vec::with_capacity(k * (k - 1) / 2);
-        for i in 0..k {
-            for j in (i + 1)..k {
-                all.push((i, j));
-            }
-        }
-        all
-    } else {
-        let s = CsrMatrix::from_binary_rows(num_cols, &parent_slices)
-            .expect("parent slices are sorted, unique, in-range column lists");
-        self_overlap_pairs_eq(&s, level - 2).expect("binary slice matrix by construction")
+    let inputs = JoinInputs {
+        prev,
+        parent_idx: &parent_idx,
+        parent_slices: &parent_slices,
+        level,
+        col_feature,
+        num_cols,
+        ctx,
+        sigma,
+        pruning,
+        threshold,
     };
-    stats.pairs = pairs.len();
-    // Steps 3–4 — merge, validate features, deduplicate, accumulate
-    // parent bounds.
+    // Engine choice mirrors EvalKernel::Auto: the join is quadratic in
+    // the parent count, so that count is the cost signal; one configured
+    // thread always means serial (sharding buys nothing without workers).
+    let sharded_with = match kernel {
+        EnumKernel::Serial => None,
+        EnumKernel::Sharded { shards } => Some(shards),
+        EnumKernel::Auto { sharded_above } => {
+            (exec.threads() > 1 && parent_idx.len() >= sharded_above).then_some(0)
+        }
+    };
+    let (out, name) = match sharded_with {
+        Some(shards) => (
+            enumerate_sharded(&inputs, shards, exec, &mut stats),
+            "sharded",
+        ),
+        None => (enumerate_serial(&inputs, &mut stats), "serial"),
+    };
+    stats.survivors = out.len();
+    record_enum_stats(exec, &stats, Some(name));
+    (out, stats)
+}
+
+/// Streaming single-threaded engine: consumes the pair stream inline —
+/// pair-level pruning, merge, dedup and parent-bound accumulation happen
+/// per emitted pair, so no pair list exists at any level (the level-2
+/// all-pairs case is two nested loops, `L ≥ 3` the scatter-array overlap
+/// stream).
+fn enumerate_serial(inp: &JoinInputs, stats: &mut EnumStats) -> Vec<Vec<u32>> {
+    let join_start = Instant::now();
     let mut dedup: HashMap<Vec<u32>, usize> = HashMap::new();
     let mut candidates: Vec<Candidate> = Vec::new();
-    let mut merged = Vec::with_capacity(level);
-    for &(a, b) in &pairs {
-        // Early pair-level pruning: bounds over the two generating parents
-        // only. The full-parent bounds computed after deduplication are at
-        // least as tight, so nothing prunable survives that wouldn't be
-        // pruned below — this just avoids inserting hopeless candidates
-        // into the dedup table (important for wide datasets like KDD 98
-        // where the L=2 join produces millions of pairs).
-        let (pa, pb) = (parent_idx[a], parent_idx[b]);
-        let pair_ss = prev.sizes[pa].min(prev.sizes[pb]);
-        if pruning.size_pruning && pair_ss < sigma as f64 {
-            continue;
-        }
-        if pruning.score_pruning {
-            let pair_se = prev.errors[pa].min(prev.errors[pb]);
-            let pair_sm = prev.max_errors[pa].min(prev.max_errors[pb]);
-            if ctx.score_upper_bound(pair_ss, pair_se, pair_sm, sigma) <= threshold {
-                continue;
+    let mut merged = Vec::with_capacity(inp.level);
+    {
+        let mut handle = |a: usize, b: usize| {
+            stats.pairs += 1;
+            let (pa, pb) = (inp.parent_idx[a], inp.parent_idx[b]);
+            if inp.pair_prunable(pa, pb) {
+                return;
             }
-        }
-        merge_sorted(parent_slices[a], parent_slices[b], &mut merged);
-        if merged.len() != level || !feature_valid(&merged, col_feature) {
-            continue;
-        }
-        stats.merged_valid += 1;
-        let make = |cols: Vec<u32>| Candidate {
-            cols,
-            parents: Vec::with_capacity(level),
-            ss_ub: f64::INFINITY,
-            se_ub: f64::INFINITY,
-            sm_ub: f64::INFINITY,
+            if !inp.merge_valid(a, b, &mut merged) {
+                return;
+            }
+            stats.merged_valid += 1;
+            let cand = if inp.pruning.deduplication {
+                match dedup.get(merged.as_slice()) {
+                    Some(&ix) => &mut candidates[ix],
+                    None => {
+                        // Move the merged list into the dedup table (its
+                        // only owner until the final pruning pass); the
+                        // candidate keeps an empty placeholder. `merged`
+                        // re-grows on the next iteration, so no clone
+                        // happens on either path.
+                        let ix = candidates.len();
+                        candidates.push(Candidate::new(inp.level));
+                        dedup.insert(std::mem::take(&mut merged), ix);
+                        &mut candidates[ix]
+                    }
+                }
+            } else {
+                let mut cand = Candidate::new(inp.level);
+                cand.cols = std::mem::take(&mut merged);
+                candidates.push(cand);
+                let ix = candidates.len() - 1;
+                &mut candidates[ix]
+            };
+            inp.absorb(cand, a as u32);
+            inp.absorb(cand, b as u32);
         };
-        let cand = if pruning.deduplication {
-            match dedup.get(merged.as_slice()) {
-                Some(&ix) => &mut candidates[ix],
-                None => {
-                    // Move the merged list into the dedup table (its only
-                    // owner until the final pruning pass); the candidate
-                    // keeps an empty placeholder. `merged` re-grows on the
-                    // next iteration, so no clone happens on either path.
-                    let ix = candidates.len();
-                    candidates.push(make(Vec::new()));
-                    dedup.insert(std::mem::take(&mut merged), ix);
-                    &mut candidates[ix]
+        if inp.level == 2 {
+            // Level 2 joins single-predicate slices with zero overlap —
+            // that is every index pair, streamed straight into `handle`.
+            let k = inp.parent_slices.len();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    handle(i, j);
                 }
             }
         } else {
-            candidates.push(make(std::mem::take(&mut merged)));
-            let ix = candidates.len() - 1;
-            &mut candidates[ix]
-        };
-        cand.absorb_parent(
-            a as u32,
-            prev.sizes[pa],
-            prev.errors[pa],
-            prev.max_errors[pa],
-        );
-        cand.absorb_parent(
-            b as u32,
-            prev.sizes[pb],
-            prev.errors[pb],
-            prev.max_errors[pb],
-        );
+            let s = inp.slice_matrix();
+            self_overlap_pairs_stream(&s, inp.level - 2, handle)
+                .expect("binary slice matrix by construction");
+        }
     }
-    stats.deduped = if pruning.deduplication {
+    stats.join_time = join_start.elapsed();
+    let dedup_start = Instant::now();
+    stats.deduped = if inp.pruning.deduplication {
         candidates.len()
     } else {
         stats.merged_valid
     };
     // Hand the deduplicated column lists back to their candidates.
-    if pruning.deduplication {
+    if inp.pruning.deduplication {
         for (cols, ix) in dedup {
             candidates[ix].cols = cols;
         }
     }
-    // Step 5 — pruning (Eq. 9): size, score, and missing-parent handling.
     let mut out = Vec::with_capacity(candidates.len());
-    for cand in candidates {
-        if pruning.size_pruning && cand.ss_ub < sigma as f64 {
-            stats.pruned_size += 1;
-            continue;
-        }
-        // Missing-parent handling only makes sense on deduplicated
-        // candidates (a single pair can contribute at most 2 parents).
-        if pruning.parent_handling && pruning.deduplication && cand.parents.len() != level {
-            stats.pruned_parents += 1;
-            continue;
-        }
-        if pruning.score_pruning {
-            let ub = ctx.score_upper_bound(cand.ss_ub, cand.se_ub, cand.sm_ub, sigma);
-            if ub <= threshold {
-                stats.pruned_score += 1;
-                continue;
-            }
-        }
-        out.push(cand.cols);
-    }
-    stats.survivors = out.len();
-    record_enum_stats(exec, &stats);
-    (out, stats)
+    let mut prunes = PruneCounts::default();
+    inp.prune_into(candidates, &mut prunes, &mut out);
+    stats.pruned_size = prunes.size;
+    stats.pruned_parents = prunes.parents;
+    stats.pruned_score = prunes.score;
+    stats.dedup_time = dedup_start.elapsed();
+    out
 }
 
-/// Folds one level's enumeration counters into the execution context's
-/// telemetry (no-op when stats are disabled).
-fn record_enum_stats(exec: &ExecContext, stats: &EnumStats) {
+/// Per-chunk sink of the sharded join: one flat record buffer per shard
+/// (records are `level` merged columns followed by the two parent
+/// indices), plus the chunk's share of the pair counters and the merge
+/// scratch.
+struct ChunkSink {
+    bufs: Vec<Vec<u32>>,
+    merged: Vec<u32>,
+    pairs: usize,
+    merged_valid: usize,
+}
+
+/// One shard's dedup + pruning output.
+#[derive(Default)]
+struct ShardResult {
+    survivors: Vec<Vec<u32>>,
+    deduped: usize,
+    prunes: PruneCounts,
+}
+
+/// FNV-1a over the merged column list — deterministic (unlike a seeded
+/// `RandomState`), so shard assignment and therefore output order are
+/// stable across runs.
+fn hash_cols(cols: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in cols {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parallel two-phase engine (see the module docs): row-blocked streaming
+/// join into hash-sharded record buffers, then one worker per shard doing
+/// dedup + bounds + final pruning on data only it can touch.
+fn enumerate_sharded(
+    inp: &JoinInputs,
+    shards: usize,
+    exec: &ExecContext,
+    stats: &mut EnumStats,
+) -> Vec<Vec<u32>> {
+    let nshards = if shards == 0 { exec.threads() } else { shards }.max(1);
+    let stride = inp.level + 2;
+    let k = inp.parent_slices.len();
+    let n_chunks = (exec.threads() * CHUNKS_PER_THREAD).clamp(1, k);
+    // Phase A — parallel streaming join. Workers never share sinks: each
+    // chunk owns its buffers, so the only coordination is the chunk cursor.
+    let join_start = Instant::now();
+    let make = |_ci: usize| ChunkSink {
+        bufs: vec![Vec::new(); nshards],
+        merged: Vec::with_capacity(stride),
+        pairs: 0,
+        merged_valid: 0,
+    };
+    let emit = |sink: &mut ChunkSink, i: u32, j: u32| {
+        sink.pairs += 1;
+        let (a, b) = (i as usize, j as usize);
+        if inp.pair_prunable(inp.parent_idx[a], inp.parent_idx[b]) {
+            return;
+        }
+        if !inp.merge_valid(a, b, &mut sink.merged) {
+            return;
+        }
+        sink.merged_valid += 1;
+        let shard = (hash_cols(&sink.merged) % nshards as u64) as usize;
+        let buf = &mut sink.bufs[shard];
+        buf.extend_from_slice(&sink.merged);
+        buf.push(i);
+        buf.push(j);
+    };
+    let sinks: Vec<ChunkSink> = if inp.level == 2 {
+        all_pairs_stream_chunked(k, exec, n_chunks, make, emit)
+    } else {
+        let s = inp.slice_matrix();
+        self_overlap_pairs_stream_chunked(&s, inp.level - 2, exec, n_chunks, make, emit)
+            .expect("binary slice matrix by construction")
+    };
+    stats.join_time = join_start.elapsed();
+    for sink in &sinks {
+        stats.pairs += sink.pairs;
+        stats.merged_valid += sink.merged_valid;
+    }
+    // Phase B — dedup + final pruning, one worker per shard. Duplicate
+    // column lists always hash to the same shard, so per-shard dedup is
+    // exact; scanning chunk buffers in chunk order makes each shard's
+    // first-seen candidate order (and thus the output) deterministic.
+    let dedup_start = Instant::now();
+    let shard_results: Vec<ShardResult> = exec.parallel().par_tasks(nshards, |shard| {
+        let mut res = ShardResult::default();
+        // Phase A already counted every record bound for this shard, so
+        // (unlike the streaming serial engine) the dedup structures can be
+        // sized once up front instead of rehashing through ~20 doublings
+        // on large joins.
+        let records: usize = sinks.iter().map(|s| s.bufs[shard].len() / stride).sum();
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(records);
+        if inp.pruning.deduplication {
+            let mut table: HashMap<Vec<u32>, usize> = HashMap::with_capacity(records);
+            for sink in &sinks {
+                for rec in sink.bufs[shard].chunks_exact(stride) {
+                    let (cols, pair) = rec.split_at(inp.level);
+                    let ix = match table.get(cols) {
+                        Some(&ix) => ix,
+                        None => {
+                            let ix = candidates.len();
+                            candidates.push(Candidate::new(inp.level));
+                            table.insert(cols.to_vec(), ix);
+                            ix
+                        }
+                    };
+                    inp.absorb(&mut candidates[ix], pair[0]);
+                    inp.absorb(&mut candidates[ix], pair[1]);
+                }
+            }
+            res.deduped = candidates.len();
+            for (cols, ix) in table {
+                candidates[ix].cols = cols;
+            }
+        } else {
+            for sink in &sinks {
+                for rec in sink.bufs[shard].chunks_exact(stride) {
+                    let (cols, pair) = rec.split_at(inp.level);
+                    let mut cand = Candidate::new(inp.level);
+                    cand.cols = cols.to_vec();
+                    candidates.push(cand);
+                    let ix = candidates.len() - 1;
+                    inp.absorb(&mut candidates[ix], pair[0]);
+                    inp.absorb(&mut candidates[ix], pair[1]);
+                }
+            }
+        }
+        inp.prune_into(candidates, &mut res.prunes, &mut res.survivors);
+        res
+    });
+    let mut out = Vec::new();
+    for res in shard_results {
+        stats.deduped += res.deduped;
+        stats.pruned_size += res.prunes.size;
+        stats.pruned_parents += res.prunes.parents;
+        stats.pruned_score += res.prunes.score;
+        out.extend(res.survivors);
+    }
+    if !inp.pruning.deduplication {
+        stats.deduped = stats.merged_valid;
+    }
+    stats.dedup_time = dedup_start.elapsed();
+    out
+}
+
+/// Folds one level's enumeration counters and phase timings into the
+/// execution context's telemetry (no-op when stats are disabled).
+fn record_enum_stats(exec: &ExecContext, stats: &EnumStats, kernel: Option<&'static str>) {
     exec.record_level(|p| {
         p.candidates += stats.merged_valid as u64;
         p.deduped += (stats.merged_valid - stats.deduped) as u64;
         p.pruned_size += stats.pruned_size as u64;
         p.pruned_score += stats.pruned_score as u64;
         p.pruned_parents += stats.pruned_parents as u64;
+        p.join += stats.join_time;
+        p.dedup += stats.dedup_time;
+        if kernel.is_some() {
+            p.enum_kernel = kernel;
+        }
     });
 }
 
@@ -356,6 +680,32 @@ mod tests {
     }
 
     #[test]
+    fn absorb_parent_dedups_repeated_nonadjacent_indices() {
+        // The pair stream of a level-3 candidate with parents {0, 1, 2} is
+        // (0,1), (0,2), (1,2): parent 0 arrives twice, *not* adjacently —
+        // a last-element check would double-count it.
+        let mut cand = Candidate::new(3);
+        for (a, b) in [(0u32, 1u32), (0, 2), (1, 2)] {
+            cand.absorb_parent(a, 10.0, 5.0, 1.0);
+            cand.absorb_parent(b, 10.0, 5.0, 1.0);
+        }
+        assert_eq!(cand.parents, vec![0, 1, 2]);
+        // Level 4: C(4,2) = 6 pairs over 4 parents, arriving in join order.
+        let mut cand = Candidate::new(4);
+        for (a, b) in [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            cand.absorb_parent(a, 10.0, 5.0, 1.0);
+            cand.absorb_parent(b, 10.0, 5.0, 1.0);
+        }
+        assert_eq!(cand.parents, vec![0, 1, 2, 3]);
+        // Bounds still track the minimum over all absorbed parents.
+        let mut cand = Candidate::new(2);
+        cand.absorb_parent(7, 10.0, 5.0, 1.0);
+        cand.absorb_parent(3, 4.0, 8.0, 0.5);
+        assert_eq!(cand.parents, vec![3, 7]);
+        assert_eq!((cand.ss_ub, cand.se_ub, cand.sm_ub), (4.0, 5.0, 0.5));
+    }
+
+    #[test]
     fn level2_pairs_all_cross_feature() {
         let prev = level1(vec![50.0; 6], vec![25.0; 6]);
         let tk = TopK::new(4, 1);
@@ -368,6 +718,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         // C(6,2)=15 pairs, minus 3 same-feature pairs = 12 valid.
@@ -394,6 +745,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         // Parent 1 fails sigma, parent 2 fails zero error.
@@ -423,6 +775,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         // Parent 1 itself fails the sigma filter, so no pairs at all.
@@ -451,6 +804,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert_eq!(stats.pairs, 3);
@@ -479,6 +833,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert!(cands.is_empty());
@@ -493,6 +848,7 @@ mod tests {
             1,
             &PruningConfig::no_parent_handling(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert_eq!(cands2, vec![vec![0, 2, 4]]);
@@ -520,6 +876,7 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert!(cands.is_empty());
@@ -534,6 +891,7 @@ mod tests {
             1,
             &PruningConfig::no_score_pruning(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert_eq!(cands2.len(), 12);
@@ -567,6 +925,7 @@ mod tests {
             10,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         // Parents 0 and 2 have bound ≈ 0.8 > threshold 0.6 and join;
@@ -584,6 +943,7 @@ mod tests {
             10,
             &PruningConfig::no_score_pruning(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert_eq!(stats2.parents, 3);
@@ -609,6 +969,7 @@ mod tests {
             1,
             &PruningConfig::none(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert_eq!(cands.len(), 3);
@@ -628,9 +989,141 @@ mod tests {
             1,
             &PruningConfig::all(),
             &tk,
+            EnumKernel::Serial,
             &ExecContext::serial(),
         );
         assert!(cands.is_empty());
         assert_eq!(stats.pairs, 0);
+    }
+
+    /// Runs serial and sharded over the same inputs and asserts identical
+    /// candidate sets (up to order) and counters.
+    fn assert_engines_agree(
+        prev: &LevelState,
+        level: usize,
+        col_feature: &[u32],
+        num_cols: usize,
+        sigma: usize,
+        pruning: &PruningConfig,
+        tk: &TopK,
+    ) {
+        let (mut serial, serial_stats) = get_pair_candidates(
+            prev,
+            level,
+            col_feature,
+            num_cols,
+            &ctx(),
+            sigma,
+            pruning,
+            tk,
+            EnumKernel::Serial,
+            &ExecContext::serial(),
+        );
+        serial.sort_unstable();
+        for threads in [1, 2, 4] {
+            for shards in [0, 1, 3, 7] {
+                let (mut sharded, sharded_stats) = get_pair_candidates(
+                    prev,
+                    level,
+                    col_feature,
+                    num_cols,
+                    &ctx(),
+                    sigma,
+                    pruning,
+                    tk,
+                    EnumKernel::Sharded { shards },
+                    &ExecContext::new(threads),
+                );
+                sharded.sort_unstable();
+                assert_eq!(sharded, serial, "threads {threads} shards {shards}");
+                assert!(
+                    sharded_stats.same_counters(&serial_stats),
+                    "threads {threads} shards {shards}:\n{sharded_stats:?}\n{serial_stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_fixture_levels() {
+        let tk = TopK::new(4, 1);
+        let l1 = level1(vec![50.0, 45.0, 40.0, 35.0, 30.0, 25.0], vec![25.0; 6]);
+        assert_engines_agree(&l1, 2, &COL_FEATURE, 6, 1, &PruningConfig::all(), &tk);
+        assert_engines_agree(&l1, 2, &COL_FEATURE, 6, 1, &PruningConfig::none(), &tk);
+        let l2 = LevelState {
+            slices: vec![vec![0, 2], vec![0, 4], vec![2, 4], vec![1, 3], vec![3, 5]],
+            sizes: vec![50.0, 40.0, 30.0, 20.0, 60.0],
+            errors: vec![25.0, 20.0, 15.0, 10.0, 30.0],
+            max_errors: vec![1.0, 0.8, 0.6, 0.4, 1.2],
+            scores: vec![1.0; 5],
+        };
+        assert_engines_agree(&l2, 3, &COL_FEATURE, 6, 1, &PruningConfig::all(), &tk);
+        assert_engines_agree(
+            &l2,
+            3,
+            &COL_FEATURE,
+            6,
+            1,
+            &PruningConfig::no_parent_handling(),
+            &tk,
+        );
+    }
+
+    #[test]
+    fn auto_picks_serial_below_threshold_and_sharded_above() {
+        let prev = level1(vec![50.0; 6], vec![25.0; 6]);
+        let tk = TopK::new(4, 1);
+        let exec = ExecContext::new(2);
+        exec.enable_stats(true);
+        exec.begin_level(2);
+        // 6 parents < threshold 256 -> serial.
+        let _ = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+            EnumKernel::Auto { sharded_above: 256 },
+            &exec,
+        );
+        assert_eq!(exec.exec_stats().levels[0].enum_kernel, Some("serial"));
+        // Threshold 2 <= 6 parents -> sharded (threads > 1).
+        exec.begin_level(2);
+        let _ = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+            EnumKernel::Auto { sharded_above: 2 },
+            &exec,
+        );
+        assert_eq!(exec.exec_stats().levels[1].enum_kernel, Some("sharded"));
+        // One thread always means serial, whatever the threshold.
+        let serial_exec = ExecContext::serial();
+        serial_exec.enable_stats(true);
+        serial_exec.begin_level(2);
+        let _ = get_pair_candidates(
+            &prev,
+            2,
+            &COL_FEATURE,
+            6,
+            &ctx(),
+            1,
+            &PruningConfig::all(),
+            &tk,
+            EnumKernel::Auto { sharded_above: 2 },
+            &serial_exec,
+        );
+        assert_eq!(
+            serial_exec.exec_stats().levels[0].enum_kernel,
+            Some("serial")
+        );
     }
 }

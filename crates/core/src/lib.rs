@@ -76,7 +76,9 @@ pub mod stats;
 pub mod topk;
 
 pub use algorithm::{SliceInfo, SliceLine, SliceLineResult};
-pub use config::{EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder};
+pub use config::{
+    EnumKernel, EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder,
+};
 pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;
 pub use scoring::ScoringContext;

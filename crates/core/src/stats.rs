@@ -68,10 +68,10 @@ impl RunStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "level  candidates  valid      parents  pairs    deduped  pruned(sz/sc/par)  elapsed\n",
+            "level  candidates  valid      parents  pairs    deduped  pruned(sz/sc/par)  join(s)   dedup(s)  elapsed\n",
         );
         for l in &self.levels {
-            let (parents, pairs, deduped, psz, psc, ppar) = match &l.enumeration {
+            let (parents, pairs, deduped, psz, psc, ppar, join, dedup) = match &l.enumeration {
                 Some(e) => (
                     e.parents,
                     e.pairs,
@@ -79,11 +79,13 @@ impl RunStats {
                     e.pruned_size,
                     e.pruned_score,
                     e.pruned_parents,
+                    e.join_time,
+                    e.dedup_time,
                 ),
-                None => (0, 0, 0, 0, 0, 0),
+                None => (0, 0, 0, 0, 0, 0, Duration::ZERO, Duration::ZERO),
             };
             out.push_str(&format!(
-                "{:<6} {:<11} {:<10} {:<8} {:<8} {:<8} {:<18} {:.1?}\n",
+                "{:<6} {:<11} {:<10} {:<8} {:<8} {:<8} {:<18} {:<9.4} {:<9.4} {:.1?}\n",
                 l.level,
                 l.candidates,
                 l.valid,
@@ -91,6 +93,8 @@ impl RunStats {
                 pairs,
                 deduped,
                 format!("{psz}/{psc}/{ppar}"),
+                join.as_secs_f64(),
+                dedup.as_secs_f64(),
                 l.elapsed
             ));
         }
@@ -145,6 +149,8 @@ mod tests {
         };
         let t = stats.render_table();
         assert!(t.contains("level"));
+        assert!(t.contains("join(s)"));
+        assert!(t.contains("dedup(s)"));
         assert!(t.lines().count() >= 2);
     }
 }

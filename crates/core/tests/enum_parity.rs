@@ -1,0 +1,282 @@
+//! Property tests for enumeration-engine parity: the serial and sharded
+//! candidate-generation engines must produce identical candidate sets
+//! (up to ordering) and identical `EnumStats` counters over random level
+//! states, pruning configurations, shard counts, and thread counts —
+//! including the level-2 all-pairs join and deduplication-off mode.
+//!
+//! Each property also has a deterministic seeded instance that runs under
+//! plain `cargo test` even where the proptest runner is unavailable.
+
+use proptest::prelude::*;
+use sliceline::config::{EnumKernel, PruningConfig};
+use sliceline::enumerate::get_pair_candidates;
+use sliceline::init::LevelState;
+use sliceline::topk::TopK;
+use sliceline::ScoringContext;
+use sliceline_linalg::ExecContext;
+
+/// SplitMix64 — deterministic, dependency-free RNG for the seeded
+/// instances (proptest strategies only feed the property a seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Random one-hot layout: `m` features with domain sizes 2–4. Returns the
+/// per-column feature map (non-decreasing, as the one-hot layout
+/// guarantees).
+fn random_layout(rng: &mut Rng, m: usize) -> Vec<u32> {
+    let mut col_feature = Vec::new();
+    for f in 0..m {
+        for _ in 0..(2 + rng.below(3)) {
+            col_feature.push(f as u32);
+        }
+    }
+    col_feature
+}
+
+/// Random evaluated level-`level` state over the layout: up to `max_k`
+/// distinct feature-valid slices with random sizes/errors (some below any
+/// plausible sigma, some with zero error, so the parent filter has work).
+fn random_state(rng: &mut Rng, col_feature: &[u32], level: usize, max_k: usize) -> LevelState {
+    let m = (*col_feature.last().unwrap() + 1) as usize;
+    let mut feature_cols: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (c, &f) in col_feature.iter().enumerate() {
+        feature_cols[f as usize].push(c as u32);
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut state = LevelState::default();
+    for _ in 0..max_k * 3 {
+        if state.slices.len() >= max_k {
+            break;
+        }
+        // Pick `level` distinct features, one column each.
+        let mut feats: Vec<usize> = (0..m).collect();
+        for i in 0..level.min(m) {
+            let j = i + rng.below(m - i);
+            feats.swap(i, j);
+        }
+        let mut cols: Vec<u32> = feats[..level.min(m)]
+            .iter()
+            .map(|&f| feature_cols[f][rng.below(feature_cols[f].len())])
+            .collect();
+        cols.sort_unstable();
+        if cols.len() < level || !seen.insert(cols.clone()) {
+            continue;
+        }
+        let size = (rng.below(120)) as f64;
+        let error = size * rng.f64() * 0.6;
+        state.slices.push(cols);
+        state.sizes.push(size);
+        // A fifth of the parents get zero error (dropped by the filter).
+        state
+            .errors
+            .push(if rng.below(5) == 0 { 0.0 } else { error });
+        state.max_errors.push(rng.f64());
+        state.scores.push(rng.f64() * 2.0 - 0.5);
+    }
+    state
+}
+
+/// Runs one engine and returns (sorted candidates, stats).
+#[allow(clippy::too_many_arguments)] // mirrors get_pair_candidates
+fn run_engine(
+    prev: &LevelState,
+    level: usize,
+    col_feature: &[u32],
+    sigma: usize,
+    pruning: &PruningConfig,
+    topk: &TopK,
+    kernel: EnumKernel,
+    threads: usize,
+) -> (Vec<Vec<u32>>, sliceline::enumerate::EnumStats) {
+    let ctx = ScoringContext {
+        n: 200.0,
+        total_error: 80.0,
+        avg_error: 0.4,
+        alpha: 0.95,
+    };
+    let exec = ExecContext::new(threads);
+    let (mut cands, stats) = get_pair_candidates(
+        prev,
+        level,
+        col_feature,
+        col_feature.len(),
+        &ctx,
+        sigma,
+        pruning,
+        topk,
+        kernel,
+        &exec,
+    );
+    cands.sort_unstable();
+    (cands, stats)
+}
+
+/// The parity property for one seed: every (level, pruning, sigma,
+/// threshold) cell must agree between serial and every sharded
+/// configuration, in candidate sets and counters.
+fn check_parity(seed: u64) {
+    let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(1));
+    let m = 3 + rng.below(3);
+    let col_feature = random_layout(&mut rng, m);
+    let prunings = [
+        PruningConfig::all(),
+        PruningConfig::none(),
+        PruningConfig::no_parent_handling(),
+        PruningConfig::no_score_pruning(),
+    ];
+    // An occupied top-K so score pruning has a live threshold.
+    let mut topk = TopK::new(2, 1);
+    topk.update(&LevelState {
+        slices: vec![vec![0], vec![1]],
+        sizes: vec![80.0, 60.0],
+        errors: vec![40.0, 20.0],
+        max_errors: vec![1.0, 0.9],
+        scores: vec![0.9, 0.4],
+    });
+    for level in 2..=4usize {
+        let prev = random_state(&mut rng, &col_feature, level - 1, 24);
+        if prev.len() < 2 {
+            continue;
+        }
+        for pruning in &prunings {
+            let sigma = 1 + rng.below(40);
+            let (serial, serial_stats) = run_engine(
+                &prev,
+                level,
+                &col_feature,
+                sigma,
+                pruning,
+                &topk,
+                EnumKernel::Serial,
+                1,
+            );
+            for threads in [1usize, 2, 4] {
+                for shards in [0usize, 1, 3, 8] {
+                    let (sharded, sharded_stats) = run_engine(
+                        &prev,
+                        level,
+                        &col_feature,
+                        sigma,
+                        pruning,
+                        &topk,
+                        EnumKernel::Sharded { shards },
+                        threads,
+                    );
+                    assert_eq!(
+                        sharded, serial,
+                        "seed {seed} level {level} threads {threads} shards {shards}"
+                    );
+                    assert!(
+                        sharded_stats.same_counters(&serial_stats),
+                        "seed {seed} level {level} threads {threads} shards {shards}:\n\
+                         sharded {sharded_stats:?}\nserial  {serial_stats:?}"
+                    );
+                }
+            }
+            // Auto must resolve to one of the two engines — same sets.
+            let (auto, auto_stats) = run_engine(
+                &prev,
+                level,
+                &col_feature,
+                sigma,
+                pruning,
+                &topk,
+                EnumKernel::Auto { sharded_above: 8 },
+                2,
+            );
+            assert_eq!(auto, serial, "seed {seed} level {level} auto");
+            assert!(auto_stats.same_counters(&serial_stats));
+        }
+    }
+}
+
+/// Sharded output must also be deterministic: identical across repeat runs
+/// and thread counts at a fixed shard count (FNV sharding + chunk-ordered
+/// scans, no scheduling dependence) — here including candidate ORDER, not
+/// just the set.
+fn check_sharded_determinism(seed: u64) {
+    let mut rng = Rng(seed ^ 0xdead_beef);
+    let col_feature = random_layout(&mut rng, 4);
+    let prev = random_state(&mut rng, &col_feature, 2, 20);
+    if prev.len() < 2 {
+        return;
+    }
+    let topk = TopK::new(2, 1);
+    let ctx = ScoringContext {
+        n: 200.0,
+        total_error: 80.0,
+        avg_error: 0.4,
+        alpha: 0.95,
+    };
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for threads in [1usize, 2, 4] {
+        for _rep in 0..2 {
+            let exec = ExecContext::new(threads);
+            let (cands, _) = get_pair_candidates(
+                &prev,
+                3,
+                &col_feature,
+                col_feature.len(),
+                &ctx,
+                4,
+                &PruningConfig::all(),
+                &topk,
+                EnumKernel::Sharded { shards: 4 },
+                &exec,
+            );
+            match &reference {
+                None => reference = Some(cands),
+                Some(r) => assert_eq!(&cands, r, "seed {seed} threads {threads}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_and_sharded_agree_seeded() {
+    for seed in 0..24u64 {
+        check_parity(seed);
+    }
+}
+
+#[test]
+fn sharded_is_deterministic_seeded() {
+    for seed in 0..16u64 {
+        check_sharded_determinism(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial ≡ sharded over random level states, pruning configs, shard
+    /// and thread counts (levels 2–4, dedup on and off).
+    #[test]
+    fn serial_and_sharded_agree(seed in 0u64..10_000) {
+        check_parity(seed);
+    }
+
+    /// Fixed shard count ⇒ identical candidate order across thread counts
+    /// and repeats.
+    #[test]
+    fn sharded_is_deterministic(seed in 0u64..10_000) {
+        check_sharded_determinism(seed);
+    }
+}

@@ -201,6 +201,7 @@ impl DistSliceLine {
                     prepared.sigma,
                     &self.config.pruning,
                     &topk,
+                    self.config.enum_kernel,
                     &exec,
                 )
             });

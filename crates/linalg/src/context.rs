@@ -75,8 +75,16 @@ pub struct LevelProfile {
     pub cache_hits: u64,
     /// Eval kernel that ran (`"blocked"` / `"fused"` / `"bitmap"`), if any.
     pub kernel: Option<&'static str>,
+    /// Enumeration kernel that ran (`"serial"` / `"sharded"`), if any.
+    pub enum_kernel: Option<&'static str>,
     /// Wall time in candidate enumeration.
     pub enumerate: Duration,
+    /// Wall time in the enumeration join (pair generation + merge), a
+    /// sub-span of `enumerate`.
+    pub join: Duration,
+    /// Wall time in enumeration dedup + final pruning, a sub-span of
+    /// `enumerate`.
+    pub dedup: Duration,
     /// Wall time in slice evaluation.
     pub evaluate: Duration,
     /// Wall time in top-K maintenance.
@@ -142,7 +150,7 @@ impl ExecStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>9} {:>9} {:>9}\n",
+            "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
             "level",
             "cands",
             "dedup",
@@ -153,13 +161,16 @@ impl ExecStats {
             "partials",
             "bmhits",
             "kernel",
+            "ekernel",
             "enum(s)",
+            "join(s)",
+            "dedup(s)",
             "eval(s)",
             "topk(s)",
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>9.4} {:>9.4} {:>9.4}\n",
+                "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}\n",
                 l.level,
                 l.candidates,
                 l.deduped,
@@ -170,7 +181,10 @@ impl ExecStats {
                 l.partials,
                 l.cache_hits,
                 l.kernel.unwrap_or("-"),
+                l.enum_kernel.unwrap_or("-"),
                 l.enumerate.as_secs_f64(),
+                l.join.as_secs_f64(),
+                l.dedup.as_secs_f64(),
                 l.evaluate.as_secs_f64(),
                 l.topk.as_secs_f64(),
             ));
@@ -200,7 +214,8 @@ impl ExecStats {
             out.push_str(&format!(
                 "{{\"level\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
                  \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"partials\":{},\
-                 \"cache_hits\":{},\"kernel\":{},\"enumerate_secs\":{:.6},\
+                 \"cache_hits\":{},\"kernel\":{},\"enum_kernel\":{},\"enumerate_secs\":{:.6},\
+                 \"join_secs\":{:.6},\"dedup_secs\":{:.6},\
                  \"evaluate_secs\":{:.6},\"topk_secs\":{:.6}}}",
                 l.level,
                 l.candidates,
@@ -215,7 +230,13 @@ impl ExecStats {
                     Some(k) => format!("\"{k}\""),
                     None => "null".to_string(),
                 },
+                match l.enum_kernel {
+                    Some(k) => format!("\"{k}\""),
+                    None => "null".to_string(),
+                },
                 l.enumerate.as_secs_f64(),
+                l.join.as_secs_f64(),
+                l.dedup.as_secs_f64(),
                 l.evaluate.as_secs_f64(),
                 l.topk.as_secs_f64(),
             ));
@@ -645,6 +666,9 @@ mod tests {
             p.candidates = 12;
             p.evaluated = 8;
             p.kernel = Some("fused");
+            p.enum_kernel = Some("sharded");
+            p.join = Duration::from_millis(5);
+            p.dedup = Duration::from_millis(3);
         });
         ctx.begin_level(2);
         ctx.record_level(|p| {
@@ -659,9 +683,14 @@ mod tests {
         let table = stats.render_table();
         assert!(table.contains("level"));
         assert!(table.contains("fused"));
+        assert!(table.contains("sharded"));
+        assert!(table.contains("join(s)"));
         let json = stats.to_json();
         assert!(json.contains("\"level\":2"));
         assert!(json.contains("\"kernel\":\"fused\""));
+        assert!(json.contains("\"enum_kernel\":\"sharded\""));
+        assert!(json.contains("\"join_secs\":0.005"));
+        assert!(json.contains("\"dedup_secs\":0.003"));
         assert!(json.contains("\"pool\":{"));
     }
 

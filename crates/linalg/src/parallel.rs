@@ -168,6 +168,59 @@ impl ParallelConfig {
         acc
     }
 
+    /// Runs `f` over task indices `0..n` with dynamic scheduling: workers
+    /// grab the next index from a shared atomic cursor, so uneven task
+    /// costs balance automatically (unlike [`Self::par_map`]'s static
+    /// split). Results are returned in index order regardless of which
+    /// worker ran which task, keeping output deterministic.
+    ///
+    /// Unlike `par_map` there is no `Default + Clone` bound on the result
+    /// type, so tasks can return arbitrary owned state.
+    pub fn par_tasks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n).max(1);
+        if workers == 1 {
+            return (0..n).map(f).collect();
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let fref = &f;
+                    let cref = &cursor;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, fref(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for worker in per_worker {
+            for (i, v) in worker {
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index produced a result"))
+            .collect()
+    }
+
     /// Splits `0..n` into at most `threads` contiguous `(lo, hi)` ranges.
     pub fn split_range(&self, n: usize) -> Vec<(usize, usize)> {
         if n == 0 {
@@ -242,6 +295,25 @@ mod tests {
             );
             assert_eq!(total, 4950);
         }
+    }
+
+    #[test]
+    fn par_tasks_preserves_order_with_uneven_costs() {
+        for threads in [1, 2, 3, 8] {
+            let out = ParallelConfig::new(threads).par_tasks(17, |i| {
+                // Make early tasks slower so late tasks finish first.
+                if i < 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                vec![i; i % 4]
+            });
+            assert_eq!(out.len(), 17);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(v, &vec![i; i % 4]);
+            }
+        }
+        let empty: Vec<u8> = ParallelConfig::new(4).par_tasks(0, |_| 0u8);
+        assert!(empty.is_empty());
     }
 
     #[test]

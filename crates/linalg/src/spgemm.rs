@@ -93,85 +93,234 @@ pub fn sp_dense(a: &CsrMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     Ok(out)
 }
 
-/// Symmetric self-overlap `S ⊙ Sᵀ` of a *binary* matrix: entry `(i, j)`
-/// counts the columns shared by rows `i` and `j`.
+/// Epoch-marked scatter accumulator for row-vs-row overlap counting.
 ///
-/// Implemented via the transpose as an inverted index so the cost is
-/// `Σ_c nnz(col c)²` rather than a full row-pair scan, and only the upper
-/// triangle is accumulated (the product is symmetric); the result is
-/// mirrored on output.
-pub fn self_overlap(s: &CsrMatrix) -> Result<CsrMatrix> {
-    if !s.is_binary() {
-        return Err(LinalgError::InvalidData {
-            reason: "self_overlap requires a binary matrix".to_string(),
-        });
+/// `counts[j]` is valid only while `epochs[j] == epoch`; bumping the epoch
+/// invalidates every slot in O(1), so no per-row clearing pass and no
+/// hashing is needed. `touched` records which `j > i` were hit so emission
+/// is proportional to the row's actual overlap work.
+struct OverlapScratch {
+    counts: Vec<u32>,
+    epochs: Vec<u32>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl OverlapScratch {
+    /// Builds scratch from caller-supplied zeroed buffers of length `k`
+    /// (fresh allocations or pool checkouts — both arrive zeroed, so the
+    /// epoch counter can start at 0 and the first row uses epoch 1).
+    fn from_zeroed(counts: Vec<u32>, epochs: Vec<u32>, touched: Vec<u32>) -> Self {
+        OverlapScratch {
+            counts,
+            epochs,
+            touched,
+            epoch: 0,
+        }
     }
-    let st = s.transpose();
-    let k = s.rows();
-    // Accumulate pair counts in a hash map keyed by (i, j) with i < j;
-    // diagonal entries are just row nnz counts.
-    let mut counts: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
-    for c in 0..st.rows() {
-        let rows = st.row_cols(c);
-        for (a, &i) in rows.iter().enumerate() {
-            for &j in &rows[a + 1..] {
-                *counts.entry((i, j)).or_insert(0.0) += 1.0;
+
+    fn new(k: usize) -> Self {
+        Self::from_zeroed(vec![0; k], vec![0; k], Vec::new())
+    }
+
+    /// Scatter-counts the overlap of row `i` against every higher-indexed
+    /// row, using the transpose `st` as an inverted column → rows index.
+    /// After the call `touched` holds the hit rows (unsorted) and
+    /// `counts[j]` their overlap counts.
+    fn scan_row(&mut self, s: &CsrMatrix, st: &CsrMatrix, i: usize) {
+        self.epoch += 1;
+        let e = self.epoch;
+        self.touched.clear();
+        for &c in s.row_cols(i) {
+            let col_rows = st.row_cols(c as usize);
+            // Rows within a column are sorted ascending; only j > i is
+            // wanted (the product is symmetric).
+            let start = col_rows.partition_point(|&j| (j as usize) <= i);
+            for &j in &col_rows[start..] {
+                let ju = j as usize;
+                if self.epochs[ju] != e {
+                    self.epochs[ju] = e;
+                    self.counts[ju] = 0;
+                    self.touched.push(j);
+                }
+                self.counts[ju] += 1;
             }
         }
     }
-    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(counts.len() * 2 + k);
-    for ((i, j), v) in counts {
-        triplets.push((i as usize, j as usize, v));
-        triplets.push((j as usize, i as usize, v));
+
+    /// Streams the upper-triangle pairs of row `i` whose overlap equals
+    /// `target`, in ascending `j` order. `target == 0` walks the row's
+    /// complement (rows never touched), which is output-proportional —
+    /// every untouched `j > i` is a result.
+    fn emit_row_eq<F: FnMut(u32, u32)>(&mut self, k: usize, i: usize, target: usize, f: &mut F) {
+        if target == 0 {
+            let e = self.epoch;
+            for j in (i + 1)..k {
+                if self.epochs[j] != e {
+                    f(i as u32, j as u32);
+                }
+            }
+        } else {
+            self.touched.sort_unstable();
+            let t = target as u32;
+            for &j in &self.touched {
+                if self.counts[j as usize] == t {
+                    f(i as u32, j);
+                }
+            }
+        }
     }
-    for r in 0..k {
-        let nnz = s.row_nnz(r);
+}
+
+fn check_binary(s: &CsrMatrix, op: &str) -> Result<()> {
+    if !s.is_binary() {
+        return Err(LinalgError::InvalidData {
+            reason: format!("{op} requires a binary matrix"),
+        });
+    }
+    Ok(())
+}
+
+/// Symmetric self-overlap `S ⊙ Sᵀ` of a *binary* matrix: entry `(i, j)`
+/// counts the columns shared by rows `i` and `j`.
+///
+/// Implemented via the transpose as an inverted index with a flat
+/// epoch-marked scatter array (no hashing), so the cost is
+/// `Σ_c nnz(col c)²` rather than a full row-pair scan; only the upper
+/// triangle is accumulated (the product is symmetric) and mirrored on
+/// output.
+pub fn self_overlap(s: &CsrMatrix) -> Result<CsrMatrix> {
+    check_binary(s, "self_overlap")?;
+    let st = s.transpose();
+    let k = s.rows();
+    let mut scratch = OverlapScratch::new(k);
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..k {
+        scratch.scan_row(s, &st, i);
+        scratch.touched.sort_unstable();
+        for &j in &scratch.touched {
+            let v = scratch.counts[j as usize] as f64;
+            triplets.push((i, j as usize, v));
+            triplets.push((j as usize, i, v));
+        }
+        let nnz = s.row_nnz(i);
         if nnz > 0 {
-            triplets.push((r, r, nnz as f64));
+            triplets.push((i, i, nnz as f64));
         }
     }
     CsrMatrix::from_triplets(k, k, &triplets)
 }
 
-/// Upper-triangle pairs `(i, j)`, `i < j`, of `S ⊙ Sᵀ` whose overlap count
-/// equals `target` — the fused form of Eq. 6 that never materializes the
-/// `k × k` product. This is the hot path of pair enumeration.
-pub fn self_overlap_pairs_eq(s: &CsrMatrix, target: usize) -> Result<Vec<(usize, usize)>> {
-    if !s.is_binary() {
-        return Err(LinalgError::InvalidData {
-            reason: "self_overlap_pairs_eq requires a binary matrix".to_string(),
-        });
-    }
+/// Streams the upper-triangle pairs `(i, j)`, `i < j`, of `S ⊙ Sᵀ` whose
+/// overlap count equals `target` to `emit`, in lexicographic order,
+/// without materializing the pair list — the fused, streaming form of
+/// Eq. 6 and the hot path of pair enumeration.
+pub fn self_overlap_pairs_stream<F: FnMut(usize, usize)>(
+    s: &CsrMatrix,
+    target: usize,
+    mut emit: F,
+) -> Result<()> {
+    check_binary(s, "self_overlap_pairs_stream")?;
     let st = s.transpose();
-    let mut counts: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
-    for c in 0..st.rows() {
-        let rows = st.row_cols(c);
-        for (a, &i) in rows.iter().enumerate() {
-            for &j in &rows[a + 1..] {
-                *counts.entry((i, j)).or_insert(0) += 1;
-            }
-        }
+    let k = s.rows();
+    let mut scratch = OverlapScratch::new(k);
+    let mut f = |i: u32, j: u32| emit(i as usize, j as usize);
+    for i in 0..k {
+        scratch.scan_row(s, &st, i);
+        scratch.emit_row_eq(k, i, target, &mut f);
     }
-    let mut pairs: Vec<(usize, usize)> = if target == 0 {
-        // Zero overlap means the pair never shares a column: enumerate all
-        // pairs and subtract those with counted overlap.
-        let k = s.rows();
-        let mut all = Vec::new();
-        for i in 0..k {
-            for j in (i + 1)..k {
-                if !counts.contains_key(&(i as u32, j as u32)) {
-                    all.push((i, j));
-                }
+    Ok(())
+}
+
+/// Row-blocked parallel variant of [`self_overlap_pairs_stream`]: rows are
+/// split into `n_chunks` contiguous blocks, workers grab blocks from a
+/// shared cursor ([`crate::ParallelConfig::par_tasks`]) and stream each
+/// block's pairs into a per-block sink state created by `make(chunk_idx)`.
+/// Block states come back in block order, so the concatenated output is
+/// deterministic and identical to the serial stream regardless of thread
+/// count or scheduling. Scatter arrays are checked out of the context's
+/// `u32` pool per block.
+pub fn self_overlap_pairs_stream_chunked<S, M, E>(
+    s: &CsrMatrix,
+    target: usize,
+    exec: &ExecContext,
+    n_chunks: usize,
+    make: M,
+    emit: E,
+) -> Result<Vec<S>>
+where
+    S: Send,
+    M: Fn(usize) -> S + Sync,
+    E: Fn(&mut S, u32, u32) + Sync,
+{
+    check_binary(s, "self_overlap_pairs_stream_chunked")?;
+    let st = s.transpose();
+    let k = s.rows();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let n_chunks = n_chunks.clamp(1, k);
+    let rows_per = k.div_ceil(n_chunks);
+    Ok(exec.parallel().par_tasks(n_chunks, |ci| {
+        let lo = ci * rows_per;
+        let hi = ((ci + 1) * rows_per).min(k);
+        let mut state = make(ci);
+        let mut scratch =
+            OverlapScratch::from_zeroed(exec.take_u32(k), exec.take_u32(k), exec.take_u32(0));
+        {
+            let mut f = |i: u32, j: u32| emit(&mut state, i, j);
+            for i in lo..hi {
+                scratch.scan_row(s, &st, i);
+                scratch.emit_row_eq(k, i, target, &mut f);
             }
         }
-        all
-    } else {
-        counts
-            .into_iter()
-            .filter_map(|((i, j), v)| (v == target).then_some((i as usize, j as usize)))
-            .collect()
-    };
-    pairs.sort_unstable();
+        exec.put_u32(scratch.counts);
+        exec.put_u32(scratch.epochs);
+        exec.put_u32(scratch.touched);
+        state
+    }))
+}
+
+/// Streams every index pair `(i, j)`, `0 <= i < j < k`, row-blocked and in
+/// deterministic block order — the level-2 all-pairs join (single-predicate
+/// slices always share zero predicates), which needs no matrix at all.
+pub fn all_pairs_stream_chunked<S, M, E>(
+    k: usize,
+    exec: &ExecContext,
+    n_chunks: usize,
+    make: M,
+    emit: E,
+) -> Vec<S>
+where
+    S: Send,
+    M: Fn(usize) -> S + Sync,
+    E: Fn(&mut S, u32, u32) + Sync,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let n_chunks = n_chunks.clamp(1, k);
+    let rows_per = k.div_ceil(n_chunks);
+    exec.parallel().par_tasks(n_chunks, |ci| {
+        let lo = ci * rows_per;
+        let hi = ((ci + 1) * rows_per).min(k);
+        let mut state = make(ci);
+        for i in lo..hi {
+            for j in (i + 1)..k {
+                emit(&mut state, i as u32, j as u32);
+            }
+        }
+        state
+    })
+}
+
+/// Upper-triangle pairs `(i, j)`, `i < j`, of `S ⊙ Sᵀ` whose overlap count
+/// equals `target`, materialized and sorted — the collecting wrapper around
+/// [`self_overlap_pairs_stream`] (which already emits in lexicographic
+/// order). Prefer the streaming form on hot paths.
+pub fn self_overlap_pairs_eq(s: &CsrMatrix, target: usize) -> Result<Vec<(usize, usize)>> {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    self_overlap_pairs_stream(s, target, |i, j| pairs.push((i, j)))?;
     Ok(pairs)
 }
 
@@ -360,6 +509,77 @@ mod tests {
         assert_eq!(
             self_overlap_pairs_eq(&s, 0).unwrap(),
             vec![(0, 3), (1, 3), (2, 3)]
+        );
+    }
+
+    #[test]
+    fn streaming_all_pairs_agrees_with_target_zero() {
+        // Single-predicate slices on distinct columns never share a
+        // column, so the level-2 all-pairs stream and the target-0 overlap
+        // join must produce the identical pair sequence.
+        let k = 7;
+        let s = binary(&(0..k as u32).map(|c| vec![c]).collect::<Vec<_>>(), k);
+        let from_join = self_overlap_pairs_eq(&s, 0).unwrap();
+        let exec = ExecContext::new(3);
+        let chunks = all_pairs_stream_chunked(
+            k,
+            &exec,
+            4,
+            |_| Vec::new(),
+            |out: &mut Vec<(usize, usize)>, i, j| out.push((i as usize, j as usize)),
+        );
+        let from_all_pairs: Vec<(usize, usize)> = chunks.into_iter().flatten().collect();
+        assert_eq!(from_all_pairs.len(), k * (k - 1) / 2);
+        assert_eq!(from_all_pairs, from_join);
+    }
+
+    #[test]
+    fn chunked_stream_matches_serial_any_threads() {
+        // 12 slices over 10 columns with varying overlap structure.
+        let rows: Vec<Vec<u32>> = (0..12)
+            .map(|i| {
+                let a = (i % 5) as u32;
+                let b = 5 + (i % 3) as u32;
+                let c = 8 + (i % 2) as u32;
+                let mut r = vec![a, b, c];
+                r.sort_unstable();
+                r.dedup();
+                r
+            })
+            .collect();
+        let s = binary(&rows, 10);
+        for target in 0..4 {
+            let serial = self_overlap_pairs_eq(&s, target).unwrap();
+            for threads in [1, 2, 4] {
+                let exec = ExecContext::new(threads);
+                for n_chunks in [1, 3, 12, 40] {
+                    let chunks = self_overlap_pairs_stream_chunked(
+                        &s,
+                        target,
+                        &exec,
+                        n_chunks,
+                        |_| Vec::new(),
+                        |out: &mut Vec<(usize, usize)>, i, j| out.push((i as usize, j as usize)),
+                    )
+                    .unwrap();
+                    let streamed: Vec<(usize, usize)> = chunks.into_iter().flatten().collect();
+                    assert_eq!(
+                        streamed, serial,
+                        "target {target} threads {threads} chunks {n_chunks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_rejects_non_binary() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 0, 2.0)]).unwrap();
+        assert!(self_overlap_pairs_stream(&m, 1, |_, _| {}).is_err());
+        let exec = ExecContext::serial();
+        assert!(
+            self_overlap_pairs_stream_chunked(&m, 1, &exec, 1, |_| (), |_: &mut (), _, _| {})
+                .is_err()
         );
     }
 
