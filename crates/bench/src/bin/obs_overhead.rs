@@ -1,0 +1,119 @@
+//! Observability overhead gate: telemetry + tracing must cost < 2% wall
+//! time (satellite budget of the tracing subsystem) and must not change
+//! the top-K.
+//!
+//! Runs the AdultSim workload three ways through fresh execution
+//! contexts — everything off, `--stats` telemetry on, telemetry + tracer
+//! on — taking the min of N runs per variant (min, not mean: the floor is
+//! the honest estimate of achievable cost under scheduler noise). Exits 1
+//! when the traced variant exceeds `--max-overhead` percent over the
+//! baseline, so CI can gate regressions in span granularity.
+
+use sliceline::{SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_datagen::adult_like;
+use sliceline_frame::IntMatrix;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const RUNS: usize = 5;
+
+fn run_variant(
+    config: &SliceLineConfig,
+    x0: &IntMatrix,
+    errors: &[f64],
+    stats: bool,
+    trace: bool,
+) -> (Duration, SliceLineResult, usize) {
+    let exec = config.exec_context();
+    exec.enable_stats(stats);
+    exec.tracer().set_enabled(trace);
+    let finder = SliceLine::new(config.clone());
+    let mut best = Duration::MAX;
+    let mut result = None;
+    for _ in 0..RUNS {
+        exec.tracer().reset();
+        let start = Instant::now();
+        let r = finder
+            .find_slices_in(x0, errors, &exec)
+            .expect("workload is valid");
+        best = best.min(start.elapsed());
+        result = Some(r);
+    }
+    let events = if trace {
+        exec.tracer().drain().len()
+    } else {
+        0
+    };
+    (best, result.expect("RUNS > 0"), events)
+}
+
+fn main() -> ExitCode {
+    // BenchArgs rejects unknown flags, so the gate threshold rides in
+    // front: `obs_overhead [--max-overhead PCT] [bench args...]`.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_overhead = 2.0f64;
+    if let Some(pos) = raw.iter().position(|a| a == "--max-overhead") {
+        raw.remove(pos);
+        max_overhead = raw
+            .get(pos)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--max-overhead needs a percentage");
+                std::process::exit(2);
+            });
+        raw.remove(pos);
+    }
+    let args = BenchArgs::parse_from(raw);
+    banner("observability overhead (telemetry + tracing vs off)", &args);
+
+    let d = adult_like(&args.gen_config());
+    let sigma = (d.n() / 100).max(1);
+    let config = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .min_support(sigma)
+        .threads(args.resolved_threads())
+        .build()
+        .expect("static config is valid");
+
+    let (off, base_result, _) = run_variant(&config, &d.x0, &d.errors, false, false);
+    let (stats_on, stats_result, _) = run_variant(&config, &d.x0, &d.errors, true, false);
+    let (traced, traced_result, events) = run_variant(&config, &d.x0, &d.errors, true, true);
+
+    let pct = |on: Duration| (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
+    let mut table = TextTable::new(&["variant", "best-of-5", "overhead %", "events"]);
+    table.row(&["off".into(), fmt_secs(off), "—".into(), "0".into()]);
+    table.row(&[
+        "stats".into(),
+        fmt_secs(stats_on),
+        format!("{:+.2}", pct(stats_on)),
+        "0".into(),
+    ]);
+    table.row(&[
+        "stats+trace".into(),
+        fmt_secs(traced),
+        format!("{:+.2}", pct(traced)),
+        events.to_string(),
+    ]);
+    print!("{}", table.render());
+
+    for (name, r) in [("stats", &stats_result), ("stats+trace", &traced_result)] {
+        let same = r.top_k.len() == base_result.top_k.len()
+            && r.top_k
+                .iter()
+                .zip(&base_result.top_k)
+                .all(|(a, b)| a.predicates == b.predicates && a.score == b.score);
+        if !same {
+            eprintln!("FAIL: '{name}' changed the top-K — observation must not perturb");
+            return ExitCode::FAILURE;
+        }
+    }
+    let overhead = pct(traced);
+    if overhead > max_overhead {
+        eprintln!("FAIL: tracing overhead {overhead:+.2}% exceeds the {max_overhead}% budget");
+        return ExitCode::FAILURE;
+    }
+    println!("ok: tracing overhead {overhead:+.2}% within the {max_overhead}% budget");
+    ExitCode::SUCCESS
+}

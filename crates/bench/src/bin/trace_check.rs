@@ -1,0 +1,203 @@
+//! Schema checker for the observability artifacts: validates a Chrome
+//! trace-event JSON (`--trace`) and/or a run manifest (`--manifest`)
+//! produced by `sliceline find`. Exits non-zero on any violation, so CI
+//! can gate on it (the `trace-smoke` step).
+//!
+//! Checks are structural, not golden: the trace must parse with the
+//! hand-rolled JSON reader, every event must carry the fields its phase
+//! requires, span categories from the expected layers must be present,
+//! and each `pruning_funnel` counter sample must be monotonically
+//! non-increasing across the funnel stages. The manifest must carry every
+//! [`Manifest::REQUIRED_KEYS`] entry, non-null, at the current schema
+//! version.
+
+use sliceline_obs::json::{parse, Json};
+use sliceline_obs::Manifest;
+use std::process::ExitCode;
+
+/// Funnel stages in pipeline order; each stage's count must not exceed
+/// the previous one (matches `LevelProfile::funnel`).
+const FUNNEL_STAGES: [&str; 6] = [
+    "pairs",
+    "merged",
+    "after_dedup",
+    "after_bound",
+    "after_filters",
+    "evaluated",
+];
+
+fn main() -> ExitCode {
+    let mut trace_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
+    let mut expect_dist = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = it.next(),
+            "--manifest" => manifest_path = it.next(),
+            "--expect-dist" => expect_dist = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("trace_check: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if trace_path.is_none() && manifest_path.is_none() {
+        eprintln!("trace_check: nothing to check\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0usize;
+    if let Some(path) = trace_path {
+        failures += report(&path, check_trace(&path, expect_dist));
+    }
+    if let Some(path) = manifest_path {
+        failures += report(&path, check_manifest(&path));
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "\
+usage: trace_check [--trace FILE] [--manifest FILE] [--expect-dist]
+  --trace FILE     validate a Chrome trace-event JSON written by --trace
+  --manifest FILE  validate a run manifest written by --metrics-json
+  --expect-dist    require spans from the dist layer in the trace";
+
+fn report(path: &str, result: Result<String, String>) -> usize {
+    match result {
+        Ok(summary) => {
+            println!("ok: {path}: {summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("FAIL: {path}: {e}");
+            1
+        }
+    }
+}
+
+fn read_json(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    parse(&text).map_err(|e| format!("parse: {e}"))
+}
+
+fn check_trace(path: &str, expect_dist: bool) -> Result<String, String> {
+    let doc = read_json(path)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'traceEvents' array")?;
+    if doc.get("displayTimeUnit").and_then(Json::as_str).is_none() {
+        return Err("missing 'displayTimeUnit'".to_string());
+    }
+    let mut cats: Vec<&str> = Vec::new();
+    let mut funnels = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing 'ph'"))?;
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(at("missing 'name'"));
+        }
+        if ev.get("pid").and_then(Json::as_f64).is_none()
+            || ev.get("tid").and_then(Json::as_f64).is_none()
+        {
+            return Err(at("missing 'pid'/'tid'"));
+        }
+        match ph {
+            "M" => continue, // metadata: no ts/cat
+            "X" => {
+                if ev.get("dur").and_then(Json::as_f64).is_none() {
+                    return Err(at("complete event without 'dur'"));
+                }
+            }
+            "i" | "C" => {}
+            other => return Err(at(&format!("unknown phase '{other}'"))),
+        }
+        if ev.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(at("missing 'ts'"));
+        }
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing 'cat'"))?;
+        if !cats.contains(&cat) {
+            cats.push(ev.get("cat").and_then(Json::as_str).unwrap());
+        }
+        if ph == "C" && ev.get("name").and_then(Json::as_str) == Some("pruning_funnel") {
+            check_funnel(ev).map_err(|e| at(&e))?;
+            funnels += 1;
+        }
+    }
+    let mut required = vec!["core", "linalg"];
+    if expect_dist {
+        required.push("dist");
+    }
+    for layer in required {
+        if !cats.contains(&layer) {
+            return Err(format!("no events from the '{layer}' layer"));
+        }
+    }
+    if funnels == 0 {
+        return Err("no 'pruning_funnel' counter events".to_string());
+    }
+    Ok(format!(
+        "{} events, layers [{}], {funnels} funnel samples",
+        events.len(),
+        cats.join(", ")
+    ))
+}
+
+/// One funnel counter sample: stage counts must be non-increasing in
+/// pipeline order (slices only ever leave the funnel).
+fn check_funnel(ev: &Json) -> Result<(), String> {
+    let args = ev.get("args").ok_or("funnel event without 'args'")?;
+    let mut prev = f64::INFINITY;
+    for stage in FUNNEL_STAGES {
+        let v = args
+            .get(stage)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("funnel missing stage '{stage}'"))?;
+        if v > prev {
+            return Err(format!("funnel not monotone at '{stage}': {v} > {prev}"));
+        }
+        prev = v;
+    }
+    Ok(())
+}
+
+fn check_manifest(path: &str) -> Result<String, String> {
+    let doc = read_json(path)?;
+    for key in Manifest::REQUIRED_KEYS {
+        match doc.get(key) {
+            None => return Err(format!("missing required key '{key}'")),
+            Some(Json::Null) => return Err(format!("required key '{key}' is null")),
+            Some(_) => {}
+        }
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("'schema_version' is not an integer")?;
+    if version != sliceline_obs::SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "schema_version {version} != supported {}",
+            sliceline_obs::SCHEMA_VERSION
+        ));
+    }
+    for key in ["config", "dataset", "metrics"] {
+        if doc.get(key).and_then(Json::as_obj).is_none() {
+            return Err(format!("'{key}' is not an object"));
+        }
+    }
+    Ok(format!("schema v{version}, all required keys present"))
+}

@@ -86,6 +86,15 @@ pub struct FindArgs {
     /// Collect and print execution-layer statistics (per-level counters,
     /// stage timings, scratch-pool reuse).
     pub stats: bool,
+    /// Write a Chrome trace-event JSON file (Perfetto-loadable) covering
+    /// the whole run. `None` = tracing off (also settable via the
+    /// `SLICELINE_TRACE` environment variable).
+    pub trace: Option<String>,
+    /// Write a machine-readable run manifest (config + git + dataset
+    /// shape + final metrics) as JSON to this path.
+    pub metrics_json: Option<String>,
+    /// Simulated cluster nodes for distributed evaluation (0 = local).
+    pub nodes: usize,
 }
 
 impl Default for FindArgs {
@@ -106,6 +115,9 @@ impl Default for FindArgs {
             kernel: KernelChoice::Blocked,
             enum_kernel: EnumKernelChoice::Auto,
             stats: false,
+            trace: None,
+            metrics_json: None,
+            nodes: 0,
         }
     }
 }
@@ -181,6 +193,13 @@ FIND OPTIONS:
                       parallel streaming join + sharded dedup
   --stats             collect and print per-level execution statistics
                       (candidates, pruning, kernel choice, stage timings)
+  --trace FILE        write a Chrome trace-event JSON (open in Perfetto)
+                      covering kernels, level loop and cluster nodes;
+                      the SLICELINE_TRACE env var sets the same path
+  --metrics-json FILE write a machine-readable run manifest: config,
+                      git revision, dataset shape, final metrics
+  --nodes N           evaluate slices on an N-node simulated cluster
+                      (default: 0 = local evaluation)
 
 GENERATE OPTIONS:
   --dataset NAME      adult | covtype | kdd98 | census | criteo | salaries
@@ -245,6 +264,9 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
             "--drop" => out.drop.push(next_value(&mut it, "--drop")?),
             "--bins" => out.bins = parse_num(&next_value(&mut it, "--bins")?, "--bins")?,
             "--stats" => out.stats = true,
+            "--trace" => out.trace = Some(next_value(&mut it, "--trace")?),
+            "--metrics-json" => out.metrics_json = Some(next_value(&mut it, "--metrics-json")?),
+            "--nodes" => out.nodes = parse_num(&next_value(&mut it, "--nodes")?, "--nodes")?,
             "--format" => {
                 let v = next_value(&mut it, "--format")?;
                 out.format = match v.as_str() {
@@ -436,6 +458,43 @@ mod tests {
             "e",
             "--enum-kernel",
             "distributed"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cli = parse(sv(&[
+            "find",
+            "--input",
+            "a.csv",
+            "--errors",
+            "e",
+            "--trace",
+            "out.json",
+            "--metrics-json",
+            "run.json",
+            "--nodes",
+            "4",
+        ]))
+        .unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.trace.as_deref(), Some("out.json"));
+        assert_eq!(f.metrics_json.as_deref(), Some("run.json"));
+        assert_eq!(f.nodes, 4);
+        // Defaults when absent; --trace/--metrics-json need a value.
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert!(f.trace.is_none());
+        assert!(f.metrics_json.is_none());
+        assert_eq!(f.nodes, 0);
+        assert!(parse(sv(&["find", "--input", "a", "--errors", "e", "--trace"])).is_err());
+        assert!(parse(sv(&[
+            "find", "--input", "a", "--errors", "e", "--nodes", "many"
         ]))
         .is_err());
     }

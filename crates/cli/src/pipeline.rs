@@ -4,11 +4,12 @@
 use crate::args::{EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind};
 use crate::report;
 use crate::CliError;
-use sliceline::{EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig};
+use sliceline::{EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig, SliceLineResult};
 use sliceline_datagen::GenConfig;
+use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
 use sliceline_frame::csv::read_csv_file;
 use sliceline_frame::{Column, DatasetEncoder, EncodedDataset};
-use sliceline_linalg::DenseMatrix;
+use sliceline_linalg::{chrome_trace, DenseMatrix, ExecContext, Manifest};
 use sliceline_ml::logreg::LogisticConfig;
 use sliceline_ml::{inaccuracy, squared_loss, LinearRegression, MultinomialLogistic};
 
@@ -94,17 +95,108 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         MinSupport::Fraction(args.sigma)
     };
     // One execution context for the whole run: thread pool, scratch
-    // buffers, and (with --stats) per-level telemetry.
+    // buffers, tracer/metrics, and (with --stats) per-level telemetry.
     let exec = config.exec_context();
-    exec.enable_stats(args.stats);
-    let result = SliceLine::new(config)
-        .find_slices_in(&encoded.x0, &errors, &exec)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    // The manifest's final metrics (partition skew, cache hit rate) come
+    // from the telemetry snapshot, so --metrics-json implies collection.
+    exec.enable_stats(args.stats || args.metrics_json.is_some());
+    let trace_path = args.trace.clone().or_else(|| {
+        std::env::var("SLICELINE_TRACE")
+            .ok()
+            .filter(|s| !s.is_empty())
+    });
+    exec.tracer().set_enabled(trace_path.is_some());
+    let result = if args.nodes > 0 {
+        let cluster = ClusterConfig {
+            nodes: args.nodes,
+            ..Default::default()
+        };
+        DistSliceLine::new(config, Strategy::DistParfor(cluster)).find_slices_in(
+            &encoded.x0,
+            &errors,
+            &exec,
+        )
+    } else {
+        SliceLine::new(config).find_slices_in(&encoded.x0, &errors, &exec)
+    }
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    if let Some(path) = &trace_path {
+        // All worker threads have joined inside find_slices_in, so the
+        // drain below sees every thread-local buffer.
+        let trace = chrome_trace(&exec.tracer().drain(), "sliceline");
+        std::fs::write(path, trace)
+            .map_err(|e| CliError::runtime(format!("writing trace {path}: {e}")))?;
+    }
+    if let Some(path) = &args.metrics_json {
+        let manifest = build_manifest(args, &result, &exec);
+        std::fs::write(path, manifest.to_json())
+            .map_err(|e| CliError::runtime(format!("writing manifest {path}: {e}")))?;
+    }
     Ok(match args.format {
         OutputFormat::Text => report::render_text(&result, &encoded.features, &errors),
         OutputFormat::Json => sliceline::export::result_to_json(&result),
         OutputFormat::Csv => sliceline::export::top_k_to_csv(&result),
     })
+}
+
+/// Builds the machine-readable run manifest (`--metrics-json`): effective
+/// configuration, code revision, dataset shape, and the final metrics
+/// registry snapshot. All durations inside `metrics` follow the
+/// float-seconds schema (see `sliceline::export`).
+fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext) -> Manifest {
+    let mut m = Manifest::new("sliceline");
+    m.set_str("git", &git_describe());
+    m.set_raw(
+        "config",
+        format!(
+            "{{\"k\":{},\"sigma\":{},\"alpha\":{},\"max_level\":{},\"threads\":{},\
+             \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"nodes\":{}}}",
+            args.k,
+            args.sigma,
+            args.alpha,
+            args.max_level,
+            args.threads,
+            args.bins,
+            args.kernel,
+            args.enum_kernel,
+            args.nodes,
+        ),
+    );
+    m.set_raw(
+        "dataset",
+        format!(
+            "{{\"input\":\"{}\",\"n\":{},\"m\":{},\"l\":{},\"sigma\":{}}}",
+            json_escape(&args.input),
+            result.stats.n,
+            result.stats.m,
+            result.stats.l,
+            result.stats.sigma,
+        ),
+    );
+    // exec_stats() folds the final telemetry snapshot into the registry
+    // gauges (pool high-water, bitmap cache hit rate, partition skew)
+    // before the registry is serialized.
+    let _ = exec.exec_stats();
+    m.set_raw("metrics", exec.metrics().to_json());
+    m
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Current code revision via `git describe --always --dirty`; "unknown"
+/// when git or the repository is unavailable (e.g. a release tarball).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Trains the requested model on the encoded dataset and returns the
@@ -329,6 +421,116 @@ mod tests {
             );
             assert_eq!(out, serial, "{enum_kernel:?} report diverged");
         }
+    }
+
+    #[test]
+    fn find_writes_trace_and_manifest() {
+        let path = write_temp("biased_trace.csv", &biased_csv());
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        let trace_path = dir.join("trace_out.json");
+        let manifest_path = dir.join("manifest_out.json");
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 2,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            metrics_json: Some(manifest_path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        run_find(&args).unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        // Spans from the core level loop and the linalg kernels are
+        // present in one trace (the dist layer is covered below).
+        assert!(trace.contains("\"find_slices\""), "trace:\n{trace}");
+        assert!(trace.contains("\"level\""));
+        assert!(trace.contains("\"cat\":\"linalg\""));
+        assert!(trace.contains("\"pruning_funnel\""));
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        for key in [
+            "schema_version",
+            "tool",
+            "git",
+            "config",
+            "dataset",
+            "metrics",
+        ] {
+            assert!(
+                manifest.contains(&format!("\"{key}\":")),
+                "manifest:\n{manifest}"
+            );
+        }
+        assert!(manifest.contains("\"tool\":\"sliceline\""));
+        assert!(manifest.contains("core.funnel.evaluated"));
+    }
+
+    #[test]
+    fn find_on_simulated_cluster_matches_local() {
+        let path = write_temp("biased_dist.csv", &biased_csv());
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        let trace_path = dir.join("dist_trace.json");
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            format: OutputFormat::Csv,
+            ..Default::default()
+        };
+        let local = run_find(&base).unwrap();
+        let dist = run_find(&FindArgs {
+            nodes: 3,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            ..base.clone()
+        })
+        .unwrap();
+        // Per-node aggregation reorders float sums, so scores may differ
+        // in the last ulp; ranks, predicates, and sizes must agree.
+        let shape = |csv: &str| -> Vec<(String, String, String)> {
+            csv.lines()
+                .skip(1)
+                .map(|l| {
+                    let f: Vec<&str> = l.split(',').collect();
+                    (f[0].to_string(), f[1].to_string(), f[3].to_string())
+                })
+                .collect()
+        };
+        assert_eq!(
+            shape(&local),
+            shape(&dist),
+            "distributed top-K diverged from local:\n{local}\n{dist}"
+        );
+        // The distributed run's trace carries per-node spans.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"node.eval\""), "trace:\n{trace}");
+        assert!(trace.contains("\"cat\":\"dist\""));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let path = write_temp("biased_parity.csv", &biased_csv());
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        let trace_path = dir.join("parity_trace.json");
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 2,
+            format: OutputFormat::Csv,
+            ..Default::default()
+        };
+        let off = run_find(&base).unwrap();
+        let on = run_find(&FindArgs {
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            ..base.clone()
+        })
+        .unwrap();
+        // Bit-for-bit: tracing must observe, never perturb.
+        assert_eq!(off, on);
     }
 
     #[test]

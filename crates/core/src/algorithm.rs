@@ -9,7 +9,7 @@ use crate::prepare::{prepare, PreparedData};
 use crate::stats::{LevelStats, RunStats};
 use crate::topk::TopK;
 use sliceline_frame::{FeatureSet, IntMatrix};
-use sliceline_linalg::{ExecContext, Stage};
+use sliceline_linalg::{ArgValue, ExecContext, LevelProfile, Stage};
 use std::time::Instant;
 
 /// One decoded top-K slice.
@@ -111,9 +111,16 @@ impl SliceLine {
     ) -> Result<SliceLineResult> {
         let start = Instant::now();
         exec.reset_stats();
+        let mut run_span = exec.tracer().span("find_slices", "core");
         // a) data preparation.
-        let prepared = prepare(x0, errors, &self.config, exec)?;
+        let prepared = {
+            let _prep_span = exec.tracer().span("prepare", "core");
+            prepare(x0, errors, &self.config, exec)?
+        };
         exec.add_prepare(start.elapsed());
+        run_span.add_arg("n", prepared.n());
+        run_span.add_arg("m", prepared.m);
+        run_span.add_arg("l", prepared.l());
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -123,6 +130,7 @@ impl SliceLine {
         };
         // b) initialization: basic slices and initial top-K.
         exec.begin_level(1);
+        let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
         let level_start = Instant::now();
         let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
             create_and_score_basic_slices(&prepared, exec)
@@ -133,7 +141,18 @@ impl SliceLine {
         });
         stats.basic_slices = level.len();
         let mut topk = TopK::new(self.config.k, prepared.sigma);
-        exec.time_stage(Stage::TopK, || topk.update(&level));
+        let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
+        exec.record_level(|p| p.topk_entered += entered as u64);
+        emit_funnel(
+            exec,
+            &LevelProfile {
+                level: 1,
+                candidates: prepared.l() as u64,
+                evaluated: prepared.l() as u64,
+                topk_entered: entered as u64,
+                ..Default::default()
+            },
+        );
         stats.levels.push(LevelStats {
             level: 1,
             candidates: prepared.l(),
@@ -142,6 +161,7 @@ impl SliceLine {
             elapsed: level_start.elapsed(),
             threshold_after: topk.prune_threshold(),
         });
+        drop(level_span);
         // c) level-wise lattice enumeration. The evaluation engine carries
         // the bitmap backend's packed columns and parent cache across
         // levels (unused by the blocked/fused kernels).
@@ -151,6 +171,7 @@ impl SliceLine {
         while !level.is_empty() && l < max_level {
             l += 1;
             exec.begin_level(l);
+            let level_span = exec.tracer().span("level", "core").arg("level", l as u64);
             let level_start = Instant::now();
             let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
                 get_pair_candidates(
@@ -180,7 +201,23 @@ impl SliceLine {
                 )
             });
             recycle_level(exec, std::mem::replace(&mut level, next));
-            exec.time_stage(Stage::TopK, || topk.update(&level));
+            let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
+            exec.record_level(|p| p.topk_entered += entered as u64);
+            emit_funnel(
+                exec,
+                &LevelProfile {
+                    level: l,
+                    pairs: enum_stats.pairs as u64,
+                    candidates: enum_stats.merged_valid as u64,
+                    deduped: (enum_stats.merged_valid - enum_stats.deduped) as u64,
+                    pruned_size: enum_stats.pruned_size as u64,
+                    pruned_score: enum_stats.pruned_score as u64,
+                    pruned_parents: enum_stats.pruned_parents as u64,
+                    evaluated: evaluated as u64,
+                    topk_entered: entered as u64,
+                    ..Default::default()
+                },
+            );
             stats.levels.push(LevelStats {
                 level: l,
                 candidates: evaluated,
@@ -189,14 +226,44 @@ impl SliceLine {
                 elapsed: level_start.elapsed(),
                 threshold_after: topk.prune_threshold(),
             });
+            drop(level_span);
         }
         recycle_level(exec, level);
+        run_span.add_arg("levels", stats.levels.len());
         stats.total_elapsed = start.elapsed();
         stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
         // Decode the top-K back to (feature, value) predicates.
         let top_k = decode_topk(&topk, &proj, &prepared);
         Ok(SliceLineResult { top_k, stats })
     }
+}
+
+/// Emits one level's pruning funnel: a Chrome counter event (rendered as
+/// a stacked value track in Perfetto) plus cumulative `core.funnel.*`
+/// counters in the metrics registry. The stage values are derived from
+/// the same `EnumStats` counters that `--stats` renders, so the trace,
+/// the metrics, and the stats table always agree.
+///
+/// Public so alternative drivers over the same level loop (the
+/// distributed driver in `sliceline-dist`) export an identical funnel.
+pub fn emit_funnel(exec: &ExecContext, profile: &LevelProfile) {
+    let tracer = exec.tracer();
+    if tracer.enabled() {
+        let mut args: Vec<(&'static str, ArgValue)> = profile
+            .funnel()
+            .into_iter()
+            .map(|(stage, v)| (stage, ArgValue::U64(v)))
+            .collect();
+        args.push(("topk_entered", ArgValue::U64(profile.topk_entered)));
+        tracer.counter("pruning_funnel", "core", args);
+    }
+    let metrics = exec.metrics();
+    for (stage, v) in profile.funnel() {
+        metrics.counter(&format!("core.funnel.{stage}")).add(v);
+    }
+    metrics
+        .counter("core.funnel.topk_entered")
+        .add(profile.topk_entered);
 }
 
 /// Returns a finished level's statistic vectors to the context's scratch

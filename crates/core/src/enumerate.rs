@@ -585,6 +585,7 @@ fn enumerate_sharded(
 /// execution context's telemetry (no-op when stats are disabled).
 fn record_enum_stats(exec: &ExecContext, stats: &EnumStats, kernel: Option<&'static str>) {
     exec.record_level(|p| {
+        p.pairs += stats.pairs as u64;
         p.candidates += stats.merged_valid as u64;
         p.deduped += (stats.merged_valid - stats.deduped) as u64;
         p.pruned_size += stats.pruned_size as u64;

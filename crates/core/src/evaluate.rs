@@ -87,12 +87,17 @@ impl EvalEngine {
 
     /// The packed bitmap state for `x`, building (or rebuilding, if the
     /// projected matrix changed shape) it on first use.
-    fn state(&mut self, x: &CsrMatrix) -> &mut BitmapState {
+    fn state(&mut self, x: &CsrMatrix, exec: &ExecContext) -> &mut BitmapState {
         let stale = match &self.bitmap {
             Some(s) => s.bits.rows() != x.rows() || s.bits.cols() != x.cols(),
             None => true,
         };
         if stale {
+            let _span = exec
+                .tracer()
+                .span("bitmap.pack", "linalg")
+                .arg("rows", x.rows())
+                .arg("cols", x.cols());
             self.bitmap = Some(BitmapState {
                 bits: BitMatrix::from_csr(x),
                 cache: HashMap::new(),
@@ -271,10 +276,15 @@ fn eval_bitmap(
     engine: &mut EvalEngine,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let budget = engine.cache_budget;
-    let state = engine.state(x);
+    let state = engine.state(x, exec);
     let bits = &state.bits;
     let wpc = bits.words_per_col();
     let k = slices.len();
+    let mut kernel_span = exec
+        .tracer()
+        .span("bitmap.eval", "linalg")
+        .arg("slices", k)
+        .arg("level", level);
     // The cache holds the previous level's slice bitmaps. Lookups only pay
     // from level 3 up: a level-2 child is a plain two-column AND whether or
     // not its single-column parent is at hand.
@@ -359,6 +369,7 @@ fn eval_bitmap(
         exec.parallel().par_map(k, |i| eval_one(&slices[i], false))
     };
     exec.record_level(|p| p.cache_hits += hits.load(Ordering::Relaxed));
+    kernel_span.add_arg("cache_hits", hits.load(Ordering::Relaxed));
     let mut next_cache = HashMap::with_capacity(results.len().min(1024));
     let mut stats = Vec::with_capacity(k);
     for (i, (s, retained)) in results.into_iter().enumerate() {
@@ -390,6 +401,12 @@ fn eval_blocked(
     exec: &ExecContext,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = slices.len();
+    let _span = exec
+        .tracer()
+        .span("blocked.eval", "linalg")
+        .arg("slices", k)
+        .arg("level", level)
+        .arg("block_size", block_size);
     let s = CsrMatrix::from_binary_rows(x.cols(), slices)
         .expect("slice column ids are sorted, unique and in range");
     let mut sizes = exec.take_f64(k);
@@ -453,6 +470,11 @@ fn eval_fused(
     exec: &ExecContext,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let k = slices.len();
+    let _span = exec
+        .tracer()
+        .span("fused.eval", "linalg")
+        .arg("slices", k)
+        .arg("level", level);
     // Inverted index: projected column -> slice ids containing it.
     let mut inv: Vec<Vec<u32>> = vec![Vec::new(); x.cols()];
     for (sid, cols) in slices.iter().enumerate() {

@@ -4,8 +4,17 @@
 //! out); escaping covers everything the result types can contain — ASCII
 //! identifiers, numbers, and the strings produced by
 //! [`crate::algorithm::SliceInfo::describe`].
+//!
+//! ## Duration schema
+//!
+//! Every exported duration is a float in **seconds** and its key ends in
+//! `_secs`, converted in exactly one place ([`sliceline_linalg::secs`]).
+//! Earlier revisions mixed `_ms` keys into the run JSON; the schema is now
+//! uniform across `result_to_json`, `ExecStats::to_json`, the trace
+//! exporter, and the run manifest (see DESIGN.md §Observability).
 
 use crate::algorithm::{SliceInfo, SliceLineResult};
+use sliceline_linalg::secs;
 
 /// Renders the top-K slices as a JSON array of objects.
 pub fn top_k_to_json(result: &SliceLineResult) -> String {
@@ -46,11 +55,11 @@ pub fn result_to_json(result: &SliceLineResult) -> String {
         .iter()
         .map(|l| {
             format!(
-                "{{\"level\":{},\"candidates\":{},\"valid\":{},\"elapsed_ms\":{}}}",
+                "{{\"level\":{},\"candidates\":{},\"valid\":{},\"elapsed_secs\":{}}}",
                 l.level,
                 l.candidates,
                 l.valid,
-                json_num(l.elapsed.as_secs_f64() * 1000.0)
+                json_num(secs(l.elapsed))
             )
         })
         .collect::<Vec<_>>()
@@ -60,12 +69,12 @@ pub fn result_to_json(result: &SliceLineResult) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_ms\":{},\"top_k\":{},\"levels\":[{levels}],\"exec\":{exec}}}",
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"levels\":[{levels}],\"exec\":{exec}}}",
         result.stats.n,
         result.stats.m,
         result.stats.l,
         result.stats.sigma,
-        json_num(result.stats.total_elapsed.as_secs_f64() * 1000.0),
+        json_num(secs(result.stats.total_elapsed)),
         top_k_to_json(result),
     )
 }
@@ -180,6 +189,18 @@ mod tests {
         let json = result_to_json(&r);
         assert!(json.contains("\"exec\":{"));
         assert!(json.contains("\"prepare_secs\""));
+    }
+
+    #[test]
+    fn durations_export_as_float_seconds() {
+        let mut r = sample();
+        r.stats.total_elapsed = std::time::Duration::from_millis(1500);
+        r.stats.levels[0].elapsed = std::time::Duration::from_millis(250);
+        let json = result_to_json(&r);
+        assert!(json.contains("\"total_elapsed_secs\":1.5"));
+        assert!(json.contains("\"elapsed_secs\":0.25"));
+        // The `_ms` keys are gone from the schema entirely.
+        assert!(!json.contains("_ms\""));
     }
 
     #[test]

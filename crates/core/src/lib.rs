@@ -75,7 +75,7 @@ pub mod scoring;
 pub mod stats;
 pub mod topk;
 
-pub use algorithm::{SliceInfo, SliceLine, SliceLineResult};
+pub use algorithm::{emit_funnel, SliceInfo, SliceLine, SliceLineResult};
 pub use config::{
     EnumKernel, EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder,
 };

@@ -41,8 +41,11 @@ impl TopK {
         }
     }
 
-    /// Merges a level's evaluated slices into the top-K.
-    pub fn update(&mut self, level: &LevelState) {
+    /// Merges a level's evaluated slices into the top-K. Returns how many
+    /// slices entered the set (the last funnel stage; entries evicted later
+    /// in the same merge still count as having entered).
+    pub fn update(&mut self, level: &LevelState) -> usize {
+        let mut entered = 0;
         for i in 0..level.len() {
             let sc = level.scores[i];
             let ss = level.sizes[i];
@@ -83,10 +86,12 @@ impl TopK {
                 .position(|e| e.score < sc)
                 .unwrap_or(self.entries.len());
             self.entries.insert(pos, entry);
+            entered += 1;
             if self.entries.len() > self.k {
                 self.entries.pop();
             }
         }
+        entered
     }
 
     /// The current entries, sorted by descending score.

@@ -1,0 +1,153 @@
+//! Conservation properties of the per-level pruning funnel exported by
+//! the observability layer: every stage is bounded by the previous one,
+//! the survivor stage equals the evaluated count, and the funnel agrees
+//! exactly with the independently-maintained [`EnumStats`] counters that
+//! feed the `--stats` table (acceptance criterion of the tracing
+//! subsystem).
+//!
+//! [`EnumStats`]: sliceline::stats::EnumStats
+
+use proptest::prelude::*;
+use sliceline::{SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline_frame::IntMatrix;
+
+fn dataset() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
+    (2usize..=4, 10usize..=40).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
+            proptest::collection::vec(prop_oneof![Just(0.0f64), Just(0.5), Just(1.0)], n..=n),
+        )
+            .prop_map(|(rows, errors)| (IntMatrix::from_rows(&rows).unwrap(), errors))
+    })
+}
+
+/// Runs SliceLine with telemetry on and checks the funnel invariants
+/// against the result; returns the result for further assertions.
+fn check_funnel_invariants(
+    x0: &IntMatrix,
+    errors: &[f64],
+    config: SliceLineConfig,
+) -> SliceLineResult {
+    let exec = config.exec_context();
+    exec.enable_stats(true);
+    let r = SliceLine::new(config)
+        .find_slices_in(x0, errors, &exec)
+        .unwrap();
+    let exec_stats = r.stats.exec.as_ref().expect("telemetry enabled");
+    for p in &exec_stats.levels {
+        let funnel = p.funnel();
+        for w in funnel.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "level {}: funnel grows at '{}' ({} > {})",
+                p.level,
+                w[1].0,
+                w[1].1,
+                w[0].1
+            );
+        }
+        // Slices are conserved: whatever survives every filter is
+        // exactly what the eval kernels saw.
+        assert_eq!(
+            funnel[4].1, p.evaluated,
+            "level {}: survivors != evaluated",
+            p.level
+        );
+        assert!(p.topk_entered <= p.evaluated.max(1));
+    }
+    // The funnel agrees with the EnumStats counters exactly.
+    for lvl in &r.stats.levels {
+        let Some(e) = &lvl.enumeration else { continue };
+        let p = exec_stats
+            .levels
+            .iter()
+            .find(|p| p.level == lvl.level)
+            .expect("profile exists for every enumerated level");
+        assert_eq!(p.pairs, e.pairs as u64);
+        assert_eq!(p.candidates, e.merged_valid as u64);
+        assert_eq!(p.candidates - p.deduped, e.deduped as u64);
+        assert_eq!(p.evaluated, e.survivors as u64);
+        assert_eq!(
+            p.pruned_size + p.pruned_score + p.pruned_parents,
+            (e.deduped - e.survivors) as u64
+        );
+    }
+    // Everything in the final top-K entered it at some level.
+    let entered: u64 = exec_stats.levels.iter().map(|p| p.topk_entered).sum();
+    assert!(entered >= r.top_k.len() as u64);
+    r
+}
+
+fn config(k: usize, sigma: usize) -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(k)
+        .min_support(sigma)
+        .alpha(0.95)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic anchor for the property below (runs even where proptest
+/// generation is unavailable).
+#[test]
+fn funnel_conserved_on_planted_slice() {
+    let rows: Vec<Vec<u32>> = (0..60)
+        .map(|i| {
+            vec![
+                1 + (i % 2) as u32,
+                1 + (i % 3) as u32,
+                1 + ((i / 2) % 2) as u32,
+            ]
+        })
+        .collect();
+    let errors: Vec<f64> = (0..60)
+        .map(|i| {
+            if i % 2 == 0 && (i / 2) % 2 == 1 {
+                0.9
+            } else {
+                0.05
+            }
+        })
+        .collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let r = check_funnel_invariants(&x0, &errors, config(3, 4));
+    assert!(!r.top_k.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn funnel_is_conserved(
+        (x0, errors) in dataset(),
+        sigma in 1usize..5,
+        k in 1usize..4,
+    ) {
+        check_funnel_invariants(&x0, &errors, config(k, sigma));
+    }
+
+    #[test]
+    fn tracing_is_observation_only(
+        (x0, errors) in dataset(),
+        sigma in 1usize..5,
+    ) {
+        let off = SliceLine::new(config(3, sigma))
+            .find_slices(&x0, &errors)
+            .unwrap();
+        let exec = config(3, sigma).exec_context();
+        exec.tracer().set_enabled(true);
+        let on = SliceLine::new(config(3, sigma))
+            .find_slices_in(&x0, &errors, &exec)
+            .unwrap();
+        // Bit-for-bit identical top-K: tracing observes, never perturbs.
+        prop_assert_eq!(off.top_k.len(), on.top_k.len());
+        for (a, b) in off.top_k.iter().zip(&on.top_k) {
+            prop_assert_eq!(&a.predicates, &b.predicates);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            prop_assert_eq!(a.size.to_bits(), b.size.to_bits());
+            prop_assert_eq!(a.error.to_bits(), b.error.to_bits());
+        }
+        prop_assert!(!exec.tracer().drain().is_empty());
+    }
+}

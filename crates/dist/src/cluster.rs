@@ -3,8 +3,8 @@
 
 use crate::partition::PartitionedMatrix;
 use sliceline::evaluate::{evaluate_slice_stats, evaluate_slice_stats_bitmap};
-use sliceline_linalg::{BitMatrix, CsrMatrix, ExecContext};
-use std::time::Duration;
+use sliceline_linalg::{secs, BitMatrix, CsrMatrix, ExecContext};
+use std::time::{Duration, Instant};
 
 /// Cluster shape and simulated communication costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,15 +108,24 @@ impl SimulatedCluster {
         if k == 0 {
             return (Vec::new(), Vec::new(), Vec::new());
         }
+        let parts = self.data.num_partitions();
+        let _eval_span = exec
+            .tracer()
+            .span("dist.evaluate", "dist")
+            .arg("slices", k)
+            .arg("level", level)
+            .arg("nodes", parts);
         // Broadcast: one serialization of S, charged per nnz, plus fixed
         // latency. Each node receives its own copy (the clone below).
         let nnz: usize = slices.iter().map(|s| s.len()).sum();
         let broadcast_cost =
             self.config.broadcast_latency + self.config.broadcast_per_nnz * (nnz as u32);
-        std::thread::sleep(broadcast_cost);
-        let parts = self.data.num_partitions();
+        {
+            let _span = exec.tracer().span("broadcast", "dist").arg("nnz", nnz);
+            std::thread::sleep(broadcast_cost);
+        }
         let node_exec = exec.with_threads(self.config.threads_per_node);
-        let partials: Vec<Partial> = std::thread::scope(|scope| {
+        let results: Vec<(Partial, Duration)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..parts)
                 .map(|node| {
                     let slices_copy: Vec<Vec<u32>> = slices.to_vec(); // the "broadcast"
@@ -124,6 +133,13 @@ impl SimulatedCluster {
                     let ne = node_exec.clone();
                     let bitmaps = &self.bitmaps;
                     scope.spawn(move || {
+                        let _span = ne
+                            .tracer()
+                            .span("node.eval", "dist")
+                            .arg("node", node)
+                            .arg("slices", k)
+                            .arg("level", level);
+                        let node_start = Instant::now();
                         let (x, errors) = data.partition(node);
                         let partial = if let Some(bits) = bitmaps.get(node) {
                             evaluate_slice_stats_bitmap(bits, errors, &slices_copy, &ne)
@@ -131,7 +147,7 @@ impl SimulatedCluster {
                             evaluate_slice_stats(x, errors, &slices_copy, level, &ne)
                         };
                         ne.record_level(|p| p.partials += 1);
-                        partial
+                        (partial, node_start.elapsed())
                     })
                 })
                 .collect();
@@ -140,9 +156,29 @@ impl SimulatedCluster {
                 .map(|h| h.join().expect("node thread panicked"))
                 .collect()
         });
+        // Partition skew: max/mean per-node wall time for this broadcast,
+        // folded into the level profile (max across broadcasts) and
+        // surfaced in `--stats` and the run manifest.
+        let times: Vec<f64> = results.iter().map(|(_, d)| secs(*d)).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let skew = if mean > 0.0 { max / mean } else { 0.0 };
+        let kernel = if self.bitmaps.is_empty() {
+            "dist:fused"
+        } else {
+            "dist:bitmap"
+        };
+        exec.record_level(|p| {
+            p.partition_skew = p.partition_skew.max(skew);
+            p.evaluated += k as u64;
+            p.kernel = Some(kernel);
+        });
         // Aggregate (the result shuffle back to the driver).
-        std::thread::sleep(self.config.aggregate_latency);
-        let mut partials = partials.into_iter();
+        {
+            let _span = exec.tracer().span("aggregate", "dist").arg("nodes", parts);
+            std::thread::sleep(self.config.aggregate_latency);
+        }
+        let mut partials = results.into_iter().map(|(p, _)| p);
         let (mut sizes, mut errors, mut max_errors) =
             partials.next().expect("at least one partition");
         for (ps, pe, pm) in partials {
@@ -248,6 +284,35 @@ mod tests {
             );
             assert_eq!(packed, fused, "{nodes} nodes");
         }
+    }
+
+    #[test]
+    fn partition_skew_recorded_in_telemetry() {
+        let (x, e) = fixture();
+        let cluster = SimulatedCluster::new(fast_config(3), &x, &e);
+        let exec = ExecContext::serial();
+        exec.enable_stats(true);
+        exec.begin_level(2);
+        cluster.evaluate_slices(&[vec![0, 3], vec![1, 4]], 2, &exec);
+        let stats = exec.exec_stats();
+        // skew = max/mean node wall time, so >= 1 whenever it was measured.
+        let skew = stats.levels[0].partition_skew;
+        assert!(skew >= 1.0, "skew {skew} should be >= 1 (max/mean)");
+        assert!(stats.max_partition_skew() >= 1.0);
+    }
+
+    #[test]
+    fn node_spans_emitted_when_tracing() {
+        let (x, e) = fixture();
+        let cluster = SimulatedCluster::new(fast_config(2), &x, &e);
+        let exec = ExecContext::serial();
+        exec.tracer().set_enabled(true);
+        cluster.evaluate_slices(&[vec![0, 3]], 2, &exec);
+        let events = exec.tracer().drain();
+        let nodes = events.iter().filter(|ev| ev.name == "node.eval").count();
+        assert_eq!(nodes, 2, "one span per node");
+        assert!(events.iter().any(|ev| ev.name == "broadcast"));
+        assert!(events.iter().any(|ev| ev.name == "aggregate"));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use sliceline::prepare::prepare;
 use sliceline::stats::{LevelStats, RunStats};
 use sliceline::topk::TopK;
 use sliceline::{Result, SliceLineResult};
-use sliceline_linalg::{CsrMatrix, ExecContext, Stage};
+use sliceline_linalg::{CsrMatrix, ExecContext, LevelProfile, Stage};
 use std::time::Instant;
 
 /// How slice evaluation is parallelized.
@@ -151,17 +151,34 @@ impl DistSliceLine {
         DistSliceLine { config, strategy }
     }
 
-    /// Runs the level-wise algorithm with strategy-based evaluation.
+    /// Runs the level-wise algorithm with strategy-based evaluation on a
+    /// fresh execution context built from the configuration.
     pub fn find_slices(
         &self,
         x0: &sliceline_frame::IntMatrix,
         errors: &[f64],
     ) -> Result<SliceLineResult> {
-        let start = Instant::now();
         let exec = self.config.exec_context();
+        self.find_slices_in(x0, errors, &exec)
+    }
+
+    /// Runs the level-wise algorithm on a caller-provided execution
+    /// context (shared scratch pool, telemetry, tracer, and metrics —
+    /// mirrors [`sliceline::SliceLine::find_slices_in`]).
+    pub fn find_slices_in(
+        &self,
+        x0: &sliceline_frame::IntMatrix,
+        errors: &[f64],
+        exec: &ExecContext,
+    ) -> Result<SliceLineResult> {
+        let start = Instant::now();
         exec.reset_stats();
-        let prepared = prepare(x0, errors, &self.config, &exec)?;
+        let mut run_span = exec.tracer().span("find_slices", "core");
+        let prepared = prepare(x0, errors, &self.config, exec)?;
         exec.add_prepare(start.elapsed());
+        run_span.add_arg("n", prepared.n());
+        run_span.add_arg("m", prepared.m);
+        run_span.add_arg("l", prepared.l());
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -170,13 +187,29 @@ impl DistSliceLine {
             ..Default::default()
         };
         exec.begin_level(1);
+        let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
         let lvl_start = Instant::now();
         let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
-            create_and_score_basic_slices(&prepared, &exec)
+            create_and_score_basic_slices(&prepared, exec)
+        });
+        exec.record_level(|p| {
+            p.candidates += prepared.l() as u64;
+            p.evaluated += prepared.l() as u64;
         });
         stats.basic_slices = level.len();
         let mut topk = TopK::new(self.config.k, prepared.sigma);
-        exec.time_stage(Stage::TopK, || topk.update(&level));
+        let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
+        exec.record_level(|p| p.topk_entered += entered as u64);
+        sliceline::emit_funnel(
+            exec,
+            &LevelProfile {
+                level: 1,
+                candidates: prepared.l() as u64,
+                evaluated: prepared.l() as u64,
+                topk_entered: entered as u64,
+                ..Default::default()
+            },
+        );
         stats.levels.push(LevelStats {
             level: 1,
             candidates: prepared.l(),
@@ -185,11 +218,13 @@ impl DistSliceLine {
             elapsed: lvl_start.elapsed(),
             threshold_after: topk.prune_threshold(),
         });
+        drop(level_span);
         let max_level = self.config.max_level.min(prepared.m);
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
             l += 1;
             exec.begin_level(l);
+            let level_span = exec.tracer().span("level", "core").arg("level", l as u64);
             let lvl_start = Instant::now();
             let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
                 get_pair_candidates(
@@ -202,7 +237,7 @@ impl DistSliceLine {
                     &self.config.pruning,
                     &topk,
                     self.config.enum_kernel,
-                    &exec,
+                    exec,
                 )
             });
             let evaluated = candidates.len();
@@ -214,10 +249,26 @@ impl DistSliceLine {
                     l,
                     &prepared.ctx,
                     &self.strategy,
-                    &exec,
+                    exec,
                 )
             });
-            exec.time_stage(Stage::TopK, || topk.update(&level));
+            let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
+            exec.record_level(|p| p.topk_entered += entered as u64);
+            sliceline::emit_funnel(
+                exec,
+                &LevelProfile {
+                    level: l,
+                    pairs: enum_stats.pairs as u64,
+                    candidates: enum_stats.merged_valid as u64,
+                    deduped: (enum_stats.merged_valid - enum_stats.deduped) as u64,
+                    pruned_size: enum_stats.pruned_size as u64,
+                    pruned_score: enum_stats.pruned_score as u64,
+                    pruned_parents: enum_stats.pruned_parents as u64,
+                    evaluated: evaluated as u64,
+                    topk_entered: entered as u64,
+                    ..Default::default()
+                },
+            );
             stats.levels.push(LevelStats {
                 level: l,
                 candidates: evaluated,
@@ -228,7 +279,9 @@ impl DistSliceLine {
                 elapsed: lvl_start.elapsed(),
                 threshold_after: topk.prune_threshold(),
             });
+            drop(level_span);
         }
+        run_span.add_arg("levels", stats.levels.len());
         stats.total_elapsed = start.elapsed();
         stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
         // Decode via the same predicate mapping as the core driver.

@@ -7,7 +7,7 @@
 //! kernel and the level loop take instead of a loose [`ParallelConfig`]
 //! plus implicit allocation.
 //!
-//! An `ExecContext` owns three things:
+//! An `ExecContext` owns four things:
 //!
 //! 1. **Parallelism** — the [`ParallelConfig`] describing how many
 //!    scoped threads kernels may fan out to. [`ExecContext::with_threads`]
@@ -20,18 +20,29 @@
 //!    level's `sizes/errs/max_errs/scores` vectors are reused across
 //!    levels instead of re-allocated. Pooling can be switched off
 //!    ([`ExecContext::set_pooling`]) to measure the allocation churn it
-//!    removes.
-//! 3. **Telemetry** — cheap per-level counters (candidates generated,
-//!    deduplicated, pruned by each rule, evaluated, per-node partials),
-//!    the kernel chosen by `EvalKernel::Auto`, and wall time per stage.
-//!    Disabled by default; when enabled the cli renders the table and
-//!    bench binaries dump it as JSON ([`ExecStats::to_json`]).
+//!    removes. The pool also tracks approximate live/high-water bytes.
+//! 3. **Telemetry** — per-level counters (candidate funnel, pruning
+//!    rules, evaluated slices, per-node partials), the kernels chosen by
+//!    the `Auto` policies, and wall time per stage. Since the
+//!    observability rework this is backed by a sharded thread-local
+//!    [`Collector`] from `sliceline-obs`: worker threads accumulate
+//!    private [`LevelProfile`] deltas that merge on thread exit instead
+//!    of serializing on a mutex. Disabled by default; when enabled the
+//!    cli renders the table and bench binaries dump it as JSON
+//!    ([`ExecStats::to_json`]).
+//! 4. **Tracing + metrics** — a shared [`Tracer`] for RAII spans
+//!    (exported as Chrome trace-event JSON via `--trace`) and a
+//!    [`MetricsRegistry`] of named counters/gauges that feeds the run
+//!    manifest. Both are off/empty unless the caller enables them.
 //!
 //! The context is cheap to clone (an `Arc` plus a `Copy` config) and all
 //! interior state is thread-safe, so kernels running on scoped threads
 //! can check buffers in and out concurrently.
+//!
+//! [`Collector`]: sliceline_obs::Collector
 
 use crate::parallel::ParallelConfig;
+use sliceline_obs::{secs, Collector, MergeDelta, MetricsRegistry, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -51,11 +62,25 @@ pub enum Stage {
     TopK,
 }
 
+impl Stage {
+    /// Span/column name for this stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Enumerate => "enumerate",
+            Stage::Evaluate => "evaluate",
+            Stage::TopK => "topk",
+        }
+    }
+}
+
 /// Telemetry for one lattice level.
 #[derive(Debug, Clone, Default)]
 pub struct LevelProfile {
     /// Lattice level (1 = basic slices).
     pub level: usize,
+    /// Raw parent pairs streamed out of the join, before merge validity
+    /// checks (level 1: 0 — there is no pair enumeration).
+    pub pairs: u64,
     /// Candidates generated before dedup/pruning (level 1: one-hot columns).
     pub candidates: u64,
     /// Candidates removed as duplicates of an earlier pair merge.
@@ -68,11 +93,16 @@ pub struct LevelProfile {
     pub pruned_parents: u64,
     /// Slices actually evaluated by a kernel.
     pub evaluated: u64,
+    /// Evaluated slices that entered the top-K set this level.
+    pub topk_entered: u64,
     /// Per-node partial aggregations merged (distributed runs).
     pub partials: u64,
     /// Bitmap-kernel evaluations served incrementally from a cached
     /// parent bitmap (one `AND` instead of `L`).
     pub cache_hits: u64,
+    /// Max/mean per-node wall time of this level's distributed
+    /// evaluation; 0 for non-distributed runs, 1.0 = perfectly balanced.
+    pub partition_skew: f64,
     /// Eval kernel that ran (`"blocked"` / `"fused"` / `"bitmap"`), if any.
     pub kernel: Option<&'static str>,
     /// Enumeration kernel that ran (`"serial"` / `"sharded"`), if any.
@@ -89,6 +119,64 @@ pub struct LevelProfile {
     pub evaluate: Duration,
     /// Wall time in top-K maintenance.
     pub topk: Duration,
+}
+
+impl LevelProfile {
+    /// The per-level pruning funnel: monotonically non-increasing stage
+    /// counts from streamed pairs down to top-K entries. Stage names are
+    /// part of the exported schema (DESIGN.md §Observability).
+    ///
+    /// Level 1 has no pair join, so the first stage is clamped to the
+    /// candidate count there to keep the funnel monotone.
+    pub fn funnel(&self) -> [(&'static str, u64); 6] {
+        let merged = self.candidates;
+        let after_dedup = merged.saturating_sub(self.deduped);
+        let after_bound = after_dedup.saturating_sub(self.pruned_score);
+        let after_filters = after_bound
+            .saturating_sub(self.pruned_size)
+            .saturating_sub(self.pruned_parents);
+        [
+            ("pairs", self.pairs.max(merged)),
+            ("merged", merged),
+            ("after_dedup", after_dedup),
+            ("after_bound", after_bound),
+            ("after_filters", after_filters),
+            ("evaluated", self.evaluated),
+        ]
+    }
+}
+
+impl MergeDelta for LevelProfile {
+    /// Folds a thread-local delta into the base profile: counters and
+    /// durations add, kernel annotations take the latest non-`None`,
+    /// skew takes the max. `level` is identity — set once when the slot
+    /// is opened; deltas leave it at the 0 default.
+    fn merge(&mut self, other: &Self) {
+        self.pairs += other.pairs;
+        self.candidates += other.candidates;
+        self.deduped += other.deduped;
+        self.pruned_size += other.pruned_size;
+        self.pruned_score += other.pruned_score;
+        self.pruned_parents += other.pruned_parents;
+        self.evaluated += other.evaluated;
+        self.topk_entered += other.topk_entered;
+        self.partials += other.partials;
+        self.cache_hits += other.cache_hits;
+        if other.partition_skew > self.partition_skew {
+            self.partition_skew = other.partition_skew;
+        }
+        if other.kernel.is_some() {
+            self.kernel = other.kernel;
+        }
+        if other.enum_kernel.is_some() {
+            self.enum_kernel = other.enum_kernel;
+        }
+        self.enumerate += other.enumerate;
+        self.join += other.join;
+        self.dedup += other.dedup;
+        self.evaluate += other.evaluate;
+        self.topk += other.topk;
+    }
 }
 
 /// Snapshot of scratch-pool activity.
@@ -108,6 +196,13 @@ pub struct PoolStats {
     pub u64_allocated: u64,
     /// Bytes of capacity served from the pool instead of the allocator.
     pub bytes_reused: u64,
+    /// Approximate bytes of checked-out scratch capacity right now.
+    /// Approximate because callers may grow a buffer between checkout
+    /// and return; returns saturate rather than underflow.
+    pub bytes_outstanding: u64,
+    /// High-water mark of `bytes_outstanding` over the context lifetime —
+    /// the allocator pressure the pool absorbs at peak.
+    pub bytes_high_water: u64,
 }
 
 impl PoolStats {
@@ -146,20 +241,31 @@ impl ExecStats {
         self.levels.iter().map(|l| l.evaluated).sum()
     }
 
+    /// Max per-level partition skew (distributed runs; 0 otherwise).
+    pub fn max_partition_skew(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|l| l.partition_skew)
+            .fold(0.0, f64::max)
+    }
+
     /// Renders the per-level table the cli prints under `--stats`.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
             "level",
+            "pairs",
             "cands",
             "dedup",
             "pr:size",
             "pr:score",
             "pr:par",
             "evaluated",
+            "topk+",
             "partials",
             "bmhits",
+            "skew",
             "kernel",
             "ekernel",
             "enum(s)",
@@ -170,62 +276,69 @@ impl ExecStats {
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:<6} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}\n",
+                "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6.2} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}\n",
                 l.level,
+                l.pairs,
                 l.candidates,
                 l.deduped,
                 l.pruned_size,
                 l.pruned_score,
                 l.pruned_parents,
                 l.evaluated,
+                l.topk_entered,
                 l.partials,
                 l.cache_hits,
+                l.partition_skew,
                 l.kernel.unwrap_or("-"),
                 l.enum_kernel.unwrap_or("-"),
-                l.enumerate.as_secs_f64(),
-                l.join.as_secs_f64(),
-                l.dedup.as_secs_f64(),
-                l.evaluate.as_secs_f64(),
-                l.topk.as_secs_f64(),
+                secs(l.enumerate),
+                secs(l.join),
+                secs(l.dedup),
+                secs(l.evaluate),
+                secs(l.topk),
             ));
         }
         out.push_str(&format!(
-            "prepare {:.4}s · pool: {} reused / {} allocated ({} bytes served from pool)\n",
-            self.prepare.as_secs_f64(),
+            "prepare {:.4}s · pool: {} reused / {} allocated ({} bytes served from pool, {} bytes peak outstanding)\n",
+            secs(self.prepare),
             self.pool.reused(),
             self.pool.allocated(),
             self.pool.bytes_reused,
+            self.pool.bytes_high_water,
         ));
         out
     }
 
-    /// Serializes the snapshot as a self-contained JSON object.
+    /// Serializes the snapshot as a self-contained JSON object. All
+    /// durations are float seconds (`*_secs`) — see DESIGN.md
+    /// §Observability for the schema.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str(&format!(
-            "\"prepare_secs\":{:.6},",
-            self.prepare.as_secs_f64()
-        ));
+        out.push_str(&format!("\"prepare_secs\":{:.6},", secs(self.prepare)));
         out.push_str("\"levels\":[");
         for (i, l) in self.levels.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"level\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
-                 \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"partials\":{},\
-                 \"cache_hits\":{},\"kernel\":{},\"enum_kernel\":{},\"enumerate_secs\":{:.6},\
+                "{{\"level\":{},\"pairs\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
+                 \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"topk_entered\":{},\
+                 \"partials\":{},\"cache_hits\":{},\"partition_skew\":{},\"kernel\":{},\
+                 \"enum_kernel\":{},\"enumerate_secs\":{:.6},\
                  \"join_secs\":{:.6},\"dedup_secs\":{:.6},\
                  \"evaluate_secs\":{:.6},\"topk_secs\":{:.6}}}",
                 l.level,
+                l.pairs,
                 l.candidates,
                 l.deduped,
                 l.pruned_size,
                 l.pruned_score,
                 l.pruned_parents,
                 l.evaluated,
+                l.topk_entered,
                 l.partials,
                 l.cache_hits,
+                l.partition_skew,
                 match l.kernel {
                     Some(k) => format!("\"{k}\""),
                     None => "null".to_string(),
@@ -234,17 +347,18 @@ impl ExecStats {
                     Some(k) => format!("\"{k}\""),
                     None => "null".to_string(),
                 },
-                l.enumerate.as_secs_f64(),
-                l.join.as_secs_f64(),
-                l.dedup.as_secs_f64(),
-                l.evaluate.as_secs_f64(),
-                l.topk.as_secs_f64(),
+                secs(l.enumerate),
+                secs(l.join),
+                secs(l.dedup),
+                secs(l.evaluate),
+                secs(l.topk),
             ));
         }
         out.push_str("],");
         out.push_str(&format!(
             "\"pool\":{{\"f64_reused\":{},\"f64_allocated\":{},\"u32_reused\":{},\
-             \"u32_allocated\":{},\"u64_reused\":{},\"u64_allocated\":{},\"bytes_reused\":{}}}",
+             \"u32_allocated\":{},\"u64_reused\":{},\"u64_allocated\":{},\"bytes_reused\":{},\
+             \"bytes_outstanding\":{},\"bytes_high_water\":{}}}",
             self.pool.f64_reused,
             self.pool.f64_allocated,
             self.pool.u32_reused,
@@ -252,6 +366,8 @@ impl ExecStats {
             self.pool.u64_reused,
             self.pool.u64_allocated,
             self.pool.bytes_reused,
+            self.pool.bytes_outstanding,
+            self.pool.bytes_high_water,
         ));
         out.push('}');
         out
@@ -272,6 +388,8 @@ struct BufferPool {
     u64_reused: AtomicU64,
     u64_allocated: AtomicU64,
     bytes_reused: AtomicU64,
+    bytes_outstanding: AtomicU64,
+    bytes_high_water: AtomicU64,
 }
 
 impl BufferPool {
@@ -281,21 +399,39 @@ impl BufferPool {
             ..Default::default()
         }
     }
+
+    fn add_outstanding(&self, bytes: u64) {
+        let now = self.bytes_outstanding.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.bytes_high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_outstanding(&self, bytes: u64) {
+        // Saturating: callers may return buffers that were never checked
+        // out here, or that grew after checkout.
+        let _ = self
+            .bytes_outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+    }
 }
 
-/// Telemetry sink: level profiles behind a mutex, guarded by a flag so
-/// the disabled path costs one atomic load.
+/// Telemetry sink: sharded per-thread level profiles (see
+/// [`sliceline_obs::Collector`]), guarded by a flag so the disabled path
+/// costs one atomic load.
 #[derive(Debug, Default)]
 struct Telemetry {
     enabled: AtomicBool,
     prepare_nanos: AtomicU64,
-    levels: Mutex<Vec<LevelProfile>>,
+    levels: Collector<LevelProfile>,
 }
 
 #[derive(Debug, Default)]
 struct CtxInner {
     pool: BufferPool,
     telemetry: Telemetry,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 /// Shared execution context threaded through every kernel and level-loop
@@ -330,12 +466,14 @@ impl ExecContext {
             inner: Arc::new(CtxInner {
                 pool: BufferPool::new(),
                 telemetry: Telemetry::default(),
+                tracer: Tracer::new(),
+                metrics: MetricsRegistry::new(),
             }),
         }
     }
 
     /// A view with a different thread count that **shares** this
-    /// context's buffer pool and telemetry sink.
+    /// context's buffer pool, telemetry sink, tracer, and metrics.
     pub fn with_threads(&self, threads: usize) -> Self {
         ExecContext {
             parallel: ParallelConfig::new(threads),
@@ -366,16 +504,19 @@ impl ExecContext {
                     .fetch_add(8 * buf.capacity().min(len) as u64, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, 0.0);
+                pool.add_outstanding(8 * buf.capacity() as u64);
                 return buf;
             }
         }
         pool.f64_allocated.fetch_add(1, Ordering::Relaxed);
+        pool.add_outstanding(8 * len as u64);
         vec![0.0; len]
     }
 
     /// Returns a `Vec<f64>` to the pool for later reuse.
     pub fn put_f64(&self, buf: Vec<f64>) {
         let pool = &self.inner.pool;
+        pool.sub_outstanding(8 * buf.capacity() as u64);
         if pool.enabled.load(Ordering::Relaxed) && buf.capacity() > 0 {
             let mut bufs = pool.f64_bufs.lock().unwrap();
             if bufs.len() < MAX_POOLED {
@@ -394,16 +535,19 @@ impl ExecContext {
                     .fetch_add(4 * buf.capacity().min(len) as u64, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, 0);
+                pool.add_outstanding(4 * buf.capacity() as u64);
                 return buf;
             }
         }
         pool.u32_allocated.fetch_add(1, Ordering::Relaxed);
+        pool.add_outstanding(4 * len as u64);
         vec![0; len]
     }
 
     /// Returns a `Vec<u32>` to the pool for later reuse.
     pub fn put_u32(&self, buf: Vec<u32>) {
         let pool = &self.inner.pool;
+        pool.sub_outstanding(4 * buf.capacity() as u64);
         if pool.enabled.load(Ordering::Relaxed) && buf.capacity() > 0 {
             let mut bufs = pool.u32_bufs.lock().unwrap();
             if bufs.len() < MAX_POOLED {
@@ -423,16 +567,19 @@ impl ExecContext {
                     .fetch_add(8 * buf.capacity().min(len) as u64, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, 0);
+                pool.add_outstanding(8 * buf.capacity() as u64);
                 return buf;
             }
         }
         pool.u64_allocated.fetch_add(1, Ordering::Relaxed);
+        pool.add_outstanding(8 * len as u64);
         vec![0; len]
     }
 
     /// Returns a `Vec<u64>` to the pool for later reuse.
     pub fn put_u64(&self, buf: Vec<u64>) {
         let pool = &self.inner.pool;
+        pool.sub_outstanding(8 * buf.capacity() as u64);
         if pool.enabled.load(Ordering::Relaxed) && buf.capacity() > 0 {
             let mut bufs = pool.u64_bufs.lock().unwrap();
             if bufs.len() < MAX_POOLED {
@@ -469,6 +616,8 @@ impl ExecContext {
             u64_reused: pool.u64_reused.load(Ordering::Relaxed),
             u64_allocated: pool.u64_allocated.load(Ordering::Relaxed),
             bytes_reused: pool.bytes_reused.load(Ordering::Relaxed),
+            bytes_outstanding: pool.bytes_outstanding.load(Ordering::Relaxed),
+            bytes_high_water: pool.bytes_high_water.load(Ordering::Relaxed),
         }
     }
 
@@ -491,39 +640,41 @@ impl ExecContext {
         if !self.stats_enabled() {
             return;
         }
-        let mut levels = self.inner.telemetry.levels.lock().unwrap();
-        levels.push(LevelProfile {
+        self.inner.telemetry.levels.push_slot(LevelProfile {
             level,
             ..Default::default()
         });
     }
 
-    /// Mutates the current (latest) level profile. No-op when telemetry
-    /// is disabled or no level has been opened.
+    /// Mutates the calling thread's delta for the current level profile
+    /// (merged into the snapshot on flush — no locks on this path).
+    /// No-op when telemetry is disabled or no level has been opened.
     pub fn record_level(&self, f: impl FnOnce(&mut LevelProfile)) {
         if !self.stats_enabled() {
             return;
         }
-        let mut levels = self.inner.telemetry.levels.lock().unwrap();
-        if let Some(profile) = levels.last_mut() {
-            f(profile);
-        }
+        self.inner.telemetry.levels.with_current(f);
     }
 
     /// Runs `f`, attributing its wall time to `stage` of the current
-    /// level. When telemetry is disabled this is a plain call.
+    /// level and emitting a `stage` span on the tracer. When telemetry
+    /// and tracing are both disabled this is a plain call.
     pub fn time_stage<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
-        if !self.stats_enabled() {
+        let stats = self.stats_enabled();
+        if !stats && !self.inner.tracer.enabled() {
             return f();
         }
+        let _span = self.inner.tracer.span(stage.name(), "core");
         let start = Instant::now();
         let out = f();
         let elapsed = start.elapsed();
-        self.record_level(|p| match stage {
-            Stage::Enumerate => p.enumerate += elapsed,
-            Stage::Evaluate => p.evaluate += elapsed,
-            Stage::TopK => p.topk += elapsed,
-        });
+        if stats {
+            self.record_level(|p| match stage {
+                Stage::Enumerate => p.enumerate += elapsed,
+                Stage::Evaluate => p.evaluate += elapsed,
+                Stage::TopK => p.topk += elapsed,
+            });
+        }
         out
     }
 
@@ -539,25 +690,62 @@ impl ExecContext {
     }
 
     /// Snapshot of collected statistics (level profiles + pool counters).
+    /// Also refreshes the derived gauges in [`ExecContext::metrics`]
+    /// (pool high-water, bitmap cache hit rate, partition skew).
     pub fn exec_stats(&self) -> ExecStats {
-        ExecStats {
+        let stats = ExecStats {
             prepare: Duration::from_nanos(
                 self.inner.telemetry.prepare_nanos.load(Ordering::Relaxed),
             ),
-            levels: self.inner.telemetry.levels.lock().unwrap().clone(),
+            levels: self.inner.telemetry.levels.snapshot(),
             pool: self.pool_stats(),
+        };
+        let metrics = &self.inner.metrics;
+        metrics
+            .gauge("linalg.pool.bytes_high_water")
+            .set(stats.pool.bytes_high_water as f64);
+        metrics
+            .gauge("linalg.pool.bytes_reused")
+            .set(stats.pool.bytes_reused as f64);
+        let evaluated = stats.total_evaluated();
+        let cache_hits: u64 = stats.levels.iter().map(|l| l.cache_hits).sum();
+        if evaluated > 0 {
+            metrics
+                .gauge("core.bitmap_cache.hit_rate")
+                .set(cache_hits as f64 / evaluated as f64);
         }
+        let skew = stats.max_partition_skew();
+        if skew > 0.0 {
+            metrics.gauge("dist.partition_skew").max(skew);
+        }
+        stats
     }
 
     /// Clears collected level profiles and the prepare accumulator
-    /// (pool counters are lifetime counters and are left alone). Called
-    /// at the start of each run so a reused context reports one run.
+    /// (pool counters are lifetime counters and are left alone; the
+    /// tracer keeps its events — reset it separately via
+    /// [`Tracer::reset`] if needed). Called at the start of each run so
+    /// a reused context reports one run.
     pub fn reset_stats(&self) {
-        self.inner.telemetry.levels.lock().unwrap().clear();
+        self.inner.telemetry.levels.reset();
         self.inner
             .telemetry
             .prepare_nanos
             .store(0, Ordering::Relaxed);
+    }
+
+    // ---- tracing + metrics ---------------------------------------------
+
+    /// The shared span tracer. Disabled by default; enable with
+    /// [`Tracer::set_enabled`] (the cli does this for `--trace` /
+    /// `SLICELINE_TRACE`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// The shared metrics registry backing the run manifest.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 }
 
@@ -619,6 +807,22 @@ mod tests {
     }
 
     #[test]
+    fn outstanding_bytes_track_checkouts() {
+        let ctx = ExecContext::serial();
+        let a = ctx.take_f64(100); // 800 bytes out
+        let stats = ctx.pool_stats();
+        assert!(stats.bytes_outstanding >= 800);
+        assert!(stats.bytes_high_water >= 800);
+        ctx.put_f64(a);
+        let stats = ctx.pool_stats();
+        assert_eq!(stats.bytes_outstanding, 0);
+        assert!(stats.bytes_high_water >= 800, "high water is sticky");
+        // Returning a buffer that was never checked out saturates at 0.
+        ctx.put_u64(vec![0; 64]);
+        assert_eq!(ctx.pool_stats().bytes_outstanding, 0);
+    }
+
+    #[test]
     fn with_threads_shares_pool_and_telemetry() {
         let ctx = ExecContext::new(4);
         let view = ctx.with_threads(1);
@@ -631,6 +835,27 @@ mod tests {
         ctx.begin_level(2);
         view.record_level(|p| p.partials += 3);
         assert_eq!(ctx.exec_stats().levels[0].partials, 3);
+    }
+
+    #[test]
+    fn worker_thread_records_merge_into_snapshot() {
+        let ctx = ExecContext::new(2);
+        ctx.enable_stats(true);
+        ctx.begin_level(2);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let view = ctx.with_threads(1);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        view.record_level(|p| p.evaluated += 1);
+                    }
+                });
+            }
+        });
+        ctx.record_level(|p| p.evaluated += 1);
+        let stats = ctx.exec_stats();
+        assert_eq!(stats.levels[0].evaluated, 201);
+        assert_eq!(stats.levels[0].level, 2);
     }
 
     #[test]
@@ -658,6 +883,19 @@ mod tests {
     }
 
     #[test]
+    fn time_stage_emits_spans_when_tracing() {
+        let ctx = ExecContext::serial();
+        ctx.tracer().set_enabled(true);
+        // Tracing works even with stats disabled.
+        let out = ctx.time_stage(Stage::Evaluate, || 7);
+        assert_eq!(out, 7);
+        let events = ctx.tracer().drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "evaluate");
+        assert_eq!(events[0].cat, "core");
+    }
+
+    #[test]
     fn stats_json_and_table_render() {
         let ctx = ExecContext::serial();
         ctx.enable_stats(true);
@@ -672,10 +910,12 @@ mod tests {
         });
         ctx.begin_level(2);
         ctx.record_level(|p| {
+            p.pairs = 40;
             p.candidates = 30;
             p.deduped = 4;
             p.pruned_size = 2;
             p.evaluated = 24;
+            p.topk_entered = 3;
         });
         let stats = ctx.exec_stats();
         assert_eq!(stats.total_candidates(), 42);
@@ -685,13 +925,64 @@ mod tests {
         assert!(table.contains("fused"));
         assert!(table.contains("sharded"));
         assert!(table.contains("join(s)"));
+        assert!(table.contains("pairs"));
         let json = stats.to_json();
         assert!(json.contains("\"level\":2"));
         assert!(json.contains("\"kernel\":\"fused\""));
         assert!(json.contains("\"enum_kernel\":\"sharded\""));
         assert!(json.contains("\"join_secs\":0.005"));
         assert!(json.contains("\"dedup_secs\":0.003"));
+        assert!(json.contains("\"pairs\":40"));
+        assert!(json.contains("\"topk_entered\":3"));
         assert!(json.contains("\"pool\":{"));
+        assert!(json.contains("\"bytes_high_water\""));
+    }
+
+    #[test]
+    fn funnel_is_monotone() {
+        let p = LevelProfile {
+            level: 2,
+            pairs: 100,
+            candidates: 60,
+            deduped: 10,
+            pruned_score: 5,
+            pruned_size: 3,
+            pruned_parents: 2,
+            evaluated: 40,
+            ..Default::default()
+        };
+        let funnel = p.funnel();
+        assert_eq!(funnel[0], ("pairs", 100));
+        assert_eq!(funnel[1], ("merged", 60));
+        assert_eq!(funnel[2], ("after_dedup", 50));
+        assert_eq!(funnel[3], ("after_bound", 45));
+        assert_eq!(funnel[4], ("after_filters", 40));
+        assert_eq!(funnel[5], ("evaluated", 40));
+        for w in funnel.windows(2) {
+            assert!(w[0].1 >= w[1].1, "funnel must be monotone: {funnel:?}");
+        }
+    }
+
+    #[test]
+    fn exec_stats_refreshes_metric_gauges() {
+        let ctx = ExecContext::serial();
+        ctx.enable_stats(true);
+        ctx.begin_level(1);
+        ctx.record_level(|p| {
+            p.evaluated = 10;
+            p.cache_hits = 4;
+        });
+        let _ = ctx.take_f64(100);
+        let _ = ctx.exec_stats();
+        let flat = ctx.metrics().flat_values();
+        let get = |name: &str| {
+            flat.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert!((get("core.bitmap_cache.hit_rate") - 0.4).abs() < 1e-12);
+        assert!(get("linalg.pool.bytes_high_water") >= 800.0);
     }
 
     #[test]

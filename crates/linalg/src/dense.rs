@@ -225,6 +225,12 @@ impl DenseMatrix {
                 rhs: rhs.shape(),
             });
         }
+        let _span = exec
+            .tracer()
+            .span("dense.matmul", "linalg")
+            .arg("rows", self.rows)
+            .arg("inner", self.cols)
+            .arg("cols", rhs.cols);
         let out_cols = rhs.cols;
         let mut out = DenseMatrix::zeros(self.rows, out_cols);
         let lhs = self;

@@ -51,3 +51,8 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
 pub use parallel::ParallelConfig;
+// Observability re-exports so downstream crates can spell tracer/metrics
+// types without depending on `sliceline-obs` directly.
+pub use sliceline_obs::{
+    chrome_trace, secs, ArgValue, Manifest, MetricsRegistry, SpanGuard, TraceEvent, Tracer,
+};

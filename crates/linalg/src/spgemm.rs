@@ -254,6 +254,12 @@ where
     E: Fn(&mut S, u32, u32) + Sync,
 {
     check_binary(s, "self_overlap_pairs_stream_chunked")?;
+    let _span = exec
+        .tracer()
+        .span("spgemm.self_overlap_join", "linalg")
+        .arg("rows", s.rows())
+        .arg("chunks", n_chunks)
+        .arg("target", target);
     let st = s.transpose();
     let k = s.rows();
     if k == 0 {
@@ -299,6 +305,11 @@ where
     if k == 0 {
         return Vec::new();
     }
+    let _span = exec
+        .tracer()
+        .span("spgemm.all_pairs_join", "linalg")
+        .arg("rows", k)
+        .arg("chunks", n_chunks);
     let n_chunks = n_chunks.clamp(1, k);
     let rows_per = k.div_ceil(n_chunks);
     exec.parallel().par_tasks(n_chunks, |ci| {

@@ -1,0 +1,379 @@
+//! Sharded, thread-local delta collector for mergeable per-slot records.
+//!
+//! This is the replacement for the execution layer's old
+//! `Mutex<Vec<LevelProfile>>` telemetry sink: instead of every worker
+//! thread serializing on one mutex to bump counters, each thread
+//! accumulates into a private delta per slot and merges it into the
+//! shared base either when the thread exits (TLS destructor) or when the
+//! owner calls [`Collector::snapshot`]. The record path
+//! ([`Collector::with_current`]) takes no locks at all.
+//!
+//! "Slot" here means one lattice level in practice, but the collector is
+//! generic over any `T:`[`MergeDelta`] so tests can exercise it in
+//! isolation and future per-partition records can reuse it.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// A record that can absorb another record of the same type. Implementors
+/// define the merge per field: counters add, durations add, `Option`
+/// annotations take the latest non-`None`, ratios take the max — whatever
+/// makes a thread-local delta fold correctly into the shared base.
+pub trait MergeDelta: Default + Clone + Send + 'static {
+    fn merge(&mut self, other: &Self);
+}
+
+struct CollectorShared<T> {
+    /// Base slots; deltas fold in here under the mutex, but the mutex is
+    /// only taken on flush (thread exit / snapshot / new slot) — never on
+    /// the per-record path.
+    slots: Mutex<Vec<T>>,
+    /// Index of the current slot **plus one**; 0 means "no slot open yet"
+    /// (records before the first [`Collector::push_slot`] are dropped).
+    current: AtomicUsize,
+    generation: AtomicU64,
+}
+
+/// Type-erased hook so one thread-local registry can hold local state for
+/// collectors of different `T`.
+trait LocalEntry: Any {
+    fn flush(&mut self);
+    fn dead(&self) -> bool;
+    fn shared_ptr(&self) -> *const ();
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct LocalState<T: MergeDelta> {
+    shared: Weak<CollectorShared<T>>,
+    generation: u64,
+    /// Delta per slot index; `None` where this thread recorded nothing.
+    deltas: Vec<Option<T>>,
+}
+
+impl<T: MergeDelta> LocalEntry for LocalState<T> {
+    fn flush(&mut self) {
+        let Some(shared) = self.shared.upgrade() else {
+            self.deltas.clear();
+            return;
+        };
+        if shared.generation.load(Ordering::Acquire) != self.generation {
+            self.deltas.clear();
+            return;
+        }
+        let mut slots = shared.slots.lock().unwrap();
+        for (idx, delta) in self.deltas.drain(..).enumerate() {
+            if let (Some(delta), Some(slot)) = (delta, slots.get_mut(idx)) {
+                slot.merge(&delta);
+            }
+        }
+    }
+
+    fn dead(&self) -> bool {
+        self.shared.strong_count() == 0
+    }
+
+    fn shared_ptr(&self) -> *const () {
+        self.shared.as_ptr() as *const ()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct LocalRegistry {
+    entries: Vec<Box<dyn LocalEntry>>,
+}
+
+impl Drop for LocalRegistry {
+    fn drop(&mut self) {
+        for entry in &mut self.entries {
+            entry.flush();
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<LocalRegistry> =
+        const { RefCell::new(LocalRegistry { entries: Vec::new() }) };
+}
+
+/// Shared handle to a slot collector. Cheap to clone; all clones feed the
+/// same base slots.
+pub struct Collector<T: MergeDelta> {
+    shared: Arc<CollectorShared<T>>,
+}
+
+impl<T: MergeDelta> Clone for Collector<T> {
+    fn clone(&self) -> Self {
+        Collector {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: MergeDelta> Default for Collector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: MergeDelta> std::fmt::Debug for Collector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("slots", &self.slot_count())
+            .finish()
+    }
+}
+
+impl<T: MergeDelta> Collector<T> {
+    pub fn new() -> Self {
+        Collector {
+            shared: Arc::new(CollectorShared {
+                slots: Mutex::new(Vec::new()),
+                current: AtomicUsize::new(0),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Opens a new slot initialized to `init` and makes it current.
+    /// Returns its index.
+    pub fn push_slot(&self, init: T) -> usize {
+        let mut slots = self.shared.slots.lock().unwrap();
+        slots.push(init);
+        let idx = slots.len() - 1;
+        self.shared.current.store(idx + 1, Ordering::Release);
+        idx
+    }
+
+    /// Number of slots opened since the last [`Collector::reset`].
+    pub fn slot_count(&self) -> usize {
+        self.shared.slots.lock().unwrap().len()
+    }
+
+    /// Applies `f` to the calling thread's private delta for the current
+    /// slot — no locks. A no-op when no slot is open.
+    pub fn with_current(&self, f: impl FnOnce(&mut T)) {
+        let current = self.shared.current.load(Ordering::Acquire);
+        if current == 0 {
+            return;
+        }
+        self.with_slot(current - 1, f);
+    }
+
+    /// Like [`Collector::with_current`] but for an explicit slot index
+    /// (used when a worker outlives a slot change).
+    pub fn with_slot(&self, idx: usize, f: impl FnOnce(&mut T)) {
+        let generation = self.shared.generation.load(Ordering::Acquire);
+        let mut f = Some(f);
+        let f_slot = &mut f;
+        let applied = REGISTRY.try_with(|registry| {
+            let mut registry = registry.borrow_mut();
+            let ptr = Arc::as_ptr(&self.shared) as *const ();
+            let pos = match registry.entries.iter().position(|e| e.shared_ptr() == ptr) {
+                Some(p) => p,
+                None => {
+                    registry.entries.retain(|e| !e.dead());
+                    registry.entries.push(Box::new(LocalState::<T> {
+                        shared: Arc::downgrade(&self.shared),
+                        generation,
+                        deltas: Vec::new(),
+                    }));
+                    registry.entries.len() - 1
+                }
+            };
+            let state = registry.entries[pos]
+                .as_any_mut()
+                .downcast_mut::<LocalState<T>>()
+                .expect("local entry type matches collector type");
+            if state.generation != generation {
+                state.deltas.clear();
+                state.generation = generation;
+            }
+            if state.deltas.len() <= idx {
+                state.deltas.resize(idx + 1, None);
+            }
+            let f = f_slot.take().expect("delta fn consumed once");
+            f(state.deltas[idx].get_or_insert_with(T::default));
+        });
+        if applied.is_err() {
+            // Thread teardown: merge a one-shot delta straight into the base.
+            let Some(f) = f.take() else { return };
+            let mut delta = T::default();
+            f(&mut delta);
+            if self.shared.generation.load(Ordering::Acquire) == generation {
+                if let Some(slot) = self.shared.slots.lock().unwrap().get_mut(idx) {
+                    slot.merge(&delta);
+                }
+            }
+        }
+    }
+
+    /// Flushes the calling thread's deltas and returns a merged clone of
+    /// all slots. Worker-thread deltas are included provided those
+    /// threads have exited (see the crate-level snapshot contract).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.flush_current_thread();
+        self.shared.slots.lock().unwrap().clone()
+    }
+
+    /// Clears all slots and invalidates outstanding thread-local deltas
+    /// (lazily, via a generation bump).
+    pub fn reset(&self) {
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        self.shared.current.store(0, Ordering::Release);
+        self.shared.slots.lock().unwrap().clear();
+        self.flush_current_thread();
+    }
+
+    fn flush_current_thread(&self) {
+        let ptr = Arc::as_ptr(&self.shared) as *const ();
+        let _ = REGISTRY.try_with(|registry| {
+            let mut registry = registry.borrow_mut();
+            for entry in &mut registry.entries {
+                if entry.shared_ptr() == ptr {
+                    entry.flush();
+                }
+            }
+            registry.entries.retain(|e| !e.dead());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, Clone, PartialEq)]
+    struct Counts {
+        level: usize,
+        hits: u64,
+        name: Option<&'static str>,
+    }
+
+    impl MergeDelta for Counts {
+        fn merge(&mut self, other: &Self) {
+            // `level` is identity, set at push_slot; deltas leave it 0.
+            self.hits += other.hits;
+            if other.name.is_some() {
+                self.name = other.name;
+            }
+        }
+    }
+
+    fn slot(level: usize) -> Counts {
+        Counts {
+            level,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_thread_accumulates() {
+        let c = Collector::<Counts>::new();
+        c.push_slot(slot(1));
+        c.with_current(|d| d.hits += 3);
+        c.with_current(|d| {
+            d.hits += 4;
+            d.name = Some("k");
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].level, 1);
+        assert_eq!(snap[0].hits, 7);
+        assert_eq!(snap[0].name, Some("k"));
+    }
+
+    #[test]
+    fn records_before_first_slot_are_dropped() {
+        let c = Collector::<Counts>::new();
+        c.with_current(|d| d.hits += 99);
+        c.push_slot(slot(1));
+        assert_eq!(c.snapshot()[0].hits, 0);
+    }
+
+    #[test]
+    fn worker_threads_merge_on_exit() {
+        let c = Collector::<Counts>::new();
+        c.push_slot(slot(1));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.with_current(|d| d.hits += 1);
+                    }
+                });
+            }
+        });
+        c.with_current(|d| d.hits += 1);
+        assert_eq!(c.snapshot()[0].hits, 401);
+    }
+
+    #[test]
+    fn multiple_slots_keep_separate_counts() {
+        let c = Collector::<Counts>::new();
+        c.push_slot(slot(1));
+        c.with_current(|d| d.hits += 1);
+        c.push_slot(slot(2));
+        c.with_current(|d| d.hits += 2);
+        let snap = c.snapshot();
+        assert_eq!(snap[0], slot_with_hits(1, 1));
+        assert_eq!(snap[1], slot_with_hits(2, 2));
+    }
+
+    fn slot_with_hits(level: usize, hits: u64) -> Counts {
+        Counts {
+            level,
+            hits,
+            name: None,
+        }
+    }
+
+    #[test]
+    fn reset_discards_shared_and_local_state() {
+        let c = Collector::<Counts>::new();
+        c.push_slot(slot(1));
+        c.with_current(|d| d.hits += 5);
+        c.reset();
+        assert!(c.snapshot().is_empty());
+        c.push_slot(slot(1));
+        c.with_current(|d| d.hits += 2);
+        assert_eq!(c.snapshot()[0].hits, 2);
+    }
+
+    #[test]
+    fn snapshot_is_idempotent_after_flush() {
+        let c = Collector::<Counts>::new();
+        c.push_slot(slot(1));
+        c.with_current(|d| d.hits += 5);
+        assert_eq!(c.snapshot()[0].hits, 5);
+        assert_eq!(c.snapshot()[0].hits, 5);
+    }
+
+    #[test]
+    fn two_collectors_do_not_cross_talk() {
+        let a = Collector::<Counts>::new();
+        let b = Collector::<Counts>::new();
+        a.push_slot(slot(1));
+        b.push_slot(slot(9));
+        a.with_current(|d| d.hits += 1);
+        b.with_current(|d| d.hits += 10);
+        assert_eq!(a.snapshot()[0].hits, 1);
+        assert_eq!(b.snapshot()[0].hits, 10);
+    }
+
+    #[test]
+    fn explicit_slot_survives_slot_change() {
+        let c = Collector::<Counts>::new();
+        let first = c.push_slot(slot(1));
+        c.push_slot(slot(2));
+        c.with_slot(first, |d| d.hits += 7);
+        let snap = c.snapshot();
+        assert_eq!(snap[0].hits, 7);
+        assert_eq!(snap[1].hits, 0);
+    }
+}

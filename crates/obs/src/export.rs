@@ -1,0 +1,305 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! and the machine-readable run manifest.
+//!
+//! Both formats are documented in DESIGN.md §Observability; the schemas
+//! are enforced by golden tests here and by the `trace_check` CI gate.
+
+use crate::json::escape;
+use crate::tracer::{ArgValue, EventKind, TraceEvent};
+use crate::SCHEMA_VERSION;
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", escape(key)));
+        match value {
+            ArgValue::U64(v) => out.push_str(&v.to_string()),
+            ArgValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            ArgValue::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders events as a Chrome trace-event JSON object:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms", ...}`. Timestamps and
+/// durations are microseconds (fractional, 3 decimals), per the trace
+/// event format; spans become complete (`"X"`) events, instants `"i"`,
+/// counters `"C"`. One process (`pid` 1) named `process_name`, one
+/// thread-name metadata record per distinct tid.
+pub fn chrome_trace(events: &[TraceEvent], process_name: &str) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+        escape(process_name)
+    ));
+
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        out.push_str(&format!(
+            ",{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"thread-{tid}\"}}}}"
+        ));
+    }
+
+    let us = |nanos: u64| format!("{:.3}", nanos as f64 / 1_000.0);
+    for e in events {
+        out.push(',');
+        match e.kind {
+            EventKind::Span => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"args\":",
+                    e.tid,
+                    escape(e.name),
+                    escape(e.cat),
+                    us(e.ts_nanos),
+                    us(e.dur_nanos),
+                ));
+            }
+            EventKind::Instant => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"args\":",
+                    e.tid,
+                    escape(e.name),
+                    escape(e.cat),
+                    us(e.ts_nanos),
+                ));
+            }
+            EventKind::Counter => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"args\":",
+                    e.tid,
+                    escape(e.name),
+                    escape(e.cat),
+                    us(e.ts_nanos),
+                ));
+            }
+        }
+        write_args(&mut out, &e.args);
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "],\"otherData\":{{\"schema_version\":{SCHEMA_VERSION}}}}}"
+    ));
+    out
+}
+
+/// A machine-readable run manifest for bench trajectory tracking:
+/// configuration, code revision, dataset shape, and final metrics in one
+/// self-describing JSON object.
+///
+/// Entries are either strings ([`Manifest::set_str`]) or raw pre-rendered
+/// JSON ([`Manifest::set_raw`] — caller guarantees validity; the golden
+/// tests parse the result to catch mistakes). Required keys
+/// ([`Manifest::REQUIRED_KEYS`]) are stamped with `null` placeholders at
+/// construction so a half-built manifest still parses and fails schema
+/// validation loudly rather than silently missing fields.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    entries: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Keys every manifest must carry; the `trace_check` bin and the
+    /// golden tests assert on exactly this list.
+    pub const REQUIRED_KEYS: [&'static str; 6] = [
+        "schema_version",
+        "tool",
+        "git",
+        "config",
+        "dataset",
+        "metrics",
+    ];
+
+    pub fn new(tool: &str) -> Self {
+        let mut m = Manifest {
+            entries: Vec::new(),
+        };
+        m.set_raw("schema_version", SCHEMA_VERSION.to_string());
+        m.set_str("tool", tool);
+        for key in Self::REQUIRED_KEYS {
+            if !m.has(key) {
+                m.set_raw(key, "null".to_string());
+            }
+        }
+        m
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Sets `key` to a JSON string value (escaped here).
+    pub fn set_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.set_raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Sets `key` to a number.
+    pub fn set_num(&mut self, key: &str, value: f64) -> &mut Self {
+        self.set_raw(key, fmt_f64(value))
+    }
+
+    /// Sets `key` to pre-rendered JSON. The caller is responsible for
+    /// validity — pair with [`crate::json::parse`] in tests.
+    pub fn set_raw(&mut self, key: &str, json: String) -> &mut Self {
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = json;
+        } else {
+            self.entries.push((key.to_string(), json));
+        }
+        self
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(key), value));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::tracer::Tracer;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.span("evaluate", "core").arg("k", 3u64);
+        }
+        t.counter(
+            "funnel",
+            "core",
+            vec![("pairs", ArgValue::U64(10)), ("deduped", ArgValue::U64(6))],
+        );
+        t.instant("level_done", "core", vec![("level", ArgValue::U64(2))]);
+        t.drain()
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_required_shape() {
+        let doc = chrome_trace(&sample_events(), "sliceline test");
+        let v = parse(&doc).expect("trace is valid json");
+        assert_eq!(v.get("displayTimeUnit").unwrap(), &Json::Str("ms".into()));
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata (process + >=1 thread) plus our 3 events.
+        assert!(events.len() >= 5);
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "M" | "X" | "i" | "C"), "bad ph {ph}");
+            assert!(e.get("pid").is_some());
+            assert!(e.get("tid").is_some());
+            assert!(e.get("name").is_some());
+            if ph != "M" {
+                assert!(e.get("ts").unwrap().as_f64().is_some());
+                assert!(e.get("cat").is_some());
+            }
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            }
+        }
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("name").unwrap().as_str(), Some("evaluate"));
+        assert_eq!(
+            span.get("args").unwrap().get("k").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .unwrap();
+        assert_eq!(
+            counter.get("args").unwrap().get("pairs").unwrap().as_f64(),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_timestamps_are_microseconds() {
+        let events = vec![TraceEvent {
+            name: "s",
+            cat: "c",
+            kind: EventKind::Span,
+            ts_nanos: 1_500,
+            dur_nanos: 2_000_000,
+            tid: 1,
+            args: vec![],
+        }];
+        let doc = chrome_trace(&events, "t");
+        let v = parse(&doc).unwrap();
+        let span = &v.get("traceEvents").unwrap().as_arr().unwrap()[2];
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2000.0));
+    }
+
+    #[test]
+    fn manifest_has_required_keys_and_parses() {
+        let mut m = Manifest::new("sliceline-cli");
+        m.set_str("git", "abc1234");
+        m.set_raw("config", "{\"k\":4}".to_string());
+        m.set_raw("dataset", "{\"rows\":100,\"cols\":9}".to_string());
+        m.set_raw("metrics", "{}".to_string());
+        let v = parse(&m.to_json()).expect("manifest is valid json");
+        for key in Manifest::REQUIRED_KEYS {
+            assert!(v.get(key).is_some(), "missing required key {key}");
+        }
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+        assert_eq!(
+            v.get("config").unwrap().get("k").unwrap().as_f64(),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn manifest_unset_required_keys_are_null() {
+        let m = Manifest::new("t");
+        let v = parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("git").unwrap(), &Json::Null);
+        assert_eq!(v.get("metrics").unwrap(), &Json::Null);
+        assert_eq!(v.get("tool").unwrap(), &Json::Str("t".into()));
+    }
+
+    #[test]
+    fn manifest_set_overwrites_in_place() {
+        let mut m = Manifest::new("t");
+        m.set_str("git", "one");
+        m.set_str("git", "two");
+        let v = parse(&m.to_json()).unwrap();
+        assert_eq!(v.get("git").unwrap().as_str(), Some("two"));
+    }
+
+    #[test]
+    fn empty_trace_still_parses() {
+        let doc = chrome_trace(&[], "empty");
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+        assert!(v.get("otherData").unwrap().get("schema_version").is_some());
+    }
+}

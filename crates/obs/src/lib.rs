@@ -1,0 +1,79 @@
+//! Lightweight, zero-dependency observability layer for the SliceLine
+//! reproduction: RAII spans, sharded metrics, and machine-readable exporters.
+//!
+//! The crate sits *below* `sliceline-linalg` in the dependency graph so the
+//! execution layer ([`ExecContext`]) can delegate its telemetry here without
+//! circular imports. Everything is built on `std` only — no serde, no
+//! tracing-rs — because instrumentation must never add build weight or
+//! runtime dependencies to the hot path.
+//!
+//! Three pillars:
+//!
+//! * [`tracer`] — [`Tracer`] hands out RAII [`SpanGuard`]s stamped with
+//!   monotonic timestamps and per-thread ids. Events land in thread-local
+//!   buffers (no locks on the record path) that drain into a shared sink
+//!   when full, on thread exit, or on [`Tracer::drain`].
+//! * [`collect`] — a generic sharded [`Collector`] for mergeable per-level
+//!   deltas. This is what replaced the old `Mutex<Vec<LevelProfile>>`
+//!   telemetry sink: worker threads mutate thread-local deltas and merge on
+//!   flush instead of serializing on a mutex.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters (sharded
+//!   atomics), f64 gauges, and log2-bucketed histograms.
+//!
+//! Exporters ([`export`]) render the collected data as Chrome trace-event
+//! JSON (loadable in Perfetto / `chrome://tracing`) and as a run
+//! [`Manifest`] for bench trajectory tracking. [`json`] is a minimal JSON
+//! parser used by schema tests and the `trace_check` CI gate.
+//!
+//! # Snapshot contract
+//!
+//! The record path is thread-local and lock-free; consistency comes from a
+//! join-before-snapshot contract: worker threads flush their buffers from a
+//! TLS destructor when they exit, and every parallel section in this
+//! workspace uses scoped threads that are joined before anyone snapshots.
+//! [`Tracer::drain`] / [`Collector::snapshot`] additionally flush the
+//! calling thread, so single-threaded use needs no ceremony.
+//!
+//! [`ExecContext`]: https://docs.rs/sliceline-linalg
+//! [`Tracer`]: tracer::Tracer
+//! [`SpanGuard`]: tracer::SpanGuard
+//! [`Collector`]: collect::Collector
+//! [`MetricsRegistry`]: metrics::MetricsRegistry
+//! [`Manifest`]: export::Manifest
+
+pub mod collect;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use collect::{Collector, MergeDelta};
+pub use export::{chrome_trace, Manifest};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use tracer::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};
+
+use std::time::Duration;
+
+/// The one place durations become exported floats: whole seconds, full
+/// `f64` precision. Every JSON schema in the workspace (`--stats-json`,
+/// trace args, manifest metrics) uses this so units can never drift
+/// between exporters again.
+#[inline]
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+/// Schema version stamped into the run manifest and trace metadata.
+/// Bump when a required key changes meaning or disappears.
+pub const SCHEMA_VERSION: u32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_is_float_seconds() {
+        assert_eq!(secs(Duration::from_millis(1500)), 1.5);
+        assert_eq!(secs(Duration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Named counters, gauges, and histograms with sharded atomic storage.
+//!
+//! Counters are the hot-path primitive, so they are striped across
+//! cache-line-padded atomic shards indexed by thread id — concurrent
+//! writers from different threads touch different cache lines. Gauges are
+//! single f64-bit atomics (set/add/max), histograms use log2 buckets.
+//! Registration goes through one mutex-guarded map, but callers are
+//! expected to look a metric up once and keep the `Arc`.
+
+use crate::json::escape;
+use crate::tracer::current_tid;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent increments don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Monotonically increasing counter, striped across [`SHARDS`] shards.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    pub fn add(&self, delta: u64) {
+        let shard = (current_tid() as usize) % SHARDS;
+        self.shards[shard].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Last-write-wins f64 value stored as raw bits, with `add`/`max`
+/// read-modify-write helpers (CAS loops).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub fn add(&self, delta: f64) {
+        self.update(|v| v + delta);
+    }
+
+    /// Raises the gauge to `value` if larger (high-water marks).
+    pub fn max(&self, value: f64) {
+        self.update(|v| v.max(value));
+    }
+
+    fn update(&self, f: impl Fn(f64) -> f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+const HIST_BUCKETS: usize = 64;
+
+/// Log2-bucketed histogram of u64 samples: bucket `i` holds values whose
+/// bit length is `i` (bucket 0 = value 0). Tracks count and sum exactly,
+/// distribution at power-of-two resolution — plenty for latency/size
+/// telemetry without per-sample allocation.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize; // 0 for value 0
+        self.buckets[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// `(bucket_upper_bound, count)` for each non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    let upper = if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+                    (upper, n)
+                })
+            })
+            .collect()
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Registry of named metrics. Cloning shares the underlying map; metric
+/// names are dot-separated paths (`"core.funnel.pairs"`,
+/// `"dist.partition_skew"`).
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.inner.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if
+    /// needed. Panics if `name` is already a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Sorted `(name, value)` view with histograms flattened to their
+    /// mean; used by the human `--stats` rendering.
+    pub fn flat_values(&self) -> Vec<(String, f64)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => c.value() as f64,
+                    Metric::Gauge(g) => g.value(),
+                    Metric::Histogram(h) => h.mean(),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Renders the registry as a JSON object keyed by metric name. Each
+    /// metric carries a `"type"` tag and its value(s); the schema is
+    /// documented in DESIGN.md §Observability.
+    pub fn to_json(&self) -> String {
+        let map = self.inner.lock().unwrap();
+        let mut out = String::from("{");
+        for (i, (name, metric)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape(name)));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{}}}", c.value()));
+                }
+                Metric::Gauge(g) => {
+                    let v = g.value();
+                    let v = if v.is_finite() { v } else { 0.0 };
+                    out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{v}}}"));
+                }
+                Metric::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .nonzero_buckets()
+                        .iter()
+                        .map(|(le, n)| format!("{{\"le\":{le},\"count\":{n}}}"))
+                        .collect();
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[{}]}}",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        buckets.join(",")
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("test.count");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        // Same name returns the same counter.
+        assert_eq!(reg.counter("test.count").value(), 4000);
+    }
+
+    #[test]
+    fn gauge_set_add_max() {
+        let g = Gauge::default();
+        g.set(1.5);
+        assert_eq!(g.value(), 1.5);
+        g.add(0.5);
+        assert_eq!(g.value(), 2.0);
+        g.max(1.0);
+        assert_eq!(g.value(), 2.0);
+        g.max(3.0);
+        assert_eq!(g.value(), 3.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1001);
+        assert!((h.mean() - 1001.0 / 3.0).abs() < 1e-9);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (0, 1)); // value 0
+        assert_eq!(buckets[1], (1, 1)); // value 1
+        assert_eq!(buckets[2].1, 1); // value 1000 in its log2 bucket
+        assert!(buckets[2].0 >= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn json_is_parseable_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(7);
+        reg.gauge("a.gauge").set(2.5);
+        reg.histogram("c.hist").record(5);
+        let json = reg.to_json();
+        let parsed = crate::json::parse(&json).expect("valid json");
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj[0].0, "a.gauge");
+        assert_eq!(obj[1].0, "b.count");
+        assert_eq!(obj[2].0, "c.hist");
+        assert_eq!(
+            parsed
+                .get("b.count")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        assert_eq!(
+            parsed.get("c.hist").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn flat_values_flattens_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1.25);
+        reg.histogram("h").record(10);
+        let flat = reg.flat_values();
+        assert_eq!(flat.len(), 3);
+        assert!(flat.contains(&("c".to_string(), 3.0)));
+        assert!(flat.contains(&("g".to_string(), 1.25)));
+        assert!(flat.contains(&("h".to_string(), 10.0)));
+    }
+}

@@ -1,0 +1,538 @@
+//! RAII spans with monotonic timestamps, thread ids, and lock-free
+//! thread-local event buffering.
+//!
+//! The record path takes one relaxed atomic load when tracing is off and
+//! touches only a thread-local `Vec` when it is on. Buffers drain into the
+//! shared sink when they reach [`FLUSH_AT`] events, when their thread
+//! exits (TLS destructor), or when the owning thread calls
+//! [`Tracer::drain`]. See the crate docs for the join-before-snapshot
+//! contract this relies on.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+/// Local buffer size that triggers a flush into the shared sink.
+const FLUSH_AT: usize = 1024;
+
+/// Default cap on total buffered events; beyond it events are counted in
+/// [`Tracer::dropped`] instead of growing memory without bound.
+const DEFAULT_CAP: usize = 1 << 20;
+
+/// A typed span/counter argument. Kept deliberately small: everything the
+/// pipeline attaches is a count, a float, or a short kernel name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What a [`TraceEvent`] represents, mapping 1:1 onto Chrome trace-event
+/// phases: `Span` → `"X"` (complete), `Instant` → `"i"`, `Counter` → `"C"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    Span,
+    Instant,
+    Counter,
+}
+
+/// One recorded event. Timestamps are nanoseconds since the tracer's
+/// creation ([`Tracer::new`]), so events from different threads share a
+/// single monotonic epoch.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    /// Category — the pipeline layer that emitted the event (`"linalg"`,
+    /// `"core"`, `"dist"`, `"cli"`).
+    pub cat: &'static str,
+    pub kind: EventKind,
+    pub ts_nanos: u64,
+    /// Duration for `Span` events; 0 for instants and counters.
+    pub dur_nanos: u64,
+    /// Sequential per-thread id (see [`current_tid`]).
+    pub tid: u64,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static LOCAL: RefCell<LocalBufs> = const { RefCell::new(LocalBufs { bufs: Vec::new() }) };
+}
+
+/// Small, process-unique, sequential id for the calling thread. Stable for
+/// the thread's lifetime; used as the `tid` of every event it records.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+struct TracerShared {
+    enabled: AtomicBool,
+    generation: AtomicU64,
+    epoch: Instant,
+    sink: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+    cap: usize,
+}
+
+impl TracerShared {
+    fn push_events(&self, events: &mut Vec<TraceEvent>, generation: u64) {
+        if self.generation.load(Ordering::Acquire) != generation {
+            events.clear();
+            return;
+        }
+        let mut sink = self.sink.lock().unwrap();
+        let room = self.cap.saturating_sub(sink.len());
+        if events.len() > room {
+            self.dropped
+                .fetch_add((events.len() - room) as u64, Ordering::Relaxed);
+            events.truncate(room);
+        }
+        sink.append(events);
+    }
+}
+
+/// Per-thread buffers, one per live tracer this thread has recorded into.
+/// Dropped (and therefore flushed) when the thread exits.
+struct LocalBufs {
+    bufs: Vec<LocalBuf>,
+}
+
+struct LocalBuf {
+    shared: Weak<TracerShared>,
+    generation: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl LocalBuf {
+    fn flush(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.push_events(&mut self.events, self.generation);
+        }
+        self.events.clear();
+    }
+}
+
+impl Drop for LocalBufs {
+    fn drop(&mut self) {
+        for buf in &mut self.bufs {
+            buf.flush();
+        }
+    }
+}
+
+/// Shared handle to a trace buffer. Cheap to clone; all clones feed the
+/// same sink. Created disabled — recording costs a single relaxed atomic
+/// load until [`Tracer::set_enabled`] turns it on.
+#[derive(Clone)]
+pub struct Tracer {
+    shared: Arc<TracerShared>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAP)
+    }
+
+    /// A tracer that keeps at most `cap` events; the excess is counted in
+    /// [`Tracer::dropped`].
+    pub fn with_capacity(cap: usize) -> Self {
+        Tracer {
+            shared: Arc::new(TracerShared {
+                enabled: AtomicBool::new(false),
+                generation: AtomicU64::new(0),
+                epoch: Instant::now(),
+                sink: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                cap,
+            }),
+        }
+    }
+
+    pub fn set_enabled(&self, enabled: bool) {
+        self.shared.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer was created (the shared epoch).
+    pub fn now_nanos(&self) -> u64 {
+        self.shared.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens an RAII span; the event is recorded when the guard drops.
+    /// A disabled tracer returns an inert guard (no allocation, no clock
+    /// read).
+    #[inline]
+    pub fn span(&self, name: &'static str, cat: &'static str) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some(SpanInner {
+                shared: Arc::clone(&self.shared),
+                generation: self.shared.generation.load(Ordering::Acquire),
+                name,
+                cat,
+                start: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records a zero-duration instant event.
+    pub fn instant(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Instant,
+            ts_nanos: self.now_nanos(),
+            dur_nanos: 0,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Records a counter sample (Perfetto renders these as stacked value
+    /// tracks — used for the per-level pruning funnel).
+    pub fn counter(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::Counter,
+            ts_nanos: self.now_nanos(),
+            dur_nanos: 0,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    fn record(&self, event: TraceEvent) {
+        record_into(
+            &self.shared,
+            self.shared.generation.load(Ordering::Acquire),
+            event,
+        );
+    }
+
+    /// Flushes the calling thread and takes every buffered event. Events
+    /// from worker threads are present provided those threads have exited
+    /// (scoped-thread join) — see the crate-level snapshot contract.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.flush_current_thread();
+        let mut sink = self.shared.sink.lock().unwrap();
+        std::mem::take(&mut *sink)
+    }
+
+    /// Discards all buffered events (including thread-local ones, lazily:
+    /// stale buffers are invalidated by a generation bump and cleared on
+    /// their next use).
+    pub fn reset(&self) {
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        self.shared.sink.lock().unwrap().clear();
+        self.shared.dropped.store(0, Ordering::Relaxed);
+        self.flush_current_thread(); // drops the calling thread's stale buffer
+    }
+
+    /// Events discarded because the sink hit its capacity.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    fn flush_current_thread(&self) {
+        let ptr = Arc::as_ptr(&self.shared);
+        let _ = LOCAL.try_with(|local| {
+            let mut local = local.borrow_mut();
+            for buf in &mut local.bufs {
+                if std::ptr::eq(buf.shared.as_ptr(), ptr) {
+                    buf.flush();
+                }
+            }
+            local.bufs.retain(|b| b.shared.strong_count() > 0);
+        });
+    }
+}
+
+/// Pushes an event into the calling thread's buffer for `shared`,
+/// spilling to the sink directly if TLS is unavailable (thread teardown).
+fn record_into(shared: &Arc<TracerShared>, generation: u64, event: TraceEvent) {
+    let mut event = Some(event);
+    let event_slot = &mut event;
+    let pushed = LOCAL.try_with(|local| {
+        let mut local = local.borrow_mut();
+        let ptr = Arc::as_ptr(shared);
+        let idx = match local
+            .bufs
+            .iter()
+            .position(|b| std::ptr::eq(b.shared.as_ptr(), ptr))
+        {
+            Some(i) => i,
+            None => {
+                local.bufs.push(LocalBuf {
+                    shared: Arc::downgrade(shared),
+                    generation,
+                    events: Vec::with_capacity(64),
+                });
+                local.bufs.len() - 1
+            }
+        };
+        let buf = &mut local.bufs[idx];
+        if buf.generation != generation {
+            // The tracer was reset since this thread last recorded:
+            // everything buffered belongs to the old run.
+            buf.events.clear();
+            buf.generation = generation;
+        }
+        buf.events
+            .push(event_slot.take().expect("event consumed once"));
+        if buf.events.len() >= FLUSH_AT {
+            buf.flush();
+        }
+    });
+    if pushed.is_err() {
+        if let Some(e) = event.take() {
+            shared.push_events(&mut vec![e], generation);
+        }
+    }
+}
+
+struct SpanInner {
+    shared: Arc<TracerShared>,
+    generation: u64,
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// RAII guard returned by [`Tracer::span`]; records a complete (`"X"`)
+/// event covering its lifetime when dropped.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records an empty span"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches an argument to the span (builder style). No-op on an
+    /// inert guard from a disabled tracer.
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.add_arg(key, value);
+        self
+    }
+
+    /// Attaches an argument to the span in place.
+    pub fn add_arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard will record anything (false when the tracer was
+    /// disabled at creation). Lets callers skip arg computation.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_nanos = inner.start.elapsed().as_nanos() as u64;
+        let ts_nanos = inner
+            .start
+            .saturating_duration_since(inner.shared.epoch)
+            .as_nanos() as u64;
+        let event = TraceEvent {
+            name: inner.name,
+            cat: inner.cat,
+            kind: EventKind::Span,
+            ts_nanos,
+            dur_nanos,
+            tid: current_tid(),
+            args: inner.args,
+        };
+        record_into(&inner.shared, inner.generation, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("noop", "test");
+        }
+        t.instant("i", "test", vec![]);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn span_records_name_cat_duration() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.span("work", "test").arg("k", 7u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.name, "work");
+        assert_eq!(e.cat, "test");
+        assert_eq!(e.kind, EventKind::Span);
+        assert!(e.dur_nanos >= 1_000_000, "dur {} too small", e.dur_nanos);
+        assert_eq!(e.args, vec![("k", ArgValue::U64(7))]);
+    }
+
+    #[test]
+    fn worker_thread_events_flush_on_exit() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            let _s = t2.span("worker", "test");
+        })
+        .join()
+        .unwrap();
+        {
+            let _s = t.span("main", "test");
+        }
+        let events = t.drain();
+        let names: Vec<_> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"worker"), "events: {names:?}");
+        assert!(names.contains(&"main"), "events: {names:?}");
+        // Distinct threads must carry distinct tids.
+        let worker = events.iter().find(|e| e.name == "worker").unwrap();
+        let main = events.iter().find(|e| e.name == "main").unwrap();
+        assert_ne!(worker.tid, main.tid);
+    }
+
+    #[test]
+    fn reset_discards_buffered_and_local_events() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.span("before", "test");
+        }
+        t.reset();
+        {
+            let _s = t.span("after", "test");
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "after");
+    }
+
+    #[test]
+    fn capacity_cap_counts_dropped() {
+        let t = Tracer::with_capacity(3);
+        t.set_enabled(true);
+        for _ in 0..10 {
+            let _s = t.span("s", "test");
+        }
+        let events = t.drain();
+        assert!(events.len() <= 3);
+        assert_eq!(t.dropped() as usize + events.len(), 10);
+    }
+
+    #[test]
+    fn counter_and_instant_events() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.counter("funnel", "core", vec![("pairs", ArgValue::U64(10))]);
+        t.instant("mark", "core", vec![]);
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Counter);
+        assert_eq!(events[1].kind, EventKind::Instant);
+        assert_eq!(events[0].dur_nanos, 0);
+    }
+
+    #[test]
+    fn spans_share_one_epoch_across_threads() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let t2 = t.clone();
+        {
+            let _s = t.span("first", "test");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::spawn(move || {
+            let _s = t2.span("second", "test");
+        })
+        .join()
+        .unwrap();
+        let events = t.drain();
+        let first = events.iter().find(|e| e.name == "first").unwrap();
+        let second = events.iter().find(|e| e.name == "second").unwrap();
+        assert!(second.ts_nanos >= first.ts_nanos);
+    }
+}
