@@ -1,0 +1,320 @@
+//! Adaptive-compaction comparison — compaction off vs on, level by level.
+//!
+//! Two sections:
+//!
+//! 1. **Parity gate** (always runs; `--parity-gate` stops after it):
+//!    compaction `Off`, `On`, and `Auto` must return bit-for-bit
+//!    identical top-K slices and per-level enumeration counters on
+//!    AdultSim data plus a hot/cold workload, across all three
+//!    evaluation kernels and both enumeration engines, single-threaded.
+//!    Any divergence exits non-zero, so CI gates on this binary
+//!    (the `compact-smoke` job).
+//!
+//! 2. **Timing sweep**: a generated hot/cold workload whose
+//!    surviving-candidate coverage collapses to the hot fraction (40%)
+//!    after level 1 — the regime §5's dynamic input reduction targets.
+//!    Per-level wall times with compaction off vs on, and the headline:
+//!    total level-≥3 time, where every evaluation runs against the
+//!    gathered working set.
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin compact_compare -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes machine-readable results to stdout (tables move
+//! to stderr); the committed `BENCH_compact.json` is that output.
+
+use sliceline::config::{CompactKernel, EnumKernel, EvalKernel};
+use sliceline::{SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_datagen::adult_like;
+use sliceline_frame::IntMatrix;
+
+/// SplitMix64 — deterministic workload generation without a rand dep.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Hot/cold workload: `hot_frac` of the rows draw from a small hot code
+/// domain and carry error ≈ 1; the rest sit on disjoint cold codes with
+/// *tiny but positive* errors. Cold basic slices therefore survive
+/// projection — their columns and nonzeros stay in the working set, so
+/// compaction-off kernels keep scanning them — but their score upper
+/// bounds fall below the top-K threshold after level 1, dropping them
+/// from the eligible-parent set. Coverage collapses to the hot block
+/// (well under the default 0.7 threshold) and the gather removes rows
+/// that were genuinely costing evaluation time.
+fn hot_cold(seed: u64, n: usize, hot_frac: f64) -> (IntMatrix, Vec<f64>, usize) {
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let hot = ((n as f64) * hot_frac) as usize;
+    let m = 6usize;
+    let mut rows = Vec::with_capacity(n);
+    let mut errors = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < hot {
+            let row: Vec<u32> = (0..m).map(|_| 1 + rng.below(3) as u32).collect();
+            // Errors grow with the number of code-1 features: deep
+            // conjunctions (more code-1 predicates) have genuinely
+            // higher mean error, so the lattice stays populated through
+            // levels 3–4 instead of score-pruning to nothing.
+            let depth = row.iter().take(4).filter(|&&v| v == 1).count();
+            errors.push(0.3 + 0.4 * depth as f64 + 0.3 * rng.f64());
+            rows.push(row);
+        } else {
+            rows.push((0..m).map(|_| 4 + rng.below(4) as u32).collect::<Vec<_>>());
+            errors.push(1e-7 * (0.5 + rng.f64()));
+        }
+    }
+    (IntMatrix::from_rows(&rows).unwrap(), errors, hot)
+}
+
+fn config(
+    eval: EvalKernel,
+    enum_kernel: EnumKernel,
+    compact: CompactKernel,
+    threads: usize,
+    max_level: usize,
+) -> SliceLineConfig {
+    // k below the hot basic-slice count (18), so the level-1 top-K fills
+    // with hot slices and the score-pruning threshold goes positive —
+    // which is what evicts the near-zero-error cold slices from the
+    // eligible-parent set. High enough that the threshold stays gentle
+    // and deeper hot candidates keep flowing.
+    SliceLineConfig::builder()
+        .k(16)
+        .min_support(32)
+        .alpha(0.95)
+        .eval(eval)
+        .enum_kernel(enum_kernel)
+        .max_level(max_level)
+        .threads(threads)
+        .compact(compact)
+        .build()
+        .unwrap()
+}
+
+/// Bit-for-bit run comparison (single-threaded runs only); returns an
+/// error string naming the first divergence.
+fn same_run(base: &SliceLineResult, other: &SliceLineResult) -> Result<(), String> {
+    if base.top_k != other.top_k {
+        return Err("top-K diverged".to_string());
+    }
+    if base.stats.levels.len() != other.stats.levels.len() {
+        return Err("level count diverged".to_string());
+    }
+    for (a, b) in base.stats.levels.iter().zip(&other.stats.levels) {
+        if a.candidates != b.candidates || a.valid != b.valid {
+            return Err(format!("level {} counters diverged", a.level));
+        }
+        let same_enum = match (&a.enumeration, &b.enumeration) {
+            (None, None) => true,
+            (Some(ea), Some(eb)) => ea.same_counters(eb),
+            _ => false,
+        };
+        if !same_enum {
+            return Err(format!("level {} enumeration stats diverged", a.level));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full off ≡ on ≡ auto parity matrix on one dataset; returns
+/// the number of (kernel × engine × policy) cells checked.
+fn parity_matrix(x0: &IntMatrix, errors: &[f64], what: &str) -> usize {
+    let evals = [
+        EvalKernel::Blocked { block_size: 16 },
+        EvalKernel::Fused,
+        EvalKernel::Bitmap,
+    ];
+    let enums = [EnumKernel::Serial, EnumKernel::Sharded { shards: 2 }];
+    let mut cells = 0usize;
+    for eval in evals {
+        for enum_kernel in enums {
+            let run = |compact: CompactKernel| {
+                SliceLine::new(config(eval, enum_kernel, compact, 1, 4))
+                    .find_slices(x0, errors)
+                    .expect("run failed")
+            };
+            let off = run(CompactKernel::Off);
+            for policy in [CompactKernel::On, CompactKernel::Auto { min_rows: 1 }] {
+                if let Err(msg) = same_run(&off, &run(policy)) {
+                    eprintln!(
+                        "PARITY FAILURE: {what}: {msg} (eval {eval:?}, enum {enum_kernel:?}, \
+                         policy {policy:?})"
+                    );
+                    std::process::exit(1);
+                }
+                cells += 1;
+            }
+        }
+    }
+    cells
+}
+
+/// Times one policy, returning per-level seconds (min over `reps`) and
+/// the final run's per-level retained rows.
+fn time_policy(
+    x0: &IntMatrix,
+    errors: &[f64],
+    eval: EvalKernel,
+    compact: CompactKernel,
+    threads: usize,
+    reps: usize,
+) -> (Vec<f64>, Vec<usize>) {
+    let mut best: Vec<f64> = Vec::new();
+    let mut retained: Vec<usize> = Vec::new();
+    for _ in 0..reps {
+        let r = SliceLine::new(config(eval, EnumKernel::default(), compact, threads, 4))
+            .find_slices(x0, errors)
+            .expect("run failed");
+        let secs: Vec<f64> = r
+            .stats
+            .levels
+            .iter()
+            .map(|l| l.elapsed.as_secs_f64())
+            .collect();
+        if best.is_empty() {
+            best = secs;
+        } else {
+            for (b, s) in best.iter_mut().zip(secs) {
+                *b = b.min(s);
+            }
+        }
+        retained = r.stats.levels.iter().map(|l| l.rows_retained).collect();
+    }
+    (best, retained)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parity_gate = raw.iter().any(|a| a == "--parity-gate");
+    let args = BenchArgs::parse_from(raw.into_iter().filter(|a| a != "--parity-gate"));
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner("Adaptive input compaction: off vs on", &args);
+    }
+
+    // --- Parity gate ---------------------------------------------------
+    let adult = adult_like(&args.gen_config_scaled(args.scale * 0.2));
+    let n_wl = ((40_000.0 * args.scale) as usize).max(2_000);
+    let (wx, werr, hot) = hot_cold(args.seed, n_wl, 0.4);
+    let mut cells = parity_matrix(&adult.x0, &adult.errors, "adult-sim");
+    cells += parity_matrix(&wx, &werr, "hot/cold");
+    out(&format!(
+        "parity: off/on/auto agree bit-for-bit over {cells} kernel x engine x policy cells\n"
+    ));
+    if parity_gate {
+        if args.stats_json {
+            println!(
+                "{{\"bench\": \"compact_compare\", \"parity_cells\": {cells}, \"parity\": \"ok\"}}"
+            );
+        } else {
+            println!("parity gate passed ({cells} cells)");
+        }
+        return;
+    }
+
+    // --- Timing sweep --------------------------------------------------
+    let threads = args.resolved_threads();
+    let reps = 3;
+    // Blocked is the paper's linear-algebra formulation: cost is
+    // proportional to nnz(X) regardless of which rows can still matter,
+    // so it sees the full §5 dynamic-input-reduction win. Fused's
+    // inverted index already skips rows whose columns no surviving
+    // candidate references, so compaction is closer to neutral there —
+    // the honest contrast.
+    let kernels = [
+        ("blocked", EvalKernel::Blocked { block_size: 16 }),
+        ("fused", EvalKernel::Fused),
+        ("bitmap", EvalKernel::Bitmap),
+    ];
+    let mut json_levels = String::new();
+    let mut headline = (String::new(), 0.0f64, 0.0f64, 0.0f64);
+    for (name, eval) in kernels {
+        let (off, _) = time_policy(&wx, &werr, eval, CompactKernel::Off, threads, reps);
+        let (on, retained) = time_policy(&wx, &werr, eval, CompactKernel::On, threads, reps);
+        out(&format!(
+            "per-level wall time, {name} kernel ({} rows, {:.0}% hot, min of {reps} runs)",
+            wx.rows(),
+            100.0 * hot as f64 / wx.rows() as f64,
+        ));
+        let mut table = TextTable::new(&["level", "off", "on", "speedup", "rows_retained"]);
+        for (i, (o, n_secs)) in off.iter().zip(&on).enumerate() {
+            table.row(&[
+                (i + 1).to_string(),
+                format!("{:.2}ms", o * 1e3),
+                format!("{:.2}ms", n_secs * 1e3),
+                format!("{:.2}x", o / n_secs.max(1e-12)),
+                retained.get(i).copied().unwrap_or(0).to_string(),
+            ]);
+            json_levels.push_str(&format!(
+                "    {{\"kernel\": \"{name}\", \"level\": {}, \"off_secs\": {:.6e}, \
+                 \"on_secs\": {:.6e}, \"rows_retained\": {}}},\n",
+                i + 1,
+                o,
+                n_secs,
+                retained.get(i).copied().unwrap_or(0)
+            ));
+        }
+        out(&table.render());
+        let deep_off: f64 = off.iter().skip(2).sum();
+        let deep_on: f64 = on.iter().skip(2).sum();
+        let speedup = deep_off / deep_on.max(1e-12);
+        out(&format!(
+            "{name}: levels >= 3 total {:.2}ms off vs {:.2}ms on ({speedup:.2}x)\n",
+            deep_off * 1e3,
+            deep_on * 1e3
+        ));
+        if speedup > headline.3 {
+            headline = (name.to_string(), deep_off, deep_on, speedup);
+        }
+    }
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"compact_compare\",\n");
+        json.push_str(&format!(
+            "  \"threads\": {threads},\n  \"scale\": {},\n  \"seed\": {},\n",
+            args.scale, args.seed
+        ));
+        json.push_str(&format!(
+            "  \"parity_cells\": {cells},\n  \"parity\": \"ok\",\n"
+        ));
+        json.push_str(&format!(
+            "  \"workload\": {{\"rows\": {}, \"hot_rows\": {hot}, \"features\": 6, \
+             \"coverage_after_l1\": {:.3}}},\n",
+            wx.rows(),
+            hot as f64 / wx.rows() as f64
+        ));
+        json.push_str("  \"levels\": [\n");
+        json.push_str(json_levels.trim_end_matches('\n').trim_end_matches(','));
+        json.push_str("\n  ],\n");
+        json.push_str(&format!(
+            "  \"headline\": {{\"kernel\": \"{}\", \"level3plus_off_secs\": {:.6e}, \
+             \"level3plus_on_secs\": {:.6e}, \"level3plus_speedup\": {:.3}}}\n}}\n",
+            headline.0, headline.1, headline.2, headline.3
+        ));
+        print!("{json}");
+    }
+}

@@ -7,9 +7,11 @@
 //! hand-rolled JSON reader, every event must carry the fields its phase
 //! requires, span categories from the expected layers must be present,
 //! and each `pruning_funnel` counter sample must be monotonically
-//! non-increasing across the funnel stages. The manifest must carry every
-//! [`Manifest::REQUIRED_KEYS`] entry, non-null, at the current schema
-//! version.
+//! non-increasing across the funnel stages. Across samples (in timestamp
+//! order) the compaction gauges `rows_retained`/`cols_retained` must
+//! never grow — the working set only ever shrinks level-over-level. The
+//! manifest must carry every [`Manifest::REQUIRED_KEYS`] entry,
+//! non-null, at the current schema version.
 
 use sliceline_obs::json::{parse, Json};
 use sliceline_obs::Manifest;
@@ -99,6 +101,7 @@ fn check_trace(path: &str, expect_dist: bool) -> Result<String, String> {
     }
     let mut cats: Vec<&str> = Vec::new();
     let mut funnels = 0usize;
+    let mut retained: Vec<(f64, f64, f64)> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let at = |msg: &str| format!("event {i}: {msg}");
         let ph = ev
@@ -135,7 +138,29 @@ fn check_trace(path: &str, expect_dist: bool) -> Result<String, String> {
         }
         if ph == "C" && ev.get("name").and_then(Json::as_str) == Some("pruning_funnel") {
             check_funnel(ev).map_err(|e| at(&e))?;
+            let ts = ev.get("ts").and_then(Json::as_f64).unwrap();
+            let args = ev.get("args").ok_or_else(|| at("funnel without args"))?;
+            let mut dims = [0.0f64; 2];
+            for (k, slot) in ["rows_retained", "cols_retained"].iter().zip(&mut dims) {
+                *slot = args
+                    .get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| at(&format!("funnel missing '{k}'")))?;
+            }
+            retained.push((ts, dims[0], dims[1]));
             funnels += 1;
+        }
+    }
+    // Retained working-set dims must be non-increasing across levels
+    // (funnel samples in timestamp order): compaction only ever drops
+    // rows and columns, never resurrects them.
+    retained.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for w in retained.windows(2) {
+        let ((_, r0, c0), (ts, r1, c1)) = (w[0], w[1]);
+        if r1 > r0 || c1 > c0 {
+            return Err(format!(
+                "retained dims grew at ts {ts}: rows {r0} -> {r1}, cols {c0} -> {c1}"
+            ));
         }
     }
     let mut required = vec!["core", "linalg"];

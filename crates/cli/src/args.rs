@@ -42,6 +42,19 @@ pub enum EnumKernelChoice {
     Auto,
 }
 
+/// Adaptive input-compaction policy (maps onto
+/// [`sliceline::CompactKernel`] in the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactChoice {
+    /// Never gather (the library default).
+    #[default]
+    Off,
+    /// Gather whenever the retained fraction drops below the threshold.
+    On,
+    /// Gather only above the built-in row floor (small inputs skip it).
+    Auto,
+}
+
 /// How the error vector is produced when `--errors` is not given.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -83,6 +96,8 @@ pub struct FindArgs {
     pub kernel: KernelChoice,
     /// Candidate-generation (enumeration) engine.
     pub enum_kernel: EnumKernelChoice,
+    /// Adaptive level-wise input compaction policy.
+    pub compact: CompactChoice,
     /// Collect and print execution-layer statistics (per-level counters,
     /// stage timings, scratch-pool reuse).
     pub stats: bool,
@@ -114,6 +129,7 @@ impl Default for FindArgs {
             format: OutputFormat::Text,
             kernel: KernelChoice::Blocked,
             enum_kernel: EnumKernelChoice::Auto,
+            compact: CompactChoice::Off,
             stats: false,
             trace: None,
             metrics_json: None,
@@ -191,6 +207,11 @@ FIND OPTIONS:
   --enum-kernel E     serial | sharded | auto        (default: auto)
                       candidate-generation engine: sharded runs the
                       parallel streaming join + sharded dedup
+  --compact C         off | on | auto                (default: off)
+                      adaptive level-wise input compaction: gather X,
+                      bitmaps and errors down to surviving-candidate
+                      coverage when it drops below 70%; auto skips
+                      small inputs. Results are identical either way
   --stats             collect and print per-level execution statistics
                       (candidates, pruning, kernel choice, stage timings)
   --trace FILE        write a Chrome trace-event JSON (open in Perfetto)
@@ -303,6 +324,19 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
                     other => {
                         return Err(CliError::usage(format!(
                             "--enum-kernel: unknown engine '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--compact" => {
+                let v = next_value(&mut it, "--compact")?;
+                out.compact = match v.as_str() {
+                    "off" => CompactChoice::Off,
+                    "on" => CompactChoice::On,
+                    "auto" => CompactChoice::Auto,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--compact: unknown policy '{other}'"
                         )))
                     }
                 };
@@ -458,6 +492,46 @@ mod tests {
             "e",
             "--enum-kernel",
             "distributed"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_compact_choices() {
+        for (v, expect) in [
+            ("off", CompactChoice::Off),
+            ("on", CompactChoice::On),
+            ("auto", CompactChoice::Auto),
+        ] {
+            let cli = parse(sv(&[
+                "find",
+                "--input",
+                "a.csv",
+                "--errors",
+                "e",
+                "--compact",
+                v,
+            ]))
+            .unwrap();
+            let Command::Find(f) = cli.command else {
+                panic!()
+            };
+            assert_eq!(f.compact, expect);
+        }
+        // Default when the flag is absent, error on unknown values.
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.compact, CompactChoice::Off);
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--compact",
+            "always"
         ]))
         .is_err());
     }

@@ -1,10 +1,14 @@
 //! The CLI pipelines: `find` (CSV → encode → model/errors → SliceLine →
 //! report) and `generate` (synthetic dataset → CSV).
 
-use crate::args::{EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind};
+use crate::args::{
+    CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind,
+};
 use crate::report;
 use crate::CliError;
-use sliceline::{EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline::{
+    CompactKernel, EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig, SliceLineResult,
+};
 use sliceline_datagen::GenConfig;
 use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
 use sliceline_frame::csv::read_csv_file;
@@ -74,11 +78,17 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         EnumKernelChoice::Sharded => EnumKernel::Sharded { shards: 0 },
         EnumKernelChoice::Auto => EnumKernel::default(),
     };
+    let compact = match args.compact {
+        CompactChoice::Off => CompactKernel::Off,
+        CompactChoice::On => CompactKernel::On,
+        CompactChoice::Auto => CompactKernel::auto(),
+    };
     let mut config = SliceLineConfig::builder()
         .k(args.k)
         .alpha(args.alpha)
         .eval(kernel)
         .enum_kernel(enum_kernel)
+        .compact(compact)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
             std::thread::available_parallelism()
@@ -150,7 +160,8 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
         "config",
         format!(
             "{{\"k\":{},\"sigma\":{},\"alpha\":{},\"max_level\":{},\"threads\":{},\
-             \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"nodes\":{}}}",
+             \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"compact\":\"{:?}\",\
+             \"nodes\":{}}}",
             args.k,
             args.sigma,
             args.alpha,
@@ -159,6 +170,7 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
             args.bins,
             args.kernel,
             args.enum_kernel,
+            args.compact,
             args.nodes,
         ),
     );
@@ -424,6 +436,34 @@ mod tests {
     }
 
     #[test]
+    fn find_compact_modes_render_identical_reports() {
+        let path = write_temp("biased_compact.csv", &biased_csv());
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            format: OutputFormat::Csv,
+            ..Default::default()
+        };
+        let off = run_find(&base).unwrap();
+        for (compact, kernel) in [
+            (CompactChoice::On, KernelChoice::Blocked),
+            (CompactChoice::On, KernelChoice::Bitmap),
+            (CompactChoice::Auto, KernelChoice::Fused),
+        ] {
+            let out = run_find(&FindArgs {
+                compact,
+                kernel,
+                ..base.clone()
+            })
+            .unwrap();
+            assert_eq!(out, off, "--compact {compact:?} ({kernel:?}) diverged");
+        }
+    }
+
+    #[test]
     fn find_writes_trace_and_manifest() {
         let path = write_temp("biased_trace.csv", &biased_csv());
         let dir = std::env::temp_dir().join("sliceline_cli_tests");
@@ -464,6 +504,10 @@ mod tests {
         }
         assert!(manifest.contains("\"tool\":\"sliceline\""));
         assert!(manifest.contains("core.funnel.evaluated"));
+        // Compaction telemetry reaches the manifest even with the
+        // default-off policy (the gauge reports the working-set size).
+        assert!(manifest.contains("core.compact.rows_retained"));
+        assert!(manifest.contains("\"compact\":\"Off\""));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The overall enumeration driver (Algorithm 1) and result decoding.
 
+use crate::compact::maybe_compact;
 use crate::config::SliceLineConfig;
 use crate::enumerate::get_pair_candidates;
 use crate::error::Result;
@@ -113,7 +114,7 @@ impl SliceLine {
         exec.reset_stats();
         let mut run_span = exec.tracer().span("find_slices", "core");
         // a) data preparation.
-        let prepared = {
+        let mut prepared = {
             let _prep_span = exec.tracer().span("prepare", "core");
             prepare(x0, errors, &self.config, exec)?
         };
@@ -132,7 +133,7 @@ impl SliceLine {
         exec.begin_level(1);
         let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
         let level_start = Instant::now();
-        let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
+        let (mut proj, mut level) = exec.time_stage(Stage::Evaluate, || {
             create_and_score_basic_slices(&prepared, exec)
         });
         exec.record_level(|p| {
@@ -140,9 +141,33 @@ impl SliceLine {
             p.evaluated += prepared.l() as u64;
         });
         stats.basic_slices = level.len();
+        // The evaluation engine carries the bitmap backend's packed
+        // columns and parent cache across levels (unused by the
+        // blocked/fused kernels); the compaction stage keeps its state
+        // aligned with the working set.
+        let mut engine = EvalEngine::new(self.config.bitmap_cache_bytes);
+        let max_level = self.config.max_level.min(prepared.m);
         let mut topk = TopK::new(self.config.k, prepared.sigma);
         let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
         exec.record_level(|p| p.topk_entered += entered as u64);
+        let outcome = exec.time_stage(Stage::Compact, || {
+            maybe_compact(
+                // Gathering after the final level would be pure cost.
+                self.config.compact_policy_at(1, max_level),
+                self.config.compact_below,
+                &self.config.pruning,
+                &mut proj,
+                &mut prepared.errors,
+                &mut level,
+                &mut topk,
+                &mut engine,
+                &prepared.ctx,
+                prepared.sigma,
+                1,
+                exec,
+            )
+        });
+        record_compact(exec, &outcome);
         emit_funnel(
             exec,
             &LevelProfile {
@@ -150,6 +175,8 @@ impl SliceLine {
                 candidates: prepared.l() as u64,
                 evaluated: prepared.l() as u64,
                 topk_entered: entered as u64,
+                rows_retained: outcome.rows_retained as u64,
+                cols_retained: outcome.cols_retained as u64,
                 ..Default::default()
             },
         );
@@ -160,13 +187,11 @@ impl SliceLine {
             enumeration: None,
             elapsed: level_start.elapsed(),
             threshold_after: topk.prune_threshold(),
+            rows_retained: outcome.rows_retained,
+            cols_retained: outcome.cols_retained,
         });
         drop(level_span);
-        // c) level-wise lattice enumeration. The evaluation engine carries
-        // the bitmap backend's packed columns and parent cache across
-        // levels (unused by the blocked/fused kernels).
-        let mut engine = EvalEngine::new(self.config.bitmap_cache_bytes);
-        let max_level = self.config.max_level.min(prepared.m);
+        // c) level-wise lattice enumeration.
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
             l += 1;
@@ -203,6 +228,23 @@ impl SliceLine {
             recycle_level(exec, std::mem::replace(&mut level, next));
             let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
             exec.record_level(|p| p.topk_entered += entered as u64);
+            let outcome = exec.time_stage(Stage::Compact, || {
+                maybe_compact(
+                    self.config.compact_policy_at(l, max_level),
+                    self.config.compact_below,
+                    &self.config.pruning,
+                    &mut proj,
+                    &mut prepared.errors,
+                    &mut level,
+                    &mut topk,
+                    &mut engine,
+                    &prepared.ctx,
+                    prepared.sigma,
+                    l,
+                    exec,
+                )
+            });
+            record_compact(exec, &outcome);
             emit_funnel(
                 exec,
                 &LevelProfile {
@@ -215,6 +257,8 @@ impl SliceLine {
                     pruned_parents: enum_stats.pruned_parents as u64,
                     evaluated: evaluated as u64,
                     topk_entered: entered as u64,
+                    rows_retained: outcome.rows_retained as u64,
+                    cols_retained: outcome.cols_retained as u64,
                     ..Default::default()
                 },
             );
@@ -225,6 +269,8 @@ impl SliceLine {
                 enumeration: Some(enum_stats),
                 elapsed: level_start.elapsed(),
                 threshold_after: topk.prune_threshold(),
+                rows_retained: outcome.rows_retained,
+                cols_retained: outcome.cols_retained,
             });
             drop(level_span);
         }
@@ -255,6 +301,8 @@ pub fn emit_funnel(exec: &ExecContext, profile: &LevelProfile) {
             .map(|(stage, v)| (stage, ArgValue::U64(v)))
             .collect();
         args.push(("topk_entered", ArgValue::U64(profile.topk_entered)));
+        args.push(("rows_retained", ArgValue::U64(profile.rows_retained)));
+        args.push(("cols_retained", ArgValue::U64(profile.cols_retained)));
         tracer.counter("pruning_funnel", "core", args);
     }
     let metrics = exec.metrics();
@@ -264,6 +312,28 @@ pub fn emit_funnel(exec: &ExecContext, profile: &LevelProfile) {
     metrics
         .counter("core.funnel.topk_entered")
         .add(profile.topk_entered);
+}
+
+/// Records a compaction stage's outcome into the per-level telemetry and
+/// the `core.compact.*` metrics (which the run manifest embeds).
+///
+/// Public for the same reason as [`emit_funnel`]: alternative drivers
+/// over the level loop report identical compaction telemetry.
+pub fn record_compact(exec: &ExecContext, outcome: &crate::compact::CompactOutcome) {
+    exec.record_level(|p| {
+        p.rows_retained = outcome.rows_retained as u64;
+        p.cols_retained = outcome.cols_retained as u64;
+    });
+    let metrics = exec.metrics();
+    metrics
+        .gauge("core.compact.rows_retained")
+        .set(outcome.rows_retained as f64);
+    metrics
+        .gauge("core.compact.cols_retained")
+        .set(outcome.cols_retained as f64);
+    if outcome.compacted {
+        metrics.counter("core.compact.fired").add(1);
+    }
 }
 
 /// Returns a finished level's statistic vectors to the context's scratch

@@ -1,0 +1,328 @@
+//! Adaptive level-wise input compaction (§5, dynamic input reduction).
+//!
+//! After each level's top-K update, the only data that can influence any
+//! deeper level is:
+//!
+//! * **rows** covered by at least one *eligible* surviving candidate —
+//!   every level-(l+1) slice is the intersection of two eligible level-l
+//!   parents, so its rows are a subset of each parent's rows, and deeper
+//!   descendants only shrink further;
+//! * **columns** referenced by some stored slice (a current candidate or
+//!   a top-K entry) — children only combine their parents' predicates.
+//!
+//! When the retained *row* fraction drops below the configured
+//! threshold, `X`, the packed bitmaps, and the error vector are gathered
+//! into a compacted index space via the pooled `linalg` gather kernels;
+//! unreferenced columns are dropped by the same gather (they never
+//! trigger one on their own — by the time a column loses its last
+//! reference its supporting rows are usually gone already, so a
+//! column-only gather would be all cost and no kernel benefit). Slice *statistics* (sizes, errors, scores) are
+//! dataset-level facts and are left untouched — together with the
+//! column remap applied to slice definitions and the top-K, every
+//! exported number stays in the original space. The pass is a pure
+//! working-set reduction: results are bit-for-bit identical to
+//! compaction-off (all three eval kernels accumulate per-slice errors in
+//! ascending row order, and an order-preserving gather of rows that are
+//! members of no future slice leaves each accumulation sequence
+//! unchanged; property-tested in `core/tests/compact_parity.rs`).
+
+use crate::config::{CompactKernel, PruningConfig};
+use crate::evaluate::EvalEngine;
+use crate::init::{LevelState, ProjectedData};
+use crate::scoring::ScoringContext;
+use crate::topk::TopK;
+use sliceline_linalg::bitmap::{csr_coverage_bounded, popcount, WORD_BITS};
+use sliceline_linalg::ExecContext;
+
+/// Working-set dimensions after a compaction stage, whether or not the
+/// gather actually fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Rows in the working set after the stage.
+    pub rows_retained: usize,
+    /// Projected one-hot columns in the working set after the stage.
+    pub cols_retained: usize,
+    /// Whether the gather ran (false = policy off, floor not met, or
+    /// retained fraction above the threshold).
+    pub compacted: bool,
+}
+
+/// Runs the compaction policy for the just-finished level `lvl`:
+/// computes the eligible-parent row coverage and the still-referenced
+/// column set, and — when the policy and threshold say so — gathers
+/// `proj.x`, `errors`, the slice definitions, the top-K and the
+/// evaluation engine's bitmap state into the compacted index space.
+///
+/// The eligibility filter replicates `get_pair_candidates`' parent
+/// filter exactly (same pruning switches, same threshold), so a row
+/// outside the coverage union can never be a member of any slice
+/// evaluated at a deeper level.
+#[allow(clippy::too_many_arguments)]
+pub fn maybe_compact(
+    policy: CompactKernel,
+    compact_below: f64,
+    pruning: &PruningConfig,
+    proj: &mut ProjectedData,
+    errors: &mut Vec<f64>,
+    level: &mut LevelState,
+    topk: &mut TopK,
+    engine: &mut EvalEngine,
+    ctx: &ScoringContext,
+    sigma: usize,
+    lvl: usize,
+    exec: &ExecContext,
+) -> CompactOutcome {
+    let (n, m) = proj.x.shape();
+    let unchanged = CompactOutcome {
+        rows_retained: n,
+        cols_retained: m,
+        compacted: false,
+    };
+    match policy {
+        CompactKernel::Off => return unchanged,
+        CompactKernel::On => {}
+        CompactKernel::Auto { min_rows } => {
+            if n < min_rows {
+                return unchanged;
+            }
+        }
+    }
+    if level.is_empty() || n == 0 {
+        return unchanged;
+    }
+    // Eligible parents — the exact filter `get_pair_candidates` applies
+    // before the join (threshold already reflects this level's top-K).
+    let threshold = topk.prune_threshold();
+    let eligible: Vec<usize> = (0..level.len())
+        .filter(|&i| {
+            if (pruning.size_pruning && level.sizes[i] < sigma as f64) || level.errors[i] <= 0.0 {
+                return false;
+            }
+            if pruning.score_pruning {
+                let ub = ctx.score_upper_bound(
+                    level.sizes[i],
+                    level.errors[i],
+                    level.max_errors[i],
+                    sigma,
+                );
+                if ub <= threshold {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    if eligible.len() < 2 {
+        // Fewer than two joinable parents: the next enumeration returns
+        // nothing and the loop terminates — a gather would be pure cost.
+        return unchanged;
+    }
+    // Row coverage: OR-reduce over the eligible parents' bitmaps when the
+    // engine holds packed state for this projection (cached slice bitmaps
+    // make most ORs a single word pass), otherwise one CSR counting pass.
+    // The gather triggers on *row* coverage alone; columns ride along
+    // once it fires. A column-only gather would re-pack `X` and the whole
+    // bitmap cache to drop columns whose supporting rows are already gone
+    // (zero-nnz in every kernel) — measurable cost, negligible benefit.
+    // The CSR pass gets the trigger threshold as an early-exit bound:
+    // once the union provably reaches it, no gather can fire and the rest
+    // of the scan is skipped.
+    let stop_at = ((compact_below * n as f64).ceil() as usize).min(n);
+    let eligible_slices: Vec<&[u32]> = eligible
+        .iter()
+        .map(|&i| level.slices[i].as_slice())
+        .collect();
+    let cov = match engine.coverage(&proj.x, eligible_slices.iter().copied(), exec) {
+        Some(cov) => cov,
+        None => match csr_coverage_bounded(&proj.x, &eligible_slices, lvl, stop_at, exec) {
+            Some(cov) => cov,
+            None => return unchanged,
+        },
+    };
+    let kept_rows = popcount(&cov) as usize;
+    let row_frac = kept_rows as f64 / n as f64;
+    if kept_rows == 0 || row_frac >= compact_below {
+        exec.put_u64(cov);
+        return unchanged;
+    }
+    // Columns still referenced by any stored slice. *All* of this level's
+    // slices stay enumerable (the parent filter runs inside enumeration
+    // and its counters must not change), so every slice's columns are
+    // retained, plus the top-K entries' columns for result decoding.
+    let mut col_kept = vec![false; m];
+    for cols in &level.slices {
+        for &c in cols {
+            col_kept[c as usize] = true;
+        }
+    }
+    for e in topk.entries() {
+        for &c in &e.cols {
+            col_kept[c as usize] = true;
+        }
+    }
+    let cols: Vec<usize> = (0..m).filter(|&c| col_kept[c]).collect();
+    // Gather. Row indices in ascending order (order-preserving, so every
+    // kernel's accumulation sequence over surviving rows is unchanged).
+    let mut rows = Vec::with_capacity(kept_rows);
+    for (wi, &word) in cov.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            rows.push(wi * WORD_BITS + w.trailing_zeros() as usize);
+            w &= w - 1;
+        }
+    }
+    let mut col_remap = vec![u32::MAX; m];
+    for (new, &old) in cols.iter().enumerate() {
+        col_remap[old] = new as u32;
+    }
+    let new_x = proj
+        .x
+        .select_rows_cols(&rows, &cols, exec)
+        .expect("kept rows/cols come from the matrix's own index space");
+    let old_x = std::mem::replace(&mut proj.x, new_x);
+    old_x.recycle(exec);
+    let mut new_errors = exec.take_f64(kept_rows);
+    for (new_r, &old_r) in rows.iter().enumerate() {
+        new_errors[new_r] = errors[old_r];
+    }
+    exec.put_f64(std::mem::replace(errors, new_errors));
+    for cols in &mut level.slices {
+        for c in cols.iter_mut() {
+            *c = col_remap[*c as usize];
+            debug_assert_ne!(*c, u32::MAX);
+        }
+    }
+    topk.remap_cols(&col_remap);
+    proj.col_feature = cols.iter().map(|&c| proj.col_feature[c]).collect();
+    proj.col_code = cols.iter().map(|&c| proj.col_code[c]).collect();
+    proj.orig_col = cols.iter().map(|&c| proj.orig_col[c]).collect();
+    engine.compact((n, m), &cov, kept_rows, &cols, &col_remap, exec);
+    exec.put_u64(cov);
+    CompactOutcome {
+        rows_retained: kept_rows,
+        cols_retained: cols.len(),
+        compacted: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EvalKernel, SliceLineConfig};
+    use crate::evaluate::evaluate_slices_with;
+    use crate::init::create_and_score_basic_slices;
+    use crate::prepare::prepare;
+    use sliceline_frame::IntMatrix;
+
+    /// 12 rows over 2 features; rows 8..12 hold values (in *both*
+    /// features) that carry no error, so their basic slices are dropped
+    /// at projection and coverage shrinks to the first 8 rows.
+    fn fixture() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..12u32 {
+            if i < 8 {
+                rows.push(vec![1 + (i % 2), 1 + (i / 4)]);
+                errors.push(1.0 + (i % 3) as f64);
+            } else {
+                rows.push(vec![3, 3]);
+                errors.push(0.0);
+            }
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn setup(
+        exec: &ExecContext,
+    ) -> (
+        ProjectedData,
+        LevelState,
+        Vec<f64>,
+        ScoringContext,
+        usize,
+        TopK,
+    ) {
+        let (x0, e) = fixture();
+        let cfg = SliceLineConfig::builder().min_support(2).build().unwrap();
+        let p = prepare(&x0, &e, &cfg, exec).unwrap();
+        let (proj, level) = create_and_score_basic_slices(&p, exec);
+        let mut topk = TopK::new(4, p.sigma);
+        topk.update(&level);
+        (proj, level, p.errors.clone(), p.ctx, p.sigma, topk)
+    }
+
+    #[test]
+    fn off_and_small_auto_do_not_gather() {
+        let exec = ExecContext::serial();
+        let (mut proj, mut level, mut errors, ctx, sigma, mut topk) = setup(&exec);
+        let mut engine = EvalEngine::default();
+        for policy in [
+            CompactKernel::Off,
+            CompactKernel::Auto { min_rows: 1 << 20 },
+        ] {
+            let out = maybe_compact(
+                policy,
+                0.99,
+                &PruningConfig::default(),
+                &mut proj,
+                &mut errors,
+                &mut level,
+                &mut topk,
+                &mut engine,
+                &ctx,
+                sigma,
+                1,
+                &exec,
+            );
+            assert!(!out.compacted);
+            assert_eq!(out.rows_retained, 12);
+        }
+        assert_eq!(proj.x.rows(), 12);
+    }
+
+    #[test]
+    fn on_gathers_uncovered_rows_and_columns() {
+        let exec = ExecContext::serial();
+        let (mut proj, mut level, mut errors, ctx, sigma, mut topk) = setup(&exec);
+        let m_before = proj.x.cols();
+        let mut engine = EvalEngine::default();
+        let out = maybe_compact(
+            CompactKernel::On,
+            1.0,
+            &PruningConfig::default(),
+            &mut proj,
+            &mut errors,
+            &mut level,
+            &mut topk,
+            &mut engine,
+            &ctx,
+            sigma,
+            1,
+            &exec,
+        );
+        assert!(out.compacted, "zero-error tail rows must be dropped");
+        assert_eq!(out.rows_retained, 8);
+        assert_eq!(proj.x.rows(), 8);
+        assert_eq!(errors.len(), 8);
+        assert!(out.cols_retained <= m_before);
+        assert_eq!(proj.col_feature.len(), out.cols_retained);
+        // Slice statistics stay in the original space.
+        assert!(level.sizes.iter().all(|&s| s >= sigma as f64));
+        // Evaluating the remapped level-1 slices on the compacted input
+        // reproduces the original (eligible) basic-slice statistics.
+        let slices = level.slices.clone();
+        let mut eng2 = EvalEngine::default();
+        let re = evaluate_slices_with(
+            &proj.x,
+            &errors,
+            slices,
+            1,
+            &ctx,
+            EvalKernel::Fused,
+            &exec,
+            &mut eng2,
+        );
+        assert_eq!(re.sizes, level.sizes);
+        assert_eq!(re.errors, level.errors);
+    }
+}

@@ -108,6 +108,50 @@ impl Default for EnumKernel {
     }
 }
 
+/// Adaptive level-wise input compaction policy (§5, `removeEmpty`-style
+/// dynamic input reduction).
+///
+/// After each level's top-K update, rows covered by *no* surviving
+/// candidate — and one-hot columns referenced by no stored slice — can
+/// never influence deeper levels (any level-(l+1) slice is the
+/// intersection of two surviving level-l candidates). When the retained
+/// fraction drops below [`SliceLineConfig::compact_below`], `X`, the
+/// packed bitmaps and the error vectors are gathered into a compacted
+/// index space. The result is bit-for-bit identical to `Off`
+/// (property-tested in `core/tests/compact_parity.rs`); only the amount
+/// of data scanned changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactKernel {
+    /// Never compact (every kernel scans all `n` rows at every level).
+    Off,
+    /// Compact at every level where the retained fraction drops below
+    /// the threshold, regardless of input size.
+    On,
+    /// Compact only when the current working set still has at least
+    /// `min_rows` rows — below that the gather costs more than the
+    /// scans it saves.
+    Auto {
+        /// Row-count floor at or above which compaction is considered.
+        min_rows: usize,
+    },
+}
+
+impl Default for CompactKernel {
+    /// Off: compaction is opt-in (`--compact {on,auto}`) so default runs
+    /// keep the exact allocation/telemetry profile of earlier releases.
+    fn default() -> Self {
+        CompactKernel::Off
+    }
+}
+
+impl CompactKernel {
+    /// The `Auto` variant with its default 4096-row floor — tiny working
+    /// sets never amortize the gather pass.
+    pub fn auto() -> Self {
+        CompactKernel::Auto { min_rows: 4096 }
+    }
+}
+
 /// Pruning and deduplication switches for the Fig. 3 ablation study.
 ///
 /// All switches default to **on**; disabling any of them never changes the
@@ -205,6 +249,12 @@ pub struct SliceLineConfig {
     /// (0 disables caching; children are then recomputed from their
     /// column bitmaps). Ignored by the blocked/fused kernels.
     pub bitmap_cache_bytes: usize,
+    /// Adaptive input-compaction policy (see [`CompactKernel`]).
+    pub compact: CompactKernel,
+    /// Retained-fraction threshold below which compaction fires: the
+    /// stage gathers only when `min(row_frac, col_frac) < compact_below`.
+    /// Must be in `(0, 1]`; 1.0 compacts on any shrink at all.
+    pub compact_below: f64,
 }
 
 impl Default for SliceLineConfig {
@@ -222,6 +272,8 @@ impl Default for SliceLineConfig {
             pruning: PruningConfig::default(),
             parallel: ParallelConfig::default(),
             bitmap_cache_bytes: 64 << 20,
+            compact: CompactKernel::default(),
+            compact_below: 0.7,
         }
     }
 }
@@ -239,6 +291,18 @@ impl SliceLineConfig {
     /// the level loop take `&ExecContext`, never a raw [`ParallelConfig`].
     pub fn exec_context(&self) -> ExecContext {
         ExecContext::with_parallel(self.parallel)
+    }
+
+    /// The compaction policy in effect after level `lvl` finishes: the
+    /// configured policy, except forced [`CompactKernel::Off`] after the
+    /// final level (a gather whose output no later level reads would be
+    /// pure cost).
+    pub fn compact_policy_at(&self, lvl: usize, max_level: usize) -> CompactKernel {
+        if lvl < max_level {
+            self.compact
+        } else {
+            CompactKernel::Off
+        }
     }
 
     /// Validates parameter ranges.
@@ -283,6 +347,23 @@ impl SliceLineConfig {
                         .to_string(),
                 });
             }
+        }
+        if let CompactKernel::Auto { min_rows } = self.compact {
+            if min_rows == 0 {
+                return Err(SliceLineError::InvalidConfig {
+                    reason: "compact Auto floor must be at least 1 \
+                             (use CompactKernel::On to always compact)"
+                        .to_string(),
+                });
+            }
+        }
+        if !(self.compact_below > 0.0 && self.compact_below <= 1.0) {
+            return Err(SliceLineError::InvalidConfig {
+                reason: format!(
+                    "compact_below must be in (0, 1], got {}",
+                    self.compact_below
+                ),
+            });
         }
         Ok(())
     }
@@ -353,6 +434,18 @@ impl SliceLineConfigBuilder {
     /// (0 disables incremental parent reuse).
     pub fn bitmap_cache_bytes(mut self, bytes: usize) -> Self {
         self.config.bitmap_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the adaptive input-compaction policy.
+    pub fn compact(mut self, compact: CompactKernel) -> Self {
+        self.config.compact = compact;
+        self
+    }
+
+    /// Sets the retained-fraction threshold below which compaction fires.
+    pub fn compact_below(mut self, threshold: f64) -> Self {
+        self.config.compact_below = threshold;
         self
     }
 
@@ -458,6 +551,40 @@ mod tests {
         assert!(SliceLineConfig::builder()
             .eval(EvalKernel::Bitmap)
             .bitmap_cache_bytes(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn compact_kernel_defaults_and_validation() {
+        let c = SliceLineConfig::builder().build().unwrap();
+        assert_eq!(c.compact, CompactKernel::Off);
+        assert_eq!(c.compact_below, 0.7);
+        assert_eq!(
+            CompactKernel::auto(),
+            CompactKernel::Auto { min_rows: 4096 }
+        );
+        let c = SliceLineConfig::builder()
+            .compact(CompactKernel::auto())
+            .compact_below(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.compact, CompactKernel::Auto { min_rows: 4096 });
+        assert_eq!(c.compact_below, 0.5);
+        assert!(SliceLineConfig::builder()
+            .compact(CompactKernel::Auto { min_rows: 0 })
+            .build()
+            .is_err());
+        assert!(SliceLineConfig::builder()
+            .compact_below(0.0)
+            .build()
+            .is_err());
+        assert!(SliceLineConfig::builder()
+            .compact_below(1.5)
+            .build()
+            .is_err());
+        assert!(SliceLineConfig::builder()
+            .compact_below(1.0)
             .build()
             .is_ok());
     }

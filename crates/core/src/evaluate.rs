@@ -87,12 +87,24 @@ impl EvalEngine {
 
     /// The packed bitmap state for `x`, building (or rebuilding, if the
     /// projected matrix changed shape) it on first use.
+    ///
+    /// A rebuild is a geometry change: the retired cache's buffers are
+    /// sized for the *old* row width, so they are drained into the word
+    /// pool here (the pool resizes on checkout, so stale-width capacity
+    /// can never alias a new-width read) instead of lingering keyed under
+    /// the new geometry.
     fn state(&mut self, x: &CsrMatrix, exec: &ExecContext) -> &mut BitmapState {
         let stale = match &self.bitmap {
             Some(s) => s.bits.rows() != x.rows() || s.bits.cols() != x.cols(),
             None => true,
         };
         if stale {
+            if let Some(old) = self.bitmap.take() {
+                for (_, buf) in old.cache {
+                    exec.put_u64(buf);
+                }
+                old.bits.recycle(exec);
+            }
             let _span = exec
                 .tracer()
                 .span("bitmap.pack", "linalg")
@@ -105,6 +117,94 @@ impl EvalEngine {
             });
         }
         self.bitmap.as_mut().expect("state built above")
+    }
+
+    /// Row-coverage union of `slices` as a packed bitmap, served from the
+    /// engine's column bitmaps (and cached slice bitmaps where present).
+    /// Returns `None` when the engine holds no bitmap state for `x`'s
+    /// shape — the caller then falls back to a CSR coverage pass.
+    pub fn coverage<'a>(
+        &self,
+        x: &CsrMatrix,
+        slices: impl Iterator<Item = &'a [u32]>,
+        exec: &ExecContext,
+    ) -> Option<Vec<u64>> {
+        let state = self.bitmap.as_ref()?;
+        if state.bits.rows() != x.rows() || state.bits.cols() != x.cols() {
+            return None;
+        }
+        let mut cov = exec.take_u64(state.bits.words_per_col());
+        let mut buf = exec.take_u64(0);
+        for cols in slices {
+            // After this level's evaluation the cache holds exactly this
+            // level's slice bitmaps (when admitted), so most ORs are free.
+            if let Some(cached) = state.cache.get(cols) {
+                bitmap::or_into(&mut cov, cached);
+            } else {
+                state.bits.and_cols_into(cols, &mut buf);
+                bitmap::or_into(&mut cov, &buf);
+            }
+        }
+        exec.put_u64(buf);
+        Some(cov)
+    }
+
+    /// Gathers the engine's bitmap state into a compacted index space:
+    /// the column bitmaps are repacked to the kept rows/columns and every
+    /// cached parent bitmap is re-keyed through `col_remap` and re-packed
+    /// to the new row width. Byte-budget accounting is redone at the new
+    /// width (an entry's footprint shrinks with the row count), and
+    /// retired old-width buffers go back to the word pool — never left
+    /// keyed under the new geometry.
+    ///
+    /// `old_shape` is the projected matrix shape the caller compacted
+    /// *from*; state built for any other shape is stale and is dropped
+    /// instead of gathered.
+    pub fn compact(
+        &mut self,
+        old_shape: (usize, usize),
+        keep: &[u64],
+        kept_rows: usize,
+        cols: &[usize],
+        col_remap: &[u32],
+        exec: &ExecContext,
+    ) {
+        let Some(state) = self.bitmap.as_mut() else {
+            return;
+        };
+        if (state.bits.rows(), state.bits.cols()) != old_shape {
+            // Stale geometry (e.g. the engine last ran on a different
+            // projection): gathering would mix index spaces. Drop it; the
+            // next bitmap evaluation repacks from the compacted matrix.
+            if let Some(old) = self.bitmap.take() {
+                for (_, buf) in old.cache {
+                    exec.put_u64(buf);
+                }
+                old.bits.recycle(exec);
+            }
+            return;
+        }
+        let new_bits = state.bits.gather_rows(keep, kept_rows, cols, exec);
+        let old_bits = std::mem::replace(&mut state.bits, new_bits);
+        old_bits.recycle(exec);
+        let new_wpc = state.bits.words_per_col();
+        let mut bytes = 0usize;
+        let old_cache = std::mem::take(&mut state.cache);
+        state.cache.reserve(old_cache.len());
+        for (key, buf) in old_cache {
+            let cost = new_wpc * 8 + key.len() * 4 + 48;
+            if bytes + cost > self.cache_budget {
+                exec.put_u64(buf);
+                continue;
+            }
+            let mut packed = exec.take_u64(new_wpc);
+            bitmap::gather_bits(&buf, keep, &mut packed);
+            exec.put_u64(buf);
+            let new_key: Vec<u32> = key.iter().map(|&c| col_remap[c as usize]).collect();
+            debug_assert!(new_key.iter().all(|&c| c != u32::MAX));
+            bytes += cost;
+            state.cache.insert(new_key, packed);
+        }
     }
 }
 
@@ -891,6 +991,83 @@ mod tests {
         assert_eq!(bm, fused);
         let empty = evaluate_slice_stats_bitmap(&bits, &e, &[], &exec);
         assert!(empty.0.is_empty() && empty.1.is_empty() && empty.2.is_empty());
+    }
+
+    #[test]
+    fn engine_coverage_and_compact_match_fresh_state() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let exec = ExecContext::serial();
+        let mut engine = EvalEngine::default();
+        // No bitmap state yet -> no coverage.
+        assert!(engine.coverage(&x, std::iter::empty(), &exec).is_none());
+        let l2 = vec![vec![0u32, 2], vec![0, 3]];
+        let lvl2 = evaluate_slices_with(
+            &x,
+            &e,
+            l2.clone(),
+            2,
+            &c,
+            EvalKernel::Bitmap,
+            &exec,
+            &mut engine,
+        );
+        assert_eq!(lvl2.sizes, vec![2.0, 2.0]);
+        // Coverage of both slices: rows {0, 3} ∪ {1, 5}.
+        let cov = engine
+            .coverage(&x, l2.iter().map(|s| s.as_slice()), &exec)
+            .unwrap();
+        assert_eq!(cov, vec![0b101011]);
+        // Compact to those four rows, keeping all columns.
+        let keep = cov.clone();
+        let xc = x
+            .select_rows_cols(&[0, 1, 3, 5], &[0, 1, 2, 3], &exec)
+            .unwrap();
+        let ec = vec![e[0], e[1], e[3], e[5]];
+        engine.compact((6, 4), &keep, 4, &[0, 1, 2, 3], &[0, 1, 2, 3], &exec);
+        // Level-3 children evaluated through the compacted engine agree
+        // with a throwaway engine on the compacted matrix, and the
+        // re-packed parents still serve cache hits.
+        let stats_exec = ExecContext::serial();
+        stats_exec.enable_stats(true);
+        stats_exec.begin_level(3);
+        let l3 = vec![vec![0u32, 2, 3]];
+        let got = evaluate_slices_with(
+            &xc,
+            &ec,
+            l3.clone(),
+            3,
+            &c,
+            EvalKernel::Bitmap,
+            &stats_exec,
+            &mut engine,
+        );
+        let expect = evaluate_slices(&xc, &ec, l3, 3, &c, EvalKernel::Fused, &exec);
+        assert_eq!(got.sizes, expect.sizes);
+        assert_eq!(got.errors, expect.errors);
+        assert_eq!(stats_exec.exec_stats().levels[0].cache_hits, 1);
+    }
+
+    #[test]
+    fn engine_compact_drops_stale_geometry() {
+        let (x, e) = fixture();
+        let c = ctx(&e);
+        let exec = ExecContext::serial();
+        let mut engine = EvalEngine::default();
+        let _ = evaluate_slices_with(
+            &x,
+            &e,
+            vec![vec![0u32, 2]],
+            2,
+            &c,
+            EvalKernel::Bitmap,
+            &exec,
+            &mut engine,
+        );
+        // Claimed old shape disagrees with the engine's state: the state
+        // must be dropped, not gathered into a mixed index space.
+        engine.compact((5, 4), &[0b1u64], 1, &[0], &[0], &exec);
+        assert!(engine.coverage(&x, std::iter::empty(), &exec).is_none());
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn find_slices_reference(
         enumeration: None,
         elapsed: lvl_start.elapsed(),
         threshold_after: topk.prune_threshold(),
+        ..Default::default()
     });
     // --- Level-wise enumeration. ---
     let max_level = config.max_level.min(prepared.m);
@@ -107,6 +108,7 @@ pub fn find_slices_reference(
                 enumeration: None,
                 elapsed: lvl_start.elapsed(),
                 threshold_after: topk.prune_threshold(),
+                ..Default::default()
             });
             break;
         }
@@ -196,6 +198,7 @@ pub fn find_slices_reference(
             enumeration: None,
             elapsed: lvl_start.elapsed(),
             threshold_after: topk.prune_threshold(),
+            ..Default::default()
         });
         let _ = num_dedup;
     }

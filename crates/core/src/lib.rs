@@ -62,6 +62,7 @@
 #![warn(clippy::all)]
 
 pub mod algorithm;
+pub mod compact;
 pub mod config;
 pub mod enumerate;
 pub mod error;
@@ -75,9 +76,11 @@ pub mod scoring;
 pub mod stats;
 pub mod topk;
 
-pub use algorithm::{emit_funnel, SliceInfo, SliceLine, SliceLineResult};
+pub use algorithm::{emit_funnel, record_compact, SliceInfo, SliceLine, SliceLineResult};
+pub use compact::{maybe_compact, CompactOutcome};
 pub use config::{
-    EnumKernel, EvalKernel, MinSupport, PruningConfig, SliceLineConfig, SliceLineConfigBuilder,
+    CompactKernel, EnumKernel, EvalKernel, MinSupport, PruningConfig, SliceLineConfig,
+    SliceLineConfigBuilder,
 };
 pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;

@@ -228,6 +228,7 @@ impl PrioritySliceLine {
             enumeration: None,
             elapsed: start.elapsed(),
             threshold_after: topk.prune_threshold(),
+            ..Default::default()
         });
         stats.total_elapsed = start.elapsed();
         let top_k = topk

@@ -26,6 +26,13 @@ pub struct LevelStats {
     /// Score-pruning threshold `max(sc_k, 0)` in effect *after* this
     /// level's top-K update.
     pub threshold_after: f64,
+    /// Working-set rows after this level's adaptive-compaction stage
+    /// (equal to the input row count when the stage did not gather).
+    /// Non-increasing level-over-level.
+    pub rows_retained: usize,
+    /// Working-set one-hot columns after this level's compaction stage.
+    /// Non-increasing level-over-level.
+    pub cols_retained: usize,
 }
 
 /// Statistics for a complete SliceLine run.
@@ -68,7 +75,7 @@ impl RunStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "level  candidates  valid      parents  pairs    deduped  pruned(sz/sc/par)  join(s)   dedup(s)  elapsed\n",
+            "level  candidates  valid      parents  pairs    deduped  pruned(sz/sc/par)  rows_ret  cols_ret  join(s)   dedup(s)  elapsed\n",
         );
         for l in &self.levels {
             let (parents, pairs, deduped, psz, psc, ppar, join, dedup) = match &l.enumeration {
@@ -85,7 +92,7 @@ impl RunStats {
                 None => (0, 0, 0, 0, 0, 0, Duration::ZERO, Duration::ZERO),
             };
             out.push_str(&format!(
-                "{:<6} {:<11} {:<10} {:<8} {:<8} {:<8} {:<18} {:<9.4} {:<9.4} {:.1?}\n",
+                "{:<6} {:<11} {:<10} {:<8} {:<8} {:<8} {:<18} {:<9} {:<9} {:<9.4} {:<9.4} {:.1?}\n",
                 l.level,
                 l.candidates,
                 l.valid,
@@ -93,6 +100,8 @@ impl RunStats {
                 pairs,
                 deduped,
                 format!("{psz}/{psc}/{ppar}"),
+                l.rows_retained,
+                l.cols_retained,
                 join.as_secs_f64(),
                 dedup.as_secs_f64(),
                 l.elapsed

@@ -99,6 +99,22 @@ impl TopK {
         &self.entries
     }
 
+    /// Renumbers every entry's column ids through `remap` (old projected
+    /// id → new projected id) after an input-compaction pass. The remap
+    /// must be defined (≠ `u32::MAX`) for every stored column and must be
+    /// monotone on them, so sorted column lists stay sorted and scores,
+    /// sizes and order are untouched.
+    pub fn remap_cols(&mut self, remap: &[u32]) {
+        for e in &mut self.entries {
+            for c in &mut e.cols {
+                let nc = remap[*c as usize];
+                debug_assert_ne!(nc, u32::MAX, "top-K column dropped by compaction");
+                *c = nc;
+            }
+            debug_assert!(e.cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
     /// `true` when `K` slices have been found.
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.k
@@ -194,6 +210,22 @@ mod tests {
         // Better one replaces the tail.
         tk.update(&level(vec![vec![3]], vec![4.5], vec![5.0]));
         assert_eq!(tk.entries()[1].cols, vec![3]);
+    }
+
+    #[test]
+    fn remap_cols_renumbers_in_place() {
+        let mut tk = TopK::new(3, 1);
+        tk.update(&level(
+            vec![vec![0, 4], vec![2]],
+            vec![2.0, 1.0],
+            vec![5.0, 5.0],
+        ));
+        // Keep columns {0, 2, 4} -> new ids {0, 1, 2}.
+        let remap = vec![0, u32::MAX, 1, u32::MAX, 2];
+        tk.remap_cols(&remap);
+        assert_eq!(tk.entries()[0].cols, vec![0, 2]);
+        assert_eq!(tk.entries()[1].cols, vec![1]);
+        assert_eq!(tk.entries()[0].score, 2.0);
     }
 
     #[test]

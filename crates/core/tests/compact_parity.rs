@@ -1,0 +1,236 @@
+//! Property tests for adaptive-compaction parity: a run with input
+//! compaction `On` or `Auto` must be **bit-for-bit** identical to the
+//! same run with compaction `Off` — same top-K (predicates, scores,
+//! sizes, errors as exact floats) and same per-level enumeration
+//! counters — across all three evaluation kernels and both enumeration
+//! engines, over random datasets, supports, and level caps.
+//!
+//! Strict parity runs single-threaded: the gather changes `n`, and with
+//! it the chunking of data-parallel reductions, so multi-threaded float
+//! sums could differ in the last ulp for reasons unrelated to
+//! compaction. Single-threaded, every kernel accumulates per-slice
+//! errors in ascending row order, and the order-preserving gather of
+//! rows that belong to no surviving slice leaves each accumulation
+//! sequence — hence every bit of every statistic — unchanged.
+//!
+//! Each property also has a deterministic seeded instance that runs
+//! under plain `cargo test` even where the proptest runner is
+//! unavailable.
+
+use proptest::prelude::*;
+use sliceline::config::{CompactKernel, EnumKernel, EvalKernel};
+use sliceline::{SliceLine, SliceLineConfig, SliceLineResult};
+use sliceline_frame::IntMatrix;
+
+/// SplitMix64 — deterministic, dependency-free RNG for the seeded
+/// instances (proptest strategies only feed the property a seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Random dataset: 3–5 features with domains 2–4, with a cold tail —
+/// a block of rows confined to reserved per-feature codes and given
+/// zero error, so their basic slices die at projection and the
+/// surviving-candidate coverage genuinely shrinks (the gather must
+/// fire, not just be reachable). Errors are full-precision randoms:
+/// ties between distinct slices have measure zero, so top-K order is
+/// unambiguous and bit-comparison is meaningful.
+fn random_dataset(rng: &mut Rng) -> (IntMatrix, Vec<f64>) {
+    let n = 48 + rng.below(120);
+    let m = 3 + rng.below(3);
+    let domains: Vec<u32> = (0..m).map(|_| 2 + rng.below(3) as u32).collect();
+    let cold_from = n - n / (2 + rng.below(3)); // last third-to-half cold
+    let mut rows = Vec::with_capacity(n);
+    let mut errors = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < cold_from {
+            rows.push(
+                domains
+                    .iter()
+                    .map(|&d| 1 + rng.below(d as usize) as u32)
+                    .collect::<Vec<u32>>(),
+            );
+            // Mostly positive errors, some exact zeros inside the hot
+            // block too, so eligibility filtering has work everywhere.
+            errors.push(if rng.below(6) == 0 { 0.0 } else { rng.f64() });
+        } else {
+            // Reserved code (domain + 1) in every feature: no hot slice
+            // covers these rows and their own slices carry zero error.
+            rows.push(domains.iter().map(|&d| d + 1).collect::<Vec<u32>>());
+            errors.push(0.0);
+        }
+    }
+    (IntMatrix::from_rows(&rows).unwrap(), errors)
+}
+
+fn config(
+    rng: &mut Rng,
+    eval: EvalKernel,
+    enum_kernel: EnumKernel,
+    compact: CompactKernel,
+    max_level: usize,
+) -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(2 + rng.below(3))
+        .min_support(2 + rng.below(5))
+        .alpha(0.95)
+        .eval(eval)
+        .enum_kernel(enum_kernel)
+        .max_level(max_level)
+        .threads(1)
+        .compact(compact)
+        // Any retained fraction below 1 triggers the gather: the
+        // maximally aggressive setting, so parity is stressed on every
+        // level that drops anything at all.
+        .compact_below(1.0)
+        .build()
+        .unwrap()
+}
+
+/// Bit-for-bit comparison of two runs: top-K and per-level counters.
+/// `rows_retained`/`cols_retained` are intentionally excluded — they
+/// describe the working set, which is exactly what compaction changes.
+fn assert_runs_identical(base: &SliceLineResult, other: &SliceLineResult, what: &str) {
+    assert_eq!(base.top_k, other.top_k, "{what}: top-K diverged");
+    assert_eq!(
+        base.stats.levels.len(),
+        other.stats.levels.len(),
+        "{what}: level count diverged"
+    );
+    for (a, b) in base.stats.levels.iter().zip(&other.stats.levels) {
+        assert_eq!(a.level, b.level, "{what}");
+        assert_eq!(a.candidates, b.candidates, "{what} level {}", a.level);
+        assert_eq!(a.valid, b.valid, "{what} level {}", a.level);
+        assert_eq!(
+            a.threshold_after, b.threshold_after,
+            "{what} level {}",
+            a.level
+        );
+        match (&a.enumeration, &b.enumeration) {
+            (None, None) => {}
+            (Some(ea), Some(eb)) => assert!(
+                ea.same_counters(eb),
+                "{what} level {}: counters diverged\noff {ea:?}\non  {eb:?}",
+                a.level
+            ),
+            _ => panic!("{what} level {}: enumeration presence diverged", a.level),
+        }
+    }
+}
+
+/// Retained dims must be non-increasing level-over-level (children can
+/// only shrink coverage; columns are only ever dropped).
+fn assert_retained_monotone(r: &SliceLineResult, what: &str) {
+    for w in r.stats.levels.windows(2) {
+        assert!(
+            w[1].rows_retained <= w[0].rows_retained,
+            "{what}: rows_retained grew: {:?}",
+            r.stats.levels
+        );
+        assert!(
+            w[1].cols_retained <= w[0].cols_retained,
+            "{what}: cols_retained grew: {:?}",
+            r.stats.levels
+        );
+    }
+}
+
+/// The parity property for one seed: off ≡ on ≡ auto for every
+/// (eval kernel × enum engine × level cap) cell.
+fn check_parity(seed: u64) {
+    let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(17));
+    let (x0, errors) = random_dataset(&mut rng);
+    let max_level = 2 + rng.below(3); // levels 2–4
+    let evals = [
+        EvalKernel::Blocked { block_size: 16 },
+        EvalKernel::Fused,
+        EvalKernel::Bitmap,
+    ];
+    let enums = [EnumKernel::Serial, EnumKernel::Sharded { shards: 2 }];
+    for eval in evals {
+        for enum_kernel in enums {
+            // Same derived config params for all three policies: clone
+            // the Off config and switch only the policy.
+            let mut cfg_rng = Rng(rng.0);
+            let off_cfg = config(
+                &mut cfg_rng,
+                eval,
+                enum_kernel,
+                CompactKernel::Off,
+                max_level,
+            );
+            let mut on_cfg = off_cfg.clone();
+            on_cfg.compact = CompactKernel::On;
+            let mut auto_cfg = off_cfg.clone();
+            auto_cfg.compact = CompactKernel::Auto { min_rows: 1 };
+            let off = SliceLine::new(off_cfg).find_slices(&x0, &errors).unwrap();
+            let on = SliceLine::new(on_cfg).find_slices(&x0, &errors).unwrap();
+            let auto = SliceLine::new(auto_cfg).find_slices(&x0, &errors).unwrap();
+            let what = format!("seed {seed} eval {eval:?} enum {enum_kernel:?}");
+            assert_runs_identical(&off, &on, &format!("{what} on"));
+            assert_runs_identical(&off, &auto, &format!("{what} auto"));
+            assert_retained_monotone(&on, &what);
+            assert_retained_monotone(&auto, &what);
+        }
+    }
+}
+
+/// The cold tail must actually make the gather fire somewhere (else the
+/// property above would pass vacuously on datasets that never compact).
+fn check_gather_fires(seed: u64) -> bool {
+    let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(17));
+    let (x0, errors) = random_dataset(&mut rng);
+    let mut cfg_rng = Rng(rng.0);
+    let cfg = config(
+        &mut cfg_rng,
+        EvalKernel::Fused,
+        EnumKernel::Serial,
+        CompactKernel::On,
+        3,
+    );
+    let r = SliceLine::new(cfg).find_slices(&x0, &errors).unwrap();
+    r.stats
+        .levels
+        .iter()
+        .any(|l| l.rows_retained < r.stats.n && l.rows_retained > 0)
+}
+
+#[test]
+fn compact_off_on_auto_agree_seeded() {
+    for seed in 0..12u64 {
+        check_parity(seed);
+    }
+}
+
+#[test]
+fn gather_fires_on_cold_tail_datasets() {
+    let fired = (0..12u64).filter(|&s| check_gather_fires(s)).count();
+    assert!(fired >= 6, "gather fired on only {fired}/12 seeds");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Off ≡ on ≡ auto over random datasets, kernels, engines, and
+    /// level caps (bit-for-bit top-K and counter parity).
+    #[test]
+    fn compact_off_on_auto_agree(seed in 0u64..10_000) {
+        check_parity(seed);
+    }
+}

@@ -8,9 +8,10 @@
 //! but slice evaluation local).
 
 use crate::cluster::{ClusterConfig, SimulatedCluster};
+use sliceline::compact::maybe_compact;
 use sliceline::config::{EvalKernel, SliceLineConfig};
 use sliceline::enumerate::get_pair_candidates;
-use sliceline::evaluate::evaluate_slices;
+use sliceline::evaluate::{evaluate_slices, EvalEngine};
 use sliceline::init::{create_and_score_basic_slices, LevelState};
 use sliceline::prepare::prepare;
 use sliceline::stats::{LevelStats, RunStats};
@@ -174,7 +175,7 @@ impl DistSliceLine {
         let start = Instant::now();
         exec.reset_stats();
         let mut run_span = exec.tracer().span("find_slices", "core");
-        let prepared = prepare(x0, errors, &self.config, exec)?;
+        let mut prepared = prepare(x0, errors, &self.config, exec)?;
         exec.add_prepare(start.elapsed());
         run_span.add_arg("n", prepared.n());
         run_span.add_arg("m", prepared.m);
@@ -189,7 +190,7 @@ impl DistSliceLine {
         exec.begin_level(1);
         let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
         let lvl_start = Instant::now();
-        let (proj, mut level) = exec.time_stage(Stage::Evaluate, || {
+        let (mut proj, mut level) = exec.time_stage(Stage::Evaluate, || {
             create_and_score_basic_slices(&prepared, exec)
         });
         exec.record_level(|p| {
@@ -197,9 +198,33 @@ impl DistSliceLine {
             p.evaluated += prepared.l() as u64;
         });
         stats.basic_slices = level.len();
+        let max_level = self.config.max_level.min(prepared.m);
+        // Driver-side compaction state. The strategy paths evaluate
+        // through the blocked/partitioned kernels, so the engine never
+        // holds packed bitmaps and coverage falls back to the CSR pass;
+        // the simulated cluster repartitions the (compacted) matrix at
+        // each broadcast, so partitions and the skew gauge follow along.
+        let mut engine = EvalEngine::default();
         let mut topk = TopK::new(self.config.k, prepared.sigma);
         let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
         exec.record_level(|p| p.topk_entered += entered as u64);
+        let outcome = exec.time_stage(Stage::Compact, || {
+            maybe_compact(
+                self.config.compact_policy_at(1, max_level),
+                self.config.compact_below,
+                &self.config.pruning,
+                &mut proj,
+                &mut prepared.errors,
+                &mut level,
+                &mut topk,
+                &mut engine,
+                &prepared.ctx,
+                prepared.sigma,
+                1,
+                exec,
+            )
+        });
+        sliceline::record_compact(exec, &outcome);
         sliceline::emit_funnel(
             exec,
             &LevelProfile {
@@ -207,6 +232,8 @@ impl DistSliceLine {
                 candidates: prepared.l() as u64,
                 evaluated: prepared.l() as u64,
                 topk_entered: entered as u64,
+                rows_retained: outcome.rows_retained as u64,
+                cols_retained: outcome.cols_retained as u64,
                 ..Default::default()
             },
         );
@@ -217,9 +244,10 @@ impl DistSliceLine {
             enumeration: None,
             elapsed: lvl_start.elapsed(),
             threshold_after: topk.prune_threshold(),
+            rows_retained: outcome.rows_retained,
+            cols_retained: outcome.cols_retained,
         });
         drop(level_span);
-        let max_level = self.config.max_level.min(prepared.m);
         let mut l = 1usize;
         while !level.is_empty() && l < max_level {
             l += 1;
@@ -254,6 +282,23 @@ impl DistSliceLine {
             });
             let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
             exec.record_level(|p| p.topk_entered += entered as u64);
+            let outcome = exec.time_stage(Stage::Compact, || {
+                maybe_compact(
+                    self.config.compact_policy_at(l, max_level),
+                    self.config.compact_below,
+                    &self.config.pruning,
+                    &mut proj,
+                    &mut prepared.errors,
+                    &mut level,
+                    &mut topk,
+                    &mut engine,
+                    &prepared.ctx,
+                    prepared.sigma,
+                    l,
+                    exec,
+                )
+            });
+            sliceline::record_compact(exec, &outcome);
             sliceline::emit_funnel(
                 exec,
                 &LevelProfile {
@@ -266,6 +311,8 @@ impl DistSliceLine {
                     pruned_parents: enum_stats.pruned_parents as u64,
                     evaluated: evaluated as u64,
                     topk_entered: entered as u64,
+                    rows_retained: outcome.rows_retained as u64,
+                    cols_retained: outcome.cols_retained as u64,
                     ..Default::default()
                 },
             );
@@ -278,6 +325,8 @@ impl DistSliceLine {
                 enumeration: Some(enum_stats),
                 elapsed: lvl_start.elapsed(),
                 threshold_after: topk.prune_threshold(),
+                rows_retained: outcome.rows_retained,
+                cols_retained: outcome.cols_retained,
             });
             drop(level_span);
         }

@@ -1,0 +1,140 @@
+//! Compaction parity through the distributed driver: `--compact`-style
+//! policies must not change what [`DistSliceLine`] finds.
+//!
+//! On a single node the partition is the whole (order-preserved) matrix,
+//! so compaction-off and compaction-on accumulate identical float
+//! sequences and the comparison is bit-for-bit. On multiple nodes the
+//! gather moves partition boundaries, which re-associates per-node error
+//! partial sums (documented in `cluster.rs`), so there the structural
+//! results (predicates, ranks, sizes, max errors) must match exactly and
+//! scores/errors up to 1e-9 — the same contract the cluster's own
+//! single-vs-multi-node test enforces.
+
+use sliceline::config::{CompactKernel, SliceLineConfig};
+use sliceline::SliceLineResult;
+use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
+use sliceline_frame::IntMatrix;
+use std::time::Duration;
+
+/// Planted dataset with a cold tail: rows past `hot` sit on reserved
+/// codes with zero error, so level-1 coverage already drops below any
+/// threshold and the gather fires on every multi-level run.
+fn dataset() -> (IntMatrix, Vec<f64>) {
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    let n = 96usize;
+    let hot = 56usize;
+    for i in 0..n {
+        if i < hot {
+            let f0 = 1 + (i % 2) as u32;
+            let f1 = 1 + ((i / 2) % 2) as u32;
+            let f2 = 1 + ((i / 4) % 3) as u32;
+            rows.push(vec![f0, f1, f2]);
+            // Full-precision, slice-correlated errors: no ties, and the
+            // planted (f0=1, f1=2) slice dominates.
+            let base = if f0 == 1 && f1 == 2 { 0.9 } else { 0.04 };
+            errors.push(base + (i as f64) * 1e-4);
+        } else {
+            rows.push(vec![3, 3, 4]);
+            errors.push(0.0);
+        }
+    }
+    (IntMatrix::from_rows(&rows).unwrap(), errors)
+}
+
+fn fast_cluster(nodes: usize, threads_per_node: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        threads_per_node,
+        broadcast_latency: Duration::ZERO,
+        broadcast_per_nnz: Duration::ZERO,
+        aggregate_latency: Duration::ZERO,
+        bitmap_kernel: false,
+    }
+}
+
+fn config(compact: CompactKernel) -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(4)
+        .min_support(2)
+        .alpha(0.95)
+        .threads(1)
+        .compact(compact)
+        .compact_below(1.0)
+        .build()
+        .unwrap()
+}
+
+fn run(strategy: Strategy, compact: CompactKernel) -> SliceLineResult {
+    let (x0, e) = dataset();
+    DistSliceLine::new(config(compact), strategy)
+        .find_slices(&x0, &e)
+        .unwrap()
+}
+
+fn assert_counters_identical(off: &SliceLineResult, on: &SliceLineResult, what: &str) {
+    assert_eq!(off.stats.levels.len(), on.stats.levels.len(), "{what}");
+    for (a, b) in off.stats.levels.iter().zip(&on.stats.levels) {
+        assert_eq!(a.candidates, b.candidates, "{what} level {}", a.level);
+        assert_eq!(a.valid, b.valid, "{what} level {}", a.level);
+        match (&a.enumeration, &b.enumeration) {
+            (None, None) => {}
+            (Some(ea), Some(eb)) => assert!(
+                ea.same_counters(eb),
+                "{what} level {}: {ea:?} vs {eb:?}",
+                a.level
+            ),
+            _ => panic!("{what} level {}: enumeration presence diverged", a.level),
+        }
+    }
+}
+
+#[test]
+fn single_node_dist_is_bit_for_bit_identical() {
+    for strategy in [
+        Strategy::DistParfor(fast_cluster(1, 1)),
+        Strategy::MtOps {
+            threads: 1,
+            block_size: 16,
+        },
+        Strategy::MtParfor {
+            threads: 1,
+            block_size: 16,
+        },
+    ] {
+        let off = run(strategy, CompactKernel::Off);
+        for policy in [CompactKernel::On, CompactKernel::Auto { min_rows: 1 }] {
+            let on = run(strategy, policy);
+            assert_eq!(off.top_k, on.top_k, "{strategy:?} {policy:?}");
+            assert_counters_identical(&off, &on, &format!("{strategy:?} {policy:?}"));
+        }
+        // The gather actually fired: the cold tail leaves the working
+        // set at level 1.
+        let on = run(strategy, CompactKernel::On);
+        assert!(
+            on.stats.levels[0].rows_retained < on.stats.n,
+            "{strategy:?}: compaction never fired: {:?}",
+            on.stats.levels
+        );
+    }
+}
+
+#[test]
+fn multi_node_dist_matches_structurally() {
+    for nodes in [2usize, 3, 5] {
+        let strategy = Strategy::DistParfor(fast_cluster(nodes, 2));
+        let off = run(strategy, CompactKernel::Off);
+        let on = run(strategy, CompactKernel::On);
+        assert_eq!(off.top_k.len(), on.top_k.len(), "{nodes} nodes");
+        for (a, b) in off.top_k.iter().zip(&on.top_k) {
+            assert_eq!(a.predicates, b.predicates, "{nodes} nodes");
+            assert_eq!(a.size, b.size, "{nodes} nodes");
+            assert_eq!(a.max_error, b.max_error, "{nodes} nodes");
+            assert!(
+                (a.score - b.score).abs() < 1e-9 && (a.error - b.error).abs() < 1e-9,
+                "{nodes} nodes: score/error drifted beyond association noise"
+            );
+        }
+        assert_counters_identical(&off, &on, &format!("{nodes} nodes"));
+    }
+}

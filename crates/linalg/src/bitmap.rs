@@ -25,6 +25,7 @@
 
 use crate::context::ExecContext;
 use crate::csr::CsrMatrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bits per storage word.
 pub const WORD_BITS: usize = 64;
@@ -133,6 +134,173 @@ impl BitMatrix {
             }
         });
     }
+
+    /// Repacks the matrix into the compacted index space described by a
+    /// row-coverage bitmap and a retained-column list: column `cols[j]` of
+    /// the result is `self`'s column restricted to the rows whose bit is
+    /// set in `keep`, renumbered densely in ascending row order
+    /// (`removeEmpty` on both margins). `kept_rows` must equal
+    /// `popcount(keep)`. The new word buffer is checked out of `exec`'s
+    /// pool; recycle the old matrix with [`BitMatrix::recycle`].
+    pub fn gather_rows(
+        &self,
+        keep: &[u64],
+        kept_rows: usize,
+        cols: &[usize],
+        exec: &ExecContext,
+    ) -> BitMatrix {
+        debug_assert_eq!(keep.len(), self.words_per_col);
+        debug_assert_eq!(popcount(keep), kept_rows as u64);
+        let new_wpc = kept_rows.div_ceil(WORD_BITS).max(1);
+        let mut words = exec.take_u64(new_wpc * cols.len());
+        let bits = self;
+        exec.parallel()
+            .run_on_chunks(&mut words, new_wpc, |col0, chunk| {
+                for (j, out) in chunk.chunks_mut(new_wpc).enumerate() {
+                    gather_bits(bits.col(cols[col0 + j]), keep, out);
+                }
+            });
+        BitMatrix {
+            rows: kept_rows,
+            cols: cols.len(),
+            words_per_col: new_wpc,
+            words,
+        }
+    }
+
+    /// Returns the word buffer to the context's pool. Use after replacing
+    /// a matrix with its [`BitMatrix::gather_rows`] repack so the next
+    /// pack or gather starts from recycled capacity.
+    pub fn recycle(self, exec: &ExecContext) {
+        exec.put_u64(self.words);
+    }
+}
+
+/// Extracts the bits of `src` at the positions set in `keep` and packs
+/// them densely into `out` (ascending position order — the bit-level
+/// analog of a `removeEmpty` row gather). `out` must be zeroed and hold at
+/// least `ceil(popcount(keep) / 64)` words.
+pub fn gather_bits(src: &[u64], keep: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(src.len(), keep.len());
+    let mut filled = 0usize;
+    for (wi, &mask) in keep.iter().enumerate() {
+        if mask == 0 {
+            continue;
+        }
+        let s = src[wi];
+        let mut m = mask;
+        while m != 0 {
+            let b = m.trailing_zeros();
+            if (s >> b) & 1 == 1 {
+                out[filled / WORD_BITS] |= 1u64 << (filled % WORD_BITS);
+            }
+            filled += 1;
+            m &= m - 1;
+        }
+    }
+}
+
+/// Row-coverage union over a set of slices against a CSR one-hot matrix:
+/// bit `r` of the result is set iff row `r` matches **some** slice (all
+/// `level` of its columns present). This is the blocked/fused path's
+/// coverage kernel — the same inverted-index scan as the fused evaluator,
+/// reduced to a bitmap instead of per-slice statistics, so its bit set is
+/// exactly the union of the per-slice row sets the bitmap path ORs
+/// together. Parallel over word-aligned row chunks (each worker owns a
+/// disjoint word range of the pooled output buffer).
+pub fn csr_coverage<R: AsRef<[u32]> + Sync>(
+    x: &CsrMatrix,
+    slices: &[R],
+    level: usize,
+    exec: &ExecContext,
+) -> Vec<u64> {
+    csr_coverage_bounded(x, slices, level, usize::MAX, exec)
+        .expect("an unreachable bound never aborts the scan")
+}
+
+/// [`csr_coverage`] with an early exit: returns `None` as soon as the
+/// union provably holds at least `stop_at` rows. Callers that only need
+/// coverage when it falls *below* a threshold (the adaptive-compaction
+/// trigger) pass that threshold as `stop_at` and skip most of the scan
+/// on levels where the working set cannot shrink — the covered-row count
+/// only ever grows as the scan proceeds, so an early `>= stop_at` bound
+/// is exact evidence, never an estimate. On `None` the partially filled
+/// buffer is returned to the pool.
+pub fn csr_coverage_bounded<R: AsRef<[u32]> + Sync>(
+    x: &CsrMatrix,
+    slices: &[R],
+    level: usize,
+    stop_at: usize,
+    exec: &ExecContext,
+) -> Option<Vec<u64>> {
+    let rows = x.rows();
+    let wpc = rows.div_ceil(WORD_BITS).max(1);
+    let mut cov = exec.take_u64(wpc);
+    if slices.is_empty() || rows == 0 {
+        return Some(cov);
+    }
+    // Inverted index: projected column -> slice ids containing it.
+    let mut inv: Vec<Vec<u32>> = vec![Vec::new(); x.cols()];
+    for (sid, cols) in slices.iter().enumerate() {
+        for &c in cols.as_ref() {
+            inv[c as usize].push(sid as u32);
+        }
+    }
+    let inv = &inv;
+    let target = level as u32;
+    let k = slices.len();
+    // Covered rows found so far across all workers; checked once per
+    // output word (64 rows), so the atomic traffic is negligible.
+    let found = AtomicUsize::new(0);
+    let found = &found;
+    exec.parallel().run_on_chunks(&mut cov, 1, |word0, chunk| {
+        let lo = word0 * WORD_BITS;
+        let hi = ((word0 + chunk.len()) * WORD_BITS).min(rows);
+        let mut counts = exec.take_u32(k);
+        let mut touched = exec.take_u32(0);
+        let mut local = 0usize;
+        for r in lo..hi {
+            if r % WORD_BITS == 0 {
+                if local != 0 {
+                    found.fetch_add(local, Ordering::Relaxed);
+                    local = 0;
+                }
+                if found.load(Ordering::Relaxed) >= stop_at {
+                    break;
+                }
+            }
+            let mut covered = false;
+            for &c in x.row_cols(r) {
+                for &sid in &inv[c as usize] {
+                    if counts[sid as usize] == 0 {
+                        touched.push(sid);
+                    }
+                    counts[sid as usize] += 1;
+                }
+            }
+            for &sid in &touched {
+                if counts[sid as usize] == target {
+                    covered = true;
+                }
+                counts[sid as usize] = 0;
+            }
+            touched.clear();
+            if covered {
+                chunk[(r - lo) / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+                local += 1;
+            }
+        }
+        if local != 0 {
+            found.fetch_add(local, Ordering::Relaxed);
+        }
+        exec.put_u32(counts);
+        exec.put_u32(touched);
+    });
+    if found.load(Ordering::Relaxed) >= stop_at {
+        exec.put_u64(cov);
+        return None;
+    }
+    Some(cov)
 }
 
 /// Zeroes all bits at positions `>= rows` (call after filling with ones).
@@ -169,8 +337,32 @@ pub fn and2_into(dst: &mut Vec<u64>, a: &[u64], b: &[u64]) {
 }
 
 /// Total set bits (the slice size `|S|`).
+///
+/// Four independent accumulators break the single add-chain dependency so
+/// the popcounts of consecutive words retire in parallel (ILP); integer
+/// addition is associative, so the result is identical to a plain sum.
 pub fn popcount(words: &[u64]) -> u64 {
-    words.iter().map(|w| w.count_ones() as u64).sum()
+    let mut lanes = [0u64; 4];
+    let mut chunks = words.chunks_exact(4);
+    for quad in &mut chunks {
+        lanes[0] += quad[0].count_ones() as u64;
+        lanes[1] += quad[1].count_ones() as u64;
+        lanes[2] += quad[2].count_ones() as u64;
+        lanes[3] += quad[3].count_ones() as u64;
+    }
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &w in chunks.remainder() {
+        total += w.count_ones() as u64;
+    }
+    total
+}
+
+/// In-place word-wise `acc |= src` — the coverage union reduce.
+pub fn or_into(acc: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a |= s;
+    }
 }
 
 /// Masked error aggregation: `(|S|, se, sm)` — set-bit count, sum and max
@@ -186,14 +378,18 @@ pub fn masked_stats(words: &[u64], errors: &[f64]) -> (f64, f64, f64) {
 /// [`masked_stats`] for a word sub-range whose first word covers row
 /// `base_row` (`base_row` must be a multiple of 64).
 fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, f64, f64) {
-    let mut size = 0u64;
+    // Four integer size lanes (associative, so lane order is irrelevant)
+    // keep the popcount chain pipelined; the float accumulation below
+    // stays a single sequential chain in ascending row order — that order
+    // is the bit-for-bit contract with the other kernels.
+    let mut size = [0u64; 4];
     let mut se = 0.0f64;
     let mut sm = 0.0f64;
     for (wi, &word) in words.iter().enumerate() {
         if word == 0 {
             continue;
         }
-        size += word.count_ones() as u64;
+        size[wi & 3] += word.count_ones() as u64;
         let row0 = base_row + wi * WORD_BITS;
         let mut w = word;
         while w != 0 {
@@ -205,6 +401,7 @@ fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, 
             w &= w - 1;
         }
     }
+    let size = (size[0] + size[1]) + (size[2] + size[3]);
     (size as f64, se, sm)
 }
 
@@ -216,7 +413,9 @@ fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, 
 /// matches [`masked_stats`] exactly.
 pub fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64) {
     debug_assert_eq!(a.len(), b.len());
-    let mut size = 0u64;
+    // Same lane split as `masked_stats_offset`: integer size in four
+    // associative lanes, float sum strictly in ascending row order.
+    let mut size = [0u64; 4];
     let mut se = 0.0f64;
     let mut sm = 0.0f64;
     for (wi, (&wa, &wb)) in a.iter().zip(b.iter()).enumerate() {
@@ -224,7 +423,7 @@ pub fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64
         if word == 0 {
             continue;
         }
-        size += word.count_ones() as u64;
+        size[wi & 3] += word.count_ones() as u64;
         let row0 = wi * WORD_BITS;
         let mut w = word;
         while w != 0 {
@@ -236,6 +435,7 @@ pub fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64
             w &= w - 1;
         }
     }
+    let size = (size[0] + size[1]) + (size[2] + size[3]);
     (size as f64, se, sm)
 }
 
@@ -380,6 +580,124 @@ mod tests {
             assert_eq!(par, serial, "{threads} threads");
             assert_eq!(masked_stats_parallel(&serial, &errors, &exec), expect);
         }
+    }
+
+    #[test]
+    fn popcount_unrolled_matches_plain_sum() {
+        // Lengths around the 4-word unroll boundary, including the tail.
+        for len in [0usize, 1, 3, 4, 5, 8, 130] {
+            let words: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E3779B9))
+                .collect();
+            let plain: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+            assert_eq!(popcount(&words), plain, "len={len}");
+        }
+    }
+
+    #[test]
+    fn or_into_unions() {
+        let mut acc = vec![0b1010u64, 0];
+        or_into(&mut acc, &[0b0110, 1 << 63]);
+        assert_eq!(acc, vec![0b1110, 1 << 63]);
+    }
+
+    #[test]
+    fn gather_bits_packs_kept_positions() {
+        // keep rows {1, 2, 65, 66, 130}; src has bits at {1, 65, 130}.
+        let keep = vec![0b110u64, 0b110, 0b100];
+        let src = vec![0b010u64, 0b010, 0b100];
+        let mut out = vec![0u64; 1];
+        gather_bits(&src, &keep, &mut out);
+        // Kept positions in order: 1,2,65,66,130 -> new rows 0..5; src set
+        // at kept positions 1, 65, 130 -> new rows 0, 2, 4.
+        assert_eq!(out, vec![0b10101]);
+    }
+
+    #[test]
+    fn gather_rows_matches_row_subset_repack() {
+        let rows: Vec<Vec<u32>> = (0..150)
+            .map(|i| vec![(i % 3) as u32, 3 + (i % 2) as u32])
+            .collect();
+        let x = binary(&rows, 5);
+        let b = BitMatrix::from_csr(&x);
+        // Keep every row divisible by 4; retain columns {0, 2, 4}.
+        let kept_rows: Vec<usize> = (0..150).step_by(4).collect();
+        let mut keep = vec![0u64; b.words_per_col()];
+        for &r in &kept_rows {
+            keep[r / 64] |= 1 << (r % 64);
+        }
+        let exec = ExecContext::serial();
+        let g = b.gather_rows(&keep, kept_rows.len(), &[0, 2, 4], &exec);
+        assert_eq!(g.rows(), kept_rows.len());
+        assert_eq!(g.cols(), 3);
+        let direct = BitMatrix::from_csr(
+            &x.select_rows(&kept_rows)
+                .unwrap()
+                .select_cols(&[0, 2, 4])
+                .unwrap(),
+        );
+        for c in 0..3 {
+            assert_eq!(g.col(c), direct.col(c), "col {c}");
+        }
+        // Parallel gather produces the same packing.
+        let par = b.gather_rows(&keep, kept_rows.len(), &[0, 2, 4], &ExecContext::new(4));
+        for c in 0..3 {
+            assert_eq!(par.col(c), g.col(c));
+        }
+        g.recycle(&exec);
+        assert!(exec.pool_stats().bytes_outstanding < 8 * 64);
+    }
+
+    #[test]
+    fn csr_coverage_matches_per_slice_union() {
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|i| vec![(i % 4) as u32, 4 + (i % 3) as u32])
+            .collect();
+        let x = binary(&rows, 7);
+        let b = BitMatrix::from_csr(&x);
+        let slices = vec![vec![0u32, 4], vec![1, 5], vec![2, 6]];
+        let mut expect = vec![0u64; b.words_per_col()];
+        let mut buf = Vec::new();
+        for s in &slices {
+            b.and_cols_into(s, &mut buf);
+            or_into(&mut expect, &buf);
+        }
+        for threads in [1, 2, 4] {
+            let exec = ExecContext::new(threads);
+            let cov = csr_coverage(&x, &slices, 2, &exec);
+            assert_eq!(cov, expect, "{threads} threads");
+        }
+        // Empty slice set covers nothing.
+        let none = csr_coverage(&x, &Vec::<Vec<u32>>::new(), 2, &ExecContext::serial());
+        assert_eq!(popcount(&none), 0);
+    }
+
+    #[test]
+    fn bounded_coverage_aborts_at_the_stop_count() {
+        let rows: Vec<Vec<u32>> = (0..300)
+            .map(|i| vec![(i % 4) as u32, 4 + (i % 3) as u32])
+            .collect();
+        let x = binary(&rows, 7);
+        let slices = vec![vec![0u32, 4], vec![1, 5], vec![2, 6]];
+        let full = csr_coverage(&x, &slices, 2, &ExecContext::serial());
+        let union = popcount(&full) as usize;
+        assert!(union > 0 && union < 300);
+        for threads in [1, 4] {
+            let exec = ExecContext::new(threads);
+            // Bound above the union: the full bitmap comes back.
+            let cov = csr_coverage_bounded(&x, &slices, 2, union + 1, &exec)
+                .expect("bound above the union must not abort");
+            assert_eq!(cov, full, "{threads} threads");
+            // Bound at or below the union: the scan must abort.
+            for stop_at in [union, union / 2, 1] {
+                assert!(
+                    csr_coverage_bounded(&x, &slices, 2, stop_at, &exec).is_none(),
+                    "{threads} threads, stop_at {stop_at}"
+                );
+            }
+        }
+        // stop_at 0 aborts immediately even with nothing covered.
+        assert!(csr_coverage_bounded(&x, &slices, 2, 0, &ExecContext::serial()).is_none());
     }
 
     #[test]

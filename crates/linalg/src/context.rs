@@ -60,6 +60,8 @@ pub enum Stage {
     Evaluate,
     /// Top-K maintenance.
     TopK,
+    /// Adaptive input compaction (coverage + gather), run after top-K.
+    Compact,
 }
 
 impl Stage {
@@ -69,6 +71,7 @@ impl Stage {
             Stage::Enumerate => "enumerate",
             Stage::Evaluate => "evaluate",
             Stage::TopK => "topk",
+            Stage::Compact => "compact",
         }
     }
 }
@@ -103,6 +106,13 @@ pub struct LevelProfile {
     /// Max/mean per-node wall time of this level's distributed
     /// evaluation; 0 for non-distributed runs, 1.0 = perfectly balanced.
     pub partition_skew: f64,
+    /// Working-set rows after this level's compaction stage (equal to the
+    /// input row count when compaction did not fire); 0 when the stage
+    /// never ran. Non-increasing level-over-level by construction.
+    pub rows_retained: u64,
+    /// Working-set one-hot columns after this level's compaction stage;
+    /// 0 when the stage never ran. Non-increasing level-over-level.
+    pub cols_retained: u64,
     /// Eval kernel that ran (`"blocked"` / `"fused"` / `"bitmap"`), if any.
     pub kernel: Option<&'static str>,
     /// Enumeration kernel that ran (`"serial"` / `"sharded"`), if any.
@@ -119,6 +129,8 @@ pub struct LevelProfile {
     pub evaluate: Duration,
     /// Wall time in top-K maintenance.
     pub topk: Duration,
+    /// Wall time in the adaptive compaction stage (coverage + gather).
+    pub compact: Duration,
 }
 
 impl LevelProfile {
@@ -165,6 +177,15 @@ impl MergeDelta for LevelProfile {
         if other.partition_skew > self.partition_skew {
             self.partition_skew = other.partition_skew;
         }
+        // Retained dimensions are gauges (one writer per level in the
+        // local path; max partition dimensions in the dist path), so a
+        // merge takes the max rather than summing.
+        if other.rows_retained > self.rows_retained {
+            self.rows_retained = other.rows_retained;
+        }
+        if other.cols_retained > self.cols_retained {
+            self.cols_retained = other.cols_retained;
+        }
         if other.kernel.is_some() {
             self.kernel = other.kernel;
         }
@@ -176,6 +197,7 @@ impl MergeDelta for LevelProfile {
         self.dedup += other.dedup;
         self.evaluate += other.evaluate;
         self.topk += other.topk;
+        self.compact += other.compact;
     }
 }
 
@@ -253,7 +275,7 @@ impl ExecStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
             "level",
             "pairs",
             "cands",
@@ -266,6 +288,8 @@ impl ExecStats {
             "partials",
             "bmhits",
             "skew",
+            "rows_ret",
+            "cols_ret",
             "kernel",
             "ekernel",
             "enum(s)",
@@ -273,10 +297,11 @@ impl ExecStats {
             "dedup(s)",
             "eval(s)",
             "topk(s)",
+            "compact(s)",
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6.2} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}\n",
+                "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6.2} {:>9} {:>9} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10.4}\n",
                 l.level,
                 l.pairs,
                 l.candidates,
@@ -289,6 +314,8 @@ impl ExecStats {
                 l.partials,
                 l.cache_hits,
                 l.partition_skew,
+                l.rows_retained,
+                l.cols_retained,
                 l.kernel.unwrap_or("-"),
                 l.enum_kernel.unwrap_or("-"),
                 secs(l.enumerate),
@@ -296,6 +323,7 @@ impl ExecStats {
                 secs(l.dedup),
                 secs(l.evaluate),
                 secs(l.topk),
+                secs(l.compact),
             ));
         }
         out.push_str(&format!(
@@ -323,10 +351,11 @@ impl ExecStats {
             out.push_str(&format!(
                 "{{\"level\":{},\"pairs\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
                  \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"topk_entered\":{},\
-                 \"partials\":{},\"cache_hits\":{},\"partition_skew\":{},\"kernel\":{},\
+                 \"partials\":{},\"cache_hits\":{},\"partition_skew\":{},\
+                 \"rows_retained\":{},\"cols_retained\":{},\"kernel\":{},\
                  \"enum_kernel\":{},\"enumerate_secs\":{:.6},\
                  \"join_secs\":{:.6},\"dedup_secs\":{:.6},\
-                 \"evaluate_secs\":{:.6},\"topk_secs\":{:.6}}}",
+                 \"evaluate_secs\":{:.6},\"topk_secs\":{:.6},\"compact_secs\":{:.6}}}",
                 l.level,
                 l.pairs,
                 l.candidates,
@@ -339,6 +368,8 @@ impl ExecStats {
                 l.partials,
                 l.cache_hits,
                 l.partition_skew,
+                l.rows_retained,
+                l.cols_retained,
                 match l.kernel {
                     Some(k) => format!("\"{k}\""),
                     None => "null".to_string(),
@@ -352,6 +383,7 @@ impl ExecStats {
                 secs(l.dedup),
                 secs(l.evaluate),
                 secs(l.topk),
+                secs(l.compact),
             ));
         }
         out.push_str("],");
@@ -673,6 +705,7 @@ impl ExecContext {
                 Stage::Enumerate => p.enumerate += elapsed,
                 Stage::Evaluate => p.evaluate += elapsed,
                 Stage::TopK => p.topk += elapsed,
+                Stage::Compact => p.compact += elapsed,
             });
         }
         out
@@ -916,6 +949,9 @@ mod tests {
             p.pruned_size = 2;
             p.evaluated = 24;
             p.topk_entered = 3;
+            p.rows_retained = 900;
+            p.cols_retained = 17;
+            p.compact = Duration::from_millis(2);
         });
         let stats = ctx.exec_stats();
         assert_eq!(stats.total_candidates(), 42);
@@ -934,8 +970,31 @@ mod tests {
         assert!(json.contains("\"dedup_secs\":0.003"));
         assert!(json.contains("\"pairs\":40"));
         assert!(json.contains("\"topk_entered\":3"));
+        assert!(json.contains("\"rows_retained\":900"));
+        assert!(json.contains("\"cols_retained\":17"));
+        assert!(json.contains("\"compact_secs\":0.002"));
         assert!(json.contains("\"pool\":{"));
         assert!(json.contains("\"bytes_high_water\""));
+        assert!(table.contains("rows_ret"));
+        assert!(table.contains("compact(s)"));
+    }
+
+    #[test]
+    fn retained_dims_merge_as_max() {
+        let mut base = LevelProfile {
+            rows_retained: 100,
+            cols_retained: 9,
+            ..Default::default()
+        };
+        base.merge(&LevelProfile {
+            rows_retained: 80,
+            cols_retained: 12,
+            compact: Duration::from_millis(1),
+            ..Default::default()
+        });
+        assert_eq!(base.rows_retained, 100);
+        assert_eq!(base.cols_retained, 12);
+        assert_eq!(base.compact, Duration::from_millis(1));
     }
 
     #[test]

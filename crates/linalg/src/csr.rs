@@ -455,6 +455,83 @@ impl CsrMatrix {
         })
     }
 
+    /// Fused row + column gather into a compacted index space, the paper's
+    /// `removeEmpty`-style dynamic input reduction: keeps `rows` (in order,
+    /// duplicates allowed) and the strictly increasing `cols` (renumbered to
+    /// `0..cols.len()`) in a single pass. The `col_idx`/`values` arrays come
+    /// from the [`ExecContext`] scratch pool, so level-wise compaction does
+    /// not allocate after warm-up; pair with [`CsrMatrix::recycle`].
+    pub fn select_rows_cols(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+        exec: &crate::context::ExecContext,
+    ) -> Result<CsrMatrix> {
+        for w in cols.windows(2) {
+            if w[0] >= w[1] {
+                return Err(LinalgError::InvalidData {
+                    reason: "select_rows_cols cols must be strictly increasing".to_string(),
+                });
+            }
+        }
+        if let Some(&last) = cols.last() {
+            if last >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_rows_cols",
+                    index: last,
+                    bound: self.cols,
+                });
+            }
+        }
+        // Old column -> new column + 1; 0 marks dropped columns. The +1
+        // encoding lets us use the zero-filled pooled buffer directly.
+        let mut remap = exec.take_u32(self.cols);
+        for (new, &old) in cols.iter().enumerate() {
+            remap[old] = new as u32 + 1;
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0);
+        let mut col_idx = exec.take_u32(0);
+        let mut values = exec.take_f64(0);
+        for &r in rows {
+            if r >= self.rows {
+                exec.put_u32(remap);
+                exec.put_u32(col_idx);
+                exec.put_f64(values);
+                return Err(LinalgError::IndexOutOfBounds {
+                    op: "select_rows_cols",
+                    index: r,
+                    bound: self.rows,
+                });
+            }
+            let (rcols, rvals) = self.row(r);
+            for (&c, &v) in rcols.iter().zip(rvals.iter()) {
+                let nc = remap[c as usize];
+                if nc != 0 {
+                    col_idx.push(nc - 1);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        exec.put_u32(remap);
+        Ok(CsrMatrix {
+            rows: rows.len(),
+            cols: cols.len(),
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Returns the matrix's pooled arrays to the [`ExecContext`] scratch
+    /// pool. Call on matrices produced by [`CsrMatrix::select_rows_cols`]
+    /// (or any matrix being retired) before building the next level's input.
+    pub fn recycle(self, exec: &crate::context::ExecContext) {
+        exec.put_u32(self.col_idx);
+        exec.put_f64(self.values);
+    }
+
     /// Removes rows with no stored entries (`removeEmpty(margin="rows")`),
     /// returning the compacted matrix and the kept original row indexes.
     pub fn remove_empty_rows(&self) -> (CsrMatrix, Vec<usize>) {
@@ -636,6 +713,27 @@ mod tests {
         assert_eq!(s.get(2, 1), 0.0);
         assert!(m.select_cols(&[2, 0]).is_err());
         assert!(m.select_cols(&[0, 7]).is_err());
+    }
+
+    #[test]
+    fn select_rows_cols_matches_two_step() {
+        use crate::context::ExecContext;
+        let m = sample();
+        let exec = ExecContext::serial();
+        let fused = m.select_rows_cols(&[2, 0], &[0, 2], &exec).unwrap();
+        let two_step = m
+            .select_rows(&[2, 0])
+            .unwrap()
+            .select_cols(&[0, 2])
+            .unwrap();
+        assert_eq!(fused, two_step);
+        assert!(m.select_rows_cols(&[3], &[0], &exec).is_err());
+        assert!(m.select_rows_cols(&[0], &[2, 0], &exec).is_err());
+        assert!(m.select_rows_cols(&[0], &[7], &exec).is_err());
+        // Recycling returns the pooled arrays.
+        fused.recycle(&exec);
+        let again = m.select_rows_cols(&[0], &[0, 1, 2], &exec).unwrap();
+        assert_eq!(again.row_cols(0), m.row_cols(0));
     }
 
     #[test]
