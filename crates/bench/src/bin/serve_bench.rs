@@ -1,0 +1,231 @@
+//! Session/service-layer benchmark: cold vs warm vs delta re-slicing.
+//!
+//! Measures the three request shapes the serving layer distinguishes:
+//!
+//! * **cold** — build a [`DatasetSession`] from raw `(X, errors)` and run
+//!   the first query (encode + basic stats + bitmap pack + lattice);
+//! * **warm** — repeat the same query against the resident session
+//!   (prepare work amortized away, only the lattice runs);
+//! * **delta** — [`DatasetSession::swap_errors`] with a retrained model's
+//!   error vector, then re-query (stats recomputed, encode/pack kept),
+//!   compared against the cold rebuild a session-less server would pay.
+//!
+//! A final phase pushes concurrent jobs for two tenants through the
+//! [`JobQueue`] and reports end-to-end throughput.
+//!
+//! ```text
+//! cargo run --release -p sliceline-bench --bin serve_bench -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes machine-readable results to stdout (tables move
+//! to stderr); the committed `BENCH_serve.json` is that output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliceline::config::EvalKernel;
+use sliceline::{DatasetSession, SliceLine, SliceLineConfig, SliceQuery};
+use sliceline_bench::{banner, fmt_secs, BenchArgs, TextTable};
+use sliceline_frame::IntMatrix;
+use sliceline_serve::{DatasetRegistry, JobQueue};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Timed repetitions per phase (median reported).
+const RUNS: usize = 7;
+/// Jobs submitted in the throughput phase.
+const JOBS: usize = 32;
+
+/// Planted workload: `n` rows over `m` categorical features, a hot
+/// `f0=1 ∧ f1=1` subgroup carrying most of the error mass, plus a second
+/// error vector simulating a retrained model whose hot slice moved.
+fn workload(seed: u64, scale: f64) -> (IntMatrix, Vec<f64>, Vec<f64>) {
+    let n = ((40_000.0 * scale) as usize).max(1_000);
+    let m = 6usize;
+    let domain = 6u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut errors = Vec::with_capacity(n);
+    let mut errors2 = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<u32> = (0..m).map(|_| 1 + rng.gen_range(0..domain)).collect();
+        let hot = row[0] == 1 && row[1] == 1;
+        let moved = row[1] == 2 && row[2] == 1;
+        let base: f64 = rng.gen_range(0.0..0.05);
+        errors.push(if hot { 0.9 + base } else { base });
+        errors2.push(if moved { 0.9 + base } else { base });
+        rows.push(row);
+    }
+    (IntMatrix::from_rows(&rows).unwrap(), errors, errors2)
+}
+
+fn config(threads: usize, n: usize) -> SliceLineConfig {
+    let mut cfg = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .min_support((n / 100).max(32))
+        .threads(threads)
+        .build()
+        .expect("static config is valid");
+    cfg.eval = EvalKernel::Bitmap;
+    cfg
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    if !args.stats_json {
+        banner("Serve: cold vs warm vs delta re-slicing", &args);
+    }
+    let (x0, errors, errors2) = workload(args.seed, args.scale);
+    let n = x0.rows();
+    let cfg = config(args.resolved_threads(), n);
+    let exec = cfg.exec_context();
+    let query = SliceQuery::new(cfg.clone());
+
+    // Cold: session build + first query, every time (what a stateless
+    // server pays per request). One-shot find_slices is the parity oracle.
+    let one_shot = SliceLine::new(cfg.clone())
+        .find_slices(&x0, &errors)
+        .expect("workload is valid");
+    let oracle = one_shot.top_k.first().map(|s| s.score).unwrap_or(f64::NAN);
+    let mut cold_samples = Vec::with_capacity(RUNS);
+    let mut cold_top = f64::NAN;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let mut session = DatasetSession::new(&x0, &errors, &exec).expect("valid");
+        let result = session.query(&query).expect("valid");
+        cold_samples.push(start.elapsed().as_secs_f64());
+        cold_top = result.top_k.first().map(|s| s.score).unwrap_or(f64::NAN);
+    }
+    let parity = if cold_top.to_bits() == oracle.to_bits() {
+        "ok"
+    } else {
+        "MISMATCH"
+    };
+
+    // Warm: repeat queries against one resident session.
+    let mut session = DatasetSession::new(&x0, &errors, &exec).expect("valid");
+    session.query(&query).expect("valid"); // populate the bitmap pack
+    let mut warm_samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        session.query(&query).expect("valid");
+        warm_samples.push(start.elapsed().as_secs_f64());
+    }
+
+    // Delta: swap in the retrained errors and re-query, vs the cold
+    // rebuild a session-less server would run on the new vector.
+    let mut delta_samples = Vec::with_capacity(RUNS);
+    let mut rebuild_samples = Vec::with_capacity(RUNS);
+    for i in 0..RUNS {
+        let (ea, eb) = if i % 2 == 0 {
+            (&errors2, &errors)
+        } else {
+            (&errors, &errors2)
+        };
+        let start = Instant::now();
+        session.swap_errors(ea).expect("valid");
+        session.query(&query).expect("valid");
+        delta_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let mut fresh = DatasetSession::new(&x0, ea, &exec).expect("valid");
+        fresh.query(&query).expect("valid");
+        rebuild_samples.push(start.elapsed().as_secs_f64());
+        session.swap_errors(eb).expect("valid"); // restore for next lap
+    }
+
+    // Throughput: two tenants, concurrent jobs through the queue.
+    let registry = Arc::new(DatasetRegistry::new(exec.clone()));
+    let id_a = registry.register(&x0, &errors).expect("valid");
+    let id_b = registry.register(&x0, &errors2).expect("valid");
+    let workers = args.resolved_threads().max(2);
+    let queue = JobQueue::new(Arc::clone(&registry), workers);
+    let start = Instant::now();
+    let ids: Vec<u64> = (0..JOBS)
+        .map(|i| {
+            let dataset = if i % 2 == 0 { &id_a } else { &id_b };
+            queue
+                .submit(dataset, SliceQuery::new(cfg.clone()))
+                .expect("datasets are registered")
+        })
+        .collect();
+    for id in &ids {
+        let status = queue.wait(*id).expect("job exists");
+        assert!(status.result.is_some(), "job {id} did not finish Done");
+    }
+    let queue_wall = start.elapsed().as_secs_f64();
+
+    let cold = median(&mut cold_samples);
+    let warm = median(&mut warm_samples);
+    let delta = median(&mut delta_samples);
+    let rebuild = median(&mut rebuild_samples);
+    let jobs_per_sec = JOBS as f64 / queue_wall;
+
+    let mut table = TextTable::new(&["phase", "median wall", "speedup vs cold"]);
+    table.row(&[
+        "cold (build+query)".into(),
+        fmt_secs(Duration::from_secs_f64(cold)),
+        "1.00x".into(),
+    ]);
+    table.row(&[
+        "warm (re-query)".into(),
+        fmt_secs(Duration::from_secs_f64(warm)),
+        format!("{:.2}x", cold / warm),
+    ]);
+    table.row(&[
+        "delta (swap+query)".into(),
+        fmt_secs(Duration::from_secs_f64(delta)),
+        format!("{:.2}x", rebuild / delta),
+    ]);
+    table.row(&[
+        "rebuild (new errors)".into(),
+        fmt_secs(Duration::from_secs_f64(rebuild)),
+        "1.00x".into(),
+    ]);
+    let report = format!(
+        "{}\nparity: {} (top-1 score {:.6})\nqueue: {} jobs x {} workers in {} = {:.1} jobs/s",
+        table.render(),
+        parity,
+        cold_top,
+        JOBS,
+        workers,
+        fmt_secs(Duration::from_secs_f64(queue_wall)),
+        jobs_per_sec,
+    );
+    if args.stats_json {
+        eprintln!("{report}");
+        println!("{{");
+        println!("  \"bench\": \"serve_bench\",");
+        println!("  \"threads\": {},", args.resolved_threads());
+        println!("  \"scale\": {},", args.scale);
+        println!("  \"seed\": {},", args.seed);
+        println!("  \"parity\": \"{parity}\",");
+        println!(
+            "  \"workload\": {{\"rows\": {}, \"features\": {}, \"runs\": {}}},",
+            n,
+            x0.cols(),
+            RUNS
+        );
+        println!("  \"cold_secs\": {cold:.6e},");
+        println!("  \"warm_secs\": {warm:.6e},");
+        println!("  \"delta_secs\": {delta:.6e},");
+        println!("  \"rebuild_secs\": {rebuild:.6e},");
+        println!("  \"warm_speedup\": {:.3},", cold / warm);
+        println!("  \"delta_speedup\": {:.3},", rebuild / delta);
+        println!(
+            "  \"queue\": {{\"jobs\": {JOBS}, \"workers\": {workers}, \"wall_secs\": {queue_wall:.6e}, \"jobs_per_sec\": {jobs_per_sec:.1}}}"
+        );
+        println!("}}");
+    } else {
+        println!("{report}");
+        println!(
+            "expected shape: warm re-queries skip encode/stats/pack and run \
+             measurably faster than cold builds; delta re-slicing after an \
+             error swap beats rebuilding the session from scratch."
+        );
+    }
+}

@@ -162,6 +162,28 @@ impl Default for GenerateArgs {
     }
 }
 
+/// Arguments of `sliceline serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Job-queue worker threads (0 = one per core).
+    pub workers: usize,
+    /// Shared execution-context thread-pool size (0 = all cores).
+    /// Individual jobs can still request fewer threads per query.
+    pub threads: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            threads: 0,
+        }
+    }
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
@@ -176,6 +198,8 @@ pub enum Command {
     Find(FindArgs),
     /// Emit a synthetic dataset as CSV.
     Generate(GenerateArgs),
+    /// Run the multi-tenant slice-finding daemon.
+    Serve(ServeArgs),
     /// Print usage and exit 0.
     Help,
 }
@@ -187,6 +211,7 @@ sliceline — find the data slices where your model fails (SIGMOD'21)
 USAGE:
   sliceline find --input FILE (--label COL | --errors COL) [options]
   sliceline generate [--dataset NAME] [--scale F] [--seed N] [--output FILE]
+  sliceline serve [--addr HOST:PORT] [--workers N] [--threads N]
   sliceline help
 
 FIND OPTIONS:
@@ -227,6 +252,20 @@ GENERATE OPTIONS:
   --scale F           row-count scale                (default: 0.05)
   --seed N            generator seed                 (default: 42)
   --output FILE       output path, '-' = stdout      (default: -)
+
+SERVE OPTIONS:
+  --addr HOST:PORT    bind address; port 0 picks a free port
+                                                     (default: 127.0.0.1:7878)
+  --workers N         job-queue worker threads, 0 = one per core
+                                                     (default: 0)
+  --threads N         shared execution-pool size, 0 = all cores; jobs
+                      can still request fewer per query (default: 0)
+  The daemon keeps one warm session per registered dataset (keyed by
+  content hash), so repeat queries skip prepare/encode/pack and error
+  swaps re-slice without re-encoding. Endpoints: POST /datasets,
+  POST /datasets/ID/errors, POST /jobs, GET /jobs/ID,
+  POST /jobs/ID/cancel, GET /metrics, GET /manifest, GET /health,
+  POST /shutdown.
 ";
 
 /// Parses the full argument list (without the program name).
@@ -235,6 +274,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
     let command = match it.next().as_deref() {
         Some("find") => Command::Find(parse_find(it)?),
         Some("generate") => Command::Generate(parse_generate(it)?),
+        Some("serve") => Command::Serve(parse_serve(it)?),
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,
         Some(other) => {
             return Err(CliError::usage(format!(
@@ -359,6 +399,23 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
             ))
         }
         _ => {}
+    }
+    Ok(out)
+}
+
+fn parse_serve(mut it: impl Iterator<Item = String>) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = next_value(&mut it, "--addr")?,
+            "--workers" => {
+                out.workers = parse_num(&next_value(&mut it, "--workers")?, "--workers")?
+            }
+            "--threads" => {
+                out.threads = parse_num(&next_value(&mut it, "--threads")?, "--threads")?
+            }
+            other => return Err(CliError::usage(format!("serve: unknown flag '{other}'"))),
+        }
     }
     Ok(out)
 }
@@ -625,6 +682,31 @@ mod tests {
         assert_eq!(g.scale, 0.2);
         assert_eq!(g.seed, 7);
         assert_eq!(g.output, "x.csv");
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = parse(sv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        let Command::Serve(s) = cli.command else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.addr, "0.0.0.0:9000");
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.threads, 2);
+        // Defaults when flags are absent; unknown flags rejected.
+        let cli = parse(sv(&["serve"])).unwrap();
+        assert_eq!(cli.command, Command::Serve(ServeArgs::default()));
+        assert!(parse(sv(&["serve", "--port", "80"])).is_err());
+        assert!(parse(sv(&["serve", "--workers", "lots"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The `sliceline` binary: a thin shim over [`sliceline_cli`].
 
-use sliceline_cli::{args, run_find, run_generate, Command};
+use sliceline_cli::{args, run_find, run_generate, run_serve, Command};
 
 fn main() {
     let cli = match args::parse(std::env::args().skip(1)) {
@@ -18,6 +18,13 @@ fn main() {
         Command::Find(find_args) => run_find(find_args).map(|out| (out, None)),
         Command::Generate(gen_args) => {
             run_generate(gen_args).map(|out| (out, Some(gen_args.output.clone())))
+        }
+        Command::Serve(serve_args) => {
+            if let Err(e) = run_serve(serve_args) {
+                eprintln!("{}", e.message);
+                std::process::exit(e.code);
+            }
+            return;
         }
     };
     match outcome {

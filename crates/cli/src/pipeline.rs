@@ -2,7 +2,8 @@
 //! report) and `generate` (synthetic dataset → CSV).
 
 use crate::args::{
-    CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, TaskKind,
+    CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, ServeArgs,
+    TaskKind,
 };
 use crate::report;
 use crate::CliError;
@@ -253,6 +254,36 @@ fn train_and_score(encoded: &EncodedDataset, args: &FindArgs) -> Result<Vec<f64>
             inaccuracy(&y, &yhat).map_err(|e| CliError::runtime(e.to_string()))
         }
     }
+}
+
+/// Runs `sliceline serve`: binds the multi-tenant slice-finding daemon
+/// and blocks in its accept loop until `POST /shutdown`. The bound
+/// address is printed to stderr (stdout stays clean for scripting).
+pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        args.threads
+    };
+    let config = SliceLineConfig::builder()
+        .threads(threads)
+        .build()
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let server_config = sliceline_serve::ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+    };
+    let server = sliceline_serve::Server::bind(&server_config, config.exec_context())
+        .map_err(|e| CliError::runtime(format!("binding {}: {e}", args.addr)))?;
+    let addr = server
+        .addr()
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    eprintln!("sliceline serve listening on {addr}");
+    server
+        .run()
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))
 }
 
 /// Runs `sliceline generate`, returning the CSV text (the caller writes it

@@ -7,10 +7,11 @@ use crate::error::Result;
 use crate::evaluate::{evaluate_slices_with, EvalEngine};
 use crate::init::{create_and_score_basic_slices, LevelState, ProjectedData};
 use crate::prepare::{prepare, PreparedData};
+use crate::scoring::ScoringContext;
 use crate::stats::{LevelStats, RunStats};
 use crate::topk::TopK;
 use sliceline_frame::{FeatureSet, IntMatrix};
-use sliceline_linalg::{ArgValue, ExecContext, LevelProfile, Stage};
+use sliceline_linalg::{ArgValue, CsrMatrix, ExecContext, LevelProfile, Stage};
 use std::time::Instant;
 
 /// One decoded top-K slice.
@@ -99,22 +100,32 @@ impl SliceLine {
 
     /// Runs the full enumeration on a caller-provided execution context.
     ///
-    /// The context supplies the thread pool, the scratch-buffer pool
-    /// (level vectors and kernel intermediates are recycled through it),
-    /// and — when [`ExecContext::enable_stats`] is on — per-level
-    /// telemetry, returned in [`RunStats::exec`]. Any telemetry from a
-    /// previous run on the same context is cleared first.
+    /// The context supplies the thread pool and the scratch-buffer pool
+    /// (level vectors and kernel intermediates are recycled through it).
+    /// Telemetry is collected on a per-run scope
+    /// ([`ExecContext::run_scoped`]) and returned in [`RunStats::exec`]
+    /// when [`ExecContext::enable_stats`] is on, so concurrent runs
+    /// sharing one context never clobber each other's statistics.
+    ///
+    /// This path is equivalent to running a [`SliceQuery`] against a
+    /// throwaway [`DatasetSession`]: both execute the same shared
+    /// [`run_lattice`] runner, so their results are bit-for-bit
+    /// identical.
+    ///
+    /// [`DatasetSession`]: crate::session::DatasetSession
+    /// [`SliceQuery`]: crate::session::SliceQuery
     pub fn find_slices_in(
         &self,
         x0: &IntMatrix,
         errors: &[f64],
         exec: &ExecContext,
     ) -> Result<SliceLineResult> {
+        let scope = exec.run_scoped();
+        let exec = &scope;
         let start = Instant::now();
-        exec.reset_stats();
         let mut run_span = exec.tracer().span("find_slices", "core");
         // a) data preparation.
-        let mut prepared = {
+        let prepared = {
             let _prep_span = exec.tracer().span("prepare", "core");
             prepare(x0, errors, &self.config, exec)?
         };
@@ -122,48 +133,219 @@ impl SliceLine {
         run_span.add_arg("n", prepared.n());
         run_span.add_arg("m", prepared.m);
         run_span.add_arg("l", prepared.l());
-        let mut stats = RunStats {
+        let run = LatticeRun {
+            config: &self.config,
+            ctx: prepared.ctx,
             sigma: prepared.sigma,
-            n: prepared.n(),
-            m: prepared.m,
-            l: prepared.l(),
-            ..Default::default()
+            // The evaluation engine carries the bitmap backend's packed
+            // columns and parent cache across levels (unused by the
+            // blocked/fused kernels); the compaction stage keeps its
+            // state aligned with the working set.
+            engine: EvalEngine::new(self.config.bitmap_cache_bytes),
+            stats: RunStats {
+                sigma: prepared.sigma,
+                n: prepared.n(),
+                m: prepared.m,
+                l: prepared.l(),
+                ..Default::default()
+            },
+            start,
         };
-        // b) initialization: basic slices and initial top-K.
-        exec.begin_level(1);
-        let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
+        let eval_kernel = self.config.eval;
+        let result = run_lattice(
+            run,
+            exec,
+            // b) initialization: basic slices and initial top-K.
+            move |exec| {
+                let (proj, level) = create_and_score_basic_slices(&prepared, exec);
+                let PreparedData { errors, .. } = prepared;
+                LatticeSeed {
+                    proj,
+                    level,
+                    errors,
+                }
+            },
+            |x, errors, slices, level, ctx, engine, exec| {
+                evaluate_slices_with(x, errors, slices, level, ctx, eval_kernel, exec, engine)
+            },
+        );
+        run_span.add_arg("levels", result.stats.levels.len());
+        Ok(result)
+    }
+}
+
+/// Per-run inputs to [`run_lattice`], produced by a driver's preparation
+/// phase — either a one-shot [`prepare`] call or a resident
+/// [`DatasetSession`](crate::session::DatasetSession).
+pub struct LatticeRun<'a> {
+    /// Validated configuration the run executes under.
+    pub config: &'a SliceLineConfig,
+    /// Dataset-level scoring quantities (Eq. 1/5).
+    pub ctx: ScoringContext,
+    /// Resolved minimum support `σ`.
+    pub sigma: usize,
+    /// Evaluation engine; sessions pre-seed it with packed bitmaps so the
+    /// per-run `bitmap.pack` cost is amortized away.
+    pub engine: EvalEngine,
+    /// Run statistics pre-filled with the dataset shape (`sigma`, `n`,
+    /// `m`, `l`); the runner appends the per-level entries.
+    pub stats: RunStats,
+    /// When the run started, so `total_elapsed` includes preparation.
+    pub start: Instant,
+}
+
+/// What the seeding phase hands to the level loop: the projected dataset,
+/// the scored level-1 state, and an owned working copy of the error
+/// vector (adaptive compaction gathers all three in place, so session
+/// state must stay out of the loop).
+pub struct LatticeSeed {
+    /// `X` projected onto the valid basic-slice columns.
+    pub proj: ProjectedData,
+    /// Scored 1-predicate slices aligned with `proj`'s columns.
+    pub level: LevelState,
+    /// Working copy of the error vector, usually from the context pool.
+    pub errors: Vec<f64>,
+}
+
+/// The shared level-wise lattice runner (Algorithm 1 lines 6–20) behind
+/// every driver: one-shot [`SliceLine`], resident
+/// [`DatasetSession`](crate::session::DatasetSession) queries, and the
+/// distributed driver all execute their levels here, so result parity
+/// between them holds by construction.
+///
+/// `seed` produces the level-1 state and is timed as the level-1
+/// Evaluate stage (a warm session seeds from cached statistics in
+/// microseconds; the cold path computes Eq. 4 from scratch). `evaluate`
+/// scores one level of candidate slices — the core driver plugs in
+/// [`evaluate_slices_with`], the distributed driver its strategy
+/// dispatch. `exec` should be a per-run telemetry scope (see
+/// [`ExecContext::run_scoped`]); [`RunStats::exec`] is captured from it
+/// when stats are enabled.
+pub fn run_lattice<S, E>(
+    run: LatticeRun<'_>,
+    exec: &ExecContext,
+    seed: S,
+    mut evaluate: E,
+) -> SliceLineResult
+where
+    S: FnOnce(&ExecContext) -> LatticeSeed,
+    E: FnMut(
+        &CsrMatrix,
+        &[f64],
+        Vec<Vec<u32>>,
+        usize,
+        &ScoringContext,
+        &mut EvalEngine,
+        &ExecContext,
+    ) -> LevelState,
+{
+    let LatticeRun {
+        config,
+        ctx,
+        sigma,
+        mut engine,
+        mut stats,
+        start,
+    } = run;
+    exec.begin_level(1);
+    let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
+    let level_start = Instant::now();
+    let LatticeSeed {
+        mut proj,
+        mut level,
+        mut errors,
+    } = exec.time_stage(Stage::Evaluate, || seed(exec));
+    exec.record_level(|p| {
+        p.candidates += stats.l as u64;
+        p.evaluated += stats.l as u64;
+    });
+    stats.basic_slices = level.len();
+    let max_level = config.max_level.min(stats.m);
+    let mut topk = TopK::new(config.k, sigma);
+    let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
+    exec.record_level(|p| p.topk_entered += entered as u64);
+    let outcome = exec.time_stage(Stage::Compact, || {
+        maybe_compact(
+            // Gathering after the final level would be pure cost.
+            config.compact_policy_at(1, max_level),
+            config.compact_below,
+            &config.pruning,
+            &mut proj,
+            &mut errors,
+            &mut level,
+            &mut topk,
+            &mut engine,
+            &ctx,
+            sigma,
+            1,
+            exec,
+        )
+    });
+    record_compact(exec, &outcome);
+    emit_funnel(
+        exec,
+        &LevelProfile {
+            level: 1,
+            candidates: stats.l as u64,
+            evaluated: stats.l as u64,
+            topk_entered: entered as u64,
+            rows_retained: outcome.rows_retained as u64,
+            cols_retained: outcome.cols_retained as u64,
+            ..Default::default()
+        },
+    );
+    stats.levels.push(LevelStats {
+        level: 1,
+        candidates: stats.l,
+        valid: count_valid(&level, sigma),
+        enumeration: None,
+        elapsed: level_start.elapsed(),
+        threshold_after: topk.prune_threshold(),
+        rows_retained: outcome.rows_retained,
+        cols_retained: outcome.cols_retained,
+    });
+    drop(level_span);
+    // c) level-wise lattice enumeration.
+    let mut l = 1usize;
+    while !level.is_empty() && l < max_level {
+        l += 1;
+        exec.begin_level(l);
+        let level_span = exec.tracer().span("level", "core").arg("level", l as u64);
         let level_start = Instant::now();
-        let (mut proj, mut level) = exec.time_stage(Stage::Evaluate, || {
-            create_and_score_basic_slices(&prepared, exec)
+        let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
+            get_pair_candidates(
+                &level,
+                l,
+                &proj.col_feature,
+                proj.x.cols(),
+                &ctx,
+                sigma,
+                &config.pruning,
+                &topk,
+                config.enum_kernel,
+                exec,
+            )
         });
-        exec.record_level(|p| {
-            p.candidates += prepared.l() as u64;
-            p.evaluated += prepared.l() as u64;
+        let evaluated = candidates.len();
+        let next = exec.time_stage(Stage::Evaluate, || {
+            evaluate(&proj.x, &errors, candidates, l, &ctx, &mut engine, exec)
         });
-        stats.basic_slices = level.len();
-        // The evaluation engine carries the bitmap backend's packed
-        // columns and parent cache across levels (unused by the
-        // blocked/fused kernels); the compaction stage keeps its state
-        // aligned with the working set.
-        let mut engine = EvalEngine::new(self.config.bitmap_cache_bytes);
-        let max_level = self.config.max_level.min(prepared.m);
-        let mut topk = TopK::new(self.config.k, prepared.sigma);
+        recycle_level(exec, std::mem::replace(&mut level, next));
         let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
         exec.record_level(|p| p.topk_entered += entered as u64);
         let outcome = exec.time_stage(Stage::Compact, || {
             maybe_compact(
-                // Gathering after the final level would be pure cost.
-                self.config.compact_policy_at(1, max_level),
-                self.config.compact_below,
-                &self.config.pruning,
+                config.compact_policy_at(l, max_level),
+                config.compact_below,
+                &config.pruning,
                 &mut proj,
-                &mut prepared.errors,
+                &mut errors,
                 &mut level,
                 &mut topk,
                 &mut engine,
-                &prepared.ctx,
-                prepared.sigma,
-                1,
+                &ctx,
+                sigma,
+                l,
                 exec,
             )
         });
@@ -171,9 +353,14 @@ impl SliceLine {
         emit_funnel(
             exec,
             &LevelProfile {
-                level: 1,
-                candidates: prepared.l() as u64,
-                evaluated: prepared.l() as u64,
+                level: l,
+                pairs: enum_stats.pairs as u64,
+                candidates: enum_stats.merged_valid as u64,
+                deduped: (enum_stats.merged_valid - enum_stats.deduped) as u64,
+                pruned_size: enum_stats.pruned_size as u64,
+                pruned_score: enum_stats.pruned_score as u64,
+                pruned_parents: enum_stats.pruned_parents as u64,
+                evaluated: evaluated as u64,
                 topk_entered: entered as u64,
                 rows_retained: outcome.rows_retained as u64,
                 cols_retained: outcome.cols_retained as u64,
@@ -181,107 +368,24 @@ impl SliceLine {
             },
         );
         stats.levels.push(LevelStats {
-            level: 1,
-            candidates: prepared.l(),
-            valid: count_valid(&level, prepared.sigma),
-            enumeration: None,
+            level: l,
+            candidates: evaluated,
+            valid: count_valid(&level, sigma),
+            enumeration: Some(enum_stats),
             elapsed: level_start.elapsed(),
             threshold_after: topk.prune_threshold(),
             rows_retained: outcome.rows_retained,
             cols_retained: outcome.cols_retained,
         });
         drop(level_span);
-        // c) level-wise lattice enumeration.
-        let mut l = 1usize;
-        while !level.is_empty() && l < max_level {
-            l += 1;
-            exec.begin_level(l);
-            let level_span = exec.tracer().span("level", "core").arg("level", l as u64);
-            let level_start = Instant::now();
-            let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
-                get_pair_candidates(
-                    &level,
-                    l,
-                    &proj.col_feature,
-                    proj.x.cols(),
-                    &prepared.ctx,
-                    prepared.sigma,
-                    &self.config.pruning,
-                    &topk,
-                    self.config.enum_kernel,
-                    exec,
-                )
-            });
-            let evaluated = candidates.len();
-            let next = exec.time_stage(Stage::Evaluate, || {
-                evaluate_slices_with(
-                    &proj.x,
-                    &prepared.errors,
-                    candidates,
-                    l,
-                    &prepared.ctx,
-                    self.config.eval,
-                    exec,
-                    &mut engine,
-                )
-            });
-            recycle_level(exec, std::mem::replace(&mut level, next));
-            let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
-            exec.record_level(|p| p.topk_entered += entered as u64);
-            let outcome = exec.time_stage(Stage::Compact, || {
-                maybe_compact(
-                    self.config.compact_policy_at(l, max_level),
-                    self.config.compact_below,
-                    &self.config.pruning,
-                    &mut proj,
-                    &mut prepared.errors,
-                    &mut level,
-                    &mut topk,
-                    &mut engine,
-                    &prepared.ctx,
-                    prepared.sigma,
-                    l,
-                    exec,
-                )
-            });
-            record_compact(exec, &outcome);
-            emit_funnel(
-                exec,
-                &LevelProfile {
-                    level: l,
-                    pairs: enum_stats.pairs as u64,
-                    candidates: enum_stats.merged_valid as u64,
-                    deduped: (enum_stats.merged_valid - enum_stats.deduped) as u64,
-                    pruned_size: enum_stats.pruned_size as u64,
-                    pruned_score: enum_stats.pruned_score as u64,
-                    pruned_parents: enum_stats.pruned_parents as u64,
-                    evaluated: evaluated as u64,
-                    topk_entered: entered as u64,
-                    rows_retained: outcome.rows_retained as u64,
-                    cols_retained: outcome.cols_retained as u64,
-                    ..Default::default()
-                },
-            );
-            stats.levels.push(LevelStats {
-                level: l,
-                candidates: evaluated,
-                valid: count_valid(&level, prepared.sigma),
-                enumeration: Some(enum_stats),
-                elapsed: level_start.elapsed(),
-                threshold_after: topk.prune_threshold(),
-                rows_retained: outcome.rows_retained,
-                cols_retained: outcome.cols_retained,
-            });
-            drop(level_span);
-        }
-        recycle_level(exec, level);
-        run_span.add_arg("levels", stats.levels.len());
-        stats.total_elapsed = start.elapsed();
-        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
-        // Decode the top-K back to (feature, value) predicates.
-        let top_k = decode_topk(&topk, &proj, &prepared);
-        Ok(SliceLineResult { top_k, stats })
     }
+    recycle_level(exec, level);
+    stats.total_elapsed = start.elapsed();
+    stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
+    // Decode the top-K back to (feature, value) predicates.
+    let top_k = decode_topk(&topk, &proj);
+    exec.put_f64(errors);
+    SliceLineResult { top_k, stats }
 }
 
 /// Emits one level's pruning funnel: a Chrome counter event (rendered as
@@ -358,7 +462,7 @@ fn count_valid(level: &LevelState, sigma: usize) -> usize {
         .count()
 }
 
-fn decode_topk(topk: &TopK, proj: &ProjectedData, prepared: &PreparedData) -> Vec<SliceInfo> {
+fn decode_topk(topk: &TopK, proj: &ProjectedData) -> Vec<SliceInfo> {
     topk.entries()
         .iter()
         .map(|e| {
@@ -371,7 +475,6 @@ fn decode_topk(topk: &TopK, proj: &ProjectedData, prepared: &PreparedData) -> Ve
                 })
                 .collect();
             predicates.sort_unstable();
-            let _ = prepared; // n/m already captured in stats
             SliceInfo {
                 predicates,
                 score: e.score,

@@ -85,6 +85,26 @@ impl EvalEngine {
         }
     }
 
+    /// Creates an engine pre-seeded with the packed column bitmaps of the
+    /// matrix the first evaluation will see.
+    ///
+    /// This is the warm-start path for resident dataset sessions: the
+    /// session packs its full one-hot matrix once, column-projects the
+    /// pack per query, and hands the result here so the per-run
+    /// `bitmap.pack` span never fires. Seeding is purely a work saver —
+    /// if `bits` does not match the evaluated matrix's shape, the engine
+    /// rebuilds from the matrix exactly as an unseeded one would.
+    pub fn with_packed(cache_budget: usize, bits: BitMatrix) -> Self {
+        EvalEngine {
+            cache_budget,
+            bitmap: Some(BitmapState {
+                bits,
+                cache: HashMap::new(),
+                cache_level: 0,
+            }),
+        }
+    }
+
     /// The packed bitmap state for `x`, building (or rebuilding, if the
     /// projected matrix changed shape) it on first use.
     ///

@@ -73,10 +73,14 @@ pub mod lagraph;
 pub mod prepare;
 pub mod priority;
 pub mod scoring;
+pub mod session;
 pub mod stats;
 pub mod topk;
 
-pub use algorithm::{emit_funnel, record_compact, SliceInfo, SliceLine, SliceLineResult};
+pub use algorithm::{
+    emit_funnel, record_compact, run_lattice, LatticeRun, LatticeSeed, SliceInfo, SliceLine,
+    SliceLineResult,
+};
 pub use compact::{maybe_compact, CompactOutcome};
 pub use config::{
     CompactKernel, EnumKernel, EvalKernel, MinSupport, PruningConfig, SliceLineConfig,
@@ -85,4 +89,5 @@ pub use config::{
 pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;
 pub use scoring::ScoringContext;
+pub use session::{DatasetSession, SliceQuery};
 pub use stats::{LevelStats, RunStats};

@@ -26,6 +26,7 @@ use crate::init::{create_and_score_basic_slices, LevelState};
 use crate::prepare::prepare;
 use crate::stats::{LevelStats, RunStats};
 use crate::topk::TopK;
+use sliceline_linalg::ExecContext;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -116,15 +117,30 @@ impl PrioritySliceLine {
         }
     }
 
-    /// Runs the best-first search.
+    /// Runs the best-first search on a fresh execution context built
+    /// from the configuration.
     pub fn find_slices(
         &self,
         x0: &sliceline_frame::IntMatrix,
         errors: &[f64],
     ) -> Result<PriorityResult> {
-        let start = Instant::now();
         let exec = self.config.exec_context();
-        let prepared = prepare(x0, errors, &self.config, &exec)?;
+        self.find_slices_in(x0, errors, &exec)
+    }
+
+    /// Runs the best-first search on a caller-provided execution context
+    /// — mirroring [`crate::SliceLine::find_slices_in`] — so budgeted /
+    /// anytime queries can share a resident session's pooled context
+    /// ([`crate::session::DatasetSession::exec`]) instead of allocating
+    /// their own scratch buffers per call.
+    pub fn find_slices_in(
+        &self,
+        x0: &sliceline_frame::IntMatrix,
+        errors: &[f64],
+        exec: &ExecContext,
+    ) -> Result<PriorityResult> {
+        let start = Instant::now();
+        let prepared = prepare(x0, errors, &self.config, exec)?;
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -132,7 +148,7 @@ impl PrioritySliceLine {
             l: prepared.l(),
             ..Default::default()
         };
-        let (proj, basic) = create_and_score_basic_slices(&prepared, &exec);
+        let (proj, basic) = create_and_score_basic_slices(&prepared, exec);
         stats.basic_slices = basic.len();
         let sigma = prepared.sigma;
         let max_level = self.config.max_level.min(prepared.m);
@@ -336,6 +352,24 @@ mod tests {
         for (a, b) in best_first.result.top_k.iter().zip(levelwise.top_k.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn shared_context_matches_owned_context() {
+        let (x0, e) = planted();
+        let base = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        let exec = ExecContext::serial();
+        let a = PrioritySliceLine::new(config())
+            .find_slices_in(&x0, &e, &exec)
+            .unwrap();
+        // A second run on the same context reuses pooled scratch.
+        let b = PrioritySliceLine::new(config())
+            .find_slices_in(&x0, &e, &exec)
+            .unwrap();
+        assert_eq!(a.result.top_k, base.result.top_k);
+        assert_eq!(b.result.top_k, base.result.top_k);
     }
 
     #[test]

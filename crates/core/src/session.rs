@@ -1,0 +1,558 @@
+//! Two-phase session architecture: resident dataset state + per-request
+//! queries.
+//!
+//! A one-shot [`SliceLine::find_slices`](crate::SliceLine::find_slices)
+//! call spends a large fixed cost before the lattice loop even starts:
+//! input validation, one-hot encoding, basic-slice statistics (Eq. 4),
+//! and — for the bitmap kernel — packing the projected matrix into
+//! `u64` column bitmaps. A served system answers many queries against
+//! the same `(X, e)` pair, so this module splits the pipeline in two:
+//!
+//! * [`DatasetSession`] owns everything derivable from `(X, e)` alone —
+//!   the encoded one-hot matrix, the column→predicate mapping, the
+//!   error-independent column sums `ss₀`, the error-dependent `se₀`/`sm₀`
+//!   statistics, a lazily-packed full [`BitMatrix`], and a pooled
+//!   [`ExecContext`] whose scratch buffers are recycled across queries.
+//! * [`SliceQuery`] carries the per-request parameters (k, α, σ,
+//!   max_level, kernels, budgets). Running one against a session skips
+//!   prepare/pack entirely: level 1 is rebuilt from the cached
+//!   statistics and the bitmap engine is seeded by column-projecting the
+//!   session's full pack.
+//!
+//! When the model is retrained, [`DatasetSession::swap_errors`] performs
+//! *delta re-slicing*: the encoded matrix, `ss₀`, and the packed bitmaps
+//! all survive (they depend on `X` only); only `se₀`/`sm₀` are
+//! recomputed in one O(nnz) pass.
+//!
+//! Parity is by construction, not by luck: session queries and the
+//! one-shot path execute the same [`run_lattice`] runner, and the seeded
+//! bitmap pack is bit-identical to the pack the cold path builds
+//! (`BitMatrix::select_cols` commutes with CSR column projection). The
+//! property tests in `tests/session_parity.rs` pin this down across
+//! kernels and thread counts.
+
+use crate::algorithm::{run_lattice, LatticeRun, LatticeSeed, SliceLineResult};
+use crate::config::{EvalKernel, SliceLineConfig};
+use crate::error::{Result, SliceLineError};
+use crate::evaluate::{evaluate_slices_with, EvalEngine};
+use crate::init::{LevelState, ProjectedData};
+use crate::scoring::ScoringContext;
+use crate::stats::RunStats;
+use sliceline_frame::onehot::one_hot_encode;
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::{agg, BitMatrix, CsrMatrix, ExecContext};
+use std::time::Instant;
+
+/// A per-request slice-finding query: all the knobs of a
+/// [`SliceLineConfig`] (k, α, minimum support, max level, kernel
+/// selection, cache budgets), decoupled from dataset preparation.
+///
+/// The `parallel` field selects the query's thread count: the session's
+/// context is re-viewed with [`ExecContext::with_threads`] per query, so
+/// one session can serve queries at different parallelism levels while
+/// sharing a single scratch pool.
+#[derive(Debug, Clone, Default)]
+pub struct SliceQuery {
+    config: SliceLineConfig,
+}
+
+impl SliceQuery {
+    /// Wraps a configuration as a query.
+    pub fn new(config: SliceLineConfig) -> Self {
+        SliceQuery { config }
+    }
+
+    /// Borrows the underlying configuration.
+    pub fn config(&self) -> &SliceLineConfig {
+        &self.config
+    }
+}
+
+impl From<SliceLineConfig> for SliceQuery {
+    fn from(config: SliceLineConfig) -> Self {
+        SliceQuery::new(config)
+    }
+}
+
+/// Resident, query-independent state for one `(X, errors)` pair.
+///
+/// Owns the one-hot encoding, the cached basic-slice statistics, the
+/// (lazily built) full bitmap pack, and a pooled execution context.
+/// Repeat queries via [`DatasetSession::query`] skip preparation and
+/// packing; [`DatasetSession::swap_errors`] keeps everything derived
+/// from `X` and refreshes only the error-dependent statistics.
+///
+/// ```
+/// use sliceline::session::{DatasetSession, SliceQuery};
+/// use sliceline::SliceLineConfig;
+/// use sliceline_frame::IntMatrix;
+/// use sliceline_linalg::ExecContext;
+///
+/// let x0 = IntMatrix::from_rows(&[
+///     vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2],
+///     vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2],
+/// ]).unwrap();
+/// let errors = vec![1.0, 0.1, 0.1, 0.1, 1.0, 0.1, 0.1, 0.1];
+/// let config = SliceLineConfig::builder().k(1).min_support(2).build().unwrap();
+///
+/// let mut session = DatasetSession::new(&x0, &errors, &ExecContext::serial()).unwrap();
+/// let r1 = session.query(&SliceQuery::new(config.clone())).unwrap(); // cold
+/// let r2 = session.query(&SliceQuery::new(config)).unwrap();         // warm
+/// assert_eq!(r1.top_k, r2.top_k);
+/// ```
+pub struct DatasetSession {
+    /// One-hot encoded feature matrix `X` (`n × l`).
+    x: CsrMatrix,
+    /// Number of original features `m`.
+    m: usize,
+    /// For each one-hot column: the owning original feature (0-based).
+    col_feature: Vec<u32>,
+    /// For each one-hot column: the 1-based value code within its feature.
+    col_code: Vec<u32>,
+    /// Current row-aligned error vector.
+    errors: Vec<f64>,
+    /// Error-independent column sums `ss₀ = colSums(X)ᵀ` (survive swaps).
+    ss0: Vec<f64>,
+    /// Error-dependent column errors `se₀ = (eᵀ X)ᵀ`.
+    se0: Vec<f64>,
+    /// Error-dependent per-column maximum tuple errors `sm₀`.
+    sm0: Vec<f64>,
+    /// Full-width bitmap pack of `X`, built on first bitmap-kernel query.
+    bits: Option<BitMatrix>,
+    /// Pooled execution context shared by every query on this session.
+    exec: ExecContext,
+    /// Bumped by every [`DatasetSession::swap_errors`].
+    generation: u64,
+}
+
+impl std::fmt::Debug for DatasetSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetSession")
+            .field("n", &self.n())
+            .field("m", &self.m)
+            .field("l", &self.l())
+            .field("packed", &self.bits.is_some())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl DatasetSession {
+    /// Validates `(x0, errors)` and builds the resident dataset state.
+    ///
+    /// The session clones `exec` (sharing its scratch pool, tracer, and
+    /// metrics registry) and keeps it for the lifetime of the session;
+    /// each query derives a per-run telemetry scope from it.
+    pub fn new(x0: &IntMatrix, errors: &[f64], exec: &ExecContext) -> Result<Self> {
+        validate_inputs(x0, errors)?;
+        let exec = exec.clone();
+        let _span = exec
+            .tracer()
+            .span("session.build", "core")
+            .arg("rows", x0.rows())
+            .arg("cols", x0.cols());
+        let x = one_hot_encode(x0);
+        let mut col_feature = Vec::with_capacity(x.cols());
+        let mut col_code = Vec::with_capacity(x.cols());
+        for (j, &d) in x0.domains().iter().enumerate() {
+            for code in 1..=d {
+                col_feature.push(j as u32);
+                col_code.push(code);
+            }
+        }
+        // Eq. 4, error-independent half. The parallel column sums add
+        // integers (X is binary), so any thread count gives identical
+        // results — cached values match what any query would compute.
+        let ss0 = if exec.threads() > 1 {
+            agg::col_sums_csr_parallel(&x, &exec)
+        } else {
+            agg::col_sums_csr(&x)
+        };
+        let mut session = DatasetSession {
+            x,
+            m: x0.cols(),
+            col_feature,
+            col_code,
+            errors: errors.to_vec(),
+            ss0,
+            se0: Vec::new(),
+            sm0: Vec::new(),
+            bits: None,
+            exec,
+            generation: 0,
+        };
+        session.refresh_error_stats();
+        session.exec.metrics().counter("core.session.builds").inc();
+        Ok(session)
+    }
+
+    /// Number of rows `n`.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of original features `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// One-hot width `l`.
+    pub fn l(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The current error vector.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+
+    /// Error-vector generation: 0 at build, +1 per
+    /// [`DatasetSession::swap_errors`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The session's pooled execution context.
+    pub fn exec(&self) -> &ExecContext {
+        &self.exec
+    }
+
+    /// Replaces the error vector in place — *delta re-slicing* for a
+    /// retrained model.
+    ///
+    /// Everything derived from `X` alone survives: the one-hot encoding,
+    /// the column sums `ss₀`, and the packed bitmaps. Only the
+    /// error-dependent statistics (`se₀`, `sm₀`) are recomputed, in one
+    /// O(nnz) pass, and the generation counter is bumped. The next query
+    /// is bit-for-bit identical to a fresh run on the new vector.
+    pub fn swap_errors(&mut self, errors: &[f64]) -> Result<()> {
+        if errors.len() != self.n() {
+            return Err(SliceLineError::InvalidInput {
+                reason: format!("X0 has {} rows but e has {}", self.n(), errors.len()),
+            });
+        }
+        validate_errors(errors)?;
+        let _span = self
+            .exec
+            .tracer()
+            .span("session.swap_errors", "core")
+            .arg("generation", self.generation + 1);
+        self.errors.clear();
+        self.errors.extend_from_slice(errors);
+        self.refresh_error_stats();
+        self.generation += 1;
+        self.exec.metrics().counter("core.session.swaps").inc();
+        Ok(())
+    }
+
+    /// Runs a query against the resident state with the standard
+    /// evaluation kernels ([`evaluate_slices_with`] selected by the
+    /// query's `eval` field).
+    pub fn query(&mut self, query: &SliceQuery) -> Result<SliceLineResult> {
+        let eval_kernel = query.config().eval;
+        self.query_with(query, move |x, errors, slices, level, ctx, engine, exec| {
+            evaluate_slices_with(x, errors, slices, level, ctx, eval_kernel, exec, engine)
+        })
+    }
+
+    /// Runs a query with a caller-supplied level evaluator — the hook
+    /// the distributed driver uses to run its strategy dispatch against
+    /// a resident session. Seeding, caching, and statistics behave
+    /// exactly as in [`DatasetSession::query`].
+    pub fn query_with<E>(&mut self, query: &SliceQuery, evaluate: E) -> Result<SliceLineResult>
+    where
+        E: FnMut(
+            &CsrMatrix,
+            &[f64],
+            Vec<Vec<u32>>,
+            usize,
+            &ScoringContext,
+            &mut EvalEngine,
+            &ExecContext,
+        ) -> LevelState,
+    {
+        let config = query.config();
+        config.validate()?;
+        let scope = self
+            .exec
+            .with_threads(config.parallel.threads())
+            .run_scoped();
+        let exec = &scope;
+        let start = Instant::now();
+        let mut run_span = exec.tracer().span("session.query", "core");
+        let (n, l) = (self.n(), self.l());
+        let sigma = config.min_support.resolve(n).max(1);
+        let ctx = ScoringContext::new(&self.errors, config.alpha);
+        // Warm engine start for kernels that can evaluate through
+        // bitmaps: pack the full matrix once per session, then
+        // column-project the pack to this query's surviving columns —
+        // bit-identical to the pack a cold run would build from the
+        // projected CSR, at memcpy cost.
+        let engine = match config.eval {
+            EvalKernel::Bitmap | EvalKernel::Auto { .. } => {
+                let kept = self.kept_columns(sigma);
+                let bits = self.packed(exec);
+                EvalEngine::with_packed(config.bitmap_cache_bytes, bits.select_cols(&kept, exec))
+            }
+            _ => EvalEngine::new(config.bitmap_cache_bytes),
+        };
+        exec.add_prepare(start.elapsed());
+        run_span.add_arg("n", n);
+        run_span.add_arg("m", self.m);
+        run_span.add_arg("l", l);
+        run_span.add_arg("generation", self.generation);
+        let run = LatticeRun {
+            config,
+            ctx,
+            sigma,
+            engine,
+            stats: RunStats {
+                sigma,
+                n,
+                m: self.m,
+                l,
+                ..Default::default()
+            },
+            start,
+        };
+        let session = &*self;
+        let result = run_lattice(
+            run,
+            exec,
+            move |exec| session.seed_level(sigma, &ctx, exec),
+            evaluate,
+        );
+        run_span.add_arg("levels", result.stats.levels.len());
+        self.exec.metrics().counter("core.session.queries").inc();
+        Ok(result)
+    }
+
+    /// One-hot columns surviving `ss₀ ≥ σ ∧ se₀ > 0` for this query's σ.
+    fn kept_columns(&self, sigma: usize) -> Vec<usize> {
+        (0..self.l())
+            .filter(|&c| self.ss0[c] >= sigma as f64 && self.se0[c] > 0.0)
+            .collect()
+    }
+
+    /// Rebuilds the projected level-1 state from the cached statistics —
+    /// the warm replacement for `create_and_score_basic_slices`, which
+    /// recomputes the same values from the matrix.
+    fn seed_level(&self, sigma: usize, ctx: &ScoringContext, exec: &ExecContext) -> LatticeSeed {
+        let kept = self.kept_columns(sigma);
+        let x_proj = self
+            .x
+            .select_cols(&kept)
+            .expect("kept indices are strictly increasing and in range");
+        let col_feature: Vec<u32> = kept.iter().map(|&c| self.col_feature[c]).collect();
+        let col_code: Vec<u32> = kept.iter().map(|&c| self.col_code[c]).collect();
+        let mut level = LevelState {
+            slices: Vec::with_capacity(kept.len()),
+            sizes: exec.take_f64(0),
+            errors: exec.take_f64(0),
+            max_errors: exec.take_f64(0),
+            scores: exec.take_f64(0),
+        };
+        for (new_c, &c) in kept.iter().enumerate() {
+            level.slices.push(vec![new_c as u32]);
+            level.sizes.push(self.ss0[c]);
+            level.errors.push(self.se0[c]);
+            level.max_errors.push(self.sm0[c]);
+            level.scores.push(ctx.score(self.ss0[c], self.se0[c]));
+        }
+        let mut errors = exec.take_f64(0);
+        errors.extend_from_slice(&self.errors);
+        LatticeSeed {
+            proj: ProjectedData {
+                x: x_proj,
+                col_feature,
+                col_code,
+                orig_col: kept,
+            },
+            level,
+            errors,
+        }
+    }
+
+    /// The session's full-width bitmap pack, built on first use.
+    fn packed(&mut self, exec: &ExecContext) -> &BitMatrix {
+        if self.bits.is_none() {
+            let _span = exec
+                .tracer()
+                .span("bitmap.pack", "linalg")
+                .arg("rows", self.x.rows())
+                .arg("cols", self.x.cols());
+            self.bits = Some(BitMatrix::from_csr(&self.x));
+        }
+        self.bits.as_ref().expect("packed above")
+    }
+
+    /// Recomputes the error-dependent halves of Eq. 4 (`se₀`, `sm₀`).
+    fn refresh_error_stats(&mut self) {
+        self.se0 = self
+            .x
+            .vecmat(&self.errors)
+            .expect("errors validated to be row-aligned");
+        let mut sm0 = vec![0.0f64; self.x.cols()];
+        for r in 0..self.x.rows() {
+            let e = self.errors[r];
+            if e == 0.0 {
+                continue;
+            }
+            for &c in self.x.row_cols(r) {
+                if e > sm0[c as usize] {
+                    sm0[c as usize] = e;
+                }
+            }
+        }
+        self.sm0 = sm0;
+    }
+}
+
+/// The shared `(x0, errors)` validation (mirrors `prepare`'s checks,
+/// which stay config-aware on the one-shot path).
+fn validate_inputs(x0: &IntMatrix, errors: &[f64]) -> Result<()> {
+    let n = x0.rows();
+    if n == 0 || x0.cols() == 0 {
+        return Err(SliceLineError::InvalidInput {
+            reason: format!("empty input: {}x{}", n, x0.cols()),
+        });
+    }
+    if errors.len() != n {
+        return Err(SliceLineError::InvalidInput {
+            reason: format!("X0 has {n} rows but e has {}", errors.len()),
+        });
+    }
+    validate_errors(errors)
+}
+
+fn validate_errors(errors: &[f64]) -> Result<()> {
+    for (i, &e) in errors.iter().enumerate() {
+        if !e.is_finite() || e < 0.0 {
+            return Err(SliceLineError::InvalidInput {
+                reason: format!("error at row {i} is {e}; errors must be finite and >= 0"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SliceLine;
+    use crate::config::{EvalKernel, SliceLineConfig};
+
+    fn planted() -> (IntMatrix, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut errors = Vec::new();
+        for i in 0..32u32 {
+            let f0 = 1 + (i % 2);
+            let f1 = 1 + ((i / 2) % 2);
+            let f2 = 1 + ((i / 4) % 4);
+            rows.push(vec![f0, f1, f2]);
+            errors.push(if f0 == 1 && f1 == 1 { 1.0 } else { 0.05 });
+        }
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn config(eval: EvalKernel) -> SliceLineConfig {
+        let mut c = SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.95)
+            .threads(1)
+            .build()
+            .unwrap();
+        c.eval = eval;
+        c
+    }
+
+    #[test]
+    fn cold_and_warm_queries_match_one_shot() {
+        let (x0, e) = planted();
+        for eval in [
+            EvalKernel::Blocked { block_size: 16 },
+            EvalKernel::Fused,
+            EvalKernel::Bitmap,
+        ] {
+            let cfg = config(eval);
+            let one_shot = SliceLine::new(cfg.clone()).find_slices(&x0, &e).unwrap();
+            let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+            let cold = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+            let warm = session.query(&SliceQuery::new(cfg)).unwrap();
+            assert_eq!(cold.top_k, one_shot.top_k, "cold vs one-shot, {eval:?}");
+            assert_eq!(warm.top_k, one_shot.top_k, "warm vs one-shot, {eval:?}");
+            assert_eq!(cold.stats.levels.len(), one_shot.stats.levels.len());
+        }
+    }
+
+    #[test]
+    fn swap_errors_matches_fresh_run() {
+        let (x0, e) = planted();
+        let cfg = config(EvalKernel::Bitmap);
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        // Retrained model: the error mass moves to a different slice.
+        let e2: Vec<f64> = (0..32)
+            .map(|i| if (i / 2) % 2 == 1 { 0.9 } else { 0.1 })
+            .collect();
+        session.swap_errors(&e2).unwrap();
+        assert_eq!(session.generation(), 1);
+        let delta = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        let fresh = SliceLine::new(cfg).find_slices(&x0, &e2).unwrap();
+        assert_eq!(delta.top_k, fresh.top_k);
+    }
+
+    #[test]
+    fn query_threads_follow_config() {
+        let (x0, e) = planted();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let mut cfg = config(EvalKernel::Blocked { block_size: 16 });
+        cfg.parallel = sliceline_linalg::ParallelConfig::new(4);
+        let threaded = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        cfg.parallel = sliceline_linalg::ParallelConfig::serial();
+        let serial = session.query(&SliceQuery::new(cfg)).unwrap();
+        assert_eq!(threaded.top_k, serial.top_k);
+    }
+
+    #[test]
+    fn rejects_bad_inputs_and_swaps() {
+        let (x0, e) = planted();
+        assert!(DatasetSession::new(&x0, &e[1..], &ExecContext::serial()).is_err());
+        let mut bad = e.clone();
+        bad[3] = -1.0;
+        assert!(DatasetSession::new(&x0, &bad, &ExecContext::serial()).is_err());
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        assert!(session.swap_errors(&e[1..]).is_err());
+        assert!(session.swap_errors(&bad).is_err());
+        // Failed swaps leave the session usable and at generation 0.
+        assert_eq!(session.generation(), 0);
+        assert!(session
+            .query(&SliceQuery::new(config(EvalKernel::Fused)))
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_query_config_rejected() {
+        let (x0, e) = planted();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let mut cfg = config(EvalKernel::Fused);
+        cfg.alpha = 2.0;
+        assert!(session.query(&SliceQuery::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn session_metrics_counters_advance() {
+        let (x0, e) = planted();
+        let exec = ExecContext::serial();
+        let mut session = DatasetSession::new(&x0, &e, &exec).unwrap();
+        session
+            .query(&SliceQuery::new(config(EvalKernel::Fused)))
+            .unwrap();
+        session.swap_errors(&e).unwrap();
+        let m = exec.metrics();
+        assert_eq!(m.counter("core.session.builds").value(), 1);
+        assert_eq!(m.counter("core.session.queries").value(), 1);
+        assert_eq!(m.counter("core.session.swaps").value(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests for session parity: a [`DatasetSession`] must answer
+//! queries **bit-for-bit** identically to the one-shot
+//! [`SliceLine::find_slices`] path — cold (first query after build), warm
+//! (repeat query reusing the cached encode/stats/pack), and after
+//! [`DatasetSession::swap_errors`] (delta re-slicing vs. a fresh run on
+//! the new error vector) — across evaluation kernels, enumeration
+//! kernels, compaction policies, and thread counts.
+//!
+//! Errors are drawn from a dyadic grid (multiples of 1/64), so every
+//! partial sum is exact in f64 and float association cannot mask a real
+//! divergence: any mismatch is a bug, not rounding.
+
+use proptest::prelude::*;
+use sliceline::config::{CompactKernel, EnumKernel, EvalKernel, SliceLineConfig};
+use sliceline::{DatasetSession, SliceInfo, SliceLine, SliceQuery};
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::ExecContext;
+
+/// Random integer-coded dataset plus two error vectors (the second plays
+/// the retrained model for `swap_errors` parity).
+///
+/// Codes are 1-based (`0` = missing is exercised by dedicated tests in
+/// the frame crate); per-feature domains of 2–3 keep the lattice small
+/// enough to enumerate exhaustively while still producing multi-level
+/// winners.
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<f64>, Vec<f64>)> {
+    (2usize..=4, 8usize..=40).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
+            proptest::collection::vec((0u32..=64).prop_map(|v| v as f64 / 64.0), n..=n),
+            proptest::collection::vec((0u32..=64).prop_map(|v| v as f64 / 64.0), n..=n),
+        )
+    })
+}
+
+/// The kernel/threading grid every parity property sweeps.
+fn configs() -> Vec<SliceLineConfig> {
+    let mut out = Vec::new();
+    for eval in [
+        EvalKernel::Blocked { block_size: 16 },
+        EvalKernel::Fused,
+        EvalKernel::Bitmap,
+        EvalKernel::Auto {
+            block_size: 16,
+            fused_above: 16,
+        },
+    ] {
+        for threads in [1usize, 4] {
+            for (enum_kernel, compact) in [
+                (EnumKernel::Serial, CompactKernel::Off),
+                (EnumKernel::Sharded { shards: 0 }, CompactKernel::On),
+            ] {
+                let mut cfg = SliceLineConfig::builder()
+                    .k(4)
+                    .min_support(2)
+                    .alpha(0.95)
+                    .threads(threads)
+                    .build()
+                    .unwrap();
+                cfg.eval = eval;
+                cfg.enum_kernel = enum_kernel;
+                cfg.compact = compact;
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
+/// One slice rendered with bit-exact statistics:
+/// `(predicates, score bits, size bits, error bits, max bits)`.
+type SliceBits = (Vec<(usize, u32)>, u64, u64, u64, u64);
+
+/// Renders top-K with bit-exact scores for mismatch messages and strict
+/// comparison.
+fn fingerprint(top_k: &[SliceInfo]) -> Vec<SliceBits> {
+    top_k
+        .iter()
+        .map(|s| {
+            (
+                s.predicates.clone(),
+                s.score.to_bits(),
+                s.size.to_bits(),
+                s.error.to_bits(),
+                s.max_error.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic instance of the parity property that runs under plain
+/// `cargo test` even where the proptest runner is unavailable.
+#[test]
+fn session_matches_one_shot_on_fixed_dataset() {
+    let rows: Vec<Vec<u32>> = (0..36u32)
+        .map(|i| vec![1 + (i % 2), 1 + ((i / 2) % 3), 1 + ((i / 6) % 2)])
+        .collect();
+    let e: Vec<f64> = (0..36)
+        .map(|i| {
+            if i % 2 == 0 && (i / 2) % 3 == 1 {
+                1.0
+            } else {
+                ((i * 5) % 17) as f64 / 64.0
+            }
+        })
+        .collect();
+    let e2: Vec<f64> = (0..36).map(|i| ((i * 11) % 65) as f64 / 64.0).collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    for cfg in configs() {
+        let one_shot = SliceLine::new(cfg.clone()).find_slices(&x0, &e).unwrap();
+        let fresh2 = SliceLine::new(cfg.clone()).find_slices(&x0, &e2).unwrap();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let cold = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        let warm = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        assert_eq!(
+            fingerprint(&cold.top_k),
+            fingerprint(&one_shot.top_k),
+            "cold vs one-shot: {cfg:?}"
+        );
+        assert_eq!(
+            fingerprint(&warm.top_k),
+            fingerprint(&cold.top_k),
+            "warm vs cold: {cfg:?}"
+        );
+        session.swap_errors(&e2).unwrap();
+        let delta = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        assert_eq!(
+            fingerprint(&delta.top_k),
+            fingerprint(&fresh2.top_k),
+            "swap_errors vs fresh: {cfg:?}"
+        );
+    }
+}
+
+/// A session answering two tenants' worth of alternating queries (same
+/// dataset, different k/σ/α) never contaminates one query with another's
+/// parameters.
+#[test]
+fn interleaved_queries_stay_independent() {
+    let rows: Vec<Vec<u32>> = (0..30u32)
+        .map(|i| vec![1 + (i % 3), 1 + ((i / 3) % 2)])
+        .collect();
+    let e: Vec<f64> = (0..30).map(|i| ((i * 7) % 65) as f64 / 64.0).collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let mk = |k: usize, sigma: usize, alpha: f64| {
+        SliceLineConfig::builder()
+            .k(k)
+            .min_support(sigma)
+            .alpha(alpha)
+            .threads(1)
+            .build()
+            .unwrap()
+    };
+    let (a, b) = (mk(2, 2, 0.9), mk(5, 4, 0.99));
+    let one_a = SliceLine::new(a.clone()).find_slices(&x0, &e).unwrap();
+    let one_b = SliceLine::new(b.clone()).find_slices(&x0, &e).unwrap();
+    let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+    for _ in 0..2 {
+        let got_a = session.query(&SliceQuery::new(a.clone())).unwrap();
+        let got_b = session.query(&SliceQuery::new(b.clone())).unwrap();
+        assert_eq!(fingerprint(&got_a.top_k), fingerprint(&one_a.top_k));
+        assert_eq!(fingerprint(&got_b.top_k), fingerprint(&one_b.top_k));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold session query == one-shot, warm == cold, and a post-swap
+    /// query == a fresh run on the new errors — bit-for-bit across the
+    /// kernel/thread grid.
+    #[test]
+    fn session_parity((rows, e, e2) in dataset_strategy()) {
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        for cfg in configs() {
+            let one_shot = SliceLine::new(cfg.clone()).find_slices(&x0, &e).unwrap();
+            let fresh2 = SliceLine::new(cfg.clone()).find_slices(&x0, &e2).unwrap();
+            let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+            let cold = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+            let warm = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+            prop_assert_eq!(
+                fingerprint(&cold.top_k), fingerprint(&one_shot.top_k),
+                "cold vs one-shot: {:?}", cfg
+            );
+            prop_assert_eq!(
+                fingerprint(&warm.top_k), fingerprint(&cold.top_k),
+                "warm vs cold: {:?}", cfg
+            );
+            session.swap_errors(&e2).unwrap();
+            let delta = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+            prop_assert_eq!(
+                fingerprint(&delta.top_k), fingerprint(&fresh2.top_k),
+                "swap_errors vs fresh: {:?}", cfg
+            );
+        }
+    }
+
+    /// Session generation counts swaps exactly, and level statistics
+    /// (counts of evaluated slices per level) match the one-shot run —
+    /// the warm path must not enumerate more or fewer candidates.
+    #[test]
+    fn session_stats_match_one_shot((rows, e, e2) in dataset_strategy()) {
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        let cfg = SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.95)
+            .threads(1)
+            .build()
+            .unwrap();
+        let one_shot = SliceLine::new(cfg.clone()).find_slices(&x0, &e).unwrap();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let cold = session.query(&SliceQuery::new(cfg.clone())).unwrap();
+        prop_assert_eq!(cold.stats.levels.len(), one_shot.stats.levels.len());
+        for (a, b) in cold.stats.levels.iter().zip(one_shot.stats.levels.iter()) {
+            prop_assert_eq!(a.candidates, b.candidates, "candidates diverged");
+            prop_assert_eq!(a.valid, b.valid, "valid diverged");
+        }
+        prop_assert_eq!(session.generation(), 0);
+        session.swap_errors(&e2).unwrap();
+        prop_assert_eq!(session.generation(), 1);
+        session.swap_errors(&e).unwrap();
+        prop_assert_eq!(session.generation(), 2);
+        let back = session.query(&SliceQuery::new(cfg)).unwrap();
+        prop_assert_eq!(fingerprint(&back.top_k), fingerprint(&one_shot.top_k));
+    }
+}

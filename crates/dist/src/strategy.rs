@@ -8,16 +8,14 @@
 //! but slice evaluation local).
 
 use crate::cluster::{ClusterConfig, SimulatedCluster};
-use sliceline::compact::maybe_compact;
 use sliceline::config::{EvalKernel, SliceLineConfig};
-use sliceline::enumerate::get_pair_candidates;
 use sliceline::evaluate::{evaluate_slices, EvalEngine};
 use sliceline::init::{create_and_score_basic_slices, LevelState};
-use sliceline::prepare::prepare;
-use sliceline::stats::{LevelStats, RunStats};
-use sliceline::topk::TopK;
-use sliceline::{Result, SliceLineResult};
-use sliceline_linalg::{CsrMatrix, ExecContext, LevelProfile, Stage};
+use sliceline::prepare::{prepare, PreparedData};
+use sliceline::session::{DatasetSession, SliceQuery};
+use sliceline::stats::RunStats;
+use sliceline::{run_lattice, LatticeRun, LatticeSeed, Result, SliceLineResult};
+use sliceline_linalg::{CsrMatrix, ExecContext};
 use std::time::Instant;
 
 /// How slice evaluation is parallelized.
@@ -164,202 +162,89 @@ impl DistSliceLine {
     }
 
     /// Runs the level-wise algorithm on a caller-provided execution
-    /// context (shared scratch pool, telemetry, tracer, and metrics —
-    /// mirrors [`sliceline::SliceLine::find_slices_in`]).
+    /// context (shared scratch pool, tracer, and metrics — mirrors
+    /// [`sliceline::SliceLine::find_slices_in`]). Telemetry is collected
+    /// on a per-run scope ([`ExecContext::run_scoped`]), so concurrent
+    /// runs on one context cannot corrupt each other's statistics.
+    ///
+    /// The level loop is the core crate's shared [`run_lattice`] runner
+    /// with the strategy dispatch plugged in as the evaluator, so
+    /// results stay bit-for-bit aligned with the local driver.
     pub fn find_slices_in(
         &self,
         x0: &sliceline_frame::IntMatrix,
         errors: &[f64],
         exec: &ExecContext,
     ) -> Result<SliceLineResult> {
+        let scope = exec.run_scoped();
+        let exec = &scope;
         let start = Instant::now();
-        exec.reset_stats();
         let mut run_span = exec.tracer().span("find_slices", "core");
-        let mut prepared = prepare(x0, errors, &self.config, exec)?;
+        let prepared = prepare(x0, errors, &self.config, exec)?;
         exec.add_prepare(start.elapsed());
         run_span.add_arg("n", prepared.n());
         run_span.add_arg("m", prepared.m);
         run_span.add_arg("l", prepared.l());
-        let mut stats = RunStats {
+        let run = LatticeRun {
+            config: &self.config,
+            ctx: prepared.ctx,
             sigma: prepared.sigma,
-            n: prepared.n(),
-            m: prepared.m,
-            l: prepared.l(),
-            ..Default::default()
-        };
-        exec.begin_level(1);
-        let level_span = exec.tracer().span("level", "core").arg("level", 1u64);
-        let lvl_start = Instant::now();
-        let (mut proj, mut level) = exec.time_stage(Stage::Evaluate, || {
-            create_and_score_basic_slices(&prepared, exec)
-        });
-        exec.record_level(|p| {
-            p.candidates += prepared.l() as u64;
-            p.evaluated += prepared.l() as u64;
-        });
-        stats.basic_slices = level.len();
-        let max_level = self.config.max_level.min(prepared.m);
-        // Driver-side compaction state. The strategy paths evaluate
-        // through the blocked/partitioned kernels, so the engine never
-        // holds packed bitmaps and coverage falls back to the CSR pass;
-        // the simulated cluster repartitions the (compacted) matrix at
-        // each broadcast, so partitions and the skew gauge follow along.
-        let mut engine = EvalEngine::default();
-        let mut topk = TopK::new(self.config.k, prepared.sigma);
-        let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
-        exec.record_level(|p| p.topk_entered += entered as u64);
-        let outcome = exec.time_stage(Stage::Compact, || {
-            maybe_compact(
-                self.config.compact_policy_at(1, max_level),
-                self.config.compact_below,
-                &self.config.pruning,
-                &mut proj,
-                &mut prepared.errors,
-                &mut level,
-                &mut topk,
-                &mut engine,
-                &prepared.ctx,
-                prepared.sigma,
-                1,
-                exec,
-            )
-        });
-        sliceline::record_compact(exec, &outcome);
-        sliceline::emit_funnel(
-            exec,
-            &LevelProfile {
-                level: 1,
-                candidates: prepared.l() as u64,
-                evaluated: prepared.l() as u64,
-                topk_entered: entered as u64,
-                rows_retained: outcome.rows_retained as u64,
-                cols_retained: outcome.cols_retained as u64,
+            // Driver-side compaction state. The strategy paths evaluate
+            // through the blocked/partitioned kernels, so the engine
+            // never holds packed bitmaps and coverage falls back to the
+            // CSR pass; the simulated cluster repartitions the
+            // (compacted) matrix at each broadcast, so partitions and
+            // the skew gauge follow along.
+            engine: EvalEngine::default(),
+            stats: RunStats {
+                sigma: prepared.sigma,
+                n: prepared.n(),
+                m: prepared.m,
+                l: prepared.l(),
                 ..Default::default()
             },
-        );
-        stats.levels.push(LevelStats {
-            level: 1,
-            candidates: prepared.l(),
-            valid: level.len(),
-            enumeration: None,
-            elapsed: lvl_start.elapsed(),
-            threshold_after: topk.prune_threshold(),
-            rows_retained: outcome.rows_retained,
-            cols_retained: outcome.cols_retained,
-        });
-        drop(level_span);
-        let mut l = 1usize;
-        while !level.is_empty() && l < max_level {
-            l += 1;
-            exec.begin_level(l);
-            let level_span = exec.tracer().span("level", "core").arg("level", l as u64);
-            let lvl_start = Instant::now();
-            let (candidates, enum_stats) = exec.time_stage(Stage::Enumerate, || {
-                get_pair_candidates(
-                    &level,
-                    l,
-                    &proj.col_feature,
-                    proj.x.cols(),
-                    &prepared.ctx,
-                    prepared.sigma,
-                    &self.config.pruning,
-                    &topk,
-                    self.config.enum_kernel,
-                    exec,
-                )
-            });
-            let evaluated = candidates.len();
-            level = exec.time_stage(Stage::Evaluate, || {
-                evaluate_with_strategy(
-                    &proj.x,
-                    &prepared.errors,
-                    candidates,
-                    l,
-                    &prepared.ctx,
-                    &self.strategy,
-                    exec,
-                )
-            });
-            let entered = exec.time_stage(Stage::TopK, || topk.update(&level));
-            exec.record_level(|p| p.topk_entered += entered as u64);
-            let outcome = exec.time_stage(Stage::Compact, || {
-                maybe_compact(
-                    self.config.compact_policy_at(l, max_level),
-                    self.config.compact_below,
-                    &self.config.pruning,
-                    &mut proj,
-                    &mut prepared.errors,
-                    &mut level,
-                    &mut topk,
-                    &mut engine,
-                    &prepared.ctx,
-                    prepared.sigma,
-                    l,
-                    exec,
-                )
-            });
-            sliceline::record_compact(exec, &outcome);
-            sliceline::emit_funnel(
-                exec,
-                &LevelProfile {
-                    level: l,
-                    pairs: enum_stats.pairs as u64,
-                    candidates: enum_stats.merged_valid as u64,
-                    deduped: (enum_stats.merged_valid - enum_stats.deduped) as u64,
-                    pruned_size: enum_stats.pruned_size as u64,
-                    pruned_score: enum_stats.pruned_score as u64,
-                    pruned_parents: enum_stats.pruned_parents as u64,
-                    evaluated: evaluated as u64,
-                    topk_entered: entered as u64,
-                    rows_retained: outcome.rows_retained as u64,
-                    cols_retained: outcome.cols_retained as u64,
-                    ..Default::default()
-                },
-            );
-            stats.levels.push(LevelStats {
-                level: l,
-                candidates: evaluated,
-                valid: (0..level.len())
-                    .filter(|&i| level.sizes[i] >= prepared.sigma as f64 && level.errors[i] > 0.0)
-                    .count(),
-                enumeration: Some(enum_stats),
-                elapsed: lvl_start.elapsed(),
-                threshold_after: topk.prune_threshold(),
-                rows_retained: outcome.rows_retained,
-                cols_retained: outcome.cols_retained,
-            });
-            drop(level_span);
-        }
-        run_span.add_arg("levels", stats.levels.len());
-        stats.total_elapsed = start.elapsed();
-        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
-        // Decode via the same predicate mapping as the core driver.
-        let top_k = topk
-            .entries()
-            .iter()
-            .map(|e| {
-                let mut predicates: Vec<(usize, u32)> = e
-                    .cols
-                    .iter()
-                    .map(|&c| {
-                        (
-                            proj.col_feature[c as usize] as usize,
-                            proj.col_code[c as usize],
-                        )
-                    })
-                    .collect();
-                predicates.sort_unstable();
-                sliceline::SliceInfo {
-                    predicates,
-                    score: e.score,
-                    size: e.size,
-                    error: e.error,
-                    max_error: e.max_error,
-                    avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
+            start,
+        };
+        let strategy = &self.strategy;
+        let result = run_lattice(
+            run,
+            exec,
+            move |exec| {
+                let (proj, level) = create_and_score_basic_slices(&prepared, exec);
+                let PreparedData { errors, .. } = prepared;
+                LatticeSeed {
+                    proj,
+                    level,
+                    errors,
                 }
-            })
-            .collect();
-        Ok(SliceLineResult { top_k, stats })
+            },
+            |x, errors, slices, level, ctx, _engine, exec| {
+                evaluate_with_strategy(x, errors, slices, level, ctx, strategy, exec)
+            },
+        );
+        run_span.add_arg("levels", result.stats.levels.len());
+        Ok(result)
+    }
+
+    /// Runs a query against a resident [`DatasetSession`] — the
+    /// distributed counterpart of
+    /// [`DatasetSession::query`](sliceline::session::DatasetSession::query).
+    ///
+    /// The session's encoded matrix, cached basic-slice statistics, and
+    /// scratch pool all survive across calls, so repeat distributed
+    /// queries skip preparation exactly like local ones; per-partition
+    /// state is re-derived from the resident (compacted) working set at
+    /// each broadcast. The driver's own `config` is ignored in favor of
+    /// the query's, matching the session API.
+    pub fn find_slices_session(
+        &self,
+        session: &mut DatasetSession,
+        query: &SliceQuery,
+    ) -> Result<SliceLineResult> {
+        let strategy = &self.strategy;
+        session.query_with(query, |x, errors, slices, level, ctx, _engine, exec| {
+            evaluate_with_strategy(x, errors, slices, level, ctx, strategy, exec)
+        })
     }
 }
 
@@ -428,6 +313,25 @@ mod tests {
                 .unwrap();
             assert_eq!(r.top_k, local.top_k, "strategy {s:?} diverged");
         }
+    }
+
+    #[test]
+    fn session_queries_match_one_shot() {
+        let (x0, e) = planted();
+        let driver = DistSliceLine::new(
+            core_config(),
+            Strategy::MtParfor {
+                threads: 3,
+                block_size: 4,
+            },
+        );
+        let one_shot = driver.find_slices(&x0, &e).unwrap();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let q = SliceQuery::new(core_config());
+        let cold = driver.find_slices_session(&mut session, &q).unwrap();
+        let warm = driver.find_slices_session(&mut session, &q).unwrap();
+        assert_eq!(cold.top_k, one_shot.top_k);
+        assert_eq!(warm.top_k, one_shot.top_k);
     }
 
     #[test]

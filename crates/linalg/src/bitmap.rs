@@ -168,6 +168,28 @@ impl BitMatrix {
         }
     }
 
+    /// Projects the matrix onto a subset of columns without touching the
+    /// row space: column `j` of the result is a verbatim copy of column
+    /// `cols[j]`. Because rows (and therefore words-per-column) are
+    /// unchanged, the result is bit-identical to re-packing a
+    /// column-projected CSR with [`BitMatrix::from_csr`] — this is the
+    /// warm-session path that reuses a resident full pack instead of
+    /// re-packing after the per-query support filter. The word buffer is
+    /// checked out of `exec`'s pool.
+    pub fn select_cols(&self, cols: &[usize], exec: &ExecContext) -> BitMatrix {
+        let wpc = self.words_per_col;
+        let mut words = exec.take_u64(wpc * cols.len());
+        for (j, &c) in cols.iter().enumerate() {
+            words[j * wpc..(j + 1) * wpc].copy_from_slice(self.col(c));
+        }
+        BitMatrix {
+            rows: self.rows,
+            cols: cols.len(),
+            words_per_col: wpc,
+            words,
+        }
+    }
+
     /// Returns the word buffer to the context's pool. Use after replacing
     /// a matrix with its [`BitMatrix::gather_rows`] repack so the next
     /// pack or gather starts from recycled capacity.
@@ -646,6 +668,23 @@ mod tests {
         }
         g.recycle(&exec);
         assert!(exec.pool_stats().bytes_outstanding < 8 * 64);
+    }
+
+    #[test]
+    fn select_cols_matches_projected_repack() {
+        let rows: Vec<Vec<u32>> = (0..150)
+            .map(|i| vec![(i % 3) as u32, 3 + (i % 2) as u32])
+            .collect();
+        let x = binary(&rows, 5);
+        let b = BitMatrix::from_csr(&x);
+        let exec = ExecContext::serial();
+        let sel = b.select_cols(&[0, 2, 4], &exec);
+        assert_eq!(sel.rows(), b.rows());
+        assert_eq!(sel.cols(), 3);
+        assert_eq!(sel.words_per_col(), b.words_per_col());
+        let direct = BitMatrix::from_csr(&x.select_cols(&[0, 2, 4]).unwrap());
+        assert_eq!(sel, direct, "column projection must match a re-pack");
+        sel.recycle(&exec);
     }
 
     #[test]

@@ -461,17 +461,22 @@ struct Telemetry {
 #[derive(Debug, Default)]
 struct CtxInner {
     pool: BufferPool,
-    telemetry: Telemetry,
     tracer: Tracer,
     metrics: MetricsRegistry,
 }
 
 /// Shared execution context threaded through every kernel and level-loop
 /// entry point. See the [module docs](self) for the full story.
+///
+/// The telemetry sink lives behind its own handle (separate from the
+/// pool/tracer/metrics `Arc`) so [`ExecContext::run_scoped`] can derive a
+/// view with a private sink: concurrent runs on one shared context each
+/// collect their own level profiles instead of clobbering a global one.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     parallel: ParallelConfig,
     inner: Arc<CtxInner>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for ExecContext {
@@ -497,10 +502,10 @@ impl ExecContext {
             parallel,
             inner: Arc::new(CtxInner {
                 pool: BufferPool::new(),
-                telemetry: Telemetry::default(),
                 tracer: Tracer::new(),
                 metrics: MetricsRegistry::new(),
             }),
+            telemetry: Arc::new(Telemetry::default()),
         }
     }
 
@@ -510,6 +515,29 @@ impl ExecContext {
         ExecContext {
             parallel: ParallelConfig::new(threads),
             inner: Arc::clone(&self.inner),
+            telemetry: Arc::clone(&self.telemetry),
+        }
+    }
+
+    /// A per-run view that shares this context's buffer pool, tracer,
+    /// and metrics registry but collects telemetry into a **fresh**
+    /// private sink (inheriting the parent's enabled flag).
+    ///
+    /// This is what the level loop uses instead of a global
+    /// [`ExecContext::reset_stats`]: concurrent runs on one shared
+    /// context each get their own level profiles, while pooled buffers
+    /// and manifest metrics still flow through the shared state. The
+    /// parent's own `exec_stats()` snapshot is unaffected by work done
+    /// under the scoped view.
+    pub fn run_scoped(&self) -> ExecContext {
+        let telemetry = Telemetry::default();
+        telemetry
+            .enabled
+            .store(self.stats_enabled(), Ordering::Relaxed);
+        ExecContext {
+            parallel: self.parallel,
+            inner: Arc::clone(&self.inner),
+            telemetry: Arc::new(telemetry),
         }
     }
 
@@ -657,12 +685,12 @@ impl ExecContext {
 
     /// Turns the telemetry sink on or off (off by default).
     pub fn enable_stats(&self, on: bool) {
-        self.inner.telemetry.enabled.store(on, Ordering::Relaxed);
+        self.telemetry.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether telemetry is being collected.
     pub fn stats_enabled(&self) -> bool {
-        self.inner.telemetry.enabled.load(Ordering::Relaxed)
+        self.telemetry.enabled.load(Ordering::Relaxed)
     }
 
     /// Opens a fresh [`LevelProfile`] for lattice level `level`;
@@ -672,7 +700,7 @@ impl ExecContext {
         if !self.stats_enabled() {
             return;
         }
-        self.inner.telemetry.levels.push_slot(LevelProfile {
+        self.telemetry.levels.push_slot(LevelProfile {
             level,
             ..Default::default()
         });
@@ -685,7 +713,7 @@ impl ExecContext {
         if !self.stats_enabled() {
             return;
         }
-        self.inner.telemetry.levels.with_current(f);
+        self.telemetry.levels.with_current(f);
     }
 
     /// Runs `f`, attributing its wall time to `stage` of the current
@@ -716,8 +744,7 @@ impl ExecContext {
         if !self.stats_enabled() {
             return;
         }
-        self.inner
-            .telemetry
+        self.telemetry
             .prepare_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
@@ -727,10 +754,8 @@ impl ExecContext {
     /// (pool high-water, bitmap cache hit rate, partition skew).
     pub fn exec_stats(&self) -> ExecStats {
         let stats = ExecStats {
-            prepare: Duration::from_nanos(
-                self.inner.telemetry.prepare_nanos.load(Ordering::Relaxed),
-            ),
-            levels: self.inner.telemetry.levels.snapshot(),
+            prepare: Duration::from_nanos(self.telemetry.prepare_nanos.load(Ordering::Relaxed)),
+            levels: self.telemetry.levels.snapshot(),
             pool: self.pool_stats(),
         };
         let metrics = &self.inner.metrics;
@@ -760,11 +785,8 @@ impl ExecContext {
     /// [`Tracer::reset`] if needed). Called at the start of each run so
     /// a reused context reports one run.
     pub fn reset_stats(&self) {
-        self.inner.telemetry.levels.reset();
-        self.inner
-            .telemetry
-            .prepare_nanos
-            .store(0, Ordering::Relaxed);
+        self.telemetry.levels.reset();
+        self.telemetry.prepare_nanos.store(0, Ordering::Relaxed);
     }
 
     // ---- tracing + metrics ---------------------------------------------
@@ -868,6 +890,38 @@ mod tests {
         ctx.begin_level(2);
         view.record_level(|p| p.partials += 3);
         assert_eq!(ctx.exec_stats().levels[0].partials, 3);
+    }
+
+    #[test]
+    fn run_scoped_isolates_telemetry_but_shares_pool() {
+        let ctx = ExecContext::new(2);
+        ctx.enable_stats(true);
+        let run = ctx.run_scoped();
+        assert!(run.stats_enabled(), "scoped view inherits the enabled flag");
+        assert_eq!(run.threads(), ctx.threads());
+        run.begin_level(1);
+        run.record_level(|p| p.evaluated += 5);
+        assert_eq!(run.exec_stats().levels.len(), 1);
+        assert!(
+            ctx.exec_stats().levels.is_empty(),
+            "parent sink must not see scoped-run profiles"
+        );
+        // Pool is shared both ways.
+        run.put_f64(vec![0.0; 8]);
+        let _ = ctx.take_f64(8);
+        assert_eq!(ctx.pool_stats().f64_reused, 1);
+        // Two concurrent scoped runs do not clobber each other.
+        let a = ctx.run_scoped();
+        let b = ctx.run_scoped();
+        a.begin_level(1);
+        b.begin_level(1);
+        a.record_level(|p| p.evaluated += 1);
+        b.record_level(|p| p.evaluated += 10);
+        assert_eq!(a.exec_stats().levels[0].evaluated, 1);
+        assert_eq!(b.exec_stats().levels[0].evaluated, 10);
+        // Disabled parents hand out disabled scoped views.
+        let cold = ExecContext::serial();
+        assert!(!cold.run_scoped().stats_enabled());
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Minimal std-only HTTP/1.1 front end over the registry + job queue.
+//!
+//! Routes (all responses are JSON, connections close after one
+//! request/response exchange):
+//!
+//! | Method & path            | Body                                   | Effect |
+//! |--------------------------|----------------------------------------|--------|
+//! | `GET /health`            | —                                      | liveness probe |
+//! | `GET /metrics`           | —                                      | shared metrics registry snapshot |
+//! | `GET /manifest`          | —                                      | service run manifest (same schema as `sliceline find --metrics-json`) |
+//! | `GET /datasets`          | —                                      | registered dataset ids |
+//! | `POST /datasets`         | `{"path", "errors", "bins"?, "drop"?}` | load a CSV from the server's disk, register a session, return its id |
+//! | `POST /datasets/ID/errors` | `{"path", "errors"}`                 | swap the error vector (delta re-slicing) |
+//! | `POST /jobs`             | `{"dataset", "k"?, "sigma"?, ...}`     | enqueue a query, return the job id |
+//! | `GET /jobs/ID`           | —                                      | job state + result when done |
+//! | `POST /jobs/ID/cancel`   | —                                      | cancel a queued job |
+//! | `POST /shutdown`         | —                                      | stop the accept loop |
+
+use crate::jobs::{JobQueue, JobStatus};
+use crate::registry::DatasetRegistry;
+use crate::ServeError;
+use sliceline::{CompactKernel, EnumKernel, EvalKernel, MinSupport, SliceLineConfig, SliceQuery};
+use sliceline_frame::{csv::read_csv_file, Column, DatasetEncoder, IntMatrix};
+use sliceline_linalg::ExecContext;
+use sliceline_obs::json::{escape, parse, Json};
+use sliceline_obs::Manifest;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server settings (see `sliceline serve` in the CLI).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs (0 = one per core).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+        }
+    }
+}
+
+/// The bound service: registry + job queue + listening socket.
+pub struct Server {
+    registry: Arc<DatasetRegistry>,
+    queue: JobQueue,
+    listener: TcpListener,
+    stop: AtomicBool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool. The execution
+    /// context (scratch pool, tracer, metrics) is shared by every
+    /// session the server hosts.
+    pub fn bind(config: &ServerConfig, exec: ExecContext) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let registry = Arc::new(DatasetRegistry::new(exec));
+        let queue = JobQueue::new(Arc::clone(&registry), workers);
+        Ok(Server {
+            registry,
+            queue,
+            listener,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0`).
+    pub fn addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The dataset registry (for embedding the service without HTTP).
+    pub fn registry(&self) -> &Arc<DatasetRegistry> {
+        &self.registry
+    }
+
+    /// The job queue (for embedding the service without HTTP).
+    pub fn queue(&self) -> &JobQueue {
+        &self.queue
+    }
+
+    /// Accept loop: one request per connection, handled inline. Returns
+    /// after a `POST /shutdown` request. Inline handling keeps ordering
+    /// simple (register-then-submit from one client cannot race); the
+    /// heavy lifting — the queries themselves — runs on the worker pool.
+    pub fn run(&self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let _ = self.handle(stream);
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        self.registry
+            .exec()
+            .metrics()
+            .counter("serve.http.requests")
+            .inc();
+        let request = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(e) => return write_response(&mut stream, 400, &error_json(&e)),
+        };
+        let (status, body) = self.route(&request);
+        write_response(&mut stream, status, &body)
+    }
+
+    fn route(&self, req: &Request) -> (u16, String) {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let result = match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["health"]) => Ok("{\"ok\":true}".to_string()),
+            ("GET", ["metrics"]) => Ok(self.registry.exec().metrics().to_json()),
+            ("GET", ["manifest"]) => Ok(self.manifest().to_json()),
+            ("GET", ["datasets"]) => Ok(format!(
+                "{{\"datasets\":[{}]}}",
+                self.registry
+                    .ids()
+                    .iter()
+                    .map(|id| format!("\"{id}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )),
+            ("POST", ["datasets"]) => self.register_dataset(&req.body),
+            ("POST", ["datasets", id, "errors"]) => self.swap_errors(id, &req.body),
+            ("POST", ["jobs"]) => self.submit_job(&req.body),
+            ("GET", ["jobs", id]) => self.job_status(id),
+            ("POST", ["jobs", id, "cancel"]) => self.cancel_job(id),
+            ("POST", ["shutdown"]) => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok("{\"stopping\":true}".to_string())
+            }
+            _ => Err(ServeError::not_found(format!(
+                "no route {} {}",
+                req.method, req.path
+            ))),
+        };
+        match result {
+            Ok(body) => (200, body),
+            Err(e) => (e.status, error_json(&e.message)),
+        }
+    }
+
+    /// Service manifest: same required-key schema as the CLI's
+    /// `--metrics-json` (validated by `trace_check --manifest`).
+    fn manifest(&self) -> Manifest {
+        let mut m = Manifest::new("sliceline-serve");
+        m.set_str("git", &git_describe());
+        m.set_raw(
+            "config",
+            format!("{{\"workers\":{}}}", self.queue.workers()),
+        );
+        m.set_raw(
+            "dataset",
+            format!(
+                "{{\"resident\":{},\"ids\":[{}]}}",
+                self.registry.len(),
+                self.registry
+                    .ids()
+                    .iter()
+                    .map(|id| format!("\"{id}\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        m.set_raw("metrics", self.registry.exec().metrics().to_json());
+        m
+    }
+
+    fn register_dataset(&self, body: &str) -> Result<String, ServeError> {
+        let (x0, errors) = load_dataset(body)?;
+        let id = self.registry.register(&x0, &errors)?;
+        Ok(format!(
+            "{{\"id\":\"{id}\",\"n\":{},\"m\":{}}}",
+            x0.rows(),
+            x0.cols()
+        ))
+    }
+
+    fn swap_errors(&self, id: &str, body: &str) -> Result<String, ServeError> {
+        let (_, errors) = load_dataset(body)?;
+        let generation = self.registry.swap_errors(id, &errors)?;
+        Ok(format!("{{\"id\":\"{id}\",\"generation\":{generation}}}"))
+    }
+
+    fn submit_job(&self, body: &str) -> Result<String, ServeError> {
+        let doc = parse_body(body)?;
+        let dataset = doc
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::bad_request("'dataset' (string) is required"))?
+            .to_string();
+        let query = parse_query(&doc)?;
+        let job = self.queue.submit(&dataset, query)?;
+        Ok(format!("{{\"job\":{job}}}"))
+    }
+
+    fn job_status(&self, id: &str) -> Result<String, ServeError> {
+        let id: u64 = id
+            .parse()
+            .map_err(|_| ServeError::bad_request(format!("bad job id '{id}'")))?;
+        let status = self
+            .queue
+            .status(id)
+            .ok_or_else(|| ServeError::not_found(format!("unknown job {id}")))?;
+        Ok(status_json(&status))
+    }
+
+    fn cancel_job(&self, id: &str) -> Result<String, ServeError> {
+        let id: u64 = id
+            .parse()
+            .map_err(|_| ServeError::bad_request(format!("bad job id '{id}'")))?;
+        Ok(format!(
+            "{{\"job\":{id},\"cancelled\":{}}}",
+            self.queue.cancel(id)
+        ))
+    }
+}
+
+/// Renders a job snapshot; the `result` field splices the existing
+/// [`sliceline::export::result_to_json`] document when the job is done.
+fn status_json(status: &JobStatus) -> String {
+    let mut out = format!(
+        "{{\"job\":{},\"dataset\":\"{}\",\"state\":\"{}\"",
+        status.id,
+        status.dataset,
+        status.state.name()
+    );
+    if let Some(elapsed) = status.elapsed {
+        out.push_str(&format!(",\"elapsed_s\":{:.6}", elapsed.as_secs_f64()));
+    }
+    if let Some(error) = &status.error {
+        out.push_str(&format!(",\"error\":\"{}\"", escape(error)));
+    }
+    if let Some(result) = &status.result {
+        out.push_str(",\"result\":");
+        out.push_str(&sliceline::export::result_to_json(result.as_ref()));
+    }
+    out.push('}');
+    out
+}
+
+// ---- request plumbing --------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 1 << 20 {
+            return Err("request headers too large".to_string());
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > 1 << 26 {
+        return Err("request body too large".to_string());
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", escape(message))
+}
+
+fn parse_body(body: &str) -> Result<Json, ServeError> {
+    if body.trim().is_empty() {
+        return Err(ServeError::bad_request("request body must be JSON"));
+    }
+    parse(body).map_err(|e| ServeError::bad_request(format!("bad JSON body: {e}")))
+}
+
+// ---- dataset + query parsing -------------------------------------------
+
+/// Loads `{"path", "errors", "bins"?, "drop"?}`: reads the CSV from the
+/// server's filesystem, splits off the numeric error column, and encodes
+/// the rest with the same preprocessing as `sliceline find --errors`.
+fn load_dataset(body: &str) -> Result<(IntMatrix, Vec<f64>), ServeError> {
+    let doc = parse_body(body)?;
+    let path = doc
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("'path' (string) is required"))?;
+    let errcol = doc
+        .get("errors")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("'errors' (string) is required"))?;
+    let bins = doc.get("bins").and_then(Json::as_u64).unwrap_or(10) as u32;
+    let mut drop: Vec<String> = doc
+        .get("drop")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let df = read_csv_file(std::path::Path::new(path), ',', true)
+        .map_err(|e| ServeError::bad_request(format!("reading {path}: {e}")))?;
+    let errors = match df
+        .column(errcol)
+        .map_err(|e| ServeError::bad_request(e.to_string()))?
+    {
+        Column::Numeric(v) => v.clone(),
+        Column::Categorical { .. } => {
+            return Err(ServeError::bad_request(format!(
+                "errors column '{errcol}' must be numeric"
+            )))
+        }
+    };
+    if errors.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return Err(ServeError::bad_request(
+            "errors column must be finite and non-negative",
+        ));
+    }
+    drop.push(errcol.to_string());
+    let encoder = DatasetEncoder {
+        binning: sliceline_frame::BinningStrategy::EquiWidth(bins),
+        recode_threshold: bins as usize,
+        drop_columns: drop,
+        label_column: None,
+    };
+    let encoded = encoder
+        .encode(&df)
+        .map_err(|e| ServeError::bad_request(format!("encoding failed: {e}")))?;
+    Ok((encoded.x0, errors))
+}
+
+/// Builds a [`SliceQuery`] from the job JSON; unknown kernels and invalid
+/// numbers surface as 400s at submit time.
+fn parse_query(doc: &Json) -> Result<SliceQuery, ServeError> {
+    let k = doc.get("k").and_then(Json::as_u64).unwrap_or(4) as usize;
+    let alpha = doc.get("alpha").and_then(Json::as_f64).unwrap_or(0.95);
+    let sigma = doc.get("sigma").and_then(Json::as_f64).unwrap_or(0.01);
+    let max_level = doc
+        .get("max_level")
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .unwrap_or(usize::MAX);
+    let threads = doc.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize;
+    let kernel = match doc
+        .get("kernel")
+        .and_then(Json::as_str)
+        .unwrap_or("blocked")
+    {
+        "blocked" => EvalKernel::Blocked { block_size: 16 },
+        "fused" => EvalKernel::Fused,
+        "bitmap" => EvalKernel::Bitmap,
+        "auto" => EvalKernel::Auto {
+            block_size: 16,
+            fused_above: 4096,
+        },
+        other => return Err(ServeError::bad_request(format!("unknown kernel '{other}'"))),
+    };
+    let enum_kernel = match doc
+        .get("enum_kernel")
+        .and_then(Json::as_str)
+        .unwrap_or("auto")
+    {
+        "serial" => EnumKernel::Serial,
+        "sharded" => EnumKernel::Sharded { shards: 0 },
+        "auto" => EnumKernel::default(),
+        other => {
+            return Err(ServeError::bad_request(format!(
+                "unknown enum_kernel '{other}'"
+            )))
+        }
+    };
+    let compact = match doc.get("compact").and_then(Json::as_str).unwrap_or("off") {
+        "off" => CompactKernel::Off,
+        "on" => CompactKernel::On,
+        "auto" => CompactKernel::auto(),
+        other => {
+            return Err(ServeError::bad_request(format!(
+                "unknown compact policy '{other}'"
+            )))
+        }
+    };
+    let mut config = SliceLineConfig::builder()
+        .k(k)
+        .alpha(alpha)
+        .eval(kernel)
+        .enum_kernel(enum_kernel)
+        .compact(compact)
+        .max_level(max_level)
+        .threads(if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        })
+        .build()
+        .map_err(|e| ServeError::bad_request(e.to_string()))?;
+    config.min_support = if sigma >= 1.0 {
+        MinSupport::Absolute(sigma as usize)
+    } else {
+        MinSupport::Fraction(sigma)
+    };
+    Ok(SliceQuery::new(config))
+}
+
+/// Current code revision (matches the CLI manifest's `git` field).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_defaults_and_rejects_unknowns() {
+        let doc = parse("{\"dataset\":\"x\"}").unwrap();
+        let q = parse_query(&doc).unwrap();
+        assert_eq!(q.config().k, 4);
+        let doc = parse("{\"kernel\":\"gpu\"}").unwrap();
+        assert!(parse_query(&doc).is_err());
+        let doc = parse("{\"alpha\":7.0}").unwrap();
+        assert!(parse_query(&doc).is_err());
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"partial"), None);
+    }
+
+    #[test]
+    fn error_json_escapes() {
+        assert_eq!(error_json("a\"b"), "{\"error\":\"a\\\"b\"}");
+    }
+}

@@ -1,0 +1,448 @@
+//! Thread-per-worker job queue over the dataset registry.
+//!
+//! Jobs move through `queued → running → done | failed`; a queued job
+//! can be cancelled (`cancelled` is terminal). Workers pull jobs FIFO,
+//! lock the target session, and run [`DatasetSession::query`]
+//! (sliceline::DatasetSession::query) — so concurrent jobs against
+//! *different* datasets run in parallel while jobs against the *same*
+//! dataset serialize on its session lock and all stay warm.
+
+use crate::registry::DatasetRegistry;
+use crate::ServeError;
+use sliceline::{SliceLineResult, SliceQuery};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing the query.
+    Running,
+    /// Finished successfully; the result is available.
+    Done,
+    /// The query returned an error.
+    Failed,
+    /// Cancelled while still queued (terminal).
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Lower-case name used in JSON payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Snapshot of one job, returned by [`JobQueue::status`].
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id assigned at submit time.
+    pub id: u64,
+    /// Target dataset (content hash).
+    pub dataset: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The query result once `state == Done`.
+    pub result: Option<Arc<SliceLineResult>>,
+    /// The failure message once `state == Failed`.
+    pub error: Option<String>,
+    /// Wall time from submit to terminal state (terminal jobs only).
+    pub elapsed: Option<Duration>,
+}
+
+struct JobEntry {
+    dataset: String,
+    query: SliceQuery,
+    state: JobState,
+    result: Option<Arc<SliceLineResult>>,
+    error: Option<String>,
+    submitted: Instant,
+    elapsed: Option<Duration>,
+}
+
+struct QueueInner {
+    registry: Arc<DatasetRegistry>,
+    /// FIFO of job ids; guarded together with `work_cv`.
+    pending: Mutex<VecDeque<u64>>,
+    work_cv: Condvar,
+    /// All jobs ever submitted (bounded by process lifetime; the service
+    /// is a debugging tool, not a long-haul scheduler).
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl QueueInner {
+    fn finish(
+        &self,
+        id: u64,
+        state: JobState,
+        result: Option<Arc<SliceLineResult>>,
+        error: Option<String>,
+    ) {
+        let mut jobs = self.jobs.lock().unwrap();
+        if let Some(entry) = jobs.get_mut(&id) {
+            entry.state = state;
+            entry.result = result;
+            entry.error = error;
+            entry.elapsed = Some(entry.submitted.elapsed());
+        }
+        drop(jobs);
+        self.done_cv.notify_all();
+    }
+
+    fn queue_depth_gauge(&self, depth: usize) {
+        self.registry
+            .exec()
+            .metrics()
+            .gauge("serve.jobs.queue_depth")
+            .set(depth as f64);
+    }
+}
+
+/// The worker pool. Dropping the queue shuts the workers down after the
+/// jobs already dequeued finish (queued-but-unstarted jobs stay queued).
+pub struct JobQueue {
+    inner: Arc<QueueInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl JobQueue {
+    /// Spawns `workers` worker threads (at least one) over `registry`.
+    pub fn new(registry: Arc<DatasetRegistry>, workers: usize) -> Self {
+        let inner = Arc::new(QueueInner {
+            registry,
+            pending: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = workers.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        JobQueue {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a query against dataset `dataset`. Fails fast when the
+    /// dataset is unknown so clients get a 404 at submit time, not a
+    /// failed job later.
+    pub fn submit(&self, dataset: &str, query: SliceQuery) -> Result<u64, ServeError> {
+        if self.inner.registry.get(dataset).is_none() {
+            return Err(ServeError::not_found(format!(
+                "unknown dataset '{dataset}'"
+            )));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.jobs.lock().unwrap().insert(
+            id,
+            JobEntry {
+                dataset: dataset.to_string(),
+                query,
+                state: JobState::Queued,
+                result: None,
+                error: None,
+                submitted: Instant::now(),
+                elapsed: None,
+            },
+        );
+        let mut pending = self.inner.pending.lock().unwrap();
+        pending.push_back(id);
+        self.inner.queue_depth_gauge(pending.len());
+        drop(pending);
+        self.inner.work_cv.notify_one();
+        let metrics = self.inner.registry.exec().metrics();
+        metrics.counter("serve.jobs.submitted").inc();
+        Ok(id)
+    }
+
+    /// Snapshot of job `id`, if it exists.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let jobs = self.inner.jobs.lock().unwrap();
+        jobs.get(&id).map(|entry| JobStatus {
+            id,
+            dataset: entry.dataset.clone(),
+            state: entry.state,
+            result: entry.result.clone(),
+            error: entry.error.clone(),
+            elapsed: entry.elapsed,
+        })
+    }
+
+    /// Cancels job `id`. Only queued jobs can be cancelled; returns
+    /// `true` when the job transitioned to [`JobState::Cancelled`],
+    /// `false` when it was already running or terminal (or unknown).
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut jobs = self.inner.jobs.lock().unwrap();
+        match jobs.get_mut(&id) {
+            Some(entry) if entry.state == JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                entry.elapsed = Some(entry.submitted.elapsed());
+                drop(jobs);
+                self.inner.done_cv.notify_all();
+                let metrics = self.inner.registry.exec().metrics();
+                metrics.counter("serve.jobs.cancelled").inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state and returns its
+    /// final snapshot (`None` for unknown ids).
+    pub fn wait(&self, id: u64) -> Option<JobStatus> {
+        let mut jobs = self.inner.jobs.lock().unwrap();
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(entry) if entry.state.is_terminal() => {
+                    let status = JobStatus {
+                        id,
+                        dataset: entry.dataset.clone(),
+                        state: entry.state,
+                        result: entry.result.clone(),
+                        error: entry.error.clone(),
+                        elapsed: entry.elapsed,
+                    };
+                    return Some(status);
+                }
+                Some(_) => jobs = self.inner.done_cv.wait(jobs).unwrap(),
+            }
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &QueueInner) {
+    loop {
+        let id = {
+            let mut pending = inner.pending.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = pending.pop_front() {
+                    inner.queue_depth_gauge(pending.len());
+                    break id;
+                }
+                pending = inner.work_cv.wait(pending).unwrap();
+            }
+        };
+        // Claim the job; a cancel that landed while it sat in the queue
+        // wins and the worker moves on.
+        let (dataset, query) = {
+            let mut jobs = inner.jobs.lock().unwrap();
+            match jobs.get_mut(&id) {
+                Some(entry) if entry.state == JobState::Queued => {
+                    entry.state = JobState::Running;
+                    (entry.dataset.clone(), entry.query.clone())
+                }
+                _ => continue,
+            }
+        };
+        let metrics = inner.registry.exec().metrics();
+        let Some(session) = inner.registry.get(&dataset) else {
+            inner.finish(
+                id,
+                JobState::Failed,
+                None,
+                Some(format!("dataset '{dataset}' disappeared")),
+            );
+            metrics.counter("serve.jobs.failed").inc();
+            continue;
+        };
+        let outcome = session.lock().unwrap().query(&query);
+        match outcome {
+            Ok(result) => {
+                inner.finish(id, JobState::Done, Some(Arc::new(result)), None);
+                metrics.counter("serve.jobs.completed").inc();
+            }
+            Err(e) => {
+                inner.finish(id, JobState::Failed, None, Some(e.to_string()));
+                metrics.counter("serve.jobs.failed").inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline::{SliceLine, SliceLineConfig};
+    use sliceline_frame::IntMatrix;
+    use sliceline_linalg::ExecContext;
+
+    fn fixture(shift: u32) -> (IntMatrix, Vec<f64>) {
+        let rows: Vec<Vec<u32>> = (0..48)
+            .map(|i| {
+                vec![
+                    1 + ((i + shift as usize) % 2) as u32,
+                    1 + ((i / 2) % 3) as u32,
+                ]
+            })
+            .collect();
+        let errors: Vec<f64> = (0..48)
+            .map(|i| {
+                if (i + shift as usize).is_multiple_of(2) && (i / 2) % 3 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    fn query(k: usize) -> SliceQuery {
+        SliceQuery::new(
+            SliceLineConfig::builder()
+                .k(k)
+                .min_support(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn jobs_run_to_done_and_match_one_shot() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 2);
+        let job = queue.submit(&id, query(3)).unwrap();
+        let status = queue.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert!(status.error.is_none());
+        let got = status.result.unwrap();
+        let want = SliceLine::new(query(3).config().clone())
+            .find_slices(&x0, &errors)
+            .unwrap();
+        assert_eq!(got.top_k.len(), want.top_k.len());
+        for (a, b) in got.top_k.iter().zip(&want.top_k) {
+            assert_eq!(a.predicates, b.predicates);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_against_two_datasets() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (xa, ea) = fixture(0);
+        let (xb, eb) = fixture(1);
+        let a = reg.register(&xa, &ea).unwrap();
+        let b = reg.register(&xb, &eb).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 4);
+        let jobs: Vec<u64> = (0..8)
+            .map(|i| {
+                queue
+                    .submit(if i % 2 == 0 { &a } else { &b }, query(2))
+                    .unwrap()
+            })
+            .collect();
+        for job in jobs {
+            let status = queue.wait(job).unwrap();
+            assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        }
+    }
+
+    #[test]
+    fn unknown_dataset_rejected_at_submit() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let queue = JobQueue::new(reg, 1);
+        let err = queue.submit("nope", query(2)).unwrap_err();
+        assert_eq!(err.status, 404);
+    }
+
+    #[test]
+    fn queued_jobs_can_be_cancelled() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        // Hold the session lock so the worker stalls and later jobs stay
+        // queued long enough to cancel deterministically.
+        let session = reg.get(&id).unwrap();
+        let guard = session.lock().unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 1);
+        let first = queue.submit(&id, query(2)).unwrap();
+        let second = queue.submit(&id, query(2)).unwrap();
+        // The single worker is blocked on the session lock inside job 1;
+        // job 2 is still queued and must cancel.
+        assert!(queue.cancel(second));
+        assert!(!queue.cancel(second), "cancel is not idempotent-true");
+        let status = queue.status(second).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        drop(guard);
+        let status = queue.wait(first).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert!(!queue.cancel(first), "terminal jobs cannot be cancelled");
+    }
+
+    #[test]
+    fn failed_jobs_carry_the_error() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 1);
+        // alpha outside (0,1] fails config validation inside the query.
+        let mut config = SliceLineConfig::builder().k(2).build().unwrap();
+        config.alpha = 2.0;
+        let job = queue.submit(&id, SliceQuery::new(config)).unwrap();
+        let status = queue.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(status.error.is_some());
+        assert!(status.result.is_none());
+    }
+}

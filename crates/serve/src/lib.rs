@@ -1,0 +1,78 @@
+//! # sliceline-serve
+//!
+//! A multi-tenant slice-finding service built on the session-oriented
+//! execution core ([`sliceline::DatasetSession`]):
+//!
+//! - [`registry`]: a content-hash-keyed **dataset registry**. Registering
+//!   the same `(X, errors)` twice returns the same warm session, so every
+//!   query after the first skips prepare/encode/pack entirely; swapping
+//!   the error vector keeps the encoded matrix and bitmaps (delta
+//!   re-slicing).
+//! - [`jobs`]: a thread-per-worker **job queue** with explicit job states
+//!   (`queued → running → done | failed`, `cancelled` from the queue) and
+//!   cancellation of queued jobs.
+//! - [`http`]: a minimal std-only HTTP front end. `/metrics` serves the
+//!   shared [`MetricsRegistry`](sliceline_obs::MetricsRegistry) snapshot
+//!   and `/manifest` a run manifest built with the existing
+//!   [`Manifest`](sliceline_obs::Manifest) exporter, so the service emits
+//!   the same machine-readable artifacts as `sliceline find
+//!   --metrics-json`.
+//!
+//! The service never re-implements slice finding: jobs call
+//! [`DatasetSession::query`](sliceline::DatasetSession::query), which runs
+//! the same lattice runner as the one-shot API — results are bit-for-bit
+//! identical to `sliceline find` on the same data and parameters.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod http;
+pub mod jobs;
+pub mod registry;
+
+pub use http::{Server, ServerConfig};
+pub use jobs::{JobQueue, JobState, JobStatus};
+pub use registry::{content_hash, DatasetRegistry};
+
+/// Service-layer error: an HTTP-ish status code plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Status code the HTTP layer maps this to (400/404/409/500).
+    pub status: u16,
+    /// Human-readable message (also sent as the JSON `error` field).
+    pub message: String,
+}
+
+impl ServeError {
+    /// Client error (HTTP 400).
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Unknown dataset or job (HTTP 404).
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    /// Server-side failure (HTTP 500).
+    pub fn internal(message: impl Into<String>) -> Self {
+        ServeError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for ServeError {}

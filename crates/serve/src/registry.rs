@@ -1,0 +1,226 @@
+//! Content-hash-keyed registry of warm [`DatasetSession`]s.
+//!
+//! The registry is the multi-tenant half of the session architecture:
+//! every registered `(X, errors)` pair owns one session (encoded matrix,
+//! basic statistics, packed bitmaps, pooled scratch), shared by all jobs
+//! that target it. Registration is idempotent — the key is a content
+//! hash of the data, so two tenants uploading the same dataset share one
+//! warm session instead of preparing it twice.
+
+use crate::ServeError;
+use sliceline::session::DatasetSession;
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::ExecContext;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit content hash of a dataset: shape, integer codes, and
+/// error bits. Used as the registry key (hex string), so identical data
+/// always maps to the same session.
+pub fn content_hash(x0: &IntMatrix, errors: &[f64]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(x0.rows() as u64).to_le_bytes());
+    eat(&(x0.cols() as u64).to_le_bytes());
+    for r in 0..x0.rows() {
+        for &code in x0.row(r) {
+            eat(&code.to_le_bytes());
+        }
+    }
+    for &e in errors {
+        eat(&e.to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// Shared handle to one tenant's session. Jobs lock it for the duration
+/// of a query; error swaps take the same lock, so a swap never tears a
+/// running query.
+pub type SharedSession = Arc<Mutex<DatasetSession>>;
+
+/// Thread-safe registry mapping content hashes to warm sessions.
+pub struct DatasetRegistry {
+    exec: ExecContext,
+    sessions: Mutex<HashMap<String, SharedSession>>,
+}
+
+impl std::fmt::Debug for DatasetRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetRegistry")
+            .field("datasets", &self.len())
+            .finish()
+    }
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry. All sessions share `exec`'s scratch
+    /// pool, tracer, and metrics registry (each query still collects
+    /// isolated telemetry via scoped stats).
+    pub fn new(exec: ExecContext) -> Self {
+        DatasetRegistry {
+            exec,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The execution context shared by every session in this registry.
+    pub fn exec(&self) -> &ExecContext {
+        &self.exec
+    }
+
+    /// Registers a dataset and returns its content-hash id. Idempotent:
+    /// re-registering identical data returns the existing warm session
+    /// (counted in `serve.datasets.cache_hits`) without re-preparing.
+    pub fn register(&self, x0: &IntMatrix, errors: &[f64]) -> Result<String, ServeError> {
+        let id = content_hash(x0, errors);
+        {
+            let sessions = self.sessions.lock().unwrap();
+            if sessions.contains_key(&id) {
+                self.exec
+                    .metrics()
+                    .counter("serve.datasets.cache_hits")
+                    .inc();
+                return Ok(id);
+            }
+        }
+        // Build outside the map lock: preparation can be expensive and
+        // other tenants' lookups should not stall behind it. A racing
+        // duplicate registration just wins the insert below (same data,
+        // same id, either session is equally warm).
+        let session = DatasetSession::new(x0, errors, &self.exec)
+            .map_err(|e| ServeError::bad_request(e.to_string()))?;
+        let mut sessions = self.sessions.lock().unwrap();
+        sessions
+            .entry(id.clone())
+            .or_insert_with(|| Arc::new(Mutex::new(session)));
+        self.exec
+            .metrics()
+            .counter("serve.datasets.registered")
+            .inc();
+        self.exec
+            .metrics()
+            .gauge("serve.datasets.resident")
+            .set(sessions.len() as f64);
+        Ok(id)
+    }
+
+    /// The session registered under `id`, if any.
+    pub fn get(&self, id: &str) -> Option<SharedSession> {
+        self.sessions.lock().unwrap().get(id).cloned()
+    }
+
+    /// Replaces the error vector of dataset `id` in place (delta
+    /// re-slicing: the encoded matrix and packed bitmaps survive).
+    /// Returns the session's new generation number.
+    pub fn swap_errors(&self, id: &str, errors: &[f64]) -> Result<u64, ServeError> {
+        let session = self
+            .get(id)
+            .ok_or_else(|| ServeError::not_found(format!("unknown dataset '{id}'")))?;
+        let mut session = session.lock().unwrap();
+        session
+            .swap_errors(errors)
+            .map_err(|e| ServeError::bad_request(e.to_string()))?;
+        Ok(session.generation())
+    }
+
+    /// Registered dataset ids (sorted, for stable listings).
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.sessions.lock().unwrap().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline::{SliceLineConfig, SliceQuery};
+
+    fn fixture() -> (IntMatrix, Vec<f64>) {
+        let rows: Vec<Vec<u32>> = (0..32)
+            .map(|i| vec![1 + (i % 2) as u32, 1 + ((i / 2) % 2) as u32])
+            .collect();
+        let errors: Vec<f64> = (0..32)
+            .map(|i| {
+                if i % 2 == 0 && (i / 2) % 2 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        (IntMatrix::from_rows(&rows).unwrap(), errors)
+    }
+
+    #[test]
+    fn register_is_idempotent_and_content_keyed() {
+        let (x0, errors) = fixture();
+        let reg = DatasetRegistry::new(ExecContext::serial());
+        let a = reg.register(&x0, &errors).unwrap();
+        let b = reg.register(&x0, &errors).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        // Different errors → different dataset identity.
+        let mut e2 = errors.clone();
+        e2[0] = 0.5;
+        let c = reg.register(&x0, &e2).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.ids().len(), 2);
+    }
+
+    #[test]
+    fn shared_session_answers_queries() {
+        let (x0, errors) = fixture();
+        let reg = DatasetRegistry::new(ExecContext::serial());
+        let id = reg.register(&x0, &errors).unwrap();
+        let session = reg.get(&id).unwrap();
+        let config = SliceLineConfig::builder()
+            .k(2)
+            .min_support(2)
+            .build()
+            .unwrap();
+        let got = session
+            .lock()
+            .unwrap()
+            .query(&SliceQuery::new(config.clone()))
+            .unwrap();
+        let want = sliceline::SliceLine::new(config)
+            .find_slices(&x0, &errors)
+            .unwrap();
+        assert_eq!(got.top_k.len(), want.top_k.len());
+        for (a, b) in got.top_k.iter().zip(&want.top_k) {
+            assert_eq!(a.predicates, b.predicates);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn swap_errors_bumps_generation_and_rejects_bad_input() {
+        let (x0, errors) = fixture();
+        let reg = DatasetRegistry::new(ExecContext::serial());
+        let id = reg.register(&x0, &errors).unwrap();
+        let mut e2 = errors.clone();
+        e2.reverse();
+        assert_eq!(reg.swap_errors(&id, &e2).unwrap(), 1);
+        assert!(reg.swap_errors(&id, &e2[..3]).is_err());
+        assert!(reg.swap_errors("missing", &e2).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! End-to-end exercise of the HTTP front end: register datasets over the
+//! wire, run concurrent jobs, swap errors for delta re-slicing, and
+//! check the observability endpoints — all against a real socket.
+
+use sliceline::{SliceLine, SliceLineConfig};
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::ExecContext;
+use sliceline_obs::json::{parse, Json};
+use sliceline_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// One HTTP exchange against `addr`; returns (status, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Planted-slice CSV: rows with a=1 & b=1 carry all the error.
+fn write_csv(name: &str, flip: bool) -> (std::path::PathBuf, IntMatrix, Vec<f64>) {
+    let dir = std::env::temp_dir().join("sliceline_serve_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut csv = String::from("a,b,err\n");
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for i in 0..60usize {
+        let a = 1 + (i % 2) as u32;
+        let b = 1 + ((i / 2) % 3) as u32;
+        let hot = if flip {
+            a == 2 && b == 2
+        } else {
+            a == 1 && b == 1
+        };
+        let err = if hot { 1.0 } else { 0.0 };
+        csv.push_str(&format!("{a},{b},{err}\n"));
+        rows.push(vec![a, b]);
+        errors.push(err);
+    }
+    std::fs::write(&path, csv).unwrap();
+    (path, IntMatrix::from_rows(&rows).unwrap(), errors)
+}
+
+fn start_server() -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+    };
+    let server = Arc::new(Server::bind(&config, ExecContext::serial()).unwrap());
+    let addr = server.addr().unwrap().to_string();
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run().unwrap());
+    (server, addr, handle)
+}
+
+fn wait_done(addr: &str, job: u64) -> Json {
+    for _ in 0..500 {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{job}"), "");
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        let state = doc.get("state").and_then(Json::as_str).unwrap().to_string();
+        match state.as_str() {
+            "done" => return doc,
+            "failed" | "cancelled" => panic!("job {job} ended {state}: {body}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    panic!("job {job} did not finish");
+}
+
+/// Top-K as (predicates, score-bits) pairs from the job-status JSON.
+fn topk_shape(doc: &Json) -> Vec<(String, u64)> {
+    doc.get("result")
+        .and_then(|r| r.get("top_k"))
+        .and_then(Json::as_arr)
+        .expect("result.top_k")
+        .iter()
+        .map(|slice| {
+            let preds = slice
+                .get("predicates")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{}={}",
+                        p.get("feature").and_then(Json::as_u64).unwrap(),
+                        p.get("code").and_then(Json::as_u64).unwrap()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("&");
+            let score = slice.get("score").and_then(Json::as_f64).unwrap();
+            (preds, score.to_bits())
+        })
+        .collect()
+}
+
+fn expected_shape(x0: &IntMatrix, errors: &[f64]) -> Vec<(String, u64)> {
+    let config = SliceLineConfig::builder()
+        .k(3)
+        .min_support(2)
+        .build()
+        .unwrap();
+    let result = SliceLine::new(config).find_slices(x0, errors).unwrap();
+    result
+        .top_k
+        .iter()
+        .map(|s| {
+            let preds = s
+                .predicates
+                .iter()
+                .map(|(f, v)| format!("{f}={v}"))
+                .collect::<Vec<_>>()
+                .join("&");
+            (preds, s.score.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn full_service_flow() {
+    let (_server, addr, handle) = start_server();
+    let (path_a, xa, ea) = write_csv("tenant_a.csv", false);
+    let (path_b, xb, eb) = write_csv("tenant_b.csv", true);
+
+    // Health + empty registry.
+    let (status, body) = request(&addr, "GET", "/health", "");
+    assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+    let (_, body) = request(&addr, "GET", "/datasets", "");
+    assert_eq!(body, "{\"datasets\":[]}");
+
+    // Register two tenants; re-registering tenant A returns the same id.
+    let reg_body =
+        |p: &std::path::Path| format!("{{\"path\":\"{}\",\"errors\":\"err\"}}", p.display());
+    let (status, body) = request(&addr, "POST", "/datasets", &reg_body(&path_a));
+    assert_eq!(status, 200, "{body}");
+    let id_a = parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let (_, body) = request(&addr, "POST", "/datasets", &reg_body(&path_a));
+    assert!(body.contains(&id_a), "idempotent register: {body}");
+    let (_, body) = request(&addr, "POST", "/datasets", &reg_body(&path_b));
+    let id_b = parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(id_a, id_b);
+
+    // Concurrent jobs against both tenants; results must match one-shot
+    // runs bit-for-bit.
+    let job_body = |id: &str| format!("{{\"dataset\":\"{id}\",\"k\":3,\"sigma\":2}}");
+    let jobs: Vec<(u64, &IntMatrix, &Vec<f64>)> = (0..6)
+        .map(|i| {
+            let (id, x, e) = if i % 2 == 0 {
+                (&id_a, &xa, &ea)
+            } else {
+                (&id_b, &xb, &eb)
+            };
+            let (status, body) = request(&addr, "POST", "/jobs", &job_body(id));
+            assert_eq!(status, 200, "{body}");
+            let job = parse(&body)
+                .unwrap()
+                .get("job")
+                .and_then(Json::as_u64)
+                .unwrap();
+            (job, x, e)
+        })
+        .collect();
+    for (job, x, e) in jobs {
+        let doc = wait_done(&addr, job);
+        assert_eq!(topk_shape(&doc), expected_shape(x, e), "job {job}");
+    }
+
+    // Delta re-slice: swap tenant A's errors to tenant B's pattern; the
+    // same session (same id) must now produce tenant-B-shaped results.
+    let (status, body) = request(
+        &addr,
+        "POST",
+        &format!("/datasets/{id_a}/errors"),
+        &reg_body(&path_b),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+    let (_, body) = request(&addr, "POST", "/jobs", &job_body(&id_a));
+    let job = parse(&body)
+        .unwrap()
+        .get("job")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let doc = wait_done(&addr, job);
+    assert_eq!(topk_shape(&doc), expected_shape(&xa, &eb), "post-swap job");
+
+    // Unknown dataset → 404 at submit; bad JSON → 400.
+    let (status, _) = request(&addr, "POST", "/jobs", &job_body("deadbeef"));
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "POST", "/jobs", "not json");
+    assert_eq!(status, 400);
+    let (status, _) = request(&addr, "GET", "/jobs/99999", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    // Observability: metrics snapshot carries serve.* counters alongside
+    // the core funnel; the manifest parses with all required keys.
+    let (status, body) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for key in [
+        "serve.jobs.submitted",
+        "serve.jobs.completed",
+        "serve.datasets.registered",
+        "serve.http.requests",
+        "core.session.queries",
+        "core.funnel.evaluated",
+    ] {
+        assert!(body.contains(key), "metrics missing {key}:\n{body}");
+    }
+    let (status, body) = request(&addr, "GET", "/manifest", "");
+    assert_eq!(status, 200);
+    let doc = parse(&body).unwrap();
+    for key in [
+        "schema_version",
+        "tool",
+        "git",
+        "config",
+        "dataset",
+        "metrics",
+    ] {
+        assert!(
+            !matches!(doc.get(key), None | Some(Json::Null)),
+            "manifest missing {key}:\n{body}"
+        );
+    }
+    assert_eq!(
+        doc.get("tool").and_then(Json::as_str),
+        Some("sliceline-serve")
+    );
+
+    // Shutdown stops the accept loop.
+    let (status, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+}
