@@ -1,0 +1,295 @@
+//! Roofline — achieved memory bandwidth per bitmap kernel.
+//!
+//! Measures GB/s for each hot-path kernel (`and_into`, `and2_into`,
+//! `popcount`, `masked_stats` dense/sparse, `masked_stats_and2`,
+//! `masked_stats_and2_multi`) at forced-scalar and the detected SIMD
+//! level, against a `memcpy`-derived bandwidth ceiling on the same
+//! buffers. Pure bitmap kernels run on memory-resident buffers; the
+//! masked-stats kernels add the error-vector traffic their set bits
+//! actually select, so "bytes moved" counts useful traffic only (a
+//! sparse bitmap that skips 31/32 words reports the bandwidth of what
+//! it read, not of what it avoided).
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin roofline -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes machine-readable results to stdout (tables move
+//! to stderr); the committed `BENCH_simd.json` is that output.
+
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_linalg::bitmap::{
+    and2_into_with, and_into_with, masked_stats_and2_multi, masked_stats_and2_with,
+    masked_stats_with, popcount_with, MULTI_WAY,
+};
+use sliceline_linalg::simd;
+use sliceline_linalg::SimdLevel;
+use std::time::Instant;
+
+/// One measured cell: a kernel × data-shape pair at one SIMD level.
+struct Cell {
+    kernel: &'static str,
+    variant: &'static str,
+    level: SimdLevel,
+    bytes: f64,
+    secs: f64,
+}
+
+impl Cell {
+    fn gbps(&self) -> f64 {
+        self.bytes / self.secs.max(1e-12) / 1e9
+    }
+}
+
+/// Deterministic xorshift64* word stream (no RNG dependency needed).
+struct Words(u64);
+
+impl Words {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// A `words`-long bitmap where roughly one word in `one_in` is non-zero
+/// (1 = dense random ~50% bits, 32 = sparse with whole zero blocks).
+fn bitmap(words: usize, one_in: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Words(seed | 1);
+    (0..words)
+        .map(|i| {
+            if i % one_in == 0 || one_in == 1 {
+                rng.next()
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Times `f` with one warmup, a calibration call, then min-of-reps.
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let t0 = Instant::now();
+    f();
+    let est = t0.elapsed().as_secs_f64();
+    let reps = ((0.15 / est.max(1e-6)) as usize).clamp(3, 200);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner("Roofline: bitmap kernel bandwidth vs memcpy ceiling", &args);
+    }
+    let detected = simd::detect();
+    let levels: Vec<SimdLevel> = if detected == SimdLevel::Scalar {
+        vec![SimdLevel::Scalar]
+    } else {
+        vec![SimdLevel::Scalar, detected]
+    };
+
+    // Pure bitmap kernels: memory-resident operands (16 MiB each).
+    let big = 1usize << 21;
+    // Masked kernels: the error vector is 64× the bitmap (one f64 per
+    // row), so size the bitmap down to keep errors at 64 MiB.
+    let small = 1usize << 17;
+    let errors: Vec<f64> = (0..small * 64).map(|i| (i % 97) as f64 * 0.013).collect();
+
+    // The ceiling: bandwidth of a plain 16 MiB copy (read + write).
+    let src = bitmap(big, 1, 7);
+    let mut dst = vec![0u64; big];
+    let memcpy_secs = time_min(|| {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&dst);
+    });
+    let memcpy_gbps = (big * 16) as f64 / memcpy_secs.max(1e-12) / 1e9;
+    out(&format!("memcpy ceiling: {memcpy_gbps:.1} GB/s\n"));
+
+    let a_big = bitmap(big, 1, 11);
+    let b_big = bitmap(big, 1, 13);
+    let a_dense = bitmap(small, 1, 17);
+    let b_dense = bitmap(small, 1, 19);
+    let a_sparse = bitmap(small, 32, 23);
+    let siblings: Vec<Vec<u64>> = (0..MULTI_WAY as u64)
+        .map(|j| bitmap(small, 1, 29 + j))
+        .collect();
+    let sib_refs: Vec<&[u64]> = siblings.iter().map(|s| s.as_slice()).collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &level in &levels {
+        // and_into: read acc + read src + write acc.
+        let mut acc = a_big.clone();
+        let secs = time_min(|| {
+            acc.copy_from_slice(&a_big);
+            and_into_with(level, &mut acc, &b_big);
+            std::hint::black_box(&acc);
+        }) - memcpy_secs; // subtract the reset copy
+        cells.push(Cell {
+            kernel: "and_into",
+            variant: "dense",
+            level,
+            bytes: (big * 24) as f64,
+            secs: secs.max(1e-9),
+        });
+
+        // and2_into: read a + read b + write dst.
+        let mut dst2: Vec<u64> = Vec::with_capacity(big);
+        let secs = time_min(|| {
+            and2_into_with(level, &mut dst2, &a_big, &b_big);
+            std::hint::black_box(&dst2);
+        });
+        cells.push(Cell {
+            kernel: "and2_into",
+            variant: "dense",
+            level,
+            bytes: (big * 24) as f64,
+            secs,
+        });
+
+        // popcount: read-only stream.
+        let secs = time_min(|| {
+            std::hint::black_box(popcount_with(level, &a_big));
+        });
+        cells.push(Cell {
+            kernel: "popcount",
+            variant: "dense",
+            level,
+            bytes: (big * 8) as f64,
+            secs,
+        });
+
+        // masked_stats: words + the error lanes its set bits select.
+        for (variant, words) in [("dense", &a_dense), ("sparse", &a_sparse)] {
+            let pop = popcount_with(SimdLevel::Scalar, words);
+            let secs = time_min(|| {
+                std::hint::black_box(masked_stats_with(level, words, &errors));
+            });
+            cells.push(Cell {
+                kernel: "masked_stats",
+                variant,
+                level,
+                bytes: (small as u64 * 8 + pop * 8) as f64,
+                secs,
+            });
+        }
+
+        // masked_stats_and2: two bitmap streams + selected error lanes.
+        let mut both = a_dense.clone();
+        and_into_with(SimdLevel::Scalar, &mut both, &b_dense);
+        let pop = popcount_with(SimdLevel::Scalar, &both);
+        let secs = time_min(|| {
+            std::hint::black_box(masked_stats_and2_with(level, &a_dense, &b_dense, &errors));
+        });
+        cells.push(Cell {
+            kernel: "masked_stats_and2",
+            variant: "dense",
+            level,
+            bytes: (small as u64 * 16 + pop * 8) as f64,
+            secs,
+        });
+
+        // masked_stats_and2_multi: parent + MULTI_WAY children, one pass.
+        // (Per-slice scan order is scalar by contract; the win is data
+        // reuse, so both rows report the same shared-pass bandwidth.)
+        let mut pops = 0u64;
+        for s in &sib_refs {
+            let mut w = a_dense.clone();
+            and_into_with(SimdLevel::Scalar, &mut w, s);
+            pops += popcount_with(SimdLevel::Scalar, &w);
+        }
+        let mut outbuf = [(0.0f64, 0.0f64, 0.0f64); MULTI_WAY];
+        let secs = time_min(|| {
+            masked_stats_and2_multi(&a_dense, &sib_refs, &errors, &mut outbuf);
+            std::hint::black_box(&outbuf);
+        });
+        cells.push(Cell {
+            kernel: "masked_stats_and2_multi",
+            variant: "dense",
+            level,
+            bytes: (small as u64 * 8 * (1 + MULTI_WAY as u64) + pops * 8) as f64,
+            secs,
+        });
+    }
+
+    out(&format!(
+        "achieved bandwidth per kernel (detected: {})",
+        detected.name()
+    ));
+    let fast_hdr = format!("{} GB/s", detected.name());
+    let mut table = TextTable::new(&[
+        "kernel",
+        "variant",
+        "scalar GB/s",
+        fast_hdr.as_str(),
+        "speedup",
+        "ceiling frac",
+    ]);
+    let per_level = cells.len() / levels.len();
+    let mut best_simd_speedup = 0.0f64;
+    for i in 0..per_level {
+        let scalar = &cells[i];
+        let fast = if levels.len() > 1 {
+            &cells[per_level + i]
+        } else {
+            scalar
+        };
+        let speedup = scalar.secs / fast.secs.max(1e-12);
+        if matches!(scalar.kernel, "popcount" | "masked_stats") && levels.len() > 1 {
+            best_simd_speedup = best_simd_speedup.max(speedup);
+        }
+        table.row(&[
+            scalar.kernel.to_string(),
+            scalar.variant.to_string(),
+            format!("{:.1}", scalar.gbps()),
+            format!("{:.1}", fast.gbps()),
+            format!("{:.2}x", speedup),
+            format!("{:.0}%", fast.gbps() / memcpy_gbps * 100.0),
+        ]);
+    }
+    out(&table.render());
+    if levels.len() > 1 {
+        out(&format!(
+            "best SIMD speedup on a popcount/masked-stats cell: {best_simd_speedup:.2}x"
+        ));
+    }
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"roofline\",\n");
+        json.push_str(&format!("  \"detected\": \"{}\",\n", detected.name()));
+        json.push_str(&format!("  \"memcpy_gbps\": {memcpy_gbps:.3},\n"));
+        json.push_str(&format!(
+            "  \"best_simd_speedup_pop_or_masked\": {best_simd_speedup:.3},\n"
+        ));
+        json.push_str("  \"cells\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"level\": \"{}\", \"bytes\": {:.0}, \"secs\": {:.6e}, \"gbps\": {:.3}, \"ceiling_frac\": {:.3}}}{}\n",
+                c.kernel,
+                c.variant,
+                c.level.name(),
+                c.bytes,
+                c.secs,
+                c.gbps(),
+                c.gbps() / memcpy_gbps,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        print!("{json}");
+    }
+}

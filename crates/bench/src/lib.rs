@@ -41,6 +41,10 @@ pub struct BenchArgs {
     /// Dump per-level execution telemetry as JSON (binaries that support
     /// it run with stats collection enabled).
     pub stats_json: bool,
+    /// `kernel_compare` only: exit non-zero if the warm parent-reuse
+    /// measurement (cost-model cache admission) is slower than cold
+    /// recompute (warm speedup < 1.0x).
+    pub warm_gate: bool,
 }
 
 impl Default for BenchArgs {
@@ -51,6 +55,7 @@ impl Default for BenchArgs {
             threads: 0,
             paper: false,
             stats_json: false,
+            warm_gate: false,
         }
     }
 }
@@ -87,6 +92,7 @@ impl BenchArgs {
                 }
                 "--paper" => out.paper = true,
                 "--stats-json" => out.stats_json = true,
+                "--warm-gate" => out.warm_gate = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
@@ -129,7 +135,9 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale F] [--seed N] [--threads N] [--paper] [--stats-json]");
+    eprintln!(
+        "usage: <bin> [--scale F] [--seed N] [--threads N] [--paper] [--stats-json] [--warm-gate]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 
@@ -250,6 +258,13 @@ mod tests {
     fn parse_stats_json_flag() {
         let a = BenchArgs::parse_from(["--stats-json".to_string()]);
         assert!(a.stats_json);
+    }
+
+    #[test]
+    fn parse_warm_gate_flag() {
+        let a = BenchArgs::parse_from(["--warm-gate".to_string()]);
+        assert!(a.warm_gate);
+        assert!(!BenchArgs::default().warm_gate);
     }
 
     #[test]

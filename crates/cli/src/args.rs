@@ -42,6 +42,21 @@ pub enum EnumKernelChoice {
     Auto,
 }
 
+/// SIMD backend for the bitmap kernels (maps onto
+/// [`sliceline::SimdKernel`] in the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdChoice {
+    /// Portable scalar loops.
+    Scalar,
+    /// Runtime feature detection (the library default).
+    #[default]
+    Auto,
+    /// Force AVX2 (degrades to scalar where unsupported).
+    Avx2,
+    /// Force NEON (degrades to scalar where unsupported).
+    Neon,
+}
+
 /// Adaptive input-compaction policy (maps onto
 /// [`sliceline::CompactKernel`] in the pipeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -96,6 +111,8 @@ pub struct FindArgs {
     pub kernel: KernelChoice,
     /// Candidate-generation (enumeration) engine.
     pub enum_kernel: EnumKernelChoice,
+    /// SIMD backend for the bitmap kernels.
+    pub simd: SimdChoice,
     /// Adaptive level-wise input compaction policy.
     pub compact: CompactChoice,
     /// Collect and print execution-layer statistics (per-level counters,
@@ -129,6 +146,7 @@ impl Default for FindArgs {
             format: OutputFormat::Text,
             kernel: KernelChoice::Blocked,
             enum_kernel: EnumKernelChoice::Auto,
+            simd: SimdChoice::Auto,
             compact: CompactChoice::Off,
             stats: false,
             trace: None,
@@ -232,6 +250,12 @@ FIND OPTIONS:
   --enum-kernel E     serial | sharded | auto        (default: auto)
                       candidate-generation engine: sharded runs the
                       parallel streaming join + sharded dedup
+  --simd S            scalar | auto                  (default: auto)
+                      SIMD backend for the bitmap kernels; auto detects
+                      CPU features at runtime (AVX2/NEON), scalar forces
+                      the portable loops. Results are bit-for-bit
+                      identical either way. The SLICELINE_SIMD env var
+                      sets the same choice
   --compact C         off | on | auto                (default: off)
                       adaptive level-wise input compaction: gather X,
                       bitmaps and errors down to surviving-candidate
@@ -364,6 +388,20 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
                     other => {
                         return Err(CliError::usage(format!(
                             "--enum-kernel: unknown engine '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--simd" => {
+                let v = next_value(&mut it, "--simd")?;
+                out.simd = match v.as_str() {
+                    "scalar" => SimdChoice::Scalar,
+                    "auto" => SimdChoice::Auto,
+                    "avx2" => SimdChoice::Avx2,
+                    "neon" => SimdChoice::Neon,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "--simd: unknown backend '{other}'"
                         )))
                     }
                 };
@@ -509,6 +547,34 @@ mod tests {
         assert_eq!(f.kernel, KernelChoice::Blocked);
         assert!(parse(sv(&[
             "find", "--input", "a", "--errors", "e", "--kernel", "gpu"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_simd_choices() {
+        for (v, expect) in [
+            ("scalar", SimdChoice::Scalar),
+            ("auto", SimdChoice::Auto),
+            ("avx2", SimdChoice::Avx2),
+            ("neon", SimdChoice::Neon),
+        ] {
+            let cli = parse(sv(&[
+                "find", "--input", "a.csv", "--errors", "e", "--simd", v,
+            ]))
+            .unwrap();
+            let Command::Find(f) = cli.command else {
+                panic!()
+            };
+            assert_eq!(f.simd, expect);
+        }
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.simd, SimdChoice::Auto);
+        assert!(parse(sv(&[
+            "find", "--input", "a", "--errors", "e", "--simd", "sse9"
         ]))
         .is_err());
     }

@@ -3,12 +3,13 @@
 
 use crate::args::{
     CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, ServeArgs,
-    TaskKind,
+    SimdChoice, TaskKind,
 };
 use crate::report;
 use crate::CliError;
 use sliceline::{
-    CompactKernel, EnumKernel, EvalKernel, MinSupport, SliceLine, SliceLineConfig, SliceLineResult,
+    CompactKernel, EnumKernel, EvalKernel, MinSupport, SimdKernel, SimdLevel, SliceLine,
+    SliceLineConfig, SliceLineResult,
 };
 use sliceline_datagen::GenConfig;
 use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
@@ -84,11 +85,24 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         CompactChoice::On => CompactKernel::On,
         CompactChoice::Auto => CompactKernel::auto(),
     };
+    let simd = match args.simd {
+        SimdChoice::Scalar => SimdKernel::Scalar,
+        // `auto` keeps the env-aware process default (SLICELINE_SIMD or
+        // runtime detection) rather than forcing re-detection.
+        SimdChoice::Auto => SimdKernel::Auto,
+        SimdChoice::Avx2 => SimdKernel::Forced(SimdLevel::Avx2),
+        SimdChoice::Neon => SimdKernel::Forced(SimdLevel::Neon),
+    };
+    if args.simd != SimdChoice::Auto {
+        // An explicit flag overrides the env for exec-less helpers too.
+        sliceline_linalg::simd::set_default(simd);
+    }
     let mut config = SliceLineConfig::builder()
         .k(args.k)
         .alpha(args.alpha)
         .eval(kernel)
         .enum_kernel(enum_kernel)
+        .simd(simd)
         .compact(compact)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
@@ -161,8 +175,8 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
         "config",
         format!(
             "{{\"k\":{},\"sigma\":{},\"alpha\":{},\"max_level\":{},\"threads\":{},\
-             \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"compact\":\"{:?}\",\
-             \"nodes\":{}}}",
+             \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"simd\":\"{:?}\",\
+             \"compact\":\"{:?}\",\"nodes\":{}}}",
             args.k,
             args.sigma,
             args.alpha,
@@ -171,6 +185,7 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
             args.bins,
             args.kernel,
             args.enum_kernel,
+            args.simd,
             args.compact,
             args.nodes,
         ),

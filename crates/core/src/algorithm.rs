@@ -120,7 +120,10 @@ impl SliceLine {
         errors: &[f64],
         exec: &ExecContext,
     ) -> Result<SliceLineResult> {
-        let scope = exec.run_scoped();
+        // The config's SIMD choice governs the run even on a caller-built
+        // context (the view only swaps kernel implementations, never
+        // results).
+        let scope = exec.with_simd(self.config.simd).run_scoped();
         let exec = &scope;
         let start = Instant::now();
         let mut run_span = exec.tracer().span("find_slices", "core");

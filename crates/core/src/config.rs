@@ -3,7 +3,7 @@
 //! switches (Fig. 3).
 
 use crate::error::{Result, SliceLineError};
-use sliceline_linalg::{ExecContext, ParallelConfig};
+use sliceline_linalg::{ExecContext, ParallelConfig, SimdKernel};
 
 /// Minimum support threshold `σ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -249,6 +249,10 @@ pub struct SliceLineConfig {
     /// (0 disables caching; children are then recomputed from their
     /// column bitmaps). Ignored by the blocked/fused kernels.
     pub bitmap_cache_bytes: usize,
+    /// SIMD backend for the bitmap kernels: runtime auto-detection
+    /// (default), forced scalar, or a forced instruction set. Selects a
+    /// code path, never an answer — all levels are bit-for-bit identical.
+    pub simd: SimdKernel,
     /// Adaptive input-compaction policy (see [`CompactKernel`]).
     pub compact: CompactKernel,
     /// Retained-fraction threshold below which compaction fires: the
@@ -272,6 +276,7 @@ impl Default for SliceLineConfig {
             pruning: PruningConfig::default(),
             parallel: ParallelConfig::default(),
             bitmap_cache_bytes: 64 << 20,
+            simd: SimdKernel::default(),
             compact: CompactKernel::default(),
             compact_below: 0.7,
         }
@@ -290,7 +295,7 @@ impl SliceLineConfig {
     /// telemetry) honoring this configuration's thread count. Kernels and
     /// the level loop take `&ExecContext`, never a raw [`ParallelConfig`].
     pub fn exec_context(&self) -> ExecContext {
-        ExecContext::with_parallel(self.parallel)
+        ExecContext::with_parallel(self.parallel).with_simd(self.simd)
     }
 
     /// The compaction policy in effect after level `lvl` finishes: the
@@ -458,6 +463,13 @@ impl SliceLineConfigBuilder {
     /// Sets the number of threads (shorthand for [`Self::parallel`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.parallel = ParallelConfig::new(threads);
+        self
+    }
+
+    /// Selects the SIMD backend for the bitmap kernels (default:
+    /// [`SimdKernel::Auto`] runtime detection).
+    pub fn simd(mut self, simd: SimdKernel) -> Self {
+        self.config.simd = simd;
         self
     }
 

@@ -41,6 +41,7 @@ use sliceline_linalg::spgemm::count_matches_block_into;
 use sliceline_linalg::{BitMatrix, CsrMatrix, ExecContext};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Per-run state of the bitmap evaluation backend ([`EvalKernel::Bitmap`]).
 ///
@@ -60,6 +61,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 pub struct EvalEngine {
     cache_budget: usize,
     bitmap: Option<BitmapState>,
+    cost: CostModel,
 }
 
 struct BitmapState {
@@ -69,6 +71,154 @@ struct BitmapState {
     cache: HashMap<Vec<u32>, Vec<u64>>,
     /// Level whose bitmaps `cache` currently holds (0 = none).
     cache_level: usize,
+}
+
+/// Online admission cost model for the parent-bitmap cache.
+///
+/// The byte budget bounds *memory*; this model bounds *time*. A child is
+/// only worth serving from a cached parent when recomputing it from its
+/// column bitmaps (`level` ANDs over `wpc` words) is predicted to cost
+/// more than the cache-hit path (one fused AND+scan over `wpc` words) —
+/// on cache-resident workloads the cold AND chain reuses hot column
+/// bitmaps while cached parents stream from RAM, so the hit path can
+/// *lose* (the committed 0.36x warm cell). Both sides are calibrated
+/// online from wall-clock timings of the two code paths observed during
+/// evaluation, normalized to ns-per-word rates and smoothed with an EWMA.
+///
+/// Rates are kept **per lattice level**: the masked scan costs one
+/// `errors[row]` accumulation per set bit, so a dense level-2 slice costs
+/// ~10x more per word than a near-empty level-4 slice — one global rate
+/// calibrated on early levels would overstate deep-level recompute and
+/// lock admission on. Calibration is phased, because each path is only
+/// observable when the opposite admission decision was taken at the
+/// previous level: while the hit path is globally unsampled the model
+/// admits (the legacy byte-budget behavior — early levels cache, later
+/// levels hit and feed the hit rate); after that, caching at level `L`
+/// stays *off* until level `L+1` itself has been timed running pure
+/// recompute (cold work during a caching pass pays the child write and
+/// cache insert and is never counted — it would inflate the recompute
+/// estimate severalfold). With both rates live it decides per level, and
+/// every [`CostModel::REEXPLORE`]-th decision is inverted once so the
+/// path the steady decision starves keeps feeding its rate. Matrices
+/// narrower than [`COST_SAMPLE_MIN_WPC`] words per column never feed the
+/// model, so unit-scale fixtures keep the plain byte-budget behavior.
+#[derive(Debug, Default, Clone)]
+struct CostModel {
+    /// Per-level EWMA cost of the pure recompute path in ns per
+    /// (word × column), indexed by `min(level, MAX_TRACKED_LEVEL)`.
+    cold: [Rate; CostModel::MAX_TRACKED_LEVEL + 1],
+    /// Per-level EWMA cost of the cache-hit path in ns per word.
+    hit: [Rate; CostModel::MAX_TRACKED_LEVEL + 1],
+    /// Hit observations across all levels (drives the bootstrap phase).
+    hit_total: u32,
+    /// Calibrated admission decisions taken so far (drives re-exploration).
+    passes: u32,
+}
+
+/// One EWMA-smoothed ns-per-unit rate with its sample count.
+#[derive(Debug, Default, Clone, Copy)]
+struct Rate {
+    ns_per_unit: f64,
+    samples: u32,
+}
+
+impl Rate {
+    fn observe(&mut self, ns: u64, units: u64) {
+        if units == 0 {
+            return;
+        }
+        let rate = ns as f64 / units as f64;
+        self.ns_per_unit = if self.samples == 0 {
+            rate
+        } else {
+            CostModel::ALPHA * rate + (1.0 - CostModel::ALPHA) * self.ns_per_unit
+        };
+        self.samples += 1;
+    }
+}
+
+/// Words-per-column floor below which evaluation timings are not fed to
+/// the [`CostModel`] (timer overhead would dominate the sample, and
+/// unit-test fixtures must keep deterministic admission).
+const COST_SAMPLE_MIN_WPC: usize = 16;
+
+impl CostModel {
+    /// EWMA smoothing factor for new rate samples.
+    const ALPHA: f64 = 0.3;
+    /// Observations of each path required before the model overrides the
+    /// bootstrap always-admit policy.
+    const MIN_SAMPLES: u32 = 2;
+    /// Safety factor: predicted recompute must beat the hit path by this
+    /// much before a cached parent is considered worth keeping.
+    const MARGIN: f64 = 1.2;
+    /// Every this-many calibrated decisions, invert one so the path the
+    /// steady decision starves keeps feeding its rate (workloads drift:
+    /// deeper levels, wider column working sets).
+    const REEXPLORE: u32 = 32;
+    /// Levels at or above this share one rate slot (lattice walks rarely
+    /// get this deep, and slice density has long flattened out by then).
+    const MAX_TRACKED_LEVEL: usize = 16;
+
+    fn idx(level: usize) -> usize {
+        level.min(Self::MAX_TRACKED_LEVEL)
+    }
+
+    /// Feeds one level's aggregate *pure recompute* timing (`word_cols` =
+    /// cold slices × level × words-per-column). Only passes with caching
+    /// off report here — cold work during a caching pass also pays
+    /// materialization and is not the admission counterfactual.
+    fn observe_cold(&mut self, level: usize, ns: u64, word_cols: u64) {
+        self.cold[Self::idx(level)].observe(ns, word_cols);
+    }
+
+    /// Feeds one level's aggregate cache-hit timing (`words` = hits ×
+    /// words-per-column).
+    fn observe_hit(&mut self, level: usize, ns: u64, words: u64) {
+        if words == 0 {
+            return;
+        }
+        self.hit[Self::idx(level)].observe(ns, words);
+        self.hit_total += 1;
+    }
+
+    /// Should this level's children be cached as parents for level
+    /// `child_level`? Calibrated answer: admit iff the predicted
+    /// recompute cost of a child (`cold_rate[child] × child_level × wpc`)
+    /// exceeds the predicted hit cost (`hit_rate[child] × wpc`) with
+    /// margin. Uncalibrated: admit while the hit path is globally
+    /// unsampled, then refuse until the child level itself has been timed
+    /// running pure recompute — admission requires level-local evidence
+    /// that hits win, and the exploration cost of gathering it is just
+    /// recompute, which is exactly what an unprofitable cache avoids.
+    fn plan(&mut self, wpc: usize, child_level: usize) -> bool {
+        if self.hit_total < Self::MIN_SAMPLES {
+            return true;
+        }
+        let cold = self.cold[Self::idx(child_level)];
+        if cold.samples < Self::MIN_SAMPLES {
+            return false;
+        }
+        // A child level that has never hit yet borrows the nearest
+        // sampled hit rate rather than blocking on evidence only an
+        // admitting pass could produce (the bootstrap phase guarantees
+        // at least one level has hit samples by now).
+        let hit_rate = {
+            let at = Self::idx(child_level);
+            (0..self.hit.len())
+                .filter(|&l| self.hit[l].samples > 0)
+                .min_by_key(|&l| l.abs_diff(at))
+                .map(|l| self.hit[l].ns_per_unit)
+                .unwrap_or(f64::INFINITY)
+        };
+        let recompute = cold.ns_per_unit * (child_level * wpc) as f64;
+        let hit = hit_rate * wpc as f64;
+        let admit = recompute > Self::MARGIN * hit;
+        self.passes += 1;
+        if self.passes.is_multiple_of(Self::REEXPLORE) {
+            return !admit;
+        }
+        admit
+    }
 }
 
 impl EvalEngine {
@@ -82,6 +232,7 @@ impl EvalEngine {
         EvalEngine {
             cache_budget,
             bitmap: None,
+            cost: CostModel::default(),
         }
     }
 
@@ -102,6 +253,7 @@ impl EvalEngine {
                 cache: HashMap::new(),
                 cache_level: 0,
             }),
+            cost: CostModel::default(),
         }
     }
 
@@ -378,15 +530,31 @@ fn unzip_stats(stats: Vec<(f64, f64, f64)>, exec: &ExecContext) -> (Vec<f64>, Ve
 
 /// Packed-bitmap evaluation (the tentpole kernel): each slice bitmap is
 /// the `AND` of its column bitmaps — or, when the engine's parent cache
-/// holds an `(L-1)`-subset from the previous level, a copy of that parent
+/// holds an `(L-1)`-subset from the previous level, the cached parent
 /// `AND`ed with the one remaining column. Statistics come from popcount
 /// plus a masked scan of the error vector in ascending row order (the same
 /// association as a serial scan, so exact sums agree with the other
 /// kernels bit-for-bit).
 ///
-/// Parallelism is over slices (each worker owns disjoint result indexes);
-/// when there are fewer candidates than threads over a tall matrix the
-/// kernel switches to word-chunked parallelism inside each slice instead.
+/// Two optimizations beyond the per-slice loop:
+///
+/// * **Sibling batching** — candidates arrive grouped by their shared
+///   length-`(L-1)` prefix (candidate generation emits the children of a
+///   parent pair adjacently). Each group ANDs its prefix once, then
+///   streams every member's distinguishing column against it; groups that
+///   are not retained for the cache go through
+///   [`bitmap::masked_stats_and2_multi`], which loads each prefix word
+///   and each selected `errors` cache line once for up to
+///   [`bitmap::MULTI_WAY`] siblings instead of once per slice.
+/// * **Cost-model admission** — the [`CostModel`] decides per level
+///   whether this level's bitmaps are worth caching as next-level
+///   parents; on cache-resident workloads where the hit path loses to
+///   recompute it shuts admission off (counted as `cache_bypass`).
+///
+/// Parallelism is over sibling groups (each worker owns disjoint result
+/// indexes); when there are fewer candidates than threads over a tall
+/// matrix the kernel switches to word-chunked parallelism inside each
+/// slice instead.
 fn eval_bitmap(
     x: &CsrMatrix,
     errors: &[f64],
@@ -396,10 +564,15 @@ fn eval_bitmap(
     engine: &mut EvalEngine,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let budget = engine.cache_budget;
-    let state = engine.state(x, exec);
+    // Split borrows: the closures below hold the bitmap state immutably
+    // while the cost model is read before and updated after evaluation.
+    engine.state(x, exec);
+    let EvalEngine { bitmap, cost, .. } = engine;
+    let state = bitmap.as_mut().expect("state built above");
     let bits = &state.bits;
     let wpc = bits.words_per_col();
     let k = slices.len();
+    let simd_lv = exec.simd();
     let mut kernel_span = exec
         .tracer()
         .span("bitmap.eval", "linalg")
@@ -408,13 +581,29 @@ fn eval_bitmap(
     // The cache holds the previous level's slice bitmaps. Lookups only pay
     // from level 3 up: a level-2 child is a plain two-column AND whether or
     // not its single-column parent is at hand.
-    let lookup = (level >= 3 && state.cache_level + 1 == level).then_some(&state.cache);
+    // (An empty map — e.g. the previous level was cost-model-vetoed —
+    // must not charge every slice the key-build + probe overhead.)
+    let lookup = (level >= 3 && state.cache_level + 1 == level && !state.cache.is_empty())
+        .then_some(&state.cache);
     // This level's bitmaps become the next level's parents. Approximate
     // per-entry footprint: words + key + map overhead.
     let entry_cost = wpc * 8 + level * 4 + 48;
-    let cache_children = budget > 0 && level >= 2;
+    // Feed the model only when columns are wide enough for wall-clock
+    // timings to mean anything.
+    let sample = wpc >= COST_SAMPLE_MIN_WPC;
+    // The cost model can veto caching outright when serving children from
+    // cached parents is predicted slower than recomputing them. Narrow
+    // matrices never consult it (deterministic byte-budget admission).
+    let cost_admit = !sample || cost.plan(wpc, level + 1);
+    let cache_children = budget > 0 && level >= 2 && cost_admit;
     let next_bytes = AtomicUsize::new(0);
     let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let bypass = AtomicU64::new(0);
+    let cold_ns = AtomicU64::new(0);
+    let cold_word_cols = AtomicU64::new(0);
+    let hit_ns = AtomicU64::new(0);
+    let hit_words = AtomicU64::new(0);
     // Budget admission races only over-reserve transiently; the cache
     // bounds work, not results, so approximate is fine. Admitted buffers
     // ride back in the result and are collected into the next level's
@@ -428,68 +617,226 @@ fn eval_bitmap(
             return true;
         }
         next_bytes.fetch_sub(entry_cost, Ordering::Relaxed);
+        bypass.fetch_add(1, Ordering::Relaxed);
         false
-    };
-    let eval_one = |cols: &[u32], word_parallel: bool| -> ((f64, f64, f64), Option<Vec<u64>>) {
-        if let Some(cache) = lookup {
-            // Any (L-1)-subset evaluated last level is a parent; probe by
-            // dropping each column, last (the merge-appended one) first.
-            // One key buffer serves every probe: the key dropping column
-            // `d` differs from the key dropping `d + 1` only at position
-            // `d`, so each step is a single overwrite, not a rebuild.
-            let mut key: Vec<u32> = cols[..cols.len() - 1].to_vec();
-            for drop in (0..cols.len()).rev() {
-                if drop + 1 < cols.len() {
-                    key[drop] = cols[drop + 1];
-                }
-                if let Some(parent) = cache.get(&key) {
-                    hits.fetch_add(1, Ordering::Relaxed);
-                    let col = bits.col(cols[drop] as usize);
-                    if admit() {
-                        // The child is retained for the next level: one
-                        // fused pass materializes it (`child = parent &
-                        // column`, no separate copy), then the usual
-                        // masked scan.
-                        let mut buf = exec.take_u64(0);
-                        bitmap::and2_into(&mut buf, parent, col);
-                        let stats = bitmap::masked_stats(&buf, errors);
-                        return (stats, Some(buf));
-                    }
-                    // Not retained: fold the AND into the stats scan and
-                    // never materialize the child at all — one read-only
-                    // pass, no scratch buffer.
-                    return (bitmap::masked_stats_and2(parent, col, errors), None);
-                }
-            }
-        }
-        let mut buf = exec.take_u64(0);
-        if word_parallel {
-            bits.and_cols_into_parallel(cols, &mut buf, exec);
-        } else {
-            bits.and_cols_into(cols, &mut buf);
-        }
-        let stats = if word_parallel {
-            bitmap::masked_stats_parallel(&buf, errors, exec)
-        } else {
-            bitmap::masked_stats(&buf, errors)
-        };
-        if admit() {
-            (stats, Some(buf))
-        } else {
-            exec.put_u64(buf);
-            (stats, None)
-        }
     };
     // Per-slice stats plus the child bitmap when admitted to the cache.
     type SliceEval = ((f64, f64, f64), Option<Vec<u64>>);
+    // Serve one slice from a cached parent if any (L-1)-subset evaluated
+    // last level is at hand; probe by dropping each column, last (the
+    // merge-appended one) first. One key buffer serves every probe: the
+    // key dropping column `d` differs from the key dropping `d + 1` only
+    // at position `d`, so each step is a single overwrite, not a rebuild.
+    let probe_hit = |cols: &[u32]| -> Option<SliceEval> {
+        let cache = lookup?;
+        let mut key: Vec<u32> = cols[..cols.len() - 1].to_vec();
+        for drop in (0..cols.len()).rev() {
+            if drop + 1 < cols.len() {
+                key[drop] = cols[drop + 1];
+            }
+            if let Some(parent) = cache.get(&key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                let col = bits.col(cols[drop] as usize);
+                let t0 = sample.then(Instant::now);
+                let res = if admit() {
+                    // The child is retained for the next level: one fused
+                    // pass materializes it (`child = parent & column`, no
+                    // separate copy), then the usual masked scan.
+                    let mut buf = exec.take_u64(0);
+                    bitmap::and2_into_with(simd_lv, &mut buf, parent, col);
+                    let stats = bitmap::masked_stats_with(simd_lv, &buf, errors);
+                    (stats, Some(buf))
+                } else {
+                    // Not retained: fold the AND into the stats scan and
+                    // never materialize the child at all — one read-only
+                    // pass, no scratch buffer.
+                    let stats = bitmap::masked_stats_and2_with(simd_lv, parent, col, errors);
+                    (stats, None)
+                };
+                if let Some(t0) = t0 {
+                    hit_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    hit_words.fetch_add(wpc as u64, Ordering::Relaxed);
+                }
+                return Some(res);
+            }
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        None
+    };
+    // Evaluate one sibling group `slices[start..end]` (shared length-(L-1)
+    // prefix): cache hits individually, cold members batched against the
+    // group's prefix bitmap.
+    let eval_group = |start: usize, end: usize| -> Vec<SliceEval> {
+        let mut out: Vec<Option<SliceEval>> = vec![None; end - start];
+        let mut cold: Vec<usize> = Vec::with_capacity(end - start);
+        for i in start..end {
+            match probe_hit(&slices[i]) {
+                Some(res) => out[i - start] = Some(res),
+                None => cold.push(i),
+            }
+        }
+        if !cold.is_empty() {
+            let t0 = sample.then(Instant::now);
+            if cold.len() >= 2 && level >= 2 {
+                // AND the shared prefix once for the whole group (at
+                // level 2 the prefix is a single column as-is).
+                let prefix_cols = &slices[cold[0]][..level - 1];
+                let mut pbuf = exec.take_u64(0);
+                let prefix: &[u64] = if level == 2 {
+                    bits.col(prefix_cols[0] as usize)
+                } else {
+                    bits.and_cols_into_with(simd_lv, prefix_cols, &mut pbuf);
+                    &pbuf
+                };
+                if cache_children {
+                    // Retained children must be materialized anyway, so
+                    // the batch saves the (L-2) prefix ANDs per member.
+                    for &i in &cold {
+                        let last = *slices[i].last().expect("level >= 2") as usize;
+                        let col = bits.col(last);
+                        let res = if admit() {
+                            let mut buf = exec.take_u64(0);
+                            bitmap::and2_into_with(simd_lv, &mut buf, prefix, col);
+                            let stats = bitmap::masked_stats_with(simd_lv, &buf, errors);
+                            (stats, Some(buf))
+                        } else {
+                            let stats =
+                                bitmap::masked_stats_and2_with(simd_lv, prefix, col, errors);
+                            (stats, None)
+                        };
+                        out[i - start] = Some(res);
+                    }
+                } else {
+                    // Nothing is retained: interleaved multi-slice scan —
+                    // one pass over the prefix and the error vector per
+                    // MULTI_WAY siblings.
+                    let mut stats = [(0.0, 0.0, 0.0); bitmap::MULTI_WAY];
+                    for chunk in cold.chunks(bitmap::MULTI_WAY) {
+                        let cols_refs: Vec<&[u64]> = chunk
+                            .iter()
+                            .map(|&i| bits.col(*slices[i].last().expect("level >= 2") as usize))
+                            .collect();
+                        bitmap::masked_stats_and2_multi(
+                            prefix,
+                            &cols_refs,
+                            errors,
+                            &mut stats[..chunk.len()],
+                        );
+                        for (j, &i) in chunk.iter().enumerate() {
+                            out[i - start] = Some((stats[j], None));
+                        }
+                    }
+                }
+                exec.put_u64(pbuf);
+            } else {
+                for &i in &cold {
+                    let cols = &slices[i][..];
+                    if level == 1 {
+                        // A level-1 slice *is* its column bitmap: scan it
+                        // in place, no AND, no scratch copy (children are
+                        // never cached below level 2).
+                        let col = bits.col(cols[0] as usize);
+                        let stats = bitmap::masked_stats_with(simd_lv, col, errors);
+                        out[i - start] = Some((stats, None));
+                        continue;
+                    }
+                    let mut buf = exec.take_u64(0);
+                    bits.and_cols_into_with(simd_lv, cols, &mut buf);
+                    let stats = bitmap::masked_stats_with(simd_lv, &buf, errors);
+                    let res = if admit() {
+                        (stats, Some(buf))
+                    } else {
+                        exec.put_u64(buf);
+                        (stats, None)
+                    };
+                    out[i - start] = Some(res);
+                }
+            }
+            if let Some(t0) = t0 {
+                cold_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                cold_word_cols.fetch_add((cold.len() * level * wpc) as u64, Ordering::Relaxed);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every group member evaluated"))
+            .collect()
+    };
+    // Sibling groups: maximal runs of consecutive slices sharing the
+    // length-(L-1) prefix. Candidate generation emits the children of one
+    // parent pair adjacently, so groups are typically several wide; any
+    // grouping is correct — a run of one evaluates exactly like before.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    if level >= 2 {
+        let mut start = 0usize;
+        for i in 1..=k {
+            if i == k || slices[i][..level - 1] != slices[start][..level - 1] {
+                groups.push((start, i));
+                start = i;
+            }
+        }
+    } else {
+        groups.extend((0..k).map(|i| (i, i + 1)));
+    }
     let word_parallel = exec.threads() > 1 && k < exec.threads() && wpc >= 2 * bitmap::WORD_BITS;
     let results: Vec<SliceEval> = if word_parallel {
-        slices.iter().map(|cols| eval_one(cols, true)).collect()
+        // Few tall slices: parallelize over words inside each slice
+        // instead of over groups.
+        slices
+            .iter()
+            .map(|cols| {
+                if let Some(res) = probe_hit(cols) {
+                    return res;
+                }
+                let mut buf = exec.take_u64(0);
+                bits.and_cols_into_parallel(cols, &mut buf, exec);
+                let stats = bitmap::masked_stats_parallel(&buf, errors, exec);
+                if admit() {
+                    (stats, Some(buf))
+                } else {
+                    exec.put_u64(buf);
+                    (stats, None)
+                }
+            })
+            .collect()
     } else {
-        exec.parallel().par_map(k, |i| eval_one(&slices[i], false))
+        let per_group = exec.parallel().par_map(groups.len(), |g| {
+            let (start, end) = groups[g];
+            eval_group(start, end)
+        });
+        per_group.into_iter().flatten().collect()
     };
-    exec.record_level(|p| p.cache_hits += hits.load(Ordering::Relaxed));
-    kernel_span.add_arg("cache_hits", hits.load(Ordering::Relaxed));
+    // Children that would have been cached under the byte budget but were
+    // vetoed by the cost model are bypasses too (admit() was never asked).
+    if budget > 0 && level >= 2 && !cost_admit {
+        bypass.fetch_add(k as u64, Ordering::Relaxed);
+    }
+    let (hits_v, misses_v, bypass_v) = (
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+        bypass.load(Ordering::Relaxed),
+    );
+    exec.record_level(|p| {
+        p.cache_hits += hits_v;
+        p.cache_misses += misses_v;
+        p.cache_bypass += bypass_v;
+    });
+    kernel_span.add_arg("cache_hits", hits_v);
+    kernel_span.add_arg("cache_misses", misses_v);
+    kernel_span.add_arg("cache_bypass", bypass_v);
+    if !cache_children {
+        // Cold work under a caching pass pays the child write + insert
+        // and would overstate recompute; only the pure path calibrates.
+        cost.observe_cold(
+            level,
+            cold_ns.load(Ordering::Relaxed),
+            cold_word_cols.load(Ordering::Relaxed),
+        );
+    }
+    cost.observe_hit(
+        level,
+        hit_ns.load(Ordering::Relaxed),
+        hit_words.load(Ordering::Relaxed),
+    );
     let mut next_cache = HashMap::with_capacity(results.len().min(1024));
     let mut stats = Vec::with_capacity(k);
     for (i, (s, retained)) in results.into_iter().enumerate() {

@@ -90,4 +90,5 @@ pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;
 pub use scoring::ScoringContext;
 pub use session::{DatasetSession, SliceQuery};
+pub use sliceline_linalg::{SimdKernel, SimdLevel};
 pub use stats::{LevelStats, RunStats};

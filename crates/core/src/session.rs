@@ -276,6 +276,7 @@ impl DatasetSession {
         let scope = self
             .exec
             .with_threads(config.parallel.threads())
+            .with_simd(config.simd)
             .run_scoped();
         let exec = &scope;
         let start = Instant::now();

@@ -7,10 +7,12 @@
 //! kernel divergence: any mismatch is a bug, not rounding.
 
 use proptest::prelude::*;
-use sliceline::config::EvalKernel;
+use sliceline::config::{EvalKernel, SliceLineConfig};
 use sliceline::evaluate::evaluate_slices;
-use sliceline::ScoringContext;
-use sliceline_linalg::{CsrMatrix, ExecContext};
+use sliceline::{ScoringContext, SliceLine};
+use sliceline_frame::IntMatrix;
+use sliceline_linalg::simd;
+use sliceline_linalg::{CsrMatrix, ExecContext, SimdKernel};
 
 /// Random one-hot dataset: `m` features with per-feature domains, rows of
 /// integer codes, and dyadic per-row errors.
@@ -122,6 +124,73 @@ fn kernels_agree_on_fixed_dataset() {
                 let got = run(&x, &errors, &slices, level, &ctx, kernel, threads);
                 assert_eq!(got, base, "{kernel:?} x{threads} diverged at level {level}");
             }
+        }
+    }
+}
+
+/// Full `find_slices` anchor for the SIMD dispatch: a forced-scalar run
+/// and a forced-vector run (whatever `detect()` reports — `Scalar` on
+/// plain hardware, making the comparison trivially true there) must
+/// return bit-identical top-K slices, scores, and statistics across
+/// evaluation kernels and thread counts. This pins the end-to-end
+/// contract the per-kernel proptests in `sliceline-linalg` pin word by
+/// word: selecting a SIMD level selects a code path, never an answer.
+#[test]
+fn simd_levels_agree_on_full_find_slices() {
+    let rows: Vec<Vec<u32>> = (0..96u32)
+        .map(|i| {
+            vec![
+                1 + (i % 3),
+                1 + ((i / 3) % 4),
+                1 + ((i / 12) % 2),
+                1 + ((i / 24) % 3),
+            ]
+        })
+        .collect();
+    let errors: Vec<f64> = (0..96)
+        .map(|i| {
+            if i % 3 == 0 && (i / 3) % 4 == 1 {
+                1.0
+            } else {
+                ((i * 13) % 65) as f64 / 64.0
+            }
+        })
+        .collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let run = |simd: SimdKernel, eval: EvalKernel, threads: usize| {
+        let mut cfg = SliceLineConfig::builder()
+            .k(6)
+            .min_support(2)
+            .alpha(0.95)
+            .threads(threads)
+            .simd(simd)
+            .build()
+            .unwrap();
+        cfg.eval = eval;
+        let result = SliceLine::new(cfg).find_slices(&x0, &errors).unwrap();
+        result
+            .top_k
+            .iter()
+            .map(|s| {
+                (
+                    s.predicates.clone(),
+                    s.score.to_bits(),
+                    s.size.to_bits(),
+                    s.error.to_bits(),
+                    s.max_error.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let vec_level = simd::detect();
+    for eval in [EvalKernel::Bitmap, EvalKernel::Fused] {
+        for threads in [1usize, 2] {
+            let scalar = run(SimdKernel::Scalar, eval, threads);
+            let forced = run(SimdKernel::Forced(vec_level), eval, threads);
+            assert_eq!(
+                scalar, forced,
+                "scalar vs {vec_level:?} diverged: {eval:?} x{threads}"
+            );
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use crate::context::ExecContext;
 use crate::csr::CsrMatrix;
+use crate::simd::{self, SimdLevel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Bits per storage word.
@@ -96,6 +97,11 @@ impl BitMatrix {
     /// (resized to [`Self::words_per_col`]). An empty `cols` yields the
     /// all-rows bitmap — every row matches zero predicates.
     pub fn and_cols_into(&self, cols: &[u32], out: &mut Vec<u64>) {
+        self.and_cols_into_with(simd::default_level(), cols, out)
+    }
+
+    /// [`Self::and_cols_into`] at an explicit [`SimdLevel`].
+    pub fn and_cols_into_with(&self, level: SimdLevel, cols: &[u32], out: &mut Vec<u64>) {
         out.clear();
         match cols.split_first() {
             None => {
@@ -105,7 +111,7 @@ impl BitMatrix {
             Some((&first, rest)) => {
                 out.extend_from_slice(self.col(first as usize));
                 for &c in rest {
-                    and_into(out, self.col(c as usize));
+                    and_into_with(level, out, self.col(c as usize));
                 }
             }
         }
@@ -125,12 +131,13 @@ impl BitMatrix {
         out.clear();
         out.resize(self.words_per_col, 0);
         let bits = self;
+        let level = exec.simd();
         exec.parallel().run_on_chunks(out, 1, |word0, chunk| {
             let lo = word0;
             let hi = word0 + chunk.len();
             chunk.copy_from_slice(&bits.col(first as usize)[lo..hi]);
             for &c in rest {
-                and_into(chunk, &bits.col(c as usize)[lo..hi]);
+                and_into_with(level, chunk, &bits.col(c as usize)[lo..hi]);
             }
         });
     }
@@ -341,11 +348,27 @@ fn mask_tail(words: &mut [u64], rows: usize) {
     }
 }
 
-/// In-place word-wise `acc &= src`.
+/// In-place word-wise `acc &= src` at the process-default SIMD level.
 pub fn and_into(acc: &mut [u64], src: &[u64]) {
+    and_into_with(simd::default_level(), acc, src)
+}
+
+/// [`and_into`] at an explicit [`SimdLevel`].
+pub fn and_into_with(level: SimdLevel, acc: &mut [u64], src: &[u64]) {
     debug_assert_eq!(acc.len(), src.len());
-    for (a, &s) in acc.iter_mut().zip(src.iter()) {
-        *a &= s;
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2` is only ever produced by `simd::resolve`/`detect`,
+        // which verified the CPU features at runtime.
+        SimdLevel::Avx2 => unsafe { simd::avx2::and_into(acc, src) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { simd::neon::and_into(acc, src) },
+        _ => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a &= s;
+            }
+        }
     }
 }
 
@@ -353,17 +376,59 @@ pub fn and_into(acc: &mut [u64], src: &[u64]) {
 /// child-from-parent step (cached parent bitmap `AND` one new column)
 /// without a separate copy pass.
 pub fn and2_into(dst: &mut Vec<u64>, a: &[u64], b: &[u64]) {
-    debug_assert_eq!(a.len(), b.len());
-    dst.clear();
-    dst.extend(a.iter().zip(b.iter()).map(|(&x, &y)| x & y));
+    and2_into_with(simd::default_level(), dst, a, b)
 }
 
-/// Total set bits (the slice size `|S|`).
-///
-/// Four independent accumulators break the single add-chain dependency so
-/// the popcounts of consecutive words retire in parallel (ILP); integer
-/// addition is associative, so the result is identical to a plain sum.
+/// [`and2_into`] at an explicit [`SimdLevel`].
+pub fn and2_into_with(level: SimdLevel, dst: &mut Vec<u64>, a: &[u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            dst.clear();
+            dst.resize(a.len(), 0);
+            // SAFETY: level came from runtime feature detection.
+            unsafe { simd::avx2::and2_into(dst, a, b) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            dst.clear();
+            dst.resize(a.len(), 0);
+            // SAFETY: NEON is baseline on aarch64.
+            unsafe { simd::neon::and2_into(dst, a, b) }
+        }
+        _ => {
+            dst.clear();
+            dst.extend(a.iter().zip(b.iter()).map(|(&x, &y)| x & y));
+        }
+    }
+}
+
+/// Total set bits (the slice size `|S|`) at the process-default SIMD level.
 pub fn popcount(words: &[u64]) -> u64 {
+    popcount_with(simd::default_level(), words)
+}
+
+/// [`popcount`] at an explicit [`SimdLevel`].
+pub fn popcount_with(level: SimdLevel, words: &[u64]) -> u64 {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level came from runtime feature detection.
+        SimdLevel::Avx2 => unsafe { simd::avx2::popcount(words) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        SimdLevel::Neon => unsafe { simd::neon::popcount(words) },
+        _ => popcount_scalar(words),
+    }
+}
+
+/// Scalar popcount: four independent accumulators break the single
+/// add-chain dependency so the popcounts of consecutive words retire in
+/// parallel (ILP); integer addition is associative, so the result is
+/// identical to a plain sum. This is the one remaining copy of the 4-way
+/// lane-accumulator pattern — the masked-stats kernels now share the
+/// single [`simd::scan_word`] accumulator instead of duplicating it.
+fn popcount_scalar(words: &[u64]) -> u64 {
     let mut lanes = [0u64; 4];
     let mut chunks = words.chunks_exact(4);
     for quad in &mut chunks {
@@ -394,36 +459,44 @@ pub fn or_into(acc: &mut [u64], src: &[u64]) {
 /// the blocked and fused kernels so sums agree bit-for-bit with them on a
 /// single thread.
 pub fn masked_stats(words: &[u64], errors: &[f64]) -> (f64, f64, f64) {
-    masked_stats_offset(words, errors, 0)
+    masked_stats_offset_with(simd::default_level(), words, errors, 0)
+}
+
+/// [`masked_stats`] at an explicit [`SimdLevel`].
+pub fn masked_stats_with(level: SimdLevel, words: &[u64], errors: &[f64]) -> (f64, f64, f64) {
+    masked_stats_offset_with(level, words, errors, 0)
 }
 
 /// [`masked_stats`] for a word sub-range whose first word covers row
-/// `base_row` (`base_row` must be a multiple of 64).
-fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, f64, f64) {
-    // Four integer size lanes (associative, so lane order is irrelevant)
-    // keep the popcount chain pipelined; the float accumulation below
-    // stays a single sequential chain in ascending row order — that order
-    // is the bit-for-bit contract with the other kernels.
-    let mut size = [0u64; 4];
+/// `base_row` (`base_row` must be a multiple of 64). Every backend
+/// accumulates through the shared [`simd::scan_word`] helper: the float
+/// sum stays a single sequential chain in ascending row order — that
+/// order is the bit-for-bit contract with the other kernels.
+fn masked_stats_offset_with(
+    level: SimdLevel,
+    words: &[u64],
+    errors: &[f64],
+    base_row: usize,
+) -> (f64, f64, f64) {
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2 {
+        // SAFETY: level came from runtime feature detection.
+        return unsafe { simd::avx2::masked_stats(words, errors, base_row) };
+    }
+    let _ = level;
+    let mut size = 0u64;
     let mut se = 0.0f64;
     let mut sm = 0.0f64;
     for (wi, &word) in words.iter().enumerate() {
-        if word == 0 {
-            continue;
-        }
-        size[wi & 3] += word.count_ones() as u64;
-        let row0 = base_row + wi * WORD_BITS;
-        let mut w = word;
-        while w != 0 {
-            let e = errors[row0 + w.trailing_zeros() as usize];
-            se += e;
-            if e > sm {
-                sm = e;
-            }
-            w &= w - 1;
-        }
+        simd::scan_word(
+            word,
+            base_row + wi * WORD_BITS,
+            errors,
+            &mut size,
+            &mut se,
+            &mut sm,
+        );
     }
-    let size = (size[0] + size[1]) + (size[2] + size[3]);
     (size as f64, se, sm)
 }
 
@@ -434,31 +507,84 @@ fn masked_stats_offset(words: &[u64], errors: &[f64], base_row: usize) -> (f64, 
 /// write and its buffer. Row order (and therefore float association)
 /// matches [`masked_stats`] exactly.
 pub fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64) {
+    masked_stats_and2_with(simd::default_level(), a, b, errors)
+}
+
+/// [`masked_stats_and2`] at an explicit [`SimdLevel`].
+pub fn masked_stats_and2_with(
+    level: SimdLevel,
+    a: &[u64],
+    b: &[u64],
+    errors: &[f64],
+) -> (f64, f64, f64) {
     debug_assert_eq!(a.len(), b.len());
-    // Same lane split as `masked_stats_offset`: integer size in four
-    // associative lanes, float sum strictly in ascending row order.
-    let mut size = [0u64; 4];
+    #[cfg(target_arch = "x86_64")]
+    if level == SimdLevel::Avx2 {
+        // SAFETY: level came from runtime feature detection.
+        return unsafe { simd::avx2::masked_stats_and2(a, b, errors) };
+    }
+    let _ = level;
+    let mut size = 0u64;
     let mut se = 0.0f64;
     let mut sm = 0.0f64;
     for (wi, (&wa, &wb)) in a.iter().zip(b.iter()).enumerate() {
-        let word = wa & wb;
-        if word == 0 {
+        simd::scan_word(wa & wb, wi * WORD_BITS, errors, &mut size, &mut se, &mut sm);
+    }
+    (size as f64, se, sm)
+}
+
+/// Maximum sibling fan-in of [`masked_stats_and2_multi`].
+pub const MULTI_WAY: usize = 8;
+
+/// Batched [`masked_stats_and2`]: evaluates up to [`MULTI_WAY`] sibling
+/// slices that share `parent` in **one pass** over the parent bitmap and
+/// the error vector. Each parent word (and each cache line of `errors`
+/// it selects) is loaded once for the whole sibling group instead of once
+/// per slice — the interleaved multi-slice evaluation the engine's
+/// sibling batching is built on. `out[j]` receives exactly what
+/// `masked_stats_and2(parent, cols[j], errors)` would return: per slice,
+/// the scanned word sequence and the float association are identical.
+pub fn masked_stats_and2_multi(
+    parent: &[u64],
+    cols: &[&[u64]],
+    errors: &[f64],
+    out: &mut [(f64, f64, f64)],
+) {
+    let k = cols.len();
+    assert!(k <= MULTI_WAY, "sibling group exceeds MULTI_WAY");
+    assert_eq!(out.len(), k);
+    debug_assert!(cols.iter().all(|c| c.len() == parent.len()));
+    let mut size = [0u64; MULTI_WAY];
+    let mut se = [0.0f64; MULTI_WAY];
+    let mut sm = [0.0f64; MULTI_WAY];
+    let n = parent.len();
+    let mut wi = 0;
+    while wi < n {
+        // Skip fully-empty 4-word parent blocks with one OR — no child
+        // can have a bit where the parent has none.
+        if wi + 4 <= n && parent[wi] | parent[wi + 1] | parent[wi + 2] | parent[wi + 3] == 0 {
+            wi += 4;
             continue;
         }
-        size[wi & 3] += word.count_ones() as u64;
-        let row0 = wi * WORD_BITS;
-        let mut w = word;
-        while w != 0 {
-            let e = errors[row0 + w.trailing_zeros() as usize];
-            se += e;
-            if e > sm {
-                sm = e;
+        let pw = parent[wi];
+        if pw != 0 {
+            let row0 = wi * WORD_BITS;
+            for (j, col) in cols.iter().enumerate() {
+                simd::scan_word(
+                    pw & col[wi],
+                    row0,
+                    errors,
+                    &mut size[j],
+                    &mut se[j],
+                    &mut sm[j],
+                );
             }
-            w &= w - 1;
         }
+        wi += 1;
     }
-    let size = (size[0] + size[1]) + (size[2] + size[3]);
-    (size as f64, se, sm)
+    for j in 0..k {
+        out[j] = (size[j] as f64, se[j], sm[j]);
+    }
 }
 
 /// Word-chunked parallel [`masked_stats`]: word ranges are reduced on the
@@ -470,11 +596,14 @@ pub fn masked_stats_parallel(words: &[u64], errors: &[f64], exec: &ExecContext) 
         return masked_stats(words, errors);
     }
     let ranges = exec.parallel().split_range(words.len());
+    let level = exec.simd();
     let partials: Vec<(f64, f64, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
-                scope.spawn(move || masked_stats_offset(&words[lo..hi], errors, lo * WORD_BITS))
+                scope.spawn(move || {
+                    masked_stats_offset_with(level, &words[lo..hi], errors, lo * WORD_BITS)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()

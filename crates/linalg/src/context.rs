@@ -42,6 +42,7 @@
 //! [`Collector`]: sliceline_obs::Collector
 
 use crate::parallel::ParallelConfig;
+use crate::simd::{self, SimdKernel, SimdLevel};
 use sliceline_obs::{secs, Collector, MergeDelta, MetricsRegistry, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -103,6 +104,13 @@ pub struct LevelProfile {
     /// Bitmap-kernel evaluations served incrementally from a cached
     /// parent bitmap (one `AND` instead of `L`).
     pub cache_hits: u64,
+    /// Bitmap-kernel evaluations that probed the parent cache and found
+    /// no usable parent (the slice rebuilt from its column bitmaps).
+    pub cache_misses: u64,
+    /// Evaluated children whose retention the cache admission cost model
+    /// declined even though the byte budget had room (recompute was
+    /// predicted cheaper than a cached-parent `AND` next level).
+    pub cache_bypass: u64,
     /// Max/mean per-node wall time of this level's distributed
     /// evaluation; 0 for non-distributed runs, 1.0 = perfectly balanced.
     pub partition_skew: f64,
@@ -174,6 +182,8 @@ impl MergeDelta for LevelProfile {
         self.topk_entered += other.topk_entered;
         self.partials += other.partials;
         self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_bypass += other.cache_bypass;
         if other.partition_skew > self.partition_skew {
             self.partition_skew = other.partition_skew;
         }
@@ -250,6 +260,9 @@ pub struct ExecStats {
     pub levels: Vec<LevelProfile>,
     /// Scratch-pool counters accumulated over the context lifetime.
     pub pool: PoolStats,
+    /// SIMD level the context's bitmap kernels dispatched to
+    /// (`"scalar"` / `"avx2"` / `"neon"`), when snapshotted from a context.
+    pub simd: Option<&'static str>,
 }
 
 impl ExecStats {
@@ -275,7 +288,7 @@ impl ExecStats {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+            "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>7} {:>7} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
             "level",
             "pairs",
             "cands",
@@ -287,6 +300,8 @@ impl ExecStats {
             "topk+",
             "partials",
             "bmhits",
+            "bmmiss",
+            "bmbyp",
             "skew",
             "rows_ret",
             "cols_ret",
@@ -301,7 +316,7 @@ impl ExecStats {
         ));
         for l in &self.levels {
             out.push_str(&format!(
-                "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>6.2} {:>9} {:>9} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10.4}\n",
+                "{:<6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6} {:>8} {:>7} {:>7} {:>7} {:>6.2} {:>9} {:>9} {:>8} {:>8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10.4}\n",
                 l.level,
                 l.pairs,
                 l.candidates,
@@ -313,6 +328,8 @@ impl ExecStats {
                 l.topk_entered,
                 l.partials,
                 l.cache_hits,
+                l.cache_misses,
+                l.cache_bypass,
                 l.partition_skew,
                 l.rows_retained,
                 l.cols_retained,
@@ -327,8 +344,9 @@ impl ExecStats {
             ));
         }
         out.push_str(&format!(
-            "prepare {:.4}s · pool: {} reused / {} allocated ({} bytes served from pool, {} bytes peak outstanding)\n",
+            "prepare {:.4}s · simd: {} · pool: {} reused / {} allocated ({} bytes served from pool, {} bytes peak outstanding)\n",
             secs(self.prepare),
+            self.simd.unwrap_or("-"),
             self.pool.reused(),
             self.pool.allocated(),
             self.pool.bytes_reused,
@@ -351,7 +369,8 @@ impl ExecStats {
             out.push_str(&format!(
                 "{{\"level\":{},\"pairs\":{},\"candidates\":{},\"deduped\":{},\"pruned_size\":{},\
                  \"pruned_score\":{},\"pruned_parents\":{},\"evaluated\":{},\"topk_entered\":{},\
-                 \"partials\":{},\"cache_hits\":{},\"partition_skew\":{},\
+                 \"partials\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_bypass\":{},\
+                 \"partition_skew\":{},\
                  \"rows_retained\":{},\"cols_retained\":{},\"kernel\":{},\
                  \"enum_kernel\":{},\"enumerate_secs\":{:.6},\
                  \"join_secs\":{:.6},\"dedup_secs\":{:.6},\
@@ -367,6 +386,8 @@ impl ExecStats {
                 l.topk_entered,
                 l.partials,
                 l.cache_hits,
+                l.cache_misses,
+                l.cache_bypass,
                 l.partition_skew,
                 l.rows_retained,
                 l.cols_retained,
@@ -400,6 +421,13 @@ impl ExecStats {
             self.pool.bytes_reused,
             self.pool.bytes_outstanding,
             self.pool.bytes_high_water,
+        ));
+        out.push_str(&format!(
+            ",\"simd\":{}",
+            match self.simd {
+                Some(s) => format!("\"{s}\""),
+                None => "null".to_string(),
+            }
         ));
         out.push('}');
         out
@@ -475,6 +503,7 @@ struct CtxInner {
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     parallel: ParallelConfig,
+    simd: SimdLevel,
     inner: Arc<CtxInner>,
     telemetry: Arc<Telemetry>,
 }
@@ -500,6 +529,7 @@ impl ExecContext {
     pub fn with_parallel(parallel: ParallelConfig) -> Self {
         ExecContext {
             parallel,
+            simd: simd::default_level(),
             inner: Arc::new(CtxInner {
                 pool: BufferPool::new(),
                 tracer: Tracer::new(),
@@ -514,9 +544,26 @@ impl ExecContext {
     pub fn with_threads(&self, threads: usize) -> Self {
         ExecContext {
             parallel: ParallelConfig::new(threads),
+            simd: self.simd,
             inner: Arc::clone(&self.inner),
             telemetry: Arc::clone(&self.telemetry),
         }
+    }
+
+    /// A view with the SIMD knob resolved from `kernel` that shares this
+    /// context's pool, telemetry sink, tracer, and metrics. The knob
+    /// selects a code path, never an answer: scalar and vector kernels
+    /// are bit-for-bit identical, so views with different levels may
+    /// safely coexist on one shared context.
+    pub fn with_simd(&self, kernel: SimdKernel) -> Self {
+        let mut view = self.clone();
+        view.simd = simd::resolve(kernel);
+        view
+    }
+
+    /// The SIMD level bitmap kernels dispatch to under this context.
+    pub fn simd(&self) -> SimdLevel {
+        self.simd
     }
 
     /// A per-run view that shares this context's buffer pool, tracer,
@@ -536,6 +583,7 @@ impl ExecContext {
             .store(self.stats_enabled(), Ordering::Relaxed);
         ExecContext {
             parallel: self.parallel,
+            simd: self.simd,
             inner: Arc::clone(&self.inner),
             telemetry: Arc::new(telemetry),
         }
@@ -757,6 +805,7 @@ impl ExecContext {
             prepare: Duration::from_nanos(self.telemetry.prepare_nanos.load(Ordering::Relaxed)),
             levels: self.telemetry.levels.snapshot(),
             pool: self.pool_stats(),
+            simd: Some(self.simd.name()),
         };
         let metrics = &self.inner.metrics;
         metrics
@@ -765,9 +814,26 @@ impl ExecContext {
         metrics
             .gauge("linalg.pool.bytes_reused")
             .set(stats.pool.bytes_reused as f64);
+        metrics
+            .gauge("linalg.simd.level")
+            .set(self.simd.code() as f64);
         let evaluated = stats.total_evaluated();
-        let cache_hits: u64 = stats.levels.iter().map(|l| l.cache_hits).sum();
         if evaluated > 0 {
+            // Only overwrite the cache gauges from a snapshot that saw
+            // evaluation: a levels-free view (e.g. the serve daemon's
+            // shared base context) must not zero the last run's values.
+            let cache_hits: u64 = stats.levels.iter().map(|l| l.cache_hits).sum();
+            let cache_misses: u64 = stats.levels.iter().map(|l| l.cache_misses).sum();
+            let cache_bypass: u64 = stats.levels.iter().map(|l| l.cache_bypass).sum();
+            metrics
+                .gauge("core.bitmap_cache.hits")
+                .set(cache_hits as f64);
+            metrics
+                .gauge("core.bitmap_cache.misses")
+                .set(cache_misses as f64);
+            metrics
+                .gauge("core.bitmap_cache.bypass")
+                .set(cache_bypass as f64);
             metrics
                 .gauge("core.bitmap_cache.hit_rate")
                 .set(cache_hits as f64 / evaluated as f64);

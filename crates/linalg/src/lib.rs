@@ -39,6 +39,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod parallel;
+pub mod simd;
 pub mod solve;
 pub mod spgemm;
 pub mod table;
@@ -51,6 +52,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
 pub use parallel::ParallelConfig;
+pub use simd::{SimdKernel, SimdLevel};
 // Observability re-exports so downstream crates can spell tracer/metrics
 // types without depending on `sliceline-obs` directly.
 pub use sliceline_obs::{

@@ -1,0 +1,536 @@
+//! Runtime-dispatched SIMD backends for the bitmap hot path.
+//!
+//! The packed-bitmap kernels in [`crate::bitmap`] are pure streaming word
+//! loops (`AND`, popcount, masked error scans) — exactly the shape that
+//! vectorizes. This module holds the vector implementations and the
+//! dispatch machinery:
+//!
+//! * [`SimdLevel`] — the instruction set a kernel actually runs with
+//!   (`Scalar` is always available; `Avx2` on x86-64 with AVX2+POPCNT+BMI1;
+//!   `Neon` on aarch64).
+//! * [`SimdKernel`] — the user-facing knob: `Scalar` forces the portable
+//!   loops, `Auto` takes the best detected level, `Forced` pins a specific
+//!   level (degrading to `Scalar` when the CPU lacks it).
+//! * [`detect`] — one-time runtime feature detection
+//!   (`is_x86_feature_detected!`), cached for the process lifetime.
+//! * [`default_level`] — the process-wide default, initialised from the
+//!   `SLICELINE_SIMD` environment variable (`scalar`/`auto`/`avx2`/`neon`)
+//!   on first use and overridable via [`set_default`].
+//!
+//! Every vector kernel is **bit-for-bit identical** to its scalar
+//! counterpart: integer reductions (`AND`, popcount, sizes) are associative
+//! so lane order is free, while the floating-point error aggregation keeps
+//! the exact ascending-row single-chain association of the scalar scan —
+//! the vector units only accelerate the word-level work around it
+//! (conjunction, population counts, and skipping all-zero word blocks).
+//! The proptest suite in `tests/simd_parity.rs` pins this contract at
+//! lengths straddling every lane and unroll boundary.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction set a bitmap kernel dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar loops — always available, the parity baseline.
+    Scalar,
+    /// 256-bit AVX2 kernels (requires AVX2 + POPCNT + BMI1; x86-64 only).
+    Avx2,
+    /// 128-bit NEON kernels (aarch64 only).
+    Neon,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name (used in `--stats`, the manifest and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// Numeric code for metric gauges (0 scalar, 1 avx2, 2 neon).
+    pub fn code(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 0,
+            SimdLevel::Avx2 => 1,
+            SimdLevel::Neon => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> SimdLevel {
+        match code {
+            1 => SimdLevel::Avx2,
+            2 => SimdLevel::Neon,
+            _ => SimdLevel::Scalar,
+        }
+    }
+}
+
+/// The SIMD selection knob carried by configs and [`crate::ExecContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdKernel {
+    /// Always run the portable scalar loops.
+    Scalar,
+    /// Use the best level the CPU supports (one-time runtime detection).
+    #[default]
+    Auto,
+    /// Pin a specific level; degrades to `Scalar` if the CPU lacks it.
+    Forced(SimdLevel),
+}
+
+/// Best [`SimdLevel`] this CPU supports. Feature detection runs once and
+/// is cached for the process lifetime.
+pub fn detect() -> SimdLevel {
+    const UNSET: u8 = u8::MAX;
+    static DETECTED: AtomicU8 = AtomicU8::new(UNSET);
+    match DETECTED.load(Ordering::Relaxed) {
+        UNSET => {
+            let level = detect_uncached();
+            // Racy first call recomputes the same value; store is idempotent.
+            DETECTED.store(level.code(), Ordering::Relaxed);
+            level
+        }
+        code => SimdLevel::from_code(code),
+    }
+}
+
+fn detect_uncached() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+            && std::arch::is_x86_feature_detected!("bmi1")
+        {
+            return SimdLevel::Avx2;
+        }
+        SimdLevel::Scalar
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is a baseline feature of every aarch64 target.
+        SimdLevel::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+/// Resolves a knob setting to the level that will actually run: `Auto`
+/// takes [`detect`], and a `Forced` level the CPU does not support
+/// degrades to `Scalar` (results are identical either way — the knob
+/// selects a code path, never an answer).
+pub fn resolve(kernel: SimdKernel) -> SimdLevel {
+    match kernel {
+        SimdKernel::Scalar => SimdLevel::Scalar,
+        // Auto follows the process default (`SLICELINE_SIMD` env or
+        // runtime detection), so a config left at its default never
+        // silently overrides an environment-forced level.
+        SimdKernel::Auto => default_level(),
+        SimdKernel::Forced(level) => {
+            if level == SimdLevel::Scalar || level == detect() {
+                level
+            } else {
+                SimdLevel::Scalar
+            }
+        }
+    }
+}
+
+/// Parses a knob value (`scalar`, `auto`, `avx2`, `neon`) as spelled on
+/// the CLI and in `SLICELINE_SIMD`.
+pub fn parse_kernel(s: &str) -> Option<SimdKernel> {
+    match s {
+        "scalar" => Some(SimdKernel::Scalar),
+        "auto" => Some(SimdKernel::Auto),
+        "avx2" => Some(SimdKernel::Forced(SimdLevel::Avx2)),
+        "neon" => Some(SimdKernel::Forced(SimdLevel::Neon)),
+        _ => None,
+    }
+}
+
+const DEFAULT_UNSET: u8 = u8::MAX;
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_UNSET);
+
+/// Process-wide default level used by kernel entry points that have no
+/// [`crate::ExecContext`] at hand. Initialised on first use from the
+/// `SLICELINE_SIMD` environment variable (unknown values fall back to
+/// `auto`); override with [`set_default`].
+pub fn default_level() -> SimdLevel {
+    match DEFAULT_LEVEL.load(Ordering::Relaxed) {
+        DEFAULT_UNSET => {
+            let kernel = std::env::var("SLICELINE_SIMD")
+                .ok()
+                .and_then(|v| parse_kernel(&v))
+                .unwrap_or(SimdKernel::Auto);
+            // `Auto` resolves via `detect()` directly here — `resolve`
+            // routes `Auto` back to this function.
+            let level = match kernel {
+                SimdKernel::Auto => detect(),
+                other => resolve(other),
+            };
+            DEFAULT_LEVEL.store(level.code(), Ordering::Relaxed);
+            level
+        }
+        code => SimdLevel::from_code(code),
+    }
+}
+
+/// Overrides the process-wide default (the CLI applies `--simd` here so
+/// every path — including exec-less helpers — agrees with the flag).
+pub fn set_default(kernel: SimdKernel) {
+    DEFAULT_LEVEL.store(resolve(kernel).code(), Ordering::Relaxed);
+}
+
+/// Scalar bit-scan of one word: popcount into `size`, error sum/max into
+/// `se`/`sm` in ascending row order. This is the one shared accumulator
+/// every masked-stats variant (scalar and vector, single and fused) funnels
+/// through, so the float association can never diverge between backends.
+#[inline(always)]
+pub(crate) fn scan_word(
+    word: u64,
+    row0: usize,
+    errors: &[f64],
+    size: &mut u64,
+    se: &mut f64,
+    sm: &mut f64,
+) {
+    if word == 0 {
+        return;
+    }
+    *size += word.count_ones() as u64;
+    let mut w = word;
+    while w != 0 {
+        let e = errors[row0 + w.trailing_zeros() as usize];
+        *se += e;
+        if e > *sm {
+            *sm = e;
+        }
+        w &= w - 1;
+    }
+}
+
+/// AVX2 implementations. All functions require the `avx2` (and where
+/// noted `popcnt`/`bmi1`) CPU features; callers dispatch through
+/// [`resolve`]/[`detect`] so the requirement is established before any
+/// unsafe call.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::scan_word;
+    use std::arch::x86_64::*;
+
+    /// Words per 256-bit vector.
+    pub const LANE_WORDS: usize = 4;
+
+    /// `acc &= src`, four words per vector op.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_into(acc: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(acc.len(), src.len());
+        let n = acc.len();
+        let mut i = 0;
+        unsafe {
+            let a = acc.as_mut_ptr();
+            let s = src.as_ptr();
+            while i + LANE_WORDS <= n {
+                let va = _mm256_loadu_si256(a.add(i) as *const __m256i);
+                let vs = _mm256_loadu_si256(s.add(i) as *const __m256i);
+                _mm256_storeu_si256(a.add(i) as *mut __m256i, _mm256_and_si256(va, vs));
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            acc[i] &= src[i];
+            i += 1;
+        }
+    }
+
+    /// `dst = a & b`, four words per vector op. `dst` must be pre-sized
+    /// to `a.len()`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and2_into(dst: &mut [u64], a: &[u64], b: &[u64]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(dst.len(), a.len());
+        let n = a.len();
+        let mut i = 0;
+        unsafe {
+            let d = dst.as_mut_ptr();
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            while i + LANE_WORDS <= n {
+                let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                _mm256_storeu_si256(d.add(i) as *mut __m256i, _mm256_and_si256(va, vb));
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            dst[i] = a[i] & b[i];
+            i += 1;
+        }
+    }
+
+    /// Population count via the in-register nibble lookup (Mula's
+    /// algorithm): each 256-bit vector is split into low/high nibbles,
+    /// mapped through a 16-entry popcount table with `pshufb`, and the
+    /// byte counts reduced with `psadbw` into four `u64` lanes.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn popcount(words: &[u64]) -> u64 {
+        let n = words.len();
+        let mut i = 0;
+        let mut total: u64;
+        unsafe {
+            let p = words.as_ptr();
+            #[rustfmt::skip]
+            let lookup = _mm256_setr_epi8(
+                0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            );
+            let low_mask = _mm256_set1_epi8(0x0f);
+            let zero = _mm256_setzero_si256();
+            let mut acc = _mm256_setzero_si256();
+            while i + LANE_WORDS <= n {
+                let v = _mm256_loadu_si256(p.add(i) as *const __m256i);
+                let lo = _mm256_and_si256(v, low_mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+                let cnt = _mm256_add_epi8(
+                    _mm256_shuffle_epi8(lookup, lo),
+                    _mm256_shuffle_epi8(lookup, hi),
+                );
+                // Byte counts are ≤ 8, so the per-lane sums in `acc`
+                // cannot overflow u64 at any realistic bitmap length.
+                acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+                i += LANE_WORDS;
+            }
+            let mut lanes = [0u64; LANE_WORDS];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        }
+        while i < n {
+            total += words[i].count_ones() as u64;
+            i += 1;
+        }
+        total
+    }
+
+    /// [`crate::bitmap::masked_stats`] body: vector zero-test skips
+    /// all-empty 4-word blocks (one `vptest` instead of four load+branch
+    /// pairs — the common case for selective slices), non-empty words fall
+    /// into the shared scalar scan compiled with POPCNT/BMI1.
+    ///
+    /// # Safety
+    /// Requires AVX2 + POPCNT + BMI1.
+    #[target_feature(enable = "avx2,popcnt,bmi1")]
+    pub unsafe fn masked_stats(words: &[u64], errors: &[f64], base_row: usize) -> (f64, f64, f64) {
+        let n = words.len();
+        let mut size = 0u64;
+        let mut se = 0.0f64;
+        let mut sm = 0.0f64;
+        let mut i = 0;
+        unsafe {
+            let p = words.as_ptr();
+            while i + LANE_WORDS <= n {
+                let v = _mm256_loadu_si256(p.add(i) as *const __m256i);
+                if _mm256_testz_si256(v, v) == 0 {
+                    for j in i..i + LANE_WORDS {
+                        scan_word(
+                            *p.add(j),
+                            base_row + j * 64,
+                            errors,
+                            &mut size,
+                            &mut se,
+                            &mut sm,
+                        );
+                    }
+                }
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            scan_word(
+                words[i],
+                base_row + i * 64,
+                errors,
+                &mut size,
+                &mut se,
+                &mut sm,
+            );
+            i += 1;
+        }
+        (size as f64, se, sm)
+    }
+
+    /// [`crate::bitmap::masked_stats_and2`] body: the conjunction happens
+    /// in-register, empty 4-word blocks of the product are skipped with
+    /// one zero test, and surviving words go through the shared scan.
+    ///
+    /// # Safety
+    /// Requires AVX2 + POPCNT + BMI1.
+    #[target_feature(enable = "avx2,popcnt,bmi1")]
+    pub unsafe fn masked_stats_and2(a: &[u64], b: &[u64], errors: &[f64]) -> (f64, f64, f64) {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut size = 0u64;
+        let mut se = 0.0f64;
+        let mut sm = 0.0f64;
+        let mut i = 0;
+        unsafe {
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            while i + LANE_WORDS <= n {
+                let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+                let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+                let v = _mm256_and_si256(va, vb);
+                if _mm256_testz_si256(v, v) == 0 {
+                    let mut quad = [0u64; LANE_WORDS];
+                    _mm256_storeu_si256(quad.as_mut_ptr() as *mut __m256i, v);
+                    for (j, &w) in quad.iter().enumerate() {
+                        scan_word(w, (i + j) * 64, errors, &mut size, &mut se, &mut sm);
+                    }
+                }
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            scan_word(a[i] & b[i], i * 64, errors, &mut size, &mut se, &mut sm);
+            i += 1;
+        }
+        (size as f64, se, sm)
+    }
+}
+
+/// NEON implementations (aarch64). NEON is baseline on aarch64, so these
+/// compile unconditionally for that target; the masked-stats kernels stay
+/// scalar there (the 128-bit zero-test buys little over the scalar
+/// word-skip).
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use std::arch::aarch64::*;
+
+    /// Words per 128-bit vector.
+    pub const LANE_WORDS: usize = 2;
+
+    /// `acc &= src`, two words per vector op.
+    ///
+    /// # Safety
+    /// Requires NEON (baseline on aarch64).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn and_into(acc: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(acc.len(), src.len());
+        let n = acc.len();
+        let mut i = 0;
+        unsafe {
+            let a = acc.as_mut_ptr();
+            let s = src.as_ptr();
+            while i + LANE_WORDS <= n {
+                let va = vld1q_u64(a.add(i));
+                let vs = vld1q_u64(s.add(i));
+                vst1q_u64(a.add(i), vandq_u64(va, vs));
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            acc[i] &= src[i];
+            i += 1;
+        }
+    }
+
+    /// `dst = a & b`, two words per vector op. `dst` must be pre-sized.
+    ///
+    /// # Safety
+    /// Requires NEON (baseline on aarch64).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn and2_into(dst: &mut [u64], a: &[u64], b: &[u64]) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(dst.len(), a.len());
+        let n = a.len();
+        let mut i = 0;
+        unsafe {
+            let d = dst.as_mut_ptr();
+            let pa = a.as_ptr();
+            let pb = b.as_ptr();
+            while i + LANE_WORDS <= n {
+                let va = vld1q_u64(pa.add(i));
+                let vb = vld1q_u64(pb.add(i));
+                vst1q_u64(d.add(i), vandq_u64(va, vb));
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            dst[i] = a[i] & b[i];
+            i += 1;
+        }
+    }
+
+    /// Population count via `vcnt` (byte popcounts) and a pairwise-add
+    /// widening reduction.
+    ///
+    /// # Safety
+    /// Requires NEON (baseline on aarch64).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn popcount(words: &[u64]) -> u64 {
+        let n = words.len();
+        let mut i = 0;
+        let mut total = 0u64;
+        unsafe {
+            let p = words.as_ptr();
+            while i + LANE_WORDS <= n {
+                let v = vld1q_u64(p.add(i));
+                let bytes = vcntq_u8(vreinterpretq_u8_u64(v));
+                let sums = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+                total += vaddvq_u64(sums);
+                i += LANE_WORDS;
+            }
+        }
+        while i < n {
+            total += words[i].count_ones() as u64;
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable_and_resolves() {
+        let d = detect();
+        assert_eq!(detect(), d);
+        assert_eq!(resolve(SimdKernel::Auto), d);
+        assert_eq!(resolve(SimdKernel::Scalar), SimdLevel::Scalar);
+        // Forcing the detected level keeps it; forcing an unsupported
+        // one degrades to scalar.
+        assert_eq!(resolve(SimdKernel::Forced(d)), d);
+        for forced in [SimdLevel::Avx2, SimdLevel::Neon] {
+            let r = resolve(SimdKernel::Forced(forced));
+            assert!(r == forced && forced == d || r == SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn kernel_names_parse_round_trip() {
+        for (s, k) in [
+            ("scalar", SimdKernel::Scalar),
+            ("auto", SimdKernel::Auto),
+            ("avx2", SimdKernel::Forced(SimdLevel::Avx2)),
+            ("neon", SimdKernel::Forced(SimdLevel::Neon)),
+        ] {
+            assert_eq!(parse_kernel(s), Some(k));
+        }
+        assert_eq!(parse_kernel("sse9"), None);
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Neon] {
+            assert_eq!(SimdLevel::from_code(level.code()), level);
+        }
+    }
+}

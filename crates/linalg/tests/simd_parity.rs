@@ -1,0 +1,206 @@
+//! SIMD ≡ scalar parity for every bitmap hot-path kernel.
+//!
+//! The dispatch contract (`crate::simd` module docs) is that the vector
+//! backends are **bit-for-bit identical** to the portable scalar loops:
+//! integer reductions are associative, and the float error aggregation
+//! keeps the scalar scan's exact ascending-row association. These tests
+//! pin that contract at word counts straddling every lane and unroll
+//! boundary of the AVX2 kernels (4 words per 256-bit vector, 4-vector
+//! unroll, 4-word zero-skip blocks) — including the empty and sub-lane
+//! tails — with full-precision random errors, so any reassociation in a
+//! vector kernel shows up as an exact-equality failure, not rounding.
+//!
+//! On hardware without a vector backend `detect()` returns `Scalar` and
+//! the comparisons are trivially true; the suite still exercises the
+//! boundary lengths through the scalar paths.
+
+use proptest::prelude::*;
+use sliceline_linalg::bitmap::{
+    and2_into_with, and_into_with, masked_stats_and2_multi, masked_stats_and2_with,
+    masked_stats_with, popcount_with, MULTI_WAY,
+};
+use sliceline_linalg::simd;
+use sliceline_linalg::SimdLevel;
+
+/// Word counts straddling the AVX2 lane (4 words), unroll (16 words), and
+/// zero-skip (4 words) boundaries, plus empty and sub-lane tails.
+const BOUNDARY_LENS: &[usize] = &[
+    0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 19, 31, 32, 33, 63, 64, 65, 127, 128, 129,
+];
+
+/// A bitmap of `words` words mixing dense, sparse, empty, and all-ones
+/// regions (zero words exercise the 4-word skip blocks; all-ones words
+/// exercise full-lane scans).
+fn bitmap_strategy(words: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => 0u64..=u64::MAX,
+            2 => Just(0u64),
+            1 => Just(u64::MAX),
+            1 => (0u64..=u64::MAX).prop_map(|w| w & 0x8000_0000_0000_0001),
+        ],
+        words..=words,
+    )
+}
+
+/// `(a, b, errors)` at a boundary word count, with one error per
+/// coverable row at full f64 precision.
+fn case_strategy() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, Vec<f64>)> {
+    (0usize..BOUNDARY_LENS.len()).prop_flat_map(|i| {
+        let words = BOUNDARY_LENS[i];
+        (
+            bitmap_strategy(words),
+            bitmap_strategy(words),
+            proptest::collection::vec(0.0f64..1.0, words * 64..=words * 64),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `and_into` and `and2_into` produce identical words at every level.
+    #[test]
+    fn and_kernels_agree((a, b, _e) in case_strategy()) {
+        let vec_level = simd::detect();
+        let mut scalar_acc = a.clone();
+        and_into_with(SimdLevel::Scalar, &mut scalar_acc, &b);
+        let mut vec_acc = a.clone();
+        and_into_with(vec_level, &mut vec_acc, &b);
+        prop_assert_eq!(&scalar_acc, &vec_acc);
+
+        let mut scalar_dst = Vec::new();
+        and2_into_with(SimdLevel::Scalar, &mut scalar_dst, &a, &b);
+        let mut vec_dst = Vec::new();
+        and2_into_with(vec_level, &mut vec_dst, &a, &b);
+        prop_assert_eq!(&scalar_dst, &vec_dst);
+        prop_assert_eq!(&scalar_acc, &scalar_dst);
+    }
+
+    /// Popcount agrees exactly (integer reduction, lane order free).
+    #[test]
+    fn popcount_agrees((a, _b, _e) in case_strategy()) {
+        prop_assert_eq!(
+            popcount_with(SimdLevel::Scalar, &a),
+            popcount_with(simd::detect(), &a)
+        );
+    }
+
+    /// The masked error scans agree bit-for-bit on full-precision floats:
+    /// `masked_stats`, the fused `masked_stats_and2`, and the fused pair
+    /// against a materialize-then-scan reference.
+    #[test]
+    fn masked_stats_agree((a, b, errors) in case_strategy()) {
+        let vec_level = simd::detect();
+        prop_assert_eq!(
+            masked_stats_with(SimdLevel::Scalar, &a, &errors),
+            masked_stats_with(vec_level, &a, &errors)
+        );
+        let fused_scalar = masked_stats_and2_with(SimdLevel::Scalar, &a, &b, &errors);
+        let fused_vec = masked_stats_and2_with(vec_level, &a, &b, &errors);
+        prop_assert_eq!(fused_scalar, fused_vec);
+        // Fused AND+scan == materialized AND then scan, on either backend.
+        let mut both = Vec::new();
+        and2_into_with(SimdLevel::Scalar, &mut both, &a, &b);
+        prop_assert_eq!(fused_scalar, masked_stats_with(vec_level, &both, &errors));
+    }
+
+    /// The interleaved multi-slice kernel returns, per sibling, exactly
+    /// what the one-pair kernel returns at every group width 1..=MULTI_WAY.
+    #[test]
+    fn multi_matches_individual(
+        (parent, _b, errors) in case_strategy(),
+        seeds in proptest::collection::vec(0u64..=u64::MAX, MULTI_WAY..=MULTI_WAY),
+        width in 1usize..=MULTI_WAY,
+    ) {
+        let words = parent.len();
+        // Deterministic sibling columns derived from the seeds so widths
+        // and lengths stay in lockstep with the parent.
+        let cols: Vec<Vec<u64>> = seeds[..width]
+            .iter()
+            .map(|&s| {
+                let mut state = s | 1;
+                (0..words)
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        if state & 7 == 0 { 0 } else { state }
+                    })
+                    .collect()
+            })
+            .collect();
+        let col_refs: Vec<&[u64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut multi = vec![(0.0, 0.0, 0.0); width];
+        masked_stats_and2_multi(&parent, &col_refs, &errors, &mut multi);
+        for (j, col) in col_refs.iter().enumerate() {
+            let single = masked_stats_and2_with(SimdLevel::Scalar, &parent, col, &errors);
+            prop_assert_eq!(multi[j], single, "sibling {} of {}", j, width);
+        }
+    }
+}
+
+/// Deterministic boundary sweep that runs even where the proptest runner
+/// is unavailable: all-ones bitmaps at every boundary length, checked
+/// across every kernel.
+#[test]
+fn boundary_lengths_fixed() {
+    let vec_level = simd::detect();
+    for &words in BOUNDARY_LENS {
+        let a = vec![u64::MAX; words];
+        let b: Vec<u64> = (0..words as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+            .collect();
+        let errors: Vec<f64> = (0..words * 64).map(|i| (i % 131) as f64 * 0.25).collect();
+        assert_eq!(
+            popcount_with(SimdLevel::Scalar, &b),
+            popcount_with(vec_level, &b),
+            "popcount at {words} words"
+        );
+        let mut scalar_dst = Vec::new();
+        and2_into_with(SimdLevel::Scalar, &mut scalar_dst, &a, &b);
+        let mut vec_dst = Vec::new();
+        and2_into_with(vec_level, &mut vec_dst, &a, &b);
+        assert_eq!(scalar_dst, vec_dst, "and2 at {words} words");
+        assert_eq!(
+            masked_stats_with(SimdLevel::Scalar, &b, &errors),
+            masked_stats_with(vec_level, &b, &errors),
+            "masked_stats at {words} words"
+        );
+        assert_eq!(
+            masked_stats_and2_with(SimdLevel::Scalar, &a, &b, &errors),
+            masked_stats_and2_with(vec_level, &a, &b, &errors),
+            "masked_stats_and2 at {words} words"
+        );
+        // Interleaved multi-slice kernel vs the one-pair kernel, at every
+        // sibling width, over the same boundary length.
+        for width in 1..=MULTI_WAY {
+            let cols: Vec<Vec<u64>> = (0..width as u64)
+                .map(|j| {
+                    (0..words as u64)
+                        .map(|i| {
+                            let w = (i + 1)
+                                .wrapping_mul(j * 2 + 1)
+                                .wrapping_mul(0xD134_2543_DE82_EF95);
+                            if w & 15 == 0 {
+                                0
+                            } else {
+                                w
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let col_refs: Vec<&[u64]> = cols.iter().map(|c| c.as_slice()).collect();
+            let mut multi = vec![(0.0, 0.0, 0.0); width];
+            masked_stats_and2_multi(&b, &col_refs, &errors, &mut multi);
+            for (j, col) in col_refs.iter().enumerate() {
+                assert_eq!(
+                    multi[j],
+                    masked_stats_and2_with(SimdLevel::Scalar, &b, col, &errors),
+                    "multi sibling {j} of {width} at {words} words"
+                );
+            }
+        }
+    }
+}

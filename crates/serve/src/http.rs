@@ -69,6 +69,11 @@ impl Server {
     /// session the server hosts.
     pub fn bind(config: &ServerConfig, exec: ExecContext) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        // Always-on telemetry: each query's scoped run folds its cache
+        // hit/miss/bypass counters and SIMD level into the shared metrics
+        // registry, so `/metrics` shows warm-session behavior. Counter
+        // bumps are cheap relative to any query.
+        exec.enable_stats(true);
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -134,7 +139,13 @@ impl Server {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         let result = match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["health"]) => Ok("{\"ok\":true}".to_string()),
-            ("GET", ["metrics"]) => Ok(self.registry.exec().metrics().to_json()),
+            ("GET", ["metrics"]) => {
+                // Refresh the derived gauges (pool high-water, SIMD
+                // level) before serializing; cache counters were folded
+                // by each query's own scoped snapshot.
+                let _ = self.registry.exec().exec_stats();
+                Ok(self.registry.exec().metrics().to_json())
+            }
             ("GET", ["manifest"]) => Ok(self.manifest().to_json()),
             ("GET", ["datasets"]) => Ok(format!(
                 "{{\"datasets\":[{}]}}",
