@@ -1,0 +1,312 @@
+//! Out-of-core slice finding — chunked bounded-memory execution at
+//! Criteo scale.
+//!
+//! Three sections:
+//!
+//! 1. **Parity gate** (always runs; `--parity-gate` stops after it):
+//!    the chunk-streamed driver must return bit-for-bit identical top-K
+//!    slices and level counts to the in-memory path on materialized
+//!    `CriteoStream` data, across evaluation kernels, chunk sizes, and a
+//!    forced-spill budget. Any divergence exits non-zero, so CI gates on
+//!    this binary (the `oocore-smoke` job).
+//!
+//! 2. **Spill cell**: a mid-size stream under a budget small enough that
+//!    projected chunks overflow to the spill file, with level-3 replay —
+//!    checked bit-for-bit against the in-memory oracle, with the spill
+//!    gauges and peak RSS reported.
+//!
+//! 3. **Scale cell**: a Criteo-scale row stream (default 100M rows,
+//!    `--scale` multiplies) driven end-to-end under a fixed memory
+//!    budget the fully-materialized path cannot meet (the one-hot
+//!    footprint estimate is ~60 GB at 100M rows vs a 1 GiB budget), with
+//!    measured peak RSS from the `obs.mem.rss_peak_bytes` gauge.
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin oocore_bench -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes machine-readable results to stdout (tables move
+//! to stderr); the committed `BENCH_oocore.json` is that output.
+
+use sliceline::config::{EvalKernel, MinSupport, SliceLineConfig};
+use sliceline::oocore::{
+    OOCORE_CHUNKS_GAUGE, OOCORE_CHUNK_ROWS_GAUGE, OOCORE_SPILLED_BYTES_GAUGE,
+    OOCORE_SPILLED_CHUNKS_GAUGE,
+};
+use sliceline::{find_slices_streamed_in, SliceLine, SliceLineResult};
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_datagen::CriteoStream;
+use sliceline_obs::mem::RSS_PEAK_GAUGE;
+use std::time::Instant;
+
+/// One top-K entry: predicates plus exact score/size/error/max_error bits.
+type SliceBits = (Vec<(usize, u32)>, u64, u64, u64, u64);
+
+/// Comparable fingerprint: exact top-K bits plus enumerated level count.
+fn fingerprint(r: &SliceLineResult) -> (Vec<SliceBits>, usize) {
+    (
+        r.top_k
+            .iter()
+            .map(|s| {
+                (
+                    s.predicates.clone(),
+                    s.score.to_bits(),
+                    s.size.to_bits(),
+                    s.error.to_bits(),
+                    s.max_error.to_bits(),
+                )
+            })
+            .collect(),
+        r.stats.levels.len(),
+    )
+}
+
+fn config(sigma: f64, max_level: usize, threads: usize, eval: EvalKernel) -> SliceLineConfig {
+    let mut cfg = SliceLineConfig::builder()
+        .k(4)
+        .alpha(0.95)
+        .max_level(max_level)
+        .threads(threads)
+        .build()
+        .unwrap();
+    cfg.min_support = MinSupport::Fraction(sigma);
+    cfg.eval = eval;
+    cfg
+}
+
+/// Streams `source` under `cfg`, returning the result plus the gauge
+/// snapshot the run left behind.
+struct StreamRun {
+    result: SliceLineResult,
+    elapsed_secs: f64,
+    chunk_rows: f64,
+    chunks: f64,
+    spilled_chunks: f64,
+    spilled_bytes: f64,
+    rss_peak_bytes: f64,
+}
+
+fn stream(source: &mut CriteoStream, cfg: &SliceLineConfig) -> StreamRun {
+    let exec = cfg.exec_context();
+    let start = Instant::now();
+    let result = find_slices_streamed_in(source, cfg, &exec).expect("streamed run failed");
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let metrics = exec.metrics();
+    StreamRun {
+        result,
+        elapsed_secs,
+        chunk_rows: metrics.gauge(OOCORE_CHUNK_ROWS_GAUGE).value(),
+        chunks: metrics.gauge(OOCORE_CHUNKS_GAUGE).value(),
+        spilled_chunks: metrics.gauge(OOCORE_SPILLED_CHUNKS_GAUGE).value(),
+        spilled_bytes: metrics.gauge(OOCORE_SPILLED_BYTES_GAUGE).value(),
+        rss_peak_bytes: metrics.gauge(RSS_PEAK_GAUGE).value(),
+    }
+}
+
+/// Estimated bytes of the fully-materialized path at `n` rows: integer
+/// codes, one-hot CSR (u32 col + f64 value per nonzero, u64 row_ptr),
+/// and the error vector.
+fn materialized_estimate(n: usize, m: usize) -> u64 {
+    (n as u64) * ((m as u64) * (4 + 12) + 8 + 8)
+}
+
+fn mb(bytes: f64) -> f64 {
+    bytes / (1u64 << 20) as f64
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parity_gate = raw.iter().any(|a| a == "--parity-gate");
+    let args = BenchArgs::parse_from(raw.into_iter().filter(|a| a != "--parity-gate"));
+    let threads = args.resolved_threads();
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner("Out-of-core: chunked bounded-memory execution", &args);
+    }
+
+    // --- Parity gate ---------------------------------------------------
+    // sigma 0.01 keeps the planted slices (2% of rows) above support, so
+    // the gate also checks recovery through the streamed path.
+    let gate_rows = ((60_000.0 * args.scale) as usize).clamp(5_000, 240_000);
+    let oracle_stream = CriteoStream::new(args.seed, gate_rows);
+    let (x0, errors) = oracle_stream.materialize();
+    let mut cells = 0usize;
+    for eval in [EvalKernel::default(), EvalKernel::Bitmap] {
+        let base = fingerprint(
+            &SliceLine::new(config(0.01, 3, 1, eval))
+                .find_slices(&x0, &errors)
+                .expect("in-memory oracle failed"),
+        );
+        for chunk_rows in [gate_rows / 7 + 1, gate_rows, 2 * gate_rows] {
+            let mut cfg = config(0.01, 3, 1, eval);
+            cfg.chunk_rows = chunk_rows;
+            let mut src = CriteoStream::new(args.seed, gate_rows);
+            let got = fingerprint(&stream(&mut src, &cfg).result);
+            if got != base {
+                eprintln!("PARITY FAILURE: streamed {eval:?} chunk={chunk_rows} diverged");
+                std::process::exit(1);
+            }
+            cells += 1;
+        }
+        // Forced spill: a budget far below one projected chunk pushes
+        // every level-2 chunk through the temp file.
+        let mut cfg = config(0.01, 3, 1, eval);
+        cfg.chunk_rows = gate_rows / 5 + 1;
+        cfg.mem_budget_bytes = 1 << 20;
+        let mut src = CriteoStream::new(args.seed, gate_rows);
+        let run = stream(&mut src, &cfg);
+        if fingerprint(&run.result) != base {
+            eprintln!("PARITY FAILURE: forced-spill {eval:?} diverged");
+            std::process::exit(1);
+        }
+        if run.spilled_chunks == 0.0 {
+            eprintln!("GATE FAILURE: 1 MiB budget did not trigger the spill path");
+            std::process::exit(1);
+        }
+        cells += 1;
+    }
+    out(&format!(
+        "parity: streamed == in-memory bit-for-bit over {cells} kernel x chunk x budget cells \
+         ({gate_rows} rows)\n"
+    ));
+    if parity_gate {
+        if args.stats_json {
+            println!(
+                "{{\"bench\": \"oocore_bench\", \"parity_cells\": {cells}, \"parity\": \"ok\"}}"
+            );
+        } else {
+            println!("parity gate passed ({cells} cells)");
+        }
+        return;
+    }
+
+    // --- Spill cell ----------------------------------------------------
+    // Mid-size stream with level-3 replay under a budget that forces the
+    // chunk cache onto disk, checked against the in-memory oracle.
+    let spill_rows = ((1_000_000.0 * args.scale) as usize).max(100_000);
+    let spill_budget = 64usize << 20;
+    let spill_cfg = {
+        let mut c = config(0.05, 3, threads, EvalKernel::default());
+        c.mem_budget_bytes = spill_budget;
+        c
+    };
+    let mut src = CriteoStream::new(args.seed, spill_rows);
+    let spill_run = stream(&mut src, &spill_cfg);
+    let (sx0, serrors) = CriteoStream::new(args.seed, spill_rows).materialize();
+    let spill_oracle = fingerprint(
+        &SliceLine::new(config(0.05, 3, threads, EvalKernel::default()))
+            .find_slices(&sx0, &serrors)
+            .expect("spill oracle failed"),
+    );
+    drop((sx0, serrors));
+    if fingerprint(&spill_run.result) != spill_oracle {
+        eprintln!("PARITY FAILURE: spill cell diverged from the in-memory oracle");
+        std::process::exit(1);
+    }
+    let mut table = TextTable::new(&["cell", "rows", "budget", "chunks", "spilled", "rss_peak"]);
+    table.row(&[
+        "spill".into(),
+        spill_rows.to_string(),
+        format!("{:.0} MiB", mb(spill_budget as f64)),
+        format!("{:.0}", spill_run.chunks),
+        format!(
+            "{:.0} ({:.1} MiB)",
+            spill_run.spilled_chunks,
+            mb(spill_run.spilled_bytes)
+        ),
+        format!("{:.0} MiB", mb(spill_run.rss_peak_bytes)),
+    ]);
+
+    // --- Scale cell ----------------------------------------------------
+    // The headline: a Criteo-scale stream under a budget the one-hot
+    // materialization exceeds by ~60x. max_level 2 keeps the generator
+    // at exactly two passes (pass A + the level-2 stream); deeper levels
+    // are the spill cell's job.
+    let scale_rows = ((100_000_000.0 * args.scale) as usize).max(1_000_000);
+    let scale_budget = 1024usize << 20;
+    let scale_cfg = {
+        let mut c = config(0.05, 2, threads, EvalKernel::Bitmap);
+        c.mem_budget_bytes = scale_budget;
+        c
+    };
+    let mut src = CriteoStream::new(args.seed, scale_rows);
+    let scale_run = stream(&mut src, &scale_cfg);
+    let est = materialized_estimate(scale_rows, 39);
+    let top1 = scale_run
+        .result
+        .top_k
+        .first()
+        .map(|s| format!("{:?}", s.predicates))
+        .unwrap_or_else(|| "none".to_string());
+    table.row(&[
+        "scale".into(),
+        scale_rows.to_string(),
+        format!("{:.0} MiB", mb(scale_budget as f64)),
+        format!("{:.0}", scale_run.chunks),
+        "0 (max_level 2)".into(),
+        format!("{:.0} MiB", mb(scale_run.rss_peak_bytes)),
+    ]);
+    out(&table.render());
+    out(&format!(
+        "scale: {scale_rows} rows in {:.1}s ({:.2}M rows/s), chunk_rows {:.0}, peak RSS \
+         {:.0} MiB under a {:.0} MiB budget; materialized estimate {:.0} MiB ({:.0}x budget); \
+         top-1 {top1}\n",
+        scale_run.elapsed_secs,
+        scale_rows as f64 / scale_run.elapsed_secs / 1e6,
+        scale_run.chunk_rows,
+        mb(scale_run.rss_peak_bytes),
+        mb(scale_budget as f64),
+        mb(est as f64),
+        est as f64 / scale_budget as f64,
+    ));
+    if scale_run.rss_peak_bytes > 0.0 && scale_run.rss_peak_bytes as u64 > 4 * scale_budget as u64 {
+        // The RSS gauge counts the whole process (allocator slack, code,
+        // test scaffolding), so the gate is deliberately loose — it
+        // catches accidental O(n) materialization, not allocator noise.
+        eprintln!("GATE FAILURE: peak RSS far above the configured budget");
+        std::process::exit(1);
+    }
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"oocore_bench\",\n");
+        json.push_str(&format!(
+            "  \"threads\": {threads},\n  \"scale\": {},\n  \"seed\": {},\n",
+            args.scale, args.seed
+        ));
+        json.push_str(&format!(
+            "  \"parity_cells\": {cells},\n  \"parity\": \"ok\",\n"
+        ));
+        json.push_str(&format!(
+            "  \"spill\": {{\"rows\": {spill_rows}, \"budget_mb\": {:.0}, \"chunks\": {:.0}, \
+             \"spilled_chunks\": {:.0}, \"spilled_mb\": {:.1}, \"rss_peak_mb\": {:.0}, \
+             \"elapsed_secs\": {:.3}, \"parity\": \"ok\"}},\n",
+            mb(spill_budget as f64),
+            spill_run.chunks,
+            spill_run.spilled_chunks,
+            mb(spill_run.spilled_bytes),
+            mb(spill_run.rss_peak_bytes),
+            spill_run.elapsed_secs,
+        ));
+        json.push_str(&format!(
+            "  \"stream\": {{\"rows\": {scale_rows}, \"features\": 39, \"onehot_cols\": 738210, \
+             \"budget_mb\": {:.0}, \"chunk_rows\": {:.0}, \"chunks\": {:.0}, \
+             \"elapsed_secs\": {:.3}, \"rows_per_sec\": {:.0}, \"rss_peak_mb\": {:.0}, \
+             \"materialized_est_mb\": {:.0}, \"top1_predicates\": \"{}\"}}\n}}\n",
+            mb(scale_budget as f64),
+            scale_run.chunk_rows,
+            scale_run.chunks,
+            scale_run.elapsed_secs,
+            scale_rows as f64 / scale_run.elapsed_secs,
+            mb(scale_run.rss_peak_bytes),
+            mb(est as f64),
+            top1.replace('"', ""),
+        ));
+        print!("{json}");
+    }
+}

@@ -127,6 +127,12 @@ pub struct FindArgs {
     pub metrics_json: Option<String>,
     /// Simulated cluster nodes for distributed evaluation (0 = local).
     pub nodes: usize,
+    /// Memory budget in MiB for the out-of-core path (0 = unlimited,
+    /// fully materialized execution).
+    pub mem_budget_mb: usize,
+    /// Rows per streamed chunk (0 = derive from the budget, or stay
+    /// in-memory when no budget is set either).
+    pub chunk_rows: usize,
 }
 
 impl Default for FindArgs {
@@ -152,6 +158,8 @@ impl Default for FindArgs {
             trace: None,
             metrics_json: None,
             nodes: 0,
+            mem_budget_mb: 0,
+            chunk_rows: 0,
         }
     }
 }
@@ -270,6 +278,12 @@ FIND OPTIONS:
                       git revision, dataset shape, final metrics
   --nodes N           evaluate slices on an N-node simulated cluster
                       (default: 0 = local evaluation)
+  --mem-budget-mb N   bound resident memory to N MiB and stream the
+                      input through the chunked out-of-core path;
+                      level-2 chunks spill to a temp file within the
+                      budget (default: 0 = fully materialized)
+  --chunk-rows N      rows per streamed chunk on the out-of-core path
+                      (default: 0 = derived from the memory budget)
 
 GENERATE OPTIONS:
   --dataset NAME      adult | covtype | kdd98 | census | criteo | salaries
@@ -352,6 +366,13 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
             "--trace" => out.trace = Some(next_value(&mut it, "--trace")?),
             "--metrics-json" => out.metrics_json = Some(next_value(&mut it, "--metrics-json")?),
             "--nodes" => out.nodes = parse_num(&next_value(&mut it, "--nodes")?, "--nodes")?,
+            "--mem-budget-mb" => {
+                out.mem_budget_mb =
+                    parse_num(&next_value(&mut it, "--mem-budget-mb")?, "--mem-budget-mb")?
+            }
+            "--chunk-rows" => {
+                out.chunk_rows = parse_num(&next_value(&mut it, "--chunk-rows")?, "--chunk-rows")?
+            }
             "--format" => {
                 let v = next_value(&mut it, "--format")?;
                 out.format = match v.as_str() {
@@ -438,6 +459,11 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
         }
         _ => {}
     }
+    if out.nodes > 0 && (out.mem_budget_mb > 0 || out.chunk_rows > 0) {
+        return Err(CliError::usage(
+            "find: --nodes cannot be combined with --mem-budget-mb/--chunk-rows",
+        ));
+    }
     Ok(out)
 }
 
@@ -520,6 +546,57 @@ mod tests {
             panic!()
         };
         assert!(f.stats);
+    }
+
+    #[test]
+    fn parses_oocore_flags() {
+        let cli = parse(sv(&[
+            "find",
+            "--input",
+            "a.csv",
+            "--errors",
+            "e",
+            "--mem-budget-mb",
+            "512",
+            "--chunk-rows",
+            "4096",
+        ]))
+        .unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert_eq!(f.mem_budget_mb, 512);
+        assert_eq!(f.chunk_rows, 4096);
+
+        let defaults = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = defaults.command else {
+            panic!()
+        };
+        assert_eq!(f.mem_budget_mb, 0);
+        assert_eq!(f.chunk_rows, 0);
+
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a.csv",
+            "--errors",
+            "e",
+            "--mem-budget-mb",
+            "abc",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a.csv",
+            "--errors",
+            "e",
+            "--nodes",
+            "2",
+            "--chunk-rows",
+            "64",
+        ]))
+        .is_err());
     }
 
     #[test]

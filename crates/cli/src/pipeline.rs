@@ -14,7 +14,7 @@ use sliceline::{
 use sliceline_datagen::GenConfig;
 use sliceline_dist::{ClusterConfig, DistSliceLine, Strategy};
 use sliceline_frame::csv::read_csv_file;
-use sliceline_frame::{Column, DatasetEncoder, EncodedDataset};
+use sliceline_frame::{Column, DatasetEncoder, EncodedDataset, MemorySource};
 use sliceline_linalg::{chrome_trace, DenseMatrix, ExecContext, Manifest};
 use sliceline_ml::logreg::LogisticConfig;
 use sliceline_ml::{inaccuracy, squared_loss, LinearRegression, MultinomialLogistic};
@@ -104,6 +104,8 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         .enum_kernel(enum_kernel)
         .simd(simd)
         .compact(compact)
+        .chunk_rows(args.chunk_rows)
+        .mem_budget_bytes(args.mem_budget_mb << 20)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
             std::thread::available_parallelism()
@@ -141,10 +143,19 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
             &errors,
             &exec,
         )
+    } else if args.chunk_rows > 0 || args.mem_budget_mb > 0 {
+        // Out-of-core path: stream the (already parsed) rows through the
+        // chunked driver so evaluation memory stays within the budget.
+        let mut source = MemorySource::new(encoded.x0.clone(), errors.clone())
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        sliceline::find_slices_streamed_in(&mut source, &config, &exec)
     } else {
         SliceLine::new(config).find_slices_in(&encoded.x0, &errors, &exec)
     }
     .map_err(|e| CliError::runtime(e.to_string()))?;
+    // End-of-run resident-set sample: keeps the RSS/peak gauges fresh for
+    // the manifest and the --stats memory section (no-op off Linux).
+    let _ = sliceline_linalg::sample_rss(exec.metrics());
     if let Some(path) = &trace_path {
         // All worker threads have joined inside find_slices_in, so the
         // drain below sees every thread-local buffer.
@@ -158,7 +169,13 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::runtime(format!("writing manifest {path}: {e}")))?;
     }
     Ok(match args.format {
-        OutputFormat::Text => report::render_text(&result, &encoded.features, &errors),
+        OutputFormat::Text => {
+            let mut text = report::render_text(&result, &encoded.features, &errors);
+            if args.stats {
+                text.push_str(&report::render_registry_gauges(exec.metrics()));
+            }
+            text
+        }
         OutputFormat::Json => sliceline::export::result_to_json(&result),
         OutputFormat::Csv => sliceline::export::top_k_to_csv(&result),
     })
@@ -176,7 +193,7 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
         format!(
             "{{\"k\":{},\"sigma\":{},\"alpha\":{},\"max_level\":{},\"threads\":{},\
              \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"simd\":\"{:?}\",\
-             \"compact\":\"{:?}\",\"nodes\":{}}}",
+             \"compact\":\"{:?}\",\"nodes\":{},\"mem_budget_mb\":{},\"chunk_rows\":{}}}",
             args.k,
             args.sigma,
             args.alpha,
@@ -188,6 +205,8 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
             args.simd,
             args.compact,
             args.nodes,
+            args.mem_budget_mb,
+            args.chunk_rows,
         ),
     );
     m.set_raw(
@@ -421,6 +440,61 @@ mod tests {
         };
         let out = run_find(&args).unwrap();
         assert!(!out.contains("Execution statistics"));
+    }
+
+    #[test]
+    fn find_streamed_matches_in_memory_report() {
+        let path = write_temp("biased_oocore.csv", &biased_csv());
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let slices = |report: String| {
+            report
+                .split("\nEnumeration statistics:")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let in_memory = slices(run_find(&base).unwrap());
+        for (chunk_rows, mem_budget_mb) in [(16usize, 0usize), (1000, 0), (0, 64), (7, 1)] {
+            let out = slices(
+                run_find(&FindArgs {
+                    chunk_rows,
+                    mem_budget_mb,
+                    ..base.clone()
+                })
+                .unwrap(),
+            );
+            assert_eq!(
+                out, in_memory,
+                "streamed report diverged (chunk_rows={chunk_rows}, budget={mem_budget_mb}MiB)"
+            );
+        }
+    }
+
+    #[test]
+    fn find_streamed_stats_prints_memory_gauges() {
+        let path = write_temp("biased_oocore_stats.csv", &biased_csv());
+        let args = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            stats: true,
+            chunk_rows: 32,
+            ..Default::default()
+        };
+        let out = run_find(&args).unwrap();
+        assert!(out.contains("Memory and streaming"), "report:\n{out}");
+        assert!(out.contains("core.oocore.chunk_rows"), "report:\n{out}");
+        #[cfg(target_os = "linux")]
+        assert!(out.contains("obs.mem.rss_peak_bytes"), "report:\n{out}");
     }
 
     #[test]

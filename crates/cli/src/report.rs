@@ -50,6 +50,38 @@ pub fn render_exec_stats(exec: &sliceline_linalg::ExecStats) -> String {
     format!("Execution statistics (--stats):\n{}", exec.render_table())
 }
 
+/// Registry gauge prefixes surfaced in the `--stats` memory section:
+/// resident-set samples, the simulated cluster's virtual exchange clock,
+/// and the out-of-core chunk/spill accounting.
+const STATS_GAUGE_PREFIXES: [&str; 3] = ["obs.mem.", "dist.virtual.", "core.oocore."];
+
+/// Renders the memory and streaming gauges from the metrics registry
+/// (`--stats` section below the execution table). Byte-valued gauges are
+/// scaled to MiB for readability; empty when none were recorded.
+pub fn render_registry_gauges(metrics: &sliceline_linalg::MetricsRegistry) -> String {
+    let mut rows: Vec<(String, f64)> = metrics
+        .flat_values()
+        .into_iter()
+        .filter(|(name, _)| STATS_GAUGE_PREFIXES.iter().any(|p| name.starts_with(p)))
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("\nMemory and streaming (--stats):\n");
+    for (name, value) in rows {
+        if name.ends_with("_bytes") {
+            out.push_str(&format!(
+                "  {name:<32} {:>12.1} MiB\n",
+                value / (1 << 20) as f64
+            ));
+        } else {
+            out.push_str(&format!("  {name:<32} {value:>12.3}\n"));
+        }
+    }
+    out
+}
+
 /// Renders one slice section.
 fn render_slice(rank: usize, s: &SliceInfo, features: &FeatureSet, avg_error: f64) -> String {
     let lift = if avg_error > 0.0 {

@@ -3,7 +3,7 @@
 //! switches (Fig. 3).
 
 use crate::error::{Result, SliceLineError};
-use sliceline_linalg::{ExecContext, ParallelConfig, SimdKernel};
+use sliceline_linalg::{ExecContext, MemoryBudget, ParallelConfig, SimdKernel};
 
 /// Minimum support threshold `σ`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -259,6 +259,14 @@ pub struct SliceLineConfig {
     /// stage gathers only when `min(row_frac, col_frac) < compact_below`.
     /// Must be in `(0, 1]`; 1.0 compacts on any shrink at all.
     pub compact_below: f64,
+    /// Row-block size for the out-of-core streamed path (`--chunk-rows`).
+    /// 0 means "derive from the memory budget" (or a default block when
+    /// the budget is unlimited). Ignored by the in-memory path.
+    pub chunk_rows: usize,
+    /// Soft memory budget in bytes for out-of-core execution
+    /// (`--mem-budget-mb`); 0 = unlimited. Bounds the resident window of
+    /// projected chunks — the excess spills to disk between levels.
+    pub mem_budget_bytes: usize,
 }
 
 impl Default for SliceLineConfig {
@@ -279,6 +287,8 @@ impl Default for SliceLineConfig {
             simd: SimdKernel::default(),
             compact: CompactKernel::default(),
             compact_below: 0.7,
+            chunk_rows: 0,
+            mem_budget_bytes: 0,
         }
     }
 }
@@ -295,7 +305,9 @@ impl SliceLineConfig {
     /// telemetry) honoring this configuration's thread count. Kernels and
     /// the level loop take `&ExecContext`, never a raw [`ParallelConfig`].
     pub fn exec_context(&self) -> ExecContext {
-        ExecContext::with_parallel(self.parallel).with_simd(self.simd)
+        ExecContext::with_parallel(self.parallel)
+            .with_simd(self.simd)
+            .with_budget(MemoryBudget::from_bytes(self.mem_budget_bytes))
     }
 
     /// The compaction policy in effect after level `lvl` finishes: the
@@ -454,6 +466,18 @@ impl SliceLineConfigBuilder {
         self
     }
 
+    /// Sets the out-of-core row-block size (0 = derive from the budget).
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.config.chunk_rows = rows;
+        self
+    }
+
+    /// Sets the out-of-core memory budget in bytes (0 = unlimited).
+    pub fn mem_budget_bytes(mut self, bytes: usize) -> Self {
+        self.config.mem_budget_bytes = bytes;
+        self
+    }
+
     /// Sets the thread configuration.
     pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
         self.config.parallel = parallel;
@@ -599,6 +623,25 @@ mod tests {
             .compact_below(1.0)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn oocore_knobs_default_off_and_flow_to_exec() {
+        let c = SliceLineConfig::builder().build().unwrap();
+        assert_eq!(c.chunk_rows, 0);
+        assert_eq!(c.mem_budget_bytes, 0);
+        assert!(!c.exec_context().budget().is_limited());
+        let c = SliceLineConfig::builder()
+            .chunk_rows(4096)
+            .mem_budget_bytes(64 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(c.chunk_rows, 4096);
+        let exec = c.exec_context();
+        assert_eq!(exec.budget().bytes(), 64 << 20);
+        assert!(exec.budget().is_limited());
+        assert!(exec.budget().admits(1 << 20));
+        assert!(!exec.budget().admits(65 << 20));
     }
 
     #[test]

@@ -926,6 +926,41 @@ fn eval_blocked(
     (sizes, errs, max_errs)
 }
 
+/// Merges partial `(sizes, errors, max_errors)` statistics in iterator
+/// order: the first partial becomes the accumulator, every later one is
+/// added element-wise (`max` for max-errors) and its buffers are returned
+/// to the context pool. Returns `None` for an empty iterator.
+///
+/// This is **the** exchange seam of the workspace — the multi-thread
+/// fused kernel, the simulated cluster's aggregate step, and the
+/// out-of-core chunk driver all combine partials through this exact
+/// loop, so any path that splits rows into ascending ranges (threads,
+/// partitions, or chunks) produces bit-identical statistics.
+pub fn merge_stat_partials<I>(
+    partials: I,
+    exec: &ExecContext,
+) -> Option<(Vec<f64>, Vec<f64>, Vec<f64>)>
+where
+    I: IntoIterator<Item = (Vec<f64>, Vec<f64>, Vec<f64>)>,
+{
+    let mut partials = partials.into_iter();
+    let (mut sizes, mut errs, mut max_errs) = partials.next()?;
+    let k = sizes.len();
+    for (ps, pe, pm) in partials {
+        for j in 0..k {
+            sizes[j] += ps[j];
+            errs[j] += pe[j];
+            if pm[j] > max_errs[j] {
+                max_errs[j] = pm[j];
+            }
+        }
+        exec.put_f64(ps);
+        exec.put_f64(pe);
+        exec.put_f64(pm);
+    }
+    Some((sizes, errs, max_errs))
+}
+
 /// Fused evaluation: one scan of `X`, per-slice accumulators, no
 /// materialized intermediate. Worker-local accumulators are checked out
 /// of the context pool and returned after the merge.
@@ -994,25 +1029,9 @@ fn eval_fused(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let mut partials = partials.into_iter();
     // The first partial becomes the accumulator; the rest merge into it
     // and their buffers go back to the pool.
-    let (mut sizes, mut errs, mut max_errs) = partials
-        .next()
-        .expect("split_range yields at least one range");
-    for (ps, pe, pm) in partials {
-        for j in 0..k {
-            sizes[j] += ps[j];
-            errs[j] += pe[j];
-            if pm[j] > max_errs[j] {
-                max_errs[j] = pm[j];
-            }
-        }
-        exec.put_f64(ps);
-        exec.put_f64(pe);
-        exec.put_f64(pm);
-    }
-    (sizes, errs, max_errs)
+    merge_stat_partials(partials, exec).expect("split_range yields at least one range")
 }
 
 #[cfg(test)]

@@ -70,6 +70,7 @@ pub mod evaluate;
 pub mod export;
 pub mod init;
 pub mod lagraph;
+pub mod oocore;
 pub mod prepare;
 pub mod priority;
 pub mod scoring;
@@ -88,6 +89,7 @@ pub use config::{
 };
 pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;
+pub use oocore::{find_slices_streamed, find_slices_streamed_in};
 pub use scoring::ScoringContext;
 pub use session::{DatasetSession, SliceQuery};
 pub use sliceline_linalg::{SimdKernel, SimdLevel};

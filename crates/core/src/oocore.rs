@@ -1,0 +1,642 @@
+//! Out-of-core slice finding: chunked, bounded-memory execution.
+//!
+//! The paper's scaling experiment (§5.4) runs SliceLine on ~192M Criteo
+//! rows — far beyond what a single process can hold as a materialized
+//! one-hot matrix. This module streams the dataset through the existing
+//! level-wise lattice runner in fixed-size row chunks:
+//!
+//! 1. **Pass A (streamed preparation).** One pass over the
+//!    [`RowBlockSource`] accumulates the dataset-level scoring quantities
+//!    (`n`, `Σe`) and the full-width basic-slice statistics `ss₀`, `se₀`,
+//!    `sm₀` (Eq. 4) directly from the integer codes — the one-hot matrix
+//!    is never built. Memory is `O(l)` for the statistics (three `f64`
+//!    per one-hot column), not `O(n·m)` for the data.
+//! 2. **Kept-column projection.** Columns failing `ss₀ ≥ σ ∧ se₀ > 0`
+//!    are dropped exactly as in [`create_and_score_basic_slices`]; a
+//!    [`ChunkProjector`] one-hot encodes each subsequent chunk straight
+//!    into the projected space.
+//! 3. **Chunked evaluation.** Levels ≥ 2 run through the shared
+//!    [`run_lattice`] loop. The evaluate hook streams row chunks through
+//!    the existing fused or bitmap kernels and merges per-chunk
+//!    `(ss, se, sm)` partials with [`merge_stat_partials`] — the same
+//!    exchange seam the multi-threaded fused kernel and the simulated
+//!    cluster aggregate use, so results are bit-for-bit identical to the
+//!    in-memory path on exact partial sums (see `oocore_parity.rs`).
+//! 4. **Spill-aware chunk cache.** Level 2 tees projected chunks into a
+//!    [`SpillStore`]: chunks stay resident while they fit the
+//!    [`MemoryBudget`]'s spill share and overflow to a temp file after
+//!    that (ascending row order preserved), so levels ≥ 3 replay the
+//!    cache instead of re-encoding the source.
+//!
+//! Enumeration, top-K maintenance, pruning, and telemetry are all the
+//! shared `run_lattice` machinery — only evaluation is chunk-streamed.
+//! Adaptive compaction is forced [`CompactKernel::Off`] on this path (the
+//! working set is never resident to gather); compaction parity Off ≡ On
+//! is separately property-tested, so overall parity is unaffected.
+//!
+//! [`create_and_score_basic_slices`]: crate::init::create_and_score_basic_slices
+//! [`MemoryBudget`]: sliceline_linalg::MemoryBudget
+
+use crate::algorithm::{run_lattice, LatticeRun, LatticeSeed, SliceLineResult};
+use crate::config::{CompactKernel, EvalKernel, SliceLineConfig};
+use crate::error::{Result, SliceLineError};
+use crate::evaluate::{
+    evaluate_slice_stats, evaluate_slice_stats_bitmap, merge_stat_partials, EvalEngine,
+};
+use crate::init::{LevelState, ProjectedData};
+use crate::scoring::ScoringContext;
+use crate::stats::RunStats;
+use sliceline_frame::{ChunkProjector, RowBlockSource};
+use sliceline_linalg::{sample_rss, BitMatrix, CsrMatrix, ExecContext, MemoryBudget};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Gauge: chunks streamed per evaluation pass.
+pub const OOCORE_CHUNKS_GAUGE: &str = "core.oocore.chunks";
+/// Gauge: resolved rows per chunk.
+pub const OOCORE_CHUNK_ROWS_GAUGE: &str = "core.oocore.chunk_rows";
+/// Gauge: projected chunks held resident in the spill store.
+pub const OOCORE_RESIDENT_BYTES_GAUGE: &str = "core.oocore.resident_bytes";
+/// Gauge: chunks overflowed to the spill file.
+pub const OOCORE_SPILLED_CHUNKS_GAUGE: &str = "core.oocore.spilled_chunks";
+/// Gauge: bytes written to the spill file.
+pub const OOCORE_SPILLED_BYTES_GAUGE: &str = "core.oocore.spilled_bytes";
+
+/// Default chunk size when neither `--chunk-rows` nor a memory budget is
+/// set: large enough to amortize per-chunk kernel setup, small enough
+/// that a projected chunk stays cache-friendly.
+pub const DEFAULT_CHUNK_ROWS: usize = 1 << 18;
+
+/// Resolves the rows-per-chunk: an explicit `chunk_rows` wins; otherwise
+/// a limited budget is divided so one projected chunk (raw codes +
+/// projected CSR + errors) uses about 1/8 of it; otherwise the default.
+fn resolve_chunk_rows(config: &SliceLineConfig, m: usize, budget: MemoryBudget) -> usize {
+    if config.chunk_rows > 0 {
+        return config.chunk_rows;
+    }
+    if budget.is_limited() {
+        // Per-row footprint while a chunk is in flight: m u32 codes, up
+        // to m projected CSR entries (u32 col + f64 value), one row_ptr
+        // word and one error value.
+        let per_row = 16 * m + 24;
+        return ((budget.bytes() / 8) / per_row).max(1);
+    }
+    DEFAULT_CHUNK_ROWS
+}
+
+/// Approximate heap bytes of one projected chunk plus its error slice —
+/// the unit of spill-store budget accounting.
+fn chunk_bytes(chunk: &CsrMatrix, errors: &[f64]) -> usize {
+    chunk.nnz() * 12 + (chunk.rows() + 1) * 8 + errors.len() * 8
+}
+
+/// Disambiguates spill files when several streamed runs share a process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Bounded-memory cache of projected row chunks in ascending row order:
+/// a resident prefix that fits the configured byte cap and a temp-file
+/// suffix everything after the first overflow is appended to. The file
+/// is removed on drop.
+struct SpillStore {
+    resident: Vec<(CsrMatrix, Vec<f64>)>,
+    resident_bytes: usize,
+    cap_bytes: usize,
+    path: Option<PathBuf>,
+    file: Option<File>,
+    spilled_chunks: usize,
+    spilled_bytes: u64,
+}
+
+impl SpillStore {
+    fn new(cap_bytes: usize) -> Self {
+        SpillStore {
+            resident: Vec::new(),
+            resident_bytes: 0,
+            cap_bytes,
+            path: None,
+            file: None,
+            spilled_chunks: 0,
+            spilled_bytes: 0,
+        }
+    }
+
+    /// Appends the next chunk. Once one chunk spills, all later chunks
+    /// spill too, so replay order is always resident prefix then file
+    /// suffix — the original ascending row order.
+    fn push(&mut self, chunk: CsrMatrix, errors: Vec<f64>) -> io::Result<()> {
+        let bytes = chunk_bytes(&chunk, &errors);
+        if self.file.is_none() && self.resident_bytes + bytes <= self.cap_bytes {
+            self.resident_bytes += bytes;
+            self.resident.push((chunk, errors));
+            return Ok(());
+        }
+        if self.file.is_none() {
+            let path = std::env::temp_dir().join(format!(
+                "sliceline-spill-{}-{}.bin",
+                std::process::id(),
+                SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let file = File::options()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            self.path = Some(path);
+            self.file = Some(file);
+        }
+        let file = self.file.as_mut().expect("spill file just opened");
+        let mut w = BufWriter::new(&mut *file);
+        chunk.write_binary(&mut w)?;
+        for &e in &errors {
+            w.write_all(&e.to_bits().to_le_bytes())?;
+        }
+        w.flush()?;
+        drop(w);
+        self.spilled_chunks += 1;
+        self.spilled_bytes += bytes as u64;
+        Ok(())
+    }
+
+    /// Replays all chunks in insertion (row) order.
+    fn replay(&mut self, mut f: impl FnMut(&CsrMatrix, &[f64])) -> io::Result<()> {
+        for (chunk, errors) in &self.resident {
+            f(chunk, errors);
+        }
+        if let Some(file) = self.file.as_mut() {
+            file.seek(SeekFrom::Start(0))?;
+            let mut r = BufReader::new(&mut *file);
+            while let Some(chunk) = CsrMatrix::read_binary(&mut r)? {
+                let rows = chunk.rows();
+                let mut errors = Vec::with_capacity(rows);
+                let mut buf = [0u8; 8];
+                for _ in 0..rows {
+                    r.read_exact(&mut buf)?;
+                    errors.push(f64::from_bits(u64::from_le_bytes(buf)));
+                }
+                f(&chunk, &errors);
+            }
+            // Leave the cursor at EOF; the next replay seeks back.
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        self.file = None;
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Evaluates one projected chunk with the streaming variant of the
+/// configured kernel. `Bitmap` packs the chunk and uses word-wise
+/// `AND`/popcount; everything else (`Blocked`/`Fused`/`Auto`) runs the
+/// fused sparse kernel, which needs no per-level state.
+fn eval_chunk(
+    chunk: &CsrMatrix,
+    errors: &[f64],
+    slices: &[Vec<u32>],
+    level: usize,
+    use_bitmap: bool,
+    exec: &ExecContext,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    if use_bitmap {
+        let bits = BitMatrix::from_csr(chunk);
+        evaluate_slice_stats_bitmap(&bits, errors, slices, exec)
+    } else {
+        evaluate_slice_stats(chunk, errors, slices, level, exec)
+    }
+}
+
+/// Folds one chunk's partial into the running accumulator via the shared
+/// [`merge_stat_partials`] seam (left fold in chunk order — the same
+/// association the in-memory kernels use for their row-range partials).
+fn fold_partial(
+    acc: &mut Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    partial: (Vec<f64>, Vec<f64>, Vec<f64>),
+    exec: &ExecContext,
+) {
+    *acc = Some(match acc.take() {
+        None => partial,
+        Some(prev) => {
+            merge_stat_partials([prev, partial], exec).expect("two partials always merge")
+        }
+    });
+}
+
+/// Runs the full enumeration over a streamed [`RowBlockSource`] with a
+/// fresh [`ExecContext`] built from the configuration (including its
+/// memory budget). See [`find_slices_streamed_in`].
+pub fn find_slices_streamed<S: RowBlockSource + ?Sized>(
+    source: &mut S,
+    config: &SliceLineConfig,
+) -> Result<SliceLineResult> {
+    let exec = config.exec_context();
+    find_slices_streamed_in(source, config, &exec)
+}
+
+/// Runs the full enumeration (Algorithm 1) over a streamed
+/// [`RowBlockSource`] on a caller-provided execution context, never
+/// materializing the full one-hot matrix.
+///
+/// The memory budget comes from the configuration when set
+/// (`mem_budget_bytes > 0`, i.e. `--mem-budget-mb`), else from the
+/// context. Results are bit-for-bit identical to
+/// [`SliceLine::find_slices`](crate::SliceLine::find_slices) on the
+/// materialized equivalent whenever partial error sums are exact (the
+/// workspace-wide parity contract; errors on a dyadic grid, e.g. 0/1
+/// losses, always qualify).
+pub fn find_slices_streamed_in<S: RowBlockSource + ?Sized>(
+    source: &mut S,
+    config: &SliceLineConfig,
+    exec: &ExecContext,
+) -> Result<SliceLineResult> {
+    config.validate()?;
+    let scope = exec.with_simd(config.simd).run_scoped();
+    let exec = &scope;
+    let start = Instant::now();
+    let mut run_span = exec.tracer().span("find_slices_streamed", "core");
+
+    // The placeholder projection below has no rows to gather, so adaptive
+    // compaction must stay off on this path. Parity Off ≡ On is
+    // property-tested separately, so this does not affect results.
+    let mut local = config.clone();
+    local.compact = CompactKernel::Off;
+    let budget = if config.mem_budget_bytes > 0 {
+        MemoryBudget::from_bytes(config.mem_budget_bytes)
+    } else {
+        exec.budget()
+    };
+
+    let domains = source.domains().to_vec();
+    let m = domains.len();
+    if m == 0 {
+        return Err(SliceLineError::InvalidInput {
+            reason: "empty input: source has 0 features".to_string(),
+        });
+    }
+    // fb offsets: one-hot column ranges per feature (Algorithm 1 line 2).
+    let mut fb = Vec::with_capacity(m);
+    let mut l = 0usize;
+    for &d in &domains {
+        fb.push(l);
+        l += d as usize;
+    }
+    let chunk_rows = resolve_chunk_rows(&local, m, budget);
+    exec.metrics()
+        .gauge(OOCORE_CHUNK_ROWS_GAUGE)
+        .set(chunk_rows as f64);
+
+    // Pass A: streamed preparation. Full-width Eq. 4 statistics and the
+    // scoring aggregates in one pass, accumulated in row order so every
+    // per-column sum performs the identical sequence of additions the
+    // in-memory colSums / eᵀX path performs.
+    let mut ss0 = vec![0.0f64; l];
+    let mut se0 = vec![0.0f64; l];
+    let mut sm0 = vec![0.0f64; l];
+    let mut n = 0usize;
+    let mut total_error = 0.0f64;
+    {
+        let _prep_span = exec.tracer().span("prepare_streamed", "core");
+        source.reset();
+        while let Some(block) = source.next_block(chunk_rows) {
+            for r in 0..block.rows() {
+                let e = block.errors[r];
+                if !e.is_finite() || e < 0.0 {
+                    return Err(SliceLineError::InvalidInput {
+                        reason: format!(
+                            "error at row {} is {e}; errors must be finite and >= 0",
+                            n + r
+                        ),
+                    });
+                }
+                total_error += e;
+                for (j, &code) in block.x0.row(r).iter().enumerate() {
+                    let c = fb[j] + (code as usize - 1);
+                    ss0[c] += 1.0;
+                    se0[c] += e;
+                    if e > sm0[c] {
+                        sm0[c] = e;
+                    }
+                }
+            }
+            n += block.rows();
+            sample_rss(exec.metrics());
+        }
+    }
+    if n == 0 {
+        return Err(SliceLineError::InvalidInput {
+            reason: format!("empty input: 0x{m}"),
+        });
+    }
+    let sigma = local.min_support.resolve(n).max(1);
+    let ctx = ScoringContext {
+        n: n as f64,
+        total_error,
+        avg_error: total_error / n as f64,
+        alpha: local.alpha,
+    };
+    exec.add_prepare(start.elapsed());
+
+    // Kept basic-slice columns (cI = ss0 >= sigma AND se0 > 0) with their
+    // (feature, code) decode — built without a full-width remap table.
+    let mut kept_cols: Vec<usize> = Vec::new();
+    let mut col_feature: Vec<u32> = Vec::new();
+    let mut col_code: Vec<u32> = Vec::new();
+    let mut c = 0usize;
+    for (j, &d) in domains.iter().enumerate() {
+        for code in 1..=d {
+            if ss0[c] >= sigma as f64 && se0[c] > 0.0 {
+                kept_cols.push(c);
+                col_feature.push(j as u32);
+                col_code.push(code);
+            }
+            c += 1;
+        }
+    }
+    let kept_len = kept_cols.len();
+    let projector = ChunkProjector::new(m, &col_feature, &col_code);
+    run_span.add_arg("n", n);
+    run_span.add_arg("m", m);
+    run_span.add_arg("l", l);
+    run_span.add_arg("chunk_rows", chunk_rows);
+
+    // Spill store: levels >= 3 replay the projected chunks instead of
+    // re-encoding the source, so the source runs at most twice (pass A +
+    // the level-2 tee). Half the budget is reserved for resident chunks;
+    // the rest is evaluation working memory.
+    let effective_max = local.max_level.min(m);
+    let tee = effective_max >= 3 && kept_len > 0;
+    let spill_cap = if budget.is_limited() {
+        budget.bytes() / 2
+    } else {
+        usize::MAX
+    };
+    let mut spill = SpillStore::new(spill_cap);
+    let mut spill_failed: Option<String> = None;
+    let use_bitmap = matches!(local.eval, EvalKernel::Bitmap);
+    let kernel_name = if use_bitmap {
+        "oocore:bitmap"
+    } else {
+        "oocore:fused"
+    };
+
+    let run = LatticeRun {
+        config: &local,
+        ctx,
+        sigma,
+        engine: EvalEngine::new(local.bitmap_cache_bytes),
+        stats: RunStats {
+            sigma,
+            n,
+            m,
+            l,
+            ..Default::default()
+        },
+        start,
+    };
+    let source = &mut *source;
+    let result = run_lattice(
+        run,
+        exec,
+        // Seeding: level-1 state straight from the streamed Eq. 4
+        // statistics, value-for-value what create_and_score_basic_slices
+        // produces. The projection carries a 0-row placeholder matrix —
+        // enumeration only consults its width and the column decode;
+        // evaluation streams chunks instead of reading it.
+        move |exec| {
+            let mut level = LevelState {
+                slices: Vec::with_capacity(kept_len),
+                sizes: exec.take_f64(0),
+                errors: exec.take_f64(0),
+                max_errors: exec.take_f64(0),
+                scores: exec.take_f64(0),
+            };
+            for (new_c, &kc) in kept_cols.iter().enumerate() {
+                level.slices.push(vec![new_c as u32]);
+                level.sizes.push(ss0[kc]);
+                level.errors.push(se0[kc]);
+                level.max_errors.push(sm0[kc]);
+                level.scores.push(ctx.score(ss0[kc], se0[kc]));
+            }
+            LatticeSeed {
+                proj: ProjectedData {
+                    x: CsrMatrix::zeros(0, kept_len),
+                    col_feature,
+                    col_code,
+                    orig_col: kept_cols,
+                },
+                level,
+                errors: exec.take_f64(0),
+            }
+        },
+        |_x, _errors, slices, level, ctx, _engine, exec| {
+            let k = slices.len();
+            if k == 0 || spill_failed.is_some() {
+                return LevelState::default();
+            }
+            let mut acc: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+            if level == 2 {
+                // First streamed level: re-encode from the source,
+                // teeing projected chunks into the spill store when
+                // deeper levels will need them.
+                source.reset();
+                let mut chunks = 0usize;
+                while let Some(block) = source.next_block(chunk_rows) {
+                    let chunk = projector.project(&block.x0);
+                    fold_partial(
+                        &mut acc,
+                        eval_chunk(&chunk, &block.errors, &slices, level, use_bitmap, exec),
+                        exec,
+                    );
+                    sample_rss(exec.metrics());
+                    if tee {
+                        if let Err(e) = spill.push(chunk, block.errors) {
+                            spill_failed = Some(format!("spill write failed: {e}"));
+                            return LevelState::default();
+                        }
+                    }
+                    chunks += 1;
+                }
+                let metrics = exec.metrics();
+                metrics.gauge(OOCORE_CHUNKS_GAUGE).set(chunks as f64);
+                metrics
+                    .gauge(OOCORE_RESIDENT_BYTES_GAUGE)
+                    .set(spill.resident_bytes as f64);
+                metrics
+                    .gauge(OOCORE_SPILLED_CHUNKS_GAUGE)
+                    .set(spill.spilled_chunks as f64);
+                metrics
+                    .gauge(OOCORE_SPILLED_BYTES_GAUGE)
+                    .set(spill.spilled_bytes as f64);
+            } else {
+                let replayed = spill.replay(|chunk, errors| {
+                    fold_partial(
+                        &mut acc,
+                        eval_chunk(chunk, errors, &slices, level, use_bitmap, exec),
+                        exec,
+                    );
+                    sample_rss(exec.metrics());
+                });
+                if let Err(e) = replayed {
+                    spill_failed = Some(format!("spill replay failed: {e}"));
+                    return LevelState::default();
+                }
+            }
+            let (sizes, errs, max_errs) = match acc {
+                Some(stats) => stats,
+                None => return LevelState::default(),
+            };
+            exec.record_level(|p| {
+                p.evaluated += k as u64;
+                p.kernel = Some(kernel_name);
+            });
+            let mut scores = exec.take_f64(0);
+            ctx.score_all_into(&sizes, &errs, &mut scores);
+            LevelState {
+                slices,
+                sizes,
+                errors: errs,
+                max_errors: max_errs,
+                scores,
+            }
+        },
+    );
+    if let Some(reason) = spill_failed {
+        return Err(SliceLineError::Internal { reason });
+    }
+    sample_rss(exec.metrics());
+    run_span.add_arg("levels", result.stats.levels.len());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SliceLine;
+    use sliceline_frame::{IntMatrix, MemorySource};
+
+    fn dataset() -> (IntMatrix, Vec<f64>) {
+        // 16 rows, 3 features; planted hot slice f0=1 AND f1=2.
+        let rows: Vec<Vec<u32>> = (0..16u32)
+            .map(|i| vec![1 + i % 2, 1 + i % 3, 1 + i % 4])
+            .collect();
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        let errors: Vec<f64> = (0..16)
+            .map(|i| {
+                if i % 2 == 0 && i % 3 == 1 {
+                    1.0
+                } else {
+                    f64::from(i % 4) * 0.25
+                }
+            })
+            .collect();
+        (x0, errors)
+    }
+
+    fn config(chunk_rows: usize) -> SliceLineConfig {
+        SliceLineConfig::builder()
+            .k(4)
+            .min_support(2)
+            .alpha(0.9)
+            .max_level(3)
+            .chunk_rows(chunk_rows)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn streamed_matches_in_memory_across_chunk_sizes() {
+        let (x0, errors) = dataset();
+        let expected = SliceLine::new(config(0)).find_slices(&x0, &errors).unwrap();
+        for chunk_rows in [1usize, 3, 5, 16, 64] {
+            let mut src = MemorySource::new(x0.clone(), errors.clone()).unwrap();
+            let got = find_slices_streamed(&mut src, &config(chunk_rows)).unwrap();
+            assert_eq!(got.top_k.len(), expected.top_k.len());
+            for (g, e) in got.top_k.iter().zip(expected.top_k.iter()) {
+                assert_eq!(g.predicates, e.predicates);
+                assert_eq!(g.score.to_bits(), e.score.to_bits(), "chunk {chunk_rows}");
+                assert_eq!(g.size.to_bits(), e.size.to_bits());
+                assert_eq!(g.error.to_bits(), e.error.to_bits());
+                assert_eq!(g.max_error.to_bits(), e.max_error.to_bits());
+            }
+            assert_eq!(got.stats.levels.len(), expected.stats.levels.len());
+        }
+    }
+
+    #[test]
+    fn bitmap_kernel_streams_identically() {
+        let (x0, errors) = dataset();
+        let expected = SliceLine::new(config(0)).find_slices(&x0, &errors).unwrap();
+        let mut cfg = config(4);
+        cfg.eval = EvalKernel::Bitmap;
+        let mut src = MemorySource::new(x0, errors).unwrap();
+        let got = find_slices_streamed(&mut src, &cfg).unwrap();
+        for (g, e) in got.top_k.iter().zip(expected.top_k.iter()) {
+            assert_eq!(g.predicates, e.predicates);
+            assert_eq!(g.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn tiny_budget_forces_spill_and_keeps_results() {
+        let (x0, errors) = dataset();
+        let expected = SliceLine::new(config(0)).find_slices(&x0, &errors).unwrap();
+        let mut cfg = config(2);
+        // A 1-byte spill share admits no resident chunk: everything
+        // spills to disk and levels >= 3 replay the file.
+        cfg.mem_budget_bytes = 2;
+        let mut src = MemorySource::new(x0, errors).unwrap();
+        let got = find_slices_streamed(&mut src, &cfg).unwrap();
+        for (g, e) in got.top_k.iter().zip(expected.top_k.iter()) {
+            assert_eq!(g.predicates, e.predicates);
+            assert_eq!(g.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_errors_with_global_row_index() {
+        let (x0, mut errors) = dataset();
+        errors[11] = -0.5;
+        let mut src = MemorySource::new(x0, errors).unwrap();
+        let err = find_slices_streamed(&mut src, &config(4)).unwrap_err();
+        assert!(
+            matches!(err, SliceLineError::InvalidInput { ref reason } if reason.contains("row 11"))
+        );
+    }
+
+    #[test]
+    fn spill_store_round_trips_in_order() {
+        let proj = ChunkProjector::new(1, &[0], &[1]);
+        let mut store = SpillStore::new(0); // everything spills
+        let mut expected = Vec::new();
+        for i in 0..5u32 {
+            let x0 = IntMatrix::new(2, 1, vec![1, 1], vec![1]).unwrap();
+            let chunk = proj.project(&x0);
+            let errors = vec![f64::from(i), f64::from(i) + 0.5];
+            expected.push(errors.clone());
+            store.push(chunk, errors).unwrap();
+        }
+        assert_eq!(store.spilled_chunks, 5);
+        for _ in 0..2 {
+            let mut seen = Vec::new();
+            store
+                .replay(|chunk, errors| {
+                    assert_eq!(chunk.rows(), 2);
+                    seen.push(errors.to_vec());
+                })
+                .unwrap();
+            assert_eq!(seen, expected);
+        }
+        let path = store.path.clone().unwrap();
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,187 @@
+//! Proves the bounded-memory claim of the out-of-core driver: streaming
+//! a dataset through `find_slices_streamed` under a memory budget keeps
+//! the peak live-heap delta near the budget (± one in-flight chunk and
+//! fixed bookkeeping), far below the materialized dataset footprint —
+//! and the bound holds across chunk sizes.
+//!
+//! A counting global allocator tracks the peak live-heap delta across
+//! the call, exactly as in `enum_streaming_mem.rs`.
+
+use sliceline::config::SliceLineConfig;
+use sliceline::find_slices_streamed;
+use sliceline_frame::{IntMatrix, RowBlock, RowBlockSource};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(now, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Resets the peak to the current live size, runs `f`, and returns the
+/// peak heap growth (in bytes) observed during the call.
+fn peak_growth<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let r = f();
+    let peak = PEAK.load(Ordering::Relaxed);
+    (r, peak.saturating_sub(base))
+}
+
+/// Synthesizes rows from their index so the dataset never exists in
+/// memory: 4 features, dyadic errors, a planted hot slice on
+/// `f0=1 AND f2=1`.
+struct SynthSource {
+    n: usize,
+    domains: Vec<u32>,
+    pos: usize,
+}
+
+impl SynthSource {
+    fn new(n: usize) -> Self {
+        SynthSource {
+            n,
+            domains: vec![3, 3, 2, 2],
+            pos: 0,
+        }
+    }
+
+    fn row(&self, i: usize) -> ([u32; 4], f64) {
+        let codes = [
+            1 + (i % 3) as u32,
+            1 + ((i / 3) % 3) as u32,
+            1 + (i % 2) as u32,
+            1 + ((i / 2) % 2) as u32,
+        ];
+        let e = if codes[0] == 1 && codes[2] == 1 {
+            1.0
+        } else {
+            ((i * 7) % 65) as f64 / 64.0
+        };
+        (codes, e)
+    }
+}
+
+impl RowBlockSource for SynthSource {
+    fn domains(&self) -> &[u32] {
+        &self.domains
+    }
+
+    fn total_rows(&self) -> usize {
+        self.n
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Option<RowBlock> {
+        if self.pos >= self.n {
+            return None;
+        }
+        let end = (self.pos + max_rows).min(self.n);
+        let rows = end - self.pos;
+        let m = self.domains.len();
+        let mut data = vec![0u32; rows * m];
+        let mut errors = Vec::with_capacity(rows);
+        for (i, r) in (self.pos..end).enumerate() {
+            let (codes, e) = self.row(r);
+            data[i * m..(i + 1) * m].copy_from_slice(&codes);
+            errors.push(e);
+        }
+        self.pos = end;
+        let x0 = IntMatrix::new(rows, m, data, self.domains.clone()).unwrap();
+        Some(RowBlock { x0, errors })
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// One test function (not several) so concurrent test threads cannot
+/// pollute each other's allocation counters.
+#[test]
+fn streamed_peak_allocation_stays_within_budget() {
+    const N: usize = 50_000;
+    const BUDGET: usize = 256 << 10; // 256 KiB
+                                     // Materialized equivalent (the path the budget forbids): integer
+                                     // codes + one-hot CSR (u32 col, f64 value, row_ptr) + errors.
+    let materialized_bytes = N * 4 * (4 + 12) + N * 16;
+    let mut reference = None;
+    // Derived chunking (0) and explicit chunk sizes spanning an order of
+    // magnitude: the bound must not depend on the chunk schedule.
+    for chunk_rows in [0usize, 128, 1024] {
+        let mut cfg = SliceLineConfig::builder()
+            .k(4)
+            .min_support(16)
+            .alpha(0.95)
+            .max_level(3)
+            .threads(1)
+            .chunk_rows(chunk_rows)
+            .build()
+            .unwrap();
+        cfg.mem_budget_bytes = BUDGET;
+        let mut src = SynthSource::new(N);
+        let (result, growth) = peak_growth(|| find_slices_streamed(&mut src, &cfg).unwrap());
+        assert!(!result.top_k.is_empty(), "chunk={chunk_rows}: no slices");
+        assert_eq!(
+            result.top_k[0].predicates,
+            vec![(0, 1), (2, 1)],
+            "chunk={chunk_rows}: planted slice not recovered"
+        );
+        // Budget + one in-flight chunk (raw block + projected CSR on
+        // either side of the tee) + fixed bookkeeping (stats vectors,
+        // spill buffering, top-K) — ~3x budget here — and always far
+        // below the ~3.2 MB materialized footprint.
+        let chunk = if chunk_rows > 0 { chunk_rows } else { 1024 };
+        let chunk_footprint = 2 * chunk * 4 * 16;
+        let bound = BUDGET + 2 * chunk_footprint + (128 << 10);
+        assert!(
+            growth < bound,
+            "chunk={chunk_rows}: peak heap growth {growth} B exceeds bound {bound} B"
+        );
+        assert!(
+            growth < materialized_bytes / 2,
+            "chunk={chunk_rows}: growth {growth} B not clearly below materialized {materialized_bytes} B"
+        );
+        // Bit-for-bit invariance across chunk schedules rides along.
+        let fp: Vec<_> = result
+            .top_k
+            .iter()
+            .map(|s| (s.predicates.clone(), s.score.to_bits()))
+            .collect();
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(&fp, r, "chunk={chunk_rows}: result diverged"),
+        }
+    }
+}

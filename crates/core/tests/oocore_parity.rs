@@ -1,0 +1,206 @@
+//! Property tests for out-of-core parity: the chunk-streamed driver must
+//! return **bit-for-bit** the same top-K (predicates, scores, sizes,
+//! errors, max errors) and level counts as the in-memory `find_slices`
+//! path — across chunk sizes (including one-row chunks and chunks larger
+//! than the dataset), evaluation kernels, compaction modes on the
+//! in-memory side, and thread counts.
+//!
+//! Errors are drawn from a dyadic grid (multiples of 1/64), so every
+//! partial sum is exact in f64 and the chunked merge association cannot
+//! mask a real divergence: any mismatch is a bug, not rounding.
+
+use proptest::prelude::*;
+use sliceline::config::{CompactKernel, EvalKernel, SliceLineConfig};
+use sliceline::{find_slices_streamed, SliceLine, SliceLineResult};
+use sliceline_frame::{IntMatrix, MemorySource};
+
+/// Random integer-coded dataset: `m` features with domain 2–3, `n` rows
+/// of codes in `1..=domain`, and dyadic per-row errors.
+fn dataset_strategy() -> impl Strategy<Value = (IntMatrix, Vec<f64>)> {
+    (2usize..=4, 8usize..=48).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(2u32..=3, m..=m),
+            proptest::collection::vec(proptest::collection::vec(0u32..6, m..=m), n..=n),
+            proptest::collection::vec((0u32..=64).prop_map(|v| f64::from(v) / 64.0), n..=n),
+        )
+            .prop_map(move |(domains, codes, errors)| {
+                let data: Vec<u32> = codes
+                    .iter()
+                    .flat_map(|row| row.iter().zip(domains.iter()).map(|(&c, &d)| 1 + (c % d)))
+                    .collect();
+                let x0 = IntMatrix::new(n, m, data, domains).unwrap();
+                (x0, errors)
+            })
+    })
+}
+
+fn config(
+    eval: EvalKernel,
+    compact: CompactKernel,
+    threads: usize,
+    chunk_rows: usize,
+) -> SliceLineConfig {
+    let mut cfg = SliceLineConfig::builder()
+        .k(4)
+        .min_support(2)
+        .alpha(0.9)
+        .max_level(3)
+        .threads(threads)
+        .chunk_rows(chunk_rows)
+        .build()
+        .unwrap();
+    cfg.eval = eval;
+    cfg.compact = compact;
+    cfg
+}
+
+/// One top-K entry: predicates plus exact score/size/error/max_error bits.
+type SliceBits = (Vec<(usize, u32)>, u64, u64, u64, u64);
+
+/// The comparable fingerprint of a run: exact top-K bits plus the number
+/// of enumerated levels.
+fn fingerprint(r: &SliceLineResult) -> (Vec<SliceBits>, usize) {
+    (
+        r.top_k
+            .iter()
+            .map(|s| {
+                (
+                    s.predicates.clone(),
+                    s.score.to_bits(),
+                    s.size.to_bits(),
+                    s.error.to_bits(),
+                    s.max_error.to_bits(),
+                )
+            })
+            .collect(),
+        r.stats.levels.len(),
+    )
+}
+
+fn streamed(x0: &IntMatrix, errors: &[f64], cfg: &SliceLineConfig) -> (Vec<SliceBits>, usize) {
+    let mut src = MemorySource::new(x0.clone(), errors.to_vec()).unwrap();
+    fingerprint(&find_slices_streamed(&mut src, cfg).unwrap())
+}
+
+/// Deterministic instance that runs even where the proptest runner is
+/// unavailable: a planted hot slice, every kernel, chunk sizes from one
+/// row to beyond the dataset, and both compaction modes as oracles.
+#[test]
+fn streamed_agrees_on_fixed_dataset() {
+    let rows: Vec<Vec<u32>> = (0..60u32)
+        .map(|i| vec![1 + i % 2, 1 + i % 3, 1 + (i / 2) % 4])
+        .collect();
+    let errors: Vec<f64> = (0..60)
+        .map(|i| {
+            if i % 2 == 0 && i % 3 == 1 {
+                1.0
+            } else {
+                ((i * 11) % 65) as f64 / 64.0
+            }
+        })
+        .collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let base_cfg = config(EvalKernel::default(), CompactKernel::Off, 1, 0);
+    let base = fingerprint(
+        &SliceLine::new(base_cfg.clone())
+            .find_slices(&x0, &errors)
+            .unwrap(),
+    );
+    assert!(!base.0.is_empty(), "fixture finds no slices");
+    for eval in [
+        EvalKernel::Blocked { block_size: 4 },
+        EvalKernel::Fused,
+        EvalKernel::Bitmap,
+    ] {
+        // Both compaction modes on the in-memory side pin the oracle the
+        // streamed path (compaction forced off) is compared against.
+        for compact in [CompactKernel::Off, CompactKernel::On] {
+            let oracle = fingerprint(
+                &SliceLine::new(config(eval, compact, 1, 0))
+                    .find_slices(&x0, &errors)
+                    .unwrap(),
+            );
+            assert_eq!(oracle, base, "{eval:?} compact={compact:?} oracle diverged");
+        }
+        for chunk_rows in [1usize, 7, 60, 128] {
+            for threads in [1usize, 2] {
+                let got = streamed(
+                    &x0,
+                    &errors,
+                    &config(eval, CompactKernel::Off, threads, chunk_rows),
+                );
+                assert_eq!(
+                    got, base,
+                    "streamed {eval:?} chunk={chunk_rows} x{threads} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A memory budget small enough to force every chunk through the spill
+/// file must not change any bit of the result.
+#[test]
+fn forced_spill_agrees_on_fixed_dataset() {
+    let rows: Vec<Vec<u32>> = (0..48u32)
+        .map(|i| vec![1 + i % 3, 1 + (i / 3) % 4, 1 + i % 2])
+        .collect();
+    let errors: Vec<f64> = (0..48).map(|i| ((i * 17) % 65) as f64 / 64.0).collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let base = fingerprint(
+        &SliceLine::new(config(EvalKernel::default(), CompactKernel::Off, 1, 0))
+            .find_slices(&x0, &errors)
+            .unwrap(),
+    );
+    let mut cfg = config(EvalKernel::default(), CompactKernel::Off, 1, 5);
+    cfg.mem_budget_bytes = 2; // spill share of 1 byte: nothing stays resident
+    let mut src = MemorySource::new(x0, errors).unwrap();
+    let got = fingerprint(&find_slices_streamed(&mut src, &cfg).unwrap());
+    assert_eq!(got, base, "forced-spill run diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chunked execution is invisible: for random datasets, every
+    /// (kernel, chunk size, thread count) streamed combination matches
+    /// the in-memory result bit-for-bit, including one-row chunks and
+    /// chunks larger than the dataset.
+    #[test]
+    fn streamed_matches_in_memory_bit_for_bit((x0, errors) in dataset_strategy()) {
+        let n = x0.rows();
+        let base = fingerprint(
+            &SliceLine::new(config(EvalKernel::default(), CompactKernel::Off, 1, 0))
+                .find_slices(&x0, &errors)
+                .unwrap(),
+        );
+        for eval in [EvalKernel::default(), EvalKernel::Fused, EvalKernel::Bitmap] {
+            for chunk_rows in [1usize, (n / 3).max(2), n, 2 * n] {
+                for threads in [1usize, 2] {
+                    let got = streamed(
+                        &x0,
+                        &errors,
+                        &config(eval, CompactKernel::Off, threads, chunk_rows),
+                    );
+                    prop_assert_eq!(
+                        &got, &base,
+                        "streamed {:?} chunk={} x{} diverged", eval, chunk_rows, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compaction parity transitivity: the in-memory path with
+    /// compaction on equals the streamed path (compaction forced off).
+    #[test]
+    fn streamed_matches_compacted_in_memory((x0, errors) in dataset_strategy()) {
+        let compacted = fingerprint(
+            &SliceLine::new(config(EvalKernel::default(), CompactKernel::On, 1, 0))
+                .find_slices(&x0, &errors)
+                .unwrap(),
+        );
+        let got = streamed(&x0, &errors, &config(EvalKernel::default(), CompactKernel::Off, 1, 6));
+        prop_assert_eq!(&got, &compacted, "streamed vs compacted in-memory diverged");
+    }
+}

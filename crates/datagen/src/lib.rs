@@ -25,6 +25,7 @@ pub mod covtype;
 pub mod criteo;
 pub mod kdd98;
 pub mod salaries;
+pub mod stream;
 pub mod synth;
 
 pub use adult::adult_like;
@@ -33,4 +34,5 @@ pub use covtype::covtype_like;
 pub use criteo::criteo_like;
 pub use kdd98::kdd98_like;
 pub use salaries::{salaries, salaries_encoded};
+pub use stream::CriteoStream;
 pub use synth::{Dataset, GenConfig, PlantedSlice, Task};

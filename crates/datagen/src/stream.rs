@@ -1,0 +1,285 @@
+//! Streaming Criteo-scale row-block generator for out-of-core runs.
+//!
+//! [`criteo_like`](crate::criteo_like) materializes the whole dataset —
+//! fine up to a few million rows, hopeless at the paper's 192M (§5.4).
+//! [`CriteoStream`] generates the same *shape* of data (39 features,
+//! power-law categoricals, planted leading-row slices, 0/1
+//! classification errors) as a [`RowBlockSource`], so the chunked driver
+//! can stream hundreds of millions of rows without them ever existing at
+//! once.
+//!
+//! Two deliberate differences from the materialized generator:
+//!
+//! * **Per-row seeding.** Each row draws from its own
+//!   counter-seeded RNG (codes first, then the error), so row `r` is a
+//!   pure function of `(seed, r)`. That makes every pass identical for
+//!   *any* block-size schedule — the invariance the
+//!   [`RowBlockSource`] contract requires — where the materialized
+//!   generator's single sequential stream (all codes, then all errors)
+//!   cannot be reproduced chunk-by-chunk.
+//! * **Capped wide domains.** Hashed-categorical domains are fixed at
+//!   65 536 / 16 384 / 100 instead of growing with `n`, keeping the
+//!   one-hot width (and the driver's `O(l)` pass-A statistics) constant
+//!   (~738K columns, ~18 MB of stats) while rows scale to Criteo size.
+//!   The Table-2 phenomenon — only head categories survive `σ` — is
+//!   preserved by the same Zipf head sampling.
+
+use crate::synth::PlantedSlice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sliceline_frame::{IntMatrix, RowBlock, RowBlockSource};
+
+/// Zipf head size per feature (codes `1..=HEAD` carry ~85% of the mass).
+const HEAD: usize = 32;
+/// Zipf exponent for head-category weights.
+const ZIPF_EXPONENT: f64 = 1.2;
+/// Probability mass routed to the head of wide domains.
+const HEAD_PROB: f64 = 0.85;
+/// Baseline per-row error probability off the planted slices.
+const BASELINE: f64 = 0.08;
+
+/// Fixed per-feature domains: 13 small "integer" features, 26 hashed
+/// categoricals alternating three width classes.
+fn stream_domains() -> Vec<u32> {
+    let mut d = vec![10u32; 13];
+    for j in 0..26 {
+        d.push(match j % 3 {
+            0 => 65_536,
+            1 => 16_384,
+            _ => 100,
+        });
+    }
+    d
+}
+
+/// A seeded, resettable Criteo-shaped row stream.
+///
+/// Yields `n` rows of 39 integer-coded features plus a 0/1 error value,
+/// in ascending row order, identically on every pass regardless of the
+/// requested block sizes. [`materialize`](CriteoStream::materialize)
+/// produces the exact same rows as an in-memory pair for parity oracles.
+#[derive(Debug, Clone)]
+pub struct CriteoStream {
+    seed: u64,
+    n: usize,
+    domains: Vec<u32>,
+    planted: Vec<PlantedSlice>,
+    /// Cumulative Zipf weights for the head of each feature's domain.
+    head_tables: Vec<Vec<f64>>,
+    pos: usize,
+}
+
+impl CriteoStream {
+    /// Creates a stream of `rows` rows for the given seed.
+    pub fn new(seed: u64, rows: usize) -> Self {
+        let domains = stream_domains();
+        let head_tables = domains
+            .iter()
+            .map(|&d| {
+                let h = HEAD.min(d as usize);
+                let mut acc = 0.0;
+                (1..=h)
+                    .map(|r| {
+                        acc += 1.0 / (r as f64).powf(ZIPF_EXPONENT);
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        CriteoStream {
+            seed,
+            n: rows,
+            domains,
+            head_tables,
+            planted: vec![
+                PlantedSlice {
+                    predicates: vec![(0, 3), (13, 1)],
+                    elevated: 0.5,
+                    fraction: 0.02,
+                },
+                PlantedSlice {
+                    predicates: vec![(1, 7), (2, 7)],
+                    elevated: 0.4,
+                    fraction: 0.02,
+                },
+            ],
+            pos: 0,
+        }
+    }
+
+    /// The planted problematic slices (on leading rows, like
+    /// [`criteo_like`](crate::criteo_like)).
+    pub fn planted(&self) -> &[PlantedSlice] {
+        &self.planted
+    }
+
+    /// Writes row `r`'s codes into `out` and returns its error value.
+    /// Pure in `(seed, r)`: codes are drawn first, then planted
+    /// predicates overwrite leading rows, then the error draw uses the
+    /// same per-row RNG.
+    fn fill_row(&self, r: usize, out: &mut [u32]) -> f64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (r as u64).wrapping_mul(0xD134_2543_DE82_EF95)
+                ^ 0x57AE,
+        );
+        for (j, &d) in self.domains.iter().enumerate() {
+            let table = &self.head_tables[j];
+            let total_head = *table.last().expect("domains are non-empty");
+            let code = if d as usize <= HEAD || rng.gen::<f64>() < HEAD_PROB {
+                let t = rng.gen::<f64>() * total_head;
+                match table.binary_search_by(|p| p.partial_cmp(&t).expect("weights are finite")) {
+                    Ok(i) => i as u32 + 1,
+                    Err(i) => (i.min(table.len() - 1)) as u32 + 1,
+                }
+            } else {
+                rng.gen_range(HEAD as u32..d) + 1
+            };
+            out[j] = code.min(d);
+        }
+        // Leading-row planting: slice 0 owns rows [0, c0), slice 1 the
+        // next ceil(n * fraction) rows, and so on.
+        let mut lo = 0usize;
+        for slice in &self.planted {
+            let per_slice = ((self.n as f64) * slice.fraction).ceil() as usize;
+            if r >= lo && r < (lo + per_slice).min(self.n) {
+                for &(j, code) in &slice.predicates {
+                    out[j] = code;
+                }
+                break;
+            }
+            lo += per_slice;
+        }
+        let p = self
+            .planted
+            .iter()
+            .filter(|s| s.predicates.iter().all(|&(j, code)| out[j] == code))
+            .map(|s| s.elevated)
+            .fold(BASELINE, f64::max);
+        if rng.gen::<f64>() < p {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Materializes the full stream as an in-memory `(X₀, e)` pair —
+    /// the parity oracle for scales where both paths fit.
+    pub fn materialize(&self) -> (IntMatrix, Vec<f64>) {
+        let m = self.domains.len();
+        let mut data = vec![0u32; self.n * m];
+        let mut errors = Vec::with_capacity(self.n);
+        for r in 0..self.n {
+            errors.push(self.fill_row(r, &mut data[r * m..(r + 1) * m]));
+        }
+        let x0 = IntMatrix::new(self.n, m, data, self.domains.clone())
+            .expect("generated codes are within domains");
+        (x0, errors)
+    }
+}
+
+impl RowBlockSource for CriteoStream {
+    fn domains(&self) -> &[u32] {
+        &self.domains
+    }
+
+    fn total_rows(&self) -> usize {
+        self.n
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Option<RowBlock> {
+        assert!(max_rows >= 1, "next_block needs max_rows >= 1");
+        if self.pos >= self.n {
+            return None;
+        }
+        let end = (self.pos + max_rows).min(self.n);
+        let rows = end - self.pos;
+        let m = self.domains.len();
+        let mut data = vec![0u32; rows * m];
+        let mut errors = Vec::with_capacity(rows);
+        for (i, r) in (self.pos..end).enumerate() {
+            errors.push(self.fill_row(r, &mut data[i * m..(i + 1) * m]));
+        }
+        self.pos = end;
+        let x0 = IntMatrix::new(rows, m, data, self.domains.clone())
+            .expect("generated codes are within domains");
+        Some(RowBlock { x0, errors })
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_invariant_to_block_size() {
+        let (x0, errors) = CriteoStream::new(7, 100).materialize();
+        for block_rows in [1usize, 7, 64, 100, 1000] {
+            let mut src = CriteoStream::new(7, 100);
+            let mut row = 0usize;
+            let mut seen_errors = Vec::new();
+            while let Some(block) = src.next_block(block_rows) {
+                for r in 0..block.rows() {
+                    assert_eq!(block.x0.row(r), x0.row(row), "row {row}");
+                    row += 1;
+                }
+                seen_errors.extend_from_slice(&block.errors);
+            }
+            assert_eq!(row, 100);
+            assert_eq!(seen_errors, errors);
+        }
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let mut src = CriteoStream::new(3, 50);
+        let first: Vec<_> = std::iter::from_fn(|| src.next_block(16)).collect();
+        src.reset();
+        let second: Vec<_> = std::iter::from_fn(|| src.next_block(16)).collect();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.errors, b.errors);
+            for r in 0..a.rows() {
+                assert_eq!(a.x0.row(r), b.x0.row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_differ_and_errors_are_binary() {
+        let (_, e1) = CriteoStream::new(1, 200).materialize();
+        let (_, e2) = CriteoStream::new(2, 200).materialize();
+        assert_ne!(e1, e2);
+        assert!(e1.iter().all(|&e| e == 0.0 || e == 1.0));
+        let mean = e1.iter().sum::<f64>() / e1.len() as f64;
+        assert!(mean > 0.0 && mean < 0.5, "error rate {mean} implausible");
+    }
+
+    #[test]
+    fn leading_rows_carry_planted_slices() {
+        let src = CriteoStream::new(11, 500);
+        let (x0, _) = src.materialize();
+        // ceil(500 * 0.02) = 10 rows per slice.
+        for r in 0..10 {
+            assert_eq!(x0.get(r, 0), 3, "row {r}");
+            assert_eq!(x0.get(r, 13), 1, "row {r}");
+        }
+        for r in 10..20 {
+            assert_eq!(x0.get(r, 1), 7, "row {r}");
+            assert_eq!(x0.get(r, 2), 7, "row {r}");
+        }
+    }
+
+    #[test]
+    fn shape_is_criteo_like() {
+        let src = CriteoStream::new(5, 10);
+        assert_eq!(src.domains().len(), 39);
+        let l: usize = src.domains().iter().map(|&d| d as usize).sum();
+        assert_eq!(l, 738_210);
+        assert_eq!(src.total_rows(), 10);
+    }
+}

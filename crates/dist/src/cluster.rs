@@ -2,9 +2,15 @@
 //! aggregation with configurable latencies.
 
 use crate::partition::PartitionedMatrix;
-use sliceline::evaluate::{evaluate_slice_stats, evaluate_slice_stats_bitmap};
+use sliceline::evaluate::{evaluate_slice_stats, evaluate_slice_stats_bitmap, merge_stat_partials};
 use sliceline_linalg::{secs, BitMatrix, CsrMatrix, ExecContext};
 use std::time::{Duration, Instant};
+
+/// Gauge accumulating the modeled broadcast cost (virtual seconds) across
+/// all broadcasts of a run.
+pub const VIRTUAL_BROADCAST_GAUGE: &str = "dist.virtual.broadcast_secs";
+/// Gauge accumulating the modeled aggregate cost (virtual seconds).
+pub const VIRTUAL_AGGREGATE_GAUGE: &str = "dist.virtual.aggregate_secs";
 
 /// Cluster shape and simulated communication costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,7 +128,12 @@ impl SimulatedCluster {
             self.config.broadcast_latency + self.config.broadcast_per_nnz * (nnz as u32);
         {
             let _span = exec.tracer().span("broadcast", "dist").arg("nnz", nnz);
-            std::thread::sleep(broadcast_cost);
+            // Virtual clock: charge the modeled cost to an obs gauge
+            // instead of sleeping, so scale-out benches stop burning real
+            // wall time while `--stats` keeps the modeled numbers.
+            exec.metrics()
+                .gauge(VIRTUAL_BROADCAST_GAUGE)
+                .add(secs(broadcast_cost));
         }
         let node_exec = exec.with_threads(self.config.threads_per_node);
         let results: Vec<(Partial, Duration)> = std::thread::scope(|scope| {
@@ -173,27 +184,16 @@ impl SimulatedCluster {
             p.evaluated += k as u64;
             p.kernel = Some(kernel);
         });
-        // Aggregate (the result shuffle back to the driver).
+        // Aggregate (the result shuffle back to the driver) — modeled
+        // cost on the virtual clock, same as the broadcast above.
         {
             let _span = exec.tracer().span("aggregate", "dist").arg("nodes", parts);
-            std::thread::sleep(self.config.aggregate_latency);
+            exec.metrics()
+                .gauge(VIRTUAL_AGGREGATE_GAUGE)
+                .add(secs(self.config.aggregate_latency));
         }
-        let mut partials = results.into_iter().map(|(p, _)| p);
-        let (mut sizes, mut errors, mut max_errors) =
-            partials.next().expect("at least one partition");
-        for (ps, pe, pm) in partials {
-            for j in 0..k {
-                sizes[j] += ps[j];
-                errors[j] += pe[j];
-                if pm[j] > max_errors[j] {
-                    max_errors[j] = pm[j];
-                }
-            }
-            exec.put_f64(ps);
-            exec.put_f64(pe);
-            exec.put_f64(pm);
-        }
-        (sizes, errors, max_errors)
+        merge_stat_partials(results.into_iter().map(|(p, _)| p), exec)
+            .expect("at least one partition")
     }
 }
 
@@ -313,6 +313,29 @@ mod tests {
         assert_eq!(nodes, 2, "one span per node");
         assert!(events.iter().any(|ev| ev.name == "broadcast"));
         assert!(events.iter().any(|ev| ev.name == "aggregate"));
+    }
+
+    #[test]
+    fn virtual_clock_accumulates_instead_of_sleeping() {
+        let (x, e) = fixture();
+        let mut cfg = fast_config(2);
+        cfg.broadcast_latency = Duration::from_millis(250);
+        cfg.aggregate_latency = Duration::from_millis(100);
+        let cluster = SimulatedCluster::new(cfg, &x, &e);
+        let exec = ExecContext::serial();
+        let start = Instant::now();
+        cluster.evaluate_slices(&[vec![0, 3]], 2, &exec);
+        cluster.evaluate_slices(&[vec![1, 4]], 2, &exec);
+        // 700 ms of modeled communication must be charged to the virtual
+        // clock, not slept: the tiny fixture evaluates in microseconds.
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "modeled latency was slept, not accumulated"
+        );
+        let b = exec.metrics().gauge(VIRTUAL_BROADCAST_GAUGE).value();
+        let a = exec.metrics().gauge(VIRTUAL_AGGREGATE_GAUGE).value();
+        assert!(b >= 0.5, "broadcast virtual clock {b} < 0.5");
+        assert!((a - 0.2).abs() < 1e-12, "aggregate virtual clock {a}");
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Chunked row-block access for out-of-core slice finding.
+//!
+//! The paper's headline scaling experiment (§5.4) runs SliceLine on
+//! ~192M Criteo rows on a cluster; a single process cannot materialize
+//! the full one-hot matrix `X` at that scale. This module provides the
+//! streaming building blocks: a [`RowBlockSource`] yields fixed-size row
+//! blocks of integer-coded features plus their error values, and a
+//! [`ChunkProjector`] one-hot encodes each block directly into the
+//! *kept-column* projected space (Algorithm 1 lines 3–5) so the
+//! full-width `X` is never resident. [`ChunkedCsr`] collects projected
+//! blocks when they do fit, preserving ascending row order.
+
+use crate::column::FrameError;
+use crate::intmatrix::IntMatrix;
+use sliceline_linalg::CsrMatrix;
+
+/// One block of rows: integer-coded features and row-aligned errors.
+#[derive(Debug, Clone)]
+pub struct RowBlock {
+    /// Integer-encoded feature codes for this block's rows.
+    pub x0: IntMatrix,
+    /// Model errors, row-aligned with `x0`.
+    pub errors: Vec<f64>,
+}
+
+impl RowBlock {
+    /// Number of rows in the block.
+    pub fn rows(&self) -> usize {
+        self.x0.rows()
+    }
+}
+
+/// A resettable source of row blocks in a fixed ascending row order.
+///
+/// Implementations must yield the same rows in the same order on every
+/// pass (after [`reset`](RowBlockSource::reset)) regardless of the block
+/// sizes requested — this is what makes per-chunk partial stats merge
+/// bit-for-bit with the in-memory path.
+pub trait RowBlockSource {
+    /// Per-feature domain sizes `d_j` (1-based codes in `1..=d_j`).
+    fn domains(&self) -> &[u32];
+
+    /// Total number of rows the source yields per pass.
+    fn total_rows(&self) -> usize;
+
+    /// Yields the next block of at most `max_rows` rows, or `None` when
+    /// the pass is exhausted. `max_rows` must be ≥ 1.
+    fn next_block(&mut self, max_rows: usize) -> Option<RowBlock>;
+
+    /// Rewinds the source to the first row.
+    fn reset(&mut self);
+}
+
+/// In-memory [`RowBlockSource`] over a materialized `(X₀, e)` pair — the
+/// parity oracle for the streamed path and the adapter that lets the
+/// chunked driver run on ordinary in-RAM datasets.
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    x0: IntMatrix,
+    errors: Vec<f64>,
+    pos: usize,
+}
+
+impl MemorySource {
+    /// Wraps a materialized dataset. Errors if the error vector is not
+    /// row-aligned with `x0`.
+    pub fn new(x0: IntMatrix, errors: Vec<f64>) -> Result<Self, FrameError> {
+        if errors.len() != x0.rows() {
+            return Err(FrameError::LengthMismatch {
+                column: "errors".to_string(),
+                len: errors.len(),
+                expected: x0.rows(),
+            });
+        }
+        Ok(MemorySource { x0, errors, pos: 0 })
+    }
+
+    /// Borrow the full underlying matrix (for oracles / diagnostics).
+    pub fn x0(&self) -> &IntMatrix {
+        &self.x0
+    }
+
+    /// Borrow the full underlying error vector.
+    pub fn errors(&self) -> &[f64] {
+        &self.errors
+    }
+}
+
+impl RowBlockSource for MemorySource {
+    fn domains(&self) -> &[u32] {
+        self.x0.domains()
+    }
+
+    fn total_rows(&self) -> usize {
+        self.x0.rows()
+    }
+
+    fn next_block(&mut self, max_rows: usize) -> Option<RowBlock> {
+        assert!(max_rows >= 1, "next_block needs max_rows >= 1");
+        let n = self.x0.rows();
+        if self.pos >= n {
+            return None;
+        }
+        let end = (self.pos + max_rows).min(n);
+        let m = self.x0.cols();
+        let mut data = Vec::with_capacity((end - self.pos) * m);
+        for r in self.pos..end {
+            data.extend_from_slice(self.x0.row(r));
+        }
+        let x0 = IntMatrix::new(end - self.pos, m, data, self.x0.domains().to_vec())
+            .expect("block codes are within domains");
+        let errors = self.errors[self.pos..end].to_vec();
+        self.pos = end;
+        Some(RowBlock { x0, errors })
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// One-hot encodes row blocks directly into the kept-column projected
+/// space.
+///
+/// Built from the kept columns' `(feature, code)` pairs (ascending in
+/// one-hot column order, as produced by data preparation), it maps each
+/// row's code for feature `j` to its projected column id via a per-feature
+/// sorted lookup — no full-width `l`-sized remap table, which matters when
+/// `l` is hundreds of millions of one-hot columns.
+#[derive(Debug, Clone)]
+pub struct ChunkProjector {
+    /// Per feature: kept `(code, projected column)` pairs sorted by code.
+    kept: Vec<Vec<(u32, u32)>>,
+    /// Projected width = number of kept columns.
+    cols: usize,
+}
+
+impl ChunkProjector {
+    /// Builds a projector for `m` features from parallel `(feature, code)`
+    /// arrays describing the kept one-hot columns in ascending projected
+    /// order (projected column `c` is `(col_feature[c], col_code[c])`).
+    pub fn new(m: usize, col_feature: &[u32], col_code: &[u32]) -> Self {
+        assert_eq!(col_feature.len(), col_code.len());
+        let mut kept = vec![Vec::new(); m];
+        for (c, (&j, &code)) in col_feature.iter().zip(col_code.iter()).enumerate() {
+            kept[j as usize].push((code, c as u32));
+        }
+        // Data prep emits columns in ascending (feature, code) order, so
+        // each per-feature list is already sorted by code; sort anyway to
+        // keep the lookup correct for any caller.
+        for list in &mut kept {
+            list.sort_unstable_by_key(|&(code, _)| code);
+        }
+        ChunkProjector {
+            kept,
+            cols: col_feature.len(),
+        }
+    }
+
+    /// Projected (kept-column) width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Projected column id for `(feature, code)`, if that column is kept.
+    #[inline]
+    pub fn lookup(&self, feature: usize, code: u32) -> Option<u32> {
+        let list = &self.kept[feature];
+        list.binary_search_by_key(&code, |&(c, _)| c)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// One-hot encodes a block into the projected space: an
+    /// `x0.rows() × self.cols()` binary CSR with one entry per kept
+    /// `(feature, code)` hit, columns strictly increasing per row.
+    pub fn project(&self, x0: &IntMatrix) -> CsrMatrix {
+        let n = x0.rows();
+        let m = x0.cols();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(n * m);
+        for r in 0..n {
+            let codes = x0.row(r);
+            for (j, &code) in codes.iter().enumerate().take(m) {
+                if let Some(c) = self.lookup(j, code) {
+                    col_idx.push(c);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![1.0f64; col_idx.len()];
+        // Projected ids ascend in (feature, code) order and each row
+        // contributes at most one code per feature, so per-row columns are
+        // strictly increasing by construction.
+        CsrMatrix::from_raw_parts(n, self.cols, row_ptr, col_idx, values)
+            .expect("projected block satisfies CSR invariants")
+    }
+}
+
+/// A row-partitioned CSR matrix: ascending, contiguous row chunks that
+/// together form one logical `rows() × cols()` matrix without ever being
+/// concatenated.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedCsr {
+    chunks: Vec<CsrMatrix>,
+    rows: usize,
+    cols: usize,
+}
+
+impl ChunkedCsr {
+    /// An empty chunked matrix of the given width.
+    pub fn new(cols: usize) -> Self {
+        ChunkedCsr {
+            chunks: Vec::new(),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Appends the next row chunk. Panics on width mismatch.
+    pub fn push(&mut self, chunk: CsrMatrix) {
+        assert_eq!(chunk.cols(), self.cols, "chunk width mismatch");
+        self.rows += chunk.rows();
+        self.chunks.push(chunk);
+    }
+
+    /// Total logical rows across all chunks.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.chunks.iter().map(|c| c.nnz()).sum()
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Iterates the chunks in ascending row order.
+    pub fn iter(&self) -> impl Iterator<Item = &CsrMatrix> {
+        self.chunks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onehot::one_hot_encode;
+
+    fn sample() -> (IntMatrix, Vec<f64>) {
+        let x0 =
+            IntMatrix::from_rows(&[vec![1, 2], vec![2, 1], vec![1, 1], vec![2, 3], vec![1, 3]])
+                .unwrap();
+        let errors = vec![1.0, 0.0, 0.5, 0.25, 0.0];
+        (x0, errors)
+    }
+
+    #[test]
+    fn memory_source_blocks_cover_all_rows_in_order() {
+        let (x0, errors) = sample();
+        let mut src = MemorySource::new(x0.clone(), errors.clone()).unwrap();
+        for block_rows in [1usize, 2, 3, 5, 16] {
+            src.reset();
+            let mut seen_rows = 0usize;
+            let mut seen_errors = Vec::new();
+            while let Some(block) = src.next_block(block_rows) {
+                assert!(block.rows() <= block_rows);
+                for r in 0..block.rows() {
+                    assert_eq!(block.x0.row(r), x0.row(seen_rows + r));
+                }
+                seen_errors.extend_from_slice(&block.errors);
+                seen_rows += block.rows();
+            }
+            assert_eq!(seen_rows, 5);
+            assert_eq!(seen_errors, errors);
+        }
+    }
+
+    #[test]
+    fn memory_source_rejects_misaligned_errors() {
+        let (x0, _) = sample();
+        assert!(MemorySource::new(x0, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn projector_matches_full_encode_with_column_selection() {
+        let (x0, _) = sample();
+        let full = one_hot_encode(&x0);
+        // Keep a subset of one-hot columns: drop feature 0 code 2 and
+        // feature 1 code 2. Kept columns in ascending one-hot order:
+        // (0,1)=col0, (1,1)=col2, (1,3)=col4.
+        let col_feature = vec![0u32, 1, 1];
+        let col_code = vec![1u32, 1, 3];
+        let keep = vec![0usize, 2, 4];
+        let expected = full.select_cols(&keep).unwrap();
+        let proj = ChunkProjector::new(x0.cols(), &col_feature, &col_code);
+        assert_eq!(proj.cols(), 3);
+        let got = proj.project(&x0);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn projector_chunked_equals_whole() {
+        let (x0, errors) = sample();
+        let col_feature = vec![0u32, 0, 1, 1, 1];
+        let col_code = vec![1u32, 2, 1, 2, 3];
+        let proj = ChunkProjector::new(x0.cols(), &col_feature, &col_code);
+        let whole = proj.project(&x0);
+        assert_eq!(whole, one_hot_encode(&x0));
+        let mut src = MemorySource::new(x0, errors).unwrap();
+        let mut chunked = ChunkedCsr::new(proj.cols());
+        while let Some(block) = src.next_block(2) {
+            chunked.push(proj.project(&block.x0));
+        }
+        assert_eq!(chunked.rows(), whole.rows());
+        assert_eq!(chunked.nnz(), whole.nnz());
+        assert_eq!(chunked.num_chunks(), 3);
+        let mut row = 0usize;
+        for chunk in chunked.iter() {
+            for r in 0..chunk.rows() {
+                assert_eq!(chunk.row_cols(r), whole.row_cols(row));
+                row += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_misses_dropped_columns() {
+        let proj = ChunkProjector::new(2, &[0, 1], &[2, 1]);
+        assert_eq!(proj.lookup(0, 2), Some(0));
+        assert_eq!(proj.lookup(1, 1), Some(1));
+        assert_eq!(proj.lookup(0, 1), None);
+        assert_eq!(proj.lookup(1, 3), None);
+    }
+}

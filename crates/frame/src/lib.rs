@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod encode;
@@ -23,6 +24,7 @@ pub mod meta;
 pub mod onehot;
 pub mod split;
 
+pub use chunk::{ChunkProjector, ChunkedCsr, MemorySource, RowBlock, RowBlockSource};
 pub use column::{Column, DataFrame};
 pub use encode::{BinningStrategy, DatasetEncoder, EncodedDataset};
 pub use intmatrix::IntMatrix;

@@ -504,8 +504,51 @@ struct CtxInner {
 pub struct ExecContext {
     parallel: ParallelConfig,
     simd: SimdLevel,
+    budget: MemoryBudget,
     inner: Arc<CtxInner>,
     telemetry: Arc<Telemetry>,
+}
+
+/// A soft memory budget for out-of-core execution: how many bytes of
+/// input data an operator may keep resident before it must spill or
+/// stream. `bytes == 0` means unlimited (the in-memory default).
+///
+/// The budget is advisory bookkeeping, not an allocator hook: chunked
+/// drivers consult it to size their resident window, and the
+/// counting-allocator tests pin that they respect it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// No limit — operators may materialize freely.
+    pub const UNLIMITED: MemoryBudget = MemoryBudget { bytes: 0 };
+
+    /// A budget of `bytes` bytes (0 = unlimited).
+    pub fn from_bytes(bytes: usize) -> Self {
+        MemoryBudget { bytes }
+    }
+
+    /// A budget of `mb` mebibytes (0 = unlimited).
+    pub fn from_mb(mb: usize) -> Self {
+        MemoryBudget { bytes: mb << 20 }
+    }
+
+    /// The budget in bytes; 0 means unlimited.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// `true` when a finite budget is set.
+    pub fn is_limited(&self) -> bool {
+        self.bytes > 0
+    }
+
+    /// `true` when keeping `resident` bytes would stay within budget.
+    pub fn admits(&self, resident: usize) -> bool {
+        !self.is_limited() || resident <= self.bytes
+    }
 }
 
 impl Default for ExecContext {
@@ -530,6 +573,7 @@ impl ExecContext {
         ExecContext {
             parallel,
             simd: simd::default_level(),
+            budget: MemoryBudget::UNLIMITED,
             inner: Arc::new(CtxInner {
                 pool: BufferPool::new(),
                 tracer: Tracer::new(),
@@ -545,9 +589,23 @@ impl ExecContext {
         ExecContext {
             parallel: ParallelConfig::new(threads),
             simd: self.simd,
+            budget: self.budget,
             inner: Arc::clone(&self.inner),
             telemetry: Arc::clone(&self.telemetry),
         }
+    }
+
+    /// A view with the given memory budget that shares this context's
+    /// pool, telemetry sink, tracer, and metrics.
+    pub fn with_budget(&self, budget: MemoryBudget) -> Self {
+        let mut view = self.clone();
+        view.budget = budget;
+        view
+    }
+
+    /// The memory budget chunked/out-of-core operators should respect.
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget
     }
 
     /// A view with the SIMD knob resolved from `kernel` that shares this
@@ -584,6 +642,7 @@ impl ExecContext {
         ExecContext {
             parallel: self.parallel,
             simd: self.simd,
+            budget: self.budget,
             inner: Arc::clone(&self.inner),
             telemetry: Arc::new(telemetry),
         }

@@ -532,6 +532,83 @@ impl CsrMatrix {
         exec.put_f64(self.values);
     }
 
+    /// Writes the matrix to `w` in the out-of-core spill format: a
+    /// little-endian `[rows, cols, nnz]` u64 header, then `row_ptr` as
+    /// u64s, `col_idx` as u32s, and `values` as f64 bit patterns. Records
+    /// are self-delimiting, so consecutive chunks can be appended to one
+    /// spill file and read back with [`CsrMatrix::read_binary`].
+    pub fn write_binary<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let header = [self.rows as u64, self.cols as u64, self.nnz() as u64];
+        for v in header {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &p in &self.row_ptr {
+            w.write_all(&(p as u64).to_le_bytes())?;
+        }
+        for &c in &self.col_idx {
+            w.write_all(&c.to_le_bytes())?;
+        }
+        for &v in &self.values {
+            w.write_all(&v.to_bits().to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads one matrix written by [`CsrMatrix::write_binary`] from `r`.
+    /// Returns `Ok(None)` on clean end-of-stream (no header bytes left)
+    /// and an error on a truncated or malformed record.
+    pub fn read_binary<R: std::io::Read>(r: &mut R) -> std::io::Result<Option<CsrMatrix>> {
+        let mut head = [0u8; 24];
+        // Distinguish clean EOF (zero header bytes) from truncation.
+        let mut filled = 0usize;
+        while filled < head.len() {
+            let n = r.read(&mut head[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated CSR spill header",
+                ));
+            }
+            filled += n;
+        }
+        let word = |i: usize| u64::from_le_bytes(head[i * 8..(i + 1) * 8].try_into().unwrap());
+        let (rows, cols, nnz) = (word(0) as usize, word(1) as usize, word(2) as usize);
+        let mut buf = vec![0u8; (rows + 1) * 8];
+        r.read_exact(&mut buf)?;
+        let row_ptr: Vec<usize> = buf
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as usize)
+            .collect();
+        let mut buf = vec![0u8; nnz * 4];
+        r.read_exact(&mut buf)?;
+        let col_idx: Vec<u32> = buf
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let mut buf = vec![0u8; nnz * 8];
+        r.read_exact(&mut buf)?;
+        let values: Vec<f64> = buf
+            .chunks_exact(8)
+            .map(|b| f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
+            .collect();
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&nnz) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed CSR spill record",
+            ));
+        }
+        Ok(Some(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }))
+    }
+
     /// Removes rows with no stored entries (`removeEmpty(margin="rows")`),
     /// returning the compacted matrix and the kept original row indexes.
     pub fn remove_empty_rows(&self) -> (CsrMatrix, Vec<usize>) {
@@ -628,6 +705,23 @@ mod tests {
         // [3 4 0]
         CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
             .unwrap()
+    }
+
+    #[test]
+    fn binary_spill_roundtrip_multiple_records() {
+        let a = sample();
+        let b = CsrMatrix::zeros(2, 3);
+        let mut buf = Vec::new();
+        a.write_binary(&mut buf).unwrap();
+        b.write_binary(&mut buf).unwrap();
+        let mut r = std::io::Cursor::new(&buf);
+        assert_eq!(CsrMatrix::read_binary(&mut r).unwrap().unwrap(), a);
+        assert_eq!(CsrMatrix::read_binary(&mut r).unwrap().unwrap(), b);
+        assert!(CsrMatrix::read_binary(&mut r).unwrap().is_none());
+        // Truncated stream is an error, not a silent None.
+        let mut r = std::io::Cursor::new(&buf[..buf.len() - 3]);
+        CsrMatrix::read_binary(&mut r).unwrap().unwrap();
+        assert!(CsrMatrix::read_binary(&mut r).is_err());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod vector;
 
 pub use bitmap::BitMatrix;
 pub use blocked::BlockedMatrix;
-pub use context::{ExecContext, ExecStats, LevelProfile, PoolStats, Stage};
+pub use context::{ExecContext, ExecStats, LevelProfile, MemoryBudget, PoolStats, Stage};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
@@ -56,5 +56,6 @@ pub use simd::{SimdKernel, SimdLevel};
 // Observability re-exports so downstream crates can spell tracer/metrics
 // types without depending on `sliceline-obs` directly.
 pub use sliceline_obs::{
-    chrome_trace, secs, ArgValue, Manifest, MetricsRegistry, SpanGuard, TraceEvent, Tracer,
+    chrome_trace, sample_rss, secs, ArgValue, Manifest, MetricsRegistry, SpanGuard, TraceEvent,
+    Tracer,
 };

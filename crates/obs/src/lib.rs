@@ -44,11 +44,13 @@
 pub mod collect;
 pub mod export;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod tracer;
 
 pub use collect::{Collector, MergeDelta};
 pub use export::{chrome_trace, Manifest};
+pub use mem::{current_rss_bytes, sample_rss};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use tracer::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};
 

@@ -141,9 +141,11 @@ impl Server {
             ("GET", ["health"]) => Ok("{\"ok\":true}".to_string()),
             ("GET", ["metrics"]) => {
                 // Refresh the derived gauges (pool high-water, SIMD
-                // level) before serializing; cache counters were folded
-                // by each query's own scoped snapshot.
+                // level, resident-set size) before serializing; cache
+                // counters were folded by each query's own scoped
+                // snapshot.
                 let _ = self.registry.exec().exec_stats();
+                let _ = sliceline_linalg::sample_rss(self.registry.exec().metrics());
                 Ok(self.registry.exec().metrics().to_json())
             }
             ("GET", ["manifest"]) => Ok(self.manifest().to_json()),
