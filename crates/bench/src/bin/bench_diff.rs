@@ -1,0 +1,130 @@
+//! Perf-regression gate: diffs a fresh bench JSON against a committed
+//! `BENCH_*.json` baseline with per-metric tolerances (see
+//! [`sliceline_bench::diff`]) and exits non-zero when any metric
+//! regressed, a parity check failed, or a baseline metric disappeared.
+//!
+//! ```text
+//! bench_diff --baseline BENCH_kernels.json --current fresh.json \
+//!            [--tol-time PCT] [--tol-rate PCT] [--floor-secs S] \
+//!            [--verdict out.json]
+//! ```
+//!
+//! The human-readable summary goes to stdout; `--verdict` additionally
+//! writes the machine-readable verdict JSON for CI artifacts.
+
+use sliceline_bench::{diff, MetricKind, Tolerances};
+use sliceline_obs::json::parse;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: bench_diff --baseline FILE --current FILE
+                  [--tol-time PCT] [--tol-rate PCT] [--floor-secs S]
+                  [--verdict OUT.json]
+  --baseline FILE  committed BENCH_*.json to compare against
+  --current FILE   freshly produced bench JSON (--stats-json output)
+  --tol-time PCT   allowed slowdown on *_secs/*_bytes metrics (default 50)
+  --tol-rate PCT   allowed drop on *speedup/jobs_per_sec (default 25)
+  --floor-secs S   lower-better floor for noisy tiny cells (default 0.001)
+  --verdict FILE   also write the machine-readable verdict JSON";
+
+fn main() -> ExitCode {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut verdict_path: Option<String> = None;
+    let mut tol = Tolerances::default();
+    let mut it = std::env::args().skip(1);
+    let fail = |msg: &str| -> ExitCode {
+        eprintln!("bench_diff: {msg}\n{USAGE}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--baseline" => match value("--baseline") {
+                Ok(v) => baseline = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--current" => match value("--current") {
+                Ok(v) => current = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--verdict" => match value("--verdict") {
+                Ok(v) => verdict_path = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--tol-time" => match value("--tol-time").map(|v| v.parse::<f64>()) {
+                Ok(Ok(pct)) => tol.time = pct / 100.0,
+                _ => return fail("--tol-time needs a percentage"),
+            },
+            "--tol-rate" => match value("--tol-rate").map(|v| v.parse::<f64>()) {
+                Ok(Ok(pct)) => tol.rate = pct / 100.0,
+                _ => return fail("--tol-rate needs a percentage"),
+            },
+            "--floor-secs" => match value("--floor-secs").map(|v| v.parse::<f64>()) {
+                Ok(Ok(s)) => tol.floor = s,
+                _ => return fail("--floor-secs needs a float"),
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline, current) else {
+        return fail("--baseline and --current are required");
+    };
+    let load = |path: &str| -> Result<sliceline_obs::json::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let (base_doc, cur_doc) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = diff(&base_doc, &cur_doc, &tol);
+    println!(
+        "bench_diff: {} vs {}: {} metrics compared, {} regressed, {} improved, {} missing",
+        baseline_path,
+        current_path,
+        report.compared,
+        report.regressions.len(),
+        report.improved,
+        report.missing.len(),
+    );
+    for r in &report.regressions {
+        let label = match r.kind {
+            MetricKind::LowerBetter => "time",
+            MetricKind::HigherBetter => "rate",
+            MetricKind::Parity => "parity",
+        };
+        if r.kind == MetricKind::Parity {
+            println!("  REGRESSION [{label}] {}: parity not ok", r.path);
+        } else {
+            println!(
+                "  REGRESSION [{label}] {}: {} -> {} ({:.2}x)",
+                r.path, r.baseline, r.current, r.ratio
+            );
+        }
+    }
+    for path in &report.missing {
+        println!("  MISSING {path}: baseline metric absent from current run");
+    }
+    if let Some(path) = verdict_path {
+        if let Err(e) = std::fs::write(&path, report.to_json(&tol)) {
+            eprintln!("bench_diff: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("verdict written to {path}");
+    }
+    if report.is_clean() {
+        println!("verdict: CLEAN");
+        ExitCode::SUCCESS
+    } else {
+        println!("verdict: REGRESSED");
+        ExitCode::FAILURE
+    }
+}

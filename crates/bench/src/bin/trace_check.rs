@@ -1,7 +1,9 @@
 //! Schema checker for the observability artifacts: validates a Chrome
-//! trace-event JSON (`--trace`) and/or a run manifest (`--manifest`)
-//! produced by `sliceline find`. Exits non-zero on any violation, so CI
-//! can gate on it (the `trace-smoke` step).
+//! trace-event JSON (`--trace`), a run manifest (`--manifest`), a
+//! flight-recorder dump (`--flightrecorder`), and/or an OpenMetrics
+//! exposition (`--openmetrics`) produced by `sliceline find` / the serve
+//! daemon. Exits non-zero on any violation, so CI can gate on it (the
+//! `trace-smoke` and `serve-smoke` steps).
 //!
 //! Checks are structural, not golden: the trace must parse with the
 //! hand-rolled JSON reader, every event must carry the fields its phase
@@ -31,12 +33,16 @@ const FUNNEL_STAGES: [&str; 6] = [
 fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut manifest_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
+    let mut openmetrics_path: Option<String> = None;
     let mut expect_dist = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => trace_path = it.next(),
             "--manifest" => manifest_path = it.next(),
+            "--flightrecorder" => flight_path = it.next(),
+            "--openmetrics" => openmetrics_path = it.next(),
             "--expect-dist" => expect_dist = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -48,7 +54,11 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace_path.is_none() && manifest_path.is_none() {
+    if trace_path.is_none()
+        && manifest_path.is_none()
+        && flight_path.is_none()
+        && openmetrics_path.is_none()
+    {
         eprintln!("trace_check: nothing to check\n{USAGE}");
         return ExitCode::from(2);
     }
@@ -59,6 +69,12 @@ fn main() -> ExitCode {
     if let Some(path) = manifest_path {
         failures += report(&path, check_manifest(&path));
     }
+    if let Some(path) = flight_path {
+        failures += report(&path, check_flightrecorder(&path));
+    }
+    if let Some(path) = openmetrics_path {
+        failures += report(&path, check_openmetrics(&path));
+    }
     if failures > 0 {
         ExitCode::FAILURE
     } else {
@@ -67,10 +83,14 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: trace_check [--trace FILE] [--manifest FILE] [--expect-dist]
-  --trace FILE     validate a Chrome trace-event JSON written by --trace
-  --manifest FILE  validate a run manifest written by --metrics-json
-  --expect-dist    require spans from the dist layer in the trace";
+usage: trace_check [--trace FILE] [--manifest FILE]
+                   [--flightrecorder FILE] [--openmetrics FILE]
+                   [--expect-dist]
+  --trace FILE          validate a Chrome trace-event JSON written by --trace
+  --manifest FILE       validate a run manifest written by --metrics-json
+  --flightrecorder FILE validate a GET /debug/flightrecorder dump
+  --openmetrics FILE    lint a /metrics?format=openmetrics exposition
+  --expect-dist         require spans from the dist layer in the trace";
 
 fn report(path: &str, result: Result<String, String>) -> usize {
     match result {
@@ -198,6 +218,109 @@ fn check_funnel(ev: &Json) -> Result<(), String> {
         prev = v;
     }
     Ok(())
+}
+
+/// Validates a flight-recorder dump (`GET /debug/flightrecorder`): ring
+/// bookkeeping must be consistent and every record must carry the full
+/// per-job schema with a sane outcome and non-negative latencies.
+fn check_flightrecorder(path: &str) -> Result<String, String> {
+    let doc = read_json(path)?;
+    let capacity = doc
+        .get("capacity")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'capacity'")?;
+    let captured = doc
+        .get("captured")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'captured'")?;
+    let resident = doc
+        .get("resident")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'resident'")?;
+    if resident > capacity {
+        return Err(format!("resident {resident} exceeds capacity {capacity}"));
+    }
+    if resident > captured {
+        return Err(format!("resident {resident} exceeds captured {captured}"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'records' array")?;
+    if records.len() as u64 > resident {
+        return Err(format!(
+            "{} records dumped but only {resident} resident",
+            records.len()
+        ));
+    }
+    let mut prev_seq = u64::MAX;
+    for (i, rec) in records.iter().enumerate() {
+        let at = |msg: &str| format!("record {i}: {msg}");
+        let seq = rec
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| at("missing 'seq'"))?;
+        if seq >= prev_seq {
+            return Err(at(&format!("not newest-first: seq {seq} >= {prev_seq}")));
+        }
+        prev_seq = seq;
+        if rec.get("job_id").and_then(Json::as_u64).is_none() {
+            return Err(at("missing 'job_id'"));
+        }
+        if rec.get("dataset").and_then(Json::as_str).is_none() {
+            return Err(at("missing 'dataset'"));
+        }
+        let outcome = rec
+            .get("outcome")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing 'outcome'"))?;
+        if outcome != "done" && outcome != "failed" {
+            return Err(at(&format!("unknown outcome '{outcome}'")));
+        }
+        if outcome == "failed" && rec.get("error").and_then(Json::as_str).is_none() {
+            return Err(at("failed record without 'error'"));
+        }
+        for key in ["queue_wait_secs", "run_secs"] {
+            let v = rec
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(&format!("missing '{key}'")))?;
+            if v < 0.0 {
+                return Err(at(&format!("negative '{key}': {v}")));
+            }
+        }
+        if rec.get("dropped_events").and_then(Json::as_u64).is_none() {
+            return Err(at("missing 'dropped_events'"));
+        }
+        for key in ["config", "stats"] {
+            if rec.get(key).is_none() {
+                return Err(at(&format!("missing '{key}'")));
+            }
+        }
+    }
+    Ok(format!(
+        "{} records (capacity {capacity}, captured {captured})",
+        records.len()
+    ))
+}
+
+/// Lints an OpenMetrics exposition with the same validator the unit
+/// tests use ([`sliceline_obs::openmetrics::lint`]).
+fn check_openmetrics(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let violations = sliceline_obs::openmetrics::lint(&text);
+    if !violations.is_empty() {
+        return Err(format!(
+            "{} lint violations: {}",
+            violations.len(),
+            violations.join("; ")
+        ));
+    }
+    let samples = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .count();
+    Ok(format!("{samples} samples, lint clean"))
 }
 
 fn check_manifest(path: &str) -> Result<String, String> {

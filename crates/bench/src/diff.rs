@@ -1,0 +1,443 @@
+//! Bench-baseline comparison: the perf-regression harness behind
+//! `bench_diff`.
+//!
+//! Every experiment binary emits a `BENCH_*.json` document (`--stats-json`
+//! or the committed baselines at the repo root). This module diffs a
+//! fresh run against such a baseline with per-metric tolerances and
+//! produces a machine-readable verdict, so CI can fail on real slowdowns
+//! without flaking on scheduler noise.
+//!
+//! Metrics are classified by key suffix:
+//!
+//! * **lower-better** — keys ending in `secs`, `secs_per_eval`, or
+//!   `bytes` (wall times, per-evaluation latencies, spill volumes). A
+//!   regression is `current > max(baseline, floor) * (1 + time_pct)`.
+//!   The floor guards sub-millisecond cells whose relative jitter is
+//!   unbounded on shared runners.
+//! * **higher-better** — keys ending in `speedup` or `jobs_per_sec`
+//!   (warm/delta speedups, queue throughput). A regression is
+//!   `current < baseline * (1 - rate_pct)`.
+//! * **parity** — the `parity` string must be `"ok"` in the current run;
+//!   anything else is a correctness failure regardless of tolerance.
+//!
+//! Everything else (`rows`, `threads`, `kernel`, ...) is identity, not
+//! performance: arrays of objects are matched by those fields so cells
+//! can be reordered between runs without spurious diffs. A classified
+//! metric present in the baseline but absent from the current run is
+//! reported as schema drift (`missing`) and fails the diff.
+
+use sliceline_obs::json::Json;
+
+/// Per-metric tolerances for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Allowed relative slowdown for lower-better metrics (0.5 = +50%).
+    pub time: f64,
+    /// Allowed relative drop for higher-better metrics (0.25 = −25%).
+    pub rate: f64,
+    /// Absolute floor (in the metric's own unit) below which lower-better
+    /// baselines are not trusted as a denominator.
+    pub floor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        // Generous defaults: committed baselines come from a different
+        // machine than CI, so only order-of-magnitude slowdowns should
+        // fail a build.
+        Tolerances {
+            time: 0.5,
+            rate: 0.25,
+            floor: 1e-3,
+        }
+    }
+}
+
+/// How a metric key is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Smaller is better (times, bytes).
+    LowerBetter,
+    /// Larger is better (speedups, throughput).
+    HigherBetter,
+    /// String equality against `"ok"`.
+    Parity,
+}
+
+/// Classifies a JSON key by suffix; `None` = identity/informational.
+pub fn classify(key: &str) -> Option<MetricKind> {
+    if key == "parity" {
+        Some(MetricKind::Parity)
+    } else if key.ends_with("secs") || key.ends_with("secs_per_eval") || key.ends_with("bytes") {
+        Some(MetricKind::LowerBetter)
+    } else if key.ends_with("speedup") || key.ends_with("jobs_per_sec") {
+        Some(MetricKind::HigherBetter)
+    } else {
+        None
+    }
+}
+
+/// One metric that moved outside its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path with array identities, e.g.
+    /// `level2[rows=32561,kernel=bitmap].secs_per_eval`.
+    pub path: String,
+    /// Which comparison failed.
+    pub kind: MetricKind,
+    /// Baseline value (0 for parity failures).
+    pub baseline: f64,
+    /// Current value (0 for parity failures).
+    pub current: f64,
+    /// `current / baseline` (guarded denominator), 0 for parity.
+    pub ratio: f64,
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Classified metrics compared.
+    pub compared: usize,
+    /// Metrics outside tolerance, worst ratio first.
+    pub regressions: Vec<Regression>,
+    /// Metrics that improved beyond the same tolerance (informational).
+    pub improved: usize,
+    /// Classified baseline metrics missing from the current run.
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// `true` when nothing regressed and no metric disappeared.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+
+    /// Machine-readable verdict consumed by CI.
+    pub fn to_json(&self, tol: &Tolerances) -> String {
+        let regs: Vec<String> = self
+            .regressions
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"path\":\"{}\",\"kind\":\"{}\",\"baseline\":{},\"current\":{},\
+                     \"ratio\":{:.4}}}",
+                    escape(&r.path),
+                    match r.kind {
+                        MetricKind::LowerBetter => "time",
+                        MetricKind::HigherBetter => "rate",
+                        MetricKind::Parity => "parity",
+                    },
+                    r.baseline,
+                    r.current,
+                    r.ratio,
+                )
+            })
+            .collect();
+        let missing: Vec<String> = self
+            .missing
+            .iter()
+            .map(|p| format!("\"{}\"", escape(p)))
+            .collect();
+        format!(
+            "{{\"clean\":{},\"compared\":{},\"improved\":{},\
+             \"tolerances\":{{\"time\":{},\"rate\":{},\"floor\":{}}},\
+             \"regressions\":[{}],\"missing\":[{}]}}",
+            self.is_clean(),
+            self.compared,
+            self.improved,
+            tol.time,
+            tol.rate,
+            tol.floor,
+            regs.join(","),
+            missing.join(","),
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Compares a current bench document against a committed baseline.
+pub fn diff(baseline: &Json, current: &Json, tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk("", baseline, current, tol, &mut report);
+    report.regressions.sort_by(|a, b| {
+        severity(b)
+            .partial_cmp(&severity(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    report
+}
+
+/// Sort key: parity first, then by how far outside tolerance.
+fn severity(r: &Regression) -> f64 {
+    match r.kind {
+        MetricKind::Parity => f64::INFINITY,
+        MetricKind::LowerBetter => r.ratio,
+        MetricKind::HigherBetter => {
+            if r.ratio > 0.0 {
+                1.0 / r.ratio
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn walk(path: &str, base: &Json, cur: &Json, tol: &Tolerances, report: &mut DiffReport) {
+    if let (Some(bobj), Some(cobj)) = (base.as_obj(), cur.as_obj()) {
+        for (key, bval) in bobj {
+            let child = join(path, key);
+            let cval = cobj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            match (classify(key), cval) {
+                (Some(kind), Some(cval)) => compare(&child, kind, bval, cval, tol, report),
+                (Some(_), None) => report.missing.push(child),
+                (None, Some(cval)) => walk(&child, bval, cval, tol, report),
+                (None, None) => {}
+            }
+        }
+    } else if let (Some(barr), Some(carr)) = (base.as_arr(), cur.as_arr()) {
+        for (i, bval) in barr.iter().enumerate() {
+            let id = identity(bval);
+            let (label, cval) = if id.is_empty() {
+                // Scalar or identity-free elements pair up positionally.
+                (format!("{path}[{i}]"), carr.get(i))
+            } else {
+                (
+                    format!("{path}[{id}]"),
+                    carr.iter().find(|c| identity(c) == id),
+                )
+            };
+            match cval {
+                Some(cval) => walk(&label, bval, cval, tol, report),
+                None => {
+                    if has_metrics(bval) {
+                        report.missing.push(label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identity signature of an array element: its string fields plus the
+/// integer cell coordinates (`level`, `candidates`, `rows`, `parents`),
+/// so cells survive reordering between runs.
+fn identity(v: &Json) -> String {
+    let Some(obj) = v.as_obj() else {
+        return String::new();
+    };
+    let mut parts = Vec::new();
+    for (k, val) in obj {
+        if let Some(s) = val.as_str() {
+            parts.push(format!("{k}={s}"));
+        } else if matches!(k.as_str(), "level" | "candidates" | "rows" | "parents") {
+            if let Some(n) = val.as_f64() {
+                parts.push(format!("{k}={n}"));
+            }
+        }
+    }
+    parts.join(",")
+}
+
+/// `true` if the subtree holds any classified metric (drives whether a
+/// vanished array element counts as schema drift).
+fn has_metrics(v: &Json) -> bool {
+    match (v.as_obj(), v.as_arr()) {
+        (Some(obj), _) => obj
+            .iter()
+            .any(|(k, val)| classify(k).is_some() || has_metrics(val)),
+        (None, Some(arr)) => arr.iter().any(has_metrics),
+        _ => false,
+    }
+}
+
+fn compare(
+    path: &str,
+    kind: MetricKind,
+    base: &Json,
+    cur: &Json,
+    tol: &Tolerances,
+    report: &mut DiffReport,
+) {
+    if kind == MetricKind::Parity {
+        report.compared += 1;
+        if cur.as_str() != Some("ok") {
+            report.regressions.push(Regression {
+                path: path.to_string(),
+                kind,
+                baseline: 0.0,
+                current: 0.0,
+                ratio: 0.0,
+            });
+        }
+        return;
+    }
+    let (Some(b), Some(c)) = (base.as_f64(), cur.as_f64()) else {
+        report.missing.push(path.to_string());
+        return;
+    };
+    report.compared += 1;
+    match kind {
+        MetricKind::LowerBetter => {
+            let denom = b.max(tol.floor);
+            let ratio = c / denom;
+            if c > denom * (1.0 + tol.time) {
+                report.regressions.push(Regression {
+                    path: path.to_string(),
+                    kind,
+                    baseline: b,
+                    current: c,
+                    ratio,
+                });
+            } else if c < b * (1.0 - tol.time) {
+                report.improved += 1;
+            }
+        }
+        MetricKind::HigherBetter => {
+            let ratio = if b > 0.0 { c / b } else { 1.0 };
+            if b > 0.0 && c < b * (1.0 - tol.rate) {
+                report.regressions.push(Regression {
+                    path: path.to_string(),
+                    kind,
+                    baseline: b,
+                    current: c,
+                    ratio,
+                });
+            } else if b > 0.0 && c > b * (1.0 + tol.rate) {
+                report.improved += 1;
+            }
+        }
+        MetricKind::Parity => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sliceline_obs::json::parse;
+
+    const SAMPLE: &str = r#"{
+      "bench": "kernel_compare",
+      "threads": 4,
+      "parity": "ok",
+      "warm_speedup": 1.5,
+      "queue": {"jobs": 32, "wall_secs": 0.16, "jobs_per_sec": 195.0},
+      "level2": [
+        {"rows": 32561, "candidates": 64, "kernel": "blocked", "secs_per_eval": 0.011},
+        {"rows": 32561, "candidates": 64, "kernel": "bitmap", "secs_per_eval": 0.0004},
+        {"rows": 130244, "candidates": 256, "kernel": "bitmap", "secs_per_eval": 0.0055}
+      ]
+    }"#;
+
+    fn doc(s: &str) -> Json {
+        parse(s).expect("valid test json")
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let d = doc(SAMPLE);
+        let report = diff(&d, &d, &Tolerances::default());
+        assert!(report.is_clean(), "{report:?}");
+        // parity + warm_speedup + wall_secs + jobs_per_sec + 3 cells.
+        assert_eq!(report.compared, 7);
+        assert_eq!(report.improved, 0);
+        let verdict = report.to_json(&Tolerances::default());
+        assert!(verdict.contains("\"clean\":true"), "{verdict}");
+        doc(&verdict); // round-trips as JSON
+    }
+
+    #[test]
+    fn injected_time_regression_is_flagged() {
+        let base = doc(SAMPLE);
+        let cur = doc(&SAMPLE.replace("\"secs_per_eval\": 0.011", "\"secs_per_eval\": 0.033"));
+        let report = diff(&base, &cur, &Tolerances::default());
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        let r = &report.regressions[0];
+        assert_eq!(r.kind, MetricKind::LowerBetter);
+        assert!(r.path.contains("kernel=blocked"), "{}", r.path);
+        assert!((r.ratio - 3.0).abs() < 1e-9);
+        assert!(!report.is_clean());
+        let verdict = report.to_json(&Tolerances::default());
+        assert!(verdict.contains("\"clean\":false"));
+        assert!(verdict.contains("\"kind\":\"time\""));
+    }
+
+    #[test]
+    fn rate_drop_and_parity_failures_are_flagged() {
+        let base = doc(SAMPLE);
+        let cur = doc(&SAMPLE
+            .replace("\"jobs_per_sec\": 195.0", "\"jobs_per_sec\": 60.0")
+            .replace("\"parity\": \"ok\"", "\"parity\": \"MISMATCH\""));
+        let report = diff(&base, &cur, &Tolerances::default());
+        assert_eq!(report.regressions.len(), 2, "{report:?}");
+        // Parity sorts first (correctness beats any slowdown).
+        assert_eq!(report.regressions[0].kind, MetricKind::Parity);
+        assert_eq!(report.regressions[1].kind, MetricKind::HigherBetter);
+    }
+
+    #[test]
+    fn sub_floor_jitter_is_ignored_but_real_blowups_are_not() {
+        let base = doc(r#"{"tiny_secs": 0.0001}"#);
+        // 4x jitter on a 0.1ms cell stays under the 1ms floor: ignored.
+        let cur = doc(r#"{"tiny_secs": 0.0004}"#);
+        assert!(diff(&base, &cur, &Tolerances::default()).is_clean());
+        // A jump past floor*(1+tol) is real even from a tiny baseline.
+        let cur = doc(r#"{"tiny_secs": 0.05}"#);
+        assert!(!diff(&base, &cur, &Tolerances::default()).is_clean());
+    }
+
+    #[test]
+    fn reordered_cells_match_by_identity_and_vanished_cells_are_drift() {
+        let base = doc(SAMPLE);
+        // Shuffle the array and improve one cell: still clean.
+        let shuffled = doc(&SAMPLE.replace(
+            "{\"rows\": 32561, \"candidates\": 64, \"kernel\": \"blocked\", \"secs_per_eval\": 0.011},\n        {\"rows\": 32561, \"candidates\": 64, \"kernel\": \"bitmap\", \"secs_per_eval\": 0.0004},",
+            "{\"rows\": 32561, \"candidates\": 64, \"kernel\": \"bitmap\", \"secs_per_eval\": 0.0004},\n        {\"rows\": 32561, \"candidates\": 64, \"kernel\": \"blocked\", \"secs_per_eval\": 0.002},",
+        ));
+        let report = diff(&base, &shuffled, &Tolerances::default());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.improved, 1);
+        // Dropping a measured cell is schema drift, not a pass.
+        let truncated = doc(
+            &SAMPLE.replace(
+                ",\n        {\"rows\": 130244, \"candidates\": 256, \"kernel\": \"bitmap\", \"secs_per_eval\": 0.0055}",
+                "",
+            ),
+        );
+        let report = diff(&base, &truncated, &Tolerances::default());
+        assert!(!report.is_clean());
+        assert_eq!(report.missing.len(), 1);
+        assert!(report.missing[0].contains("rows=130244"), "{report:?}");
+    }
+
+    #[test]
+    fn missing_metric_key_is_drift() {
+        let base = doc(r#"{"cold_secs": 0.01, "warm_speedup": 1.2}"#);
+        let cur = doc(r#"{"cold_secs": 0.01}"#);
+        let report = diff(&base, &cur, &Tolerances::default());
+        assert_eq!(report.missing, vec!["warm_speedup".to_string()]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn classify_by_suffix() {
+        assert_eq!(classify("cold_secs"), Some(MetricKind::LowerBetter));
+        assert_eq!(classify("secs_per_eval"), Some(MetricKind::LowerBetter));
+        assert_eq!(classify("spilled_bytes"), Some(MetricKind::LowerBetter));
+        assert_eq!(classify("sharded_speedup"), Some(MetricKind::HigherBetter));
+        assert_eq!(classify("jobs_per_sec"), Some(MetricKind::HigherBetter));
+        assert_eq!(classify("parity"), Some(MetricKind::Parity));
+        assert_eq!(classify("rows"), None);
+        assert_eq!(classify("threads"), None);
+    }
+}

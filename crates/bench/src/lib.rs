@@ -13,6 +13,7 @@
 //! | `figure7` | Fig. 7 — row scalability and parallelization strategies |
 //! | `table2` | Table 2 — CriteoSim enumeration statistics |
 //! | `systems_compare` | §5.4 — optimized vs reference backend vs SliceFinder |
+//! | `bench_diff` | perf-regression gate: fresh run vs committed `BENCH_*.json` ([`diff`]) |
 //!
 //! All binaries accept `--scale <f64>` (row-count multiplier, default 1),
 //! `--seed <u64>`, `--threads <usize>`, and `--paper` (a preset raising
@@ -21,6 +22,10 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod diff;
+
+pub use diff::{diff, DiffReport, MetricKind, Regression, Tolerances};
 
 use sliceline_datagen::{
     adult_like, census_like, covtype_like, criteo_like, kdd98_like, Dataset, GenConfig,

@@ -198,6 +198,13 @@ pub struct ServeArgs {
     /// Shared execution-context thread-pool size (0 = all cores).
     /// Individual jobs can still request fewer threads per query.
     pub threads: usize,
+    /// Per-job latency objective in milliseconds. When set, the daemon
+    /// exports `serve.slo.latency_*` burn-rate gauges (fraction of
+    /// finished jobs over the objective).
+    pub slo_latency_ms: Option<u64>,
+    /// Queue-depth objective observed at submission. When set, the
+    /// daemon exports `serve.slo.queue_*` burn-rate gauges.
+    pub slo_queue_depth: Option<usize>,
 }
 
 impl Default for ServeArgs {
@@ -206,8 +213,21 @@ impl Default for ServeArgs {
             addr: "127.0.0.1:7878".to_string(),
             workers: 0,
             threads: 0,
+            slo_latency_ms: None,
+            slo_queue_depth: None,
         }
     }
+}
+
+/// Arguments of `sliceline metrics-dump`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsDumpArgs {
+    /// Fetch the live `/metrics` snapshot from a running daemon at this
+    /// address (mutually exclusive with `input`).
+    pub addr: Option<String>,
+    /// Convert a JSON metrics artifact from this file instead: either a
+    /// `/metrics` response or a `--metrics-json` manifest.
+    pub input: Option<String>,
 }
 
 /// Parsed command line.
@@ -226,6 +246,8 @@ pub enum Command {
     Generate(GenerateArgs),
     /// Run the multi-tenant slice-finding daemon.
     Serve(ServeArgs),
+    /// Render a metrics snapshot as OpenMetrics text exposition.
+    MetricsDump(MetricsDumpArgs),
     /// Print usage and exit 0.
     Help,
 }
@@ -238,6 +260,8 @@ USAGE:
   sliceline find --input FILE (--label COL | --errors COL) [options]
   sliceline generate [--dataset NAME] [--scale F] [--seed N] [--output FILE]
   sliceline serve [--addr HOST:PORT] [--workers N] [--threads N]
+                  [--slo-latency-ms N] [--slo-queue-depth N]
+  sliceline metrics-dump (--addr HOST:PORT | --input FILE)
   sliceline help
 
 FIND OPTIONS:
@@ -298,12 +322,27 @@ SERVE OPTIONS:
                                                      (default: 0)
   --threads N         shared execution-pool size, 0 = all cores; jobs
                       can still request fewer per query (default: 0)
+  --slo-latency-ms N  per-job latency objective in milliseconds; the
+                      fraction of finished jobs over the objective is
+                      exported as the serve.slo.latency_* gauges
+  --slo-queue-depth N queue-depth objective observed at submission;
+                      exported as the serve.slo.queue_* gauges
   The daemon keeps one warm session per registered dataset (keyed by
   content hash), so repeat queries skip prepare/encode/pack and error
   swaps re-slice without re-encoding. Endpoints: POST /datasets,
   POST /datasets/ID/errors, POST /jobs, GET /jobs/ID,
-  POST /jobs/ID/cancel, GET /metrics, GET /manifest, GET /health,
+  GET /jobs/ID/profile, GET /jobs/ID/trace, POST /jobs/ID/cancel,
+  GET /metrics (JSON; ?format=openmetrics for text exposition),
+  GET /debug/flightrecorder, GET /manifest, GET /health,
   POST /shutdown.
+
+METRICS-DUMP OPTIONS:
+  --addr HOST:PORT    fetch the live snapshot from a running daemon
+  --input FILE        convert a JSON metrics artifact instead: either a
+                      /metrics response or a --metrics-json manifest
+  Exactly one of --addr/--input is required; the OpenMetrics text
+  exposition (counters, gauges, histogram buckets and quantiles) is
+  printed to stdout.
 ";
 
 /// Parses the full argument list (without the program name).
@@ -313,6 +352,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, CliError> {
         Some("find") => Command::Find(parse_find(it)?),
         Some("generate") => Command::Generate(parse_generate(it)?),
         Some("serve") => Command::Serve(parse_serve(it)?),
+        Some("metrics-dump") => Command::MetricsDump(parse_metrics_dump(it)?),
         Some("help") | Some("--help") | Some("-h") | None => Command::Help,
         Some(other) => {
             return Err(CliError::usage(format!(
@@ -478,10 +518,46 @@ fn parse_serve(mut it: impl Iterator<Item = String>) -> Result<ServeArgs, CliErr
             "--threads" => {
                 out.threads = parse_num(&next_value(&mut it, "--threads")?, "--threads")?
             }
+            "--slo-latency-ms" => {
+                out.slo_latency_ms = Some(parse_num(
+                    &next_value(&mut it, "--slo-latency-ms")?,
+                    "--slo-latency-ms",
+                )?)
+            }
+            "--slo-queue-depth" => {
+                out.slo_queue_depth = Some(parse_num(
+                    &next_value(&mut it, "--slo-queue-depth")?,
+                    "--slo-queue-depth",
+                )?)
+            }
             other => return Err(CliError::usage(format!("serve: unknown flag '{other}'"))),
         }
     }
     Ok(out)
+}
+
+fn parse_metrics_dump(mut it: impl Iterator<Item = String>) -> Result<MetricsDumpArgs, CliError> {
+    let mut out = MetricsDumpArgs::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => out.addr = Some(next_value(&mut it, "--addr")?),
+            "--input" => out.input = Some(next_value(&mut it, "--input")?),
+            other => {
+                return Err(CliError::usage(format!(
+                    "metrics-dump: unknown flag '{other}'"
+                )))
+            }
+        }
+    }
+    match (&out.addr, &out.input) {
+        (None, None) => Err(CliError::usage(
+            "metrics-dump: one of --addr or --input is required",
+        )),
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "metrics-dump: --addr and --input are mutually exclusive",
+        )),
+        _ => Ok(out),
+    }
 }
 
 fn parse_generate(mut it: impl Iterator<Item = String>) -> Result<GenerateArgs, CliError> {
@@ -850,6 +926,50 @@ mod tests {
         assert_eq!(cli.command, Command::Serve(ServeArgs::default()));
         assert!(parse(sv(&["serve", "--port", "80"])).is_err());
         assert!(parse(sv(&["serve", "--workers", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_slo_flags() {
+        let cli = parse(sv(&[
+            "serve",
+            "--slo-latency-ms",
+            "250",
+            "--slo-queue-depth",
+            "8",
+        ]))
+        .unwrap();
+        let Command::Serve(s) = cli.command else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.slo_latency_ms, Some(250));
+        assert_eq!(s.slo_queue_depth, Some(8));
+        // Absent flags leave the objectives unset (SLO gauges off).
+        let cli = parse(sv(&["serve"])).unwrap();
+        let Command::Serve(s) = cli.command else {
+            panic!()
+        };
+        assert_eq!(s.slo_latency_ms, None);
+        assert_eq!(s.slo_queue_depth, None);
+        assert!(parse(sv(&["serve", "--slo-latency-ms", "fast"])).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_dump() {
+        let cli = parse(sv(&["metrics-dump", "--addr", "127.0.0.1:7878"])).unwrap();
+        let Command::MetricsDump(d) = cli.command else {
+            panic!("expected metrics-dump")
+        };
+        assert_eq!(d.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert!(d.input.is_none());
+        let cli = parse(sv(&["metrics-dump", "--input", "run.json"])).unwrap();
+        let Command::MetricsDump(d) = cli.command else {
+            panic!()
+        };
+        assert_eq!(d.input.as_deref(), Some("run.json"));
+        // Exactly one source: neither and both are usage errors.
+        assert!(parse(sv(&["metrics-dump"])).is_err());
+        assert!(parse(sv(&["metrics-dump", "--addr", "a:1", "--input", "f.json"])).is_err());
+        assert!(parse(sv(&["metrics-dump", "--format", "json"])).is_err());
     }
 
     #[test]

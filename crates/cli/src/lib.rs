@@ -23,8 +23,10 @@ pub mod args;
 pub mod pipeline;
 pub mod report;
 
-pub use args::{Cli, Command, FindArgs, GenerateArgs, OutputFormat, ServeArgs, TaskKind};
-pub use pipeline::{run_find, run_generate, run_serve};
+pub use args::{
+    Cli, Command, FindArgs, GenerateArgs, MetricsDumpArgs, OutputFormat, ServeArgs, TaskKind,
+};
+pub use pipeline::{run_find, run_generate, run_metrics_dump, run_serve};
 
 /// CLI error: message plus the exit code `main` should use.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! The `sliceline` binary: a thin shim over [`sliceline_cli`].
 
-use sliceline_cli::{args, run_find, run_generate, run_serve, Command};
+use sliceline_cli::{args, run_find, run_generate, run_metrics_dump, run_serve, Command};
 
 fn main() {
     let cli = match args::parse(std::env::args().skip(1)) {
@@ -19,6 +19,7 @@ fn main() {
         Command::Generate(gen_args) => {
             run_generate(gen_args).map(|out| (out, Some(gen_args.output.clone())))
         }
+        Command::MetricsDump(dump_args) => run_metrics_dump(dump_args).map(|out| (out, None)),
         Command::Serve(serve_args) => {
             if let Err(e) = run_serve(serve_args) {
                 eprintln!("{}", e.message);

@@ -2,8 +2,8 @@
 //! report) and `generate` (synthetic dataset → CSV).
 
 use crate::args::{
-    CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, OutputFormat, ServeArgs,
-    SimdChoice, TaskKind,
+    CompactChoice, EnumKernelChoice, FindArgs, GenerateArgs, KernelChoice, MetricsDumpArgs,
+    OutputFormat, ServeArgs, SimdChoice, TaskKind,
 };
 use crate::report;
 use crate::CliError;
@@ -308,6 +308,10 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     let server_config = sliceline_serve::ServerConfig {
         addr: args.addr.clone(),
         workers: args.workers,
+        slo: sliceline_serve::SloConfig {
+            latency_ms: args.slo_latency_ms,
+            queue_depth: args.slo_queue_depth,
+        },
     };
     let server = sliceline_serve::Server::bind(&server_config, config.exec_context())
         .map_err(|e| CliError::runtime(format!("binding {}: {e}", args.addr)))?;
@@ -318,6 +322,56 @@ pub fn run_serve(args: &ServeArgs) -> Result<(), CliError> {
     server
         .run()
         .map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// Runs `sliceline metrics-dump`: converts a metrics snapshot — fetched
+/// live from a daemon's `/metrics` endpoint (`--addr`) or read from a
+/// JSON artifact on disk (`--input`) — into the OpenMetrics text
+/// exposition printed to stdout.
+pub fn run_metrics_dump(args: &MetricsDumpArgs) -> Result<String, CliError> {
+    let body = match (&args.addr, &args.input) {
+        (Some(addr), None) => http_get_body(addr, "/metrics")?,
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?,
+        // The parser enforces exactly one source.
+        _ => return Err(CliError::usage("metrics-dump: one of --addr or --input")),
+    };
+    let doc = sliceline_linalg::json::parse(&body)
+        .map_err(|e| CliError::runtime(format!("parsing metrics JSON: {e}")))?;
+    // A `--metrics-json` manifest nests the registry under "metrics";
+    // a raw `/metrics` response is the registry object itself.
+    let metrics = doc.get("metrics").unwrap_or(&doc);
+    let snapshot =
+        sliceline_linalg::openmetrics::snapshot_from_json(metrics).map_err(CliError::runtime)?;
+    Ok(sliceline_linalg::openmetrics::render(&snapshot))
+}
+
+/// Minimal `GET` over a raw `TcpStream` (the daemon speaks plain
+/// HTTP/1.1 with `Content-Length`-delimited bodies; no client library
+/// is needed just to read one JSON document).
+fn http_get_body(addr: &str, path: &str) -> Result<String, CliError> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::runtime(format!("connecting {addr}: {e}")))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| CliError::runtime(format!("sending request to {addr}: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| CliError::runtime(format!("reading response from {addr}: {e}")))?;
+    let status = response.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(CliError::runtime(format!(
+            "GET {path} from {addr} failed: {status}"
+        )));
+    }
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| CliError::runtime(format!("malformed response from {addr}")))
 }
 
 /// Runs `sliceline generate`, returning the CSV text (the caller writes it
@@ -787,6 +841,66 @@ mod tests {
             ..Default::default()
         };
         assert!(run_find(&args).is_err());
+    }
+
+    #[test]
+    fn metrics_dump_converts_manifest_to_openmetrics() {
+        let path = write_temp("biased_dump.csv", &biased_csv());
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        let manifest_path = dir.join("dump_manifest.json");
+        run_find(&FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            metrics_json: Some(manifest_path.to_string_lossy().into_owned()),
+            ..Default::default()
+        })
+        .unwrap();
+        let out = run_metrics_dump(&MetricsDumpArgs {
+            addr: None,
+            input: Some(manifest_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("# TYPE"), "exposition:\n{out}");
+        assert!(out.ends_with("# EOF\n"), "exposition:\n{out}");
+        assert!(
+            out.contains("core_funnel_evaluated_total"),
+            "exposition:\n{out}"
+        );
+        let violations = sliceline_linalg::openmetrics::lint(&out);
+        assert!(violations.is_empty(), "lint violations: {violations:?}");
+        // Missing files and non-JSON inputs surface as runtime errors.
+        assert!(run_metrics_dump(&MetricsDumpArgs {
+            addr: None,
+            input: Some("/nonexistent/nope.json".to_string()),
+        })
+        .is_err());
+        let bad = write_temp("dump_bad.json", "not json");
+        assert!(run_metrics_dump(&MetricsDumpArgs {
+            addr: None,
+            input: Some(bad.to_string_lossy().into_owned()),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn stats_report_surfaces_trace_drop_gauge() {
+        let path = write_temp("biased_dropgauge.csv", &biased_csv());
+        let out = run_find(&FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            stats: true,
+            ..Default::default()
+        })
+        .unwrap();
+        // The tracer drop counter is surfaced with the other gauges so a
+        // truncated trace is visible from the CLI (0 on a healthy run).
+        assert!(out.contains("obs.trace.dropped_events"), "report:\n{out}");
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub fn render_exec_stats(exec: &sliceline_linalg::ExecStats) -> String {
 
 /// Registry gauge prefixes surfaced in the `--stats` memory section:
 /// resident-set samples, the simulated cluster's virtual exchange clock,
-/// and the out-of-core chunk/spill accounting.
-const STATS_GAUGE_PREFIXES: [&str; 3] = ["obs.mem.", "dist.virtual.", "core.oocore."];
+/// the out-of-core chunk/spill accounting, and the tracer's dropped-event
+/// counter (non-zero means the span buffer truncated the trace).
+const STATS_GAUGE_PREFIXES: [&str; 4] = ["obs.mem.", "dist.virtual.", "core.oocore.", "obs.trace."];
 
 /// Renders the memory and streaming gauges from the metrics registry
 /// (`--stats` section below the execution table). Byte-valued gauges are

@@ -43,7 +43,7 @@
 
 use crate::parallel::ParallelConfig;
 use crate::simd::{self, SimdKernel, SimdLevel};
-use sliceline_obs::{secs, Collector, MergeDelta, MetricsRegistry, Tracer};
+use sliceline_obs::{secs, Collector, FlightRecorder, MergeDelta, MetricsRegistry, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -491,6 +491,7 @@ struct CtxInner {
     pool: BufferPool,
     tracer: Tracer,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
 }
 
 /// Shared execution context threaded through every kernel and level-loop
@@ -578,6 +579,7 @@ impl ExecContext {
                 pool: BufferPool::new(),
                 tracer: Tracer::new(),
                 metrics: MetricsRegistry::new(),
+                flight: FlightRecorder::default(),
             }),
             telemetry: Arc::new(Telemetry::default()),
         }
@@ -876,6 +878,12 @@ impl ExecContext {
         metrics
             .gauge("linalg.simd.level")
             .set(self.simd.code() as f64);
+        // Surface span ring-buffer overflow: a truncated trace must be
+        // visible in `--stats`, the manifest, and `/metrics` instead of
+        // silently missing events.
+        metrics
+            .gauge("obs.trace.dropped_events")
+            .set(self.inner.tracer.dropped() as f64);
         let evaluated = stats.total_evaluated();
         if evaluated > 0 {
             // Only overwrite the cache gauges from a snapshot that saw
@@ -926,6 +934,15 @@ impl ExecContext {
     /// The shared metrics registry backing the run manifest.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// The shared per-job flight recorder. Like the pool and metrics it
+    /// is owned by the root context and shared by every view
+    /// ([`ExecContext::run_scoped`] included), so a record pushed at the
+    /// end of a scoped run stays retrievable from the long-lived serving
+    /// context after the scoped view is dropped.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 }
 
@@ -1221,6 +1238,28 @@ mod tests {
         };
         assert!((get("core.bitmap_cache.hit_rate") - 0.4).abs() < 1e-12);
         assert!(get("linalg.pool.bytes_high_water") >= 800.0);
+        assert_eq!(get("obs.trace.dropped_events"), 0.0);
+    }
+
+    #[test]
+    fn flight_recorder_shared_across_scoped_views() {
+        let ctx = ExecContext::serial();
+        let scoped = ctx.run_scoped();
+        scoped.flight().record(sliceline_obs::FlightRecord {
+            job_id: 42,
+            dataset: "abc".to_string(),
+            outcome: "done".to_string(),
+            error: None,
+            queue_wait_secs: 0.0,
+            run_secs: 0.5,
+            config_json: "null".to_string(),
+            stats_json: "null".to_string(),
+            dropped_events: 0,
+        });
+        drop(scoped);
+        // The record outlives the scoped view: the ring belongs to the
+        // root context.
+        assert_eq!(ctx.flight().get(42).unwrap().run_secs, 0.5);
     }
 
     #[test]

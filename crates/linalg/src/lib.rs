@@ -56,6 +56,9 @@ pub use simd::{SimdKernel, SimdLevel};
 // Observability re-exports so downstream crates can spell tracer/metrics
 // types without depending on `sliceline-obs` directly.
 pub use sliceline_obs::{
-    chrome_trace, sample_rss, secs, ArgValue, Manifest, MetricsRegistry, SpanGuard, TraceEvent,
-    Tracer,
+    chrome_trace, sample_rss, secs, ArgValue, FlightRecord, FlightRecorder, Manifest,
+    MetricsRegistry, SpanGuard, TraceEvent, Tracer,
 };
+// Whole-module re-exports for the JSON helpers and the OpenMetrics
+// renderer/linter (used by `sliceline metrics-dump`).
+pub use sliceline_obs::{json, openmetrics};

@@ -1,0 +1,292 @@
+//! Per-job flight recorder: a bounded ring of recent run records.
+//!
+//! The serving daemon answers "why was job 4182 slow?" *after* the job
+//! finished, without asking the caller to resubmit with `--trace`: every
+//! job executed under a scoped context
+//! ([`ExecContext::run_scoped`](../../sliceline_linalg/struct.ExecContext.html))
+//! pushes one [`FlightRecord`] — query config, dataset hash, the
+//! per-level pruning funnel and counters, queue/run latency, trace-drop
+//! count, and the outcome — into a shared [`FlightRecorder`] ring. The
+//! ring is bounded (default 256 records) so a long-lived daemon holds a
+//! sliding window of recent history at a few KB per record; eviction is
+//! oldest-first.
+//!
+//! Retrieval is by job id (`GET /jobs/<id>/profile`) or newest-first
+//! dump (`GET /debug/flightrecorder`). Records survive until evicted, so
+//! a job remains diagnosable after its HTTP status has been polled and
+//! forgotten. Capture is cheap (one mutex push of pre-rendered strings,
+//! far off the kernel hot path) and unconditional — unlike span tracing
+//! it needs no opt-in flag to stay inside the <2% observability budget.
+
+use crate::json::escape;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity: enough recent history to debug a busy daemon
+/// without unbounded growth (~few KB per record).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One completed (or failed) job run, frozen for post-hoc inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Job id (serve queue id, or a caller-chosen id for CLI runs).
+    pub job_id: u64,
+    /// Dataset content hash / registry id the job ran against.
+    pub dataset: String,
+    /// Terminal state: `"done"` or `"failed"`.
+    pub outcome: String,
+    /// Error message when the outcome is `"failed"`.
+    pub error: Option<String>,
+    /// Seconds between submission and a worker claiming the job.
+    pub queue_wait_secs: f64,
+    /// Seconds of actual execution.
+    pub run_secs: f64,
+    /// Raw JSON object describing the query configuration; `"null"`
+    /// when unknown. Spliced verbatim into the record's JSON.
+    pub config_json: String,
+    /// Raw JSON with the per-level funnel and execution counters (the
+    /// `ExecStats::to_json` document); `"null"` when stats were off.
+    pub stats_json: String,
+    /// Span events dropped by the tracer ring during this run's window.
+    pub dropped_events: u64,
+}
+
+impl FlightRecord {
+    /// Renders the record as a JSON object. `seq` is the recorder's
+    /// monotone capture sequence (newest = highest).
+    fn to_json(&self, seq: u64) -> String {
+        let error = match &self.error {
+            Some(e) => format!("\"{}\"", escape(e)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seq\":{seq},\"job_id\":{},\"dataset\":\"{}\",\"outcome\":\"{}\",\
+             \"error\":{error},\"queue_wait_secs\":{},\"run_secs\":{},\
+             \"dropped_events\":{},\"config\":{},\"stats\":{}}}",
+            self.job_id,
+            escape(&self.dataset),
+            escape(&self.outcome),
+            finite(self.queue_wait_secs),
+            finite(self.run_secs),
+            self.dropped_events,
+            null_if_empty(&self.config_json),
+            null_if_empty(&self.stats_json),
+        )
+    }
+}
+
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn null_if_empty(raw: &str) -> &str {
+    if raw.trim().is_empty() {
+        "null"
+    } else {
+        raw
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ring: VecDeque<(u64, FlightRecord)>,
+    next_seq: u64,
+}
+
+/// Bounded ring of [`FlightRecord`]s, shared across context views.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// `true` when no record has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever captured (monotone, survives eviction).
+    pub fn captured(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Pushes a record, evicting the oldest when full.
+    pub fn record(&self, record: FlightRecord) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back((seq, record));
+    }
+
+    /// The most recent record for `job_id`, if still in the ring.
+    pub fn get(&self, job_id: u64) -> Option<FlightRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .ring
+            .iter()
+            .rev()
+            .find(|(_, r)| r.job_id == job_id)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// JSON object for `job_id`'s record, if present.
+    pub fn get_json(&self, job_id: u64) -> Option<String> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .ring
+            .iter()
+            .rev()
+            .find(|(_, r)| r.job_id == job_id)
+            .map(|(seq, r)| r.to_json(*seq))
+    }
+
+    /// The last `n` records, newest first.
+    pub fn last(&self, n: usize) -> Vec<FlightRecord> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .ring
+            .iter()
+            .rev()
+            .take(n)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// JSON dump of the last `n` records (newest first) with ring
+    /// bookkeeping, for `GET /debug/flightrecorder`.
+    pub fn to_json(&self, n: usize) -> String {
+        let inner = self.inner.lock().unwrap();
+        let records: Vec<String> = inner
+            .ring
+            .iter()
+            .rev()
+            .take(n)
+            .map(|(seq, r)| r.to_json(*seq))
+            .collect();
+        format!(
+            "{{\"capacity\":{},\"captured\":{},\"resident\":{},\"records\":[{}]}}",
+            self.capacity,
+            inner.next_seq,
+            inner.ring.len(),
+            records.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job_id: u64, outcome: &str) -> FlightRecord {
+        FlightRecord {
+            job_id,
+            dataset: format!("ds{job_id}"),
+            outcome: outcome.to_string(),
+            error: (outcome == "failed").then(|| "boom".to_string()),
+            queue_wait_secs: 0.001,
+            run_secs: 0.125,
+            config_json: "{\"k\":4}".to_string(),
+            stats_json: "{\"levels\":[]}".to_string(),
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence() {
+        let rec = FlightRecorder::new(3);
+        for id in 0..5 {
+            rec.record(record(id, "done"));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.captured(), 5);
+        // Jobs 0 and 1 were evicted; 2..=4 remain.
+        assert!(rec.get(0).is_none());
+        assert!(rec.get(1).is_none());
+        assert_eq!(rec.get(4).unwrap().dataset, "ds4");
+        let last = rec.last(10);
+        let ids: Vec<u64> = last.iter().map(|r| r.job_id).collect();
+        assert_eq!(ids, vec![4, 3, 2], "newest first");
+    }
+
+    #[test]
+    fn retrieval_after_completion_returns_full_record() {
+        let rec = FlightRecorder::default();
+        rec.record(record(7, "failed"));
+        let r = rec.get(7).expect("record retained after completion");
+        assert_eq!(r.outcome, "failed");
+        assert_eq!(r.error.as_deref(), Some("boom"));
+        let json = rec.get_json(7).unwrap();
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(
+            parsed.get("dataset").unwrap().as_str(),
+            Some("ds7"),
+            "{json}"
+        );
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("boom"));
+        assert_eq!(
+            parsed.get("config").unwrap().get("k").unwrap().as_u64(),
+            Some(4)
+        );
+        assert!(parsed.get("stats").unwrap().get("levels").is_some());
+    }
+
+    #[test]
+    fn dump_json_is_parseable_and_bounded() {
+        let rec = FlightRecorder::new(2);
+        rec.record(record(1, "done"));
+        rec.record(record(2, "done"));
+        rec.record(record(3, "done"));
+        let json = rec.to_json(16);
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert_eq!(parsed.get("capacity").unwrap().as_u64(), Some(2));
+        assert_eq!(parsed.get("captured").unwrap().as_u64(), Some(3));
+        let records = parsed.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].get("job_id").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn empty_stats_renders_null() {
+        let rec = FlightRecorder::default();
+        let mut r = record(1, "done");
+        r.stats_json = String::new();
+        r.error = None;
+        rec.record(r);
+        let json = rec.get_json(1).unwrap();
+        let parsed = crate::json::parse(&json).expect("valid json");
+        assert!(parsed.get("stats").unwrap().as_obj().is_none());
+        assert!(parsed.get("error").unwrap().as_str().is_none());
+    }
+}

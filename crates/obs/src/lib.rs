@@ -22,8 +22,12 @@
 //!
 //! Exporters ([`export`]) render the collected data as Chrome trace-event
 //! JSON (loadable in Perfetto / `chrome://tracing`) and as a run
-//! [`Manifest`] for bench trajectory tracking. [`json`] is a minimal JSON
-//! parser used by schema tests and the `trace_check` CI gate.
+//! [`Manifest`] for bench trajectory tracking; [`openmetrics`] renders a
+//! registry snapshot as an OpenMetrics/Prometheus text exposition (and
+//! lints one). [`flight`] keeps a bounded ring of per-job
+//! [`FlightRecord`](flight::FlightRecord)s so the serving daemon can
+//! explain a slow or failed job after the fact. [`json`] is a minimal
+//! JSON parser used by schema tests and the `trace_check` CI gate.
 //!
 //! # Snapshot contract
 //!
@@ -43,15 +47,18 @@
 
 pub mod collect;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod mem;
 pub mod metrics;
+pub mod openmetrics;
 pub mod tracer;
 
 pub use collect::{Collector, MergeDelta};
 pub use export::{chrome_trace, Manifest};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use mem::{current_rss_bytes, sample_rss};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry};
 pub use tracer::{ArgValue, EventKind, SpanGuard, TraceEvent, Tracer};
 
 use std::time::Duration;

@@ -137,6 +137,43 @@ impl Histogram {
         }
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the containing log2 bucket. Bucket 0 holds
+    /// exactly `{0}`; bucket `i` spans `[2^(i-1), 2^i - 1]`, so the
+    /// estimate is exact to within one bucket width — the same
+    /// resolution the histogram stores. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample that realises the quantile, 1-based
+        // (nearest-rank definition, matching a sorted-sample oracle).
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let hi = ((1u128 << i) as u64 - 1) as f64;
+                let frac = (rank - cum) as f64 / n as f64;
+                return lo + (hi - lo) * frac;
+            }
+            cum += n;
+        }
+        // Unreachable when count/buckets are consistent; fall back to
+        // the largest representable bucket bound.
+        ((1u128 << (HIST_BUCKETS - 1)) as u64 - 1) as f64
+    }
+
     /// `(bucket_upper_bound, count)` for each non-empty bucket.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -157,6 +194,38 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+}
+
+/// Point-in-time value of one registered metric, decoupled from the
+/// live atomics so renderers (JSON, OpenMetrics) can walk a consistent
+/// view without holding the registry lock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram state: exact count/sum, the non-empty log2 buckets
+/// as `(upper_bound, count)` pairs, and interpolated quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
 }
 
 /// Registry of named metrics. Cloning shares the underlying map; metric
@@ -216,15 +285,45 @@ impl MetricsRegistry {
     }
 
     /// Sorted `(name, value)` view with histograms flattened to their
-    /// mean; used by the human `--stats` rendering.
+    /// mean plus synthetic `name.p50`/`name.p95`/`name.p99` quantile
+    /// entries; used by the human `--stats` rendering.
     pub fn flat_values(&self) -> Vec<(String, f64)> {
+        let map = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(map.len());
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => out.push((name.clone(), c.value() as f64)),
+                Metric::Gauge(g) => out.push((name.clone(), g.value())),
+                Metric::Histogram(h) => {
+                    out.push((name.clone(), h.mean()));
+                    out.push((format!("{name}.p50"), h.quantile(0.50)));
+                    out.push((format!("{name}.p95"), h.quantile(0.95)));
+                    out.push((format!("{name}.p99"), h.quantile(0.99)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Consistent point-in-time snapshot of every registered metric,
+    /// sorted by name. This is the input to the OpenMetrics renderer
+    /// and the flight recorder — both walk plain data instead of live
+    /// atomics.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
         let map = self.inner.lock().unwrap();
         map.iter()
             .map(|(name, m)| {
                 let v = match m {
-                    Metric::Counter(c) => c.value() as f64,
-                    Metric::Gauge(g) => g.value(),
-                    Metric::Histogram(h) => h.mean(),
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.nonzero_buckets(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                        p99: h.quantile(0.99),
+                    }),
                 };
                 (name.clone(), v)
             })
@@ -258,10 +357,13 @@ impl MetricsRegistry {
                         .map(|(le, n)| format!("{{\"le\":{le},\"count\":{n}}}"))
                         .collect();
                     out.push_str(&format!(
-                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[{}]}}",
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
                         h.count(),
                         h.sum(),
                         h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
                         buckets.join(",")
                     ));
                 }
@@ -367,9 +469,124 @@ mod tests {
         reg.gauge("g").set(1.25);
         reg.histogram("h").record(10);
         let flat = reg.flat_values();
-        assert_eq!(flat.len(), 3);
+        // 1 counter + 1 gauge + histogram mean + p50/p95/p99.
+        assert_eq!(flat.len(), 6);
         assert!(flat.contains(&("c".to_string(), 3.0)));
         assert!(flat.contains(&("g".to_string(), 1.25)));
         assert!(flat.contains(&("h".to_string(), 10.0)));
+        assert!(flat.iter().any(|(n, _)| n == "h.p50"));
+        assert!(flat.iter().any(|(n, _)| n == "h.p99"));
+    }
+
+    #[test]
+    fn snapshot_freezes_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(2);
+        reg.gauge("g").set(0.5);
+        let h = reg.histogram("h");
+        h.record(4);
+        h.record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0], ("c".to_string(), MetricValue::Counter(2)));
+        assert_eq!(snap[1], ("g".to_string(), MetricValue::Gauge(0.5)));
+        match &snap[2].1 {
+            MetricValue::Histogram(hs) => {
+                assert_eq!(hs.count, 2);
+                assert_eq!(hs.sum, 104);
+                assert_eq!(hs.buckets.len(), 2);
+                assert!(hs.p50 > 0.0 && hs.p99 >= hs.p50);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantile_empty_and_degenerate() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_hits_containing_bucket_exactly() {
+        let h = Histogram::default();
+        // 90 small samples (bucket of value 1) and 10 large (value 1000).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        // p50 must land in value-1's bucket [1,1]; interpolation is
+        // exact there because lo == hi.
+        assert_eq!(h.quantile(0.50), 1.0);
+        // p95+ must land in 1000's bucket [512, 1023].
+        for q in [0.95, 0.99] {
+            let v = h.quantile(q);
+            assert!((512.0..=1023.0).contains(&v), "q={q} -> {v}");
+        }
+    }
+
+    /// Minimal xorshift64* generator so the property test below needs no
+    /// external crate (the workspace is dependency-free by policy).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    /// Property: for random sample sets, every interpolated quantile
+    /// falls inside the log2 bucket that contains the nearest-rank
+    /// sorted-sample oracle value — i.e. the estimate is never off by
+    /// more than the histogram's own storage resolution, including
+    /// exactly at bucket boundaries (powers of two).
+    #[test]
+    fn quantile_matches_sorted_oracle_within_bucket() {
+        let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+        for case in 0..200 {
+            let n = 1 + (rng.next() % 300) as usize;
+            let h = Histogram::default();
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix of magnitudes, deliberately including exact
+                // powers of two (bucket boundaries) and zero.
+                let v = match rng.next() % 5 {
+                    0 => 0,
+                    1 => 1u64 << (rng.next() % 20),
+                    2 => (1u64 << (rng.next() % 20)) - 1,
+                    3 => rng.next() % 1000,
+                    _ => rng.next() % 1_000_000,
+                };
+                samples.push(v);
+                h.record(v);
+            }
+            samples.sort_unstable();
+            for &q in &[0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let oracle = samples[rank - 1];
+                let est = h.quantile(q);
+                // Same-bucket check: [2^(b-1), 2^b - 1] around the oracle.
+                let (lo, hi) = if oracle == 0 {
+                    (0.0, 0.0)
+                } else {
+                    let b = 64 - oracle.leading_zeros();
+                    ((1u64 << (b - 1)) as f64, ((1u128 << b) as u64 - 1) as f64)
+                };
+                assert!(
+                    est >= lo && est <= hi,
+                    "case {case}: q={q} oracle={oracle} bucket=[{lo},{hi}] est={est} n={n}"
+                );
+            }
+        }
     }
 }

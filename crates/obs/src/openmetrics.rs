@@ -1,0 +1,558 @@
+//! OpenMetrics/Prometheus text exposition for the metrics registry.
+//!
+//! The registry's dot-separated names (`serve.jobs.run_micros`) map to
+//! underscore families (`serve_jobs_run_micros`). Per-tenant labels ride
+//! inside the registry name after a `#` separator as comma-joined
+//! `key=value` pairs (`serve.jobs.run_micros#dataset=ab12cd`): the
+//! registry itself stays a flat string-keyed map (no allocation or label
+//! hashing on the hot path) and the renderer splits the suffix into
+//! proper `{key="value"}` label sets at exposition time. Counters gain
+//! the `_total` suffix, histograms expand into cumulative
+//! `_bucket{le="..."}`/`_sum`/`_count` series plus `_p50`/`_p95`/`_p99`
+//! gauge families interpolated from the log2 buckets, and the exposition
+//! ends with the `# EOF` terminator the OpenMetrics spec requires.
+//!
+//! [`lint`] validates an exposition against the subset of the spec we
+//! emit (HELP/TYPE preceding samples, label quoting, monotone cumulative
+//! buckets terminated by `+Inf` that agrees with `_count`); it backs the
+//! `trace_check --openmetrics` CI gate and the serve integration test.
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Content-Type for the OpenMetrics exposition format.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// One family: a metric kind plus its series keyed by rendered label set.
+struct Family {
+    kind: &'static str,
+    series: Vec<(String, MetricValue)>,
+}
+
+/// Splits a registry name into `(family, label_set)`; the label set is
+/// the rendered `{k="v",...}` block or an empty string.
+fn split_labels(name: &str) -> (String, String) {
+    match name.split_once('#') {
+        None => (sanitize(name), String::new()),
+        Some((base, labels)) => {
+            let rendered: Vec<String> = labels
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                    format!("{}=\"{}\"", sanitize(k), escape_label(v))
+                })
+                .collect();
+            if rendered.is_empty() {
+                (sanitize(base), String::new())
+            } else {
+                (sanitize(base), format!("{{{}}}", rendered.join(",")))
+            }
+        }
+    }
+}
+
+/// Maps a dotted registry name to a valid OpenMetrics name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the spec: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "0".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a registry snapshot (from
+/// [`MetricsRegistry::snapshot`](crate::metrics::MetricsRegistry::snapshot))
+/// as an OpenMetrics text exposition.
+pub fn render(snapshot: &[(String, MetricValue)]) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for (name, value) in snapshot {
+        let (base, labels) = split_labels(name);
+        // Quantiles become sibling gauge families so scrapers that only
+        // understand flat gauges still see the latency percentiles.
+        if let MetricValue::Histogram(h) = value {
+            for (suffix, q) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                families
+                    .entry(format!("{base}_{suffix}"))
+                    .or_insert_with(|| Family {
+                        kind: "gauge",
+                        series: Vec::new(),
+                    })
+                    .series
+                    .push((labels.clone(), MetricValue::Gauge(q)));
+            }
+        }
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        let fam = families.entry(base).or_insert_with(|| Family {
+            kind,
+            series: Vec::new(),
+        });
+        if fam.kind != kind {
+            // A labelled variant whose kind disagrees with an existing
+            // family would produce an invalid exposition; skip it.
+            continue;
+        }
+        fam.series.push((labels, value.clone()));
+    }
+
+    let mut out = String::new();
+    for (name, fam) in &families {
+        let _ = writeln!(out, "# HELP {name} sliceline metric {name}");
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+        for (labels, value) in &fam.series {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name}_total{labels} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{labels} {}", fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => render_histogram(&mut out, name, labels, h),
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    // `labels` is either empty or "{k=\"v\",...}"; the `le` label must
+    // be merged inside the braces.
+    let le_labels = |le: &str| -> String {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+        }
+    };
+    let mut cum = 0u64;
+    for (upper, count) in &h.buckets {
+        cum += count;
+        let _ = writeln!(out, "{name}_bucket{} {cum}", le_labels(&upper.to_string()));
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", le_labels("+Inf"), h.count);
+    let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+}
+
+/// Rebuilds a snapshot from the registry's JSON document (the
+/// `/metrics` JSON response or a `--metrics-json` manifest `metrics`
+/// object) so `sliceline metrics-dump` can convert offline artifacts.
+pub fn snapshot_from_json(doc: &Json) -> Result<Vec<(String, MetricValue)>, String> {
+    let obj = doc.as_obj().ok_or("metrics document is not an object")?;
+    let mut out = Vec::with_capacity(obj.len());
+    for (name, m) in obj {
+        let kind = m
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("metric {name:?} missing \"type\""))?;
+        let value = match kind {
+            "counter" => MetricValue::Counter(
+                m.get("value")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("counter {name:?} missing value"))?,
+            ),
+            "gauge" => MetricValue::Gauge(
+                m.get("value")
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("gauge {name:?} missing value"))?,
+            ),
+            "histogram" => {
+                let buckets = m
+                    .get("buckets")
+                    .and_then(|b| b.as_arr())
+                    .ok_or_else(|| format!("histogram {name:?} missing buckets"))?
+                    .iter()
+                    .map(|b| {
+                        let le = b.get("le").and_then(|v| v.as_u64());
+                        let count = b.get("count").and_then(|v| v.as_u64());
+                        match (le, count) {
+                            (Some(le), Some(count)) => Ok((le, count)),
+                            _ => Err(format!("histogram {name:?} has malformed bucket")),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let q = |key: &str| m.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                MetricValue::Histogram(HistogramSnapshot {
+                    count: m.get("count").and_then(|v| v.as_u64()).unwrap_or(0),
+                    sum: m.get("sum").and_then(|v| v.as_u64()).unwrap_or(0),
+                    buckets,
+                    p50: q("p50"),
+                    p95: q("p95"),
+                    p99: q("p99"),
+                })
+            }
+            other => return Err(format!("metric {name:?} has unknown type {other:?}")),
+        };
+        out.push((name.clone(), value));
+    }
+    Ok(out)
+}
+
+/// Validates an exposition against the subset of OpenMetrics we emit.
+/// Returns the list of violations (empty = clean).
+pub fn lint(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeMap<String, bool> = BTreeMap::new();
+    // (family + non-le labels) -> (cumulative counts in order, saw +Inf,
+    // +Inf count)
+    let mut buckets: BTreeMap<String, (Vec<u64>, bool, u64)> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut saw_eof = false;
+    let mut last_nonempty = "";
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        last_nonempty = line;
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() {
+                errors.push(format!("line {n}: HELP without a metric name"));
+            }
+            helped.insert(name.to_string(), true);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "info") {
+                errors.push(format!("line {n}: TYPE {name} has unknown kind {kind:?}"));
+            }
+            if !helped.contains_key(name) {
+                errors.push(format!("line {n}: TYPE {name} not preceded by HELP"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment
+        }
+        // Sample line: name[{labels}] value
+        let (name_labels, value_str) = match line.rsplit_once(' ') {
+            Some(x) => x,
+            None => {
+                errors.push(format!("line {n}: sample has no value: {line:?}"));
+                continue;
+            }
+        };
+        if value_str.parse::<f64>().is_err() {
+            errors.push(format!("line {n}: non-numeric value {value_str:?}"));
+            continue;
+        }
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels, None),
+            Some((name, rest)) => match rest.strip_suffix('}') {
+                Some(inner) => (name, Some(inner)),
+                None => {
+                    errors.push(format!("line {n}: unterminated label set: {line:?}"));
+                    continue;
+                }
+            },
+        };
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            errors.push(format!("line {n}: invalid metric name {name:?}"));
+        }
+        let mut le: Option<String> = None;
+        let mut other_labels = Vec::new();
+        if let Some(inner) = labels {
+            for err in check_labels(inner, &mut le, &mut other_labels) {
+                errors.push(format!("line {n}: {err}"));
+            }
+        }
+        // Resolve the family this sample belongs to.
+        let family = resolve_family(name, &types);
+        match family {
+            None => errors.push(format!(
+                "line {n}: sample {name} has no preceding TYPE for its family"
+            )),
+            Some((fam, kind)) => {
+                if kind == "counter" && !name.ends_with("_total") {
+                    errors.push(format!(
+                        "line {n}: counter sample {name} must end with _total"
+                    ));
+                }
+                if kind == "histogram" && name == format!("{fam}_bucket") {
+                    let series_key = format!("{fam}|{}", other_labels.join(","));
+                    let entry = buckets.entry(series_key).or_insert((Vec::new(), false, 0));
+                    let count = value_str.parse::<f64>().unwrap_or(0.0) as u64;
+                    match le.as_deref() {
+                        None => {
+                            errors.push(format!("line {n}: {name} bucket sample missing le label"))
+                        }
+                        Some("+Inf") => {
+                            entry.1 = true;
+                            entry.2 = count;
+                            entry.0.push(count);
+                        }
+                        Some(_) => {
+                            if entry.1 {
+                                errors
+                                    .push(format!("line {n}: bucket after +Inf in {name} series"));
+                            }
+                            entry.0.push(count);
+                        }
+                    }
+                }
+                if kind == "histogram" && name == format!("{fam}_count") {
+                    let series_key = format!("{fam}|{}", other_labels.join(","));
+                    counts.insert(series_key, value_str.parse::<f64>().unwrap_or(0.0) as u64);
+                }
+            }
+        }
+    }
+
+    for (key, (series, saw_inf, inf_count)) in &buckets {
+        if !saw_inf {
+            errors.push(format!("bucket series {key} missing le=\"+Inf\""));
+        }
+        if series.windows(2).any(|w| w[0] > w[1]) {
+            errors.push(format!("bucket series {key} is not monotone: {series:?}"));
+        }
+        if let Some(total) = counts.get(key) {
+            if saw_inf == &true && inf_count != total {
+                errors.push(format!(
+                    "bucket series {key}: +Inf count {inf_count} != _count {total}"
+                ));
+            }
+        } else {
+            errors.push(format!("bucket series {key} has no matching _count sample"));
+        }
+    }
+    if !saw_eof {
+        errors.push("exposition missing # EOF terminator".to_string());
+    } else if last_nonempty != "# EOF" {
+        errors.push("# EOF is not the final line".to_string());
+    }
+    errors
+}
+
+/// Checks one label block body (`k="v",k2="v2"`); appends the `le`
+/// value and the remaining labels for series keying.
+fn check_labels(inner: &str, le: &mut Option<String>, rest: &mut Vec<String>) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            errors.push(format!("malformed label pair near {key:?}"));
+            return errors;
+        }
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            errors.push(format!("invalid label name {key:?}"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        errors.push(format!("bad escape {other:?} in label {key:?}"));
+                    }
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            errors.push(format!("unterminated label value for {key:?}"));
+            return errors;
+        }
+        if key == "le" {
+            *le = Some(value);
+        } else {
+            rest.push(format!("{key}={value}"));
+        }
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(c) => {
+                errors.push(format!("unexpected {c:?} after label {key:?}"));
+                return errors;
+            }
+        }
+    }
+    errors
+}
+
+/// Maps a sample name to `(family, kind)` using the declared TYPE map:
+/// exact match, `_total` for counters, `_bucket`/`_sum`/`_count` for
+/// histograms.
+fn resolve_family<'a>(
+    name: &str,
+    types: &'a BTreeMap<String, String>,
+) -> Option<(&'a str, &'a str)> {
+    if let Some((k, v)) = types.get_key_value(name) {
+        // Exact family-name match; for counters the caller still flags
+        // the missing `_total` suffix.
+        return Some((k.as_str(), v.as_str()));
+    }
+    for suffix in ["_total", "_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some((k, v)) = types.get_key_value(base) {
+                let ok = match suffix {
+                    "_total" => v == "counter",
+                    _ => v == "histogram",
+                };
+                if ok {
+                    return Some((k.as_str(), v.as_str()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.jobs.completed").add(3);
+        reg.counter("serve.jobs.completed#dataset=ab12").add(2);
+        reg.gauge("serve.queue.depth").set(1.0);
+        let h = reg.histogram("serve.jobs.run_micros#dataset=ab12");
+        for v in [120, 480, 900, 15_000] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn render_passes_own_lint() {
+        let text = render(&sample_registry().snapshot());
+        let errors = lint(&text);
+        assert!(errors.is_empty(), "lint errors: {errors:?}\n{text}");
+        assert!(text.contains("serve_jobs_completed_total 3"));
+        assert!(text.contains("serve_jobs_completed_total{dataset=\"ab12\"} 2"));
+        assert!(text.contains("serve_jobs_run_micros_bucket{dataset=\"ab12\",le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_jobs_run_micros_sum{dataset=\"ab12\"} 16500"));
+        assert!(text.contains("# TYPE serve_jobs_run_micros_p99 gauge"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_monotone() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let text = render(&reg.snapshot());
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("h_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(*bucket_counts.last().unwrap(), 3);
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c#path=a\"b\\c").inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\"} 1"));
+        assert!(lint(&text).is_empty(), "{:?}", lint(&text));
+    }
+
+    #[test]
+    fn lint_catches_violations() {
+        // No EOF.
+        assert!(!lint("# HELP x x\n# TYPE x gauge\nx 1\n").is_empty());
+        // Sample without TYPE.
+        let errs = lint("y 1\n# EOF\n");
+        assert!(errs.iter().any(|e| e.contains("no preceding TYPE")));
+        // Non-monotone buckets.
+        let text = "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n# EOF\n";
+        let errs = lint(text);
+        assert!(errs.iter().any(|e| e.contains("not monotone")), "{errs:?}");
+        // +Inf disagrees with _count.
+        let text =
+            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n# EOF\n";
+        let errs = lint(text);
+        assert!(errs.iter().any(|e| e.contains("!= _count")), "{errs:?}");
+        // Counter sample missing _total.
+        let text = "# HELP c c\n# TYPE c counter\nc 1\n# EOF\n";
+        let errs = lint(text);
+        assert!(errs.iter().any(|e| e.contains("_total")), "{errs:?}");
+    }
+
+    #[test]
+    fn json_roundtrip_renders_clean() {
+        let reg = sample_registry();
+        let doc = crate::json::parse(&reg.to_json()).expect("registry json");
+        let snap = snapshot_from_json(&doc).expect("snapshot from json");
+        let text = render(&snap);
+        assert!(lint(&text).is_empty(), "{:?}", lint(&text));
+        assert!(text.contains("serve_jobs_completed_total 3"));
+    }
+}

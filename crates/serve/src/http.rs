@@ -11,19 +11,26 @@
 //! | `GET /datasets`          | —                                      | registered dataset ids |
 //! | `POST /datasets`         | `{"path", "errors", "bins"?, "drop"?}` | load a CSV from the server's disk, register a session, return its id |
 //! | `POST /datasets/ID/errors` | `{"path", "errors"}`                 | swap the error vector (delta re-slicing) |
-//! | `POST /jobs`             | `{"dataset", "k"?, "sigma"?, ...}`     | enqueue a query, return the job id |
+//! | `POST /jobs`             | `{"dataset", "k"?, "sigma"?, "trace"?, ...}` | enqueue a query, return the job id |
 //! | `GET /jobs/ID`           | —                                      | job state + result when done |
+//! | `GET /jobs/ID/profile`   | —                                      | flight record of a finished job (funnel, counters, latency, outcome) |
+//! | `GET /jobs/ID/trace`     | —                                      | Chrome trace of a job submitted with `"trace": true` |
+//! | `GET /debug/flightrecorder` | —                                   | last N flight records, newest first (`?n=` caps the dump) |
 //! | `POST /jobs/ID/cancel`   | —                                      | cancel a queued job |
 //! | `POST /shutdown`         | —                                      | stop the accept loop |
+//!
+//! `GET /metrics?format=openmetrics` switches the metrics snapshot to
+//! the OpenMetrics text exposition (quantile gauges, cumulative
+//! `_bucket` series, per-dataset labels); the default stays JSON.
 
-use crate::jobs::{JobQueue, JobStatus};
+use crate::jobs::{JobQueue, JobStatus, SloConfig};
 use crate::registry::DatasetRegistry;
 use crate::ServeError;
 use sliceline::{CompactKernel, EnumKernel, EvalKernel, MinSupport, SliceLineConfig, SliceQuery};
 use sliceline_frame::{csv::read_csv_file, Column, DatasetEncoder, IntMatrix};
 use sliceline_linalg::ExecContext;
 use sliceline_obs::json::{escape, parse, Json};
-use sliceline_obs::Manifest;
+use sliceline_obs::{openmetrics, Manifest};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -36,6 +43,9 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads executing jobs (0 = one per core).
     pub workers: usize,
+    /// Latency/queue-depth objectives; burn-rate gauges appear in
+    /// `/metrics` and the manifest when set.
+    pub slo: SloConfig,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +53,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 0,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -53,6 +64,7 @@ pub struct Server {
     queue: JobQueue,
     listener: TcpListener,
     stop: AtomicBool,
+    slo: SloConfig,
 }
 
 impl std::fmt::Debug for Server {
@@ -82,12 +94,13 @@ impl Server {
             config.workers
         };
         let registry = Arc::new(DatasetRegistry::new(exec));
-        let queue = JobQueue::new(Arc::clone(&registry), workers);
+        let queue = JobQueue::with_slo(Arc::clone(&registry), workers, config.slo);
         Ok(Server {
             registry,
             queue,
             listener,
             stop: AtomicBool::new(false),
+            slo: config.slo,
         })
     }
 
@@ -129,14 +142,20 @@ impl Server {
             .inc();
         let request = match read_request(&mut stream) {
             Ok(r) => r,
-            Err(e) => return write_response(&mut stream, 400, &error_json(&e)),
+            Err(e) => return write_response(&mut stream, 400, &error_json(&e), JSON_TYPE),
         };
-        let (status, body) = self.route(&request);
-        write_response(&mut stream, status, &body)
+        let (status, body, content_type) = self.route(&request);
+        write_response(&mut stream, status, &body, content_type)
     }
 
-    fn route(&self, req: &Request) -> (u16, String) {
-        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    fn route(&self, req: &Request) -> (u16, String, &'static str) {
+        // Split off the query string before segmenting the path.
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (req.path.as_str(), ""),
+        };
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut content_type = JSON_TYPE;
         let result = match (req.method.as_str(), segments.as_slice()) {
             ("GET", ["health"]) => Ok("{\"ok\":true}".to_string()),
             ("GET", ["metrics"]) => {
@@ -146,7 +165,14 @@ impl Server {
                 // snapshot.
                 let _ = self.registry.exec().exec_stats();
                 let _ = sliceline_linalg::sample_rss(self.registry.exec().metrics());
-                Ok(self.registry.exec().metrics().to_json())
+                if query_param(query, "format") == Some("openmetrics") {
+                    content_type = openmetrics::CONTENT_TYPE;
+                    Ok(openmetrics::render(
+                        &self.registry.exec().metrics().snapshot(),
+                    ))
+                } else {
+                    Ok(self.registry.exec().metrics().to_json())
+                }
             }
             ("GET", ["manifest"]) => Ok(self.manifest().to_json()),
             ("GET", ["datasets"]) => Ok(format!(
@@ -162,6 +188,14 @@ impl Server {
             ("POST", ["datasets", id, "errors"]) => self.swap_errors(id, &req.body),
             ("POST", ["jobs"]) => self.submit_job(&req.body),
             ("GET", ["jobs", id]) => self.job_status(id),
+            ("GET", ["jobs", id, "profile"]) => self.job_profile(id),
+            ("GET", ["jobs", id, "trace"]) => self.job_trace(id),
+            ("GET", ["debug", "flightrecorder"]) => {
+                let n = query_param(query, "n")
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(32);
+                Ok(self.registry.exec().flight().to_json(n))
+            }
             ("POST", ["jobs", id, "cancel"]) => self.cancel_job(id),
             ("POST", ["shutdown"]) => {
                 self.stop.store(true, Ordering::SeqCst);
@@ -173,8 +207,8 @@ impl Server {
             ))),
         };
         match result {
-            Ok(body) => (200, body),
-            Err(e) => (e.status, error_json(&e.message)),
+            Ok(body) => (200, body, content_type),
+            Err(e) => (e.status, error_json(&e.message), JSON_TYPE),
         }
     }
 
@@ -183,9 +217,22 @@ impl Server {
     fn manifest(&self) -> Manifest {
         let mut m = Manifest::new("sliceline-serve");
         m.set_str("git", &git_describe());
+        let slo_latency = self
+            .slo
+            .latency_ms
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let slo_depth = self
+            .slo
+            .queue_depth
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
         m.set_raw(
             "config",
-            format!("{{\"workers\":{}}}", self.queue.workers()),
+            format!(
+                "{{\"workers\":{},\"slo_latency_ms\":{slo_latency},\"slo_queue_depth\":{slo_depth}}}",
+                self.queue.workers()
+            ),
         );
         m.set_raw(
             "dataset",
@@ -228,7 +275,8 @@ impl Server {
             .ok_or_else(|| ServeError::bad_request("'dataset' (string) is required"))?
             .to_string();
         let query = parse_query(&doc)?;
-        let job = self.queue.submit(&dataset, query)?;
+        let trace = doc.get("trace").and_then(Json::as_bool).unwrap_or(false);
+        let job = self.queue.submit_with(&dataset, query, trace)?;
         Ok(format!("{{\"job\":{job}}}"))
     }
 
@@ -243,6 +291,31 @@ impl Server {
         Ok(status_json(&status))
     }
 
+    fn job_profile(&self, id: &str) -> Result<String, ServeError> {
+        let id: u64 = id
+            .parse()
+            .map_err(|_| ServeError::bad_request(format!("bad job id '{id}'")))?;
+        self.registry.exec().flight().get_json(id).ok_or_else(|| {
+            ServeError::not_found(format!(
+                "no flight record for job {id} (not finished, or evicted from the ring)"
+            ))
+        })
+    }
+
+    fn job_trace(&self, id: &str) -> Result<String, ServeError> {
+        let id: u64 = id
+            .parse()
+            .map_err(|_| ServeError::bad_request(format!("bad job id '{id}'")))?;
+        self.queue
+            .trace_json(id)
+            .map(|t| t.as_ref().clone())
+            .ok_or_else(|| {
+                ServeError::not_found(format!(
+                    "no trace for job {id} (submit with \"trace\": true and wait for completion)"
+                ))
+            })
+    }
+
     fn cancel_job(&self, id: &str) -> Result<String, ServeError> {
         let id: u64 = id
             .parse()
@@ -252,6 +325,15 @@ impl Server {
             self.queue.cancel(id)
         ))
     }
+}
+
+/// Extracts one `key=value` pair from a raw query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 /// Renders a job snapshot; the `result` field splices the existing
@@ -335,7 +417,15 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Content-Type of every JSON response.
+const JSON_TYPE: &str = "application/json";
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -343,7 +433,7 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::R
         _ => "Internal Server Error",
     };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -529,5 +619,16 @@ mod tests {
     #[test]
     fn error_json_escapes() {
         assert_eq!(error_json("a\"b"), "{\"error\":\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        assert_eq!(
+            query_param("format=openmetrics", "format"),
+            Some("openmetrics")
+        );
+        assert_eq!(query_param("a=1&n=8", "n"), Some("8"));
+        assert_eq!(query_param("a=1", "n"), None);
+        assert_eq!(query_param("", "format"), None);
     }
 }

@@ -9,12 +9,31 @@
 
 use crate::registry::DatasetRegistry;
 use crate::ServeError;
-use sliceline::{SliceLineResult, SliceQuery};
+use sliceline::{MinSupport, SliceLineConfig, SliceLineResult, SliceQuery};
+use sliceline_obs::FlightRecord;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Service-level objectives declared in the serve config. Both are
+/// optional; when unset the corresponding burn-rate gauges stay at 0.
+///
+/// Semantics (documented in DESIGN.md §Continuous observability):
+/// * `latency_ms` — target end-to-end run latency per job. A job whose
+///   execution (not queue wait) exceeds the objective is a *breach*;
+///   `serve.slo.latency_burn_rate` is breaches ÷ finished jobs.
+/// * `queue_depth` — target maximum pending-queue depth. A submission
+///   that observes a deeper queue is a breach;
+///   `serve.slo.queue_burn_rate` is breaches ÷ submissions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Per-job run-latency objective in milliseconds (None = no SLO).
+    pub latency_ms: Option<u64>,
+    /// Pending-queue-depth objective (None = no SLO).
+    pub queue_depth: Option<usize>,
+}
 
 /// Lifecycle state of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +96,10 @@ struct JobEntry {
     error: Option<String>,
     submitted: Instant,
     elapsed: Option<Duration>,
+    /// Caller asked for a per-job Perfetto trace.
+    trace: bool,
+    /// The rendered Chrome-trace JSON once a traced job finished.
+    trace_json: Option<Arc<String>>,
 }
 
 struct QueueInner {
@@ -90,6 +113,16 @@ struct QueueInner {
     done_cv: Condvar,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    slo: SloConfig,
+    /// Serializes traced jobs: the span tracer is shared by every
+    /// session on the context, so only one job may own an
+    /// enable→run→drain window at a time. Untraced jobs never touch it.
+    trace_mu: Mutex<()>,
+    /// SLO breach accumulators (see [`SloConfig`] for semantics).
+    latency_breaches: AtomicU64,
+    finished: AtomicU64,
+    queue_breaches: AtomicU64,
+    submissions: AtomicU64,
 }
 
 impl QueueInner {
@@ -99,6 +132,7 @@ impl QueueInner {
         state: JobState,
         result: Option<Arc<SliceLineResult>>,
         error: Option<String>,
+        trace_json: Option<Arc<String>>,
     ) {
         let mut jobs = self.jobs.lock().unwrap();
         if let Some(entry) = jobs.get_mut(&id) {
@@ -106,6 +140,7 @@ impl QueueInner {
             entry.result = result;
             entry.error = error;
             entry.elapsed = Some(entry.submitted.elapsed());
+            entry.trace_json = trace_json;
         }
         drop(jobs);
         self.done_cv.notify_all();
@@ -117,6 +152,44 @@ impl QueueInner {
             .metrics()
             .gauge("serve.jobs.queue_depth")
             .set(depth as f64);
+    }
+
+    /// Folds one finished job's run latency into the SLO accounting and
+    /// refreshes `serve.slo.latency_burn_rate`.
+    fn slo_observe_latency(&self, run: Duration) {
+        let Some(objective_ms) = self.slo.latency_ms else {
+            return;
+        };
+        let finished = self.finished.fetch_add(1, Ordering::Relaxed) + 1;
+        let breaches = if run.as_secs_f64() * 1000.0 > objective_ms as f64 {
+            self.latency_breaches.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.latency_breaches.load(Ordering::Relaxed)
+        };
+        self.registry
+            .exec()
+            .metrics()
+            .gauge("serve.slo.latency_burn_rate")
+            .set(breaches as f64 / finished as f64);
+    }
+
+    /// Folds one submission's observed queue depth into the SLO
+    /// accounting and refreshes `serve.slo.queue_burn_rate`.
+    fn slo_observe_depth(&self, depth: usize) {
+        let Some(objective) = self.slo.queue_depth else {
+            return;
+        };
+        let submissions = self.submissions.fetch_add(1, Ordering::Relaxed) + 1;
+        let breaches = if depth > objective {
+            self.queue_breaches.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.queue_breaches.load(Ordering::Relaxed)
+        };
+        self.registry
+            .exec()
+            .metrics()
+            .gauge("serve.slo.queue_burn_rate")
+            .set(breaches as f64 / submissions as f64);
     }
 }
 
@@ -136,8 +209,28 @@ impl std::fmt::Debug for JobQueue {
 }
 
 impl JobQueue {
-    /// Spawns `workers` worker threads (at least one) over `registry`.
+    /// Spawns `workers` worker threads (at least one) over `registry`
+    /// with no service-level objectives.
     pub fn new(registry: Arc<DatasetRegistry>, workers: usize) -> Self {
+        JobQueue::with_slo(registry, workers, SloConfig::default())
+    }
+
+    /// Spawns `workers` worker threads (at least one) over `registry`,
+    /// tracking burn rates against the given objectives.
+    pub fn with_slo(registry: Arc<DatasetRegistry>, workers: usize, slo: SloConfig) -> Self {
+        let metrics = registry.exec().metrics();
+        if let Some(ms) = slo.latency_ms {
+            metrics
+                .gauge("serve.slo.latency_objective_secs")
+                .set(ms as f64 / 1000.0);
+            metrics.gauge("serve.slo.latency_burn_rate").set(0.0);
+        }
+        if let Some(depth) = slo.queue_depth {
+            metrics
+                .gauge("serve.slo.queue_depth_objective")
+                .set(depth as f64);
+            metrics.gauge("serve.slo.queue_burn_rate").set(0.0);
+        }
         let inner = Arc::new(QueueInner {
             registry,
             pending: Mutex::new(VecDeque::new()),
@@ -146,6 +239,12 @@ impl JobQueue {
             done_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            slo,
+            trace_mu: Mutex::new(()),
+            latency_breaches: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+            queue_breaches: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
         });
         let workers = workers.max(1);
         let handles = (0..workers)
@@ -172,6 +271,19 @@ impl JobQueue {
     /// dataset is unknown so clients get a 404 at submit time, not a
     /// failed job later.
     pub fn submit(&self, dataset: &str, query: SliceQuery) -> Result<u64, ServeError> {
+        self.submit_with(dataset, query, false)
+    }
+
+    /// Enqueues a query; `trace` additionally captures a per-job
+    /// Perfetto trace retrievable from [`JobQueue::trace_json`]
+    /// (`GET /jobs/<id>/trace`). Traced jobs serialize on a shared
+    /// tracer window; untraced jobs pay nothing.
+    pub fn submit_with(
+        &self,
+        dataset: &str,
+        query: SliceQuery,
+        trace: bool,
+    ) -> Result<u64, ServeError> {
         if self.inner.registry.get(dataset).is_none() {
             return Err(ServeError::not_found(format!(
                 "unknown dataset '{dataset}'"
@@ -188,16 +300,35 @@ impl JobQueue {
                 error: None,
                 submitted: Instant::now(),
                 elapsed: None,
+                trace,
+                trace_json: None,
             },
         );
         let mut pending = self.inner.pending.lock().unwrap();
         pending.push_back(id);
-        self.inner.queue_depth_gauge(pending.len());
+        let depth = pending.len();
+        self.inner.queue_depth_gauge(depth);
         drop(pending);
+        self.inner.slo_observe_depth(depth);
         self.inner.work_cv.notify_one();
         let metrics = self.inner.registry.exec().metrics();
         metrics.counter("serve.jobs.submitted").inc();
+        metrics
+            .counter(&format!("serve.jobs.submitted#dataset={dataset}"))
+            .inc();
         Ok(id)
+    }
+
+    /// The rendered Chrome-trace JSON of a traced, finished job.
+    /// `None` when the job is unknown, still running, or was not
+    /// submitted with tracing.
+    pub fn trace_json(&self, id: u64) -> Option<Arc<String>> {
+        self.inner
+            .jobs
+            .lock()
+            .unwrap()
+            .get(&id)
+            .and_then(|entry| entry.trace_json.clone())
     }
 
     /// Snapshot of job `id`, if it exists.
@@ -266,6 +397,46 @@ impl Drop for JobQueue {
     }
 }
 
+/// Compact JSON of the per-request knobs, embedded in flight records.
+fn config_json(config: &SliceLineConfig) -> String {
+    let sigma = match config.min_support {
+        MinSupport::Absolute(v) => format!("{v}"),
+        MinSupport::Fraction(f) => format!("{f}"),
+        MinSupport::PaperDefault => "\"paper-default\"".to_string(),
+    };
+    format!(
+        "{{\"k\":{},\"alpha\":{},\"sigma\":{sigma},\"max_level\":{},\"threads\":{}}}",
+        config.k,
+        config.alpha,
+        if config.max_level == usize::MAX {
+            -1i64
+        } else {
+            config.max_level as i64
+        },
+        config.parallel.threads()
+    )
+}
+
+/// Funnel + counters JSON for a finished run: headline run shape plus
+/// the full `ExecStats` document when stats collection was on.
+fn stats_json(result: &SliceLineResult) -> String {
+    let exec = result
+        .stats
+        .exec
+        .as_ref()
+        .map(|e| e.to_json())
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"exec\":{exec}}}",
+        result.stats.n,
+        result.stats.m,
+        result.stats.l,
+        result.stats.sigma,
+        sliceline_obs::secs(result.stats.total_elapsed),
+        result.top_k.len(),
+    )
+}
+
 fn worker_loop(inner: &QueueInner) {
     loop {
         let id = {
@@ -283,36 +454,118 @@ fn worker_loop(inner: &QueueInner) {
         };
         // Claim the job; a cancel that landed while it sat in the queue
         // wins and the worker moves on.
-        let (dataset, query) = {
+        let (dataset, query, queue_wait, trace) = {
             let mut jobs = inner.jobs.lock().unwrap();
             match jobs.get_mut(&id) {
                 Some(entry) if entry.state == JobState::Queued => {
                     entry.state = JobState::Running;
-                    (entry.dataset.clone(), entry.query.clone())
+                    (
+                        entry.dataset.clone(),
+                        entry.query.clone(),
+                        entry.submitted.elapsed(),
+                        entry.trace,
+                    )
                 }
                 _ => continue,
             }
         };
-        let metrics = inner.registry.exec().metrics();
+        let exec = inner.registry.exec();
+        let metrics = exec.metrics();
+        let wait_micros = queue_wait.as_micros() as u64;
+        metrics
+            .histogram("serve.jobs.queue_wait_micros")
+            .record(wait_micros);
+        metrics
+            .histogram(&format!("serve.jobs.queue_wait_micros#dataset={dataset}"))
+            .record(wait_micros);
         let Some(session) = inner.registry.get(&dataset) else {
+            metrics.counter("serve.jobs.failed").inc();
             inner.finish(
                 id,
                 JobState::Failed,
                 None,
                 Some(format!("dataset '{dataset}' disappeared")),
+                None,
             );
-            metrics.counter("serve.jobs.failed").inc();
             continue;
         };
+        // Traced jobs own the shared tracer for their whole run window;
+        // the tracer stays disabled otherwise, keeping the serving path
+        // inside the <2% observability budget.
+        let trace_guard = trace.then(|| inner.trace_mu.lock().unwrap());
+        if trace_guard.is_some() {
+            exec.tracer().reset();
+            exec.tracer().set_enabled(true);
+        }
+        let dropped_before = exec.tracer().dropped();
+        let spilled_before = metrics.gauge("core.oocore.spilled_bytes").value();
+        let run_start = Instant::now();
         let outcome = session.lock().unwrap().query(&query);
+        let run = run_start.elapsed();
+        let trace_json = trace_guard.map(|guard| {
+            exec.tracer().set_enabled(false);
+            let events = exec.tracer().drain();
+            drop(guard);
+            Arc::new(sliceline_obs::chrome_trace(&events, "sliceline-serve"))
+        });
+        let run_micros = run.as_micros() as u64;
+        metrics
+            .histogram("serve.jobs.run_micros")
+            .record(run_micros);
+        metrics
+            .histogram(&format!("serve.jobs.run_micros#dataset={dataset}"))
+            .record(run_micros);
+        let spilled_delta = metrics.gauge("core.oocore.spilled_bytes").value() - spilled_before;
+        if spilled_delta > 0.0 {
+            metrics
+                .counter(&format!("serve.tenant.bytes_spilled#dataset={dataset}"))
+                .add(spilled_delta as u64);
+        }
+        inner.slo_observe_latency(run);
+        let dropped = exec.tracer().dropped().saturating_sub(dropped_before);
+        let mut record = FlightRecord {
+            job_id: id,
+            dataset: dataset.clone(),
+            outcome: String::new(),
+            error: None,
+            queue_wait_secs: sliceline_obs::secs(queue_wait),
+            run_secs: sliceline_obs::secs(run),
+            config_json: config_json(query.config()),
+            stats_json: "null".to_string(),
+            dropped_events: dropped,
+        };
         match outcome {
             Ok(result) => {
-                inner.finish(id, JobState::Done, Some(Arc::new(result)), None);
+                let rows_scanned: u64 = result
+                    .stats
+                    .exec
+                    .as_ref()
+                    .map(|e| e.levels.iter().map(|l| l.rows_retained).sum())
+                    .unwrap_or(result.stats.n as u64);
+                metrics
+                    .counter(&format!("serve.tenant.rows_scanned#dataset={dataset}"))
+                    .add(rows_scanned);
+                record.outcome = "done".to_string();
+                record.stats_json = stats_json(&result);
+                exec.flight().record(record);
+                // Counters and the flight record land before `finish`
+                // wakes waiters, so a client that polled a terminal
+                // state observes consistent accounting.
                 metrics.counter("serve.jobs.completed").inc();
+                metrics
+                    .counter(&format!("serve.jobs.completed#dataset={dataset}"))
+                    .inc();
+                inner.finish(id, JobState::Done, Some(Arc::new(result)), None, trace_json);
             }
             Err(e) => {
-                inner.finish(id, JobState::Failed, None, Some(e.to_string()));
+                record.outcome = "failed".to_string();
+                record.error = Some(e.to_string());
+                exec.flight().record(record);
                 metrics.counter("serve.jobs.failed").inc();
+                metrics
+                    .counter(&format!("serve.jobs.failed#dataset={dataset}"))
+                    .inc();
+                inner.finish(id, JobState::Failed, None, Some(e.to_string()), trace_json);
             }
         }
     }
@@ -428,6 +681,92 @@ mod tests {
         let status = queue.wait(first).unwrap();
         assert_eq!(status.state, JobState::Done);
         assert!(!queue.cancel(first), "terminal jobs cannot be cancelled");
+    }
+
+    #[test]
+    fn finished_jobs_leave_flight_records_and_tenant_series() {
+        let exec = ExecContext::serial();
+        exec.enable_stats(true);
+        let reg = Arc::new(DatasetRegistry::new(exec));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 1);
+        let job = queue.submit(&id, query(3)).unwrap();
+        let status = queue.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        let record = reg.exec().flight().get(job).expect("flight record");
+        assert_eq!(record.outcome, "done");
+        assert_eq!(record.dataset, id);
+        assert!(record.run_secs > 0.0);
+        assert!(record.stats_json.contains("\"exec\""));
+        // Per-tenant accounting landed under the dataset label.
+        let metrics = reg.exec().metrics();
+        assert_eq!(
+            metrics
+                .counter(&format!("serve.jobs.completed#dataset={id}"))
+                .value(),
+            1
+        );
+        assert_eq!(
+            metrics
+                .histogram(&format!("serve.jobs.run_micros#dataset={id}"))
+                .count(),
+            1
+        );
+        assert!(
+            metrics
+                .counter(&format!("serve.tenant.rows_scanned#dataset={id}"))
+                .value()
+                > 0
+        );
+    }
+
+    #[test]
+    fn traced_job_yields_chrome_trace() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 2);
+        let traced = queue.submit_with(&id, query(2), true).unwrap();
+        let plain = queue.submit(&id, query(2)).unwrap();
+        assert_eq!(queue.wait(traced).unwrap().state, JobState::Done);
+        assert_eq!(queue.wait(plain).unwrap().state, JobState::Done);
+        let trace = queue.trace_json(traced).expect("trace for traced job");
+        assert!(trace.contains("traceEvents"));
+        assert!(trace.contains("session.query"), "missing run span");
+        assert!(queue.trace_json(plain).is_none(), "untraced job has none");
+        // The shared tracer is off again after the traced window.
+        assert!(!reg.exec().tracer().enabled());
+    }
+
+    #[test]
+    fn slo_burn_rates_track_breaches() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        // latency_ms: 0 => every finished job breaches the objective.
+        let queue = JobQueue::with_slo(
+            Arc::clone(&reg),
+            1,
+            SloConfig {
+                latency_ms: Some(0),
+                queue_depth: Some(1000),
+            },
+        );
+        let metrics = reg.exec().metrics();
+        assert_eq!(
+            metrics.gauge("serve.slo.latency_objective_secs").value(),
+            0.0
+        );
+        assert_eq!(
+            metrics.gauge("serve.slo.queue_depth_objective").value(),
+            1000.0
+        );
+        let job = queue.submit(&id, query(2)).unwrap();
+        queue.wait(job).unwrap();
+        assert_eq!(metrics.gauge("serve.slo.latency_burn_rate").value(), 1.0);
+        // A generous queue objective is never breached.
+        assert_eq!(metrics.gauge("serve.slo.queue_burn_rate").value(), 0.0);
     }
 
     #[test]

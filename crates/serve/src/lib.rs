@@ -31,7 +31,7 @@ pub mod jobs;
 pub mod registry;
 
 pub use http::{Server, ServerConfig};
-pub use jobs::{JobQueue, JobState, JobStatus};
+pub use jobs::{JobQueue, JobState, JobStatus, SloConfig};
 pub use registry::{content_hash, DatasetRegistry};
 
 /// Service-layer error: an HTTP-ish status code plus a message.

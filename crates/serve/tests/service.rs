@@ -6,7 +6,7 @@ use sliceline::{SliceLine, SliceLineConfig};
 use sliceline_frame::IntMatrix;
 use sliceline_linalg::ExecContext;
 use sliceline_obs::json::{parse, Json};
-use sliceline_serve::{Server, ServerConfig};
+use sliceline_serve::{Server, ServerConfig, SloConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -63,6 +63,10 @@ fn start_server() -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
+        slo: SloConfig {
+            latency_ms: Some(60_000),
+            queue_depth: Some(1_000),
+        },
     };
     let server = Arc::new(Server::bind(&config, ExecContext::serial()).unwrap());
     let addr = server.addr().unwrap().to_string();
@@ -260,6 +264,128 @@ fn full_service_flow() {
     );
 
     // Shutdown stops the accept loop.
+    let (status, _) = request(&addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap();
+}
+
+#[test]
+fn observability_flow() {
+    let (_server, addr, handle) = start_server();
+    let (path, _x, _e) = write_csv("tenant_obs.csv", false);
+
+    let reg_body = format!("{{\"path\":\"{}\",\"errors\":\"err\"}}", path.display());
+    let (status, body) = request(&addr, "POST", "/datasets", &reg_body);
+    assert_eq!(status, 200, "{body}");
+    let id = parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // One plain job and one traced job against the same tenant.
+    let submit = |extra: &str| {
+        let (status, body) = request(
+            &addr,
+            "POST",
+            "/jobs",
+            &format!("{{\"dataset\":\"{id}\",\"k\":3,\"sigma\":2{extra}}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        parse(&body)
+            .unwrap()
+            .get("job")
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    let plain = submit("");
+    let traced = submit(",\"trace\":true");
+    wait_done(&addr, plain);
+    wait_done(&addr, traced);
+
+    // The profile endpoint returns the complete flight record for a
+    // finished job: identity, outcome, latency split, config and the
+    // per-level execution stats.
+    let (status, body) = request(&addr, "GET", &format!("/jobs/{plain}/profile"), "");
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    assert_eq!(doc.get("job_id").and_then(Json::as_u64), Some(plain));
+    assert_eq!(doc.get("dataset").and_then(Json::as_str), Some(id.as_str()));
+    assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("done"));
+    assert!(doc.get("error").unwrap().as_str().is_none());
+    assert!(doc.get("queue_wait_secs").and_then(Json::as_f64).is_some());
+    assert!(doc.get("run_secs").and_then(Json::as_f64).is_some());
+    assert_eq!(
+        doc.get("config")
+            .and_then(|c| c.get("k"))
+            .and_then(Json::as_u64),
+        Some(3),
+        "{body}"
+    );
+    let stats = doc.get("stats").expect("stats object");
+    assert_eq!(stats.get("n").and_then(Json::as_u64), Some(60), "{body}");
+    assert!(
+        stats
+            .get("exec")
+            .and_then(|e| e.get("levels"))
+            .and_then(Json::as_arr)
+            .is_some(),
+        "flight record missing per-level stats:\n{body}"
+    );
+    assert_eq!(doc.get("dropped_events").and_then(Json::as_u64), Some(0));
+    // Unknown jobs have no profile.
+    let (status, _) = request(&addr, "GET", "/jobs/99999/profile", "");
+    assert_eq!(status, 404);
+
+    // The flight-recorder dump lists both jobs newest first; ?n= caps it.
+    let (status, body) = request(&addr, "GET", "/debug/flightrecorder", "");
+    assert_eq!(status, 200);
+    let doc = parse(&body).unwrap();
+    let records = doc.get("records").and_then(Json::as_arr).unwrap();
+    assert!(records.len() >= 2, "{body}");
+    assert_eq!(
+        records[0].get("job_id").and_then(Json::as_u64),
+        Some(traced)
+    );
+    let (_, body) = request(&addr, "GET", "/debug/flightrecorder?n=1", "");
+    let doc = parse(&body).unwrap();
+    assert_eq!(
+        doc.get("records").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1)
+    );
+
+    // The traced job serves a Chrome trace; the plain one has none.
+    let (status, body) = request(&addr, "GET", &format!("/jobs/{traced}/trace"), "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    assert!(body.contains("session.query"), "{body}");
+    let (status, _) = request(&addr, "GET", &format!("/jobs/{plain}/trace"), "");
+    assert_eq!(status, 404);
+
+    // The OpenMetrics exposition passes the linter and carries the
+    // per-tenant series and SLO gauges.
+    let (status, text) = request(&addr, "GET", "/metrics?format=openmetrics", "");
+    assert_eq!(status, 200);
+    let violations = sliceline_obs::openmetrics::lint(&text);
+    assert!(violations.is_empty(), "lint violations: {violations:?}");
+    assert!(text.ends_with("# EOF\n"), "missing terminator:\n{text}");
+    for needle in [
+        "serve_jobs_run_micros_bucket",
+        &format!("dataset=\"{id}\""),
+        "serve_tenant_rows_scanned_total",
+        "serve_slo_latency_burn_rate",
+        "serve_slo_queue_burn_rate",
+        "serve_jobs_run_micros_p95",
+    ] {
+        assert!(text.contains(needle), "missing {needle}:\n{text}");
+    }
+    // Objectives from the server config are exported as gauges.
+    assert!(
+        text.contains("serve_slo_latency_objective_secs 60"),
+        "{text}"
+    );
+
     let (status, _) = request(&addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     handle.join().unwrap();
