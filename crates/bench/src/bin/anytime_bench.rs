@@ -1,0 +1,320 @@
+//! Anytime best-first slice finding — parity gate, frontier speedup,
+//! and the quality-vs-budget curve.
+//!
+//! Four sections:
+//!
+//! 1. **Parity gate** (always runs; `--parity-gate` stops after it): at
+//!    unlimited budget the batched bitmap frontier must return
+//!    bit-for-bit identical top-K slices to the level-wise oracle,
+//!    across evaluation kernels, thread counts, and batch sizes, on two
+//!    differently-shaped datasets. Any divergence exits non-zero, so CI
+//!    gates on this binary (the `anytime-smoke` job) — timing below is
+//!    meaningless if the engine is wrong, so parity runs first.
+//!
+//! 2. **Frontier speedup**: the batched-bitmap frontier vs the retired
+//!    serial priority loop (`find_slices_serial`: one node at a time,
+//!    sorted `Vec<u32>` row intersections, no SIMD, no parallelism), both
+//!    exact at unlimited budget.
+//!
+//! 3. **Gap staircase** (deterministic): `max_evals` budgets at growing
+//!    fractions of the exact candidate count; the certified gap must
+//!    shrink monotonically to zero. Candidate-count budgets make this
+//!    machine-independent, so it is asserted at every scale.
+//!
+//! 4. **Quality-vs-budget curve** (the headline): wall-clock `budget_ms`
+//!    deadlines at 2/5/10/25% of the exact level-wise wall time on the
+//!    largest cell, reporting the exact-top-K score recall and the
+//!    certified gap at each. The ≥0.95-recall-at-≤25% gate only fires at
+//!    `--scale >= 1` (the committed run) — at smoke scales the exact run
+//!    is milliseconds and deadline granularity dominates.
+//!
+//! ```sh
+//! cargo run --release -p sliceline-bench --bin anytime_bench -- --stats-json
+//! ```
+//!
+//! `--stats-json` writes machine-readable results to stdout (tables move
+//! to stderr); the committed `BENCH_anytime.json` is that output.
+
+use sliceline::config::{EvalKernel, MinSupport, SliceLineConfig};
+use sliceline::{PrioritySliceLine, SliceLine, SliceLineResult};
+use sliceline_bench::{banner, BenchArgs, TextTable};
+use sliceline_datagen::{adult_like, kdd98_like, Dataset, GenConfig};
+use std::time::Instant;
+
+/// One top-K entry: predicates plus exact score/size/error/max_error bits.
+type SliceBits = (Vec<(usize, u32)>, u64, u64, u64, u64);
+
+fn fingerprint(r: &SliceLineResult) -> Vec<SliceBits> {
+    r.top_k
+        .iter()
+        .map(|s| {
+            (
+                s.predicates.clone(),
+                s.score.to_bits(),
+                s.size.to_bits(),
+                s.error.to_bits(),
+                s.max_error.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn config(threads: usize) -> SliceLineConfig {
+    let mut cfg = SliceLineConfig::builder()
+        .k(10)
+        .alpha(0.95)
+        .max_level(5)
+        .threads(threads)
+        .build()
+        .unwrap();
+    cfg.min_support = MinSupport::Fraction(0.01);
+    cfg
+}
+
+fn priority_config(threads: usize, batch: usize) -> SliceLineConfig {
+    let mut cfg = config(threads);
+    cfg.priority = true;
+    cfg.priority_batch = batch;
+    cfg
+}
+
+/// Fraction of the exact top-K scores (by bits) present in `got`.
+fn score_recall(exact: &SliceLineResult, got: &SliceLineResult) -> f64 {
+    if exact.top_k.is_empty() {
+        return 1.0;
+    }
+    let got_bits: Vec<u64> = got.top_k.iter().map(|s| s.score.to_bits()).collect();
+    let hit = exact
+        .top_k
+        .iter()
+        .filter(|s| got_bits.contains(&s.score.to_bits()))
+        .count();
+    hit as f64 / exact.top_k.len() as f64
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parity_gate = raw.iter().any(|a| a == "--parity-gate");
+    let args = BenchArgs::parse_from(raw.into_iter().filter(|a| a != "--parity-gate"));
+    let threads = args.resolved_threads().max(1);
+    let out = |s: &str| {
+        if args.stats_json {
+            eprintln!("{s}");
+        } else {
+            println!("{s}");
+        }
+    };
+    if !args.stats_json {
+        banner(
+            "Anytime best-first: parity, speedup, quality-vs-budget",
+            &args,
+        );
+    }
+
+    // --- 1. Parity gate ------------------------------------------------
+    // Small, differently-shaped cells: AdultSim (shallow, few columns)
+    // and KDD98Sim (wide, heavy pruning). Full fingerprints — predicates
+    // and every statistic, bit-for-bit.
+    let gate_cfg = GenConfig {
+        seed: args.seed,
+        scale: args.scale.min(1.0),
+    };
+    let mut cells = 0usize;
+    for data in [adult_like(&gate_cfg), kdd98_like(&gate_cfg)] {
+        for eval in [EvalKernel::default(), EvalKernel::Bitmap] {
+            let mut cfg = config(1);
+            cfg.eval = eval;
+            let oracle = fingerprint(
+                &SliceLine::new(cfg)
+                    .find_slices(&data.x0, &data.errors)
+                    .expect("level-wise oracle failed"),
+            );
+            for (thr, batch) in [(1usize, 1usize), (1, 64), (threads, 64), (threads, 7)] {
+                let run = PrioritySliceLine::new(priority_config(thr, batch))
+                    .find_slices(&data.x0, &data.errors)
+                    .expect("priority run failed");
+                if !run.exact || run.gap != 0.0 {
+                    eprintln!(
+                        "GATE FAILURE: unlimited budget not exact on {} (threads={thr}, batch={batch})",
+                        data.name
+                    );
+                    std::process::exit(1);
+                }
+                if fingerprint(&run.result) != oracle {
+                    eprintln!(
+                        "PARITY FAILURE: priority {eval:?} threads={thr} batch={batch} diverged \
+                         from level-wise on {}",
+                        data.name
+                    );
+                    std::process::exit(1);
+                }
+                cells += 1;
+            }
+        }
+    }
+    out(&format!(
+        "parity: priority == level-wise bit-for-bit over {cells} dataset x kernel x thread x \
+         batch cells\n"
+    ));
+    if parity_gate {
+        if args.stats_json {
+            println!(
+                "{{\"bench\": \"anytime_bench\", \"parity_cells\": {cells}, \"parity\": \"ok\"}}"
+            );
+        } else {
+            println!("parity gate passed ({cells} cells)");
+        }
+        return;
+    }
+
+    // --- 2. Frontier speedup -------------------------------------------
+    // Largest cell: KDD98Sim at full scale — the paper's heavy-pruning
+    // regime, where the frontier stays narrow and deep.
+    let data: Dataset = kdd98_like(&args.gen_config());
+    let serial_engine = PrioritySliceLine::new(priority_config(1, 1));
+    let t0 = Instant::now();
+    let serial = serial_engine
+        .find_slices_serial(&data.x0, &data.errors)
+        .expect("serial reference failed");
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let batched = PrioritySliceLine::new(priority_config(threads, 64))
+        .find_slices(&data.x0, &data.errors)
+        .expect("batched frontier failed");
+    let batched_secs = t0.elapsed().as_secs_f64();
+    if fingerprint(&batched.result) != fingerprint(&serial.result) {
+        eprintln!("PARITY FAILURE: batched frontier diverged from the serial reference");
+        std::process::exit(1);
+    }
+    let speedup = serial_secs / batched_secs.max(1e-9);
+    out(&format!(
+        "speedup: serial {serial_secs:.3}s -> batched {batched_secs:.3}s ({speedup:.1}x, \
+         {} rows, {} evaluated)\n",
+        data.n(),
+        batched.evaluated
+    ));
+    if args.scale >= 1.0 && speedup < 1.5 {
+        // The committed run shows >=3x; in-CI runs on noisy two-core
+        // machines only gate that batching is not a pessimization.
+        eprintln!("GATE FAILURE: batched frontier slower than the serial loop ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+
+    // --- 3. Gap staircase (deterministic) ------------------------------
+    // Candidate-count budgets are machine-independent, so the
+    // monotonicity of the certificate is asserted at every scale.
+    let total_evals = batched.evaluated.max(1);
+    let mut staircase = Vec::new();
+    let mut prev_gap = f64::INFINITY;
+    for frac in [0.01f64, 0.05, 0.25, 1.0] {
+        let mut cfg = priority_config(threads, 64);
+        cfg.max_evals = ((total_evals as f64 * frac) as usize).max(1);
+        let run = PrioritySliceLine::new(cfg.clone())
+            .find_slices(&data.x0, &data.errors)
+            .expect("budgeted run failed");
+        if run.gap > prev_gap + 1e-12 {
+            eprintln!(
+                "GATE FAILURE: certified gap grew with budget ({prev_gap} -> {} at {frac})",
+                run.gap
+            );
+            std::process::exit(1);
+        }
+        prev_gap = run.gap;
+        staircase.push((frac, cfg.max_evals, run.gap, run.exact));
+    }
+    if !staircase.last().map(|s| s.3).unwrap_or(false) {
+        eprintln!("GATE FAILURE: full-candidate budget did not certify exactness");
+        std::process::exit(1);
+    }
+
+    // --- 4. Quality-vs-budget curve ------------------------------------
+    let exact_cfg = {
+        let mut c = config(threads);
+        c.eval = EvalKernel::Bitmap;
+        c
+    };
+    let t0 = Instant::now();
+    let exact = SliceLine::new(exact_cfg)
+        .find_slices(&data.x0, &data.errors)
+        .expect("exact run failed");
+    let exact_secs = t0.elapsed().as_secs_f64();
+    let mut curve = Vec::new();
+    let mut table = TextTable::new(&["budget", "budget_ms", "elapsed", "recall", "gap", "exact"]);
+    for frac in [0.02f64, 0.05, 0.10, 0.25] {
+        let mut cfg = priority_config(threads, 64);
+        cfg.budget_ms = ((exact_secs * 1e3 * frac) as u64).max(1);
+        let t0 = Instant::now();
+        let run = PrioritySliceLine::new(cfg.clone())
+            .find_slices(&data.x0, &data.errors)
+            .expect("deadline run failed");
+        let elapsed = t0.elapsed().as_secs_f64();
+        let recall = score_recall(&exact, &run.result);
+        table.row(&[
+            format!("{:.0}%", frac * 100.0),
+            cfg.budget_ms.to_string(),
+            format!("{elapsed:.3}s"),
+            format!("{recall:.2}"),
+            format!("{:.4}", run.gap),
+            run.exact.to_string(),
+        ]);
+        curve.push((frac, cfg.budget_ms, elapsed, recall, run.gap, run.exact));
+    }
+    out(&table.render());
+    let headline = curve.last().expect("curve is non-empty");
+    out(&format!(
+        "quality-vs-budget: exact {exact_secs:.3}s; at {:.0}% budget recall {:.2} with \
+         certified gap {:.4}\n",
+        headline.0 * 100.0,
+        headline.3,
+        headline.4
+    ));
+    if args.scale >= 1.0 && headline.3 < 0.95 {
+        eprintln!(
+            "GATE FAILURE: recall {:.2} < 0.95 at a 25% wall-clock budget",
+            headline.3
+        );
+        std::process::exit(1);
+    }
+
+    if args.stats_json {
+        let mut json = String::from("{\n  \"bench\": \"anytime_bench\",\n");
+        json.push_str(&format!(
+            "  \"threads\": {threads},\n  \"scale\": {},\n  \"seed\": {},\n",
+            args.scale, args.seed
+        ));
+        json.push_str(&format!(
+            "  \"parity_cells\": {cells},\n  \"parity\": \"ok\",\n"
+        ));
+        json.push_str(&format!(
+            "  \"frontier\": {{\"dataset\": \"{}\", \"rows\": {}, \"evaluated\": {}, \
+             \"serial_secs\": {serial_secs:.4}, \"batched_secs\": {batched_secs:.4}, \
+             \"batched_speedup\": {speedup:.2}, \"parity\": \"ok\"}},\n",
+            data.name,
+            data.n(),
+            batched.evaluated,
+        ));
+        json.push_str("  \"gap_staircase\": [\n");
+        for (i, (frac, evals, gap, exact)) in staircase.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"cell\": \"evals_{:.0}pct\", \"budget_frac\": {frac}, \
+                 \"max_evals\": {evals}, \"gap\": {gap:.6}, \"exact\": {exact}}}{}\n",
+                frac * 100.0,
+                if i + 1 < staircase.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"exact_secs\": {exact_secs:.4},\n"));
+        json.push_str("  \"curve\": [\n");
+        for (i, (frac, ms, elapsed, recall, gap, exact)) in curve.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"cell\": \"budget_{:.0}pct\", \"budget_frac\": {frac}, \
+                 \"budget_ms\": {ms}, \"elapsed_secs\": {elapsed:.4}, \"recall\": {recall:.3}, \
+                 \"gap\": {gap:.6}, \"exact\": {exact}}}{}\n",
+                frac * 100.0,
+                if i + 1 < curve.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        print!("{json}");
+    }
+}

@@ -133,6 +133,19 @@ pub struct FindArgs {
     /// Rows per streamed chunk (0 = derive from the budget, or stay
     /// in-memory when no budget is set either).
     pub chunk_rows: usize,
+    /// Run the anytime best-first engine instead of the level-wise
+    /// lattice (implied by `budget_ms > 0`).
+    pub priority: bool,
+    /// Wall-clock deadline in milliseconds for the anytime engine
+    /// (0 = unlimited; any positive value implies `priority`).
+    pub budget_ms: u64,
+    /// Candidate-evaluation cap for the anytime engine (0 = unlimited).
+    pub max_evals: usize,
+    /// Byte cap (in MiB) on materialized frontier bitmaps
+    /// (0 = unlimited; drops are folded into the certified gap).
+    pub frontier_mb: usize,
+    /// Frontier nodes expanded per batched round.
+    pub batch_size: usize,
 }
 
 impl Default for FindArgs {
@@ -160,6 +173,11 @@ impl Default for FindArgs {
             nodes: 0,
             mem_budget_mb: 0,
             chunk_rows: 0,
+            priority: false,
+            budget_ms: 0,
+            max_evals: 0,
+            frontier_mb: 0,
+            batch_size: 64,
         }
     }
 }
@@ -308,6 +326,22 @@ FIND OPTIONS:
                       budget (default: 0 = fully materialized)
   --chunk-rows N      rows per streamed chunk on the out-of-core path
                       (default: 0 = derived from the memory budget)
+  --priority          run the anytime best-first engine: candidates are
+                      expanded from a bound-ordered bitmap frontier in
+                      parallel batches; without budgets the result is
+                      exact and bit-identical to the level-wise path
+  --budget-ms N       wall-clock deadline for the anytime engine in
+                      milliseconds (implies --priority). On an early
+                      stop the best top-K so far is returned with a
+                      certified optimality gap: no unseen slice can
+                      score above kth + gap (default: 0 = unlimited)
+  --max-evals N       stop the anytime engine after N candidate
+                      evaluations (default: 0 = unlimited)
+  --frontier-mb N     cap materialized frontier bitmaps at N MiB;
+                      capacity drops are folded into the certified gap
+                      (default: 0 = unlimited)
+  --batch-size N      frontier nodes expanded per batched round of the
+                      anytime engine (default: 64)
 
 GENERATE OPTIONS:
   --dataset NAME      adult | covtype | kdd98 | census | criteo | salaries
@@ -413,6 +447,24 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
             "--chunk-rows" => {
                 out.chunk_rows = parse_num(&next_value(&mut it, "--chunk-rows")?, "--chunk-rows")?
             }
+            "--priority" => out.priority = true,
+            "--budget-ms" => {
+                out.budget_ms = parse_num(&next_value(&mut it, "--budget-ms")?, "--budget-ms")?
+            }
+            "--max-evals" => {
+                out.max_evals = parse_num(&next_value(&mut it, "--max-evals")?, "--max-evals")?
+            }
+            "--frontier-mb" => {
+                out.frontier_mb =
+                    parse_num(&next_value(&mut it, "--frontier-mb")?, "--frontier-mb")?
+            }
+            "--batch-size" => {
+                let v: usize = parse_num(&next_value(&mut it, "--batch-size")?, "--batch-size")?;
+                if v == 0 {
+                    return Err(CliError::usage("--batch-size must be >= 1"));
+                }
+                out.batch_size = v;
+            }
             "--format" => {
                 let v = next_value(&mut it, "--format")?;
                 out.format = match v.as_str() {
@@ -502,6 +554,18 @@ fn parse_find(mut it: impl Iterator<Item = String>) -> Result<FindArgs, CliError
     if out.nodes > 0 && (out.mem_budget_mb > 0 || out.chunk_rows > 0) {
         return Err(CliError::usage(
             "find: --nodes cannot be combined with --mem-budget-mb/--chunk-rows",
+        ));
+    }
+    let priority = out.priority || out.budget_ms > 0;
+    if priority && out.nodes > 0 {
+        return Err(CliError::usage(
+            "find: --priority/--budget-ms cannot be combined with --nodes",
+        ));
+    }
+    if priority && (out.mem_budget_mb > 0 || out.chunk_rows > 0) {
+        return Err(CliError::usage(
+            "find: --priority/--budget-ms cannot be combined with \
+             --mem-budget-mb/--chunk-rows (the frontier needs resident bitmaps)",
         ));
     }
     Ok(out)
@@ -671,6 +735,93 @@ mod tests {
             "2",
             "--chunk-rows",
             "64",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_anytime_flags() {
+        let cli = parse(sv(&[
+            "find",
+            "--input",
+            "a.csv",
+            "--errors",
+            "e",
+            "--priority",
+            "--budget-ms",
+            "250",
+            "--max-evals",
+            "5000",
+            "--frontier-mb",
+            "64",
+            "--batch-size",
+            "32",
+        ]))
+        .unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert!(f.priority);
+        assert_eq!(f.budget_ms, 250);
+        assert_eq!(f.max_evals, 5000);
+        assert_eq!(f.frontier_mb, 64);
+        assert_eq!(f.batch_size, 32);
+
+        // Defaults when absent: anytime engine off, unlimited budgets.
+        let cli = parse(sv(&["find", "--input", "a.csv", "--errors", "e"])).unwrap();
+        let Command::Find(f) = cli.command else {
+            panic!()
+        };
+        assert!(!f.priority);
+        assert_eq!(f.budget_ms, 0);
+        assert_eq!(f.max_evals, 0);
+        assert_eq!(f.frontier_mb, 0);
+        assert_eq!(f.batch_size, 64);
+
+        // --budget-ms alone implies priority and still conflicts with
+        // the distributed and out-of-core paths; batch 0 is rejected.
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--budget-ms",
+            "10",
+            "--nodes",
+            "2",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--priority",
+            "--mem-budget-mb",
+            "128",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--priority",
+            "--chunk-rows",
+            "512",
+        ]))
+        .is_err());
+        assert!(parse(sv(&[
+            "find",
+            "--input",
+            "a",
+            "--errors",
+            "e",
+            "--batch-size",
+            "0",
         ]))
         .is_err());
     }

@@ -106,6 +106,11 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
         .compact(compact)
         .chunk_rows(args.chunk_rows)
         .mem_budget_bytes(args.mem_budget_mb << 20)
+        .priority(args.priority)
+        .budget_ms(args.budget_ms)
+        .max_evals(args.max_evals)
+        .frontier_bytes(args.frontier_mb << 20)
+        .priority_batch(args.batch_size)
         .max_level(args.max_level)
         .threads(if args.threads == 0 {
             std::thread::available_parallelism()
@@ -143,6 +148,14 @@ pub fn run_find(args: &FindArgs) -> Result<String, CliError> {
             &errors,
             &exec,
         )
+    } else if config.is_priority() {
+        // Anytime best-first engine: bound-ordered bitmap frontier with
+        // deadline / eval / memory budgets and a certified optimality
+        // gap in `stats.anytime` (`exact` + `gap` ride along inside the
+        // result, so every output format reports the same certificate).
+        sliceline::PrioritySliceLine::new(config.clone())
+            .find_slices_in(&encoded.x0, &errors, &exec)
+            .map(|out| out.result)
     } else if args.chunk_rows > 0 || args.mem_budget_mb > 0 {
         // Out-of-core path: stream the (already parsed) rows through the
         // chunked driver so evaluation memory stays within the budget.
@@ -193,7 +206,9 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
         format!(
             "{{\"k\":{},\"sigma\":{},\"alpha\":{},\"max_level\":{},\"threads\":{},\
              \"bins\":{},\"kernel\":\"{:?}\",\"enum_kernel\":\"{:?}\",\"simd\":\"{:?}\",\
-             \"compact\":\"{:?}\",\"nodes\":{},\"mem_budget_mb\":{},\"chunk_rows\":{}}}",
+             \"compact\":\"{:?}\",\"nodes\":{},\"mem_budget_mb\":{},\"chunk_rows\":{},\
+             \"priority\":{},\"budget_ms\":{},\"max_evals\":{},\"frontier_mb\":{},\
+             \"batch_size\":{}}}",
             args.k,
             args.sigma,
             args.alpha,
@@ -207,8 +222,16 @@ fn build_manifest(args: &FindArgs, result: &SliceLineResult, exec: &ExecContext)
             args.nodes,
             args.mem_budget_mb,
             args.chunk_rows,
+            args.priority || args.budget_ms > 0,
+            args.budget_ms,
+            args.max_evals,
+            args.frontier_mb,
+            args.batch_size,
         ),
     );
+    if let Some(a) = &result.stats.anytime {
+        m.set_raw("anytime", sliceline::export::anytime_to_json(a));
+    }
     m.set_raw(
         "dataset",
         format!(
@@ -549,6 +572,97 @@ mod tests {
         assert!(out.contains("core.oocore.chunk_rows"), "report:\n{out}");
         #[cfg(target_os = "linux")]
         assert!(out.contains("obs.mem.rss_peak_bytes"), "report:\n{out}");
+    }
+
+    #[test]
+    fn find_priority_matches_levelwise_report() {
+        let path = write_temp("biased_priority.csv", &biased_csv());
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            format: OutputFormat::Csv,
+            ..Default::default()
+        };
+        let levelwise = run_find(&base).unwrap();
+        // Unlimited budget: the anytime engine returns the identical
+        // top-K, at any batch size and thread count.
+        for (batch_size, threads) in [(1usize, 1usize), (8, 1), (64, 2)] {
+            let out = run_find(&FindArgs {
+                priority: true,
+                batch_size,
+                threads,
+                ..base.clone()
+            })
+            .unwrap();
+            assert_eq!(
+                out, levelwise,
+                "priority (batch={batch_size}, threads={threads}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn find_priority_json_reports_certificate() {
+        let path = write_temp("biased_priority_json.csv", &biased_csv());
+        let base = FindArgs {
+            input: path.to_string_lossy().into_owned(),
+            errors: Some("err".to_string()),
+            k: 3,
+            sigma: 10.0,
+            threads: 1,
+            format: OutputFormat::Json,
+            priority: true,
+            ..Default::default()
+        };
+        // Exhaustive run: exact with a zero gap.
+        let json = run_find(&base).unwrap();
+        assert!(
+            json.contains("\"anytime\":{\"exact\":true,\"gap\":0"),
+            "json:\n{json}"
+        );
+        // Starved eval budget: still valid output, sound gap fields.
+        let json = run_find(&FindArgs {
+            max_evals: 1,
+            ..base.clone()
+        })
+        .unwrap();
+        assert!(json.contains("\"anytime\":{\"exact\":"), "json:\n{json}");
+        assert!(json.contains("\"evaluated\":"), "json:\n{json}");
+        // The text report surfaces the certificate when inexact.
+        let text = run_find(&FindArgs {
+            max_evals: 1,
+            format: OutputFormat::Text,
+            ..base.clone()
+        })
+        .unwrap();
+        assert!(
+            text.contains("certified gap") || text.contains("exact top-"),
+            "report:\n{text}"
+        );
+        // The run manifest carries the anytime block and the config knobs.
+        let dir = std::env::temp_dir().join("sliceline_cli_tests");
+        let manifest_path = dir.join("priority_manifest.json");
+        run_find(&FindArgs {
+            metrics_json: Some(manifest_path.to_string_lossy().into_owned()),
+            ..base
+        })
+        .unwrap();
+        let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+        assert!(
+            manifest.contains("\"anytime\":{\"exact\":true"),
+            "manifest:\n{manifest}"
+        );
+        assert!(
+            manifest.contains("\"priority\":true"),
+            "manifest:\n{manifest}"
+        );
+        assert!(
+            manifest.contains("\"batch_size\":64"),
+            "manifest:\n{manifest}"
+        );
     }
 
     #[test]

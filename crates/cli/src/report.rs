@@ -35,12 +35,24 @@ pub fn render_text(result: &SliceLineResult, features: &FeatureSet, errors: &[f6
         out.push('\n');
         out.push_str(&render_exec_stats(exec));
     }
-    out.push_str(&format!(
-        "\ntotal: {:.3}s over {} evaluated slices (exact top-{}).\n",
-        result.stats.total_elapsed.as_secs_f64(),
-        result.stats.total_evaluated(),
-        result.top_k.len(),
-    ));
+    match &result.stats.anytime {
+        // A budget stopped the anytime engine early: surface the
+        // certificate instead of claiming exactness.
+        Some(a) if !a.exact => out.push_str(&format!(
+            "\ntotal: {:.3}s over {} evaluated slices (anytime top-{}, \
+             certified gap {:.6}: no unseen slice scores above kth + gap).\n",
+            result.stats.total_elapsed.as_secs_f64(),
+            a.evaluated,
+            result.top_k.len(),
+            a.gap,
+        )),
+        _ => out.push_str(&format!(
+            "\ntotal: {:.3}s over {} evaluated slices (exact top-{}).\n",
+            result.stats.total_elapsed.as_secs_f64(),
+            result.stats.total_evaluated(),
+            result.top_k.len(),
+        )),
+    }
     out
 }
 
@@ -162,6 +174,32 @@ mod tests {
         let text = render_text(&r, &features(), &[0.1; 100]);
         assert!(text.contains("Execution statistics"), "report:\n{text}");
         assert!(text.contains("evaluated"));
+    }
+
+    #[test]
+    fn renders_anytime_gap_when_budget_stopped() {
+        let mut r = result(vec![SliceInfo {
+            predicates: vec![(0, 1)],
+            score: 1.0,
+            size: 20.0,
+            error: 10.0,
+            max_error: 1.0,
+            avg_error: 0.5,
+        }]);
+        r.stats.anytime = Some(sliceline::AnytimeStats {
+            exact: false,
+            gap: 0.25,
+            evaluated: 17,
+            ..Default::default()
+        });
+        let text = render_text(&r, &features(), &[0.1; 100]);
+        assert!(text.contains("certified gap 0.250000"), "report:\n{text}");
+        assert!(text.contains("anytime top-1"));
+        assert!(!text.contains("exact top-1"));
+        // An exhaustive anytime run keeps the exact wording.
+        r.stats.anytime.as_mut().unwrap().exact = true;
+        let text = render_text(&r, &features(), &[0.1; 100]);
+        assert!(text.contains("exact top-1"), "report:\n{text}");
     }
 
     #[test]

@@ -459,13 +459,13 @@ fn recycle_level(exec: &ExecContext, level: LevelState) {
     exec.put_f64(scores);
 }
 
-fn count_valid(level: &LevelState, sigma: usize) -> usize {
+pub(crate) fn count_valid(level: &LevelState, sigma: usize) -> usize {
     (0..level.len())
         .filter(|&i| level.sizes[i] >= sigma as f64 && level.errors[i] > 0.0)
         .count()
 }
 
-fn decode_topk(topk: &TopK, proj: &ProjectedData) -> Vec<SliceInfo> {
+pub(crate) fn decode_topk(topk: &TopK, proj: &ProjectedData) -> Vec<SliceInfo> {
     topk.entries()
         .iter()
         .map(|e| {

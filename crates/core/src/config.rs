@@ -267,6 +267,29 @@ pub struct SliceLineConfig {
     /// (`--mem-budget-mb`); 0 = unlimited. Bounds the resident window of
     /// projected chunks — the excess spills to disk between levels.
     pub mem_budget_bytes: usize,
+    /// Route the run through the anytime best-first engine
+    /// ([`crate::priority::PrioritySliceLine`]) instead of level-wise
+    /// enumeration (`--priority`). Implied by a non-zero
+    /// [`Self::budget_ms`].
+    pub priority: bool,
+    /// Wall-clock deadline in milliseconds for the anytime engine
+    /// (`--budget-ms`); 0 = unlimited. Checked between frontier batches,
+    /// so a run can overshoot by at most one batch of evaluations. A
+    /// non-zero value implies [`Self::priority`].
+    pub budget_ms: u64,
+    /// Candidate-count cap for the anytime engine (`--max-evals`): the
+    /// search stops before starting a batch once this many slices have
+    /// been evaluated. 0 = unlimited. Only read on the priority path.
+    pub max_evals: usize,
+    /// Byte cap on materialized frontier bitmaps (`--frontier-mb`);
+    /// 0 = unlimited. Children that cannot be admitted are dropped and
+    /// their bounds folded into the reported optimality gap, so the
+    /// certificate stays sound. Only read on the priority path.
+    pub frontier_bytes: usize,
+    /// Nodes popped per frontier round by the anytime engine (`B`). Each
+    /// round expands up to `B` bound-ordered nodes in parallel across the
+    /// thread pool; budgets are re-checked between rounds. Must be ≥ 1.
+    pub priority_batch: usize,
 }
 
 impl Default for SliceLineConfig {
@@ -289,6 +312,11 @@ impl Default for SliceLineConfig {
             compact_below: 0.7,
             chunk_rows: 0,
             mem_budget_bytes: 0,
+            priority: false,
+            budget_ms: 0,
+            max_evals: 0,
+            frontier_bytes: 0,
+            priority_batch: 64,
         }
     }
 }
@@ -308,6 +336,14 @@ impl SliceLineConfig {
         ExecContext::with_parallel(self.parallel)
             .with_simd(self.simd)
             .with_budget(MemoryBudget::from_bytes(self.mem_budget_bytes))
+    }
+
+    /// `true` when this configuration routes through the anytime
+    /// best-first engine: either `--priority` was requested explicitly or
+    /// a deadline (`--budget-ms`) makes level-wise enumeration unable to
+    /// honor the contract.
+    pub fn is_priority(&self) -> bool {
+        self.priority || self.budget_ms > 0
     }
 
     /// The compaction policy in effect after level `lvl` finishes: the
@@ -380,6 +416,18 @@ impl SliceLineConfig {
                     "compact_below must be in (0, 1], got {}",
                     self.compact_below
                 ),
+            });
+        }
+        if self.priority_batch == 0 {
+            return Err(SliceLineError::InvalidConfig {
+                reason: "priority_batch must be at least 1".to_string(),
+            });
+        }
+        if self.is_priority() && (self.chunk_rows > 0 || self.mem_budget_bytes > 0) {
+            return Err(SliceLineError::InvalidConfig {
+                reason: "priority mode and the out-of-core streamed path are \
+                         mutually exclusive (the frontier needs resident bitmaps)"
+                    .to_string(),
             });
         }
         Ok(())
@@ -475,6 +523,38 @@ impl SliceLineConfigBuilder {
     /// Sets the out-of-core memory budget in bytes (0 = unlimited).
     pub fn mem_budget_bytes(mut self, bytes: usize) -> Self {
         self.config.mem_budget_bytes = bytes;
+        self
+    }
+
+    /// Routes the run through the anytime best-first engine.
+    pub fn priority(mut self, on: bool) -> Self {
+        self.config.priority = on;
+        self
+    }
+
+    /// Sets the anytime wall-clock deadline in milliseconds (0 =
+    /// unlimited). A non-zero value implies priority mode.
+    pub fn budget_ms(mut self, ms: u64) -> Self {
+        self.config.budget_ms = ms;
+        self
+    }
+
+    /// Caps the number of slices the anytime engine evaluates (0 =
+    /// unlimited).
+    pub fn max_evals(mut self, evals: usize) -> Self {
+        self.config.max_evals = evals;
+        self
+    }
+
+    /// Caps the bytes of materialized frontier bitmaps (0 = unlimited).
+    pub fn frontier_bytes(mut self, bytes: usize) -> Self {
+        self.config.frontier_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of nodes expanded per frontier round (`B`).
+    pub fn priority_batch(mut self, batch: usize) -> Self {
+        self.config.priority_batch = batch;
         self
     }
 
@@ -642,6 +722,45 @@ mod tests {
         assert!(exec.budget().is_limited());
         assert!(exec.budget().admits(1 << 20));
         assert!(!exec.budget().admits(65 << 20));
+    }
+
+    #[test]
+    fn anytime_knobs_default_off_and_validate() {
+        let c = SliceLineConfig::builder().build().unwrap();
+        assert!(!c.priority && !c.is_priority());
+        assert_eq!(c.budget_ms, 0);
+        assert_eq!(c.max_evals, 0);
+        assert_eq!(c.frontier_bytes, 0);
+        assert_eq!(c.priority_batch, 64);
+        // A deadline implies priority mode even without the flag.
+        let c = SliceLineConfig::builder().budget_ms(50).build().unwrap();
+        assert!(!c.priority && c.is_priority());
+        let c = SliceLineConfig::builder()
+            .priority(true)
+            .max_evals(1000)
+            .frontier_bytes(8 << 20)
+            .priority_batch(16)
+            .build()
+            .unwrap();
+        assert!(c.is_priority());
+        assert_eq!(c.max_evals, 1000);
+        assert_eq!(c.frontier_bytes, 8 << 20);
+        assert_eq!(c.priority_batch, 16);
+        assert!(SliceLineConfig::builder()
+            .priority_batch(0)
+            .build()
+            .is_err());
+        // Priority and the out-of-core streamed path are exclusive.
+        assert!(SliceLineConfig::builder()
+            .priority(true)
+            .chunk_rows(4096)
+            .build()
+            .is_err());
+        assert!(SliceLineConfig::builder()
+            .budget_ms(10)
+            .mem_budget_bytes(1 << 20)
+            .build()
+            .is_err());
     }
 
     #[test]

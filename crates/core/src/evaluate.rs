@@ -291,6 +291,16 @@ impl EvalEngine {
         self.bitmap.as_mut().expect("state built above")
     }
 
+    /// The packed column bitmaps for `x`, building them on first use.
+    ///
+    /// This is the anytime frontier engine's entry into the shared pack
+    /// state: `PrioritySliceLine` seeds its root nodes straight from these
+    /// column bitmaps, so a warm session engine ([`Self::with_packed`])
+    /// serves priority queries without re-packing.
+    pub(crate) fn packed_bits(&mut self, x: &CsrMatrix, exec: &ExecContext) -> &BitMatrix {
+        &self.state(x, exec).bits
+    }
+
     /// Row-coverage union of `slices` as a packed bitmap, served from the
     /// engine's column bitmaps (and cached slice bitmaps where present).
     /// Returns `None` when the engine holds no bitmap state for `x`'s

@@ -14,6 +14,7 @@
 //! exporter, and the run manifest (see DESIGN.md §Observability).
 
 use crate::algorithm::{SliceInfo, SliceLineResult};
+use crate::stats::AnytimeStats;
 use sliceline_linalg::secs;
 
 /// Renders the top-K slices as a JSON array of objects.
@@ -68,14 +69,38 @@ pub fn result_to_json(result: &SliceLineResult) -> String {
         Some(e) => e.to_json(),
         None => "null".to_string(),
     };
+    let anytime = match &result.stats.anytime {
+        Some(a) => anytime_to_json(a),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"levels\":[{levels}],\"exec\":{exec}}}",
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"levels\":[{levels}],\"exec\":{exec},\"anytime\":{anytime}}}",
         result.stats.n,
         result.stats.m,
         result.stats.l,
         result.stats.sigma,
         json_num(secs(result.stats.total_elapsed)),
         top_k_to_json(result),
+    )
+}
+
+/// Renders the anytime-engine telemetry (budget outcome + certified
+/// optimality gap) as a JSON object. Shared by [`result_to_json`], the
+/// run manifest, and the serve job API so every surface reports the same
+/// gap.
+pub fn anytime_to_json(a: &AnytimeStats) -> String {
+    format!(
+        "{{\"exact\":{},\"gap\":{},\"evaluated\":{},\"expanded\":{},\"batches\":{},\
+         \"frontier_peak\":{},\"frontier_final\":{},\"deadline_hit\":{},\"dropped\":{}}}",
+        a.exact,
+        json_num(a.gap),
+        a.evaluated,
+        a.expanded,
+        a.batches,
+        a.frontier_peak,
+        a.frontier_final,
+        a.deadline_hit,
+        a.dropped,
     )
 }
 
@@ -201,6 +226,35 @@ mod tests {
         assert!(json.contains("\"elapsed_secs\":0.25"));
         // The `_ms` keys are gone from the schema entirely.
         assert!(!json.contains("_ms\""));
+    }
+
+    #[test]
+    fn json_result_includes_anytime_block() {
+        // Level-wise runs export an explicit null.
+        let json = result_to_json(&sample());
+        assert!(json.contains("\"anytime\":null"));
+        // Priority runs export the full budget outcome + gap.
+        let mut r = sample();
+        r.stats.anytime = Some(crate::stats::AnytimeStats {
+            exact: false,
+            gap: 0.125,
+            evaluated: 320,
+            expanded: 40,
+            batches: 5,
+            frontier_peak: 64,
+            frontier_final: 12,
+            deadline_hit: true,
+            dropped: 2,
+        });
+        let json = result_to_json(&r);
+        assert!(json.contains(
+            "\"anytime\":{\"exact\":false,\"gap\":0.125,\"evaluated\":320,\"expanded\":40,\
+             \"batches\":5,\"frontier_peak\":64,\"frontier_final\":12,\"deadline_hit\":true,\
+             \"dropped\":2}"
+        ));
+        // A NaN gap can never leak invalid JSON.
+        r.stats.anytime.as_mut().unwrap().gap = f64::NAN;
+        assert!(result_to_json(&r).contains("\"gap\":null"));
     }
 
     #[test]

@@ -90,7 +90,8 @@ pub use config::{
 pub use error::{Result, SliceLineError};
 pub use evaluate::EvalEngine;
 pub use oocore::{find_slices_streamed, find_slices_streamed_in};
+pub use priority::{PriorityResult, PrioritySliceLine};
 pub use scoring::ScoringContext;
 pub use session::{DatasetSession, SliceQuery};
 pub use sliceline_linalg::{SimdKernel, SimdLevel};
-pub use stats::{LevelStats, RunStats};
+pub use stats::{AnytimeStats, LevelStats, RunStats};

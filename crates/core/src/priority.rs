@@ -1,82 +1,133 @@
-//! Priority-based (best-first) slice enumeration — the paper's §7
-//! future-work direction ("priority-based enumeration, e.g., based on
-//! errors or classes").
+//! Anytime best-first slice enumeration — the paper's §7 future-work
+//! direction ("priority-based enumeration, e.g., based on errors or
+//! classes"), grown into a production engine.
 //!
 //! Instead of expanding the lattice level by level, candidates are kept
-//! in a max-heap ordered by their score upper bound (Eq. 3). The best
-//! candidate is evaluated first, so the top-K converges quickly and the
-//! search can stop as soon as the best remaining bound cannot beat the
-//! current K-th score — or earlier under an explicit evaluation *budget*
-//! (anytime behavior).
+//! in a max-heap ordered by their score upper bound (Eq. 3) and expanded
+//! in **batches**: each round pops the top-`B` bound-ordered nodes and
+//! evaluates their children in parallel across the [`ExecContext`]
+//! thread pool. Row sets are packed `u64` bitmaps served by the shared
+//! [`EvalEngine`] pack (a child is its parent's bitmap `AND` one new
+//! predicate column), sibling groups go through the interleaved
+//! [`bitmap::masked_stats_and2_multi`] kernel, and child bitmaps are only
+//! materialized when the child's own bound can still beat the current
+//! top-K threshold — so best-first search runs on the same bitmap + SIMD
+//! machinery as the level-wise path instead of scalar row intersection.
 //!
-//! Exactness argument: each slice is generated exactly once by *prefix
-//! extension* (appending a predicate column greater than its largest),
-//! and a node's Eq. 3 bound — computed from its own evaluated statistics —
-//! dominates the score of **every** superset, prefix descendants
-//! included. A node is only discarded when that bound cannot beat the
-//! current threshold, so with an unlimited budget the returned top-K
-//! equals the level-wise algorithm's (property-tested). The trade-off
-//! versus Algorithm 1 is bound tightness: best-first sees one parent per
-//! node where the level-wise join minimizes over all `L` parents.
+//! **Budgets.** The search is *anytime*: it honors a wall-clock deadline
+//! ([`SliceLineConfig::budget_ms`], checked between rounds), a
+//! candidate-count cap ([`SliceLineConfig::max_evals`]) and a byte cap on
+//! materialized frontier bitmaps ([`SliceLineConfig::frontier_bytes`]).
+//! On any early stop it returns the best top-K found so far **plus a
+//! certified optimality gap**: `gap = max(0, best_unexplored_bound −
+//! max(sc_k, 0))`. Every unexplored slice is a descendant of a frontier
+//! node (or of a capacity-dropped child, whose bound is folded into the
+//! certificate), and the Eq. 3 bound dominates all descendant scores, so
+//! no slice outside the returned top-K can score above `kth + gap`. The
+//! gap is zero iff the result is exact.
+//!
+//! Exactness argument (unlimited budget): each slice is generated exactly
+//! once by *prefix extension* (appending a predicate column greater than
+//! its largest), and a node's Eq. 3 bound — computed from its own
+//! evaluated statistics — dominates the score of **every** superset,
+//! prefix descendants included. A node is only discarded when that bound
+//! cannot beat the monotone top-K threshold, so the returned top-K equals
+//! the level-wise algorithm's (property-tested per-rank on score bits).
+//! The trade-off versus Algorithm 1 is bound tightness: best-first sees
+//! one parent per node where the level-wise join minimizes over all `L`
+//! parents.
 
-use crate::algorithm::{SliceInfo, SliceLineResult};
+use crate::algorithm::{count_valid, decode_topk, emit_funnel, SliceLineResult};
 use crate::config::SliceLineConfig;
 use crate::error::Result;
-use crate::init::{create_and_score_basic_slices, LevelState};
+use crate::evaluate::EvalEngine;
+use crate::init::{create_and_score_basic_slices, LevelState, ProjectedData};
 use crate::prepare::prepare;
-use crate::stats::{LevelStats, RunStats};
+use crate::scoring::ScoringContext;
+use crate::stats::{AnytimeStats, LevelStats, RunStats};
 use crate::topk::TopK;
-use sliceline_linalg::ExecContext;
+use sliceline_linalg::bitmap::{self, MULTI_WAY};
+use sliceline_linalg::{ExecContext, LevelProfile, Stage};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A heap entry: a not-yet-expanded slice with its bound and row set.
+/// A frontier entry: a not-yet-expanded slice with its Eq. 3 bound.
+#[derive(Debug)]
 struct Node {
     /// Upper bound on any descendant's score.
     bound: f64,
     /// Sorted projected column ids.
     cols: Vec<u32>,
-    /// Matching row ids (the slice's extension in the data).
-    rows: Vec<u32>,
+    /// Packed row bitmap of the slice. `None` for single-predicate seeds,
+    /// whose bitmap is their column in the engine's shared pack.
+    bits: Option<Vec<u64>>,
 }
 
-impl PartialEq for Node {
-    fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.cols == other.cols
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by bound via `total_cmp` (a NaN bound orders above
+        // +inf instead of poisoning comparisons); ties broken by fewer
+        // predicates then lexicographic cols so the order is total and
+        // deterministic across runs and thread counts.
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.cols.len().cmp(&self.cols.len()))
+            .then_with(|| other.cols.cmp(&self.cols))
     }
 }
-impl Eq for Node {}
 impl PartialOrd for Node {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Node {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by bound; ties broken by fewer predicates then cols so
-        // ordering is total and deterministic.
-        self.bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.cols.len().cmp(&self.cols.len()))
-            .then_with(|| other.cols.cmp(&self.cols))
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
     }
+}
+impl Eq for Node {}
+
+/// One evaluated child produced by a node expansion.
+struct Child {
+    /// The appended projected column.
+    col: u32,
+    size: f64,
+    error: f64,
+    max_error: f64,
+    score: f64,
+    /// Eq. 3 bound over the child's descendants.
+    bound: f64,
+    /// Materialized bitmap, present only when the bound beat the
+    /// round-start threshold and the child can still be expanded.
+    bits: Option<Vec<u64>>,
+}
+
+/// Result of expanding one frontier node.
+struct Expansion {
+    children: Vec<Child>,
+    /// Candidate columns whose statistics were computed (the unit the
+    /// `max_evals` cap counts).
+    considered: usize,
 }
 
 /// Outcome of a best-first run.
 #[derive(Debug, Clone)]
 pub struct PriorityResult {
-    /// The (possibly anytime) top-K slices and run statistics.
+    /// The (possibly anytime) top-K slices and run statistics
+    /// ([`RunStats::anytime`] carries the full budget outcome).
     pub result: SliceLineResult,
-    /// Slices evaluated (heap pops that passed the bound re-check).
+    /// Slices evaluated (basic slices + frontier children).
     pub evaluated: usize,
     /// `true` when the search ran to completion — the top-K is then exact.
-    /// `false` when the evaluation budget was exhausted first.
+    /// `false` when a budget stopped it first.
     pub exact: bool,
+    /// Certified optimality gap: no slice outside the returned top-K can
+    /// score more than `max(sc_k, 0) + gap`. Zero iff [`Self::exact`].
+    pub gap: f64,
 }
 
-/// Best-first SliceLine with an optional evaluation budget.
+/// Best-first SliceLine with deadline / candidate / memory budgets.
 ///
 /// ```
 /// use sliceline::priority::PrioritySliceLine;
@@ -91,30 +142,28 @@ pub struct PriorityResult {
 /// let config = SliceLineConfig::builder().k(1).min_support(2).build().unwrap();
 /// let out = PrioritySliceLine::new(config).find_slices(&x0, &errors).unwrap();
 /// assert!(out.exact);
+/// assert_eq!(out.gap, 0.0);
 /// assert_eq!(out.result.top_k[0].predicates, vec![(0, 1), (1, 1)]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct PrioritySliceLine {
     config: SliceLineConfig,
-    /// Maximum number of slice evaluations (`None` = run to completion).
-    budget: Option<usize>,
 }
 
 impl PrioritySliceLine {
-    /// Creates an exhaustive (exact) best-first searcher.
+    /// Creates a best-first searcher; budgets come from the
+    /// configuration (`budget_ms` / `max_evals` / `frontier_bytes`, all
+    /// unlimited by default — the search is then exhaustive and exact).
     pub fn new(config: SliceLineConfig) -> Self {
-        PrioritySliceLine {
-            config,
-            budget: None,
-        }
+        PrioritySliceLine { config }
     }
 
-    /// Creates an anytime searcher stopping after `budget` evaluations.
-    pub fn with_budget(config: SliceLineConfig, budget: usize) -> Self {
-        PrioritySliceLine {
-            config,
-            budget: Some(budget),
-        }
+    /// Creates an anytime searcher stopping after `budget` candidate
+    /// evaluations (shorthand for setting
+    /// [`SliceLineConfig::max_evals`]).
+    pub fn with_budget(mut config: SliceLineConfig, budget: usize) -> Self {
+        config.max_evals = budget.max(1);
+        PrioritySliceLine { config }
     }
 
     /// Runs the best-first search on a fresh execution context built
@@ -139,8 +188,20 @@ impl PrioritySliceLine {
         errors: &[f64],
         exec: &ExecContext,
     ) -> Result<PriorityResult> {
+        // Per-run telemetry scope with the configured SIMD level, exactly
+        // like the level-wise path.
+        let scope = exec.with_simd(self.config.simd).run_scoped();
+        let exec = &scope;
         let start = Instant::now();
-        let prepared = prepare(x0, errors, &self.config, exec)?;
+        let mut run_span = exec.tracer().span("priority.find_slices", "core");
+        let prepared = {
+            let _prep_span = exec.tracer().span("prepare", "core");
+            prepare(x0, errors, &self.config, exec)?
+        };
+        exec.add_prepare(start.elapsed());
+        run_span.add_arg("n", prepared.n());
+        run_span.add_arg("m", prepared.m);
+        run_span.add_arg("l", prepared.l());
         let mut stats = RunStats {
             sigma: prepared.sigma,
             n: prepared.n(),
@@ -150,16 +211,92 @@ impl PrioritySliceLine {
         };
         let (proj, basic) = create_and_score_basic_slices(&prepared, exec);
         stats.basic_slices = basic.len();
+        let max_level = self.config.max_level.min(prepared.m);
+        let mut engine = EvalEngine::new(self.config.bitmap_cache_bytes);
+        let run = FrontierRun {
+            config: &self.config,
+            ctx: prepared.ctx,
+            sigma: prepared.sigma,
+            max_level,
+            start,
+        };
+        let (topk, anytime, levels) =
+            run_frontier(run, &proj, &basic, &prepared.errors, &mut engine, exec);
+        stats.levels = levels;
+        stats.total_elapsed = start.elapsed();
+        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
+        let top_k = decode_topk(&topk, &proj);
+        let (evaluated, exact, gap) = (anytime.evaluated, anytime.exact, anytime.gap);
+        stats.anytime = Some(anytime);
+        Ok(PriorityResult {
+            result: SliceLineResult { top_k, stats },
+            evaluated,
+            exact,
+            gap,
+        })
+    }
+
+    /// The retired serial reference implementation: one node popped at a
+    /// time, row sets as sorted `Vec<u32>` intersections, no bitmaps, no
+    /// parallelism. Kept verbatim as the baseline the batched-bitmap
+    /// frontier is benchmarked against (`anytime_bench` gates a ≥3x win)
+    /// and as an independent oracle for differential tests. Honors only
+    /// the `max_evals` budget.
+    pub fn find_slices_serial(
+        &self,
+        x0: &sliceline_frame::IntMatrix,
+        errors: &[f64],
+    ) -> Result<PriorityResult> {
+        let exec = self.config.exec_context();
+        let start = Instant::now();
+        let prepared = prepare(x0, errors, &self.config, &exec)?;
+        let mut stats = RunStats {
+            sigma: prepared.sigma,
+            n: prepared.n(),
+            m: prepared.m,
+            l: prepared.l(),
+            ..Default::default()
+        };
+        let (proj, basic) = create_and_score_basic_slices(&prepared, &exec);
+        stats.basic_slices = basic.len();
         let sigma = prepared.sigma;
         let max_level = self.config.max_level.min(prepared.m);
+        let budget = if self.config.max_evals > 0 {
+            self.config.max_evals
+        } else {
+            usize::MAX
+        };
         let mut topk = TopK::new(self.config.k, sigma);
         topk.update(&basic);
-        // Row lists per projected column (the CSC view used to extend
-        // nodes by intersection).
         let xt = proj.x.transpose();
         let num_cols = proj.x.cols();
-        // Seed the heap with the basic slices.
-        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        // The serial reference keeps its materialized row set inside the
+        // node, as the original implementation did.
+        struct SerialNode {
+            bound: f64,
+            cols: Vec<u32>,
+            rows: Vec<u32>,
+        }
+        impl Ord for SerialNode {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.bound
+                    .total_cmp(&other.bound)
+                    .then_with(|| other.cols.len().cmp(&self.cols.len()))
+                    .then_with(|| other.cols.cmp(&self.cols))
+            }
+        }
+        impl PartialOrd for SerialNode {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl PartialEq for SerialNode {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == Ordering::Equal
+            }
+        }
+        impl Eq for SerialNode {}
+        let mut heap: BinaryHeap<SerialNode> = BinaryHeap::new();
         for i in 0..basic.len() {
             let c = basic.slices[i][0];
             let bound = prepared.ctx.score_upper_bound(
@@ -169,7 +306,7 @@ impl PrioritySliceLine {
                 sigma,
             );
             if bound > topk.prune_threshold() {
-                heap.push(Node {
+                heap.push(SerialNode {
                     bound,
                     cols: vec![c],
                     rows: xt.row_cols(c as usize).to_vec(),
@@ -179,24 +316,20 @@ impl PrioritySliceLine {
         let mut evaluated = basic.len();
         let mut expansions = 0usize;
         let mut exact = true;
+        let mut gap = 0.0f64;
         while let Some(node) = heap.pop() {
-            // Monotone threshold: re-check the bound at pop time.
             if node.bound <= topk.prune_threshold() {
-                // Everything left in the heap is bounded by this bound.
                 break;
             }
             if node.cols.len() >= max_level {
                 continue;
             }
-            if let Some(budget) = self.budget {
-                if evaluated >= budget {
-                    exact = false;
-                    break;
-                }
+            if evaluated >= budget {
+                exact = false;
+                gap = (node.bound - topk.prune_threshold()).max(0.0);
+                break;
             }
             expansions += 1;
-            // Prefix extension: children append a strictly larger column
-            // of a feature not already used.
             let last_col = *node.cols.last().expect("nodes are non-empty") as usize;
             let used_feature = proj.col_feature[last_col];
             for next in (last_col + 1)..num_cols {
@@ -208,15 +341,16 @@ impl PrioritySliceLine {
                 {
                     continue;
                 }
-                // Intersect row sets (both sorted).
-                let rows = intersect_sorted(&node.rows, xt.row_cols(next));
-                if (rows.len() < sigma && self.config.pruning.size_pruning) || rows.is_empty() {
+                let child_rows = intersect_sorted(&node.rows, xt.row_cols(next));
+                if (child_rows.len() < sigma && self.config.pruning.size_pruning)
+                    || child_rows.is_empty()
+                {
                     continue;
                 }
                 evaluated += 1;
                 let mut error = 0.0;
                 let mut max_error: f64 = 0.0;
-                for &r in &rows {
+                for &r in &child_rows {
                     let e = prepared.errors[r as usize];
                     error += e;
                     max_error = max_error.max(e);
@@ -224,7 +358,7 @@ impl PrioritySliceLine {
                 if error <= 0.0 {
                     continue;
                 }
-                let size = rows.len() as f64;
+                let size = child_rows.len() as f64;
                 let mut cols = node.cols.clone();
                 cols.push(next as u32);
                 let score = prepared.ctx.score(size, error);
@@ -233,7 +367,11 @@ impl PrioritySliceLine {
                     .ctx
                     .score_upper_bound(size, error, max_error, sigma);
                 if bound > topk.prune_threshold() && cols.len() < max_level {
-                    heap.push(Node { bound, cols, rows });
+                    heap.push(SerialNode {
+                        bound,
+                        cols,
+                        rows: child_rows,
+                    });
                 }
             }
         }
@@ -247,41 +385,433 @@ impl PrioritySliceLine {
             ..Default::default()
         });
         stats.total_elapsed = start.elapsed();
-        let top_k = topk
-            .entries()
-            .iter()
-            .map(|e| {
-                let mut predicates: Vec<(usize, u32)> = e
-                    .cols
-                    .iter()
-                    .map(|&c| {
-                        (
-                            proj.col_feature[c as usize] as usize,
-                            proj.col_code[c as usize],
-                        )
-                    })
-                    .collect();
-                predicates.sort_unstable();
-                SliceInfo {
-                    predicates,
-                    score: e.score,
-                    size: e.size,
-                    error: e.error,
-                    max_error: e.max_error,
-                    avg_error: if e.size > 0.0 { e.error / e.size } else { 0.0 },
-                }
-            })
-            .collect();
+        stats.anytime = Some(AnytimeStats {
+            exact,
+            gap,
+            evaluated,
+            expanded: expansions,
+            batches: expansions,
+            frontier_peak: 0,
+            frontier_final: heap.len(),
+            deadline_hit: false,
+            dropped: 0,
+        });
+        let top_k = decode_topk(&topk, &proj);
         Ok(PriorityResult {
             result: SliceLineResult { top_k, stats },
             evaluated,
             exact,
+            gap,
         })
     }
 }
 
+/// Scalar parameters of a frontier search (the data lives in the
+/// caller's `proj` / `basic` / `errors`).
+pub(crate) struct FrontierRun<'a> {
+    pub config: &'a SliceLineConfig,
+    pub ctx: ScoringContext,
+    /// Resolved minimum support σ.
+    pub sigma: usize,
+    /// Maximum slice depth, already clamped to `m`.
+    pub max_level: usize,
+    /// Run start, from which the `budget_ms` deadline is measured.
+    pub start: Instant,
+}
+
+/// The batched best-first engine shared by [`PrioritySliceLine`] and the
+/// resident-session priority path
+/// ([`crate::session::DatasetSession::query_priority`]). Returns the
+/// final top-K, the anytime telemetry and the per-level stats entries.
+pub(crate) fn run_frontier(
+    run: FrontierRun<'_>,
+    proj: &ProjectedData,
+    basic: &LevelState,
+    errors: &[f64],
+    engine: &mut EvalEngine,
+    exec: &ExecContext,
+) -> (TopK, AnytimeStats, Vec<LevelStats>) {
+    let FrontierRun {
+        config,
+        ctx,
+        sigma,
+        max_level,
+        start,
+    } = run;
+    let mut levels = Vec::new();
+    // Level 1: the basic slices arrive pre-evaluated.
+    exec.begin_level(1);
+    let level_start = Instant::now();
+    let l = proj.x.cols();
+    exec.record_level(|p| {
+        p.candidates += l as u64;
+        p.evaluated += l as u64;
+    });
+    let mut topk = TopK::new(config.k, sigma);
+    let entered = exec.time_stage(Stage::TopK, || topk.update(basic));
+    exec.record_level(|p| p.topk_entered += entered as u64);
+    emit_funnel(
+        exec,
+        &LevelProfile {
+            level: 1,
+            candidates: l as u64,
+            evaluated: l as u64,
+            topk_entered: entered as u64,
+            ..Default::default()
+        },
+    );
+    levels.push(LevelStats {
+        level: 1,
+        candidates: l,
+        valid: count_valid(basic, sigma),
+        enumeration: None,
+        elapsed: level_start.elapsed(),
+        threshold_after: topk.prune_threshold(),
+        ..Default::default()
+    });
+    // Pack (or reuse, on a warm session engine) the column bitmaps.
+    let bits = engine.packed_bits(&proj.x, exec);
+    let wpc = bits.words_per_col();
+    let node_bytes = wpc * 8;
+    let num_cols = proj.x.cols();
+    let frontier_span = exec.tracer().span("priority.frontier", "core");
+
+    // Seed the frontier with the basic slices that can still produce a
+    // better descendant.
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    if max_level > 1 {
+        for i in 0..basic.len() {
+            let bound =
+                ctx.score_upper_bound(basic.sizes[i], basic.errors[i], basic.max_errors[i], sigma);
+            if bound > topk.prune_threshold() {
+                heap.push(Node {
+                    bound,
+                    cols: basic.slices[i].clone(),
+                    bits: None,
+                });
+            }
+        }
+    }
+
+    let deadline = (config.budget_ms > 0).then(|| start + Duration::from_millis(config.budget_ms));
+    let eval_cap = if config.max_evals > 0 {
+        config.max_evals
+    } else {
+        usize::MAX
+    };
+    let frontier_cap = if config.frontier_bytes > 0 {
+        config.frontier_bytes
+    } else {
+        usize::MAX
+    };
+    let batch_cap = config.priority_batch.max(1);
+    let size_pruning = config.pruning.size_pruning;
+
+    let mut evaluated = basic.len();
+    let mut considered_children = 0usize;
+    let mut valid_children = 0usize;
+    let mut expanded = 0usize;
+    let mut batches = 0usize;
+    let mut frontier_peak = heap.len();
+    let mut frontier_bytes = 0usize;
+    let mut dropped = 0usize;
+    let mut dropped_bound = f64::NEG_INFINITY;
+    let mut deadline_hit = false;
+    let mut stopped = false;
+    let mut deepest = 1usize;
+    let mut batch_nodes: Vec<Node> = Vec::with_capacity(batch_cap);
+    exec.begin_level(2);
+    let frontier_start = Instant::now();
+
+    loop {
+        let thr = topk.prune_threshold();
+        // A frontier whose best bound cannot beat the threshold is fully
+        // pruned — the search is complete (remaining nodes stay in the
+        // heap only to be recycled below).
+        match heap.peek() {
+            None => break,
+            // NaN-safe "not strictly greater": a NaN bound must prune,
+            // not spin.
+            Some(top) if top.bound.partial_cmp(&thr) != Some(std::cmp::Ordering::Greater) => break,
+            _ => {}
+        }
+        // Budgets are checked between rounds, so a run overshoots by at
+        // most one batch of evaluations.
+        if evaluated >= eval_cap {
+            stopped = true;
+            break;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                stopped = true;
+                deadline_hit = true;
+                break;
+            }
+        }
+        // Pop the top-B nodes still above the threshold.
+        batch_nodes.clear();
+        while batch_nodes.len() < batch_cap {
+            match heap.peek() {
+                Some(top) if top.bound > thr => {
+                    let node = heap.pop().expect("peeked");
+                    if node.bits.is_some() {
+                        frontier_bytes -= node_bytes;
+                    }
+                    batch_nodes.push(node);
+                }
+                _ => break,
+            }
+        }
+        batches += 1;
+        expanded += batch_nodes.len();
+        // Expand the batch in parallel. `par_tasks` preserves index
+        // order, and each expansion is deterministic, so the merge below
+        // sees the same child sequence at any thread count.
+        let nodes = &batch_nodes;
+        let expansions: Vec<Expansion> = exec.time_stage(Stage::Evaluate, || {
+            exec.parallel().par_tasks(nodes.len(), |i| {
+                expand_node(
+                    &nodes[i],
+                    bits,
+                    proj,
+                    errors,
+                    &ctx,
+                    sigma,
+                    max_level,
+                    thr,
+                    size_pruning,
+                    num_cols,
+                    exec,
+                )
+            })
+        });
+        // Deterministic sequential merge: one bulk top-K update over the
+        // round's children (same insertion order as per-child updates),
+        // then pushes re-checked against the updated threshold.
+        let mut round = LevelState::default();
+        for (node, expansion) in batch_nodes.iter().zip(expansions.iter()) {
+            considered_children += expansion.considered;
+            evaluated += expansion.considered;
+            for child in &expansion.children {
+                let mut cols = node.cols.clone();
+                cols.push(child.col);
+                deepest = deepest.max(cols.len());
+                if child.size >= sigma as f64 && child.error > 0.0 {
+                    valid_children += 1;
+                }
+                round.slices.push(cols);
+                round.sizes.push(child.size);
+                round.errors.push(child.error);
+                round.max_errors.push(child.max_error);
+                round.scores.push(child.score);
+            }
+        }
+        let entered = exec.time_stage(Stage::TopK, || topk.update(&round));
+        exec.record_level(|p| p.topk_entered += entered as u64);
+        let thr_after = topk.prune_threshold();
+        let mut pruned_score = 0u64;
+        for (node, expansion) in batch_nodes.drain(..).zip(expansions) {
+            for child in expansion.children {
+                match child.bits {
+                    Some(b) if child.bound > thr_after => {
+                        if frontier_bytes + node_bytes <= frontier_cap {
+                            frontier_bytes += node_bytes;
+                            let mut cols = node.cols.clone();
+                            cols.push(child.col);
+                            heap.push(Node {
+                                bound: child.bound,
+                                cols,
+                                bits: Some(b),
+                            });
+                        } else {
+                            // Capacity drop: fold the bound into the gap
+                            // certificate instead of losing it silently.
+                            dropped += 1;
+                            dropped_bound = dropped_bound.max(child.bound);
+                            exec.put_u64(b);
+                        }
+                    }
+                    Some(b) => {
+                        pruned_score += 1;
+                        exec.put_u64(b);
+                    }
+                    None => {}
+                }
+            }
+            if let Some(b) = node.bits {
+                exec.put_u64(b);
+            }
+        }
+        exec.record_level(|p| p.pruned_score += pruned_score);
+        frontier_peak = frontier_peak.max(heap.len());
+    }
+
+    // Certificate: the best unexplored bound is the heap's top (nothing
+    // was popped after the stop check) joined with any capacity-dropped
+    // child bound.
+    let thr = topk.prune_threshold();
+    let mut best_unexplored = dropped_bound;
+    if stopped {
+        if let Some(top) = heap.peek() {
+            best_unexplored = best_unexplored.max(top.bound);
+        }
+    }
+    let gap = (best_unexplored - thr).max(0.0);
+    let exact = !stopped && gap <= 0.0;
+    let frontier_final = heap.len();
+    // Recycle surviving node bitmaps into the word pool.
+    for node in heap.into_vec() {
+        if let Some(b) = node.bits {
+            exec.put_u64(b);
+        }
+    }
+    for node in batch_nodes {
+        if let Some(b) = node.bits {
+            exec.put_u64(b);
+        }
+    }
+
+    exec.record_level(|p| {
+        p.level = 2;
+        p.candidates += considered_children as u64;
+        p.evaluated += considered_children as u64;
+        p.kernel = Some("bitmap");
+    });
+    emit_funnel(
+        exec,
+        &LevelProfile {
+            level: 2,
+            candidates: considered_children as u64,
+            evaluated: considered_children as u64,
+            kernel: Some("bitmap"),
+            ..Default::default()
+        },
+    );
+    let anytime = AnytimeStats {
+        exact,
+        gap,
+        evaluated,
+        expanded,
+        batches,
+        frontier_peak,
+        frontier_final,
+        deadline_hit,
+        dropped,
+    };
+    let metrics = exec.metrics();
+    metrics
+        .gauge("core.priority.frontier_peak")
+        .set(frontier_peak as f64);
+    metrics
+        .gauge("core.priority.frontier_final")
+        .set(frontier_final as f64);
+    metrics.gauge("core.priority.batches").set(batches as f64);
+    metrics.gauge("core.priority.gap").set(gap);
+    metrics
+        .counter("core.priority.evaluated")
+        .add(considered_children as u64);
+    metrics.counter("core.priority.dropped").add(dropped as u64);
+    metrics.counter("core.priority.runs").add(1);
+    drop(frontier_span);
+    if expanded > 0 {
+        levels.push(LevelStats {
+            level: deepest,
+            candidates: considered_children,
+            valid: valid_children,
+            enumeration: None,
+            elapsed: frontier_start.elapsed(),
+            threshold_after: thr,
+            ..Default::default()
+        });
+    }
+    (topk, anytime, levels)
+}
+
+/// Evaluates every prefix-extension child of `node` against the packed
+/// column bitmaps: sibling groups of up to [`MULTI_WAY`] columns go
+/// through the interleaved fused kernel, and a child's bitmap is
+/// materialized (`parent AND column`, SIMD-dispatched) only when its
+/// bound beats `thr` — the round-start threshold, a conservative
+/// (smaller) stand-in for the post-merge one, so no needed bitmap is
+/// ever skipped.
+#[allow(clippy::too_many_arguments)]
+fn expand_node(
+    node: &Node,
+    bits: &sliceline_linalg::BitMatrix,
+    proj: &ProjectedData,
+    errors: &[f64],
+    ctx: &ScoringContext,
+    sigma: usize,
+    max_level: usize,
+    thr: f64,
+    size_pruning: bool,
+    num_cols: usize,
+    exec: &ExecContext,
+) -> Expansion {
+    if node.cols.len() >= max_level {
+        return Expansion {
+            children: Vec::new(),
+            considered: 0,
+        };
+    }
+    let parent: &[u64] = match &node.bits {
+        Some(b) => b,
+        None => bits.col(node.cols[0] as usize),
+    };
+    let last_col = *node.cols.last().expect("nodes are non-empty") as usize;
+    // Prefix extension: append a strictly larger column of an unused
+    // feature, so every slice is generated exactly once.
+    let cand: Vec<u32> = ((last_col + 1)..num_cols)
+        .filter(|&next| {
+            !node
+                .cols
+                .iter()
+                .any(|&c| proj.col_feature[c as usize] == proj.col_feature[next])
+        })
+        .map(|next| next as u32)
+        .collect();
+    let depth_ok = node.cols.len() + 1 < max_level;
+    let mut children = Vec::new();
+    let mut stats_buf = [(0.0f64, 0.0f64, 0.0f64); MULTI_WAY];
+    let mut col_refs: Vec<&[u64]> = Vec::with_capacity(MULTI_WAY);
+    for chunk in cand.chunks(MULTI_WAY) {
+        col_refs.clear();
+        col_refs.extend(chunk.iter().map(|&c| bits.col(c as usize)));
+        let out = &mut stats_buf[..chunk.len()];
+        bitmap::masked_stats_and2_multi(parent, &col_refs, errors, out);
+        for (j, &col) in chunk.iter().enumerate() {
+            let (size, error, max_error) = out[j];
+            if size <= 0.0 || (size < sigma as f64 && size_pruning) || error <= 0.0 {
+                continue;
+            }
+            let score = ctx.score(size, error);
+            let bound = ctx.score_upper_bound(size, error, max_error, sigma);
+            let child_bits = if depth_ok && bound > thr {
+                let mut dst = exec.take_u64(0);
+                bitmap::and2_into_with(exec.simd(), &mut dst, parent, col_refs[j]);
+                Some(dst)
+            } else {
+                None
+            };
+            children.push(Child {
+                col,
+                size,
+                error,
+                max_error,
+                score,
+                bound,
+                bits: child_bits,
+            });
+        }
+    }
+    Expansion {
+        children,
+        considered: cand.len(),
+    }
+}
+
 /// Wraps a single evaluated slice as a one-row [`LevelState`] for top-K
-/// maintenance.
+/// maintenance (serial reference path).
 fn singleton_level(cols: &[u32], size: f64, error: f64, max_error: f64, score: f64) -> LevelState {
     LevelState {
         slices: vec![cols.to_vec()],
@@ -292,7 +822,7 @@ fn singleton_level(cols: &[u32], size: f64, error: f64, max_error: f64, score: f
     }
 }
 
-/// Intersection of two sorted u32 slices.
+/// Intersection of two sorted u32 slices (serial reference path).
 fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
@@ -341,16 +871,54 @@ mod tests {
     }
 
     #[test]
-    fn matches_levelwise_topk() {
+    fn matches_levelwise_topk_bitwise() {
         let (x0, e) = planted();
         let levelwise = SliceLine::new(config()).find_slices(&x0, &e).unwrap();
         let best_first = PrioritySliceLine::new(config())
             .find_slices(&x0, &e)
             .unwrap();
         assert!(best_first.exact);
+        assert_eq!(best_first.gap, 0.0);
         assert_eq!(best_first.result.top_k.len(), levelwise.top_k.len());
         for (a, b) in best_first.result.top_k.iter().zip(levelwise.top_k.iter()) {
-            assert!((a.score - b.score).abs() < 1e-9);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.size.to_bits(), b.size.to_bits());
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_matches_serial_reference() {
+        let (x0, e) = planted();
+        for batch in [1usize, 2, 7, 64] {
+            let mut c = config();
+            c.priority_batch = batch;
+            let batched = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+            let serial = PrioritySliceLine::new(config())
+                .find_slices_serial(&x0, &e)
+                .unwrap();
+            assert!(batched.exact && serial.exact);
+            assert_eq!(batched.result.top_k.len(), serial.result.top_k.len());
+            for (a, b) in batched.result.top_k.iter().zip(serial.result.top_k.iter()) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let (x0, e) = planted();
+        let base = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        let mut c = config();
+        c.parallel = sliceline_linalg::ParallelConfig::new(4);
+        c.priority_batch = 3;
+        let par = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert_eq!(par.result.top_k.len(), base.result.top_k.len());
+        for (a, b) in par.result.top_k.iter().zip(base.result.top_k.iter()) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.predicates, b.predicates);
         }
     }
 
@@ -382,23 +950,89 @@ mod tests {
     }
 
     #[test]
-    fn budget_yields_anytime_result() {
+    fn eval_budget_yields_anytime_result_with_sound_gap() {
         let (x0, e) = planted();
         let full = PrioritySliceLine::new(config())
             .find_slices(&x0, &e)
             .unwrap();
-        // A tiny budget still returns the basic slices.
+        assert!(full.exact && full.gap == 0.0);
         let tiny = PrioritySliceLine::with_budget(config(), full.evaluated / 4)
             .find_slices(&x0, &e)
             .unwrap();
-        assert!(!tiny.exact || tiny.evaluated <= full.evaluated);
-        assert!(!tiny.result.top_k.is_empty());
-        // Anytime scores never exceed the exact ones.
-        if let (Some(t), Some(f)) = (tiny.result.top_k.first(), full.result.top_k.first()) {
-            assert!(t.score <= f.score + 1e-9);
-        }
-        // Budget exhausted strictly fewer evaluations.
+        // The budget stops before the frontier drains; the prefix of
+        // rounds is shared with the full run, so work never exceeds it.
         assert!(tiny.evaluated <= full.evaluated);
+        assert!(!tiny.result.top_k.is_empty());
+        let anytime = tiny.result.stats.anytime.as_ref().unwrap();
+        assert_eq!(anytime.exact, tiny.exact);
+        assert_eq!(anytime.gap, tiny.gap);
+        // Gap soundness: the true optimum either was found or is covered
+        // by kth + gap.
+        let kth = tiny
+            .result
+            .top_k
+            .last()
+            .map(|s| s.score.max(0.0))
+            .unwrap_or(0.0);
+        let found_opt = tiny
+            .result
+            .top_k
+            .iter()
+            .any(|s| s.score.to_bits() == full.result.top_k[0].score.to_bits());
+        assert!(
+            found_opt || full.result.top_k[0].score <= kth + tiny.gap,
+            "opt {} kth {} gap {}",
+            full.result.top_k[0].score,
+            kth,
+            tiny.gap
+        );
+        // Anytime scores never exceed the exact ones rank-by-rank.
+        for (t, f) in tiny.result.top_k.iter().zip(full.result.top_k.iter()) {
+            assert!(t.score <= f.score + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deadline_budget_stops_and_reports() {
+        let (x0, e) = planted();
+        let mut c = config();
+        c.budget_ms = 10_000; // generous: the run completes well within it
+        let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert!(r.exact);
+        let anytime = r.result.stats.anytime.unwrap();
+        assert!(!anytime.deadline_hit);
+        assert!(anytime.batches >= 1);
+        assert!(anytime.frontier_peak >= anytime.frontier_final);
+    }
+
+    #[test]
+    fn frontier_cap_drops_are_certified() {
+        let (x0, e) = planted();
+        let mut c = config();
+        // A cap smaller than one node's bitmap forces every expandable
+        // child to be dropped — the gap must cover the best of them.
+        c.frontier_bytes = 1;
+        let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+        let full = PrioritySliceLine::new(config())
+            .find_slices(&x0, &e)
+            .unwrap();
+        let anytime = r.result.stats.anytime.as_ref().unwrap();
+        if anytime.dropped > 0 {
+            let kth = r
+                .result
+                .top_k
+                .last()
+                .map(|s| s.score.max(0.0))
+                .unwrap_or(0.0);
+            let found_opt = r
+                .result
+                .top_k
+                .iter()
+                .any(|s| s.score.to_bits() == full.result.top_k[0].score.to_bits());
+            assert!(found_opt || full.result.top_k[0].score <= kth + r.gap);
+        } else {
+            assert!(r.exact);
+        }
     }
 
     #[test]
@@ -408,6 +1042,11 @@ mod tests {
         c.max_level = 1;
         let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
         assert!(r.result.top_k.iter().all(|s| s.predicates.len() == 1));
+        assert!(r.exact);
+        let mut c = config();
+        c.max_level = 2;
+        let r = PrioritySliceLine::new(c).find_slices(&x0, &e).unwrap();
+        assert!(r.result.top_k.iter().all(|s| s.predicates.len() <= 2));
     }
 
     #[test]
@@ -418,6 +1057,51 @@ mod tests {
             .unwrap();
         assert!(r.result.top_k.is_empty());
         assert!(r.exact);
+        assert_eq!(r.gap, 0.0);
+    }
+
+    #[test]
+    fn node_ordering_is_nan_safe_and_total() {
+        let n = |bound: f64, cols: Vec<u32>| Node {
+            bound,
+            cols,
+            bits: None,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(n(0.5, vec![1]));
+        heap.push(n(f64::NAN, vec![2]));
+        heap.push(n(1.0, vec![3]));
+        heap.push(n(f64::NEG_INFINITY, vec![4]));
+        // total_cmp orders NaN above +inf; the pop sequence is total and
+        // deterministic rather than corrupted by incomparability.
+        let order: Vec<Vec<u32>> = std::iter::from_fn(|| heap.pop().map(|x| x.cols)).collect();
+        assert_eq!(order, vec![vec![2], vec![3], vec![1], vec![4]]);
+        // Ties break on fewer predicates first, then lexicographic cols.
+        assert!(n(1.0, vec![1]) > n(1.0, vec![1, 2]));
+        assert!(n(1.0, vec![1, 2]) > n(1.0, vec![1, 3]));
+        assert_eq!(n(1.0, vec![1]), n(1.0, vec![1]));
+    }
+
+    #[test]
+    fn stats_report_frontier_counters() {
+        let (x0, e) = planted();
+        let exec = ExecContext::serial();
+        exec.enable_stats(true);
+        let r = PrioritySliceLine::new(config())
+            .find_slices_in(&x0, &e, &exec)
+            .unwrap();
+        let stats = &r.result.stats;
+        assert!(stats.exec.is_some(), "telemetry scope must capture stats");
+        assert!(stats.total_evaluated() > 0);
+        assert_eq!(stats.levels[0].candidates, stats.l);
+        let anytime = stats.anytime.as_ref().unwrap();
+        assert_eq!(anytime.evaluated, r.evaluated);
+        assert!(anytime.expanded > 0);
+        assert!(anytime.batches > 0);
+        // The exec-level profiles carry non-zero frontier counts too.
+        let exec_stats = stats.exec.as_ref().unwrap();
+        assert!(!exec_stats.levels.is_empty());
+        assert!(exec_stats.levels.iter().any(|lp| lp.evaluated > 0));
     }
 
     #[test]

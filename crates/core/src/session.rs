@@ -36,6 +36,7 @@ use crate::config::{EvalKernel, SliceLineConfig};
 use crate::error::{Result, SliceLineError};
 use crate::evaluate::{evaluate_slices_with, EvalEngine};
 use crate::init::{LevelState, ProjectedData};
+use crate::priority::{run_frontier, FrontierRun, PriorityResult};
 use crate::scoring::ScoringContext;
 use crate::stats::RunStats;
 use sliceline_frame::onehot::one_hot_encode;
@@ -328,6 +329,81 @@ impl DatasetSession {
         Ok(result)
     }
 
+    /// Runs a query through the anytime best-first engine instead of the
+    /// level-wise lattice — the serving path for deadline-budgeted
+    /// requests (`budget_ms` / `max_evals` / `frontier_bytes`).
+    ///
+    /// Warm-start behaves exactly like [`DatasetSession::query`]: level 1
+    /// is rebuilt from the cached statistics and the frontier's bitmap
+    /// pack is column-projected from the session's resident full pack
+    /// (bit-identical to the pack a cold run would build). With unlimited
+    /// budgets the returned top-K matches [`DatasetSession::query`]
+    /// bit-for-bit; under a budget the result carries a certified
+    /// optimality gap ([`PriorityResult::gap`]).
+    pub fn query_priority(&mut self, query: &SliceQuery) -> Result<PriorityResult> {
+        let config = query.config();
+        config.validate()?;
+        let scope = self
+            .exec
+            .with_threads(config.parallel.threads())
+            .with_simd(config.simd)
+            .run_scoped();
+        let exec = &scope;
+        let start = Instant::now();
+        let mut run_span = exec.tracer().span("session.query_priority", "core");
+        let (n, l) = (self.n(), self.l());
+        let sigma = config.min_support.resolve(n).max(1);
+        let ctx = ScoringContext::new(&self.errors, config.alpha);
+        // The frontier always runs on bitmaps: seed the engine from the
+        // session's resident pack regardless of the query's eval kernel.
+        let kept = self.kept_columns(sigma);
+        let engine_bits = self.packed(exec).select_cols(&kept, exec);
+        let mut engine = EvalEngine::with_packed(config.bitmap_cache_bytes, engine_bits);
+        let seed = self.seed_level(sigma, &ctx, exec);
+        exec.add_prepare(start.elapsed());
+        run_span.add_arg("n", n);
+        run_span.add_arg("m", self.m);
+        run_span.add_arg("l", l);
+        run_span.add_arg("generation", self.generation);
+        let mut stats = RunStats {
+            sigma,
+            n,
+            m: self.m,
+            l,
+            basic_slices: seed.level.len(),
+            ..Default::default()
+        };
+        let run = FrontierRun {
+            config,
+            ctx,
+            sigma,
+            max_level: config.max_level.min(self.m),
+            start,
+        };
+        let (topk, anytime, levels) = run_frontier(
+            run,
+            &seed.proj,
+            &seed.level,
+            &seed.errors,
+            &mut engine,
+            exec,
+        );
+        stats.levels = levels;
+        stats.total_elapsed = start.elapsed();
+        stats.exec = exec.stats_enabled().then(|| exec.exec_stats());
+        let top_k = crate::algorithm::decode_topk(&topk, &seed.proj);
+        let (evaluated, exact, gap) = (anytime.evaluated, anytime.exact, anytime.gap);
+        stats.anytime = Some(anytime);
+        run_span.add_arg("levels", stats.levels.len());
+        self.exec.metrics().counter("core.session.queries").inc();
+        Ok(PriorityResult {
+            result: SliceLineResult { top_k, stats },
+            evaluated,
+            exact,
+            gap,
+        })
+    }
+
     /// One-hot columns surviving `ss₀ ≥ σ ∧ se₀ > 0` for this query's σ.
     fn kept_columns(&self, sigma: usize) -> Vec<usize> {
         (0..self.l())
@@ -540,6 +616,83 @@ mod tests {
         let mut cfg = config(EvalKernel::Fused);
         cfg.alpha = 2.0;
         assert!(session.query(&SliceQuery::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn priority_query_matches_one_shot_priority_and_levelwise() {
+        let (x0, e) = planted();
+        let cfg = config(EvalKernel::Bitmap);
+        let one_shot = crate::priority::PrioritySliceLine::new(cfg.clone())
+            .find_slices(&x0, &e)
+            .unwrap();
+        let levelwise = SliceLine::new(cfg.clone()).find_slices(&x0, &e).unwrap();
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let warm0 = session
+            .query_priority(&SliceQuery::new(cfg.clone()))
+            .unwrap();
+        let warm1 = session.query_priority(&SliceQuery::new(cfg)).unwrap();
+        assert!(warm0.exact);
+        assert_eq!(warm0.gap, 0.0);
+        assert_eq!(warm0.result.top_k, one_shot.result.top_k);
+        assert_eq!(warm1.result.top_k, one_shot.result.top_k);
+        assert_eq!(warm0.result.top_k, levelwise.top_k);
+        assert!(warm0.result.stats.anytime.is_some());
+    }
+
+    #[test]
+    fn priority_query_survives_error_swap() {
+        let (x0, e) = planted();
+        let cfg = config(EvalKernel::Bitmap);
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        session
+            .query_priority(&SliceQuery::new(cfg.clone()))
+            .unwrap();
+        let e2: Vec<f64> = (0..32)
+            .map(|i| if (i / 2) % 2 == 1 { 0.9 } else { 0.1 })
+            .collect();
+        session.swap_errors(&e2).unwrap();
+        let delta = session
+            .query_priority(&SliceQuery::new(cfg.clone()))
+            .unwrap();
+        let fresh = crate::priority::PrioritySliceLine::new(cfg)
+            .find_slices(&x0, &e2)
+            .unwrap();
+        assert_eq!(delta.result.top_k, fresh.result.top_k);
+    }
+
+    #[test]
+    fn budgeted_priority_query_reports_sound_gap() {
+        let (x0, e) = planted();
+        let mut cfg = config(EvalKernel::Bitmap);
+        let exact = {
+            let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+            session
+                .query_priority(&SliceQuery::new(cfg.clone()))
+                .unwrap()
+        };
+        cfg.max_evals = 7;
+        let mut session = DatasetSession::new(&x0, &e, &ExecContext::serial()).unwrap();
+        let tiny = session.query_priority(&SliceQuery::new(cfg)).unwrap();
+        assert!(tiny.evaluated <= exact.evaluated);
+        let kth = tiny
+            .result
+            .top_k
+            .last()
+            .map(|s| s.score.max(0.0))
+            .unwrap_or(0.0);
+        let opt = &exact.result.top_k[0];
+        let found = tiny
+            .result
+            .top_k
+            .iter()
+            .any(|s| s.score.to_bits() == opt.score.to_bits());
+        assert!(
+            found || opt.score <= kth + tiny.gap + 1e-12,
+            "gap certificate violated: opt={} kth={} gap={}",
+            opt.score,
+            kth,
+            tiny.gap
+        );
     }
 
     #[test]

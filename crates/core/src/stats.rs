@@ -35,6 +35,36 @@ pub struct LevelStats {
     pub cols_retained: usize,
 }
 
+/// Telemetry from the anytime best-first engine
+/// ([`crate::priority::PrioritySliceLine`]): budget outcome and the
+/// certified optimality gap. `None` on level-wise runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnytimeStats {
+    /// `true` when the frontier was exhausted (or fully pruned) with no
+    /// budget stop and no capped drops whose bound still mattered — the
+    /// returned top-K is the exact answer and [`Self::gap`] is zero.
+    pub exact: bool,
+    /// Certified optimality gap `max(0, best_unexplored_bound −
+    /// max(sc_k, 0))`: no slice outside the returned top-K can score more
+    /// than `kth_score + gap`. Zero iff the result is exact.
+    pub gap: f64,
+    /// Slices evaluated (basic slices + frontier children).
+    pub evaluated: usize,
+    /// Frontier nodes popped and expanded.
+    pub expanded: usize,
+    /// Frontier rounds run (≤ `⌈expanded / B⌉`).
+    pub batches: usize,
+    /// Peak frontier size (heap nodes) over the run.
+    pub frontier_peak: usize,
+    /// Frontier size when the search stopped (0 on an exhaustive drain).
+    pub frontier_final: usize,
+    /// `true` when the wall-clock deadline fired the stop.
+    pub deadline_hit: bool,
+    /// Children dropped by the frontier-memory cap (bounds folded into
+    /// [`Self::gap`]).
+    pub dropped: usize,
+}
+
 /// Statistics for a complete SliceLine run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -58,6 +88,9 @@ pub struct RunStats {
     ///
     /// [`ExecContext`]: sliceline_linalg::ExecContext
     pub exec: Option<ExecStats>,
+    /// Anytime-engine telemetry (budget outcome + certified gap). `None`
+    /// on level-wise runs.
+    pub anytime: Option<AnytimeStats>,
 }
 
 impl RunStats {
@@ -107,6 +140,21 @@ impl RunStats {
                 l.elapsed
             ));
         }
+        if let Some(a) = &self.anytime {
+            out.push_str(&format!(
+                "anytime: exact={} gap={:.6} evaluated={} expanded={} batches={} \
+                 frontier_peak={} frontier_final={} deadline_hit={} dropped={}\n",
+                a.exact,
+                a.gap,
+                a.evaluated,
+                a.expanded,
+                a.batches,
+                a.frontier_peak,
+                a.frontier_final,
+                a.deadline_hit,
+                a.dropped,
+            ));
+        }
         out
     }
 }
@@ -143,6 +191,26 @@ mod tests {
         let stats = RunStats::default();
         assert_eq!(stats.total_evaluated(), 0);
         assert_eq!(stats.max_level(), 0);
+    }
+
+    #[test]
+    fn anytime_line_renders_when_present() {
+        let mut stats = RunStats::default();
+        assert!(!stats.render_table().contains("anytime:"));
+        stats.anytime = Some(AnytimeStats {
+            exact: false,
+            gap: 0.25,
+            evaluated: 100,
+            expanded: 12,
+            batches: 3,
+            frontier_peak: 40,
+            frontier_final: 17,
+            deadline_hit: true,
+            dropped: 0,
+        });
+        let t = stats.render_table();
+        assert!(t.contains("anytime: exact=false gap=0.250000"));
+        assert!(t.contains("deadline_hit=true"));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Property tests for the anytime best-first engine.
+//!
+//! Three guarantees are pinned down here:
+//!
+//! 1. **Unlimited-budget parity** — the batched bitmap frontier returns
+//!    the same top-K as the level-wise oracle, per-rank on score bits,
+//!    across evaluation kernels, compaction policies, thread counts, and
+//!    batch sizes. (Ranks are compared on score bits rather than
+//!    predicates because tied scores may legally order differently
+//!    between the two insertion sequences; when all scores are strictly
+//!    distinct the predicates are compared too.)
+//! 2. **Gap soundness** — under *any* evaluation budget, the certified
+//!    gap bounds what the search may have missed: the true optimum
+//!    (from an exhaustive run) either appears in the anytime top-K or
+//!    scores no more than `kth + gap`.
+//! 3. **Batched ≡ serial reference** — the parallel batched frontier
+//!    agrees with the retired one-node-at-a-time reference.
+//!
+//! Errors are drawn from a dyadic grid (multiples of 1/64) so float
+//! association cannot mask a real divergence.
+
+use proptest::prelude::*;
+use sliceline::config::{CompactKernel, EvalKernel, SliceLineConfig};
+use sliceline::{PrioritySliceLine, SliceInfo, SliceLine};
+use sliceline_frame::IntMatrix;
+
+/// Random integer-coded dataset plus a dyadic error vector. Per-feature
+/// domains of 2–3 keep the lattice exhaustively enumerable while still
+/// producing multi-level winners.
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<f64>)> {
+    (2usize..=4, 8usize..=40).prop_flat_map(|(m, n)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(1u32..=3, m..=m), n..=n),
+            proptest::collection::vec((0u32..=64).prop_map(|v| v as f64 / 64.0), n..=n),
+        )
+    })
+}
+
+fn base_config() -> SliceLineConfig {
+    SliceLineConfig::builder()
+        .k(4)
+        .min_support(2)
+        .alpha(0.95)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// Per-rank score bits — the tie-robust fingerprint.
+fn score_bits(top_k: &[SliceInfo]) -> Vec<u64> {
+    top_k.iter().map(|s| s.score.to_bits()).collect()
+}
+
+/// Whether all scores are strictly distinct (then rank order is unique
+/// and predicates must agree too).
+fn distinct_scores(top_k: &[SliceInfo]) -> bool {
+    top_k
+        .windows(2)
+        .all(|w| w[0].score.to_bits() != w[1].score.to_bits())
+}
+
+fn assert_topk_parity(got: &[SliceInfo], want: &[SliceInfo], label: &str) {
+    assert_eq!(
+        score_bits(got),
+        score_bits(want),
+        "{label}: score ranks diverged\n got: {got:?}\nwant: {want:?}"
+    );
+    if distinct_scores(want) {
+        let gp: Vec<_> = got.iter().map(|s| s.predicates.clone()).collect();
+        let wp: Vec<_> = want.iter().map(|s| s.predicates.clone()).collect();
+        assert_eq!(gp, wp, "{label}: predicates diverged on distinct scores");
+    }
+}
+
+fn check_unlimited_parity(x0: &IntMatrix, errors: &[f64]) {
+    // Level-wise oracles across kernels and compaction must agree among
+    // themselves; the frontier must match them at any thread count and
+    // batch size.
+    let mut cfg = base_config();
+    cfg.eval = EvalKernel::Blocked { block_size: 16 };
+    let oracle = SliceLine::new(cfg).find_slices(x0, errors).unwrap();
+    for (eval, compact) in [
+        (EvalKernel::Fused, CompactKernel::Off),
+        (EvalKernel::Bitmap, CompactKernel::On),
+    ] {
+        let mut cfg = base_config();
+        cfg.eval = eval;
+        cfg.compact = compact;
+        let other = SliceLine::new(cfg).find_slices(x0, errors).unwrap();
+        assert_topk_parity(&other.top_k, &oracle.top_k, "level-wise kernels");
+    }
+    for threads in [1usize, 4] {
+        for batch in [1usize, 7, 64] {
+            let mut cfg = base_config();
+            cfg.priority = true;
+            cfg.priority_batch = batch;
+            cfg.parallel = sliceline_linalg::ParallelConfig::new(threads);
+            let out = PrioritySliceLine::new(cfg).find_slices(x0, errors).unwrap();
+            assert!(out.exact, "unlimited budget must be exact");
+            assert_eq!(out.gap, 0.0);
+            assert_topk_parity(
+                &out.result.top_k,
+                &oracle.top_k,
+                &format!("priority (threads={threads}, batch={batch}) vs level-wise"),
+            );
+        }
+    }
+}
+
+fn check_gap_soundness(x0: &IntMatrix, errors: &[f64], max_evals: usize) {
+    let mut cfg = base_config();
+    cfg.priority = true;
+    let full = PrioritySliceLine::new(cfg.clone())
+        .find_slices(x0, errors)
+        .unwrap();
+    cfg.max_evals = max_evals;
+    let tiny = PrioritySliceLine::new(cfg).find_slices(x0, errors).unwrap();
+    assert!(tiny.evaluated <= full.evaluated.max(max_evals));
+    assert!(tiny.gap >= 0.0);
+    if tiny.exact {
+        assert_eq!(tiny.gap, 0.0);
+        assert_topk_parity(&tiny.result.top_k, &full.result.top_k, "exact under budget");
+        return;
+    }
+    let kth = tiny
+        .result
+        .top_k
+        .last()
+        .map(|s| s.score.max(0.0))
+        .unwrap_or(0.0);
+    for (rank, opt) in full.result.top_k.iter().enumerate() {
+        let found = tiny
+            .result
+            .top_k
+            .iter()
+            .any(|s| s.score.to_bits() == opt.score.to_bits());
+        assert!(
+            found || opt.score <= kth + tiny.gap + 1e-12,
+            "gap certificate violated at rank {rank}: opt={} kth={kth} gap={}",
+            opt.score,
+            tiny.gap
+        );
+    }
+}
+
+fn check_batched_matches_serial(x0: &IntMatrix, errors: &[f64]) {
+    let mut cfg = base_config();
+    cfg.priority = true;
+    let serial = PrioritySliceLine::new(cfg.clone())
+        .find_slices_serial(x0, errors)
+        .unwrap();
+    cfg.priority_batch = 5;
+    let batched = PrioritySliceLine::new(cfg).find_slices(x0, errors).unwrap();
+    assert_topk_parity(
+        &batched.result.top_k,
+        &serial.result.top_k,
+        "batched vs serial reference",
+    );
+}
+
+/// Deterministic instances that run under plain `cargo test` even where
+/// the proptest runner is unavailable.
+#[test]
+fn priority_parity_on_fixed_dataset() {
+    let rows: Vec<Vec<u32>> = (0..36u32)
+        .map(|i| vec![1 + (i % 2), 1 + ((i / 2) % 3), 1 + ((i / 6) % 2)])
+        .collect();
+    let e: Vec<f64> = (0..36)
+        .map(|i| {
+            if i % 2 == 0 && (i / 2) % 3 == 1 {
+                1.0
+            } else {
+                ((i * 5) % 17) as f64 / 64.0
+            }
+        })
+        .collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    check_unlimited_parity(&x0, &e);
+    check_batched_matches_serial(&x0, &e);
+    for budget in [1usize, 5, 20, 100] {
+        check_gap_soundness(&x0, &e, budget);
+    }
+}
+
+/// Larger budgets can only tighten the certificate: the gap is
+/// non-increasing in `max_evals` (the threshold grows monotonically and
+/// the Eq. 3 bound is non-increasing down the lattice).
+#[test]
+fn gap_shrinks_with_budget_on_fixed_dataset() {
+    let rows: Vec<Vec<u32>> = (0..48u32)
+        .map(|i| vec![1 + (i % 2), 1 + ((i / 2) % 3), 1 + ((i / 4) % 2)])
+        .collect();
+    let e: Vec<f64> = (0..48)
+        .map(|i| {
+            if i % 2 == 1 && (i / 2) % 3 == 0 {
+                1.5
+            } else {
+                ((i * 7) % 13) as f64 / 64.0
+            }
+        })
+        .collect();
+    let x0 = IntMatrix::from_rows(&rows).unwrap();
+    let mut prev_gap = f64::INFINITY;
+    for budget in [6usize, 12, 24, 48, 0] {
+        let mut cfg = base_config();
+        cfg.priority = true;
+        cfg.max_evals = budget;
+        let out = PrioritySliceLine::new(cfg).find_slices(&x0, &e).unwrap();
+        assert!(
+            out.gap <= prev_gap + 1e-12,
+            "gap grew with budget: {} -> {} at budget {budget}",
+            prev_gap,
+            out.gap
+        );
+        prev_gap = out.gap;
+    }
+    assert_eq!(prev_gap, 0.0, "unlimited budget must certify exactness");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unlimited-budget frontier == level-wise oracle, across kernels,
+    /// compaction, threads, and batch sizes.
+    #[test]
+    fn prop_priority_matches_levelwise((rows, e) in dataset_strategy()) {
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        check_unlimited_parity(&x0, &e);
+    }
+
+    /// The certified gap is sound under any evaluation budget.
+    #[test]
+    fn prop_gap_certificate_is_sound((rows, e) in dataset_strategy(), budget in 1usize..200) {
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        check_gap_soundness(&x0, &e, budget);
+    }
+
+    /// The batched parallel frontier agrees with the serial reference.
+    #[test]
+    fn prop_batched_matches_serial((rows, e) in dataset_strategy()) {
+        let x0 = IntMatrix::from_rows(&rows).unwrap();
+        check_batched_matches_serial(&x0, &e);
+    }
+}

@@ -11,7 +11,7 @@
 //! | `GET /datasets`          | —                                      | registered dataset ids |
 //! | `POST /datasets`         | `{"path", "errors", "bins"?, "drop"?}` | load a CSV from the server's disk, register a session, return its id |
 //! | `POST /datasets/ID/errors` | `{"path", "errors"}`                 | swap the error vector (delta re-slicing) |
-//! | `POST /jobs`             | `{"dataset", "k"?, "sigma"?, "trace"?, ...}` | enqueue a query, return the job id |
+//! | `POST /jobs`             | `{"dataset", "k"?, "sigma"?, "trace"?, "priority"?, "budget_ms"?, "max_evals"?, ...}` | enqueue a query, return the job id |
 //! | `GET /jobs/ID`           | —                                      | job state + result when done |
 //! | `GET /jobs/ID/profile`   | —                                      | flight record of a finished job (funnel, counters, latency, outcome) |
 //! | `GET /jobs/ID/trace`     | —                                      | Chrome trace of a job submitted with `"trace": true` |
@@ -558,12 +558,20 @@ fn parse_query(doc: &Json) -> Result<SliceQuery, ServeError> {
             )))
         }
     };
+    // Anytime knobs: `budget_ms` alone routes the job through the
+    // best-first engine; `priority` opts in without a deadline.
+    let priority = doc.get("priority").and_then(Json::as_bool).unwrap_or(false);
+    let budget_ms = doc.get("budget_ms").and_then(Json::as_u64).unwrap_or(0);
+    let max_evals = doc.get("max_evals").and_then(Json::as_u64).unwrap_or(0) as usize;
     let mut config = SliceLineConfig::builder()
         .k(k)
         .alpha(alpha)
         .eval(kernel)
         .enum_kernel(enum_kernel)
         .compact(compact)
+        .priority(priority)
+        .budget_ms(budget_ms)
+        .max_evals(max_evals)
         .max_level(max_level)
         .threads(if threads == 0 {
             std::thread::available_parallelism()
@@ -608,6 +616,24 @@ mod tests {
         assert!(parse_query(&doc).is_err());
         let doc = parse("{\"alpha\":7.0}").unwrap();
         assert!(parse_query(&doc).is_err());
+    }
+
+    #[test]
+    fn parses_anytime_job_fields() {
+        // Defaults: the anytime engine stays off.
+        let doc = parse("{\"dataset\":\"x\"}").unwrap();
+        let q = parse_query(&doc).unwrap();
+        assert!(!q.config().is_priority());
+        // budget_ms alone implies priority routing.
+        let doc = parse("{\"dataset\":\"x\",\"budget_ms\":250}").unwrap();
+        let q = parse_query(&doc).unwrap();
+        assert!(q.config().is_priority());
+        assert_eq!(q.config().budget_ms, 250);
+        // Explicit opt-in with an eval cap.
+        let doc = parse("{\"dataset\":\"x\",\"priority\":true,\"max_evals\":5000}").unwrap();
+        let q = parse_query(&doc).unwrap();
+        assert!(q.config().priority);
+        assert_eq!(q.config().max_evals, 5000);
     }
 
     #[test]

@@ -405,7 +405,8 @@ fn config_json(config: &SliceLineConfig) -> String {
         MinSupport::PaperDefault => "\"paper-default\"".to_string(),
     };
     format!(
-        "{{\"k\":{},\"alpha\":{},\"sigma\":{sigma},\"max_level\":{},\"threads\":{}}}",
+        "{{\"k\":{},\"alpha\":{},\"sigma\":{sigma},\"max_level\":{},\"threads\":{},\
+         \"priority\":{},\"budget_ms\":{},\"max_evals\":{}}}",
         config.k,
         config.alpha,
         if config.max_level == usize::MAX {
@@ -413,7 +414,10 @@ fn config_json(config: &SliceLineConfig) -> String {
         } else {
             config.max_level as i64
         },
-        config.parallel.threads()
+        config.parallel.threads(),
+        config.is_priority(),
+        config.budget_ms,
+        config.max_evals,
     )
 }
 
@@ -426,8 +430,14 @@ fn stats_json(result: &SliceLineResult) -> String {
         .as_ref()
         .map(|e| e.to_json())
         .unwrap_or_else(|| "null".to_string());
+    let anytime = result
+        .stats
+        .anytime
+        .as_ref()
+        .map(sliceline::export::anytime_to_json)
+        .unwrap_or_else(|| "null".to_string());
     format!(
-        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"exec\":{exec}}}",
+        "{{\"n\":{},\"m\":{},\"l\":{},\"sigma\":{},\"total_elapsed_secs\":{},\"top_k\":{},\"exec\":{exec},\"anytime\":{anytime}}}",
         result.stats.n,
         result.stats.m,
         result.stats.l,
@@ -500,7 +510,18 @@ fn worker_loop(inner: &QueueInner) {
         let dropped_before = exec.tracer().dropped();
         let spilled_before = metrics.gauge("core.oocore.spilled_bytes").value();
         let run_start = Instant::now();
-        let outcome = session.lock().unwrap().query(&query);
+        // Deadline-budgeted (or explicitly priority) jobs run through the
+        // anytime best-first engine; its budget outcome and certified gap
+        // travel inside `result.stats.anytime` into the flight record and
+        // the job-status JSON.
+        let outcome = {
+            let mut session = session.lock().unwrap();
+            if query.config().is_priority() {
+                session.query_priority(&query).map(|out| out.result)
+            } else {
+                session.query(&query)
+            }
+        };
         let run = run_start.elapsed();
         let trace_json = trace_guard.map(|guard| {
             exec.tracer().set_enabled(false);
@@ -767,6 +788,75 @@ mod tests {
         assert_eq!(metrics.gauge("serve.slo.latency_burn_rate").value(), 1.0);
         // A generous queue objective is never breached.
         assert_eq!(metrics.gauge("serve.slo.queue_burn_rate").value(), 0.0);
+    }
+
+    #[test]
+    fn priority_jobs_report_certified_gap() {
+        let reg = Arc::new(DatasetRegistry::new(ExecContext::serial()));
+        let (x0, errors) = fixture(0);
+        let id = reg.register(&x0, &errors).unwrap();
+        let queue = JobQueue::new(Arc::clone(&reg), 1);
+        // Explicit priority, unlimited budget: exact with a zero gap,
+        // bit-for-bit equal to the level-wise job result.
+        let mut config = SliceLineConfig::builder()
+            .k(3)
+            .min_support(2)
+            .build()
+            .unwrap();
+        config.priority = true;
+        let job = queue.submit(&id, SliceQuery::new(config.clone())).unwrap();
+        let status = queue.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let got = status.result.unwrap();
+        let anytime = got.stats.anytime.as_ref().expect("anytime telemetry");
+        assert!(anytime.exact);
+        assert_eq!(anytime.gap, 0.0);
+        let want = SliceLine::new(query(3).config().clone())
+            .find_slices(&x0, &errors)
+            .unwrap();
+        for (a, b) in got.top_k.iter().zip(&want.top_k) {
+            assert_eq!(a.predicates, b.predicates);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // The flight record carries the gap certificate and the budget
+        // knobs for postmortems.
+        let record = reg.exec().flight().get(job).expect("flight record");
+        assert!(
+            record
+                .stats_json
+                .contains("\"anytime\":{\"exact\":true,\"gap\":0"),
+            "stats_json: {}",
+            record.stats_json
+        );
+        assert!(
+            record.config_json.contains("\"priority\":true"),
+            "config_json: {}",
+            record.config_json
+        );
+        // A deadline budget alone routes through the anytime engine too
+        // (generous deadline: the run finishes exhaustively).
+        let mut config = SliceLineConfig::builder()
+            .k(3)
+            .min_support(2)
+            .build()
+            .unwrap();
+        config.budget_ms = 60_000;
+        let job = queue.submit(&id, SliceQuery::new(config)).unwrap();
+        let status = queue.wait(job).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let got = status.result.unwrap();
+        assert!(got.stats.anytime.is_some());
+        let record = reg.exec().flight().get(job).unwrap();
+        assert!(
+            record.config_json.contains("\"budget_ms\":60000"),
+            "config_json: {}",
+            record.config_json
+        );
+        // Level-wise jobs export an explicit null anytime block.
+        let job = queue.submit(&id, query(2)).unwrap();
+        queue.wait(job).unwrap();
+        let record = reg.exec().flight().get(job).unwrap();
+        assert!(record.stats_json.contains("\"anytime\":null"));
     }
 
     #[test]
